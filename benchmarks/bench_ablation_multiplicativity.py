@@ -1,0 +1,138 @@
+"""Lemma 1 (§V) empirically: multi-round fidelity composes multiplicatively.
+
+Two experiments:
+
+1. **Exact regime** — successive truncations of the same state (commuting
+   projectors) and the paper's U3-sandwich chain: the product identity
+   holds to floating-point accuracy.
+2. **Trajectory regime** — the simulator's per-round product versus the
+   true end-to-end fidelity on the paper's workloads: the estimate tracks
+   the truth closely (exactly on Shor, within a few percent on supremacy
+   circuits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import (
+    FidelityDrivenStrategy,
+    MemoryDrivenStrategy,
+    approximate_state,
+    simulate,
+    verify_lemma1_dense,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+
+_LINES = []
+
+
+def test_lemma1_identity_dense(benchmark):
+    rng = np.random.default_rng(42)
+
+    def run():
+        worst = 0.0
+        for _ in range(200):
+            psi = rng.normal(size=16) + 1j * rng.normal(size=16)
+            psi /= np.linalg.norm(psi)
+            phi = rng.normal(size=16) + 1j * rng.normal(size=16)
+            phi /= np.linalg.norm(phi)
+            keep = rng.choice(16, size=int(rng.integers(1, 16)), replace=False)
+            lhs, rhs = verify_lemma1_dense(psi, phi, list(keep))
+            worst = max(worst, abs(lhs - rhs))
+        return worst
+
+    worst = benchmark.pedantic(run, iterations=1, rounds=1)
+    _LINES.append(
+        f"Lemma 1 identity, 200 random (state, state, I) triples: "
+        f"max |lhs - rhs| = {worst:.2e}"
+    )
+    assert worst < 1e-10
+
+
+def test_chained_dd_truncations_compose(benchmark):
+    rng = np.random.default_rng(7)
+
+    def run():
+        worst = 0.0
+        package = Package()
+        for _ in range(50):
+            vector = rng.normal(size=64) + 1j * rng.normal(size=64)
+            vector /= np.linalg.norm(vector)
+            state = StateDD.from_amplitudes(vector, package)
+            current = state
+            product = 1.0
+            for round_fidelity in (0.95, 0.9, 0.85):
+                result = approximate_state(current, round_fidelity)
+                product *= result.achieved_fidelity
+                current = result.state
+            worst = max(worst, abs(state.fidelity(current) - product))
+        return worst
+
+    worst = benchmark.pedantic(run, iterations=1, rounds=1)
+    _LINES.append(
+        f"Chained DD truncations (3 rounds, 50 random states): "
+        f"max |F_true - product| = {worst:.2e}"
+    )
+    assert worst < 1e-9
+
+
+def test_trajectory_estimate_shor(benchmark):
+    package = Package()
+    circuit = shor_circuit(33, 5)
+
+    def run():
+        exact = simulate(circuit, package=package)
+        approx = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+            package=package,
+        )
+        true_fidelity = exact.state.fidelity(approx.state)
+        return true_fidelity, approx.stats.fidelity_estimate
+
+    true_fidelity, estimate = benchmark.pedantic(run, iterations=1, rounds=1)
+    _LINES.append(
+        f"shor_33_5 trajectory: F_true = {true_fidelity:.6f}, "
+        f"round product = {estimate:.6f}, "
+        f"deviation = {abs(true_fidelity - estimate):.2e}"
+    )
+    assert abs(true_fidelity - estimate) < 1e-3
+
+
+def test_trajectory_estimate_supremacy(benchmark):
+    package = Package()
+    circuit = supremacy_circuit(3, 3, 12, seed=0)
+
+    def run():
+        exact = simulate(circuit, package=package)
+        approx = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=128, round_fidelity=0.975),
+            package=package,
+        )
+        true_fidelity = exact.state.fidelity(approx.state)
+        return true_fidelity, approx.stats.fidelity_estimate
+
+    true_fidelity, estimate = benchmark.pedantic(run, iterations=1, rounds=1)
+    _LINES.append(
+        f"qsup_3x3_12_0 trajectory: F_true = {true_fidelity:.6f}, "
+        f"round product = {estimate:.6f}, "
+        f"deviation = {abs(true_fidelity - estimate):.2e}"
+    )
+    assert abs(true_fidelity - estimate) < 0.05
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _LINES:
+        pytest.skip("no measurements collected")
+    block = "\n".join(
+        ["Lemma 1 / multiplicativity validation", ""] + _LINES
+    )
+    report.add("ablation_multiplicativity", block)
+    print("\n" + block)

@@ -1,0 +1,84 @@
+"""Ablation D: matrix-vector vs matrix-matrix simulation (reference [31]).
+
+The paper builds on the matrix-vector DD simulator of [30]; its reference
+[31] (Zulehner & Wille, DATE 2019) asks when accumulating the whole
+circuit unitary (matrix-matrix) beats carrying the state.  This ablation
+reproduces that comparison's shape on our engine:
+
+* QFT-like circuits: the accumulated operator stays polynomial — the
+  matrix-matrix mode is viable and its product is reusable.
+* Random/supremacy circuits: the accumulated operator explodes towards
+  ``4**n`` while the state only has ``2**n`` — matrix-vector wins clearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.entangle import ghz_circuit
+from repro.circuits.qft import qft_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import DDSimulator
+from repro.dd.package import Package
+
+_ROWS = []
+
+WORKLOADS = (
+    ("qft_8", lambda: qft_circuit(8, swaps=False), "structured"),
+    ("ghz_10", lambda: ghz_circuit(10), "structured"),
+    ("random_6_40", lambda: random_circuit(6, 40, seed=3), "unstructured"),
+    ("qsup_3x3_8_0", lambda: supremacy_circuit(3, 3, 8, seed=0), "unstructured"),
+)
+
+
+@pytest.mark.parametrize("name,build,kind", WORKLOADS)
+def test_mv_vs_mm(benchmark, name, build, kind):
+    circuit = build()
+    simulator = DDSimulator(Package())
+
+    simulator.package.clear_caches()
+    mv = simulator.run(circuit)
+    simulator.package.clear_caches()
+    mm = simulator.run_matrix_matrix(circuit)
+
+    assert mv.state.fidelity(mm.state) == pytest.approx(1.0, abs=1e-7)
+    _ROWS.append(
+        (
+            name,
+            kind,
+            circuit.num_qubits,
+            mv.stats.max_nodes,
+            mm.stats.max_nodes,
+            mv.stats.runtime_seconds,
+            mm.stats.runtime_seconds,
+        )
+    )
+
+    if kind == "unstructured":
+        # The crossover of [31]: operators explode where states don't.
+        assert mm.stats.max_nodes > mv.stats.max_nodes
+
+    def run_mv():
+        simulator.package.clear_caches()
+        return simulator.run(circuit)
+
+    benchmark.pedantic(run_mv, iterations=1, rounds=1)
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    lines = [
+        "Ablation D: matrix-vector vs matrix-matrix simulation ([31])",
+        "workload      kind          qubits  mv_max_dd  mm_max_dd  mv_s     mm_s",
+    ]
+    for row in _ROWS:
+        lines.append(
+            f"{row[0]:<12s}  {row[1]:<12s}  {row[2]:<6d}  "
+            f"{row[3]:<9d}  {row[4]:<9d}  {row[5]:<7.3f}  {row[6]:.3f}"
+        )
+    block = "\n".join(lines)
+    report.add("ablation_mv_vs_mm", block)
+    print("\n" + block)

@@ -1,0 +1,113 @@
+"""Ablation G: round placement when block structure is destroyed.
+
+§IV-C: "promising candidates for such locations are between circuit
+blocks of the algorithm.  When no such circuit blocks can be identified,
+e.g., after certain types of circuit optimization, the individual
+approximation rounds are evenly spaced out through the circuit."
+
+This ablation produces exactly that scenario: optimize the Shor circuit
+with the peephole passes (which discard block annotations), then compare
+
+* block-aware placement on the original circuit (rounds inside the
+  inverse QFT, the paper's choice),
+* even spacing on the original circuit,
+* even spacing on the optimized, annotation-free circuit,
+* adaptive growth-triggered placement (no annotations needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.optimize import optimize_circuit
+from repro.circuits.shor import shor_circuit
+from repro.core import AdaptiveStrategy, FidelityDrivenStrategy, simulate
+from repro.dd.package import Package
+
+_ROWS = []
+
+
+def _run(name, circuit, strategy, package):
+    package.clear_caches()
+    outcome = simulate(circuit, strategy, package=package)
+    _ROWS.append(
+        (
+            name,
+            len(circuit),
+            outcome.stats.num_rounds,
+            outcome.stats.max_nodes,
+            outcome.stats.runtime_seconds,
+            outcome.stats.fidelity_estimate,
+        )
+    )
+    return outcome
+
+
+def test_placement_comparison(benchmark):
+    package = Package()
+    original = shor_circuit(33, 5)
+    optimized = optimize_circuit(original)
+    assert not optimized.blocks  # annotations gone, as §IV-C describes
+
+    _run(
+        "blocks (original)",
+        original,
+        FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+        package,
+    )
+    _run(
+        "even (original)",
+        original,
+        FidelityDrivenStrategy(0.5, 0.9, placement="even"),
+        package,
+    )
+    even_optimized = _run(
+        "even (optimized)",
+        optimized,
+        FidelityDrivenStrategy(0.5, 0.9, placement="even"),
+        package,
+    )
+    _run(
+        "adaptive (optimized)",
+        optimized,
+        AdaptiveStrategy(0.5, 0.9),
+        package,
+    )
+
+    # All configurations respect the fidelity floor.
+    for row in _ROWS:
+        assert row[5] >= 0.5 - 1e-9
+    # Block-aware placement is the most size-effective (the paper's point
+    # about exploiting algorithm knowledge).
+    sizes = {row[0]: row[3] for row in _ROWS}
+    assert sizes["blocks (original)"] <= sizes["even (optimized)"]
+
+    benchmark.pedantic(
+        lambda: simulate(
+            optimized,
+            FidelityDrivenStrategy(0.5, 0.9, placement="even"),
+            package=package,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert even_optimized.stats.num_rounds <= 6
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    lines = [
+        "Ablation G: round placement on shor_33_5 "
+        "(f_final = 0.5, f_round = 0.9)",
+        "placement             ops   rounds  max_dd   runtime_s  f_final",
+    ]
+    for row in _ROWS:
+        lines.append(
+            f"{row[0]:<20s}  {row[1]:<4d}  {row[2]:<6d}  "
+            f"{row[3]:<7d}  {row[4]:<9.3f}  {row[5]:.3f}"
+        )
+    block = "\n".join(lines)
+    report.add("ablation_placement", block)
+    print("\n" + block)

@@ -1,0 +1,109 @@
+"""Ablation E: node-removal policy comparison (§IV-A design space).
+
+The paper's strategies are built on one removal primitive — greedy
+ascending-contribution selection under a fidelity budget.  The predecessor
+work [27] discusses variants; this ablation compares four policies on the
+same intermediate Shor state:
+
+* ``budget``      — the paper's scheme at f_round = 0.9,
+* ``threshold``   — cut every node contributing <= epsilon,
+* ``to-size``     — shrink to a hard node cap,
+* ``rounding``    — quantize edge weights onto a coarse grid.
+
+Reported: nodes before/after, achieved fidelity, wall time per call.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.core import (
+    approximate_below_contribution,
+    approximate_state,
+    approximate_to_size,
+    round_edge_weights,
+    simulate,
+)
+from repro.dd.package import Package
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module")
+def intermediate_state():
+    """A shor_33_5 state midway through the inverse QFT.
+
+    The diagram balloons *inside* the inverse QFT (that is where the paper
+    places its rounds), so the policy comparison runs on the state after
+    60 % of that block.
+    """
+    from repro.circuits.circuit import Circuit
+
+    package = Package()
+    full = shor_circuit(33, 5)
+    iqft = next(b for b in full.blocks if b.name == "inverse_qft")
+    cutoff = iqft.start + int(0.6 * (iqft.end - iqft.start))
+    prefix = Circuit(full.num_qubits, name="shor_33_5_partial_iqft")
+    for operation in list(full)[:cutoff]:
+        prefix.append(operation)
+    return simulate(prefix, package=package).state
+
+
+POLICIES = (
+    ("budget f=0.9", lambda s: approximate_state(s, 0.9)),
+    ("budget f=0.5", lambda s: approximate_state(s, 0.5)),
+    ("threshold 1e-3", lambda s: approximate_below_contribution(s, 1e-3)),
+    ("threshold 1e-2", lambda s: approximate_below_contribution(s, 1e-2)),
+    ("to-size 1000", lambda s: approximate_to_size(s, 1000)),
+    ("to-size 1000 floor 0.5",
+     lambda s: approximate_to_size(s, 1000, fidelity_floor=0.5)),
+    ("rounding 1/64", lambda s: round_edge_weights(s, 1 / 64)),
+)
+
+
+@pytest.mark.parametrize("name,apply", POLICIES, ids=[p[0] for p in POLICIES])
+def test_policy(benchmark, intermediate_state, name, apply):
+    started = time.perf_counter()
+    result = apply(intermediate_state)
+    elapsed = time.perf_counter() - started
+    _ROWS.append(
+        (
+            name,
+            result.nodes_before,
+            result.nodes_after,
+            result.achieved_fidelity,
+            elapsed,
+        )
+    )
+
+    assert result.state.norm() == pytest.approx(1.0)
+    assert 0.0 < result.achieved_fidelity <= 1.0 + 1e-9
+    if name.startswith("budget f=0.9"):
+        assert result.achieved_fidelity >= 0.9 - 1e-9
+    if "floor 0.5" in name:
+        assert result.achieved_fidelity >= 0.5 - 1e-6
+
+    benchmark.pedantic(
+        lambda: apply(intermediate_state), iterations=1, rounds=1
+    )
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    lines = [
+        "Ablation E: removal-policy comparison on a mid-iQFT shor_33_5 state",
+        "policy                    before   after    fidelity  seconds",
+    ]
+    for row in _ROWS:
+        lines.append(
+            f"{row[0]:<24s}  {row[1]:<7d}  {row[2]:<7d}  "
+            f"{row[3]:<8.4f}  {row[4]:.3f}"
+        )
+    block = "\n".join(lines)
+    report.add("ablation_policies", block)
+    print("\n" + block)

@@ -1,0 +1,72 @@
+"""Ablation A (§IV-C discussion): the f_round / round-count tradeoff.
+
+At a fixed required final fidelity, sweeping the per-round fidelity trades
+(1) few aggressive rounds against (2) many gentle rounds.  The paper argues
+the optimum is algorithm-dependent; this ablation quantifies both arms on
+a Shor workload: round budget, max DD size, runtime, and achieved final
+fidelity per ``f_round``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.core import FidelityDrivenStrategy, max_rounds, simulate
+from repro.dd.package import Package
+
+FINAL_FIDELITY = 0.5
+ROUND_FIDELITIES = (0.6, 0.8, 0.9, 0.95, 0.99)
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("round_fidelity", ROUND_FIDELITIES)
+def test_round_fidelity_sweep(benchmark, round_fidelity):
+    package = Package()
+    circuit = shor_circuit(33, 5)
+    strategy = FidelityDrivenStrategy(
+        FINAL_FIDELITY, round_fidelity, placement="block:inverse_qft"
+    )
+    budget = max_rounds(FINAL_FIDELITY, round_fidelity)
+
+    outcome = simulate(circuit, strategy, package=package)
+    _ROWS.append(
+        (
+            round_fidelity,
+            budget,
+            outcome.stats.num_rounds,
+            outcome.stats.max_nodes,
+            outcome.stats.runtime_seconds,
+            outcome.stats.fidelity_estimate,
+        )
+    )
+
+    assert outcome.stats.num_rounds <= budget
+    assert outcome.stats.fidelity_estimate >= FINAL_FIDELITY - 1e-9
+
+    def run():
+        return simulate(circuit, strategy, package=package)
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    lines = [
+        "Ablation A: f_round sweep on shor_33_5 at f_final = 0.5",
+        "f_round  budget  rounds  max_dd   runtime_s  f_final",
+    ]
+    for row in _ROWS:
+        lines.append(
+            f"{row[0]:<7g}  {row[1]:<6d}  {row[2]:<6d}  "
+            f"{row[3]:<7d}  {row[4]:<9.3f}  {row[5]:.3f}"
+        )
+    # The budget formula is monotone: higher f_round, more rounds allowed.
+    budgets = [row[1] for row in _ROWS]
+    assert budgets == sorted(budgets)
+    block = "\n".join(lines)
+    report.add("ablation_round_fidelity", block)
+    print("\n" + block)

@@ -1,0 +1,125 @@
+"""Ablation C: DD size over the gate sequence, with and without rounds.
+
+Example 9 of the paper describes the mechanism: the diagram grows rapidly
+until the approximation "kicks in and trades off some accuracy for a
+smaller representation", then the process repeats at the doubled threshold.
+This ablation records per-operation diagram sizes on both workload
+families and verifies the sawtooth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import (
+    FidelityDrivenStrategy,
+    MemoryDrivenStrategy,
+    simulate,
+)
+from repro.dd.package import Package
+
+_SECTIONS = []
+
+
+def _sparkline(values, width=72) -> str:
+    """Render a size trajectory as a coarse ASCII sparkline."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    peak = max(values) or 1
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+        for v in sampled
+    )
+
+
+def test_supremacy_trajectory(benchmark):
+    package = Package()
+    circuit = supremacy_circuit(3, 3, 12, seed=0)
+
+    exact = simulate(circuit, package=package, record_trajectory=True)
+    approx = simulate(
+        circuit,
+        MemoryDrivenStrategy(threshold=96, round_fidelity=0.9),
+        package=package,
+        record_trajectory=True,
+    )
+    _SECTIONS.append(
+        (
+            "qsup_3x3_12_0 per-operation DD size",
+            exact.stats.trajectory,
+            approx.stats.trajectory,
+        )
+    )
+
+    # The sawtooth: at least one round produced an instantaneous drop.
+    drops = [
+        earlier - later
+        for earlier, later in zip(
+            approx.stats.trajectory, approx.stats.trajectory[1:]
+        )
+        if later < earlier
+    ]
+    assert approx.stats.num_rounds == 0 or drops
+
+    benchmark.pedantic(
+        lambda: simulate(circuit, package=package), iterations=1, rounds=1
+    )
+
+
+def test_shor_trajectory(benchmark):
+    package = Package()
+    circuit = shor_circuit(33, 5)
+
+    exact = simulate(circuit, package=package, record_trajectory=True)
+    approx = simulate(
+        circuit,
+        FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+        package=package,
+        record_trajectory=True,
+    )
+    _SECTIONS.append(
+        (
+            "shor_33_5 per-operation DD size",
+            exact.stats.trajectory,
+            approx.stats.trajectory,
+        )
+    )
+
+    # Approximation caps the growth: the approximate peak is far below.
+    assert max(approx.stats.trajectory) * 4 <= max(exact.stats.trajectory)
+
+    benchmark.pedantic(
+        lambda: simulate(
+            circuit,
+            FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+            package=package,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _SECTIONS:
+        pytest.skip("no trajectories collected")
+    lines = ["Ablation C: DD size trajectories (exact vs approximate)"]
+    for title, exact_trajectory, approx_trajectory in _SECTIONS:
+        lines.append("")
+        lines.append(title)
+        lines.append(
+            f"  exact  peak={max(exact_trajectory):>8d}  "
+            f"|{_sparkline(exact_trajectory)}|"
+        )
+        lines.append(
+            f"  approx peak={max(approx_trajectory):>8d}  "
+            f"|{_sparkline(approx_trajectory)}|"
+        )
+    block = "\n".join(lines)
+    report.add("ablation_size_trajectory", block)
+    print("\n" + block)

@@ -1,0 +1,75 @@
+"""Ablation B (§IV-B discussion): memory-driven threshold sensitivity.
+
+"Underestimating the hyper-parameters ... may render the simulation result
+meaningless"; "the parameters have to be carefully selected or there is
+risk of performance degradation."  This ablation sweeps the initial
+threshold on a supremacy workload and records rounds, max DD size, runtime,
+and the end-to-end fidelity estimate: low thresholds trigger many rounds
+and erode fidelity, high thresholds degenerate to the exact simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import MemoryDrivenStrategy, simulate
+from repro.dd.package import Package
+
+THRESHOLDS = (16, 64, 256, 1024, 1 << 16)
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_threshold_sweep(benchmark, threshold):
+    package = Package()
+    circuit = supremacy_circuit(3, 3, 12, seed=0)
+    strategy = MemoryDrivenStrategy(
+        threshold=threshold, round_fidelity=0.95
+    )
+    outcome = simulate(circuit, strategy, package=package)
+    _ROWS.append(
+        (
+            threshold,
+            outcome.stats.num_rounds,
+            outcome.stats.max_nodes,
+            outcome.stats.runtime_seconds,
+            outcome.stats.fidelity_estimate,
+        )
+    )
+
+    def run():
+        return simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=threshold, round_fidelity=0.95),
+            package=package,
+        )
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    rows = sorted(_ROWS)
+    lines = [
+        "Ablation B: threshold sweep on qsup_3x3_12_0 (f_round = 0.95)",
+        "threshold  rounds  max_dd  runtime_s  f_final_estimate",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row[0]:<9d}  {row[1]:<6d}  {row[2]:<6d}  "
+            f"{row[3]:<9.3f}  {row[4]:.3f}"
+        )
+    # Shape checks: rounds decrease with threshold; the huge threshold is
+    # effectively exact; fidelity never decreases as the threshold grows.
+    rounds = [row[1] for row in rows]
+    assert rounds == sorted(rounds, reverse=True)
+    assert rows[-1][1] == 0 and rows[-1][4] == 1.0
+    fidelities = [row[4] for row in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(fidelities, fidelities[1:]))
+    block = "\n".join(lines)
+    report.add("ablation_threshold", block)
+    print("\n" + block)

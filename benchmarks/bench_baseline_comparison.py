@@ -1,0 +1,85 @@
+"""§III motivation: decision diagrams versus the dense statevector baseline.
+
+On structured workloads (GHZ, QFT of a basis state, Grover) the diagram
+stays polynomially small while the dense representation is exponential; on
+supremacy circuits the diagram degenerates towards the worst case.  This
+benchmark measures both representations' sizes and runtimes side by side.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.entangle import ghz_circuit
+from repro.circuits.grover import grover_circuit
+from repro.circuits.qft import qft_on_basis_state
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import simulate
+from repro.dd.package import Package
+
+_ROWS = []
+
+WORKLOADS = (
+    ("ghz_14", lambda: ghz_circuit(14), "structured"),
+    ("qft_basis_12", lambda: qft_on_basis_state(12, 1234), "structured"),
+    ("grover_9", lambda: grover_circuit(9, 333), "structured"),
+    ("qsup_3x3_12_0", lambda: supremacy_circuit(3, 3, 12, seed=0), "hostile"),
+)
+
+
+@pytest.mark.parametrize("name,build,kind", WORKLOADS)
+def test_dd_vs_dense(benchmark, name, build, kind):
+    circuit = build()
+    package = Package()
+
+    started = time.perf_counter()
+    dense_state = simulate_dense(circuit)
+    dense_seconds = time.perf_counter() - started
+
+    outcome = simulate(circuit, package=package)
+    dd_seconds = outcome.stats.runtime_seconds
+
+    dense_entries = dense_state.size
+    _ROWS.append(
+        (
+            name,
+            circuit.num_qubits,
+            kind,
+            outcome.stats.max_nodes,
+            dense_entries,
+            dd_seconds,
+            dense_seconds,
+        )
+    )
+
+    if kind == "structured":
+        # Structured diagrams are exponentially smaller than dense.
+        assert outcome.stats.max_nodes * 16 < dense_entries
+    else:
+        # Hostile circuits approach the worst case.
+        assert outcome.stats.max_nodes > dense_entries * 0.7
+
+    benchmark.pedantic(
+        lambda: simulate(circuit, package=package), iterations=1, rounds=1
+    )
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    lines = [
+        "DD vs dense statevector (motivation, §III)",
+        "workload        qubits  kind        max_dd   dense_amps  dd_s     dense_s",
+    ]
+    for row in _ROWS:
+        lines.append(
+            f"{row[0]:<14s}  {row[1]:<6d}  {row[2]:<10s}  "
+            f"{row[3]:<7d}  {row[4]:<10d}  {row[5]:<7.3f}  {row[6]:.3f}"
+        )
+    block = "\n".join(lines)
+    report.add("baseline_comparison", block)
+    print("\n" + block)

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the DD engine primitives.
+
+Times the operations that dominate simulation cost — gate application
+(matrix-vector multiplication), inner products (fidelity measurement),
+contribution analysis, and a full approximation round — on representative
+diagram sizes.  Useful for tracking engine regressions independent of the
+workload-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import gate_matrix
+from repro.circuits.lowering import single_qubit_medge
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import approximate_state, node_contributions, simulate
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+
+
+@pytest.fixture(scope="module")
+def hostile_state():
+    """A large low-redundancy state (≈ 4k nodes) from a supremacy prefix."""
+    package = Package()
+    circuit = supremacy_circuit(3, 4, 10, seed=0)
+    outcome = simulate(circuit, package=package)
+    return outcome.state
+
+
+def test_bench_gate_application(benchmark, hostile_state):
+    package = hostile_state.package
+    num_qubits = hostile_state.num_qubits
+    medge = single_qubit_medge(
+        package, num_qubits, num_qubits // 2, gate_matrix("h")
+    )
+
+    def apply_gate():
+        package.clear_caches()
+        return package.multiply_mv(
+            medge, hostile_state.edge, num_qubits - 1
+        )
+
+    benchmark(apply_gate)
+
+
+def test_bench_inner_product(benchmark, hostile_state):
+    package = hostile_state.package
+
+    def inner():
+        package.clear_caches()
+        return package.inner_product(
+            hostile_state.edge,
+            hostile_state.edge,
+            hostile_state.num_qubits - 1,
+        )
+
+    result = benchmark(inner)
+    assert abs(result - 1.0) < 1e-6
+
+
+def test_bench_node_count(benchmark, hostile_state):
+    count = benchmark(hostile_state.node_count)
+    assert count > 1000
+
+
+def test_bench_contributions(benchmark, hostile_state):
+    contributions = benchmark(node_contributions, hostile_state)
+    assert len(contributions) == hostile_state.node_count()
+
+
+def test_bench_approximation_round(benchmark, hostile_state):
+    def round_once():
+        return approximate_state(hostile_state, 0.95)
+
+    result = benchmark(round_once)
+    assert result.achieved_fidelity >= 0.95 - 1e-9
+
+
+def test_bench_state_construction(benchmark):
+    rng = np.random.default_rng(3)
+    vector = rng.normal(size=1 << 10) + 1j * rng.normal(size=1 << 10)
+    vector /= np.linalg.norm(vector)
+
+    def build():
+        return StateDD.from_amplitudes(vector, Package())
+
+    state = benchmark(build)
+    assert state.num_qubits == 10
+
+
+def test_bench_sampling(benchmark, hostile_state):
+    rng = np.random.default_rng(0)
+    counts = benchmark(hostile_state.sample, 100, rng)
+    assert sum(counts.values()) == 100

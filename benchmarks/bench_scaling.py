@@ -1,0 +1,93 @@
+"""Scaling study: exact vs approximate cost as the modulus grows.
+
+Table I's rows sweep the Shor modulus from 18 to 33 qubits; the exact
+columns blow up (and eventually time out) while the approximate columns
+grow slowly.  This benchmark regenerates that growth curve as a series —
+max DD size and runtime per modulus for exact, fidelity-driven, and
+semiclassical simulation — the "figure" behind the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.shor import shor_circuit, shor_layout
+from repro.core import FidelityDrivenStrategy, simulate
+from repro.core.semiclassical import semiclassical_shor_run
+from repro.dd.package import Package
+
+#: (modulus, base) sweep in increasing register width.
+SWEEP = ((15, 2), (21, 2), (33, 5), (55, 2), (69, 2))
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("modulus,base", SWEEP)
+def test_scaling_point(benchmark, modulus, base):
+    package = Package()
+    circuit = shor_circuit(modulus, base)
+    layout = shor_layout(modulus, base)
+
+    package.clear_caches()
+    exact = simulate(circuit, package=package, max_seconds=120.0)
+    package.clear_caches()
+    approx = simulate(
+        circuit,
+        FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+        package=package,
+    )
+    semi = semiclassical_shor_run(
+        modulus, base, np.random.default_rng(modulus), package
+    )
+    _ROWS.append(
+        (
+            f"shor_{modulus}_{base}",
+            layout.num_qubits,
+            exact.stats.max_nodes,
+            exact.stats.runtime_seconds,
+            approx.stats.max_nodes,
+            approx.stats.runtime_seconds,
+            semi.max_nodes,
+            semi.runtime_seconds,
+        )
+    )
+
+    assert approx.stats.max_nodes <= exact.stats.max_nodes
+    assert semi.max_nodes <= approx.stats.max_nodes
+
+    benchmark.pedantic(
+        lambda: simulate(
+            circuit,
+            FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+            package=package,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+
+def test_report(benchmark, report):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _ROWS:
+        pytest.skip("no rows collected")
+    rows = sorted(_ROWS, key=lambda row: row[1])
+    lines = [
+        "Scaling: exact vs approximate vs semiclassical Shor",
+        "benchmark   qubits  exact_dd  exact_s  approx_dd  approx_s  "
+        "semi_dd  semi_s",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row[0]:<10s}  {row[1]:<6d}  {row[2]:<8d}  {row[3]:<7.2f}  "
+            f"{row[4]:<9d}  {row[5]:<8.2f}  {row[6]:<7d}  {row[7]:.2f}"
+        )
+    # The headline separations widen with the register.
+    exact_sizes = [row[2] for row in rows]
+    approx_sizes = [row[4] for row in rows]
+    assert exact_sizes[-1] / max(1, approx_sizes[-1]) > exact_sizes[0] / max(
+        1, approx_sizes[0]
+    )
+    block = "\n".join(lines)
+    report.add("scaling", block)
+    print("\n" + block)

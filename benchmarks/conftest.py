@@ -1,0 +1,46 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module contributes rows to a session-wide collector; at the
+end of the session the collector writes Table-I-style reports to
+``benchmarks/results/`` so the numbers survive the run (EXPERIMENTS.md is
+filled from these files).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class ReportCollector:
+    """Accumulates text report sections keyed by experiment id."""
+
+    def __init__(self):
+        self.sections: Dict[str, List[str]] = defaultdict(list)
+
+    def add(self, experiment: str, text: str) -> None:
+        """Append a text block to an experiment's report."""
+        self.sections[experiment].append(text)
+
+    def flush(self) -> None:
+        """Write one file per experiment under ``benchmarks/results/``."""
+        if not self.sections:
+            return
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        for experiment, blocks in self.sections.items():
+            path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("\n\n".join(blocks) + "\n")
+
+
+@pytest.fixture(scope="session")
+def report(request) -> ReportCollector:
+    """Session-wide report collector, flushed at teardown."""
+    collector = ReportCollector()
+    request.addfinalizer(collector.flush)
+    return collector

@@ -1,0 +1,14 @@
+// Teleportation gadget (unitary part, pre-measurement), built with a
+// user-defined gate macro.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a,b { h a; cx a,b; }
+qreg q[3];
+// prepare an arbitrary-ish state to teleport on q[0]
+ry(0.8) q[0];
+rz(1.9) q[0];
+// entangle the carrier pair
+bell q[1],q[2];
+// Bell measurement basis change
+cx q[0],q[1];
+h q[0];

@@ -1,0 +1,69 @@
+"""Entanglement structure is what decides DD size — and what approximation buys.
+
+§II-B attributes DD compression to "redundancies in the quantum state";
+the precise mechanism is bipartite entanglement: the node count at a level
+equals the number of distinct conditional subvectors across that cut.
+This example measures cut ranks and entanglement entropy across the
+workload spectrum and shows how an approximation round lowers them.
+
+Run with::
+
+    python examples/entanglement_structure.py
+"""
+
+from __future__ import annotations
+
+from repro.circuits.entangle import ghz_circuit
+from repro.circuits.qft import qft_on_basis_state
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import approximate_state, simulate
+from repro.dd.entanglement import (
+    cut_rank,
+    entanglement_entropy,
+    max_cut_rank,
+)
+from repro.dd.package import Package
+
+
+def profile(name: str, state) -> None:
+    cuts = range(1, state.num_qubits)
+    ranks = [cut_rank(state, cut) for cut in cuts]
+    middle = state.num_qubits // 2
+    entropy = entanglement_entropy(state, middle)
+    print(f"{name:<18s} nodes={state.node_count():>5d}  "
+          f"cut ranks={ranks}  "
+          f"S(middle)={entropy:.2f} bits")
+
+
+def main() -> None:
+    package = Package()
+    workloads = (
+        ("ghz_8", ghz_circuit(8)),
+        ("qft_basis_8", qft_on_basis_state(8, 173)),
+        ("qsup_3x3_12_0", supremacy_circuit(3, 3, 12, seed=0)),
+    )
+    print("workload            size   entanglement profile")
+    states = {}
+    for name, circuit in workloads:
+        state = simulate(circuit, package=package).state
+        states[name] = state
+        profile(name, state)
+
+    print("\nGHZ: rank 2 on every cut -> linear diagram."
+          "\nQFT of a basis state: product state, rank 1 -> n nodes."
+          "\nsupremacy: volume-law entanglement -> worst-case diagram.")
+
+    hostile = states["qsup_3x3_12_0"]
+    print("\napproximation lowers the entanglement profile "
+          "(qsup_3x3_12_0):")
+    print(f"  before: max cut rank {max_cut_rank(hostile)}")
+    for round_fidelity in (0.95, 0.8, 0.5):
+        result = approximate_state(hostile, round_fidelity)
+        print(f"  f_round {round_fidelity:<5g}: max cut rank "
+              f"{max_cut_rank(result.state):>4d}, "
+              f"nodes {result.nodes_after:>4d}, "
+              f"achieved fidelity {result.achieved_fidelity:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Grover search under approximation: error tolerance in action (§III).
+
+The paper's motivation: "a low-accuracy approximation of the final state
+may still be suitable for non-quantum post-processing leading to the same
+results".  Grover's algorithm is a crisp demonstration — even after
+approximating the state down to ~60 % fidelity, the marked element remains
+the overwhelmingly most likely measurement outcome.
+
+Run with::
+
+    python examples/grover_search.py [num_qubits] [marked]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.circuits.grover import grover_circuit, optimal_iterations
+from repro.core import FidelityDrivenStrategy, simulate
+
+
+def main() -> None:
+    num_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    marked = int(sys.argv[2]) if len(sys.argv) > 2 else 77
+
+    circuit = grover_circuit(num_qubits, marked)
+    print(f"{circuit.name}: searching {1 << num_qubits} items, "
+          f"{optimal_iterations(num_qubits)} iterations, "
+          f"{len(circuit)} operations")
+
+    exact = simulate(circuit)
+    print(f"\nexact:  P(marked) = {exact.state.probability(marked):.4f}, "
+          f"max DD {exact.stats.max_nodes} nodes")
+
+    for final_fidelity in (0.9, 0.7, 0.5):
+        strategy = FidelityDrivenStrategy(
+            final_fidelity, round_fidelity=0.9, placement="even"
+        )
+        approx = simulate(circuit, strategy)
+        probability = approx.state.probability(marked)
+        counts = approx.state.sample(200, np.random.default_rng(1))
+        hits = counts.get(marked, 0)
+        print(f"f_final >= {final_fidelity}: "
+              f"achieved {approx.stats.fidelity_estimate:.3f}, "
+              f"P(marked) = {probability:.4f}, "
+              f"sampled hits = {hits}/200")
+
+    print("\neven at 50% guaranteed fidelity the search still succeeds — "
+          "the probabilistic nature of quantum computation absorbs the "
+          "approximation error.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Routing a circuit onto hardware topology, then simulating with DDs.
+
+The paper situates DD simulation inside the design-automation flow next to
+compilation/mapping (its reference [29] maps circuits to the IBM QX
+machines).  This example runs the whole flow: decompose a Grover circuit
+to two-qubit gates, route it onto a grid coupling map with SWAP insertion,
+verify the mapped circuit still finds the marked element, and measure what
+routing costs in gates and in DD size.
+
+Run with::
+
+    python examples/hardware_routing.py [num_qubits] [marked]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.circuits.grover import grover_circuit
+from repro.core import simulate
+from repro.dd.package import Package
+from repro.transpile import CouplingMap, decompose_to_two_qubit, map_circuit
+
+
+def main() -> None:
+    num_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    marked = int(sys.argv[2]) if len(sys.argv) > 2 else 45
+
+    logical = grover_circuit(num_qubits, marked, iterations=2)
+    print(f"logical circuit : {logical.name}, {len(logical)} operations, "
+          f"{logical.two_qubit_gate_count()} multi-qubit gates")
+
+    two_qubit = decompose_to_two_qubit(logical)
+    print(f"decomposed      : {len(two_qubit)} operations "
+          f"(multi-controlled oracles -> CX/T networks)")
+
+    rows, cols = 2, (num_qubits + 1) // 2
+    coupling = CouplingMap.grid(rows, cols)
+    result = map_circuit(two_qubit, coupling)
+    print(f"routed on {rows}x{cols} grid: {len(result.circuit)} operations, "
+          f"{result.swaps_inserted} SWAPs inserted")
+    print(f"final layout (logical -> physical): {result.final_layout}")
+
+    package = Package()
+    logical_run = simulate(logical, package=package)
+    mapped_run = simulate(result.circuit, package=package)
+    print(f"\nDD size: logical max {logical_run.stats.max_nodes}, "
+          f"mapped max {mapped_run.stats.max_nodes}")
+
+    # The marked element moved with the layout: read it through the map.
+    physical_marked = 0
+    for logical_qubit in range(num_qubits):
+        bit = (marked >> logical_qubit) & 1
+        physical_marked |= bit << result.final_layout[logical_qubit]
+    probability = mapped_run.state.probability(physical_marked)
+    logical_probability = logical_run.state.probability(marked)
+    print(f"P(marked) after routing: {probability:.4f} "
+          f"(logical: {logical_probability:.4f})")
+    assert abs(probability - logical_probability) < 1e-6, (
+        "routing must not change the algorithm"
+    )
+    print("\nrouting is semantically transparent — and its SWAP overhead "
+          "is visible both in gate count and in the diagram sizes the "
+          "simulator must carry.")
+
+
+if __name__ == "__main__":
+    main()

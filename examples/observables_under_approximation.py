@@ -1,0 +1,68 @@
+"""Observable expectation values under approximation.
+
+Quantifies the paper's §III claim — "small changes in the amplitudes of a
+quantum state lead to small changes in the probabilities of measurement
+outcomes" — in terms of Pauli observables: sweep the per-round fidelity of
+an approximation and watch the expectation values drift within the
+analytic envelope :math:`|\\Delta\\langle P\\rangle| \\le 2\\sqrt{1-F}`.
+
+Run with::
+
+    python examples/observables_under_approximation.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import approximate_state
+from repro.dd import StateDD
+from repro.dd.observables import expectation
+
+
+def main() -> None:
+    # A state with exponentially decaying amplitude magnitudes — the
+    # profile on which truncation actually has work to do (uniform states
+    # like GHZ have nothing negligible to cut).
+    num_qubits = 8
+    rng = np.random.default_rng(0)
+    size = 1 << num_qubits
+    magnitudes = np.exp(-np.arange(size) / 40.0)
+    phases = np.exp(2j * np.pi * rng.random(size))
+    vector = magnitudes * phases
+    vector /= np.linalg.norm(vector)
+    state = StateDD.from_amplitudes(vector)
+    print(f"workload: decaying-amplitude state ({num_qubits} qubits, "
+          f"{state.node_count()} DD nodes)")
+
+    observables = ["ZIIIIIII", "IZZIIIII", "XXIIIIII"]
+
+    exact_values = {p: expectation(state, p) for p in observables}
+    print("\nexact expectations:")
+    for pauli, value in exact_values.items():
+        print(f"  <{pauli}> = {value:+.4f}")
+
+    print("\nfidelity sweep:")
+    print("f_round   F_achieved  " + "  ".join(
+        f"<{p[:6]}..>" for p in observables) + "   envelope 2*sqrt(1-F)")
+    for round_fidelity in (0.99, 0.95, 0.9, 0.8, 0.6):
+        result = approximate_state(state, round_fidelity)
+        drifts = []
+        for pauli in observables:
+            value = expectation(result.state, pauli)
+            drifts.append(abs(value - exact_values[pauli]))
+        envelope = 2.0 * math.sqrt(1.0 - result.achieved_fidelity)
+        inside = all(d <= envelope + 1e-9 for d in drifts)
+        print(f"{round_fidelity:<8g}  {result.achieved_fidelity:<10.4f}  "
+              + "  ".join(f"{d:9.4f}" for d in drifts)
+              + f"   {envelope:.4f} {'ok' if inside else 'VIOLATED'}")
+
+    print("\nevery drift stays inside the analytic envelope — measurement "
+          "statistics degrade gracefully and controllably, which is what "
+          "makes the accuracy-efficiency tradeoff usable.")
+
+
+if __name__ == "__main__":
+    main()

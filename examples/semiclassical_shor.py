@@ -1,0 +1,57 @@
+"""Semiclassical Shor: factoring the paper's timeout instances in seconds.
+
+An extension beyond the paper's experiments: restructure Shor's algorithm
+around the semiclassical inverse QFT (one recycled control qubit, measured
+2n times with classically-conditioned phase corrections) and the DD
+simulator handles *every* Table I modulus — including shor_629_8 and
+shor_1157_8, whose exact full-circuit simulations hit the paper's 3-hour
+timeout — with diagrams of at most a few hundred nodes.
+
+Run with::
+
+    python examples/semiclassical_shor.py [modulus] [base]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.semiclassical import semiclassical_shor_factor
+from repro.circuits.shor import shor_layout
+
+
+def main() -> None:
+    modulus = int(sys.argv[1]) if len(sys.argv) > 1 else 1157
+    base = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    layout = shor_layout(modulus, base)
+    print(f"semiclassical shor_{modulus}_{base}")
+    print(f"  full Fig. 2 circuit would need : {layout.num_qubits} qubits")
+    print(f"  semiclassical register         : {layout.work_bits + 1} qubits "
+          f"(work + 1 recycled control)")
+    print(f"  phase bits measured            : {layout.counting_bits}")
+
+    result, runs = semiclassical_shor_factor(
+        modulus, base, attempts=25, rng=np.random.default_rng(0)
+    )
+    print(f"\nruns executed: {len(runs)}")
+    for index, run in enumerate(runs):
+        print(f"  run {index}: measured y = {run.measured_value:>8d}, "
+              f"max DD {run.max_nodes:>4d} nodes, "
+              f"{run.runtime_seconds:5.2f}s")
+    if result.succeeded:
+        p, q = result.factors
+        print(f"\n{modulus} = {p} x {q}  "
+              f"(period {result.period}, from measurement "
+              f"{result.successful_measurement})")
+        print("\nfor comparison: the paper's exact full-circuit simulation "
+              "of shor_1157_8 was terminated after 3 hours; its "
+              "approximate one needed 535 001 DD nodes and 117 s of C++.")
+    else:
+        print("\nfactoring failed — increase attempts or change the base")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""A miniature VQE on the DD simulator, with and without approximation.
+
+The paper's introduction lists chemistry and machine learning among the
+fields quantum computing promises to accelerate; their classical-quantum
+workhorse is the variational eigensolver.  This demo minimizes the energy
+of a transverse-field Ising chain with a hardware-efficient ansatz,
+evaluating every energy on decision diagrams — then re-evaluates the
+optimized circuit under approximation to show how the energy estimate
+degrades inside the analytic envelope.
+
+Run with::
+
+    python examples/vqe_demo.py [num_qubits] [layers] [maxiter]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.circuits.ansatz import (
+    ansatz_parameter_count,
+    hardware_efficient_ansatz,
+    transverse_field_ising_hamiltonian,
+)
+from repro.circuits.trotter import tfim_ground_state_energy
+from repro.core import approximate_state, simulate
+from repro.dd.observables import expectation_sum
+from repro.dd.package import Package
+
+
+def main() -> None:
+    num_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    layers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    maxiter = int(sys.argv[3]) if len(sys.argv) > 3 else 450
+    coupling, field = 1.0, 0.7
+
+    terms = transverse_field_ising_hamiltonian(num_qubits, coupling, field)
+    ground = tfim_ground_state_energy(num_qubits, coupling, field)
+    package = Package()
+    evaluations = 0
+
+    def energy(parameters: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        circuit = hardware_efficient_ansatz(num_qubits, layers, parameters)
+        state = simulate(circuit, package=package).state
+        return expectation_sum(state, terms)
+
+    count = ansatz_parameter_count(num_qubits, layers)
+    rng = np.random.default_rng(7)
+    initial = rng.uniform(-0.3, 0.3, count)
+    print(f"TFIM chain: {num_qubits} sites, J={coupling}, h={field}")
+    print(f"ansatz: {layers} layers, {count} parameters")
+    print(f"exact ground energy: {ground:.6f}")
+    print(f"initial energy:      {energy(initial):.6f}")
+
+    result = minimize(
+        energy, initial, method="COBYLA",
+        options={"maxiter": maxiter, "rhobeg": 0.4},
+    )
+    print(f"optimized energy:    {result.fun:.6f} "
+          f"({evaluations} DD energy evaluations)")
+    gap = result.fun - ground
+    print(f"gap to ground state: {gap:.4f}")
+
+    # Approximation inside the variational loop: evaluate the optimized
+    # state at several fidelity budgets.
+    circuit = hardware_efficient_ansatz(num_qubits, layers, result.x)
+    state = simulate(circuit, package=package).state
+    print("\nenergy under approximation of the optimized state:")
+    print("f_round  F_achieved  energy     drift     envelope")
+    norm_bound = sum(abs(coefficient) for coefficient, _p in terms)
+    for round_fidelity in (0.99, 0.95, 0.9):
+        approx = approximate_state(state, round_fidelity)
+        value = expectation_sum(approx.state, terms)
+        drift = abs(value - result.fun)
+        envelope = 2.0 * math.sqrt(1.0 - approx.achieved_fidelity) * norm_bound
+        print(f"{round_fidelity:<7g}  {approx.achieved_fidelity:<10.4f}  "
+              f"{value:<9.4f}  {drift:<8.4f}  {envelope:.4f}")
+    print("\nthe drift stays inside 2*sqrt(1-F)*||H||_1 — approximate "
+          "evaluation is safe whenever that envelope is below the accuracy "
+          "the optimizer needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — approximation-aware decision-diagram quantum circuit simulation.
+
+A from-scratch reproduction of *"As Accurate as Needed, as Efficient as
+Possible: Approximations in DD-based Quantum Circuit Simulation"*
+(Hillmich, Kueng, Markov, Wille — DATE 2021).
+
+The package is organized as:
+
+* :mod:`repro.dd` — the decision-diagram engine (states, operators,
+  arithmetic, unique tables).
+* :mod:`repro.circuits` — circuit IR, gate library, OpenQASM subset, and
+  the paper's workload generators (QFT, Grover, Shor, quantum-supremacy
+  random circuits).
+* :mod:`repro.core` — the paper's contribution: node norm contributions,
+  fidelity-budgeted approximation, and the memory-/fidelity-driven
+  simulation strategies.
+* :mod:`repro.baseline` — dense statevector simulation for cross-checks.
+* :mod:`repro.postprocessing` — Shor's classical postprocessing and
+  sampling utilities.
+* :mod:`repro.bench` — the benchmark harness regenerating Table I and the
+  ablation experiments.
+"""
+
+from .dd import OperatorDD, Package, StateDD, default_package
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OperatorDD",
+    "Package",
+    "StateDD",
+    "default_package",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Dense statevector baseline — the naive representation of §II-A."""
+
+from .statevector import StatevectorSimulator, simulate_dense
+
+__all__ = ["StatevectorSimulator", "simulate_dense"]

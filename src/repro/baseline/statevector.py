@@ -1,0 +1,163 @@
+"""Dense statevector simulation — the naive baseline of §II-A / §III.
+
+Represents the quantum state as a dense NumPy array of ``2**n`` amplitudes
+and applies gates by tensor contraction.  Memory and time are exponential in
+the qubit count, which is exactly the cost the paper's DD representation
+avoids on structured states; this module serves as the ground-truth oracle
+for tests and the comparator in the baseline benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Operation
+from ..circuits.gates import gate_matrix
+from ..circuits.lowering import modular_multiplication_mapping
+
+
+class StatevectorSimulator:
+    """Dense reference simulator.
+
+    Args:
+        num_qubits: Register width; memory is ``O(2**num_qubits)``.
+        initial_state: Optional starting basis-state index (default 0).
+    """
+
+    #: Refuse plainly absurd allocations up front.
+    MAX_QUBITS = 26
+
+    def __init__(self, num_qubits: int, initial_state: int = 0):
+        if not 1 <= num_qubits <= self.MAX_QUBITS:
+            raise ValueError(
+                f"num_qubits must be in [1, {self.MAX_QUBITS}]"
+            )
+        size = 1 << num_qubits
+        if not 0 <= initial_state < size:
+            raise ValueError("initial_state out of range")
+        self.num_qubits = num_qubits
+        self.state = np.zeros(size, dtype=complex)
+        self.state[initial_state] = 1.0
+
+    # ------------------------------------------------------------------
+
+    def apply_single_qubit(
+        self,
+        matrix: np.ndarray,
+        target: int,
+        controls: Sequence[int] = (),
+    ) -> None:
+        """Apply a (controlled) single-qubit gate in place.
+
+        Uses index arithmetic rather than full-matrix construction so the
+        cost is ``O(2**n)`` per gate regardless of control count.
+        """
+        size = self.state.size
+        stride = 1 << target
+        control_mask = 0
+        for control in controls:
+            control_mask |= 1 << control
+        m00, m01 = complex(matrix[0, 0]), complex(matrix[0, 1])
+        m10, m11 = complex(matrix[1, 0]), complex(matrix[1, 1])
+
+        indices = np.arange(size)
+        zero_positions = (indices & stride) == 0
+        if control_mask:
+            zero_positions &= (indices & control_mask) == control_mask
+        base = indices[zero_positions]
+        partner = base | stride
+        amp0 = self.state[base]
+        amp1 = self.state[partner]
+        self.state[base] = m00 * amp0 + m01 * amp1
+        self.state[partner] = m10 * amp0 + m11 * amp1
+
+    def apply_swap(self, q1: int, q2: int) -> None:
+        """Swap two qubits in place."""
+        indices = np.arange(self.state.size)
+        bit1 = (indices >> q1) & 1
+        bit2 = (indices >> q2) & 1
+        differs = bit1 != bit2
+        swapped = indices ^ ((1 << q1) | (1 << q2))
+        new_state = self.state.copy()
+        new_state[swapped[differs]] = self.state[indices[differs]]
+        self.state = new_state
+
+    def apply_cmodmul(
+        self,
+        multiplier: int,
+        modulus: int,
+        work_bits: int,
+        controls: Sequence[int] = (),
+    ) -> None:
+        """Apply (controlled) modular multiplication on the low ``work_bits``."""
+        mapping = modular_multiplication_mapping(multiplier, modulus, work_bits)
+        size = self.state.size
+        control_mask = 0
+        for control in controls:
+            control_mask |= 1 << control
+        work_mask = (1 << work_bits) - 1
+        new_state = self.state.copy()
+        for index in range(size):
+            if control_mask and (index & control_mask) != control_mask:
+                continue
+            low = index & work_mask
+            target = (index & ~work_mask) | mapping[low]
+            new_state[target] = self.state[index]
+        self.state = new_state
+
+    def apply_operation(self, operation: Operation) -> None:
+        """Apply one IR operation."""
+        if operation.gate == "swap":
+            self.apply_swap(*operation.targets)
+            return
+        if operation.gate == "cmodmul":
+            self.apply_cmodmul(
+                int(operation.params[0]),
+                int(operation.params[1]),
+                len(operation.targets),
+                operation.controls,
+            )
+            return
+        matrix = gate_matrix(operation.gate, operation.params)
+        self.apply_single_qubit(
+            matrix, operation.targets[0], operation.controls
+        )
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Apply every operation of a circuit and return the final state."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit width does not match simulator")
+        for operation in circuit:
+            self.apply_operation(operation)
+        return self.state
+
+    # ------------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Return the measurement distribution over basis states."""
+        return np.abs(self.state) ** 2
+
+    def sample(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Dict[int, int]:
+        """Sample measurement outcomes from the current state."""
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcomes = generator.choice(
+            probabilities.size, size=shots, p=probabilities
+        )
+        counts: Dict[int, int] = {}
+        for outcome in outcomes:
+            counts[int(outcome)] = counts.get(int(outcome), 0) + 1
+        return counts
+
+
+def simulate_dense(circuit: Circuit, initial_state: int = 0) -> np.ndarray:
+    """One-shot helper: run a circuit densely and return the final state."""
+    simulator = StatevectorSimulator(circuit.num_qubits, initial_state)
+    return simulator.run(circuit)

@@ -1,0 +1,112 @@
+"""Multi-process experiment execution.
+
+The paper ran its experiments under GNU parallel; this module provides the
+in-library equivalent: declarative run specifications fanned out over a
+``multiprocessing`` pool.  Each worker builds its own circuit, strategy,
+and DD package from the (picklable) spec, so no diagram objects ever cross
+process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Tuple
+
+from .runner import RunRecord
+from .workloads import Workload, shor_workload, supremacy_workload
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one benchmark run.
+
+    Attributes:
+        workload_kind: ``"shor"`` or ``"supremacy"``.
+        workload_args: Arguments of the workload factory
+            (``(modulus, base)`` or ``(rows, cols, depth, seed)``).
+        strategy_kind: ``"exact"``, ``"memory"``, ``"fidelity"``,
+            ``"adaptive"``, or ``"size_cap"``.
+        strategy_args: Keyword arguments of the strategy constructor.
+        max_seconds: Cooperative per-run timeout.
+    """
+
+    workload_kind: str
+    workload_args: Tuple
+    strategy_kind: str = "exact"
+    strategy_args: Tuple[Tuple[str, float], ...] = ()
+    max_seconds: Optional[float] = None
+
+    def build_workload(self) -> Workload:
+        """Instantiate the workload described by this spec."""
+        if self.workload_kind == "shor":
+            return shor_workload(*self.workload_args)
+        if self.workload_kind == "supremacy":
+            return supremacy_workload(*self.workload_args)
+        raise ValueError(f"unknown workload kind {self.workload_kind!r}")
+
+    def build_strategy(self):
+        """Instantiate the strategy described by this spec."""
+        from ..core.strategies import (
+            AdaptiveStrategy,
+            FidelityDrivenStrategy,
+            MemoryDrivenStrategy,
+            NoApproximation,
+            SizeCapStrategy,
+        )
+
+        kwargs: Dict = dict(self.strategy_args)
+        if self.strategy_kind == "exact":
+            return NoApproximation()
+        if self.strategy_kind == "memory":
+            kwargs["threshold"] = int(kwargs["threshold"])
+            return MemoryDrivenStrategy(**kwargs)
+        if self.strategy_kind == "fidelity":
+            return FidelityDrivenStrategy(**kwargs)
+        if self.strategy_kind == "adaptive":
+            return AdaptiveStrategy(**kwargs)
+        if self.strategy_kind == "size_cap":
+            kwargs["max_nodes"] = int(kwargs["max_nodes"])
+            return SizeCapStrategy(**kwargs)
+        raise ValueError(f"unknown strategy kind {self.strategy_kind!r}")
+
+
+def _execute(spec: RunSpec) -> RunRecord:
+    """Worker entry point: run one spec in a fresh package."""
+    from ..dd.package import Package
+    from .runner import run_workload
+
+    record = run_workload(
+        spec.build_workload(),
+        spec.build_strategy(),
+        package=Package(),
+        max_seconds=spec.max_seconds,
+    )
+    # Diagram outcomes are process-local; strip them before pickling back.
+    record.outcome = None
+    return record
+
+
+def run_parallel(
+    specs: List[RunSpec], processes: int = 2
+) -> List[RunRecord]:
+    """Execute run specs across a process pool, preserving order.
+
+    Args:
+        specs: The runs to execute.
+        processes: Worker processes (capped at the number of specs).
+
+    Returns:
+        One :class:`RunRecord` per spec, in input order (``outcome`` is
+        stripped — final states do not cross process boundaries).
+    """
+    if not specs:
+        return []
+    if processes < 1:
+        raise ValueError("processes must be positive")
+    worker_count = min(processes, len(specs))
+    if worker_count == 1:
+        return [_execute(spec) for spec in specs]
+    context = get_context("fork")
+    with context.Pool(worker_count) as pool:
+        return pool.map(_execute, specs)

@@ -1,0 +1,140 @@
+"""Table-I-style report formatting.
+
+Renders :class:`repro.bench.runner.ComparisonResult` lists into the same
+row layout as the paper's Table I — non-approximating max-DD-size and
+runtime next to the proposed approach's size, rounds, per-round fidelity,
+runtime, and final fidelity — and, when the workload has a recorded paper
+row, a paper-vs-measured appendix used to fill EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .runner import ComparisonResult
+
+_COLUMNS = (
+    "Benchmark",
+    "Qubits",
+    "Exact DD",
+    "Exact s",
+    "Approx DD",
+    "Rounds",
+    "f_round",
+    "Approx s",
+    "f_final",
+    "Speedup",
+)
+
+
+def _format_runtime(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "Timeout"
+    return f"{seconds:.2f}"
+
+
+def _format_count(value: Optional[int]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,}".replace(",", " ")
+
+
+def comparison_rows(result: ComparisonResult) -> List[List[str]]:
+    """Expand one comparison into formatted table rows."""
+    rows: List[List[str]] = []
+    exact = result.exact
+    for index, approx in enumerate(result.approximate):
+        speedup = result.speedup(index)
+        rows.append(
+            [
+                result.workload.name if index == 0 else "",
+                str(exact.qubits) if index == 0 else "",
+                _format_count(exact.max_dd_size) if index == 0 else "",
+                _format_runtime(exact.runtime_seconds) if index == 0 else "",
+                _format_count(approx.max_dd_size),
+                str(approx.rounds),
+                f"{approx.round_fidelity:.3g}"
+                if approx.round_fidelity is not None
+                else "-",
+                _format_runtime(approx.runtime_seconds),
+                f"{approx.final_fidelity:.3f}",
+                f"{speedup:.1f}x" if speedup is not None else "-",
+            ]
+        )
+    if not result.approximate:
+        rows.append(
+            [
+                result.workload.name,
+                str(exact.qubits),
+                _format_count(exact.max_dd_size),
+                _format_runtime(exact.runtime_seconds),
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+            ]
+        )
+    return rows
+
+
+def format_table(results: Sequence[ComparisonResult], title: str) -> str:
+    """Render comparisons as an aligned text table with a title rule."""
+    rows = [list(_COLUMNS)]
+    for result in results:
+        rows.extend(comparison_rows(result))
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(_COLUMNS))
+    ]
+    lines = [title, "=" * len(title)]
+    for row_index, row in enumerate(rows):
+        line = "  ".join(
+            cell.ljust(widths[col]) for col, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def paper_comparison(results: Sequence[ComparisonResult]) -> str:
+    """Render paper-vs-measured lines for workloads with paper rows."""
+    lines: List[str] = []
+    for result in results:
+        paper = result.workload.paper_row
+        if paper is None:
+            if result.workload.notes:
+                lines.append(
+                    f"{result.workload.name}: {result.workload.notes}"
+                )
+            continue
+        speedup = result.speedup(0) if result.approximate else None
+        paper_speedup = (
+            paper.exact_runtime / paper.approx_runtime
+            if paper.exact_runtime is not None
+            else None
+        )
+        lines.append(
+            f"{result.workload.name}: paper max-DD "
+            f"{_format_count(paper.exact_max_dd)} -> "
+            f"{_format_count(paper.approx_max_dd)}, "
+            f"speedup {paper_speedup:.1f}x"
+            if paper_speedup is not None
+            else f"{result.workload.name}: paper exact run timed out (3 h); "
+            f"approx max-DD {_format_count(paper.approx_max_dd)}"
+        )
+        if result.approximate:
+            approx = result.approximate[0]
+            lines.append(
+                f"  measured max-DD "
+                f"{_format_count(result.exact.max_dd_size)} -> "
+                f"{_format_count(approx.max_dd_size)}, "
+                + (
+                    f"speedup {speedup:.1f}x"
+                    if speedup is not None
+                    else "exact run timed out"
+                )
+                + f", f_final {approx.final_fidelity:.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Benchmark workload registry.
+
+Defines the named benchmark instances regenerating Table I of the paper,
+scaled to pure-Python diagram sizes (see the substitution table in
+DESIGN.md).  Each entry records its paper counterpart so reports can show
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.shor import shor_circuit
+from ..circuits.supremacy import supremacy_circuit
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The numbers the paper reports for a comparable benchmark row.
+
+    Attributes:
+        name: The paper's benchmark identifier.
+        qubits: The paper's qubit count.
+        exact_max_dd: "Max. DD Size" of the non-approximating run.
+        exact_runtime: Non-approximating runtime in seconds (None =
+            the paper's 3 h timeout).
+        approx_max_dd: "Max. DD Size" of the approximating run.
+        rounds: Approximation rounds performed.
+        round_fidelity: Per-round fidelity target.
+        approx_runtime: Approximating runtime in seconds.
+        final_fidelity: Reported end-to-end fidelity.
+    """
+
+    name: str
+    qubits: int
+    exact_max_dd: Optional[int]
+    exact_runtime: Optional[float]
+    approx_max_dd: int
+    rounds: int
+    round_fidelity: float
+    approx_runtime: float
+    final_fidelity: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable benchmark instance.
+
+    Attributes:
+        name: Local benchmark identifier (``shor_33_5``,
+            ``qsup_4x4_12_0`` ...).
+        build: Zero-argument circuit factory.
+        family: ``"shor"`` or ``"supremacy"``.
+        paper_row: Closest paper row, if one exists.
+        shor_modulus: For Shor workloads, the number to factor.
+        shor_base: For Shor workloads, the coprime base.
+        notes: Substitution / scaling notes surfaced in reports.
+    """
+
+    name: str
+    build: Callable[[], Circuit]
+    family: str
+    paper_row: Optional[PaperRow] = None
+    shor_modulus: Optional[int] = None
+    shor_base: Optional[int] = None
+    notes: str = ""
+
+
+#: Fidelity-driven rows of Table I (paper values, for report comparison).
+PAPER_SHOR_ROWS: Dict[str, PaperRow] = {
+    row.name: row
+    for row in (
+        PaperRow("shor_33_5", 18, 73736, 0.50, 8135, 6, 0.9, 0.33, 0.567),
+        PaperRow("shor_55_2", 18, 131254, 0.57, 5637, 6, 0.9, 0.20, 0.559),
+        PaperRow("shor_69_2", 21, 523410, 8.50, 52726, 4, 0.9, 1.87, 0.661),
+        PaperRow("shor_221_4", 24, 1472942, 12.56, 7647, 5, 0.9, 0.19, 0.616),
+        PaperRow("shor_323_8", 27, 11829160, 807.52, 13706, 6, 0.9, 0.79, 0.571),
+        PaperRow("shor_629_8", 30, None, None, 57710, 5, 0.9, 2.07, 0.596),
+        PaperRow("shor_1157_8", 33, None, None, 535001, 5, 0.9, 117.19, 0.610),
+    )
+}
+
+#: Memory-driven rows of Table I (one representative configuration each).
+PAPER_SUPREMACY_ROWS: Dict[str, PaperRow] = {
+    row.name: row
+    for row in (
+        PaperRow(
+            "qsup_4x5_15_0", 20, 2097150, 3666.87, 1810948, 90, 0.975,
+            3340.89, 0.401,
+        ),
+        PaperRow(
+            "qsup_4x5_15_1", 20, 2097150, 2024.83, 932915, 84, 0.975,
+            697.40, 0.119,
+        ),
+        PaperRow(
+            "qsup_4x5_15_2", 20, 2097150, 2090.09, 1823513, 83, 0.975,
+            2349.31, 0.122,
+        ),
+    )
+}
+
+
+def shor_workload(modulus: int, base: int) -> Workload:
+    """Build a Shor workload entry (paper row attached when one matches)."""
+    name = f"shor_{modulus}_{base}"
+    return Workload(
+        name=name,
+        build=lambda: shor_circuit(modulus, base),
+        family="shor",
+        paper_row=PAPER_SHOR_ROWS.get(name),
+        shor_modulus=modulus,
+        shor_base=base,
+        notes=(
+            ""
+            if name in PAPER_SHOR_ROWS
+            else "scaled-down substitute for the paper's larger moduli"
+        ),
+    )
+
+
+def supremacy_workload(
+    rows: int, cols: int, depth: int, seed: int
+) -> Workload:
+    """Build a supremacy workload entry."""
+    name = f"qsup_{rows}x{cols}_{depth}_{seed}"
+    return Workload(
+        name=name,
+        build=lambda: supremacy_circuit(rows, cols, depth, seed),
+        family="supremacy",
+        paper_row=PAPER_SUPREMACY_ROWS.get(name),
+        notes=(
+            ""
+            if name in PAPER_SUPREMACY_ROWS
+            else "scaled-down substitute for the paper's 4x5 depth-15 grids"
+        ),
+    )
+
+
+#: Default fidelity-driven suite: the paper's two smallest rows verbatim
+#: plus scaled-down companions that keep total bench time laptop-friendly.
+DEFAULT_SHOR_SUITE: Tuple[Workload, ...] = (
+    shor_workload(15, 2),
+    shor_workload(15, 7),
+    shor_workload(21, 2),
+    shor_workload(33, 5),
+    shor_workload(55, 2),
+)
+
+#: Extended suite for longer runs (matches more paper rows).
+EXTENDED_SHOR_SUITE: Tuple[Workload, ...] = DEFAULT_SHOR_SUITE + (
+    shor_workload(69, 2),
+)
+
+#: Default memory-driven suite: same generation rules as the paper's
+#: circuits on grids a pure-Python DD engine can carry.
+DEFAULT_SUPREMACY_SUITE: Tuple[Workload, ...] = (
+    supremacy_workload(3, 3, 12, 0),
+    supremacy_workload(3, 3, 12, 1),
+    supremacy_workload(3, 3, 12, 2),
+    supremacy_workload(3, 4, 10, 0),
+)
+
+#: Extended memory-driven suite (slower, closer to paper scale).
+EXTENDED_SUPREMACY_SUITE: Tuple[Workload, ...] = DEFAULT_SUPREMACY_SUITE + (
+    supremacy_workload(4, 4, 10, 0),
+)

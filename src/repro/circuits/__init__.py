@@ -1,0 +1,63 @@
+"""Circuit IR, gate library, QASM subset, and workload generators."""
+
+from .algorithms import (
+    bernstein_vazirani_circuit,
+    cuccaro_adder_circuit,
+    deutsch_jozsa_circuit,
+    phase_estimation_circuit,
+)
+from .ansatz import (
+    ansatz_parameter_count,
+    hardware_efficient_ansatz,
+    transverse_field_ising_hamiltonian,
+)
+from .circuit import Block, Circuit, Operation
+from .entangle import ghz_circuit, graph_state_ring, w_state_circuit
+from .gates import GATE_REGISTRY, gate_matrix
+from .grover import grover_circuit
+from .lowering import (
+    circuit_operators,
+    circuit_unitary,
+    operation_to_operator,
+)
+from .optimize import optimize_circuit
+from .qasm import QasmError, emit_qasm, parse_qasm
+from .qft import append_qft, qft_circuit
+from .randomcirc import random_circuit
+from .shor import shor_circuit, shor_layout
+from .supremacy import supremacy_circuit
+from .trotter import ising_trotter_circuit, tfim_ground_state_energy
+
+__all__ = [
+    "Block",
+    "Circuit",
+    "GATE_REGISTRY",
+    "Operation",
+    "QasmError",
+    "ansatz_parameter_count",
+    "append_qft",
+    "bernstein_vazirani_circuit",
+    "circuit_operators",
+    "circuit_unitary",
+    "cuccaro_adder_circuit",
+    "deutsch_jozsa_circuit",
+    "emit_qasm",
+    "gate_matrix",
+    "ghz_circuit",
+    "graph_state_ring",
+    "grover_circuit",
+    "hardware_efficient_ansatz",
+    "ising_trotter_circuit",
+    "operation_to_operator",
+    "optimize_circuit",
+    "parse_qasm",
+    "phase_estimation_circuit",
+    "qft_circuit",
+    "random_circuit",
+    "shor_circuit",
+    "shor_layout",
+    "supremacy_circuit",
+    "tfim_ground_state_energy",
+    "transverse_field_ising_hamiltonian",
+    "w_state_circuit",
+]

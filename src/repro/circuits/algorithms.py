@@ -1,0 +1,175 @@
+"""Additional textbook algorithm workloads.
+
+Beyond the paper's two benchmark families these circuits broaden the
+workload spectrum for the approximation strategies: oracle algorithms with
+perfectly structured states (Bernstein–Vazirani, Deutsch–Jozsa), quantum
+phase estimation (the template Shor instantiates), and a reversible
+ripple-carry adder (Cuccaro et al.) exercising deep Toffoli networks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .circuit import Circuit
+from .qft import append_qft
+
+
+def bernstein_vazirani_circuit(num_qubits: int, secret: int) -> Circuit:
+    """Recover a secret bitstring with one oracle query.
+
+    Qubits ``0 .. num_qubits-1`` are the data register; the phase-oracle
+    formulation absorbs the ancilla.  Measuring the final state yields
+    ``secret`` with probability 1, and the diagram stays at ``n`` nodes
+    throughout — an ideal best case for DD simulation.
+    """
+    if not 0 <= secret < (1 << num_qubits):
+        raise ValueError("secret out of range")
+    circuit = Circuit(num_qubits, name=f"bv_{num_qubits}_{secret}")
+    circuit.begin_block("superposition")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.end_block()
+    circuit.begin_block("oracle")
+    for qubit in range(num_qubits):
+        if (secret >> qubit) & 1:
+            circuit.z(qubit)
+    circuit.end_block()
+    circuit.begin_block("uncompute")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.end_block()
+    return circuit
+
+
+def deutsch_jozsa_circuit(
+    num_qubits: int, balanced_mask: Optional[int] = None
+) -> Circuit:
+    """Distinguish constant from balanced oracles with one query.
+
+    Args:
+        num_qubits: Data-register width.
+        balanced_mask: None builds the constant oracle (identity); a
+            nonzero mask builds the balanced oracle
+            :math:`f(x) = \\text{parity}(x \\wedge \\text{mask})`.
+
+    Measuring all zeros means "constant"; anything else means "balanced".
+    """
+    kind = "const" if not balanced_mask else f"bal{balanced_mask}"
+    circuit = Circuit(num_qubits, name=f"dj_{num_qubits}_{kind}")
+    circuit.begin_block("superposition")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.end_block()
+    circuit.begin_block("oracle")
+    if balanced_mask:
+        if not 0 < balanced_mask < (1 << num_qubits):
+            raise ValueError("balanced_mask out of range")
+        for qubit in range(num_qubits):
+            if (balanced_mask >> qubit) & 1:
+                circuit.z(qubit)
+    circuit.end_block()
+    circuit.begin_block("uncompute")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    circuit.end_block()
+    return circuit
+
+
+def phase_estimation_circuit(
+    phase: float, counting_bits: int
+) -> Circuit:
+    """Quantum phase estimation of ``P(2*pi*phase)`` on one target qubit.
+
+    Layout: qubit 0 is the eigenstate target (prepared in :math:`|1>`),
+    qubits ``1 .. counting_bits`` form the counting register.  The circuit
+    is the Fig. 2 template with the modular multipliers replaced by
+    controlled phase powers, so the fidelity-driven strategy's
+    ``block:inverse_qft`` placement applies unchanged.
+
+    Measuring the counting register yields
+    ``round(phase * 2**counting_bits)`` with high probability.
+    """
+    if counting_bits < 1:
+        raise ValueError("counting register needs at least one qubit")
+    circuit = Circuit(
+        1 + counting_bits, name=f"qpe_{counting_bits}_{phase:g}"
+    )
+    counting = list(range(1, 1 + counting_bits))
+    circuit.begin_block("init")
+    circuit.x(0)
+    for qubit in counting:
+        circuit.h(qubit)
+    circuit.end_block()
+    for j, control in enumerate(counting):
+        circuit.begin_block(f"cpow[{j}]")
+        angle = 2.0 * math.pi * phase * (1 << j)
+        circuit.cp(angle, control, 0)
+        circuit.end_block()
+    circuit.begin_block("inverse_qft")
+    append_qft(circuit, counting, inverse=True, swaps=True)
+    circuit.end_block()
+    return circuit
+
+
+def cuccaro_adder_circuit(num_bits: int, a: int, b: int) -> Circuit:
+    """Ripple-carry adder ``|a>|b> -> |a>|a+b>`` (Cuccaro et al. 2004).
+
+    Register layout: qubit 0 is the incoming-carry ancilla, qubits
+    ``1 .. 2*num_bits`` interleave ``b_i`` (odd positions) and ``a_i``
+    (even positions), and the top qubit receives the final carry.  The
+    values ``a`` and ``b`` are loaded with X gates so the circuit is
+    self-contained; the sum appears in the ``b`` positions plus the carry.
+    """
+    if num_bits < 1:
+        raise ValueError("need at least one bit")
+    if not 0 <= a < (1 << num_bits) or not 0 <= b < (1 << num_bits):
+        raise ValueError("operands out of range")
+    total = 2 * num_bits + 2
+    circuit = Circuit(total, name=f"adder_{num_bits}_{a}_{b}")
+
+    def b_qubit(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_qubit(i: int) -> int:
+        return 2 + 2 * i
+
+    carry_out = total - 1
+
+    circuit.begin_block("load")
+    for i in range(num_bits):
+        if (a >> i) & 1:
+            circuit.x(a_qubit(i))
+        if (b >> i) & 1:
+            circuit.x(b_qubit(i))
+    circuit.end_block()
+
+    def maj(c: int, bq: int, aq: int) -> None:
+        circuit.cx(aq, bq)
+        circuit.cx(aq, c)
+        circuit.ccx(c, bq, aq)
+
+    def uma(c: int, bq: int, aq: int) -> None:
+        circuit.ccx(c, bq, aq)
+        circuit.cx(aq, c)
+        circuit.cx(c, bq)
+
+    circuit.begin_block("ripple")
+    maj(0, b_qubit(0), a_qubit(0))
+    for i in range(1, num_bits):
+        maj(a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    circuit.cx(a_qubit(num_bits - 1), carry_out)
+    for i in range(num_bits - 1, 0, -1):
+        uma(a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    uma(0, b_qubit(0), a_qubit(0))
+    circuit.end_block()
+    return circuit
+
+
+def adder_result_bits(num_bits: int) -> Sequence[int]:
+    """Qubit indices holding the sum after :func:`cuccaro_adder_circuit`.
+
+    ``result[k]`` is bit ``k`` of the sum; the last entry is the carry.
+    """
+    return [1 + 2 * i for i in range(num_bits)] + [2 * num_bits + 1]

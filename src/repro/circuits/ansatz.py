@@ -1,0 +1,110 @@
+"""Variational ansatz circuits (the chemistry/ML workloads of the intro).
+
+The paper's introduction points at chemistry, finance, and machine
+learning as beneficiaries of quantum computing; the circuits those
+applications run through simulators are parameterized ansätze.  This
+module provides the standard hardware-efficient ansatz — layers of
+single-qubit rotations and an entangling ring — plus helpers to bind and
+count parameters, enabling variational loops (see ``examples/vqe_demo.py``)
+on top of the DD simulator and its approximation strategies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .circuit import Circuit
+
+
+def ansatz_parameter_count(num_qubits: int, layers: int) -> int:
+    """Parameters required by :func:`hardware_efficient_ansatz`.
+
+    Two rotations (RY, RZ) per qubit per layer, plus a final rotation
+    layer after the last entangler.
+    """
+    if num_qubits < 2 or layers < 1:
+        raise ValueError("need at least two qubits and one layer")
+    return 2 * num_qubits * (layers + 1)
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int,
+    parameters: Sequence[float],
+) -> Circuit:
+    """Build a hardware-efficient ansatz with bound parameters.
+
+    Structure per layer: ``RY(θ) RZ(φ)`` on every qubit, then a ring of
+    CZ entanglers (linear chain for two qubits); a closing rotation layer
+    follows the last entangler.  Every layer is annotated as a block, so
+    the fidelity-driven strategy can place rounds between layers.
+
+    Args:
+        num_qubits: Register width (>= 2).
+        layers: Number of entangling layers (>= 1).
+        parameters: Exactly
+            :func:`ansatz_parameter_count` rotation angles.
+
+    Raises:
+        ValueError: On a parameter-count mismatch.
+    """
+    expected = ansatz_parameter_count(num_qubits, layers)
+    values = list(parameters)
+    if len(values) != expected:
+        raise ValueError(
+            f"ansatz needs {expected} parameters, got {len(values)}"
+        )
+    circuit = Circuit(
+        num_qubits, name=f"hea_{num_qubits}_{layers}"
+    )
+    cursor = 0
+
+    def rotation_layer(tag: str) -> None:
+        nonlocal cursor
+        circuit.begin_block(tag)
+        for qubit in range(num_qubits):
+            circuit.ry(values[cursor], qubit)
+            circuit.rz(values[cursor + 1], qubit)
+            cursor += 2
+        circuit.end_block()
+
+    for layer in range(layers):
+        rotation_layer(f"rotations[{layer}]")
+        circuit.begin_block(f"entangle[{layer}]")
+        if num_qubits == 2:
+            circuit.cz(0, 1)
+        else:
+            for qubit in range(num_qubits):
+                circuit.cz(qubit, (qubit + 1) % num_qubits)
+        circuit.end_block()
+    rotation_layer(f"rotations[{layers}]")
+    return circuit
+
+
+def transverse_field_ising_hamiltonian(
+    num_qubits: int, coupling: float, field: float
+) -> List[tuple[float, str]]:
+    """Pauli terms of the 1-D transverse-field Ising model (open chain).
+
+    .. math::
+
+        H = -J \\sum_i Z_i Z_{i+1} - h \\sum_i X_i
+
+    Returns:
+        ``(coefficient, pauli_string)`` pairs consumable by
+        :func:`repro.dd.observables.expectation_sum` (string index 0 is
+        the most significant qubit).
+    """
+    if num_qubits < 2:
+        raise ValueError("the chain needs at least two qubits")
+    terms: List[tuple[float, str]] = []
+    for site in range(num_qubits - 1):
+        letters = ["I"] * num_qubits
+        letters[num_qubits - 1 - site] = "Z"
+        letters[num_qubits - 1 - (site + 1)] = "Z"
+        terms.append((-coupling, "".join(letters)))
+    for site in range(num_qubits):
+        letters = ["I"] * num_qubits
+        letters[num_qubits - 1 - site] = "X"
+        terms.append((-field, "".join(letters)))
+    return terms

@@ -1,0 +1,62 @@
+"""Entangled-state preparation circuits (GHZ, W) — structured DD workloads.
+
+These states are the canonical examples of DD compression: an ``n``-qubit
+GHZ state needs ``2**n`` dense amplitudes but only ``2n - 1`` DD nodes, and
+a W state stays linear as well.  They exercise the simulator on the
+"friendly" end of the redundancy spectrum, opposite the quantum-supremacy
+circuits of §VI.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .circuit import Circuit
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """Prepare :math:`(|0...0> + |1...1>)/\\sqrt{2}` via H + CNOT chain."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.begin_block("ghz")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.end_block()
+    return circuit
+
+
+def w_state_circuit(num_qubits: int) -> Circuit:
+    """Prepare the W state — equal superposition of single-excitation states.
+
+    Uses the standard cascade: starting from :math:`|10...0>`, a chain of
+    controlled-Y rotations followed by CNOTs moves amplitude
+    :math:`\\sqrt{(n-k-1)/(n-k)}` down the register.
+    """
+    if num_qubits < 2:
+        raise ValueError("W state needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"w_{num_qubits}")
+    circuit.begin_block("w_state")
+    circuit.x(0)
+    for k in range(num_qubits - 1):
+        remaining = num_qubits - k
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.cry(theta, k, k + 1)
+        circuit.cx(k + 1, k)
+    circuit.end_block()
+    return circuit
+
+
+def graph_state_ring(num_qubits: int) -> Circuit:
+    """Prepare the ring graph state: H on all, CZ on every ring edge."""
+    if num_qubits < 3:
+        raise ValueError("ring graph state needs at least three qubits")
+    circuit = Circuit(num_qubits, name=f"ring_{num_qubits}")
+    circuit.begin_block("graph_state")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        circuit.cz(qubit, (qubit + 1) % num_qubits)
+    circuit.end_block()
+    return circuit

@@ -1,0 +1,217 @@
+"""Gate matrix library.
+
+Provides the standard single-qubit gate matrices used by the paper's
+workloads — including the square-root gates of the Google quantum-supremacy
+circuits (:math:`\\sqrt{X}`, :math:`\\sqrt{Y}`, ``T``) and the controlled
+rotations of the (inverse) quantum Fourier transform.
+
+Every gate is registered by name in :data:`GATE_REGISTRY`, mapping to a
+:class:`GateSpec` with its parameter count and matrix factory.  Multi-qubit
+interactions are expressed at the circuit level as *controls* on these
+single-qubit gates (plus the ``swap`` and ``cmodmul`` pseudo-gates handled
+by :mod:`repro.circuits.lowering`).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+def identity_matrix() -> np.ndarray:
+    """The single-qubit identity."""
+    return np.eye(2, dtype=complex)
+
+
+def x_matrix() -> np.ndarray:
+    """Pauli-X (bit flip)."""
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def y_matrix() -> np.ndarray:
+    """Pauli-Y."""
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def z_matrix() -> np.ndarray:
+    """Pauli-Z (phase flip)."""
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def h_matrix() -> np.ndarray:
+    """Hadamard — creates the superposition used throughout the paper."""
+    return np.array([[_SQRT1_2, _SQRT1_2], [_SQRT1_2, -_SQRT1_2]], dtype=complex)
+
+
+def s_matrix() -> np.ndarray:
+    """Phase gate S = sqrt(Z)."""
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def sdg_matrix() -> np.ndarray:
+    """Inverse phase gate."""
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def t_matrix() -> np.ndarray:
+    """T gate = fourth root of Z (non-Clifford gate of the supremacy set)."""
+    return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def tdg_matrix() -> np.ndarray:
+    """Inverse T gate."""
+    return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+def sx_matrix() -> np.ndarray:
+    """Square root of X (supremacy gate set)."""
+    return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def sxdg_matrix() -> np.ndarray:
+    """Inverse square root of X."""
+    return 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex)
+
+
+def sy_matrix() -> np.ndarray:
+    """Square root of Y (supremacy gate set)."""
+    return 0.5 * np.array([[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]], dtype=complex)
+
+
+def sydg_matrix() -> np.ndarray:
+    """Inverse square root of Y."""
+    return 0.5 * np.array([[1 - 1j, 1 - 1j], [-1 + 1j, 1 - 1j]], dtype=complex)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def phase_matrix(lam: float) -> np.ndarray:
+    """Phase gate ``P(lambda) = diag(1, e^{i lambda})``.
+
+    With a control this is the controlled rotation ``CR`` of the inverse
+    QFT block in Fig. 2 of the paper.
+    """
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit gate (OpenQASM ``U(theta, phi, lambda)``)."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Registry entry describing a named single-qubit gate.
+
+    Attributes:
+        name: Canonical gate name.
+        num_params: Number of real parameters the factory expects.
+        factory: Callable producing the 2x2 matrix from the parameters.
+        inverse_name: Name of the inverse gate (for parameter-free gates
+            whose inverse is a different named gate).
+        self_inverse: True when the gate is its own inverse.
+        param_negate: True when the inverse is obtained by negating all
+            parameters (rotations and phases).
+    """
+
+    name: str
+    num_params: int
+    factory: Callable[..., np.ndarray]
+    inverse_name: str | None = None
+    self_inverse: bool = False
+    param_negate: bool = False
+
+
+GATE_REGISTRY: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in (
+        GateSpec("id", 0, identity_matrix, self_inverse=True),
+        GateSpec("x", 0, x_matrix, self_inverse=True),
+        GateSpec("y", 0, y_matrix, self_inverse=True),
+        GateSpec("z", 0, z_matrix, self_inverse=True),
+        GateSpec("h", 0, h_matrix, self_inverse=True),
+        GateSpec("s", 0, s_matrix, inverse_name="sdg"),
+        GateSpec("sdg", 0, sdg_matrix, inverse_name="s"),
+        GateSpec("t", 0, t_matrix, inverse_name="tdg"),
+        GateSpec("tdg", 0, tdg_matrix, inverse_name="t"),
+        GateSpec("sx", 0, sx_matrix, inverse_name="sxdg"),
+        GateSpec("sxdg", 0, sxdg_matrix, inverse_name="sx"),
+        GateSpec("sy", 0, sy_matrix, inverse_name="sydg"),
+        GateSpec("sydg", 0, sydg_matrix, inverse_name="sy"),
+        GateSpec("rx", 1, rx_matrix, param_negate=True),
+        GateSpec("ry", 1, ry_matrix, param_negate=True),
+        GateSpec("rz", 1, rz_matrix, param_negate=True),
+        GateSpec("p", 1, phase_matrix, param_negate=True),
+    )
+}
+GATE_REGISTRY["u"] = GateSpec("u", 3, u_matrix)
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Look up a gate by name and build its matrix.
+
+    Args:
+        name: A key of :data:`GATE_REGISTRY`.
+        params: Real parameters (must match the gate's arity).
+
+    Raises:
+        KeyError: If the gate name is unknown.
+        ValueError: If the parameter count does not match.
+    """
+    spec = GATE_REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if len(params) != spec.num_params:
+        raise ValueError(
+            f"gate {name!r} expects {spec.num_params} parameters, "
+            f"got {len(params)}"
+        )
+    return spec.factory(*params)
+
+
+def inverse_gate(name: str, params: Tuple[float, ...]) -> tuple[str, Tuple[float, ...]]:
+    """Return ``(name, params)`` of the inverse of a registered gate."""
+    spec = GATE_REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if spec.self_inverse:
+        return name, params
+    if spec.inverse_name is not None:
+        return spec.inverse_name, params
+    if spec.param_negate:
+        return name, tuple(-value for value in params)
+    if name == "u":
+        theta, phi, lam = params
+        return "u", (-theta, -lam, -phi)
+    raise ValueError(f"gate {name!r} has no registered inverse")

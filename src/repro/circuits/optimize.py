@@ -1,0 +1,166 @@
+"""Peephole circuit optimization.
+
+§IV-C notes that the block structure guiding approximation placement can
+disappear "after certain types of circuit optimization", forcing the
+fidelity-driven strategy back to evenly-spaced rounds.  This module
+implements the classic peephole passes so that scenario can be produced
+and measured (see the placement ablation in the benchmarks):
+
+* cancellation of adjacent self-inverse pairs (``h h``, ``x x``,
+  ``cx cx`` on identical qubits, ``swap swap``, …),
+* cancellation of adjacent named-inverse pairs (``s sdg``, ``t tdg``, …),
+* merging of consecutive rotations on the same target/controls
+  (``rz(a) rz(b) -> rz(a+b)``), dropping the result when the combined
+  angle vanishes,
+* removal of explicit identities and zero-angle rotations.
+
+Passes commute gates only in the trivial sense (adjacent, disjoint-qubit
+gates are *not* reordered), so every transformation is locally sound; the
+test suite verifies whole-circuit unitary equivalence with
+:mod:`repro.verify`.
+
+Optimization intentionally *discards block annotations* — that is the
+phenomenon the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .circuit import Circuit, Operation
+
+#: Gates whose doubled application cancels.
+_SELF_INVERSE = frozenset(
+    {"id", "x", "y", "z", "h", "swap"}
+)
+
+#: Pairs of named inverse gates (symmetric).
+_NAMED_INVERSES = {
+    ("s", "sdg"),
+    ("t", "tdg"),
+    ("sx", "sxdg"),
+    ("sy", "sydg"),
+}
+
+#: One-parameter gates whose consecutive applications add angles.
+_ADDITIVE_ROTATIONS = frozenset({"rx", "ry", "rz", "p"})
+
+#: Angles within this distance of a multiple of the period are dropped.
+_ANGLE_EPSILON = 1e-12
+
+
+def _same_wires(a: Operation, b: Operation) -> bool:
+    if a.controls != b.controls:
+        return False
+    if a.gate == "swap" and b.gate == "swap":
+        return set(a.targets) == set(b.targets)
+    return a.targets == b.targets
+
+
+def _are_inverse_pair(a: Operation, b: Operation) -> bool:
+    if not _same_wires(a, b):
+        return False
+    if a.gate == b.gate and a.gate in _SELF_INVERSE:
+        return True
+    if (a.gate, b.gate) in _NAMED_INVERSES or (
+        b.gate,
+        a.gate,
+    ) in _NAMED_INVERSES:
+        return True
+    return False
+
+
+def _rotation_period(gate: str) -> float:
+    # rx/ry/rz are 4*pi periodic (2*pi gives a global phase -1, which is
+    # observable under control); p is 2*pi periodic.
+    return 2.0 * math.pi if gate == "p" else 4.0 * math.pi
+
+
+def _is_trivial(operation: Operation) -> bool:
+    if operation.gate == "id":
+        return True
+    if operation.gate in _ADDITIVE_ROTATIONS:
+        period = _rotation_period(operation.gate)
+        angle = operation.params[0] % period
+        return min(angle, period - angle) <= _ANGLE_EPSILON
+    return False
+
+
+def _merge_rotations(a: Operation, b: Operation) -> Optional[Operation]:
+    if (
+        a.gate in _ADDITIVE_ROTATIONS
+        and a.gate == b.gate
+        and _same_wires(a, b)
+    ):
+        return Operation(
+            a.gate, a.targets, a.controls, (a.params[0] + b.params[0],)
+        )
+    return None
+
+
+def _touches(operation: Operation) -> frozenset:
+    return frozenset(operation.targets) | frozenset(operation.controls)
+
+
+def optimize_circuit(circuit: Circuit, max_passes: int = 16) -> Circuit:
+    """Run peephole passes to a fixed point.
+
+    Args:
+        circuit: The circuit to optimize (not modified).
+        max_passes: Safety bound on sweep repetitions.
+
+    Returns:
+        A new, annotation-free circuit implementing the same unitary with
+        at most as many operations.
+    """
+    operations: List[Operation] = [
+        op for op in circuit if not _is_trivial(op)
+    ]
+    for _ in range(max_passes):
+        changed = False
+        output: List[Operation] = []
+        index = 0
+        while index < len(operations):
+            current = operations[index]
+            # Find the next operation sharing a qubit with ``current``:
+            # only *that* one may cancel/merge with it (intervening gates
+            # on disjoint qubits are transparent).
+            partner_index = None
+            for scan in range(index + 1, len(operations)):
+                if _touches(operations[scan]) & _touches(current):
+                    partner_index = scan
+                    break
+            if partner_index is not None:
+                partner = operations[partner_index]
+                # Gates strictly between them must be disjoint from the
+                # *pair's* qubits for the local rewrite to be sound.
+                between_disjoint = all(
+                    not (_touches(operations[k]) & _touches(partner))
+                    for k in range(index + 1, partner_index)
+                )
+                if between_disjoint and _are_inverse_pair(current, partner):
+                    operations.pop(partner_index)
+                    index += 1  # skip current (dropped below)
+                    changed = True
+                    continue
+                if between_disjoint:
+                    merged = _merge_rotations(current, partner)
+                    if merged is not None:
+                        operations.pop(partner_index)
+                        if _is_trivial(merged):
+                            index += 1
+                        else:
+                            operations[index] = merged
+                        changed = True
+                        continue
+            output.append(current)
+            index += 1
+        operations = output
+        if not changed:
+            break
+
+    optimized = Circuit(circuit.num_qubits, name=f"{circuit.name}_opt")
+    for operation in operations:
+        optimized.append(operation)
+    return optimized

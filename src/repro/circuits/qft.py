@@ -1,0 +1,106 @@
+"""Quantum Fourier transform circuits.
+
+The (inverse) QFT is both a standalone workload and the final block of
+Shor's algorithm (Fig. 2 of the paper) — the part the paper identifies as
+"by far the most time[-consuming] to simulate", where the fidelity-driven
+strategy places its approximation rounds.
+
+Significance convention: within the qubit list passed to these builders,
+``qubits[k]`` carries significance ``k`` (``qubits[0]`` is the least
+significant).  With ``swaps=True`` the output respects the same convention;
+with ``swaps=False`` the output is bit-reversed (callers must compensate,
+which is what DD simulators often do to save the swap gates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .circuit import Circuit
+
+
+def append_qft(
+    circuit: Circuit,
+    qubits: Sequence[int],
+    inverse: bool = False,
+    swaps: bool = True,
+) -> Circuit:
+    """Append a (possibly inverse) QFT on ``qubits`` to ``circuit``.
+
+    Args:
+        circuit: Circuit to extend.
+        qubits: Register in ascending significance (see module docstring).
+        inverse: Build the inverse transform.
+        swaps: Include the final (initial, when inverted) bit-reversal
+            swap network.
+
+    Returns:
+        The same circuit, for chaining.
+    """
+    order = list(qubits)
+    count = len(order)
+    if count == 0:
+        raise ValueError("QFT needs at least one qubit")
+
+    operations: list[tuple] = []
+    for i in range(count - 1, -1, -1):
+        operations.append(("h", order[i]))
+        for j in range(i - 1, -1, -1):
+            angle = math.pi / (1 << (i - j))
+            operations.append(("cp", angle, order[j], order[i]))
+    swap_pairs = [
+        (order[i], order[count - 1 - i]) for i in range(count // 2)
+    ]
+
+    if not inverse:
+        for entry in operations:
+            if entry[0] == "h":
+                circuit.h(entry[1])
+            else:
+                circuit.cp(entry[1], entry[2], entry[3])
+        if swaps:
+            for q1, q2 in swap_pairs:
+                circuit.swap(q1, q2)
+    else:
+        if swaps:
+            for q1, q2 in swap_pairs:
+                circuit.swap(q1, q2)
+        for entry in reversed(operations):
+            if entry[0] == "h":
+                circuit.h(entry[1])
+            else:
+                circuit.cp(-entry[1], entry[2], entry[3])
+    return circuit
+
+
+def qft_circuit(
+    num_qubits: int, inverse: bool = False, swaps: bool = True
+) -> Circuit:
+    """Build a standalone (inverse) QFT circuit on ``num_qubits`` qubits."""
+    name = f"{'iqft' if inverse else 'qft'}_{num_qubits}"
+    circuit = Circuit(num_qubits, name=name)
+    circuit.begin_block("inverse_qft" if inverse else "qft")
+    append_qft(circuit, range(num_qubits), inverse=inverse, swaps=swaps)
+    circuit.end_block()
+    return circuit
+
+
+def qft_on_basis_state(num_qubits: int, value: int) -> Circuit:
+    """QFT applied to a specific basis state — a structured DD workload.
+
+    The result is a tensor-product phase state whose diagram stays at
+    ``num_qubits`` nodes, showcasing the DD compression of §II-B.
+    """
+    circuit = Circuit(num_qubits, name=f"qft_basis_{num_qubits}_{value}")
+    if not 0 <= value < (1 << num_qubits):
+        raise ValueError("value out of range")
+    circuit.begin_block("prepare")
+    for bit in range(num_qubits):
+        if (value >> bit) & 1:
+            circuit.x(bit)
+    circuit.end_block()
+    circuit.begin_block("qft")
+    append_qft(circuit, range(num_qubits))
+    circuit.end_block()
+    return circuit

@@ -1,0 +1,78 @@
+"""Seeded generic random circuits.
+
+Unstructured random circuits are the stress test for decision diagrams —
+they build up states with little redundancy, so diagrams grow towards the
+exponential worst case (§III).  This generator produces reproducible random
+circuits over a configurable gate set; the grid-structured supremacy
+circuits of the paper live in :mod:`repro.circuits.supremacy`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+
+#: Parameter-free single-qubit choices for the default gate set.
+_DEFAULT_SINGLE = ("h", "t", "s", "x", "sx", "sy")
+#: Parameterized rotations (angle drawn uniformly from [0, 2*pi)).
+_DEFAULT_ROTATIONS = ("rx", "ry", "rz", "p")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_operations: int,
+    seed: int = 0,
+    two_qubit_fraction: float = 0.4,
+    single_gates: Sequence[str] = _DEFAULT_SINGLE,
+    rotation_gates: Sequence[str] = _DEFAULT_ROTATIONS,
+) -> Circuit:
+    """Generate a reproducible random circuit.
+
+    Args:
+        num_qubits: Register width (>= 2 when two-qubit gates are used).
+        num_operations: Total number of operations to emit.
+        seed: PRNG seed; equal seeds give identical circuits.
+        two_qubit_fraction: Probability that an operation is a CX/CZ/CP
+            between two random distinct qubits.
+        single_gates: Names of parameter-free single-qubit gates to draw.
+        rotation_gates: Names of one-parameter gates to draw.
+
+    Returns:
+        A circuit named ``random_<n>_<m>_<seed>``.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    if num_operations < 1:
+        raise ValueError("num_operations must be positive")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise ValueError("two_qubit_fraction must be within [0, 1]")
+    if num_qubits < 2:
+        two_qubit_fraction = 0.0
+
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(
+        num_qubits, name=f"random_{num_qubits}_{num_operations}_{seed}"
+    )
+    for _ in range(num_operations):
+        if rng.random() < two_qubit_fraction:
+            control, target = (int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                circuit.cx(control, target)
+            elif kind == 1:
+                circuit.cz(control, target)
+            else:
+                circuit.cp(float(rng.uniform(0.0, 2.0 * math.pi)), control, target)
+        else:
+            qubit = int(rng.integers(num_qubits))
+            if rotation_gates and rng.random() < 0.5:
+                gate = rotation_gates[int(rng.integers(len(rotation_gates)))]
+                getattr(circuit, gate)(float(rng.uniform(0.0, 2.0 * math.pi)), qubit)
+            else:
+                gate = single_gates[int(rng.integers(len(single_gates)))]
+                getattr(circuit, gate)(qubit)
+    return circuit

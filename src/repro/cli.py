@@ -1,0 +1,388 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+* ``run`` — simulate a QASM file (or a built-in workload) under an
+  approximation strategy and print the Table-I-style statistics.
+* ``analyze`` — simulate, then report entropy, dominant outcomes, and
+  exact marginals of the final state.
+* ``shor`` — factor a number end to end (full circuit, or
+  ``--semiclassical`` for the single-control-qubit formulation).
+* ``equiv`` — DD-based unitary equivalence check of two circuits.
+* ``optimize`` — peephole-optimize a circuit, optionally writing QASM.
+* ``table1`` — regenerate the paper's Table I on the scaled workload
+  suites.
+
+Examples::
+
+    repro-sim run circuit.qasm --strategy memory --threshold 4096
+    repro-sim analyze builtin:qsup_3x3_12_0 --marginal 0,1,2
+    repro-sim shor 1157 --base 8 --semiclassical
+    repro-sim equiv before.qasm after.qasm
+    repro-sim table1 --suite shor --timeout 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .bench import (
+    DEFAULT_SHOR_SUITE,
+    DEFAULT_SUPREMACY_SUITE,
+    compare_strategies,
+    format_table,
+    paper_comparison,
+)
+from .circuits.qasm import parse_qasm
+from .circuits.shor import shor_circuit, shor_layout
+from .circuits.supremacy import supremacy_circuit
+from .core import (
+    FidelityDrivenStrategy,
+    MemoryDrivenStrategy,
+    NoApproximation,
+    SimulationTimeout,
+    simulate,
+)
+from .postprocessing import postprocess_counts, shift_counts
+
+
+def _build_strategy(args: argparse.Namespace):
+    if args.strategy == "exact":
+        return NoApproximation()
+    if args.strategy == "memory":
+        return MemoryDrivenStrategy(
+            threshold=args.threshold, round_fidelity=args.round_fidelity
+        )
+    return FidelityDrivenStrategy(
+        final_fidelity=args.final_fidelity,
+        round_fidelity=args.round_fidelity,
+        placement=args.placement,
+    )
+
+
+def _load_circuit(source: str):
+    if source.startswith("builtin:"):
+        name = source[len("builtin:"):]
+        parts = name.split("_")
+        if parts[0] == "shor" and len(parts) == 3:
+            return shor_circuit(int(parts[1]), int(parts[2]))
+        if parts[0] == "qsup" and len(parts) == 4:
+            rows, cols = (int(v) for v in parts[1].split("x"))
+            return supremacy_circuit(rows, cols, int(parts[2]), int(parts[3]))
+        raise SystemExit(f"unknown builtin workload {name!r}")
+    with open(source, "r", encoding="utf-8") as handle:
+        return parse_qasm(handle.read(), name=source)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    strategy = _build_strategy(args)
+    try:
+        outcome = simulate(
+            circuit, strategy, max_seconds=args.timeout or None
+        )
+    except SimulationTimeout as timeout:
+        print(f"TIMEOUT after {timeout.stats.runtime_seconds:.2f}s")
+        print(timeout.stats.summary())
+        return 1
+    print(outcome.stats.summary())
+    for record in outcome.stats.rounds:
+        print(
+            f"  round @op {record.op_index}: "
+            f"{record.nodes_before} -> {record.nodes_after} nodes, "
+            f"fidelity {record.achieved_fidelity:.4f}"
+        )
+    if args.shots:
+        counts = outcome.state.sample(
+            args.shots, np.random.default_rng(args.seed)
+        )
+        top = sorted(counts.items(), key=lambda item: -item[1])[:10]
+        print("top outcomes:")
+        for index, frequency in top:
+            bits = format(index, f"0{circuit.num_qubits}b")
+            print(f"  |{bits}>: {frequency}")
+    return 0
+
+
+def _cmd_shor(args: argparse.Namespace) -> int:
+    if args.semiclassical:
+        from .core.semiclassical import semiclassical_shor_factor
+
+        result, runs = semiclassical_shor_factor(
+            args.modulus,
+            args.base,
+            attempts=25,
+            rng=np.random.default_rng(args.seed),
+        )
+        for index, run in enumerate(runs):
+            print(
+                f"run {index}: y = {run.measured_value}, "
+                f"max DD {run.max_nodes} nodes, "
+                f"{run.runtime_seconds:.2f}s"
+            )
+        if result.succeeded:
+            p, q = result.factors
+            print(f"factors: {args.modulus} = {p} * {q}")
+            return 0
+        print("factoring failed — try a different base or more attempts")
+        return 1
+
+    layout = shor_layout(args.modulus, args.base)
+    circuit = shor_circuit(args.modulus, args.base)
+    strategy = FidelityDrivenStrategy(
+        final_fidelity=args.final_fidelity,
+        round_fidelity=args.round_fidelity,
+        placement="block:inverse_qft",
+    )
+    print(
+        f"factoring {args.modulus} with base {args.base} "
+        f"({circuit.num_qubits} qubits, {len(circuit)} operations)"
+    )
+    outcome = simulate(circuit, strategy)
+    print(outcome.stats.summary())
+    counts = shift_counts(
+        outcome.state.sample(args.shots, np.random.default_rng(args.seed)),
+        layout.work_bits,
+    )
+    result = postprocess_counts(
+        counts, layout.counting_bits, args.modulus, args.base
+    )
+    if result.succeeded:
+        p, q = result.factors
+        print(f"factors: {args.modulus} = {p} * {q} (period {result.period})")
+        return 0
+    print("factoring failed — try more shots or a different base")
+    return 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .dd.analysis import (
+        dominant_outcomes,
+        marginal_probabilities,
+        outcome_entropy,
+    )
+    from .dd.stats import state_stats
+
+    circuit = _load_circuit(args.circuit)
+    strategy = _build_strategy(args)
+    outcome = simulate(circuit, strategy)
+    state = outcome.state
+    print(outcome.stats.summary())
+
+    stats = state_stats(state)
+    print(f"diagram: {stats.node_count} nodes, per level "
+          f"{stats.nodes_per_level}, sharing {stats.sharing_factor:.1f}x")
+    print(f"outcome entropy: {outcome_entropy(state):.4f} bits "
+          f"(max {circuit.num_qubits})")
+
+    peaks = dominant_outcomes(state, threshold=args.threshold_probability)
+    if peaks:
+        print(f"outcomes with probability >= {args.threshold_probability}:")
+        for index, probability in peaks:
+            bits = format(index, f"0{circuit.num_qubits}b")
+            print(f"  |{bits}>: {probability:.4f}")
+    else:
+        print(f"no outcome reaches probability "
+              f"{args.threshold_probability}")
+
+    if args.marginal:
+        qubits = [int(token) for token in args.marginal.split(",")]
+        marginal = marginal_probabilities(state, qubits)
+        print(f"marginal over qubits {qubits}:")
+        for key in sorted(marginal):
+            bits = format(key, f"0{len(qubits)}b")
+            print(f"  |{bits}>: {marginal[key]:.4f}")
+    return 0
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    from .verify import circuits_equivalent
+
+    first = _load_circuit(args.first)
+    second = _load_circuit(args.second)
+    if first.num_qubits != second.num_qubits:
+        print(
+            f"NOT EQUIVALENT (width {first.num_qubits} vs "
+            f"{second.num_qubits})"
+        )
+        return 1
+    result = circuits_equivalent(
+        first,
+        second,
+        up_to_global_phase=not args.strict_phase,
+    )
+    if result.equivalent:
+        phase = result.global_phase
+        note = (
+            ""
+            if phase is None or abs(phase - 1.0) < 1e-9
+            else f" (global phase {phase:.6g})"
+        )
+        print(f"EQUIVALENT{note}")
+        return 0
+    print(f"NOT EQUIVALENT (miter has {result.miter_nodes} nodes)")
+    return 1
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .circuits.optimize import optimize_circuit
+    from .circuits.qasm import emit_qasm
+
+    circuit = _load_circuit(args.circuit)
+    optimized = optimize_circuit(circuit)
+    print(
+        f"{circuit.name}: {len(circuit)} -> {len(optimized)} operations "
+        f"({len(circuit) - len(optimized)} removed)"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(emit_qasm(optimized))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    package_timeout = args.timeout or None
+    results = []
+    if args.suite in ("shor", "all"):
+        shor_results = []
+        for workload in DEFAULT_SHOR_SUITE:
+            strategy = FidelityDrivenStrategy(
+                0.5, 0.9, placement="block:inverse_qft"
+            )
+            shor_results.append(
+                compare_strategies(
+                    workload, [(strategy, 0.9)], max_seconds=package_timeout
+                )
+            )
+        print(format_table(shor_results, "Table I (fidelity-driven, target 50%)"))
+        print()
+        print(paper_comparison(shor_results))
+        print()
+        results.extend(shor_results)
+    if args.suite in ("supremacy", "all"):
+        supremacy_results = []
+        for workload in DEFAULT_SUPREMACY_SUITE:
+            strategy = MemoryDrivenStrategy(
+                threshold=args.threshold, round_fidelity=0.975
+            )
+            supremacy_results.append(
+                compare_strategies(
+                    workload, [(strategy, 0.975)], max_seconds=package_timeout
+                )
+            )
+        print(format_table(supremacy_results, "Table I (memory-driven)"))
+        print()
+        print(paper_comparison(supremacy_results))
+        results.extend(supremacy_results)
+    return 0 if results else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Approximation-aware DD-based quantum circuit simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a QASM file or builtin")
+    run.add_argument("circuit", help="path to .qasm or builtin:<name>")
+    run.add_argument(
+        "--strategy",
+        choices=("exact", "memory", "fidelity"),
+        default="exact",
+    )
+    run.add_argument("--threshold", type=int, default=4096)
+    run.add_argument("--round-fidelity", type=float, default=0.975)
+    run.add_argument("--final-fidelity", type=float, default=0.5)
+    run.add_argument("--placement", default="even")
+    run.add_argument("--timeout", type=float, default=0.0)
+    run.add_argument("--shots", type=int, default=0)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(handler=_cmd_run)
+
+    shor = sub.add_parser("shor", help="factor a number via Shor")
+    shor.add_argument("modulus", type=int)
+    shor.add_argument("--base", type=int, default=2)
+    shor.add_argument("--final-fidelity", type=float, default=0.5)
+    shor.add_argument("--round-fidelity", type=float, default=0.9)
+    shor.add_argument("--shots", type=int, default=1000)
+    shor.add_argument("--seed", type=int, default=0)
+    shor.add_argument(
+        "--semiclassical",
+        action="store_true",
+        help="use the single-control-qubit formulation (n+1 qubits)",
+    )
+    shor.set_defaults(handler=_cmd_shor)
+
+    analyze = sub.add_parser(
+        "analyze", help="simulate and analyze the final state exactly"
+    )
+    analyze.add_argument("circuit", help="path to .qasm or builtin:<name>")
+    analyze.add_argument(
+        "--strategy",
+        choices=("exact", "memory", "fidelity"),
+        default="exact",
+    )
+    analyze.add_argument("--threshold", type=int, default=4096)
+    analyze.add_argument("--round-fidelity", type=float, default=0.975)
+    analyze.add_argument("--final-fidelity", type=float, default=0.5)
+    analyze.add_argument("--placement", default="even")
+    analyze.add_argument(
+        "--threshold-probability",
+        type=float,
+        default=0.01,
+        help="report basis states at or above this probability",
+    )
+    analyze.add_argument(
+        "--marginal",
+        default="",
+        help="comma-separated qubits to compute an exact marginal over",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    equiv = sub.add_parser(
+        "equiv", help="check two circuits for unitary equivalence"
+    )
+    equiv.add_argument("first", help="path to .qasm or builtin:<name>")
+    equiv.add_argument("second", help="path to .qasm or builtin:<name>")
+    equiv.add_argument(
+        "--strict-phase",
+        action="store_true",
+        help="require exact equality (no global-phase allowance)",
+    )
+    equiv.set_defaults(handler=_cmd_equiv)
+
+    optimize = sub.add_parser(
+        "optimize", help="run peephole optimization on a circuit"
+    )
+    optimize.add_argument("circuit", help="path to .qasm or builtin:<name>")
+    optimize.add_argument(
+        "-o", "--output", default="", help="write optimized QASM here"
+    )
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument(
+        "--suite", choices=("shor", "supremacy", "all"), default="all"
+    )
+    table1.add_argument("--threshold", type=int, default=256)
+    table1.add_argument("--timeout", type=float, default=120.0)
+    table1.set_defaults(handler=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Node norm contributions (Definition 2 of the paper).
+
+The *norm contribution* of a decision-diagram node is the sum of squared
+magnitudes of the amplitudes of all root-to-terminal paths passing through
+that node.  Removing the node zeroes exactly those amplitudes, so its
+contribution equals the fidelity lost on removal (§IV-A) — the quantity
+both approximation strategies budget against.
+
+Thanks to the norm-preserving node normalization of
+:mod:`repro.dd.package` (every sub-diagram has unit norm), contributions
+are computed in a single top-down sweep:
+
+.. math::
+
+    c(\\text{root}) = |w_{\\text{root}}|^2, \\qquad
+    c(v) = \\sum_{(p, w) \\in \\text{in-edges}(v)} c(p) \\cdot |w|^2 .
+
+For a unit-norm state the contributions of the nodes on each level sum to
+exactly 1 (Definition 2), which the test suite checks as an invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dd.node import VNode
+from ..dd.vector import StateDD
+
+
+def node_contributions(state: StateDD) -> Dict[VNode, float]:
+    """Compute the norm contribution of every node of ``state``.
+
+    Args:
+        state: The diagram to analyze.
+
+    Returns:
+        Mapping from node (by identity) to its contribution.  The root's
+        contribution equals the squared norm of the state (1 for
+        normalized states, as in Example 7 of the paper).
+    """
+    weight, root = state.edge
+    if root is None:
+        return {}
+    contributions: Dict[VNode, float] = {root: abs(weight) ** 2}
+    # ``nodes()`` returns distinct nodes sorted by descending level, so
+    # every parent is processed before any of its children.
+    for node in state.nodes():
+        incoming = contributions.get(node, 0.0)
+        if incoming == 0.0:
+            continue
+        for edge_weight, child in node.edges:
+            if child is None or edge_weight == 0.0:
+                continue
+            contributions[child] = (
+                contributions.get(child, 0.0)
+                + incoming * abs(edge_weight) ** 2
+            )
+    return contributions
+
+
+def level_contribution_sums(state: StateDD) -> List[float]:
+    """Sum contributions per level (index = level).
+
+    For a normalized state every entry is 1 up to numerical noise —
+    the closing remark of Definition 2.
+    """
+    contributions = node_contributions(state)
+    sums = [0.0] * state.num_qubits
+    for node, value in contributions.items():
+        sums[node.level] += value
+    return sums
+
+
+def smallest_contributors(
+    state: StateDD, limit: int = 10
+) -> List[tuple[VNode, float]]:
+    """The ``limit`` nodes with the smallest contributions, ascending.
+
+    The root is excluded — removing it would erase the entire state
+    (Example 8).
+    """
+    contributions = node_contributions(state)
+    _weight, root = state.edge
+    candidates = [
+        (node, value)
+        for node, value in contributions.items()
+        if node is not root
+    ]
+    candidates.sort(key=lambda item: item[1])
+    return candidates[:limit]

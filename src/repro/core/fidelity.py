@@ -1,0 +1,123 @@
+"""Fidelity metric and the truncation machinery of §III and §V.
+
+Implements Definition 1 (fidelity of pure states), the coordinate-set
+truncation of Eq. (1), and helpers validating Lemma 1 — the multiplicative
+composition of fidelities across approximation rounds that justifies the
+fidelity-driven strategy's round budget
+:math:`\\lfloor \\log_{f_{\\text{round}}} f_{\\text{final}} \\rfloor`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dd.vector import StateDD
+
+
+def fidelity_dense(psi: np.ndarray, phi: np.ndarray) -> float:
+    """Fidelity :math:`|\\langle\\psi|\\phi\\rangle|^2` of dense states."""
+    psi = np.asarray(psi, dtype=complex)
+    phi = np.asarray(phi, dtype=complex)
+    if psi.shape != phi.shape:
+        raise ValueError("state dimensions differ")
+    return float(abs(np.vdot(psi, phi)) ** 2)
+
+
+def truncate_dense(
+    psi: np.ndarray, keep: Iterable[int]
+) -> np.ndarray:
+    """Truncation procedure (1): zero all coordinates outside ``keep``.
+
+    Returns the renormalized state :math:`|\\psi_I\\rangle`.
+
+    Raises:
+        ValueError: If the kept coordinates carry no amplitude mass.
+    """
+    psi = np.asarray(psi, dtype=complex)
+    projected = np.zeros_like(psi)
+    indices = list(keep)
+    projected[indices] = psi[indices]
+    norm = float(np.linalg.norm(projected))
+    if norm == 0.0:
+        raise ValueError("truncation set has zero overlap with the state")
+    return projected / norm
+
+
+def truncation_fidelity(psi: np.ndarray, keep: Iterable[int]) -> float:
+    """Fidelity between a state and its truncation onto ``keep``.
+
+    Equals :math:`\\|P_I|\\psi\\rangle\\|^2` — the squared kept mass — by
+    the second identity in the proof of Lemma 1.
+    """
+    psi = np.asarray(psi, dtype=complex)
+    indices = list(keep)
+    return float(np.sum(np.abs(psi[indices]) ** 2))
+
+
+def max_rounds(final_fidelity: float, round_fidelity: float) -> int:
+    """The paper's round budget for the fidelity-driven strategy (§IV-C).
+
+    .. math::
+
+        \\lfloor \\log_{f_{\\text{round}}}(f_{\\text{final}}) \\rfloor
+
+    Args:
+        final_fidelity: Required lower bound on the end-to-end fidelity.
+        round_fidelity: Per-round fidelity target; must be in (0, 1).
+
+    Returns:
+        The maximum number of rounds such that
+        ``round_fidelity ** rounds >= final_fidelity`` still holds.
+    """
+    if not 0.0 < final_fidelity <= 1.0:
+        raise ValueError("final_fidelity must be in (0, 1]")
+    if not 0.0 < round_fidelity < 1.0:
+        raise ValueError("round_fidelity must be in (0, 1)")
+    if final_fidelity == 1.0:
+        return 0
+    rounds = math.floor(math.log(final_fidelity) / math.log(round_fidelity))
+    # Guard against floating-point tie-breaking on exact powers.
+    while round_fidelity ** (rounds + 1) >= final_fidelity:
+        rounds += 1
+    while rounds > 0 and round_fidelity**rounds < final_fidelity:
+        rounds -= 1
+    return rounds
+
+
+def composed_fidelity(round_fidelities: Sequence[float]) -> float:
+    """Multiply per-round fidelities into the end-to-end estimate (Lemma 1)."""
+    product = 1.0
+    for value in round_fidelities:
+        if not 0.0 <= value <= 1.0 + 1e-12:
+            raise ValueError(f"fidelity {value} outside [0, 1]")
+        product *= min(value, 1.0)
+    return product
+
+
+def verify_lemma1_dense(
+    psi: np.ndarray,
+    phi: np.ndarray,
+    keep: Iterable[int],
+) -> tuple[float, float]:
+    """Evaluate both sides of Lemma 1 on dense states.
+
+    Returns ``(lhs, rhs)`` with
+    ``lhs = F(psi, phi_I)`` and
+    ``rhs = F(psi, psi_I) * F(psi_I, phi_I)``; Lemma 1 asserts equality.
+    """
+    indices = list(keep)
+    psi_truncated = truncate_dense(psi, indices)
+    phi_truncated = truncate_dense(phi, indices)
+    lhs = fidelity_dense(psi, phi_truncated)
+    rhs = fidelity_dense(psi, psi_truncated) * fidelity_dense(
+        psi_truncated, phi_truncated
+    )
+    return lhs, rhs
+
+
+def state_fidelity(a: StateDD, b: StateDD) -> float:
+    """Fidelity of two DD states (thin convenience wrapper)."""
+    return a.fidelity(b)

@@ -1,0 +1,78 @@
+"""Decision-diagram engine: nodes, unique tables, arithmetic, wrappers.
+
+This package implements the DD substrate the paper simulates on: vector
+decision diagrams for quantum states, matrix decision diagrams for quantum
+operations, and the arithmetic connecting them (addition, matrix–vector and
+matrix–matrix multiplication, inner products, Kronecker products).
+
+Public entry points:
+
+* :class:`repro.dd.vector.StateDD` — quantum states.
+* :class:`repro.dd.matrix.OperatorDD` — quantum operations.
+* :class:`repro.dd.package.Package` — unique tables and compute caches.
+* :mod:`repro.dd.ctable` — global weight tolerance configuration.
+* :mod:`repro.dd.dot` — Graphviz export (Fig. 1 of the paper).
+"""
+
+from .analysis import (
+    dominant_outcomes,
+    marginal_probabilities,
+    outcome_entropy,
+)
+from .ctable import set_tolerance, tolerance
+from .entanglement import (
+    cut_rank,
+    entanglement_entropy,
+    max_cut_rank,
+    schmidt_rank,
+    schmidt_spectrum,
+)
+from .matrix import OperatorDD
+from .measurement import (
+    measure_all,
+    measure_qubit,
+    project_qubit,
+    sequential_measurement,
+)
+from .observables import (
+    expectation,
+    expectation_sum,
+    pauli_string_operator,
+    pauli_variance,
+)
+from .package import Package, default_package, reset_default_package
+from .serialize import load_state, save_state, state_from_dict, state_to_dict
+from .validate import check_state_invariants, collect_violations
+from .vector import StateDD
+
+__all__ = [
+    "OperatorDD",
+    "Package",
+    "StateDD",
+    "check_state_invariants",
+    "collect_violations",
+    "cut_rank",
+    "default_package",
+    "dominant_outcomes",
+    "entanglement_entropy",
+    "expectation",
+    "marginal_probabilities",
+    "max_cut_rank",
+    "outcome_entropy",
+    "schmidt_rank",
+    "schmidt_spectrum",
+    "expectation_sum",
+    "load_state",
+    "measure_all",
+    "measure_qubit",
+    "pauli_string_operator",
+    "pauli_variance",
+    "project_qubit",
+    "reset_default_package",
+    "save_state",
+    "sequential_measurement",
+    "set_tolerance",
+    "state_from_dict",
+    "state_to_dict",
+    "tolerance",
+]

@@ -1,0 +1,141 @@
+"""Graphviz (DOT) export of decision diagrams.
+
+Reproduces the visual style of Fig. 1b of the paper: one rank per qubit
+level, solid edges for the 1-successor, dashed edges for the 0-successor,
+and edge labels carrying the (possibly complex) edge weights.  Weights equal
+to 1 are omitted for readability, zero edges are drawn as short stubs to a
+small "0" box.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .matrix import OperatorDD
+from .vector import StateDD
+
+
+def _format_weight(weight: complex) -> str:
+    """Render an edge weight compactly, dropping redundant parts."""
+    real, imag = weight.real, weight.imag
+    if abs(imag) < 1e-12:
+        return f"{real:.4g}"
+    if abs(real) < 1e-12:
+        return f"{imag:.4g}i"
+    sign = "+" if imag >= 0 else "-"
+    return f"{real:.4g}{sign}{abs(imag):.4g}i"
+
+
+def state_to_dot(state: StateDD, name: str = "state") -> str:
+    """Serialize a state diagram to DOT.
+
+    Args:
+        state: The state to draw.
+        name: Graph name used in the DOT header.
+
+    Returns:
+        A DOT document string suitable for ``dot -Tpdf``.
+    """
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        '  root [shape=point, label=""];',
+    ]
+    node_ids: dict[int, str] = {}
+    zero_counter = 0
+
+    def node_name(node) -> str:
+        if node is None:
+            return "terminal"
+        key = id(node)
+        if key not in node_ids:
+            node_ids[key] = f"n{len(node_ids)}"
+        return node_ids[key]
+
+    weight, root = state.edge
+    lines.append(
+        f'  root -> {node_name(root)} [label="{_format_weight(weight)}"];'
+    )
+    lines.append('  terminal [shape=box, label="1"];')
+
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        this = node_name(node)
+        lines.append(f'  {this} [shape=circle, label="q{node.level}"];')
+        for bit, (edge_weight, child) in enumerate(node.edges):
+            style = "dashed" if bit == 0 else "solid"
+            if edge_weight == 0.0:
+                stub = f"zero{zero_counter}"
+                zero_counter += 1
+                lines.append(f'  {stub} [shape=box, label="0", height=0.2];')
+                lines.append(f"  {this} -> {stub} [style={style}];")
+                continue
+            label = _format_weight(edge_weight)
+            label_attr = f', label="{label}"' if label != "1" else ""
+            lines.append(
+                f"  {this} -> {node_name(child)} [style={style}{label_attr}];"
+            )
+            stack.append(child)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def operator_to_dot(operator: OperatorDD, name: str = "operator") -> str:
+    """Serialize an operator diagram to DOT (four-way edges, 00..11)."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        '  root [shape=point, label=""];',
+        '  terminal [shape=box, label="1"];',
+    ]
+    node_ids: dict[int, str] = {}
+
+    def node_name(node) -> str:
+        if node is None:
+            return "terminal"
+        key = id(node)
+        if key not in node_ids:
+            node_ids[key] = f"m{len(node_ids)}"
+        return node_ids[key]
+
+    weight, root = operator.edge
+    lines.append(
+        f'  root -> {node_name(root)} [label="{_format_weight(weight)}"];'
+    )
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        this = node_name(node)
+        lines.append(f'  {this} [shape=circle, label="q{node.level}"];')
+        for selector, (edge_weight, child) in enumerate(node.edges):
+            if edge_weight == 0.0:
+                continue
+            label = _format_weight(edge_weight)
+            tag = format(selector, "02b")
+            lines.append(
+                f'  {this} -> {node_name(child)} [label="{tag}:{label}"];'
+            )
+            stack.append(child)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(
+    diagram: StateDD | OperatorDD, path: str, name: Optional[str] = None
+) -> None:
+    """Write a diagram's DOT serialization to ``path``."""
+    if isinstance(diagram, StateDD):
+        text = state_to_dot(diagram, name or "state")
+    else:
+        text = operator_to_dot(diagram, name or "operator")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

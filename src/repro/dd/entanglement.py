@@ -1,0 +1,114 @@
+"""Bipartite entanglement analysis of simulated states.
+
+Entanglement across a cut is what decides whether a decision diagram stays
+small: the number of distinct nodes at a level is exactly the number of
+distinct subvectors conditioned on the prefix — a rank measure.  This
+module provides both views:
+
+* :func:`cut_rank` — the *diagram* measure: distinct nodes crossing a
+  level boundary (a Schmidt-rank upper bound, computable in diagram size).
+* :func:`schmidt_spectrum` / :func:`entanglement_entropy` — the *exact*
+  Schmidt values across a cut, via dense SVD (explicitly bounded to small
+  registers; the diagram route above scales, this one diagnoses).
+
+The supremacy circuits of §VI are hard for DDs precisely because their
+cut ranks grow to the maximum; GHZ stays at rank 2 on every cut.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from .vector import StateDD
+
+#: Dense SVD guard: 2**_MAX_DENSE_QUBITS amplitudes at most.
+_MAX_DENSE_QUBITS = 20
+
+
+def cut_rank(state: StateDD, cut: int) -> int:
+    """Number of distinct subdiagrams below the cut — a Schmidt bound.
+
+    Args:
+        state: The state to analyze.
+        cut: Boundary position in ``[1, num_qubits - 1]``: the lower
+            block is qubits ``0 .. cut-1``.
+
+    Returns:
+        The number of distinct sub-diagrams over the lower block (the
+        distinct children reachable from level ``cut``).  This is the
+        quantity that drives the diagram's width at the boundary, and an
+        upper bound on the Schmidt rank: the canonical normalization
+        collapses scalar multiples, but distinct *rays* may still be
+        linearly dependent, so the bound can be loose — especially at
+        narrow cuts, where the true rank is capped at ``2^cut``.
+    """
+    if not 1 <= cut <= state.num_qubits - 1:
+        raise ValueError(
+            f"cut must be in [1, {state.num_qubits - 1}], got {cut}"
+        )
+    distinct: set = set()
+    zero_seen = False
+    for node in state.nodes():
+        if node.level != cut:
+            continue
+        for weight, child in node.edges:
+            if weight == 0.0:
+                zero_seen = True
+            else:
+                distinct.add(id(child))
+    # A zero branch contributes no Schmidt vector.
+    del zero_seen
+    return len(distinct)
+
+
+def schmidt_spectrum(state: StateDD, cut: int) -> List[float]:
+    """Exact Schmidt coefficients (squared) across a cut, descending.
+
+    Dense SVD of the ``2^(n-cut) x 2^cut`` amplitude matrix — guarded to
+    small registers; use :func:`cut_rank` for scalable bounds.
+
+    Returns:
+        The squared singular values (they sum to 1 for unit-norm states),
+        values below ``1e-14`` dropped.
+    """
+    if state.num_qubits > _MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"dense Schmidt decomposition limited to "
+            f"{_MAX_DENSE_QUBITS} qubits"
+        )
+    if not 1 <= cut <= state.num_qubits - 1:
+        raise ValueError(
+            f"cut must be in [1, {state.num_qubits - 1}], got {cut}"
+        )
+    amplitudes = state.to_amplitudes()
+    matrix = amplitudes.reshape(1 << (state.num_qubits - cut), 1 << cut)
+    singular_values = np.linalg.svd(matrix, compute_uv=False)
+    squared = [float(s) ** 2 for s in singular_values if s**2 > 1e-14]
+    return sorted(squared, reverse=True)
+
+
+def schmidt_rank(state: StateDD, cut: int) -> int:
+    """Exact Schmidt rank across a cut (dense; small registers only)."""
+    return len(schmidt_spectrum(state, cut))
+
+
+def entanglement_entropy(
+    state: StateDD, cut: int, base: float = 2.0
+) -> float:
+    """Von Neumann entropy of the reduced state across a cut (in bits)."""
+    spectrum = schmidt_spectrum(state, cut)
+    log_base = math.log(base)
+    return max(
+        0.0,
+        -sum(p * math.log(p) / log_base for p in spectrum if p > 0.0),
+    )
+
+
+def max_cut_rank(state: StateDD) -> int:
+    """The largest :func:`cut_rank` over all cuts — the DD width driver."""
+    return max(
+        cut_rank(state, cut) for cut in range(1, state.num_qubits)
+    )

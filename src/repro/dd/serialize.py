@@ -1,0 +1,136 @@
+"""Serialization of decision diagrams to a JSON-compatible format.
+
+Persisting an approximate state is a natural companion to the paper's
+workflow — a single approximation result may be sampled and post-processed
+many times.  The format stores each distinct node exactly once (preserving
+the sharing that makes the representation small) plus the root edge:
+
+.. code-block:: json
+
+    {
+      "format": "repro-dd-state",
+      "version": 1,
+      "num_qubits": 3,
+      "root": {"weight": [1.0, 0.0], "node": 4},
+      "nodes": [
+        {"level": 0, "edges": [[[0.6, 0.0], -1], [[0.8, 0.0], -1]]},
+        ...
+      ]
+    }
+
+Node references are indices into the ``nodes`` list (children always
+precede parents); ``-1`` denotes the terminal.  Loading rebuilds through
+the package's normalizing constructors, so a round trip through a
+different package still yields a canonical diagram.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .node import VEdge, zero_vedge
+from .package import Package, default_package
+from .vector import StateDD
+
+FORMAT_NAME = "repro-dd-state"
+FORMAT_VERSION = 1
+
+
+def _weight_to_json(weight: complex) -> list:
+    return [weight.real, weight.imag]
+
+
+def _weight_from_json(pair: list) -> complex:
+    return complex(pair[0], pair[1])
+
+
+def state_to_dict(state: StateDD) -> dict:
+    """Serialize a state diagram to a JSON-compatible dictionary."""
+    nodes = state.nodes()
+    # Children must precede parents: emit in ascending level order.
+    nodes.sort(key=lambda node: node.level)
+    index_of: Dict[int, int] = {
+        id(node): position for position, node in enumerate(nodes)
+    }
+    serialized_nodes: List[dict] = []
+    for node in nodes:
+        edges = []
+        for weight, child in node.edges:
+            child_index = -1 if child is None else index_of[id(child)]
+            edges.append([_weight_to_json(weight), child_index])
+        serialized_nodes.append({"level": node.level, "edges": edges})
+    weight, root = state.edge
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "num_qubits": state.num_qubits,
+        "root": {
+            "weight": _weight_to_json(weight),
+            "node": -1 if root is None else index_of[id(root)],
+        },
+        "nodes": serialized_nodes,
+    }
+
+
+def state_from_dict(
+    data: dict, package: Optional[Package] = None
+) -> StateDD:
+    """Rebuild a state diagram from its serialized form.
+
+    Raises:
+        ValueError: On format mismatches or malformed references.
+    """
+    if data.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported version {data.get('version')!r}"
+        )
+    num_qubits = int(data["num_qubits"])
+    pkg = package or default_package()
+
+    rebuilt: List[VEdge] = []
+    for position, entry in enumerate(data["nodes"]):
+        level = int(entry["level"])
+        edges: List[VEdge] = []
+        for weight_json, child_index in entry["edges"]:
+            weight = _weight_from_json(weight_json)
+            if child_index == -1:
+                child_edge: VEdge = (weight, None)
+            else:
+                if not 0 <= child_index < position:
+                    raise ValueError(
+                        f"node {position} references forward/unknown "
+                        f"child {child_index}"
+                    )
+                child_weight, child_node = rebuilt[child_index]
+                child_edge = (weight * child_weight, child_node)
+            if child_edge[0] == 0.0:
+                child_edge = zero_vedge()
+            edges.append(child_edge)
+        rebuilt.append(pkg.make_vedge(level, edges[0], edges[1]))
+
+    root_info = data["root"]
+    root_weight = _weight_from_json(root_info["weight"])
+    root_index = root_info["node"]
+    if root_index == -1:
+        raise ValueError("state root cannot be the terminal")
+    if not 0 <= root_index < len(rebuilt):
+        raise ValueError(f"root references unknown node {root_index}")
+    inner_weight, node = rebuilt[root_index]
+    return StateDD(
+        (root_weight * inner_weight, node), num_qubits, pkg
+    )
+
+
+def save_state(state: StateDD, path: str) -> None:
+    """Write a state diagram to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state_to_dict(state), handle)
+
+
+def load_state(path: str, package: Optional[Package] = None) -> StateDD:
+    """Read a state diagram from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return state_from_dict(json.load(handle), package)

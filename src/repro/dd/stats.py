@@ -1,0 +1,94 @@
+"""Diagram size and structure metrics.
+
+The paper's Table I reports the *maximum DD size* (node count) over a
+simulation run; this module provides that measurement plus finer-grained
+structure diagnostics used by the benchmarks and the documentation
+examples: per-level node histograms, the sharing factor relative to a full
+binary tree, and an estimate of the dense-vector memory the diagram
+replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from .matrix import OperatorDD
+from .vector import StateDD
+
+#: Rough per-node footprint (level + two edges) used for memory estimates.
+_BYTES_PER_VNODE = 96
+_BYTES_PER_AMPLITUDE = 16
+
+
+@dataclass(frozen=True)
+class DiagramStats:
+    """Structural summary of one decision diagram.
+
+    Attributes:
+        num_qubits: Number of levels.
+        node_count: Total distinct (non-terminal) nodes.
+        nodes_per_level: Histogram, index = level.
+        worst_case_nodes: Nodes a full (unshared) binary tree would need.
+        sharing_factor: ``worst_case_nodes / node_count`` — how much
+            redundancy the diagram exploits (§II-B).
+        dd_bytes_estimate: Approximate memory of the node structure.
+        dense_bytes: Memory of the equivalent dense representation.
+    """
+
+    num_qubits: int
+    node_count: int
+    nodes_per_level: List[int]
+    worst_case_nodes: int
+    sharing_factor: float
+    dd_bytes_estimate: int
+    dense_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense bytes divided by estimated diagram bytes."""
+        if self.dd_bytes_estimate == 0:
+            return float("inf")
+        return self.dense_bytes / self.dd_bytes_estimate
+
+
+def state_stats(state: StateDD) -> DiagramStats:
+    """Compute :class:`DiagramStats` for a state diagram."""
+    per_level = [0] * state.num_qubits
+    for node in state.nodes():
+        per_level[node.level] += 1
+    node_count = sum(per_level)
+    worst_case = (1 << state.num_qubits) - 1
+    return DiagramStats(
+        num_qubits=state.num_qubits,
+        node_count=node_count,
+        nodes_per_level=per_level,
+        worst_case_nodes=worst_case,
+        sharing_factor=(worst_case / node_count) if node_count else float("inf"),
+        dd_bytes_estimate=node_count * _BYTES_PER_VNODE,
+        dense_bytes=(1 << state.num_qubits) * _BYTES_PER_AMPLITUDE,
+    )
+
+
+def nodes_per_level(diagram: Union[StateDD, OperatorDD]) -> Dict[int, int]:
+    """Node histogram keyed by level (works for states and operators)."""
+    histogram: Dict[int, int] = {}
+    if isinstance(diagram, StateDD):
+        nodes = diagram.nodes()
+    else:
+        seen: set[int] = set()
+        nodes = []
+        _weight, root = diagram.edge
+        stack = [root] if root is not None else []
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            nodes.append(node)
+            for _w, child in node.edges:
+                if child is not None and id(child) not in seen:
+                    stack.append(child)
+    for node in nodes:
+        histogram[node.level] = histogram.get(node.level, 0) + 1
+    return histogram

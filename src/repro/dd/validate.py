@@ -1,0 +1,126 @@
+"""Structural invariant checking for decision diagrams.
+
+A debugging companion for engine development and a safety net for the
+test suite: verifies the representation invariants that every
+:class:`repro.dd.vector.StateDD` produced through the package must hold.
+
+Checked invariants (see docs/THEORY.md §1):
+
+1. **Level discipline** — a node at level ``l`` has children at level
+   ``l - 1`` (or the terminal when ``l == 0``); zero-weight edges point
+   at the terminal.
+2. **Norm normalization** — every node's outgoing weights satisfy
+   ``|w0|² + |w1|² = 1`` within tolerance.
+3. **Phase canonicality** — the first nonzero weight of every node is
+   real and non-negative.
+4. **Hash-consing** — no two distinct node objects are structurally
+   identical (level, children, weights within tolerance).
+5. **Unit norm** (optional) — the root weight has magnitude 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ctable
+from .vector import StateDD
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a diagram violates a representation invariant."""
+
+
+def check_state_invariants(
+    state: StateDD, require_unit_norm: bool = True
+) -> None:
+    """Verify all structural invariants of a state diagram.
+
+    Args:
+        state: The diagram to check.
+        require_unit_norm: Also require the root weight to have
+            magnitude 1 (disable for intentionally unnormalized edges).
+
+    Raises:
+        InvariantViolation: Describing the first violated invariant.
+    """
+    problems = collect_violations(state, require_unit_norm)
+    if problems:
+        raise InvariantViolation("; ".join(problems))
+
+
+def collect_violations(
+    state: StateDD, require_unit_norm: bool = True
+) -> List[str]:
+    """Like :func:`check_state_invariants` but returns all findings."""
+    tolerance = ctable.tolerance()
+    problems: List[str] = []
+
+    weight, root = state.edge
+    if root is None:
+        if weight != 0.0:
+            problems.append("terminal root with nonzero weight")
+        return problems
+    if require_unit_norm and abs(abs(weight) - 1.0) > 1e-6:
+        problems.append(
+            f"root weight magnitude {abs(weight):.3g} is not 1"
+        )
+    if root.level != state.num_qubits - 1:
+        problems.append(
+            f"root level {root.level} != num_qubits-1 "
+            f"({state.num_qubits - 1})"
+        )
+
+    seen_keys: dict = {}
+    for node in state.nodes():
+        (w0, c0), (w1, c1) = node.edges
+
+        # 1. level discipline
+        for weight_k, child in ((w0, c0), (w1, c1)):
+            if weight_k == 0.0:
+                if child is not None:
+                    problems.append(
+                        f"zero edge at level {node.level} does not point "
+                        "at the terminal"
+                    )
+            elif node.level == 0:
+                if child is not None:
+                    problems.append("level-0 edge does not reach terminal")
+            elif child is None:
+                problems.append(
+                    f"nonzero edge at level {node.level} skips to terminal"
+                )
+            elif child.level != node.level - 1:
+                problems.append(
+                    f"level skip: {node.level} -> {child.level}"
+                )
+
+        # 2. norm normalization
+        norm_sq = abs(w0) ** 2 + abs(w1) ** 2
+        if abs(norm_sq - 1.0) > 1e-6:
+            problems.append(
+                f"node at level {node.level} has edge-norm² {norm_sq:.6f}"
+            )
+
+        # 3. phase canonicality
+        first = w0 if w0 != 0.0 else w1
+        if abs(first.imag) > 1e-6 or first.real < -1e-6:
+            problems.append(
+                f"node at level {node.level} first weight {first:.3g} "
+                "is not real non-negative"
+            )
+
+        # 4. hash consing
+        key = (
+            node.level,
+            ctable.weight_key(w0),
+            id(c0),
+            ctable.weight_key(w1),
+            id(c1),
+        )
+        if key in seen_keys:
+            problems.append(
+                f"duplicate structural node at level {node.level}"
+            )
+        seen_keys[key] = node
+
+    return problems

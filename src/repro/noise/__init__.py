@@ -1,0 +1,20 @@
+"""Stochastic Pauli-noise simulation and mitigation on decision diagrams."""
+
+from .mitigation import (
+    MitigationResult,
+    noisy_expectation,
+    zero_noise_extrapolation,
+)
+from .models import NoiseModel, PauliChannel, noisy_instance
+from .trajectories import TrajectoryResult, run_trajectories
+
+__all__ = [
+    "MitigationResult",
+    "NoiseModel",
+    "PauliChannel",
+    "TrajectoryResult",
+    "noisy_expectation",
+    "noisy_instance",
+    "run_trajectories",
+    "zero_noise_extrapolation",
+]

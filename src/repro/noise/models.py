@@ -1,0 +1,165 @@
+"""Noise models for stochastic trajectory simulation.
+
+The paper motivates approximation by comparing against physical hardware
+("better than the results from a physical quantum computer", §VI, with
+supremacy-experiment fidelities around 1 %).  This package makes that
+comparison concrete: Pauli noise channels unravel into stochastic
+trajectories — each trajectory is a *pure-state* DD simulation with
+randomly inserted Pauli errors, so the whole machinery of the paper
+(including approximation) applies per trajectory.
+
+A :class:`NoiseModel` assigns error channels to gate applications:
+
+* after every operation, each touched qubit suffers a depolarizing /
+  bit-flip / phase-flip error with the configured probability;
+* two-qubit operations may carry a separate (typically higher) rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Operation
+
+#: The Pauli labels an error can inject.
+_ERROR_PAULIS = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class PauliChannel:
+    """A single-qubit Pauli error channel.
+
+    Attributes:
+        probability_x: Probability of an X (bit-flip) error.
+        probability_y: Probability of a Y error.
+        probability_z: Probability of a Z (phase-flip) error.
+    """
+
+    probability_x: float = 0.0
+    probability_y: float = 0.0
+    probability_z: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.probability_x + self.probability_y + self.probability_z
+        for value in (
+            self.probability_x,
+            self.probability_y,
+            self.probability_z,
+        ):
+            if value < 0.0:
+                raise ValueError("error probabilities must be non-negative")
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                f"total error probability {total} exceeds 1"
+            )
+
+    @property
+    def total(self) -> float:
+        """Probability that *some* error occurs."""
+        return self.probability_x + self.probability_y + self.probability_z
+
+    def sample(self, rng: np.random.Generator) -> Optional[str]:
+        """Draw an error outcome: a Pauli label or None (no error)."""
+        draw = rng.random()
+        if draw < self.probability_x:
+            return "x"
+        draw -= self.probability_x
+        if draw < self.probability_y:
+            return "y"
+        draw -= self.probability_y
+        if draw < self.probability_z:
+            return "z"
+        return None
+
+    @classmethod
+    def depolarizing(cls, probability: float) -> "PauliChannel":
+        """Uniform depolarizing channel with total strength ``probability``."""
+        share = probability / 3.0
+        return cls(share, share, share)
+
+    @classmethod
+    def bit_flip(cls, probability: float) -> "PauliChannel":
+        """Pure X-error channel."""
+        return cls(probability_x=probability)
+
+    @classmethod
+    def phase_flip(cls, probability: float) -> "PauliChannel":
+        """Pure Z-error channel."""
+        return cls(probability_z=probability)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-gate Pauli noise attached to every touched qubit.
+
+    Attributes:
+        single_qubit: Channel applied to the qubits of one-qubit gates.
+        two_qubit: Channel applied to every qubit of multi-qubit gates
+            (defaults to ``single_qubit`` when None).
+    """
+
+    single_qubit: PauliChannel = field(default_factory=PauliChannel)
+    two_qubit: Optional[PauliChannel] = None
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when no channel can ever fire."""
+        two = self.two_qubit or self.single_qubit
+        return self.single_qubit.total == 0.0 and two.total == 0.0
+
+    def channel_for(self, operation: Operation) -> PauliChannel:
+        """Channel applying to one operation's qubits."""
+        if operation.num_qubits_touched >= 2 and self.two_qubit is not None:
+            return self.two_qubit
+        return self.single_qubit
+
+    def sample_errors(
+        self, operation: Operation, rng: np.random.Generator
+    ) -> List[Operation]:
+        """Draw the error operations following one gate application."""
+        channel = self.channel_for(operation)
+        if channel.total == 0.0:
+            return []
+        errors: List[Operation] = []
+        touched = tuple(operation.targets) + tuple(operation.controls)
+        for qubit in touched:
+            label = channel.sample(rng)
+            if label is not None:
+                errors.append(Operation(label, (qubit,)))
+        return errors
+
+    @classmethod
+    def depolarizing(
+        cls, probability: float, two_qubit_probability: Optional[float] = None
+    ) -> "NoiseModel":
+        """Depolarizing noise with optional separate two-qubit strength."""
+        return cls(
+            single_qubit=PauliChannel.depolarizing(probability),
+            two_qubit=(
+                PauliChannel.depolarizing(two_qubit_probability)
+                if two_qubit_probability is not None
+                else None
+            ),
+        )
+
+
+def noisy_instance(
+    circuit: Circuit, model: NoiseModel, rng: np.random.Generator
+) -> Tuple[Circuit, int]:
+    """Materialize one noisy trajectory of a circuit.
+
+    Returns:
+        ``(noisy_circuit, num_errors)`` — the input circuit with sampled
+        Pauli errors spliced in after the faulty operations.
+    """
+    noisy = Circuit(circuit.num_qubits, name=f"{circuit.name}_noisy")
+    error_count = 0
+    for operation in circuit:
+        noisy.append(operation)
+        for error in model.sample_errors(operation, rng):
+            noisy.append(error)
+            error_count += 1
+    return noisy, error_count

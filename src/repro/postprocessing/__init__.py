@@ -1,0 +1,31 @@
+"""Classical postprocessing: Shor factor recovery and sampling utilities."""
+
+from .sampling import (
+    marginalize_counts,
+    shift_counts,
+    top_outcomes,
+    total_variation_distance,
+)
+from .shor_classical import (
+    ShorResult,
+    candidate_periods,
+    continued_fraction_convergents,
+    factors_from_period,
+    order_of,
+    postprocess_counts,
+    postprocess_distribution,
+)
+
+__all__ = [
+    "ShorResult",
+    "candidate_periods",
+    "continued_fraction_convergents",
+    "factors_from_period",
+    "marginalize_counts",
+    "order_of",
+    "postprocess_counts",
+    "postprocess_distribution",
+    "shift_counts",
+    "top_outcomes",
+    "total_variation_distance",
+]

@@ -1,0 +1,59 @@
+"""Measurement-count utilities shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+def marginalize_counts(
+    counts: Dict[int, int], keep_bits: Iterable[int]
+) -> Dict[int, int]:
+    """Project sampled counts onto a subset of qubits.
+
+    Args:
+        counts: Mapping from full basis-state index to frequency.
+        keep_bits: Qubit indices to keep; bit ``k`` of the result index is
+            the value of ``keep_bits[k]``.
+    """
+    kept = list(keep_bits)
+    result: Dict[int, int] = {}
+    for index, frequency in counts.items():
+        projected = 0
+        for position, qubit in enumerate(kept):
+            projected |= ((index >> qubit) & 1) << position
+        result[projected] = result.get(projected, 0) + frequency
+    return result
+
+
+def shift_counts(counts: Dict[int, int], shift: int) -> Dict[int, int]:
+    """Right-shift every outcome index (drop low-order qubits)."""
+    result: Dict[int, int] = {}
+    for index, frequency in counts.items():
+        key = index >> shift
+        result[key] = result.get(key, 0) + frequency
+    return result
+
+
+def top_outcomes(
+    counts: Dict[int, int], limit: int = 10
+) -> Tuple[Tuple[int, int], ...]:
+    """The ``limit`` most frequent outcomes, most frequent first."""
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return tuple(ordered[:limit])
+
+
+def total_variation_distance(
+    counts_a: Dict[int, int], counts_b: Dict[int, int]
+) -> float:
+    """TV distance between two empirical distributions."""
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    if total_a == 0 or total_b == 0:
+        raise ValueError("both count dictionaries must be non-empty")
+    support = set(counts_a) | set(counts_b)
+    distance = 0.0
+    for outcome in support:
+        pa = counts_a.get(outcome, 0) / total_a
+        pb = counts_b.get(outcome, 0) / total_b
+        distance += abs(pa - pb)
+    return distance / 2.0

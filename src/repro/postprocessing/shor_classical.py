@@ -1,0 +1,179 @@
+"""Classical postprocessing for Shor's algorithm.
+
+The paper's fidelity-driven experiments check that the *approximate* final
+state — with fidelity only around 50 % — still factors correctly after "the
+non-quantum postprocessing steps of Shor's algorithm" (§VI).  This module
+implements those steps: continued-fraction expansion of the measured
+counting value, period recovery, and factor extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+
+def continued_fraction_convergents(
+    numerator: int, denominator: int
+) -> List[Fraction]:
+    """Return all convergents of ``numerator / denominator``.
+
+    Uses the standard recurrence on the continued-fraction expansion; the
+    final convergent equals the input fraction exactly.
+    """
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    convergents: List[Fraction] = []
+    h_prev, h_curr = 0, 1
+    k_prev, k_curr = 1, 0
+    a, b = numerator, denominator
+    while b:
+        quotient = a // b
+        a, b = b, a - quotient * b
+        h_prev, h_curr = h_curr, quotient * h_curr + h_prev
+        k_prev, k_curr = k_curr, quotient * k_curr + k_prev
+        convergents.append(Fraction(h_curr, k_curr))
+    return convergents
+
+
+def candidate_periods(
+    measured: int, counting_bits: int, modulus: int
+) -> List[int]:
+    """Candidate periods from one measurement of the counting register.
+
+    The measured value approximates :math:`s/r \\cdot 2^{m}`; every
+    convergent denominator ``<= modulus`` is a candidate period, as are its
+    small multiples (to recover ``r`` when ``gcd(s, r) > 1``).
+    """
+    if measured == 0:
+        return []
+    space = 1 << counting_bits
+    candidates: List[int] = []
+    seen: set[int] = set()
+    for convergent in continued_fraction_convergents(measured, space):
+        denominator = convergent.denominator
+        if denominator <= 1 or denominator >= modulus:
+            continue
+        for multiple in (1, 2, 3, 4):
+            period = denominator * multiple
+            if period < modulus and period not in seen:
+                seen.add(period)
+                candidates.append(period)
+    return candidates
+
+
+def order_of(base: int, modulus: int) -> int:
+    """Classically compute the multiplicative order of ``base`` mod ``modulus``.
+
+    Exponential-free brute force — fine for test-sized moduli and used to
+    validate the quantum estimate.
+    """
+    if math.gcd(base, modulus) != 1:
+        raise ValueError("base and modulus must be coprime")
+    value = base % modulus
+    order = 1
+    while value != 1:
+        value = (value * base) % modulus
+        order += 1
+        if order > modulus:
+            raise ArithmeticError("order exceeds modulus — inconsistent input")
+    return order
+
+
+def factors_from_period(
+    modulus: int, base: int, period: int
+) -> Optional[Tuple[int, int]]:
+    """Try to split ``modulus`` given a candidate period.
+
+    Returns the nontrivial factor pair, or None when the period is odd,
+    wrong, or leads to the trivial gcds.
+    """
+    if period <= 0 or pow(base, period, modulus) != 1:
+        return None
+    if period % 2:
+        return None
+    half_power = pow(base, period // 2, modulus)
+    if half_power == modulus - 1:
+        return None
+    for candidate in (half_power - 1, half_power + 1):
+        factor = math.gcd(candidate, modulus)
+        if 1 < factor < modulus:
+            return (factor, modulus // factor)
+    return None
+
+
+@dataclass(frozen=True)
+class ShorResult:
+    """Outcome of postprocessing a batch of measurements.
+
+    Attributes:
+        factors: The recovered factor pair, or None.
+        period: The period that produced the factors (None on failure).
+        successful_measurement: The counting value that led to success.
+        attempts: Number of measurement outcomes examined.
+    """
+
+    factors: Optional[Tuple[int, int]]
+    period: Optional[int]
+    successful_measurement: Optional[int]
+    attempts: int
+
+    @property
+    def succeeded(self) -> bool:
+        """True when a nontrivial factorization was found."""
+        return self.factors is not None
+
+
+def postprocess_counts(
+    counts: Dict[int, int],
+    counting_bits: int,
+    modulus: int,
+    base: int,
+) -> ShorResult:
+    """Run Shor's classical postprocessing over sampled counting values.
+
+    Args:
+        counts: Mapping from measured counting-register value to frequency
+            (most frequent values are tried first, mirroring repeated runs
+            of the physical algorithm).
+        counting_bits: Width of the counting register.
+        modulus: The number to factor.
+        base: The coprime base used in the circuit.
+
+    Returns:
+        A :class:`ShorResult`; ``factors`` is None if every sampled
+        measurement fails to produce a valid period.
+    """
+    attempts = 0
+    ordered = sorted(counts.items(), key=lambda item: -item[1])
+    for measured, _frequency in ordered:
+        attempts += 1
+        for period in candidate_periods(measured, counting_bits, modulus):
+            factors = factors_from_period(modulus, base, period)
+            if factors is not None:
+                return ShorResult(factors, period, measured, attempts)
+    return ShorResult(None, None, None, attempts)
+
+
+def postprocess_distribution(
+    probabilities: Dict[int, float],
+    counting_bits: int,
+    modulus: int,
+    base: int,
+    cutoff: float = 1e-6,
+) -> ShorResult:
+    """Postprocess an *exact* counting distribution (no sampling noise).
+
+    Works like :func:`postprocess_counts` but takes probabilities (e.g.
+    from :func:`repro.dd.analysis.marginal_probabilities` over the
+    counting register) and ignores outcomes below ``cutoff`` — the
+    deterministic variant used by the benchmarks.
+    """
+    significant = {
+        outcome: probability
+        for outcome, probability in probabilities.items()
+        if probability >= cutoff
+    }
+    return postprocess_counts(significant, counting_bits, modulus, base)

@@ -1,0 +1,12 @@
+"""Hardware-facing transpilation: decomposition and coupling-map routing."""
+
+from .decompose import decompose_to_two_qubit
+from .mapping import CouplingMap, MappingResult, map_circuit, unmap_amplitudes
+
+__all__ = [
+    "CouplingMap",
+    "MappingResult",
+    "decompose_to_two_qubit",
+    "map_circuit",
+    "unmap_amplitudes",
+]

@@ -1,0 +1,226 @@
+"""Qubit routing onto a hardware coupling map.
+
+The paper cites circuit mapping ([29]: Zulehner, Paler, Wille — mapping to
+the IBM QX architectures) as one of the design-automation tasks DD
+technology serves.  This module implements the core of that task with a
+simple, correct router: given a coupling graph, every two-qubit gate whose
+endpoints are not adjacent is preceded by a chain of SWAPs moving the
+logical qubits together along a shortest path.
+
+The result is *semantically transparent*: the router tracks the
+logical-to-physical layout, and :func:`unmap_state` (or the returned
+``final_layout``) converts simulated results back to logical order, so a
+mapped circuit can be validated end-to-end against the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..circuits.circuit import Circuit, Operation
+
+
+@dataclass(frozen=True)
+class CouplingMap:
+    """An undirected hardware connectivity graph.
+
+    Attributes:
+        num_qubits: Number of physical qubits.
+        edges: Undirected coupler pairs.
+    """
+
+    num_qubits: int
+    edges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for a, b in self.edges:
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"edge ({a}, {b}) outside qubit range")
+            if a == b:
+                raise ValueError("self-loops are not couplers")
+        graph = self.graph()
+        if self.num_qubits > 1 and not nx.is_connected(graph):
+            raise ValueError("coupling map must be connected")
+
+    def graph(self) -> "nx.Graph":
+        """The connectivity as a networkx graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when a coupler connects the two physical qubits."""
+        return (a, b) in self._edge_set or (b, a) in self._edge_set
+
+    @property
+    def _edge_set(self) -> frozenset:
+        return frozenset(self.edges)
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        """A 1-D nearest-neighbour chain."""
+        return cls(
+            num_qubits,
+            tuple((i, i + 1) for i in range(num_qubits - 1)),
+        )
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        """A cycle of couplers."""
+        if num_qubits < 3:
+            raise ValueError("a ring needs at least three qubits")
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(num_qubits, tuple(edges))
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """A 2-D grid (the supremacy-chip topology)."""
+        edges: List[Tuple[int, int]] = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(rows * cols, tuple(edges))
+
+
+@dataclass
+class MappingResult:
+    """Output of the router.
+
+    Attributes:
+        circuit: The physical circuit (every multi-qubit gate adjacent).
+        initial_layout: ``initial_layout[logical] = physical`` at start.
+        final_layout: Same mapping after all inserted SWAPs.
+        swaps_inserted: Number of routing SWAPs added.
+    """
+
+    circuit: Circuit
+    initial_layout: List[int]
+    final_layout: List[int]
+    swaps_inserted: int
+
+
+def map_circuit(
+    circuit: Circuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Sequence[int]] = None,
+) -> MappingResult:
+    """Route a circuit onto a coupling map by SWAP insertion.
+
+    Two-qubit gates on non-adjacent physical qubits are preceded by SWAPs
+    walking one operand along a shortest path to a neighbour of the other
+    (the baseline strategy of mapping papers like [29]; no lookahead).
+
+    Args:
+        circuit: Logical circuit; operations must touch at most two
+            qubits (run :func:`repro.transpile.decompose.decompose_to_two_qubit`
+            first if needed).
+        coupling: Hardware connectivity; must have at least as many
+            qubits as the circuit.
+        initial_layout: Optional logical→physical placement (identity by
+            default).
+
+    Raises:
+        ValueError: On >2-qubit operations or size mismatch.
+    """
+    if coupling.num_qubits < circuit.num_qubits:
+        raise ValueError("coupling map smaller than the circuit")
+    layout = (
+        list(initial_layout)
+        if initial_layout is not None
+        else list(range(circuit.num_qubits))
+    )
+    if sorted(layout) != list(range(circuit.num_qubits)) and sorted(
+        layout
+    ) != sorted(set(layout)):
+        raise ValueError("initial_layout must be injective")
+    # physical position of each logical qubit; inverse for bookkeeping.
+    graph = coupling.graph()
+    paths = dict(nx.all_pairs_shortest_path(graph))
+    mapped = Circuit(coupling.num_qubits, name=f"{circuit.name}_mapped")
+    swaps = 0
+    initial = list(layout)
+
+    def physical(logical: int) -> int:
+        return layout[logical]
+
+    def swap_physical(a: int, b: int) -> None:
+        nonlocal swaps
+        mapped.swap(a, b)
+        swaps += 1
+        for logical, position in enumerate(layout):
+            if position == a:
+                layout[logical] = b
+            elif position == b:
+                layout[logical] = a
+
+    for operation in circuit:
+        touched = list(operation.targets) + list(operation.controls)
+        if len(touched) > 2:
+            raise ValueError(
+                f"cannot route {operation.describe()!r}: decompose to "
+                "two-qubit gates first"
+            )
+        if len(touched) == 2:
+            first, second = physical(touched[0]), physical(touched[1])
+            if not coupling.are_adjacent(first, second):
+                path = paths[first][second]
+                # Walk ``first`` down the path until adjacent to second.
+                for step in path[1:-1]:
+                    swap_physical(physical(touched[0]), step)
+            first, second = physical(touched[0]), physical(touched[1])
+        remapped_targets = tuple(physical(q) for q in operation.targets)
+        remapped_controls = tuple(physical(q) for q in operation.controls)
+        mapped.append(
+            Operation(
+                operation.gate,
+                remapped_targets,
+                remapped_controls,
+                operation.params,
+            )
+        )
+    return MappingResult(
+        circuit=mapped,
+        initial_layout=initial,
+        final_layout=list(layout),
+        swaps_inserted=swaps,
+    )
+
+
+def unmap_amplitudes(amplitudes, final_layout: Sequence[int], num_logical: int):
+    """Convert a physical statevector back to logical qubit order.
+
+    Args:
+        amplitudes: Dense state over the physical register.
+        final_layout: ``final_layout[logical] = physical``.
+        num_logical: Number of logical qubits (physical ancillas must be
+            in state 0 and are traced off by index arithmetic).
+    """
+    import numpy as np
+
+    amplitudes = np.asarray(amplitudes)
+    num_physical = amplitudes.size.bit_length() - 1
+    result = np.zeros(1 << num_logical, dtype=complex)
+    for physical_index in range(amplitudes.size):
+        value = amplitudes[physical_index]
+        if value == 0.0:
+            continue
+        logical_index = 0
+        residual = physical_index
+        for logical in range(num_logical):
+            bit = (physical_index >> final_layout[logical]) & 1
+            logical_index |= bit << logical
+            residual &= ~(1 << final_layout[logical])
+        if residual:
+            raise ValueError(
+                "physical ancilla qubits are not in |0>; cannot unmap"
+            )
+        result[logical_index] = value
+    return result

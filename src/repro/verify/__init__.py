@@ -1,0 +1,13 @@
+"""Circuit verification built on decision diagrams (cf. refs [8], [9])."""
+
+from .equivalence import (
+    EquivalenceResult,
+    circuits_equivalent,
+    is_identity_edge,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "circuits_equivalent",
+    "is_identity_edge",
+]

@@ -1,0 +1,133 @@
+"""Tests for the dense statevector baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline import StatevectorSimulator, simulate_dense
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import gate_matrix
+
+
+class TestConstruction:
+    def test_initial_zero_state(self):
+        simulator = StatevectorSimulator(3)
+        assert simulator.state[0] == 1.0
+        assert np.count_nonzero(simulator.state) == 1
+
+    def test_initial_basis_state(self):
+        simulator = StatevectorSimulator(3, initial_state=5)
+        assert simulator.state[5] == 1.0
+
+    def test_rejects_absurd_widths(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(0)
+        with pytest.raises(ValueError):
+            StatevectorSimulator(StatevectorSimulator.MAX_QUBITS + 1)
+
+    def test_rejects_bad_initial_state(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(2, initial_state=4)
+
+
+class TestSingleQubitGates:
+    def test_hadamard(self):
+        simulator = StatevectorSimulator(1)
+        simulator.apply_single_qubit(gate_matrix("h"), 0)
+        np.testing.assert_allclose(
+            simulator.state, np.full(2, 1 / math.sqrt(2)), atol=1e-12
+        )
+
+    def test_x_on_each_qubit(self):
+        for target in range(3):
+            simulator = StatevectorSimulator(3)
+            simulator.apply_single_qubit(gate_matrix("x"), target)
+            assert simulator.state[1 << target] == pytest.approx(1.0)
+
+    def test_controlled_gate_respects_controls(self):
+        simulator = StatevectorSimulator(2)
+        simulator.apply_single_qubit(gate_matrix("x"), 1, controls=(0,))
+        assert simulator.state[0] == pytest.approx(1.0)  # control is 0
+
+        simulator = StatevectorSimulator(2, initial_state=1)
+        simulator.apply_single_qubit(gate_matrix("x"), 1, controls=(0,))
+        assert simulator.state[0b11] == pytest.approx(1.0)
+
+    def test_multi_control(self):
+        simulator = StatevectorSimulator(3, initial_state=0b011)
+        simulator.apply_single_qubit(gate_matrix("x"), 2, controls=(0, 1))
+        assert simulator.state[0b111] == pytest.approx(1.0)
+
+
+class TestSwapAndModmul:
+    def test_swap(self):
+        simulator = StatevectorSimulator(3, initial_state=0b001)
+        simulator.apply_swap(0, 2)
+        assert simulator.state[0b100] == pytest.approx(1.0)
+
+    def test_swap_superposition(self):
+        simulator = StatevectorSimulator(2)
+        simulator.apply_single_qubit(gate_matrix("h"), 0)
+        simulator.apply_swap(0, 1)
+        assert abs(simulator.state[0b10]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_cmodmul(self):
+        simulator = StatevectorSimulator(4, initial_state=3)
+        simulator.apply_cmodmul(7, 15, work_bits=4)
+        assert simulator.state[(7 * 3) % 15] == pytest.approx(1.0)
+
+    def test_cmodmul_control_off(self):
+        simulator = StatevectorSimulator(5, initial_state=3)
+        simulator.apply_cmodmul(7, 15, work_bits=4, controls=(4,))
+        assert simulator.state[3] == pytest.approx(1.0)
+
+    def test_cmodmul_preserves_norm(self):
+        simulator = StatevectorSimulator(4)
+        simulator.apply_single_qubit(gate_matrix("h"), 0)
+        simulator.apply_single_qubit(gate_matrix("h"), 1)
+        simulator.apply_cmodmul(2, 15, work_bits=4)
+        assert np.linalg.norm(simulator.state) == pytest.approx(1.0)
+
+
+class TestRunCircuit:
+    def test_bell_state(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        state = simulate_dense(circuit)
+        np.testing.assert_allclose(
+            state,
+            np.array([1, 0, 0, 1]) / math.sqrt(2),
+            atol=1e-12,
+        )
+
+    def test_width_mismatch(self):
+        simulator = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.run(Circuit(3).h(0))
+
+    def test_norm_preserved_over_long_circuit(self):
+        from repro.circuits.randomcirc import random_circuit
+
+        circuit = random_circuit(5, 60, seed=11)
+        state = simulate_dense(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_probabilities_sum_to_one(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        simulator = StatevectorSimulator(3)
+        simulator.run(circuit)
+        assert simulator.probabilities().sum() == pytest.approx(1.0)
+
+    def test_sampling_distribution(self):
+        simulator = StatevectorSimulator(1)
+        simulator.apply_single_qubit(gate_matrix("h"), 0)
+        counts = simulator.sample(10_000, np.random.default_rng(0))
+        assert counts[0] / 10_000 == pytest.approx(0.5, abs=0.03)
+
+    def test_sample_validates_shots(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(1).sample(0)

@@ -1,0 +1,96 @@
+"""Tests for the multi-process experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.parallel import RunSpec, run_parallel
+
+
+class TestRunSpec:
+    def test_builds_shor_workload(self):
+        spec = RunSpec("shor", (15, 2))
+        workload = spec.build_workload()
+        assert workload.name == "shor_15_2"
+
+    def test_builds_supremacy_workload(self):
+        spec = RunSpec("supremacy", (3, 3, 8, 1))
+        assert spec.build_workload().name == "qsup_3x3_8_1"
+
+    def test_unknown_workload_kind(self):
+        with pytest.raises(ValueError):
+            RunSpec("bogus", ()).build_workload()
+
+    @pytest.mark.parametrize(
+        "kind,args",
+        [
+            ("exact", ()),
+            ("memory", (("threshold", 64), ("round_fidelity", 0.95))),
+            (
+                "fidelity",
+                (("final_fidelity", 0.5), ("round_fidelity", 0.9)),
+            ),
+            (
+                "adaptive",
+                (("final_fidelity", 0.5), ("round_fidelity", 0.9)),
+            ),
+            ("size_cap", (("max_nodes", 128),)),
+        ],
+    )
+    def test_builds_every_strategy(self, kind, args):
+        spec = RunSpec("shor", (15, 2), kind, args)
+        strategy = spec.build_strategy()
+        assert strategy.describe()
+
+    def test_unknown_strategy_kind(self):
+        with pytest.raises(ValueError):
+            RunSpec("shor", (15, 2), "bogus").build_strategy()
+
+
+class TestRunParallel:
+    def test_empty_input(self):
+        assert run_parallel([], processes=2) == []
+
+    def test_serial_fallback(self):
+        records = run_parallel([RunSpec("shor", (15, 2))], processes=1)
+        assert len(records) == 1
+        assert records[0].workload == "shor_15_2"
+        assert records[0].outcome is None
+
+    def test_order_preserved_across_processes(self):
+        specs = [
+            RunSpec("shor", (15, 2)),
+            RunSpec("supremacy", (2, 2, 4, 0)),
+            RunSpec("shor", (15, 7)),
+        ]
+        records = run_parallel(specs, processes=3)
+        assert [r.workload for r in records] == [
+            "shor_15_2",
+            "qsup_2x2_4_0",
+            "shor_15_7",
+        ]
+
+    def test_strategies_applied_in_workers(self):
+        spec = RunSpec(
+            "shor",
+            (21, 2),
+            "fidelity",
+            (
+                ("final_fidelity", 0.5),
+                ("round_fidelity", 0.9),
+                ("placement", "block:inverse_qft"),
+            ),
+        )
+        records = run_parallel([spec, spec], processes=2)
+        for record in records:
+            assert record.rounds >= 1
+            assert record.final_fidelity >= 0.5 - 1e-9
+
+    def test_timeouts_propagate(self):
+        spec = RunSpec("supremacy", (3, 4, 12, 0), max_seconds=1e-4)
+        records = run_parallel([spec], processes=2)
+        assert records[0].timed_out
+
+    def test_rejects_bad_process_count(self):
+        with pytest.raises(ValueError):
+            run_parallel([RunSpec("shor", (15, 2))], processes=0)

@@ -1,0 +1,121 @@
+"""Tests for Table-I-style report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    compare_strategies,
+    comparison_rows,
+    format_table,
+    paper_comparison,
+    shor_workload,
+    supremacy_workload,
+)
+from repro.bench.runner import ComparisonResult, RunRecord
+from repro.core import FidelityDrivenStrategy
+from repro.dd.package import Package
+
+
+def _fake_comparison(name="shor_33_5", paper=True) -> ComparisonResult:
+    workload = shor_workload(33, 5) if paper else shor_workload(15, 2)
+    exact = RunRecord(
+        workload=workload.name,
+        strategy="exact",
+        qubits=18,
+        max_dd_size=47096,
+        rounds=0,
+        round_fidelity=None,
+        runtime_seconds=8.14,
+        final_fidelity=1.0,
+    )
+    approx = RunRecord(
+        workload=workload.name,
+        strategy="fidelity",
+        qubits=18,
+        max_dd_size=4900,
+        rounds=6,
+        round_fidelity=0.9,
+        runtime_seconds=0.64,
+        final_fidelity=0.83,
+    )
+    return ComparisonResult(workload=workload, exact=exact, approximate=[approx])
+
+
+class TestComparisonRows:
+    def test_row_contents(self):
+        rows = comparison_rows(_fake_comparison())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row[0] == "shor_33_5"
+        assert row[2] == "47 096"
+        assert row[5] == "6"
+        assert row[9] == "12.7x"
+
+    def test_timeout_rendered(self):
+        comparison = _fake_comparison()
+        comparison.exact.runtime_seconds = None
+        comparison.exact.timed_out = True
+        rows = comparison_rows(comparison)
+        assert rows[0][3] == "Timeout"
+        assert rows[0][9] == "-"
+
+    def test_exact_only_row(self):
+        comparison = _fake_comparison()
+        comparison.approximate = []
+        rows = comparison_rows(comparison)
+        assert rows[0][4] == "-"
+
+
+class TestFormatTable:
+    def test_contains_header_and_title(self):
+        text = format_table([_fake_comparison()], "Table I (test)")
+        assert text.startswith("Table I (test)")
+        assert "Benchmark" in text
+        assert "f_round" in text
+        assert "shor_33_5" in text
+
+    def test_alignment_consistent(self):
+        text = format_table([_fake_comparison()], "T")
+        lines = [line for line in text.splitlines() if "shor" in line]
+        assert len(lines) == 1
+
+    def test_real_run_formats(self):
+        workload = shor_workload(15, 2)
+        result = compare_strategies(
+            workload,
+            [(FidelityDrivenStrategy(0.5, 0.9, placement="even"), 0.9)],
+            package=Package(),
+        )
+        text = format_table([result], "smoke")
+        assert "shor_15_2" in text
+
+
+class TestPaperComparison:
+    def test_paper_row_referenced(self):
+        text = paper_comparison([_fake_comparison()])
+        assert "shor_33_5" in text
+        assert "73 736" in text  # paper's exact max-DD
+        assert "measured" in text
+
+    def test_substitution_note_for_scaled_workloads(self):
+        comparison = _fake_comparison(paper=False)
+        text = paper_comparison([comparison])
+        assert "scaled-down" in text
+
+    def test_timeout_paper_row(self):
+        workload = shor_workload(629, 8)
+        exact = RunRecord(
+            workload="shor_629_8",
+            strategy="exact",
+            qubits=30,
+            max_dd_size=0,
+            rounds=0,
+            round_fidelity=None,
+            runtime_seconds=None,
+            final_fidelity=1.0,
+            timed_out=True,
+        )
+        comparison = ComparisonResult(workload=workload, exact=exact)
+        text = paper_comparison([comparison])
+        assert "timed out" in text

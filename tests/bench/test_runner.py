@@ -1,0 +1,107 @@
+"""Tests for the benchmark runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    compare_strategies,
+    factor_check,
+    run_workload,
+    shor_workload,
+    supremacy_workload,
+)
+from repro.core import FidelityDrivenStrategy, MemoryDrivenStrategy
+from repro.dd.package import Package
+
+
+class TestRunWorkload:
+    def test_exact_run(self):
+        record = run_workload(shor_workload(15, 2), package=Package())
+        assert record.workload == "shor_15_2"
+        assert record.strategy == "exact"
+        assert record.rounds == 0
+        assert record.final_fidelity == 1.0
+        assert not record.timed_out
+        assert record.outcome is not None
+
+    def test_approximate_run(self):
+        strategy = FidelityDrivenStrategy(
+            0.5, 0.9, placement="block:inverse_qft"
+        )
+        record = run_workload(
+            shor_workload(21, 2),
+            strategy,
+            package=Package(),
+            round_fidelity=0.9,
+        )
+        assert record.round_fidelity == 0.9
+        assert record.final_fidelity >= 0.5 - 1e-9
+
+    def test_timeout_is_tolerated(self):
+        record = run_workload(
+            supremacy_workload(3, 4, 12, 0),
+            package=Package(),
+            max_seconds=1e-4,
+        )
+        assert record.timed_out
+        assert record.runtime_seconds is None
+        assert record.outcome is None
+
+
+class TestCompareStrategies:
+    def test_exact_and_approximate_records(self):
+        workload = supremacy_workload(3, 3, 8, 0)
+        result = compare_strategies(
+            workload,
+            [
+                (MemoryDrivenStrategy(threshold=64, round_fidelity=0.95), 0.95),
+                (MemoryDrivenStrategy(threshold=128, round_fidelity=0.9), 0.9),
+            ],
+            package=Package(),
+        )
+        assert result.exact.strategy == "exact"
+        assert len(result.approximate) == 2
+        assert result.approximate[0].round_fidelity == 0.95
+
+    def test_speedup_computation(self):
+        workload = shor_workload(15, 2)
+        result = compare_strategies(
+            workload,
+            [(FidelityDrivenStrategy(0.5, 0.9, placement="even"), 0.9)],
+            package=Package(),
+        )
+        speedup = result.speedup(0)
+        assert speedup is not None and speedup > 0.0
+
+    def test_speedup_none_on_timeout(self):
+        workload = supremacy_workload(3, 4, 12, 1)
+        result = compare_strategies(
+            workload,
+            [(MemoryDrivenStrategy(threshold=64, round_fidelity=0.9), 0.9)],
+            package=Package(),
+            max_seconds=1e-4,
+        )
+        assert result.speedup(0) is None
+
+
+class TestFactorCheck:
+    def test_shor_factors_recovered(self):
+        workload = shor_workload(15, 2)
+        record = run_workload(workload, package=Package())
+        result = factor_check(record, workload, shots=500)
+        assert result is not None
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 5]
+
+    def test_none_for_supremacy(self):
+        workload = supremacy_workload(3, 3, 8, 0)
+        record = run_workload(workload, package=Package())
+        assert factor_check(record, workload) is None
+
+    def test_none_on_timeout(self):
+        workload = shor_workload(15, 2)
+        record = run_workload(
+            workload, package=Package(), max_seconds=1e-6
+        )
+        assert factor_check(record, workload) is None

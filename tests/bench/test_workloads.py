@@ -1,0 +1,78 @@
+"""Tests for the benchmark workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_SHOR_SUITE,
+    DEFAULT_SUPREMACY_SUITE,
+    PAPER_SHOR_ROWS,
+    PAPER_SUPREMACY_ROWS,
+    shor_workload,
+    supremacy_workload,
+)
+
+
+class TestPaperRows:
+    def test_all_table1_shor_rows_present(self):
+        assert set(PAPER_SHOR_ROWS) == {
+            "shor_33_5",
+            "shor_55_2",
+            "shor_69_2",
+            "shor_221_4",
+            "shor_323_8",
+            "shor_629_8",
+            "shor_1157_8",
+        }
+
+    def test_timeouts_recorded_as_none(self):
+        assert PAPER_SHOR_ROWS["shor_629_8"].exact_runtime is None
+        assert PAPER_SHOR_ROWS["shor_1157_8"].exact_runtime is None
+
+    def test_paper_qubit_counts(self):
+        assert PAPER_SHOR_ROWS["shor_33_5"].qubits == 18
+        assert PAPER_SHOR_ROWS["shor_1157_8"].qubits == 33
+        assert PAPER_SUPREMACY_ROWS["qsup_4x5_15_0"].qubits == 20
+
+    def test_all_rounds_at_f09(self):
+        for row in PAPER_SHOR_ROWS.values():
+            assert row.round_fidelity == 0.9
+            assert row.final_fidelity >= 0.5
+
+
+class TestWorkloadFactories:
+    def test_shor_workload_builds(self):
+        workload = shor_workload(15, 2)
+        circuit = workload.build()
+        assert circuit.name == "shor_15_2"
+        assert workload.paper_row is None
+        assert "scaled-down" in workload.notes
+
+    def test_paper_shor_workload_links_row(self):
+        workload = shor_workload(33, 5)
+        assert workload.paper_row is PAPER_SHOR_ROWS["shor_33_5"]
+        assert workload.notes == ""
+
+    def test_supremacy_workload_builds(self):
+        workload = supremacy_workload(3, 3, 8, 0)
+        circuit = workload.build()
+        assert circuit.num_qubits == 9
+        assert workload.family == "supremacy"
+
+    def test_build_is_repeatable(self):
+        workload = supremacy_workload(3, 3, 8, 1)
+        assert workload.build().operations == workload.build().operations
+
+
+class TestSuites:
+    def test_default_shor_suite_members(self):
+        names = [w.name for w in DEFAULT_SHOR_SUITE]
+        assert "shor_15_2" in names
+        assert "shor_33_5" in names
+
+    def test_default_suites_are_runnable_scale(self):
+        for workload in DEFAULT_SHOR_SUITE:
+            assert workload.build().num_qubits <= 18
+        for workload in DEFAULT_SUPREMACY_SUITE:
+            assert workload.build().num_qubits <= 12

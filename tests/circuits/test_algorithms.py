@@ -1,0 +1,168 @@
+"""Tests for the additional algorithm workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.algorithms import (
+    adder_result_bits,
+    bernstein_vazirani_circuit,
+    cuccaro_adder_circuit,
+    deutsch_jozsa_circuit,
+    phase_estimation_circuit,
+)
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0, 1, 0b1011, 0b11111, 0b10101])
+    def test_recovers_secret(self, secret):
+        circuit = bernstein_vazirani_circuit(5, secret)
+        state = run_circuit_dd(circuit, Package())
+        assert state.probability(secret) == pytest.approx(1.0, abs=1e-9)
+
+    def test_diagram_stays_linear(self):
+        state = run_circuit_dd(
+            bernstein_vazirani_circuit(12, 0b101010101010), Package()
+        )
+        assert state.node_count() == 12
+
+    def test_rejects_out_of_range_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(3, 8)
+
+    def test_matches_dense(self):
+        circuit = bernstein_vazirani_circuit(6, 45)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_yields_zero(self):
+        state = run_circuit_dd(deutsch_jozsa_circuit(5), Package())
+        assert state.probability(0) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("mask", [1, 0b101, 0b11111])
+    def test_balanced_oracle_never_yields_zero(self, mask):
+        state = run_circuit_dd(deutsch_jozsa_circuit(5, mask), Package())
+        assert state.probability(0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_balanced_parity_outcome_is_the_mask(self):
+        # The phase-parity oracle makes the measured value the mask itself.
+        state = run_circuit_dd(deutsch_jozsa_circuit(5, 0b1101), Package())
+        assert state.probability(0b1101) == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_bad_mask(self):
+        with pytest.raises(ValueError):
+            deutsch_jozsa_circuit(3, 8)
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize(
+        "phase,bits", [(1 / 4, 3), (5 / 16, 4), (3 / 8, 5)]
+    )
+    def test_exactly_representable_phase(self, phase, bits):
+        circuit = phase_estimation_circuit(phase, bits)
+        state = run_circuit_dd(circuit, Package())
+        expected = round(phase * (1 << bits))
+        # Counting register = index >> 1 (qubit 0 is the target).
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        best = int(np.argmax(probabilities))
+        assert best >> 1 == expected
+        assert probabilities[best] == pytest.approx(1.0, abs=1e-6)
+
+    def test_irrational_phase_concentrates_nearby(self):
+        phase = 0.3141
+        bits = 6
+        circuit = phase_estimation_circuit(phase, bits)
+        state = run_circuit_dd(circuit, Package())
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        best = int(np.argmax(probabilities)) >> 1
+        assert abs(best / (1 << bits) - phase) < 2 / (1 << bits)
+
+    def test_block_structure(self):
+        circuit = phase_estimation_circuit(0.25, 4)
+        names = [block.name for block in circuit.blocks]
+        assert names[0] == "init"
+        assert names[-1] == "inverse_qft"
+        assert all(name.startswith("cpow") for name in names[1:-1])
+
+    def test_fidelity_driven_placement_applies(self):
+        """QPE reuses the Fig. 2 template, so the paper's placement works."""
+        from repro.core import FidelityDrivenStrategy, simulate
+
+        circuit = phase_estimation_circuit(5 / 16, 8)
+        strategy = FidelityDrivenStrategy(
+            0.5, 0.9, placement="block:inverse_qft"
+        )
+        outcome = simulate(circuit, strategy, package=Package())
+        assert outcome.stats.fidelity_estimate >= 0.5 - 1e-9
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(ValueError):
+            phase_estimation_circuit(0.25, 0)
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize(
+        "bits,a,b", [(2, 1, 2), (3, 5, 3), (4, 13, 9), (4, 15, 15), (3, 0, 7)]
+    )
+    def test_addition(self, bits, a, b):
+        circuit = cuccaro_adder_circuit(bits, a, b)
+        state = run_circuit_dd(circuit, Package())
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        index = int(np.argmax(probabilities))
+        assert probabilities[index] == pytest.approx(1.0, abs=1e-9)
+        result_bits = adder_result_bits(bits)
+        total = sum(
+            ((index >> qubit) & 1) << position
+            for position, qubit in enumerate(result_bits)
+        )
+        assert total == a + b
+
+    def test_a_register_restored(self):
+        circuit = cuccaro_adder_circuit(3, 6, 5)
+        state = run_circuit_dd(circuit, Package())
+        index = int(np.argmax(np.abs(state.to_amplitudes()) ** 2))
+        a_value = sum(
+            ((index >> (2 + 2 * i)) & 1) << i for i in range(3)
+        )
+        assert a_value == 6
+
+    def test_matches_dense(self):
+        circuit = cuccaro_adder_circuit(3, 4, 7)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+    def test_rejects_bad_operands(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder_circuit(3, 8, 0)
+        with pytest.raises(ValueError):
+            cuccaro_adder_circuit(0, 0, 0)
+
+    def test_adder_on_superposition(self):
+        """Adding a to a superposition of b values stays reversible."""
+        circuit = cuccaro_adder_circuit(2, 2, 0)
+        # Put the b register in superposition before the ripple block.
+        prep = circuit.operations[: len(circuit)]
+        from repro.circuits.circuit import Circuit
+
+        super_circuit = Circuit(circuit.num_qubits)
+        super_circuit.h(1).h(3)  # b qubits
+        for operation in prep:
+            if operation.gate == "x" and operation.targets[0] in (1, 3):
+                continue  # skip classical b loading
+            super_circuit.append(operation)
+        state = run_circuit_dd(super_circuit, Package())
+        assert state.norm() == pytest.approx(1.0)
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        assert np.count_nonzero(probabilities > 1e-9) == 4

@@ -1,0 +1,193 @@
+"""Tests for the variational ansatz and Trotterization workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.baseline import simulate_dense
+from repro.circuits.ansatz import (
+    ansatz_parameter_count,
+    hardware_efficient_ansatz,
+    transverse_field_ising_hamiltonian,
+)
+from repro.circuits.trotter import (
+    ising_trotter_circuit,
+    tfim_ground_state_energy,
+)
+from repro.dd.observables import expectation_sum
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+_PAULIS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def _dense_hamiltonian(num_qubits, coupling, field):
+    terms = transverse_field_ising_hamiltonian(num_qubits, coupling, field)
+    dimension = 1 << num_qubits
+    matrix = np.zeros((dimension, dimension), dtype=complex)
+    for coefficient, pauli in terms:
+        factor = np.eye(1, dtype=complex)
+        for letter in pauli:
+            factor = np.kron(factor, _PAULIS[letter])
+        matrix += coefficient * factor
+    return matrix
+
+
+class TestHamiltonianTerms:
+    def test_term_count(self):
+        terms = transverse_field_ising_hamiltonian(5, 1.0, 0.5)
+        assert len(terms) == 4 + 5  # bonds + fields
+
+    def test_coefficients(self):
+        terms = transverse_field_ising_hamiltonian(3, 2.0, 0.3)
+        zz = [t for t in terms if "Z" in t[1]]
+        xs = [t for t in terms if "X" in t[1]]
+        assert all(c == -2.0 for c, _s in zz)
+        assert all(c == -0.3 for c, _s in xs)
+
+    def test_dense_matrix_is_hermitian(self):
+        matrix = _dense_hamiltonian(3, 1.0, 0.7)
+        np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-12)
+
+    def test_ground_energy_matches_dense_diagonalization(self):
+        matrix = _dense_hamiltonian(4, 1.0, 0.7)
+        expected = float(np.linalg.eigvalsh(matrix)[0])
+        assert tfim_ground_state_energy(4, 1.0, 0.7) == pytest.approx(
+            expected
+        )
+
+    def test_chain_too_short(self):
+        with pytest.raises(ValueError):
+            transverse_field_ising_hamiltonian(1, 1.0, 1.0)
+
+
+class TestAnsatz:
+    def test_parameter_count(self):
+        assert ansatz_parameter_count(4, 2) == 2 * 4 * 3
+
+    def test_wrong_parameter_count_rejected(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(3, 1, [0.1] * 5)
+
+    def test_structure(self):
+        count = ansatz_parameter_count(4, 2)
+        circuit = hardware_efficient_ansatz(4, 2, [0.1] * count)
+        gates = circuit.gate_counts()
+        assert gates["ry"] == gates["rz"] == 12
+        assert gates["cz"] == 8  # two rings of four
+        names = [block.name for block in circuit.blocks]
+        assert names[0] == "rotations[0]"
+        assert "entangle[1]" in names
+
+    def test_two_qubit_chain_single_cz(self):
+        count = ansatz_parameter_count(2, 1)
+        circuit = hardware_efficient_ansatz(2, 1, [0.0] * count)
+        assert circuit.gate_counts()["cz"] == 1
+
+    def test_zero_parameters_give_plus_free_state(self):
+        count = ansatz_parameter_count(3, 1)
+        circuit = hardware_efficient_ansatz(3, 1, [0.0] * count)
+        state = run_circuit_dd(circuit, Package())
+        assert state.probability(0) == pytest.approx(1.0)
+
+    def test_energy_respects_variational_bound(self, rng):
+        count = ansatz_parameter_count(4, 2)
+        terms = transverse_field_ising_hamiltonian(4, 1.0, 0.7)
+        ground = tfim_ground_state_energy(4, 1.0, 0.7)
+        for _ in range(5):
+            parameters = rng.uniform(-np.pi, np.pi, count)
+            circuit = hardware_efficient_ansatz(4, 2, parameters)
+            state = run_circuit_dd(circuit, Package())
+            assert expectation_sum(state, terms) >= ground - 1e-9
+
+    def test_matches_dense(self, rng):
+        count = ansatz_parameter_count(3, 2)
+        circuit = hardware_efficient_ansatz(
+            3, 2, rng.uniform(-np.pi, np.pi, count)
+        )
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+
+class TestTrotter:
+    def test_matches_dense_simulation(self):
+        circuit = ising_trotter_circuit(4, 1.0, 0.7, 0.5, steps=4)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+    def test_first_order_error_scaling(self):
+        """Trotter error decreases as the step count grows."""
+        matrix = _dense_hamiltonian(4, 1.0, 0.7)
+        target = expm(-1j * matrix * 0.6) @ np.eye(16)[:, 0]
+        infidelities = []
+        for steps in (2, 8, 32):
+            circuit = ising_trotter_circuit(4, 1.0, 0.7, 0.6, steps)
+            state = run_circuit_dd(circuit, Package())
+            overlap = np.vdot(target, state.to_amplitudes())
+            infidelities.append(1.0 - abs(overlap) ** 2)
+        assert infidelities[0] > infidelities[1] > infidelities[2]
+
+    def test_second_order_beats_first(self):
+        matrix = _dense_hamiltonian(4, 1.0, 0.7)
+        target = expm(-1j * matrix * 0.6) @ np.eye(16)[:, 0]
+
+        def infidelity(order):
+            circuit = ising_trotter_circuit(
+                4, 1.0, 0.7, 0.6, steps=8, order=order
+            )
+            state = run_circuit_dd(circuit, Package())
+            return 1.0 - abs(np.vdot(target, state.to_amplitudes())) ** 2
+
+        assert infidelity(2) < infidelity(1)
+
+    def test_energy_conservation(self):
+        terms = transverse_field_ising_hamiltonian(4, 1.0, 0.7)
+        initial = run_circuit_dd(
+            ising_trotter_circuit(4, 1.0, 0.7, 1e-9, 1), Package()
+        )
+        evolved = run_circuit_dd(
+            ising_trotter_circuit(4, 1.0, 0.7, 1.0, 64, order=2), Package()
+        )
+        assert expectation_sum(evolved, terms) == pytest.approx(
+            expectation_sum(initial, terms), abs=0.02
+        )
+
+    def test_blocks_annotated_per_step(self):
+        circuit = ising_trotter_circuit(3, 1.0, 0.5, 1.0, steps=5)
+        names = [block.name for block in circuit.blocks]
+        assert names == [f"trotter[{k}]" for k in range(5)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ising_trotter_circuit(1, 1.0, 0.5, 1.0, 1)
+        with pytest.raises(ValueError):
+            ising_trotter_circuit(3, 1.0, 0.5, 1.0, 0)
+        with pytest.raises(ValueError):
+            ising_trotter_circuit(3, 1.0, 0.5, 1.0, 1, order=3)
+
+    def test_approximation_on_trotter_workload(self):
+        """Trotter circuits sit between GHZ and supremacy in hardness;
+        a fidelity-driven run must hold its floor."""
+        from repro.core import FidelityDrivenStrategy, simulate
+
+        package = Package()
+        circuit = ising_trotter_circuit(8, 1.0, 1.2, 2.0, steps=12)
+        exact = simulate(circuit, package=package)
+        approx = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.7, 0.95, placement="blocks"),
+            package=package,
+        )
+        assert exact.state.fidelity(approx.state) >= 0.7 - 1e-6

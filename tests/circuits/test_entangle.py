@@ -1,0 +1,93 @@
+"""Tests for GHZ / W / graph-state preparation circuits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.entangle import (
+    ghz_circuit,
+    graph_state_ring,
+    w_state_circuit,
+)
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+class TestGhz:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 5, 8])
+    def test_amplitudes(self, num_qubits):
+        state = run_circuit_dd(ghz_circuit(num_qubits), Package())
+        amplitudes = state.to_amplitudes()
+        assert amplitudes[0] == pytest.approx(1 / math.sqrt(2))
+        assert amplitudes[-1] == pytest.approx(1 / math.sqrt(2))
+        assert np.count_nonzero(np.abs(amplitudes) > 1e-12) == 2
+
+    @pytest.mark.parametrize("num_qubits", [2, 4, 10, 16])
+    def test_linear_diagram_size(self, num_qubits):
+        state = run_circuit_dd(ghz_circuit(num_qubits), Package())
+        assert state.node_count() == 2 * num_qubits - 1
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+    def test_measurement_correlation(self):
+        state = run_circuit_dd(ghz_circuit(6), Package())
+        counts = state.sample(500, np.random.default_rng(0))
+        assert set(counts) <= {0, 63}
+
+
+class TestWState:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4, 6])
+    def test_single_excitation_support(self, num_qubits):
+        state = run_circuit_dd(w_state_circuit(num_qubits), Package())
+        amplitudes = state.to_amplitudes()
+        expected_magnitude = 1 / math.sqrt(num_qubits)
+        for index in range(1 << num_qubits):
+            if bin(index).count("1") == 1:
+                assert abs(amplitudes[index]) == pytest.approx(
+                    expected_magnitude, abs=1e-9
+                )
+            else:
+                assert abs(amplitudes[index]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_dense(self):
+        circuit = w_state_circuit(5)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            w_state_circuit(1)
+
+    def test_diagram_stays_small(self):
+        state = run_circuit_dd(w_state_circuit(10), Package())
+        # W states have O(n) distinct subtrees.
+        assert state.node_count() <= 3 * 10
+
+
+class TestGraphState:
+    def test_uniform_magnitudes(self):
+        state = run_circuit_dd(graph_state_ring(4), Package())
+        np.testing.assert_allclose(
+            np.abs(state.to_amplitudes()), np.full(16, 0.25), atol=1e-10
+        )
+
+    def test_matches_dense(self):
+        circuit = graph_state_ring(5)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-9,
+        )
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            graph_state_ring(2)

@@ -1,0 +1,162 @@
+"""Tests for the gate matrix library."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATE_REGISTRY,
+    gate_matrix,
+    h_matrix,
+    inverse_gate,
+    phase_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    s_matrix,
+    sx_matrix,
+    sy_matrix,
+    t_matrix,
+    u_matrix,
+    x_matrix,
+    y_matrix,
+    z_matrix,
+)
+
+_PARAM_SAMPLES = {
+    0: (),
+    1: (0.7,),
+    3: (0.3, 1.1, -0.4),
+}
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+    def test_every_registered_gate_is_unitary(self, name):
+        spec = GATE_REGISTRY[name]
+        matrix = gate_matrix(name, _PARAM_SAMPLES[spec.num_params])
+        np.testing.assert_allclose(
+            matrix @ matrix.conj().T, np.eye(2), atol=1e-12
+        )
+
+
+class TestKnownMatrices:
+    def test_x_flips(self):
+        np.testing.assert_allclose(
+            x_matrix() @ np.array([1, 0]), np.array([0, 1])
+        )
+
+    def test_h_creates_superposition(self):
+        result = h_matrix() @ np.array([1, 0])
+        np.testing.assert_allclose(result, np.full(2, 1 / math.sqrt(2)))
+
+    def test_z_phase(self):
+        np.testing.assert_allclose(
+            z_matrix() @ np.array([0, 1]), np.array([0, -1])
+        )
+
+    def test_s_squared_is_z(self):
+        np.testing.assert_allclose(s_matrix() @ s_matrix(), z_matrix())
+
+    def test_t_squared_is_s(self):
+        np.testing.assert_allclose(
+            t_matrix() @ t_matrix(), s_matrix(), atol=1e-12
+        )
+
+    def test_sx_squared_is_x(self):
+        np.testing.assert_allclose(
+            sx_matrix() @ sx_matrix(), x_matrix(), atol=1e-12
+        )
+
+    def test_sy_squared_is_y(self):
+        np.testing.assert_allclose(
+            sy_matrix() @ sy_matrix(), y_matrix(), atol=1e-12
+        )
+
+    def test_hzh_is_x(self):
+        np.testing.assert_allclose(
+            h_matrix() @ z_matrix() @ h_matrix(), x_matrix(), atol=1e-12
+        )
+
+    def test_phase_gate_diagonal(self):
+        lam = 0.9
+        matrix = phase_matrix(lam)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == pytest.approx(cmath.exp(1j * lam))
+
+    def test_rz_vs_phase_global_phase(self):
+        theta = 1.3
+        np.testing.assert_allclose(
+            rz_matrix(theta),
+            cmath.exp(-1j * theta / 2) * phase_matrix(theta),
+            atol=1e-12,
+        )
+
+    def test_u_reduces_to_known_gates(self):
+        np.testing.assert_allclose(
+            u_matrix(math.pi / 2, 0.0, math.pi), h_matrix(), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            u_matrix(0.0, 0.0, 0.7), phase_matrix(0.7), atol=1e-12
+        )
+
+    def test_rotation_periodicity(self):
+        np.testing.assert_allclose(
+            rx_matrix(4 * math.pi), np.eye(2), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            ry_matrix(2 * math.pi), -np.eye(2), atol=1e-12
+        )
+
+
+class TestRegistry:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_matrix("nope")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx", ())
+        with pytest.raises(ValueError):
+            gate_matrix("h", (0.3,))
+
+    def test_register_covers_paper_gate_sets(self):
+        # Supremacy gate set: T, sqrt(X), sqrt(Y); QFT set: H, P.
+        for name in ("t", "sx", "sy", "h", "p", "x", "z"):
+            assert name in GATE_REGISTRY
+
+
+class TestInverseGate:
+    @pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+    def test_inverse_is_actual_inverse(self, name):
+        spec = GATE_REGISTRY[name]
+        params = _PARAM_SAMPLES[spec.num_params]
+        matrix = gate_matrix(name, params)
+        inv_name, inv_params = inverse_gate(name, params)
+        inverse = gate_matrix(inv_name, inv_params)
+        np.testing.assert_allclose(
+            inverse @ matrix, np.eye(2), atol=1e-12
+        )
+
+    def test_self_inverse_names_preserved(self):
+        assert inverse_gate("x", ()) == ("x", ())
+        assert inverse_gate("h", ()) == ("h", ())
+
+    def test_named_inverses(self):
+        assert inverse_gate("s", ())[0] == "sdg"
+        assert inverse_gate("t", ())[0] == "tdg"
+        assert inverse_gate("sx", ())[0] == "sxdg"
+
+    def test_rotation_negation(self):
+        assert inverse_gate("rz", (0.5,)) == ("rz", (-0.5,))
+
+    def test_u_inverse_swaps_phis(self):
+        assert inverse_gate("u", (0.1, 0.2, 0.3)) == ("u", (-0.1, -0.3, -0.2))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            inverse_gate("nope", ())

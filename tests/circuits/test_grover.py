@@ -1,0 +1,86 @@
+"""Tests for Grover search circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.grover import (
+    append_diffusion,
+    append_oracle,
+    grover_circuit,
+    optimal_iterations,
+)
+from repro.circuits.circuit import Circuit
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+class TestOptimalIterations:
+    def test_known_values(self):
+        assert optimal_iterations(2) == 1
+        assert optimal_iterations(4) == 3
+        assert optimal_iterations(8) == 12
+
+    def test_grows_with_square_root(self):
+        assert optimal_iterations(10) > optimal_iterations(6) > 1
+
+
+class TestOracle:
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_flips_only_marked_state(self, marked):
+        circuit = Circuit(3)
+        for qubit in range(3):
+            circuit.h(qubit)
+        append_oracle(circuit, marked)
+        amplitudes = simulate_dense(circuit)
+        for index in range(8):
+            expected = -1 if index == marked else 1
+            assert amplitudes[index].real == pytest.approx(
+                expected / np.sqrt(8), abs=1e-10
+            )
+
+
+class TestGroverEndToEnd:
+    @pytest.mark.parametrize("num_qubits,marked", [(3, 5), (4, 11), (5, 19)])
+    def test_finds_marked_element(self, num_qubits, marked):
+        state = run_circuit_dd(grover_circuit(num_qubits, marked), Package())
+        assert state.probability(marked) > 0.85
+
+    def test_matches_dense(self):
+        circuit = grover_circuit(4, 9)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-8,
+        )
+
+    def test_iteration_blocks_annotated(self):
+        circuit = grover_circuit(3, 1)
+        names = [block.name for block in circuit.blocks]
+        assert names[0] == "superposition"
+        assert all(
+            name.startswith("grover_iteration") for name in names[1:]
+        )
+        assert len(names) == 1 + optimal_iterations(3)
+
+    def test_explicit_iterations(self):
+        circuit = grover_circuit(3, 1, iterations=1)
+        assert len(circuit.blocks) == 2
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            grover_circuit(3, 8)
+        with pytest.raises(ValueError):
+            grover_circuit(3, 1, iterations=0)
+
+    def test_single_iteration_probability(self):
+        # One iteration on 2 qubits finds the marked element exactly.
+        state = run_circuit_dd(grover_circuit(2, 2), Package())
+        assert state.probability(2) == pytest.approx(1.0, abs=1e-9)
+
+    def test_diagram_stays_compact(self):
+        # Grover states are low rank: diagram grows linearly, not 2^n.
+        state = run_circuit_dd(grover_circuit(8, 100), Package())
+        assert state.node_count() <= 4 * 8

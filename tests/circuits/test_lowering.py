@@ -1,0 +1,217 @@
+"""Tests for lowering IR operations to matrix decision diagrams."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baseline import simulate_dense
+from repro.circuits.circuit import Circuit, Operation
+from repro.circuits.gates import gate_matrix
+from repro.circuits.lowering import (
+    circuit_operators,
+    circuit_unitary,
+    modular_multiplication_mapping,
+    operation_to_operator,
+    permutation_medge,
+    single_qubit_medge,
+)
+from repro.dd.matrix import OperatorDD
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+def _dense_single(num_qubits, target, matrix, controls=()):
+    """Dense reference construction of a controlled single-qubit gate."""
+    size = 1 << num_qubits
+    result = np.eye(size, dtype=complex)
+    for col in range(size):
+        if all((col >> c) & 1 for c in controls):
+            base = col & ~(1 << target)
+            bit = (col >> target) & 1
+            column = np.zeros(size, dtype=complex)
+            column[base] = matrix[0, bit]
+            column[base | (1 << target)] = matrix[1, bit]
+            result[:, col] = column
+    return result
+
+
+class TestSingleQubitLowering:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_uncontrolled_gate_placement(self, target):
+        package = Package()
+        matrix = gate_matrix("h")
+        edge = single_qubit_medge(package, 3, target, matrix)
+        dense = _dense_single(3, target, matrix)
+        np.testing.assert_allclose(
+            OperatorDD(edge, 3, package).to_matrix(), dense, atol=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "target,controls",
+        [(0, (1,)), (1, (0,)), (2, (0,)), (0, (2,)), (1, (0, 2)), (2, (0, 1))],
+    )
+    def test_controlled_gate_any_layout(self, target, controls):
+        """Controls above and below the target must both work."""
+        package = Package()
+        matrix = gate_matrix("x")
+        edge = single_qubit_medge(package, 3, target, matrix, controls)
+        dense = _dense_single(3, target, matrix, controls)
+        np.testing.assert_allclose(
+            OperatorDD(edge, 3, package).to_matrix(), dense, atol=1e-12
+        )
+
+    def test_lowered_gates_are_unitary(self):
+        package = Package()
+        for name, params in (("h", ()), ("t", ()), ("rx", (0.8,))):
+            edge = single_qubit_medge(
+                package, 3, 1, gate_matrix(name, params), (0,)
+            )
+            matrix = OperatorDD(edge, 3, package).to_matrix()
+            np.testing.assert_allclose(
+                matrix @ matrix.conj().T, np.eye(8), atol=1e-10
+            )
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError):
+            single_qubit_medge(Package(), 2, 5, gate_matrix("x"))
+
+    def test_target_equals_control(self):
+        with pytest.raises(ValueError):
+            single_qubit_medge(Package(), 2, 0, gate_matrix("x"), (0,))
+
+    def test_gate_diagram_is_linear_size(self):
+        package = Package()
+        edge = single_qubit_medge(package, 16, 7, gate_matrix("h"), (3,))
+        assert OperatorDD(edge, 16, package).node_count() <= 3 * 16
+
+
+class TestSwapLowering:
+    @pytest.mark.parametrize("pair", [(0, 1), (0, 2), (1, 2)])
+    def test_swap_matches_dense(self, pair):
+        circuit = Circuit(3).swap(*pair)
+        operator = operation_to_operator(circuit[0], 3, Package())
+        dense = np.zeros((8, 8), dtype=complex)
+        for col in range(8):
+            bits = [(col >> k) & 1 for k in range(3)]
+            bits[pair[0]], bits[pair[1]] = bits[pair[1]], bits[pair[0]]
+            row = sum(bit << k for k, bit in enumerate(bits))
+            dense[row, col] = 1.0
+        np.testing.assert_allclose(operator.to_matrix(), dense, atol=1e-12)
+
+    def test_controlled_swap_rejected(self):
+        operation = Operation("swap", (0, 1), (2,))
+        with pytest.raises(ValueError):
+            operation_to_operator(operation, 3, Package())
+
+
+class TestPermutation:
+    def test_identity_permutation(self):
+        package = Package()
+        mapping = {i: i for i in range(8)}
+        edge = permutation_medge(package, 3, mapping)
+        np.testing.assert_allclose(
+            OperatorDD(edge, 3, package).to_matrix(), np.eye(8), atol=1e-12
+        )
+
+    def test_cyclic_shift(self):
+        package = Package()
+        mapping = {i: (i + 1) % 8 for i in range(8)}
+        edge = permutation_medge(package, 3, mapping)
+        matrix = OperatorDD(edge, 3, package).to_matrix()
+        state = np.zeros(8)
+        state[3] = 1.0
+        np.testing.assert_allclose(matrix @ state, np.eye(8)[4], atol=1e-12)
+
+    @given(st.integers(0, 10_000))
+    def test_random_permutations_are_permutation_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(8)
+        mapping = {i: int(perm[i]) for i in range(8)}
+        package = Package()
+        matrix = OperatorDD(
+            permutation_medge(package, 3, mapping), 3, package
+        ).to_matrix()
+        np.testing.assert_allclose(matrix.sum(axis=0), np.ones(8))
+        np.testing.assert_allclose(matrix.sum(axis=1), np.ones(8))
+        for col, row in mapping.items():
+            assert matrix[row, col] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_medge(Package(), 2, {0: 0, 1: 0, 2: 2, 3: 3})
+
+    def test_rejects_partial_mapping(self):
+        with pytest.raises(ValueError):
+            permutation_medge(Package(), 2, {0: 1, 1: 0})
+
+
+class TestModularMultiplication:
+    def test_mapping_values(self):
+        mapping = modular_multiplication_mapping(7, 15, 4)
+        assert mapping[1] == 7
+        assert mapping[2] == 14
+        assert mapping[4] == 13
+        assert mapping[15] == 15  # fixed point above the modulus
+
+    def test_mapping_is_bijective(self):
+        mapping = modular_multiplication_mapping(8, 21, 5)
+        assert sorted(mapping.values()) == list(range(32))
+
+    def test_too_few_bits(self):
+        with pytest.raises(ValueError):
+            modular_multiplication_mapping(2, 33, 4)
+
+    @pytest.mark.parametrize("controls", [(), (4,), (5,), (4, 5)])
+    def test_cmodmul_vs_dense(self, controls):
+        circuit = Circuit(6)
+        circuit.x(0)
+        for control in controls:
+            circuit.x(control)
+        circuit.cmodmul(7, 15, work=range(4), controls=controls)
+        dense = simulate_dense(circuit)
+        state = run_circuit_dd(circuit, Package())
+        np.testing.assert_allclose(state.to_amplitudes(), dense, atol=1e-10)
+
+    def test_cmodmul_respects_off_control(self):
+        circuit = Circuit(6).x(0).cmodmul(7, 15, work=range(4), controls=(5,))
+        state = run_circuit_dd(circuit, Package())
+        assert state.probability(1) == pytest.approx(1.0)
+
+    def test_cmodmul_unitary(self):
+        operation = Operation("cmodmul", (0, 1, 2), (3,), (2, 7))
+        matrix = operation_to_operator(operation, 4, Package()).to_matrix()
+        np.testing.assert_allclose(
+            matrix @ matrix.conj().T, np.eye(16), atol=1e-12
+        )
+
+
+class TestCircuitLevel:
+    def test_circuit_operators_order(self):
+        circuit = Circuit(2).x(0).h(1)
+        operators = list(circuit_operators(circuit, Package()))
+        assert len(operators) == 2
+
+    def test_circuit_unitary_matches_dense_composition(self, rng):
+        circuit = Circuit(3)
+        circuit.h(0).cx(0, 1).t(2).cp(0.9, 2, 0).swap(1, 2)
+        unitary = circuit_unitary(circuit, Package()).to_matrix()
+        state = np.zeros(8, dtype=complex)
+        state[0] = 1.0
+        np.testing.assert_allclose(
+            unitary @ state, simulate_dense(circuit), atol=1e-10
+        )
+
+    @given(st.integers(0, 2_000))
+    def test_random_circuits_dd_equals_dense(self, seed):
+        from repro.circuits.randomcirc import random_circuit
+
+        circuit = random_circuit(4, 15, seed=seed)
+        state = run_circuit_dd(circuit, Package())
+        np.testing.assert_allclose(
+            state.to_amplitudes(), simulate_dense(circuit), atol=1e-8
+        )

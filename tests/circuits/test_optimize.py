@@ -1,0 +1,103 @@
+"""Tests for the peephole circuit optimizer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.optimize import optimize_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.dd.package import Package
+from repro.verify import circuits_equivalent
+
+
+class TestCancellation:
+    def test_double_hadamard(self):
+        assert len(optimize_circuit(Circuit(1).h(0).h(0))) == 0
+
+    def test_double_cnot(self):
+        assert len(optimize_circuit(Circuit(2).cx(0, 1).cx(0, 1))) == 0
+
+    def test_double_swap(self):
+        assert len(optimize_circuit(Circuit(2).swap(0, 1).swap(1, 0))) == 0
+
+    def test_named_inverse_pairs(self):
+        circuit = Circuit(1).s(0).sdg(0).t(0).tdg(0).sx(0)
+        optimized = optimize_circuit(circuit)
+        assert [op.gate for op in optimized] == ["sx"]
+
+    def test_different_controls_not_cancelled(self):
+        circuit = Circuit(3).cx(0, 2).cx(1, 2)
+        assert len(optimize_circuit(circuit)) == 2
+
+    def test_intervening_gate_on_same_qubit_blocks(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(0)
+        assert len(optimize_circuit(circuit)) == 3
+
+    def test_disjoint_interleaving_is_transparent(self):
+        circuit = Circuit(4).h(0).x(1).t(2).h(0).x(1).tdg(2)
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_cascading_cancellation(self):
+        # x h h x — inner pair cancels, exposing the outer pair.
+        circuit = Circuit(1).x(0).h(0).h(0).x(0)
+        assert len(optimize_circuit(circuit)) == 0
+
+
+class TestRotationMerging:
+    def test_angles_add(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) == 1
+        assert optimized[0].params[0] == pytest.approx(0.7)
+
+    def test_cancelling_angles_vanish(self):
+        circuit = Circuit(1).p(0.9, 0).p(-0.9, 0)
+        assert len(optimize_circuit(circuit)) == 0
+
+    def test_full_period_vanishes(self):
+        assert len(optimize_circuit(Circuit(1).p(2 * math.pi, 0))) == 0
+        assert len(optimize_circuit(Circuit(1).rz(4 * math.pi, 0))) == 0
+
+    def test_two_pi_rx_is_not_dropped(self):
+        # rx(2*pi) = -I: a global phase, but observable under control.
+        assert len(optimize_circuit(Circuit(1).rx(2 * math.pi, 0))) == 1
+
+    def test_controlled_rotations_merge(self):
+        circuit = Circuit(2).cp(0.2, 0, 1).cp(0.3, 0, 1)
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) == 1
+        assert optimized[0].controls == (0,)
+        assert optimized[0].params[0] == pytest.approx(0.5)
+
+    def test_identity_gates_removed(self):
+        circuit = Circuit(2).i(0).h(1).i(0)
+        optimized = optimize_circuit(circuit)
+        assert [op.gate for op in optimized] == ["h"]
+
+
+class TestEquivalencePreservation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(4, 40, seed=seed)
+        optimized = optimize_circuit(circuit)
+        assert len(optimized) <= len(circuit)
+        result = circuits_equivalent(circuit, optimized, Package())
+        assert result.equivalent
+
+    def test_circuit_times_inverse_collapses(self):
+        circuit = random_circuit(4, 25, seed=42)
+        roundtrip = circuit.compose(circuit.inverse())
+        optimized = optimize_circuit(roundtrip)
+        assert len(optimized) == 0
+
+    def test_annotations_are_discarded(self):
+        from repro.circuits.shor import shor_circuit
+
+        optimized = optimize_circuit(shor_circuit(15, 2))
+        assert optimized.blocks == ()
+
+    def test_optimized_name_suffix(self):
+        assert optimize_circuit(Circuit(1, "foo").h(0)).name == "foo_opt"

@@ -1,0 +1,236 @@
+"""Tests for the OpenQASM 2.0 subset parser and emitter."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.lowering import circuit_unitary
+from repro.circuits.qasm import QasmError, emit_qasm, parse_qasm
+
+_SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cp(pi/4) q[1],q[2];
+rz(-pi/2) q[1];
+swap q[0],q[2];
+ccx q[0],q[1],q[2];
+barrier q[0],q[1];
+measure q[0] -> c[0];
+"""
+
+
+class TestParsing:
+    def test_parses_sample(self):
+        circuit = parse_qasm(_SAMPLE)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 6  # barrier/measure dropped
+        assert circuit[0].gate == "h"
+        assert circuit[1].controls == (0,)
+
+    def test_parameter_expressions(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0; qreg q[1]; rz(2*pi/8) q[0]; p(-0.5) q[0]; "
+            "rx(pi) q[0];"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 4)
+        assert circuit[1].params[0] == pytest.approx(-0.5)
+        assert circuit[2].params[0] == pytest.approx(math.pi)
+
+    def test_comments_stripped(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0;\nqreg q[1]; // register\nh q[0]; // gate\n"
+        )
+        assert len(circuit) == 1
+
+    def test_aliases(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0; qreg q[2]; cu1(0.3) q[0],q[1]; u1(0.4) q[0]; "
+            "cnot q[0],q[1];"
+        )
+        assert circuit[0].gate == "p" and circuit[0].controls == (1 - 1,)
+        assert circuit[1].gate == "p"
+        assert circuit[2].gate == "x"
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; h q[0];")
+
+    def test_multiple_qregs_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg a[1]; qreg b[1]; h a[0];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg q[1]; h r[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            parse_qasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+    def test_bad_parameter_expression(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg q[1]; rz(__import__) q[0];")
+
+    def test_injection_is_blocked(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                'OPENQASM 2.0; qreg q[1]; rz(exec("x")) q[0];'
+            )
+
+    def test_wrong_arity(self):
+        with pytest.raises(QasmError):
+            parse_qasm("OPENQASM 2.0; qreg q[2]; cx q[0];")
+
+
+class TestEmission:
+    def test_roundtrip_preserves_unitary(self):
+        circuit = parse_qasm(_SAMPLE)
+        text = emit_qasm(circuit)
+        reparsed = parse_qasm(text)
+        np.testing.assert_allclose(
+            circuit_unitary(circuit).to_matrix(),
+            circuit_unitary(reparsed).to_matrix(),
+            atol=1e-10,
+        )
+
+    def test_emits_header(self):
+        text = emit_qasm(Circuit(2).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+
+    def test_cmodmul_rejected(self):
+        circuit = Circuit(5).cmodmul(7, 15, work=range(4), controls=(4,))
+        with pytest.raises(QasmError):
+            emit_qasm(circuit)
+
+    def test_many_controls_rejected(self):
+        circuit = Circuit(4).mcx([0, 1, 2], 3)
+        with pytest.raises(QasmError):
+            emit_qasm(circuit)
+
+    def test_ccx_ccz_supported(self):
+        circuit = Circuit(3).ccx(0, 1, 2).mcz([0, 1], 2)
+        text = emit_qasm(circuit)
+        assert "ccx" in text and "ccz" in text
+        reparsed = parse_qasm(text)
+        assert len(reparsed) == 2
+
+    def test_parametrized_roundtrip_exact(self):
+        circuit = Circuit(2).cp(0.12345678901234567, 0, 1)
+        reparsed = parse_qasm(emit_qasm(circuit))
+        assert reparsed[0].params[0] == pytest.approx(
+            circuit[0].params[0], abs=1e-15
+        )
+
+
+class TestGateDefinitions:
+    def test_simple_macro_expansion(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0; gate bell a,b { h a; cx a,b; } "
+            "qreg q[2]; bell q[0],q[1];"
+        )
+        assert [op.gate for op in circuit] == ["h", "x"]
+        assert circuit[1].controls == (0,)
+
+    def test_parameterized_macro(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0; gate tilt(theta) q { rz(theta/2) q; } "
+            "qreg q[1]; tilt(pi) q[0];"
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_nested_macros(self):
+        circuit = parse_qasm(
+            "OPENQASM 2.0; "
+            "gate bell a,b { h a; cx a,b; } "
+            "gate twobell a,b,c,d { bell a,b; bell c,d; } "
+            "qreg q[4]; twobell q[0],q[1],q[2],q[3];"
+        )
+        assert len(circuit) == 4
+        assert circuit[3].controls == (2,)
+
+    def test_macro_semantics_match_inline(self):
+        defined = parse_qasm(
+            "OPENQASM 2.0; gate entangle(t) a,b { h a; cx a,b; rz(t) b; } "
+            "qreg q[2]; entangle(pi/4) q[0],q[1];"
+        )
+        inline = Circuit(2).h(0).cx(0, 1).rz(math.pi / 4, 1)
+        np.testing.assert_allclose(
+            circuit_unitary(defined).to_matrix(),
+            circuit_unitary(inline).to_matrix(),
+            atol=1e-10,
+        )
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate bell a,b { h a; cx a,b; } "
+                "qreg q[2]; bell q[0];"
+            )
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate tilt(x) q { rz(x) q; } "
+                "qreg q[1]; tilt q[0];"
+            )
+
+    def test_unknown_formal_qubit_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate bad a { h b; } qreg q[1]; bad q[0];"
+            )
+
+    def test_unknown_parameter_name_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate bad(x) a { rz(y) a; } "
+                "qreg q[1]; bad(1) q[0];"
+            )
+
+    def test_recursive_definition_bounded(self):
+        with pytest.raises(QasmError):
+            parse_qasm(
+                "OPENQASM 2.0; gate loop a { loop a; } "
+                "qreg q[1]; loop q[0];"
+            )
+
+
+from hypothesis import given, settings  # noqa: E402 - test-local extras
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestFuzzRoundtrip:
+    """Emit → parse → equivalence over random serializable circuits."""
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=20)
+    def test_random_circuit_roundtrip(self, seed):
+        from repro.circuits.randomcirc import random_circuit
+        from repro.dd.package import Package
+        from repro.verify import circuits_equivalent
+
+        circuit = random_circuit(4, 25, seed=seed)
+        reparsed = parse_qasm(emit_qasm(circuit))
+        assert circuits_equivalent(circuit, reparsed, Package()).equivalent
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10)
+    def test_structured_workloads_roundtrip(self, seed):
+        from repro.circuits.entangle import ghz_circuit
+        from repro.circuits.qft import qft_circuit
+        from repro.dd.package import Package
+        from repro.verify import circuits_equivalent
+
+        num_qubits = 2 + seed % 4
+        for circuit in (qft_circuit(num_qubits), ghz_circuit(num_qubits)):
+            reparsed = parse_qasm(emit_qasm(circuit))
+            assert circuits_equivalent(
+                circuit, reparsed, Package()
+            ).equivalent

@@ -1,0 +1,107 @@
+"""Tests for the QFT builders."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.circuit import Circuit
+from repro.circuits.lowering import circuit_unitary
+from repro.circuits.qft import append_qft, qft_circuit, qft_on_basis_state
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+def _dft_matrix(num_qubits: int) -> np.ndarray:
+    size = 1 << num_qubits
+    omega = np.exp(2j * np.pi / size)
+    return np.array(
+        [[omega ** (row * col) for col in range(size)] for row in range(size)]
+    ) / math.sqrt(size)
+
+
+class TestQftUnitary:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+    def test_matches_dft(self, num_qubits):
+        unitary = circuit_unitary(qft_circuit(num_qubits), Package())
+        np.testing.assert_allclose(
+            unitary.to_matrix(), _dft_matrix(num_qubits), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_inverse_is_adjoint(self, num_qubits):
+        unitary = circuit_unitary(
+            qft_circuit(num_qubits, inverse=True), Package()
+        )
+        np.testing.assert_allclose(
+            unitary.to_matrix(),
+            _dft_matrix(num_qubits).conj().T,
+            atol=1e-10,
+        )
+
+    def test_qft_then_inverse_is_identity(self):
+        circuit = qft_circuit(3).compose(qft_circuit(3, inverse=True))
+        unitary = circuit_unitary(circuit, Package())
+        np.testing.assert_allclose(unitary.to_matrix(), np.eye(8), atol=1e-9)
+
+    def test_without_swaps_is_bit_reversed(self):
+        unitary = circuit_unitary(qft_circuit(3, swaps=False), Package())
+        dft = _dft_matrix(3)
+        reverse = [int(format(i, "03b")[::-1], 2) for i in range(8)]
+        np.testing.assert_allclose(
+            unitary.to_matrix(), dft[reverse, :], atol=1e-10
+        )
+
+
+class TestAppendQft:
+    def test_on_sub_register(self):
+        circuit = Circuit(4)
+        append_qft(circuit, [1, 2], inverse=False)
+        dense = simulate_dense(circuit)
+        # QFT of |00> on the sub-register = uniform over that register.
+        expected = np.zeros(16, dtype=complex)
+        for value in range(4):
+            expected[value << 1] = 0.5
+        np.testing.assert_allclose(dense, expected, atol=1e-10)
+
+    def test_empty_register_rejected(self):
+        with pytest.raises(ValueError):
+            append_qft(Circuit(2), [])
+
+    def test_returns_same_circuit(self):
+        circuit = Circuit(2)
+        assert append_qft(circuit, [0, 1]) is circuit
+
+
+class TestQftWorkloads:
+    def test_qft_of_zero_state_is_uniform(self):
+        state = run_circuit_dd(qft_circuit(5), Package())
+        np.testing.assert_allclose(
+            np.abs(state.to_amplitudes()),
+            np.full(32, 1 / math.sqrt(32)),
+            atol=1e-10,
+        )
+
+    def test_qft_basis_state_has_linear_diagram(self):
+        state = run_circuit_dd(qft_on_basis_state(8, 57), Package())
+        # Product of single-qubit phase states: one node per level.
+        assert state.node_count() == 8
+
+    def test_qft_basis_state_amplitudes(self):
+        value = 3
+        state = run_circuit_dd(qft_on_basis_state(3, value), Package())
+        expected = _dft_matrix(3)[:, value]
+        np.testing.assert_allclose(state.to_amplitudes(), expected, atol=1e-9)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            qft_on_basis_state(3, 8)
+
+    def test_blocks_annotated(self):
+        circuit = qft_circuit(4)
+        assert [block.name for block in circuit.blocks] == ["qft"]
+        prep = qft_on_basis_state(4, 3)
+        assert [block.name for block in prep.blocks] == ["prepare", "qft"]

@@ -1,0 +1,68 @@
+"""The shipped sample QASM files must parse and behave as documented."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.qasm import parse_qasm
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+_CIRCUIT_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "circuits"
+)
+
+
+def _load(name: str):
+    path = os.path.join(_CIRCUIT_DIR, name)
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_qasm(handle.read(), name=name)
+
+
+class TestSampleFiles:
+    def test_all_files_parse(self):
+        files = [
+            entry
+            for entry in os.listdir(_CIRCUIT_DIR)
+            if entry.endswith(".qasm")
+        ]
+        assert len(files) >= 4
+        for name in files:
+            circuit = _load(name)
+            assert len(circuit) > 0
+
+    def test_bell_produces_bell_pair(self):
+        state = run_circuit_dd(_load("bell.qasm"), Package())
+        amplitudes = state.to_amplitudes()
+        assert abs(amplitudes[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(amplitudes[3]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_ghz8_structure(self):
+        state = run_circuit_dd(_load("ghz8.qasm"), Package())
+        assert state.node_count() == 2 * 8 - 1
+        assert state.probability(0) == pytest.approx(0.5)
+        assert state.probability(255) == pytest.approx(0.5)
+
+    def test_qft4_matches_builder(self):
+        from repro.circuits.lowering import circuit_unitary
+        from repro.circuits.qft import qft_circuit
+
+        parsed = _load("qft4.qasm")
+        reference = qft_circuit(4)
+        np.testing.assert_allclose(
+            circuit_unitary(parsed, Package()).to_matrix(),
+            circuit_unitary(reference, Package()).to_matrix(),
+            atol=1e-10,
+        )
+
+    def test_teleport_gadget_uses_macro(self):
+        circuit = _load("teleport_gadget.qasm")
+        # The bell macro expands into h + cx.
+        gates = [op.gate for op in circuit]
+        assert gates == ["ry", "rz", "h", "x", "x", "h"]
+        state = run_circuit_dd(circuit, Package())
+        assert state.norm() == pytest.approx(1.0)

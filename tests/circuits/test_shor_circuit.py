@@ -1,0 +1,136 @@
+"""Tests for Shor period-finding circuit construction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.shor import (
+    ShorLayout,
+    modular_exponentiation_only,
+    shor_circuit,
+    shor_layout,
+)
+from repro.dd.package import Package
+from repro.postprocessing import order_of
+from tests.helpers import run_circuit_dd
+
+
+class TestLayout:
+    def test_paper_qubit_counts(self):
+        """The paper's Table I qubit counts follow the 3n layout."""
+        for modulus, base, expected in (
+            (33, 5, 18),
+            (55, 2, 18),
+            (69, 2, 21),
+            (221, 4, 24),
+            (323, 8, 27),
+            (629, 8, 30),
+            (1157, 8, 33),
+        ):
+            assert shor_layout(modulus, base).num_qubits == expected
+
+    def test_counting_qubits(self):
+        layout = shor_layout(15, 2)
+        assert layout.work_bits == 4
+        assert layout.counting_bits == 8
+        assert layout.counting_qubits == tuple(range(4, 12))
+
+    def test_counting_value_extraction(self):
+        layout = shor_layout(15, 2)
+        assert layout.counting_value(0b101 << 4) == 0b101
+        assert layout.counting_value((3 << 4) | 0b1001) == 3
+
+    def test_custom_counting_bits(self):
+        layout = shor_layout(15, 2, counting_bits=5)
+        assert layout.counting_bits == 5
+        assert layout.num_qubits == 9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            shor_layout(2, 1)
+        with pytest.raises(ValueError):
+            shor_layout(15, 1)
+        with pytest.raises(ValueError):
+            shor_layout(15, 16)
+        with pytest.raises(ValueError):
+            shor_layout(15, 5)  # gcd(5, 15) = 5: classical factor
+        with pytest.raises(ValueError):
+            shor_layout(15, 2, counting_bits=0)
+
+
+class TestCircuitStructure:
+    def test_block_sequence_matches_fig2(self):
+        """Fig. 2: Hadamards, modular multiplications, inverse QFT."""
+        circuit = shor_circuit(15, 2)
+        names = [block.name for block in circuit.blocks]
+        assert names[0] == "init"
+        assert names[1:-1] == [f"modexp[{j}]" for j in range(8)]
+        assert names[-1] == "inverse_qft"
+
+    def test_gate_inventory(self):
+        circuit = shor_circuit(15, 7)
+        counts = circuit.gate_counts()
+        # One control folds into the histogram key.
+        assert counts["ccmodmul"] == 8
+        assert counts["x"] == 1
+        # Hadamards: 8 init + 8 inside the inverse QFT.
+        assert counts["h"] == 16
+
+    def test_modmul_exponents_square(self):
+        circuit = shor_circuit(15, 7)
+        multipliers = [
+            int(op.params[0]) for op in circuit if op.gate == "cmodmul"
+        ]
+        expected = []
+        factor = 7
+        for _ in range(8):
+            expected.append(factor)
+            factor = (factor * factor) % 15
+        assert multipliers == expected
+
+    def test_modexp_only_prefix(self):
+        full = shor_circuit(15, 2)
+        prefix = modular_exponentiation_only(15, 2)
+        assert len(prefix) < len(full)
+        assert all(op.gate != "p" for op in prefix)  # no QFT rotations
+
+
+class TestCircuitSemantics:
+    def test_matches_dense(self):
+        circuit = shor_circuit(15, 2)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-7,
+        )
+
+    def test_counting_register_peaks_at_multiples(self):
+        """For r = 4, peaks sit at k * 2^m / 4."""
+        circuit = shor_circuit(15, 2)
+        layout = shor_layout(15, 2)
+        assert order_of(2, 15) == 4
+        state = run_circuit_dd(circuit, Package())
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        counting_distribution = np.zeros(1 << layout.counting_bits)
+        for index, probability in enumerate(probabilities):
+            counting_distribution[layout.counting_value(index)] += probability
+        space = 1 << layout.counting_bits
+        peaks = {0, space // 4, space // 2, 3 * space // 4}
+        for peak in peaks:
+            assert counting_distribution[peak] == pytest.approx(0.25, abs=1e-6)
+
+    def test_work_register_periodicity(self):
+        """After modexp, the work register holds powers of the base."""
+        circuit = modular_exponentiation_only(15, 2)
+        state = run_circuit_dd(circuit, Package())
+        probabilities = np.abs(state.to_amplitudes()) ** 2
+        observed_work_values = {
+            index & 0b1111
+            for index, p in enumerate(probabilities)
+            if p > 1e-9
+        }
+        assert observed_work_values == {1, 2, 4, 8}  # powers of 2 mod 15

@@ -1,0 +1,147 @@
+"""Tests for quantum-supremacy circuit generation (Boixo rules)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.supremacy import Grid, cz_layer, supremacy_circuit
+from repro.dd.package import Package
+from tests.helpers import run_circuit_dd
+
+
+class TestGrid:
+    def test_indexing_row_major(self):
+        grid = Grid(3, 4)
+        assert grid.qubit(0, 0) == 0
+        assert grid.qubit(1, 0) == 4
+        assert grid.qubit(2, 3) == 11
+        assert grid.num_qubits == 12
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            Grid(2, 2).qubit(2, 0)
+
+    def test_edge_counts(self):
+        grid = Grid(3, 3)
+        assert len(grid.horizontal_edges()) == 6
+        assert len(grid.vertical_edges()) == 6
+
+
+class TestCzPatterns:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (3, 4), (4, 5)])
+    def test_every_edge_once_per_eight_cycles(self, rows, cols):
+        grid = Grid(rows, cols)
+        fired = []
+        for cycle in range(1, 9):
+            fired.extend(cz_layer(grid, cycle))
+        total_edges = len(grid.horizontal_edges()) + len(grid.vertical_edges())
+        assert len(fired) == total_edges
+        assert len(set(fired)) == total_edges
+
+    def test_pattern_repeats_with_period_eight(self):
+        grid = Grid(3, 3)
+        for cycle in range(1, 9):
+            assert cz_layer(grid, cycle) == cz_layer(grid, cycle + 8)
+
+    def test_no_qubit_in_two_czs_per_layer(self):
+        grid = Grid(4, 5)
+        for cycle in range(1, 9):
+            touched: list[int] = []
+            for pair in cz_layer(grid, cycle):
+                touched.extend(pair)
+            assert len(touched) == len(set(touched))
+
+    def test_layer_zero_rejected(self):
+        with pytest.raises(ValueError):
+            cz_layer(Grid(2, 2), 0)
+
+
+class TestCircuitGeneration:
+    def test_name_matches_paper_convention(self):
+        circuit = supremacy_circuit(4, 5, 15, seed=2)
+        assert circuit.name == "qsup_4x5_15_2"
+        assert circuit.num_qubits == 20
+
+    def test_initial_hadamard_layer(self):
+        circuit = supremacy_circuit(2, 2, 4, seed=0)
+        first_ops = list(circuit)[:4]
+        assert all(op.gate == "h" for op in first_ops)
+
+    def test_blocks_per_cycle(self):
+        depth = 6
+        circuit = supremacy_circuit(3, 3, depth, seed=0)
+        names = [block.name for block in circuit.blocks]
+        assert names == [f"cycle[{t}]" for t in range(depth + 1)]
+
+    def test_deterministic_for_seed(self):
+        a = supremacy_circuit(3, 3, 10, seed=5)
+        b = supremacy_circuit(3, 3, 10, seed=5)
+        assert a.operations == b.operations
+
+    def test_different_seeds_differ(self):
+        a = supremacy_circuit(3, 3, 10, seed=0)
+        b = supremacy_circuit(3, 3, 10, seed=1)
+        assert a.operations != b.operations
+
+    def test_single_qubit_gate_rules(self):
+        """First single-qubit gate on a qubit is T; no immediate repeats."""
+        circuit = supremacy_circuit(3, 3, 16, seed=3)
+        last_gate: dict[int, str] = {}
+        for operation in circuit:
+            if operation.gate in ("t", "sx", "sy"):
+                qubit = operation.targets[0]
+                previous = last_gate.get(qubit)
+                if previous is None:
+                    assert operation.gate == "t"
+                else:
+                    assert operation.gate != previous or operation.gate == "t"
+                    if previous in ("sx", "sy"):
+                        assert operation.gate != previous
+                last_gate[qubit] = operation.gate
+
+    def test_single_qubit_gates_follow_cz_participation(self):
+        circuit = supremacy_circuit(3, 3, 12, seed=4)
+        # Reconstruct cycles from block annotations.
+        grid = Grid(3, 3)
+        for block in circuit.blocks:
+            if not block.name.startswith("cycle[") or block.name == "cycle[0]":
+                continue
+            cycle = int(block.name[len("cycle["):-1])
+            if cycle < 2:
+                continue
+            previous_busy = {
+                q for pair in cz_layer(grid, cycle - 1) for q in pair
+            }
+            for operation in list(circuit)[block.start:block.end]:
+                if operation.gate in ("t", "sx", "sy"):
+                    assert operation.targets[0] in previous_busy
+
+    def test_final_hadamards_optional(self):
+        with_h = supremacy_circuit(2, 2, 4, seed=0, final_hadamards=True)
+        without = supremacy_circuit(2, 2, 4, seed=0)
+        assert len(with_h) == len(without) + 4
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            supremacy_circuit(0, 3, 5)
+        with pytest.raises(ValueError):
+            supremacy_circuit(2, 2, 0)
+
+
+class TestSemantics:
+    def test_matches_dense(self):
+        circuit = supremacy_circuit(2, 3, 8, seed=7)
+        np.testing.assert_allclose(
+            run_circuit_dd(circuit, Package()).to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-8,
+        )
+
+    def test_low_redundancy_growth(self):
+        """The hallmark of these circuits: diagrams approach worst case."""
+        circuit = supremacy_circuit(3, 3, 12, seed=0)
+        state = run_circuit_dd(circuit, Package())
+        worst_case = (1 << 9) - 1
+        assert state.node_count() > worst_case * 0.7

@@ -1,0 +1,30 @@
+"""Global pytest configuration and fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.dd.package import Package
+
+# Keep hypothesis deterministic and fast enough for the full suite.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def fresh_package() -> Package:
+    """A package with empty unique tables, isolated from the default one."""
+    return Package()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for reproducible tests."""
+    return np.random.default_rng(20260705)

@@ -1,0 +1,97 @@
+"""Tests for the growth-triggered adaptive strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import (
+    AdaptiveStrategy,
+    FidelityDrivenStrategy,
+    max_rounds,
+    simulate,
+)
+from repro.dd.package import Package
+
+
+class TestValidation:
+    def test_rejects_bad_trigger(self):
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(0.5, 0.9, growth_trigger=1.0)
+
+    def test_budget_formula(self):
+        strategy = AdaptiveStrategy(0.5, 0.9)
+        assert strategy.budgeted_rounds == max_rounds(0.5, 0.9)
+
+    def test_describe(self):
+        text = AdaptiveStrategy(0.5, 0.9, growth_trigger=3.0).describe()
+        assert "3.0x" in text
+
+
+class TestBehaviour:
+    def test_budget_never_exceeded(self):
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        strategy = AdaptiveStrategy(0.5, 0.9)
+        outcome = simulate(circuit, strategy, package=package)
+        assert outcome.stats.num_rounds <= strategy.budgeted_rounds
+        assert outcome.stats.fidelity_estimate >= 0.5 - 1e-9
+
+    def test_true_fidelity_bound_on_shor(self):
+        package = Package()
+        circuit = shor_circuit(21, 2)
+        exact = simulate(circuit, package=package)
+        adaptive = simulate(
+            circuit, AdaptiveStrategy(0.5, 0.9), package=package
+        )
+        assert exact.state.fidelity(adaptive.state) >= 0.5 - 1e-9
+
+    def test_rounds_fire_where_growth_happens(self):
+        """On Shor, growth concentrates in the inverse QFT — adaptive
+        placement should land (mostly) inside it, like the paper's
+        hand-tuned placement."""
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        iqft = next(b for b in circuit.blocks if b.name == "inverse_qft")
+        outcome = simulate(
+            circuit, AdaptiveStrategy(0.5, 0.9), package=package
+        )
+        inside = [
+            record
+            for record in outcome.stats.rounds
+            if iqft.start <= record.op_index < iqft.end
+        ]
+        assert len(inside) >= outcome.stats.num_rounds * 0.5
+
+    def test_reduces_size_vs_exact(self):
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        exact = simulate(circuit, package=package)
+        adaptive = simulate(
+            circuit, AdaptiveStrategy(0.5, 0.9), package=package
+        )
+        assert adaptive.stats.max_nodes < exact.stats.max_nodes
+
+    def test_plan_resets_state(self):
+        package = Package()
+        circuit = supremacy_circuit(3, 3, 10, seed=0)
+        strategy = AdaptiveStrategy(0.5, 0.9)
+        first = simulate(circuit, strategy, package=package)
+        second = simulate(circuit, strategy, package=package)
+        assert first.stats.num_rounds == second.stats.num_rounds
+
+    def test_planned_placement_still_better_on_shor(self):
+        """The paper's point: exploiting algorithm knowledge beats generic
+        triggers — hand placement inside the iQFT wins on size."""
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        adaptive = simulate(
+            circuit, AdaptiveStrategy(0.5, 0.9), package=package
+        )
+        planned = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.5, 0.9, placement="block:inverse_qft"),
+            package=package,
+        )
+        assert planned.stats.max_nodes <= adaptive.stats.max_nodes

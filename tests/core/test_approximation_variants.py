@@ -1,0 +1,153 @@
+"""Tests for the additional approximation policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    approximate_below_contribution,
+    approximate_to_size,
+    node_contributions,
+    round_edge_weights,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+class TestBelowContribution:
+    def test_removes_only_small_nodes(self, rng):
+        vector = random_state_vector(6, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        epsilon = 0.01
+        result = approximate_below_contribution(state, epsilon)
+        if result.removed_nodes:
+            # Every surviving non-root node contributes more than epsilon.
+            contributions = node_contributions(result.state)
+            _w, root = result.state.edge
+            small_survivors = [
+                v
+                for node, v in contributions.items()
+                if node is not root and v <= epsilon * 0.5
+            ]
+            # (Renormalization scales contributions up, so use a margin.)
+            assert not small_survivors
+
+    def test_zero_epsilon_removes_nothing_significant(self, rng):
+        vector = random_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_below_contribution(state, 0.0)
+        assert result.achieved_fidelity == pytest.approx(1.0)
+
+    @given(st.integers(0, 3_000))
+    def test_fidelity_at_least_one_minus_spent(self, seed):
+        vector = random_sparse_state_vector(6, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_below_contribution(state, 0.05)
+        assert (
+            result.achieved_fidelity
+            >= 1.0 - result.removed_contribution - 1e-9
+        )
+
+    def test_invalid_epsilon(self):
+        state = StateDD.plus_state(3)
+        with pytest.raises(ValueError):
+            approximate_below_contribution(state, -0.1)
+        with pytest.raises(ValueError):
+            approximate_below_contribution(state, 1.0)
+
+    def test_degenerate_cut_is_refused(self):
+        """If the cut would erase ~everything, the state is kept."""
+        state = StateDD.plus_state(4)
+        # Every node contributes 1.0 > 0.9?? — nothing below threshold.
+        result = approximate_below_contribution(state, 0.9)
+        assert result.removed_nodes == 0
+        assert result.state is state
+
+
+class TestToSize:
+    @given(st.integers(0, 2_000))
+    def test_reaches_target_or_stops_sanely(self, seed):
+        vector = random_state_vector(6, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_to_size(state, 12)
+        assert result.nodes_after <= max(12, result.nodes_before)
+        assert result.state.norm() == pytest.approx(1.0)
+
+    def test_typically_hits_target(self, rng):
+        vector = random_state_vector(7, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_to_size(state, 20)
+        assert result.nodes_after <= 20
+
+    def test_fidelity_floor_wins_over_size(self, rng):
+        vector = random_state_vector(6, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_to_size(state, 8, fidelity_floor=0.9)
+        assert result.achieved_fidelity >= 0.9 - 1e-6
+
+    def test_already_small_is_noop(self):
+        state = StateDD.plus_state(5)
+        result = approximate_to_size(state, 100)
+        assert result.state is state or result.nodes_after == 5
+        assert result.achieved_fidelity == pytest.approx(1.0)
+
+    def test_rejects_impossible_target(self):
+        state = StateDD.plus_state(5)
+        with pytest.raises(ValueError):
+            approximate_to_size(state, 3)
+
+    def test_survives_hostile_uniform_contributions(self):
+        """Supremacy-like states (uniform contributions) must not crash."""
+        from repro.circuits.supremacy import supremacy_circuit
+        from tests.helpers import run_circuit_dd
+
+        state = run_circuit_dd(supremacy_circuit(3, 3, 10, seed=0), Package())
+        result = approximate_to_size(state, 64)
+        assert result.nodes_after < result.nodes_before
+        assert result.state.norm() == pytest.approx(1.0)
+
+
+class TestRoundEdgeWeights:
+    def test_fine_precision_is_lossless(self, rng):
+        vector = random_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        result = round_edge_weights(state, 1e-9)
+        assert result.achieved_fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_coarse_precision_merges_near_duplicates(self):
+        # Two subvectors differing by 1e-3 merge on a 1/16 grid.
+        base = np.array([0.5, 0.5, 0.5 + 1e-3, 0.5 - 1e-3])
+        state = StateDD.from_amplitudes(base / np.linalg.norm(base), Package())
+        assert state.node_count() == 3
+        result = round_edge_weights(state, 1 / 16)
+        assert result.nodes_after == 2
+        assert result.achieved_fidelity > 0.999
+
+    @given(st.integers(0, 2_000))
+    def test_fidelity_reported_correctly(self, seed):
+        vector = random_state_vector(5, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        result = round_edge_weights(state, 1 / 32)
+        assert result.achieved_fidelity == pytest.approx(
+            state.fidelity(result.state), abs=1e-10
+        )
+        assert result.achieved_fidelity > 0.9
+
+    def test_invalid_precision(self):
+        state = StateDD.plus_state(2)
+        with pytest.raises(ValueError):
+            round_edge_weights(state, 0.0)
+        with pytest.raises(ValueError):
+            round_edge_weights(state, 0.7)
+
+    def test_plus_state_is_fixed_point(self):
+        state = StateDD.plus_state(4)
+        result = round_edge_weights(state, 1 / 8)
+        assert result.nodes_after == 4
+        assert result.achieved_fidelity == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,133 @@
+"""Tests for node norm contributions (Definition 2, Examples 7-8)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    level_contribution_sums,
+    node_contributions,
+    smallest_contributors,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+FIG1 = np.array([1, 0, 0, -1, 2, 0, 0, 2]) / math.sqrt(10)
+
+
+class TestPaperExample7:
+    def test_root_contribution_is_one(self):
+        state = StateDD.from_amplitudes(FIG1 + 0j)
+        contributions = node_contributions(state)
+        _weight, root = state.edge
+        assert contributions[root] == pytest.approx(1.0)
+
+    def test_q1_level_contributions(self):
+        """Example 7: the q1 nodes contribute 0.2 and 0.8."""
+        state = StateDD.from_amplitudes(FIG1 + 0j)
+        contributions = node_contributions(state)
+        q1_values = sorted(
+            value
+            for node, value in contributions.items()
+            if node.level == 1
+        )
+        assert q1_values == pytest.approx([0.2, 0.8])
+
+    def test_level_sums_equal_one(self):
+        """Definition 2: per-level contributions add up to 1."""
+        state = StateDD.from_amplitudes(FIG1 + 0j)
+        for total in level_contribution_sums(state):
+            assert total == pytest.approx(1.0)
+
+
+class TestContributionProperties:
+    @given(st.integers(0, 10_000), st.integers(min_value=2, max_value=6))
+    def test_level_sums_invariant_random_states(self, seed, num_qubits):
+        vector = random_state_vector(num_qubits, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        for total in level_contribution_sums(state):
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    def test_level_sums_invariant_sparse_states(self, seed):
+        vector = random_sparse_state_vector(5, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        for total in level_contribution_sums(state):
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    def test_contributions_are_probabilities(self, seed):
+        vector = random_state_vector(4, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        for value in node_contributions(state).values():
+            assert -1e-12 <= value <= 1.0 + 1e-9
+
+    def test_contribution_equals_zeroed_mass(self, rng):
+        """Removing a node zeroes amplitude mass equal to its contribution."""
+        from repro.core import rebuild_without
+
+        vector = random_sparse_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        contributions = node_contributions(state)
+        _weight, root = state.edge
+        for node, value in contributions.items():
+            if node is root:
+                continue
+            truncated = rebuild_without(state, {node})
+            kept_mass = state.fidelity(truncated)
+            assert kept_mass == pytest.approx(1.0 - value, abs=1e-9)
+
+    def test_empty_state_has_no_contributions(self):
+        package = Package()
+        state = StateDD((complex(0.0), None), 2, package)
+        assert node_contributions(state) == {}
+
+
+class TestBasisStates:
+    def test_basis_state_every_node_contributes_one(self):
+        state = StateDD.basis_state(5, 19)
+        contributions = node_contributions(state)
+        assert len(contributions) == 5
+        for value in contributions.values():
+            assert value == pytest.approx(1.0)
+
+    def test_plus_state_shared_nodes_contribute_fully(self):
+        state = StateDD.plus_state(4)
+        for value in node_contributions(state).values():
+            assert value == pytest.approx(1.0)
+
+    def test_ghz_split(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2)
+        )
+        contributions = node_contributions(state)
+        by_level: dict[int, list[float]] = {}
+        for node, value in contributions.items():
+            by_level.setdefault(node.level, []).append(value)
+        assert sorted(by_level[1]) == pytest.approx([0.5, 0.5])
+        assert sorted(by_level[0]) == pytest.approx([0.5, 0.5])
+
+
+class TestSmallestContributors:
+    def test_excludes_root(self):
+        state = StateDD.plus_state(3)
+        _weight, root = state.edge
+        for node, _value in smallest_contributors(state):
+            assert node is not root
+
+    def test_ascending_order(self, rng):
+        vector = random_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        values = [value for _node, value in smallest_contributors(state, 10)]
+        assert values == sorted(values)
+
+    def test_limit_respected(self, rng):
+        vector = random_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        assert len(smallest_contributors(state, 3)) == 3

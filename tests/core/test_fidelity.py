@@ -1,0 +1,161 @@
+"""Tests for the fidelity metric, truncation, and round budgeting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    composed_fidelity,
+    fidelity_dense,
+    max_rounds,
+    truncate_dense,
+    truncation_fidelity,
+)
+from tests.helpers import random_state_vector
+
+
+class TestFidelityDense:
+    def test_identical_states(self, rng):
+        psi = random_state_vector(3, rng)
+        assert fidelity_dense(psi, psi) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        assert fidelity_dense([1, 0], [0, 1]) == 0.0
+
+    def test_paper_example5(self):
+        psi = np.full(4, 0.5)
+        phi = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert fidelity_dense(psi, phi) == pytest.approx(0.5)
+
+    def test_symmetry(self, rng):
+        a = random_state_vector(4, rng)
+        b = random_state_vector(4, rng)
+        assert fidelity_dense(a, b) == pytest.approx(fidelity_dense(b, a))
+
+    def test_unitary_invariance(self, rng):
+        """§III: fidelity is preserved under quantum operations."""
+        from scipy.stats import unitary_group
+
+        a = random_state_vector(3, rng)
+        b = random_state_vector(3, rng)
+        unitary = unitary_group.rvs(8, random_state=9)
+        assert fidelity_dense(unitary @ a, unitary @ b) == pytest.approx(
+            fidelity_dense(a, b)
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            fidelity_dense([1, 0], [1, 0, 0, 0])
+
+
+class TestTruncation:
+    def test_truncation_zeroes_complement(self, rng):
+        psi = random_state_vector(3, rng)
+        truncated = truncate_dense(psi, [0, 3, 5])
+        for index in range(8):
+            if index not in (0, 3, 5):
+                assert truncated[index] == 0.0
+
+    def test_truncation_renormalizes(self, rng):
+        psi = random_state_vector(3, rng)
+        truncated = truncate_dense(psi, [1, 2])
+        assert np.linalg.norm(truncated) == pytest.approx(1.0)
+
+    def test_truncation_idempotent(self, rng):
+        """P_I |psi_I> = |psi_I> — the first identity in Lemma 1's proof."""
+        psi = random_state_vector(3, rng)
+        keep = [0, 2, 6]
+        once = truncate_dense(psi, keep)
+        twice = truncate_dense(once, keep)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_empty_overlap_raises(self):
+        psi = np.array([1.0, 0.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            truncate_dense(psi, [2, 3])
+
+    @given(st.integers(0, 10_000))
+    def test_truncation_fidelity_is_kept_mass(self, seed):
+        """The second identity in Lemma 1's proof."""
+        rng = np.random.default_rng(seed)
+        psi = random_state_vector(4, rng)
+        keep = list(rng.choice(16, size=int(rng.integers(1, 16)), replace=False))
+        mass = truncation_fidelity(psi, keep)
+        assert mass == pytest.approx(
+            fidelity_dense(psi, truncate_dense(psi, keep)), abs=1e-10
+        )
+
+    def test_full_truncation_is_identity(self, rng):
+        psi = random_state_vector(3, rng)
+        np.testing.assert_allclose(
+            truncate_dense(psi, range(8)), psi, atol=1e-12
+        )
+
+
+class TestMaxRounds:
+    def test_paper_shor_configuration(self):
+        """f_final=0.5, f_round=0.9 gives the 6 rounds of Table I."""
+        assert max_rounds(0.5, 0.9) == 6
+
+    @pytest.mark.parametrize(
+        "final,per_round,expected",
+        [
+            (0.5, 0.99, 68),
+            (0.5, 0.975, 27),
+            (0.5, 0.95, 13),
+            (0.25, 0.5, 2),
+            (0.9, 0.9, 1),
+            (0.95, 0.9, 0),
+        ],
+    )
+    def test_known_budgets(self, final, per_round, expected):
+        assert max_rounds(final, per_round) == expected
+
+    def test_exact_power_boundary(self):
+        # 0.9**6 = 0.531441 >= 0.5; 0.9**7 = 0.478... < 0.5
+        assert 0.9 ** max_rounds(0.5, 0.9) >= 0.5
+        assert 0.9 ** (max_rounds(0.5, 0.9) + 1) < 0.5
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_budget_property(self, final, per_round):
+        rounds = max_rounds(final, per_round)
+        assert per_round**rounds >= final - 1e-12
+        assert per_round ** (rounds + 1) < final + 1e-9
+
+    def test_final_one_means_no_rounds(self):
+        assert max_rounds(1.0, 0.9) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_rounds(0.0, 0.9)
+        with pytest.raises(ValueError):
+            max_rounds(0.5, 1.0)
+        with pytest.raises(ValueError):
+            max_rounds(0.5, 0.0)
+        with pytest.raises(ValueError):
+            max_rounds(1.5, 0.9)
+
+
+class TestComposedFidelity:
+    def test_empty_product_is_one(self):
+        assert composed_fidelity([]) == 1.0
+
+    def test_paper_example6_composition(self):
+        assert composed_fidelity([0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            composed_fidelity([0.5, 1.5])
+        with pytest.raises(ValueError):
+            composed_fidelity([-0.1])
+
+    def test_tolerates_rounding_above_one(self):
+        assert composed_fidelity([1.0 + 1e-13]) == pytest.approx(1.0)

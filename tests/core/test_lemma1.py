@@ -1,0 +1,139 @@
+"""Tests validating Lemma 1 (§V) and its consequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.stats import unitary_group
+
+from repro.core import (
+    approximate_state,
+    fidelity_dense,
+    truncate_dense,
+    verify_lemma1_dense,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _random_keep_set(rng: np.random.Generator, size: int) -> list[int]:
+    count = int(rng.integers(1, size))
+    return list(rng.choice(size, size=count, replace=False))
+
+
+class TestLemma1Dense:
+    @given(st.integers(0, 20_000))
+    def test_factorization_identity(self, seed):
+        """F(psi, phi_I) = F(psi, psi_I) * F(psi_I, phi_I) exactly."""
+        rng = np.random.default_rng(seed)
+        psi = random_state_vector(4, rng)
+        phi = random_state_vector(4, rng)
+        keep = _random_keep_set(rng, 16)
+        try:
+            lhs, rhs = verify_lemma1_dense(psi, phi, keep)
+        except ValueError:
+            return  # zero-overlap truncation: excluded by the lemma's setup
+        assert lhs == pytest.approx(rhs, abs=1e-10)
+
+    @given(st.integers(0, 20_000))
+    def test_unitary_sandwich(self, seed):
+        """The paper's §V chain: unitary invariance lets U3 be ignored."""
+        rng = np.random.default_rng(seed)
+        chi = random_state_vector(3, rng)
+        u1 = unitary_group.rvs(8, random_state=seed % 1_000)
+        u2 = unitary_group.rvs(8, random_state=seed % 1_000 + 1)
+        u3 = unitary_group.rvs(8, random_state=seed % 1_000 + 2)
+        keep_j = _random_keep_set(rng, 8)
+        keep_i = _random_keep_set(rng, 8)
+        try:
+            # o   = U3 U2 U1 chi
+            # o'  = U3 (U2 U1 chi)_I
+            # o'' = U3 (U2 (U1 chi)_J)_I
+            exact = u2 @ (u1 @ chi)
+            one = truncate_dense(exact, keep_i)
+            two_inner = u2 @ truncate_dense(u1 @ chi, keep_j)
+            two = truncate_dense(two_inner, keep_i)
+        except ValueError:
+            return
+        o = u3 @ exact
+        o_prime = u3 @ one
+        o_double = u3 @ two
+        lhs = fidelity_dense(o, o_double)
+        rhs = fidelity_dense(o, o_prime) * fidelity_dense(o_prime, o_double)
+        assert lhs == pytest.approx(rhs, abs=1e-10)
+
+    @given(st.integers(0, 20_000))
+    def test_successive_truncations_multiply(self, seed):
+        """Commuting projectors: chained truncations compose exactly."""
+        rng = np.random.default_rng(seed)
+        psi = random_state_vector(4, rng)
+        keep_a = _random_keep_set(rng, 16)
+        keep_b = _random_keep_set(rng, 16)
+        try:
+            first = truncate_dense(psi, keep_a)
+            second = truncate_dense(first, keep_b)
+        except ValueError:
+            return
+        product = fidelity_dense(psi, first) * fidelity_dense(first, second)
+        assert fidelity_dense(psi, second) == pytest.approx(
+            product, abs=1e-10
+        )
+
+
+class TestLemma1OnDiagrams:
+    @given(st.integers(0, 5_000))
+    def test_dd_rounds_without_gates_compose_exactly(self, seed):
+        """DD node removal is a truncation, so Lemma 1 applies verbatim."""
+        vector = random_state_vector(6, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        current = state
+        product = 1.0
+        for round_fidelity in (0.95, 0.85):
+            result = approximate_state(current, round_fidelity)
+            product *= result.achieved_fidelity
+            current = result.state
+        assert state.fidelity(current) == pytest.approx(product, abs=1e-9)
+
+    def test_example6_reproduced_on_diagrams(self):
+        """Example 6 of the paper, executed on actual DDs."""
+        import math
+
+        psi = StateDD.from_amplitudes(np.full(4, 0.5))
+        psi1 = StateDD.from_amplitudes(np.array([1, 0, 0, 1]) / math.sqrt(2))
+        psi2 = StateDD.from_amplitudes(np.array([0, 0, 0, 1.0]))
+        f01 = psi.fidelity(psi1)
+        f12 = psi1.fidelity(psi2)
+        f02 = psi.fidelity(psi2)
+        assert (f01, f12, f02) == pytest.approx((0.5, 0.5, 0.25))
+        assert f02 == pytest.approx(f01 * f12)
+
+
+class TestProductIsEstimateWithRotations:
+    def test_rotated_truncations_deviate_but_stay_close(self):
+        """With basis rotations between rounds the product is an estimate;
+        the deviation exists (this is why we call it an estimate) but is
+        small for mild truncations."""
+        rng = np.random.default_rng(7)
+        package = Package()
+        deviations = []
+        for trial in range(10):
+            vector = random_state_vector(5, rng)
+            exact_vec = vector.copy()
+            state = StateDD.from_amplitudes(vector, package)
+            product = 1.0
+            for step in range(2):
+                unitary = unitary_group.rvs(32, random_state=97 * trial + step)
+                from repro.dd.matrix import OperatorDD
+
+                operator = OperatorDD.from_matrix(unitary, package)
+                state = operator.apply(state)
+                exact_vec = unitary @ exact_vec
+                result = approximate_state(state, 0.95)
+                product *= result.achieved_fidelity
+                state = result.state
+            true_fidelity = fidelity_dense(exact_vec, state.to_amplitudes())
+            deviations.append(abs(true_fidelity - product))
+        assert max(deviations) < 0.05

@@ -1,0 +1,196 @@
+"""Tests for the semiclassical (single-control-qubit) Shor simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.semiclassical import (
+    SemiclassicalRun,
+    semiclassical_phase_estimation,
+    semiclassical_shor_factor,
+    semiclassical_shor_run,
+)
+from repro.dd.package import Package
+from repro.postprocessing import order_of
+
+
+class TestSingleRun:
+    def test_register_width(self):
+        run = semiclassical_shor_run(
+            15, 2, np.random.default_rng(0), Package()
+        )
+        # n + 1 qubits instead of the full circuit's 3n.
+        assert run.num_qubits == 5
+        assert run.counting_bits == 8
+
+    def test_measured_value_is_exact_phase_sample(self):
+        """For r = 4 the eigenphases are k/4: measurements are exact
+        multiples of 2^m / 4."""
+        rng = np.random.default_rng(1)
+        package = Package()
+        for _ in range(10):
+            run = semiclassical_shor_run(15, 2, rng, package)
+            assert run.measured_value % 64 == 0
+
+    def test_measurement_distribution_matches_full_circuit(self):
+        """The 2^m/r peaks appear with the right frequencies."""
+        rng = np.random.default_rng(2)
+        package = Package()
+        values = [
+            semiclassical_shor_run(15, 7, rng, package).measured_value
+            for _ in range(60)
+        ]
+        assert order_of(7, 15) == 4
+        assert all(value % 64 == 0 for value in values)
+        assert len(set(values)) >= 3  # several distinct multiples observed
+
+    def test_diagram_stays_tiny(self):
+        """The headline: max diagram size is orders below the full circuit
+        (shor_33_5 full circuit peaks at ~47k nodes)."""
+        run = semiclassical_shor_run(
+            33, 5, np.random.default_rng(3), Package()
+        )
+        assert run.max_nodes < 100
+
+    def test_stats_fields(self):
+        run = semiclassical_shor_run(
+            15, 2, np.random.default_rng(4), Package()
+        )
+        assert isinstance(run, SemiclassicalRun)
+        assert run.runtime_seconds > 0.0
+        assert run.rounds == 0
+        assert run.fidelity_estimate == 1.0
+        assert len(run.bits) == 8
+
+    def test_input_validation_delegated(self):
+        with pytest.raises(ValueError):
+            semiclassical_shor_run(15, 5, np.random.default_rng(0), Package())
+
+
+class TestIterativePhaseEstimation:
+    @pytest.mark.parametrize(
+        "phase,bits", [(0.25, 2), (5 / 16, 4), (3 / 8, 3), (11 / 32, 5)]
+    )
+    def test_dyadic_phases_deterministic(self, phase, bits):
+        rng = np.random.default_rng(0)
+        package = Package()
+        for _ in range(3):
+            measured = semiclassical_phase_estimation(
+                phase, bits, rng, package
+            )
+            assert measured == round(phase * (1 << bits))
+
+    def test_zero_phase(self):
+        assert (
+            semiclassical_phase_estimation(
+                0.0, 4, np.random.default_rng(1), Package()
+            )
+            == 0
+        )
+
+    def test_irrational_phase_concentrates(self):
+        rng = np.random.default_rng(2)
+        package = Package()
+        hits = 0
+        for _ in range(40):
+            measured = semiclassical_phase_estimation(
+                0.3141, 6, rng, package
+            )
+            if abs(measured / 64 - 0.3141) < 2 / 64:
+                hits += 1
+        assert hits > 25
+
+    def test_matches_full_qpe_circuit_distribution(self):
+        """Bit-by-bit IPE and the full QPE circuit agree on dyadic
+        phases (both deterministic)."""
+        from repro.circuits.algorithms import phase_estimation_circuit
+        from repro.core import simulate
+
+        package = Package()
+        outcome = simulate(
+            phase_estimation_circuit(5 / 16, 4), package=package
+        )
+        import numpy as _np
+
+        probabilities = _np.abs(outcome.state.to_amplitudes()) ** 2
+        best = int(_np.argmax(probabilities)) >> 1
+        iterative = semiclassical_phase_estimation(
+            5 / 16, 4, np.random.default_rng(3), package
+        )
+        assert iterative == best == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            semiclassical_phase_estimation(0.5, 0)
+
+
+class TestWithApproximation:
+    def test_rounds_recorded(self):
+        rng = np.random.default_rng(5)
+        run = semiclassical_shor_run(
+            33, 5, rng, Package(), round_fidelity=0.98
+        )
+        for fidelity in run.round_fidelities:
+            assert fidelity >= 0.98 - 1e-9
+        assert run.fidelity_estimate >= 0.98 ** max(1, run.rounds) - 1e-6
+
+    def test_still_factors_with_approximation(self):
+        result, runs = semiclassical_shor_factor(
+            21,
+            2,
+            attempts=20,
+            rng=np.random.default_rng(6),
+            package=Package(),
+            round_fidelity=0.95,
+        )
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 7]
+
+
+class TestFactoring:
+    @pytest.mark.parametrize(
+        "modulus,base,factors",
+        [
+            (15, 2, [3, 5]),
+            (21, 2, [3, 7]),
+            (33, 5, [3, 11]),
+            (55, 2, [5, 11]),
+            (69, 2, [3, 23]),
+        ],
+    )
+    def test_paper_scale_rows(self, modulus, base, factors):
+        result, _runs = semiclassical_shor_factor(
+            modulus,
+            base,
+            attempts=25,
+            rng=np.random.default_rng(modulus),
+            package=Package(),
+        )
+        assert result.succeeded
+        assert sorted(result.factors) == factors
+
+    def test_paper_timeout_row_629(self):
+        """shor_629_8 timed out (3 h) in the paper's exact simulator;
+        the semiclassical route factors it in under a minute of Python."""
+        result, runs = semiclassical_shor_factor(
+            629,
+            8,
+            attempts=15,
+            rng=np.random.default_rng(99),
+            package=Package(),
+        )
+        assert result.succeeded
+        assert sorted(result.factors) == [17, 37]
+        assert max(run.max_nodes for run in runs) < 500
+
+    def test_multiple_attempts_accumulate_counts(self):
+        result, runs = semiclassical_shor_factor(
+            15,
+            2,
+            attempts=10,
+            rng=np.random.default_rng(8),
+            package=Package(),
+        )
+        assert result.succeeded
+        assert 1 <= len(runs) <= 10

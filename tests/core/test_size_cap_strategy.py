@@ -1,0 +1,79 @@
+"""Tests for the guarded size-cap strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.shor import shor_circuit
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import SizeCapStrategy, simulate
+from repro.dd.package import Package
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SizeCapStrategy(max_nodes=1)
+        with pytest.raises(ValueError):
+            SizeCapStrategy(max_nodes=100, final_fidelity=0.0)
+        with pytest.raises(ValueError):
+            SizeCapStrategy(max_nodes=100, final_fidelity=1.5)
+
+    def test_describe(self):
+        text = SizeCapStrategy(4096, 0.5).describe()
+        assert "4096" in text and "0.5" in text
+
+
+class TestCapBehaviour:
+    def test_caps_shor_diagram(self):
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        cap = 2000
+        outcome = simulate(
+            circuit, SizeCapStrategy(cap, final_fidelity=0.3), package=package
+        )
+        # The cap may be transiently exceeded between rounds, but every
+        # round pulls the size back down near the target.
+        for record in outcome.stats.rounds:
+            assert record.nodes_after <= cap * 1.1
+        assert outcome.stats.fidelity_estimate >= 0.3 - 1e-6
+
+    def test_fidelity_floor_respected(self):
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        exact = simulate(circuit, package=package)
+        guarded = simulate(
+            circuit,
+            SizeCapStrategy(max_nodes=500, final_fidelity=0.6),
+            package=package,
+        )
+        true_fidelity = exact.state.fidelity(guarded.state)
+        assert true_fidelity >= 0.6 - 1e-6
+
+    def test_budget_exhaustion_stops_rounds(self):
+        """Once the floor is hit the strategy must stop destroying."""
+        package = Package()
+        circuit = supremacy_circuit(3, 3, 12, seed=0)
+        strategy = SizeCapStrategy(max_nodes=32, final_fidelity=0.9)
+        outcome = simulate(circuit, strategy, package=package)
+        assert outcome.stats.fidelity_estimate >= 0.9 - 1e-6
+
+    def test_plan_resets_budget(self):
+        package = Package()
+        circuit = shor_circuit(21, 2)
+        strategy = SizeCapStrategy(max_nodes=200, final_fidelity=0.5)
+        simulate(circuit, strategy, package=package)
+        first_budget = strategy.remaining_fidelity
+        simulate(circuit, strategy, package=package)
+        assert strategy.remaining_fidelity == pytest.approx(
+            first_budget, abs=1e-9
+        )
+
+    def test_large_cap_is_exact(self):
+        package = Package()
+        circuit = shor_circuit(15, 2)
+        outcome = simulate(
+            circuit, SizeCapStrategy(10**6), package=package
+        )
+        assert outcome.stats.num_rounds == 0
+        assert outcome.stats.fidelity_estimate == 1.0

@@ -1,0 +1,174 @@
+"""Tests for the memory- and fidelity-driven strategies (§IV-B, §IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.shor import shor_circuit
+from repro.core import (
+    FidelityDrivenStrategy,
+    MemoryDrivenStrategy,
+    NoApproximation,
+    max_rounds,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _big_state(num_qubits: int, seed: int) -> StateDD:
+    import numpy as np
+
+    vector = random_state_vector(num_qubits, np.random.default_rng(seed))
+    return StateDD.from_amplitudes(vector, Package())
+
+
+class TestNoApproximation:
+    def test_never_triggers(self, rng):
+        strategy = NoApproximation()
+        strategy.plan(Circuit(3).h(0))
+        state = _big_state(6, 1)
+        assert strategy.after_operation(state, 0, state.node_count()) is None
+
+    def test_describe(self):
+        assert NoApproximation().describe() == "exact"
+
+
+class TestMemoryDriven:
+    def test_triggers_above_threshold(self):
+        strategy = MemoryDrivenStrategy(threshold=10, round_fidelity=0.9)
+        strategy.plan(Circuit(2).h(0))
+        state = _big_state(6, 2)
+        result = strategy.after_operation(state, 0, state.node_count())
+        assert result is not None
+        assert result.achieved_fidelity >= 0.9 - 1e-9
+
+    def test_silent_below_threshold(self):
+        strategy = MemoryDrivenStrategy(threshold=10_000, round_fidelity=0.9)
+        strategy.plan(Circuit(2).h(0))
+        state = _big_state(6, 3)
+        assert strategy.after_operation(state, 0, state.node_count()) is None
+
+    def test_threshold_doubles_after_round(self):
+        """§IV-B: the threshold is doubled after each approximation."""
+        strategy = MemoryDrivenStrategy(threshold=10, round_fidelity=0.9)
+        strategy.plan(Circuit(2).h(0))
+        state = _big_state(6, 4)
+        strategy.after_operation(state, 0, state.node_count())
+        assert strategy.threshold == 20.0
+
+    def test_custom_growth(self):
+        strategy = MemoryDrivenStrategy(
+            threshold=10, round_fidelity=0.9, growth=4.0
+        )
+        strategy.plan(Circuit(2).h(0))
+        state = _big_state(6, 5)
+        strategy.after_operation(state, 0, state.node_count())
+        assert strategy.threshold == 40.0
+
+    def test_plan_resets_threshold(self):
+        strategy = MemoryDrivenStrategy(threshold=10, round_fidelity=0.9)
+        strategy.plan(Circuit(2).h(0))
+        state = _big_state(6, 6)
+        strategy.after_operation(state, 0, state.node_count())
+        strategy.plan(Circuit(2).h(0))
+        assert strategy.threshold == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryDrivenStrategy(threshold=0, round_fidelity=0.9)
+        with pytest.raises(ValueError):
+            MemoryDrivenStrategy(threshold=10, round_fidelity=0.0)
+        with pytest.raises(ValueError):
+            MemoryDrivenStrategy(threshold=10, round_fidelity=0.9, growth=0.5)
+
+    def test_describe_mentions_parameters(self):
+        text = MemoryDrivenStrategy(threshold=64, round_fidelity=0.95).describe()
+        assert "64" in text and "0.95" in text
+
+
+class TestFidelityDriven:
+    def test_round_budget_matches_formula(self):
+        strategy = FidelityDrivenStrategy(0.5, 0.9)
+        assert strategy.budgeted_rounds == max_rounds(0.5, 0.9) == 6
+
+    def test_even_placement_spreads(self):
+        circuit = Circuit(2)
+        for _ in range(100):
+            circuit.h(0)
+        strategy = FidelityDrivenStrategy(0.5, 0.9, placement="even")
+        strategy.plan(circuit)
+        positions = strategy.planned_positions
+        assert len(positions) == 6
+        assert positions == sorted(positions)
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert max(gaps) - min(gaps) <= 2
+
+    def test_block_placement_uses_latest_boundaries(self):
+        circuit = shor_circuit(15, 2)
+        strategy = FidelityDrivenStrategy(0.5, 0.9, placement="blocks")
+        strategy.plan(circuit)
+        boundaries = [b - 1 for b in circuit.block_boundaries()]
+        assert strategy.planned_positions == boundaries[-6:]
+
+    def test_named_block_placement(self):
+        circuit = shor_circuit(15, 2)
+        strategy = FidelityDrivenStrategy(
+            0.5, 0.9, placement="block:inverse_qft"
+        )
+        strategy.plan(circuit)
+        block = next(
+            b for b in circuit.blocks if b.name == "inverse_qft"
+        )
+        for position in strategy.planned_positions:
+            assert block.start <= position < block.end
+
+    def test_missing_named_block_raises(self):
+        strategy = FidelityDrivenStrategy(0.5, 0.9, placement="block:nope")
+        with pytest.raises(ValueError):
+            strategy.plan(Circuit(2).h(0))
+
+    def test_explicit_positions(self):
+        circuit = Circuit(2)
+        for _ in range(20):
+            circuit.h(0)
+        strategy = FidelityDrivenStrategy(0.5, 0.9, positions=[3, 7, 11])
+        strategy.plan(circuit)
+        assert strategy.planned_positions == [3, 7, 11]
+
+    def test_explicit_positions_clipped_to_budget(self):
+        circuit = Circuit(2)
+        for _ in range(20):
+            circuit.h(0)
+        strategy = FidelityDrivenStrategy(
+            0.25, 0.5, positions=[1, 2, 3, 4, 5]
+        )
+        strategy.plan(circuit)
+        # floor(log_0.5 0.25) = 2 rounds maximum.
+        assert len(strategy.planned_positions) == 2
+
+    def test_no_rounds_when_final_equals_one(self):
+        strategy = FidelityDrivenStrategy(1.0, 0.9)
+        strategy.plan(Circuit(2).h(0))
+        assert strategy.planned_positions == []
+
+    def test_fires_only_at_positions(self):
+        circuit = Circuit(2)
+        for _ in range(10):
+            circuit.h(0)
+        strategy = FidelityDrivenStrategy(0.25, 0.5, positions=[4])
+        strategy.plan(circuit)
+        state = _big_state(6, 7)
+        assert strategy.after_operation(state, 3, 100) is None
+        assert strategy.after_operation(state, 4, 100) is not None
+        # Position consumed: no further rounds.
+        assert strategy.after_operation(state, 5, 100) is None
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            FidelityDrivenStrategy(0.5, 0.9, placement="sideways")
+
+    def test_describe_mentions_budget(self):
+        text = FidelityDrivenStrategy(0.5, 0.9).describe()
+        assert "rounds<=6" in text

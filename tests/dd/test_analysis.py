@@ -1,0 +1,163 @@
+"""Tests for exact distribution analysis on diagrams."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.analysis import (
+    dominant_outcomes,
+    marginal_probabilities,
+    outcome_entropy,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+class TestMarginalProbabilities:
+    @given(st.integers(0, 5_000))
+    def test_matches_dense_marginal(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 6))
+        vector = random_state_vector(num_qubits, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        subset_size = int(rng.integers(1, num_qubits + 1))
+        subset = list(rng.choice(num_qubits, subset_size, replace=False))
+        marginal = marginal_probabilities(state, subset)
+        probabilities = np.abs(vector) ** 2
+        expected: dict[int, float] = {}
+        for index in range(1 << num_qubits):
+            key = sum(
+                ((index >> qubit) & 1) << position
+                for position, qubit in enumerate(subset)
+            )
+            expected[key] = expected.get(key, 0.0) + probabilities[index]
+        for key, value in expected.items():
+            assert marginal.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_marginal_sums_to_one(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        marginal = marginal_probabilities(state, [1, 3])
+        assert sum(marginal.values()) == pytest.approx(1.0)
+
+    def test_ghz_marginal(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        marginal = marginal_probabilities(state, [0, 2])
+        assert marginal == pytest.approx({0b00: 0.5, 0b11: 0.5})
+
+    def test_single_qubit_marginal_matches_probability(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(4, rng), Package())
+        for qubit in range(4):
+            marginal = marginal_probabilities(state, [qubit])
+            assert marginal.get(1, 0.0) == pytest.approx(
+                state.measure_qubit_probability(qubit), abs=1e-9
+            )
+
+    def test_validation(self):
+        state = StateDD.plus_state(3)
+        with pytest.raises(ValueError):
+            marginal_probabilities(state, [0, 0])
+        with pytest.raises(ValueError):
+            marginal_probabilities(state, [3])
+
+    def test_shor_counting_distribution_exact(self):
+        """Exact counting marginal: the 2^m/r peaks of Shor at N=15."""
+        from repro.circuits.shor import shor_circuit, shor_layout
+        from repro.core import simulate
+
+        layout = shor_layout(15, 2)
+        outcome = simulate(shor_circuit(15, 2), package=Package())
+        marginal = marginal_probabilities(
+            outcome.state, list(layout.counting_qubits)
+        )
+        peaks = {0, 64, 128, 192}
+        for peak in peaks:
+            assert marginal.get(peak, 0.0) == pytest.approx(0.25, abs=1e-6)
+        assert sum(marginal.values()) == pytest.approx(1.0)
+
+
+class TestEntropy:
+    @given(st.integers(0, 5_000))
+    def test_matches_dense_entropy(self, seed):
+        rng = np.random.default_rng(seed)
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        probabilities = np.abs(vector) ** 2
+        expected = -sum(
+            p * math.log2(p) for p in probabilities if p > 1e-300
+        )
+        assert outcome_entropy(state) == pytest.approx(expected, abs=1e-8)
+
+    def test_basis_state_zero_entropy(self):
+        assert outcome_entropy(StateDD.basis_state(5, 19)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_uniform_state_max_entropy(self):
+        assert outcome_entropy(StateDD.plus_state(6)) == pytest.approx(6.0)
+
+    def test_ghz_one_bit(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        assert outcome_entropy(state) == pytest.approx(1.0)
+
+    def test_natural_log_base(self):
+        state = StateDD.plus_state(4)
+        assert outcome_entropy(state, base=math.e) == pytest.approx(
+            4.0 * math.log(2)
+        )
+
+    def test_approximation_reduces_entropy(self, rng):
+        """Truncation concentrates mass: entropy can only tighten."""
+        from repro.core import approximate_state
+
+        vector = random_sparse_state_vector(6, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        result = approximate_state(state, 0.7)
+        if result.removed_nodes:
+            # Not a theorem for arbitrary removals + renormalization, but
+            # holds overwhelmingly; we check it stayed finite and sane.
+            assert 0.0 <= outcome_entropy(result.state) <= 6.0
+
+
+class TestDominantOutcomes:
+    def test_finds_peaks(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        probabilities = np.abs(vector) ** 2
+        found = dominant_outcomes(state, threshold=0.05)
+        expected = sorted(
+            ((i, p) for i, p in enumerate(probabilities) if p >= 0.05),
+            key=lambda item: (-item[1], item[0]),
+        )
+        assert [f[0] for f in found] == [e[0] for e in expected]
+
+    def test_probabilities_attached(self):
+        state = StateDD.basis_state(4, 7)
+        found = dominant_outcomes(state, threshold=0.5)
+        assert found == [(7, pytest.approx(1.0))]
+
+    def test_pruning_on_large_structured_state(self):
+        """Works on states whose full distribution is astronomically big."""
+        state = StateDD.plus_state(20)
+        found = dominant_outcomes(state, threshold=0.5)
+        assert found == []  # every outcome has probability 2^-20
+
+    def test_ghz_peaks(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        found = dominant_outcomes(state, threshold=0.25)
+        assert [f[0] for f in found] == [0, 7]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            dominant_outcomes(StateDD.plus_state(2), threshold=0.0)

@@ -1,0 +1,241 @@
+"""Property-based tests for DD arithmetic against dense linear algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.matrix import OperatorDD
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+def _vec(seed: int, num_qubits: int, sparse: bool = False) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if sparse:
+        return random_sparse_state_vector(num_qubits, rng)
+    return random_state_vector(num_qubits, rng)
+
+
+class TestAdditionProperty:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_vadd_matches_numpy(self, num_qubits, seed_a, seed_b):
+        a = _vec(seed_a, num_qubits)
+        b = _vec(seed_b, num_qubits)
+        package = Package()
+        state_a = StateDD.from_amplitudes(a, package)
+        state_b = StateDD.from_amplitudes(b, package)
+        total = package.vadd(state_a.edge, state_b.edge, num_qubits - 1)
+        result = StateDD(total, num_qubits, package)
+        np.testing.assert_allclose(result.to_amplitudes(), a + b, atol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    def test_vadd_commutative(self, seed):
+        a = _vec(seed, 3)
+        b = _vec(seed + 1, 3)
+        package = Package()
+        ea = StateDD.from_amplitudes(a, package).edge
+        eb = StateDD.from_amplitudes(b, package).edge
+        ab = package.vadd(ea, eb, 2)
+        ba = package.vadd(eb, ea, 2)
+        np.testing.assert_allclose(
+            StateDD(ab, 3, package).to_amplitudes(),
+            StateDD(ba, 3, package).to_amplitudes(),
+            atol=1e-9,
+        )
+
+    @given(st.integers(0, 10_000))
+    def test_vadd_with_negation_cancels(self, seed):
+        a = _vec(seed, 3)
+        package = Package()
+        edge = StateDD.from_amplitudes(a, package).edge
+        negated = (-edge[0], edge[1])
+        result = package.vadd(edge, negated, 2)
+        assert result[0] == 0.0
+
+
+class TestMatVecProperty:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(0, 10_000),
+    )
+    def test_mv_matches_numpy(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        size = 1 << num_qubits
+        matrix = rng.normal(size=(size, size)) + 1j * rng.normal(
+            size=(size, size)
+        )
+        vector = random_state_vector(num_qubits, rng)
+        package = Package()
+        operator = OperatorDD.from_matrix(matrix, package)
+        state = StateDD.from_amplitudes(vector, package)
+        result = package.multiply_mv(
+            operator.edge, state.edge, num_qubits - 1
+        )
+        np.testing.assert_allclose(
+            StateDD(result, num_qubits, package).to_amplitudes(),
+            matrix @ vector,
+            atol=1e-8,
+        )
+
+    def test_mv_with_zero_matrix(self):
+        package = Package()
+        state = StateDD.plus_state(2, package)
+        result = package.multiply_mv((complex(0.0), None), state.edge, 1)
+        assert result[0] == 0.0
+
+    def test_mv_linearity(self, rng):
+        package = Package()
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        a = random_state_vector(2, rng)
+        b = random_state_vector(2, rng)
+        operator = OperatorDD.from_matrix(matrix, package)
+        ea = StateDD.from_amplitudes(a, package).edge
+        eb = StateDD.from_amplitudes(b, package).edge
+        summed = package.vadd(ea, eb, 1)
+        lhs = package.multiply_mv(operator.edge, summed, 1)
+        rhs = package.vadd(
+            package.multiply_mv(operator.edge, ea, 1),
+            package.multiply_mv(operator.edge, eb, 1),
+            1,
+        )
+        np.testing.assert_allclose(
+            StateDD(lhs, 2, package).to_amplitudes(),
+            StateDD(rhs, 2, package).to_amplitudes(),
+            atol=1e-9,
+        )
+
+
+class TestMatMatProperty:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(0, 10_000),
+    )
+    def test_mm_matches_numpy(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        size = 1 << num_qubits
+        a = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+        b = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+        package = Package()
+        op_a = OperatorDD.from_matrix(a, package)
+        op_b = OperatorDD.from_matrix(b, package)
+        result = package.multiply_mm(op_a.edge, op_b.edge, num_qubits - 1)
+        np.testing.assert_allclose(
+            OperatorDD(result, num_qubits, package).to_matrix(),
+            a @ b,
+            atol=1e-8,
+        )
+
+    def test_mm_associative(self, rng):
+        package = Package()
+        mats = [
+            rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+            for _ in range(3)
+        ]
+        ops = [OperatorDD.from_matrix(m, package) for m in mats]
+        left = ops[0].compose(ops[1]).compose(ops[2])
+        right = ops[0].compose(ops[1].compose(ops[2]))
+        np.testing.assert_allclose(
+            left.to_matrix(), right.to_matrix(), atol=1e-8
+        )
+
+    def test_madd_matches_numpy(self, rng):
+        package = Package()
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        op_a = OperatorDD.from_matrix(a, package)
+        op_b = OperatorDD.from_matrix(b, package)
+        result = package.madd(op_a.edge, op_b.edge, 2)
+        np.testing.assert_allclose(
+            OperatorDD(result, 3, package).to_matrix(), a + b, atol=1e-9
+        )
+
+
+class TestInnerProductProperty:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_inner_matches_numpy(self, num_qubits, seed_a, seed_b):
+        a = _vec(seed_a, num_qubits)
+        b = _vec(seed_b, num_qubits)
+        package = Package()
+        state_a = StateDD.from_amplitudes(a, package)
+        state_b = StateDD.from_amplitudes(b, package)
+        assert state_a.inner_product(state_b) == pytest.approx(
+            np.vdot(a, b), abs=1e-9
+        )
+
+    @given(st.integers(0, 10_000))
+    def test_inner_conjugate_symmetry(self, seed):
+        a = _vec(seed, 3)
+        b = _vec(seed + 7, 3)
+        package = Package()
+        state_a = StateDD.from_amplitudes(a, package)
+        state_b = StateDD.from_amplitudes(b, package)
+        forward = state_a.inner_product(state_b)
+        backward = state_b.inner_product(state_a)
+        assert forward == pytest.approx(backward.conjugate(), abs=1e-10)
+
+    @given(st.integers(0, 10_000))
+    def test_cauchy_schwarz(self, seed):
+        a = _vec(seed, 3, sparse=True)
+        b = _vec(seed + 3, 3, sparse=True)
+        package = Package()
+        fidelity = StateDD.from_amplitudes(a, package).fidelity(
+            StateDD.from_amplitudes(b, package)
+        )
+        assert -1e-12 <= fidelity <= 1.0 + 1e-9
+
+
+class TestKron:
+    def test_vkron_matches_numpy(self, rng):
+        package = Package()
+        bottom_vec = random_state_vector(2, rng)
+        bottom = StateDD.from_amplitudes(bottom_vec, package)
+        # Build a 2-qubit top diagram at levels 2..3 manually.
+        top_vec = random_state_vector(2, rng)
+        top_state = StateDD.from_amplitudes(top_vec, package)
+
+        def shift(edge, offset):
+            weight, node = edge
+            if node is None:
+                return edge
+            child0 = shift(node.edges[0], offset)
+            child1 = shift(node.edges[1], offset)
+            shifted = package.make_vedge(node.level + offset, child0, child1)
+            return (shifted[0] * weight, shifted[1])
+
+        shifted_top = shift(top_state.edge, 2)
+        combined = package.vkron(shifted_top, bottom.edge)
+        result = StateDD(combined, 4, package)
+        np.testing.assert_allclose(
+            result.to_amplitudes(), np.kron(top_vec, bottom_vec), atol=1e-9
+        )
+
+    def test_mkron_matches_numpy(self, rng):
+        package = Package()
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        b = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        bottom = OperatorDD.from_matrix(b, package)
+
+        def shift(edge, offset):
+            weight, node = edge
+            if node is None:
+                return edge
+            children = tuple(shift(child, offset) for child in node.edges)
+            shifted = package.make_medge(node.level + offset, children)
+            return (shifted[0] * weight, shifted[1])
+
+        top = shift(OperatorDD.from_matrix(a, package).edge, 2)
+        combined = package.mkron(top, bottom.edge)
+        result = OperatorDD(combined, 3, package)
+        np.testing.assert_allclose(result.to_matrix(), np.kron(a, b), atol=1e-9)

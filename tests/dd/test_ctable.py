@@ -1,0 +1,120 @@
+"""Tests for tolerance-aware complex weight handling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd import ctable
+
+
+@pytest.fixture(autouse=True)
+def restore_tolerance():
+    """Keep tolerance changes from leaking between tests."""
+    original = ctable.tolerance()
+    yield
+    ctable.set_tolerance(original)
+
+
+class TestTolerance:
+    def test_default_value(self):
+        assert ctable.tolerance() == pytest.approx(ctable.DEFAULT_TOLERANCE)
+
+    def test_set_and_get(self):
+        ctable.set_tolerance(1e-8)
+        assert ctable.tolerance() == 1e-8
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-9, 0.5, 1.0])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            ctable.set_tolerance(bad)
+
+
+class TestWeightKey:
+    def test_equal_weights_equal_keys(self):
+        assert ctable.weight_key(0.5 + 0.5j) == ctable.weight_key(0.5 + 0.5j)
+
+    def test_within_tolerance_same_bucket(self):
+        base = 0.123456789
+        nudged = base + ctable.tolerance() / 10.0
+        assert ctable.weight_key(complex(base)) == ctable.weight_key(
+            complex(nudged)
+        )
+
+    def test_distinct_weights_distinct_keys(self):
+        assert ctable.weight_key(complex(0.1)) != ctable.weight_key(
+            complex(0.2)
+        )
+
+    def test_imaginary_part_distinguishes(self):
+        assert ctable.weight_key(0.1 + 0.1j) != ctable.weight_key(0.1 - 0.1j)
+
+    @given(
+        st.complex_numbers(
+            min_magnitude=0.0, max_magnitude=2.0, allow_nan=False
+        )
+    )
+    def test_key_is_deterministic(self, value):
+        assert ctable.weight_key(value) == ctable.weight_key(value)
+
+
+class TestPredicates:
+    def test_is_zero_on_zero(self):
+        assert ctable.is_zero(complex(0.0))
+
+    def test_is_zero_within_tolerance(self):
+        assert ctable.is_zero(complex(1e-12, -1e-12))
+
+    def test_is_zero_rejects_large(self):
+        assert not ctable.is_zero(complex(1e-3))
+
+    def test_is_one(self):
+        assert ctable.is_one(complex(1.0))
+        assert ctable.is_one(complex(1.0 + 1e-12, 1e-12))
+        assert not ctable.is_one(complex(0.999))
+
+    def test_approx_equal(self):
+        assert ctable.approx_equal(0.3 + 0.4j, 0.3 + 0.4j + 1e-12)
+        assert not ctable.approx_equal(0.3 + 0.4j, 0.3 + 0.5j)
+
+
+class TestSnap:
+    @pytest.mark.parametrize(
+        "target",
+        [complex(0), complex(1), complex(-1), complex(0, 1), complex(0, -1)],
+    )
+    def test_snaps_to_constants(self, target):
+        nudged = target + complex(3e-11, -3e-11)
+        assert ctable.snap(nudged) == target
+
+    def test_leaves_general_values_alone(self):
+        value = 0.6 + 0.8j
+        assert ctable.snap(value) == value
+
+    def test_does_not_snap_outside_tolerance(self):
+        value = complex(1.0 + 1e-6)
+        assert ctable.snap(value) == value
+
+
+class TestPhase:
+    def test_phase_of_positive_real(self):
+        assert ctable.phase_of(complex(2.5)) == pytest.approx(1.0)
+
+    def test_phase_of_imaginary(self):
+        assert ctable.phase_of(complex(0, -3)) == pytest.approx(-1j)
+
+    def test_phase_magnitude_is_one(self):
+        phase = ctable.phase_of(0.3 - 0.7j)
+        assert abs(phase) == pytest.approx(1.0)
+
+    def test_phase_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            ctable.phase_of(complex(0.0))
+
+    def test_polar_deg(self):
+        magnitude, degrees = ctable.polar_deg(complex(0, 2))
+        assert magnitude == pytest.approx(2.0)
+        assert degrees == pytest.approx(90.0)

@@ -1,0 +1,80 @@
+"""Tests for the DOT export, including the paper's Fig. 1 diagram."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.dot import operator_to_dot, state_to_dot, write_dot
+from repro.dd.matrix import OperatorDD
+from repro.dd.vector import StateDD
+
+#: The state of Fig. 1a: amplitudes chosen so the node contributions match
+#: Example 7 (0.2 / 0.8 on the q1 level) and the |011> amplitude is
+#: -1/sqrt(10) as traced in Example 4.
+FIG1_AMPLITUDES = np.array([1, 0, 0, -1, 2, 0, 0, 2]) / math.sqrt(10)
+
+
+@pytest.fixture
+def fig1_state():
+    return StateDD.from_amplitudes(FIG1_AMPLITUDES + 0j)
+
+
+class TestFigure1:
+    def test_five_nodes(self, fig1_state):
+        assert fig1_state.node_count() == 5
+
+    def test_bold_path_amplitude(self, fig1_state):
+        """Example 4: |011> path product equals -1/sqrt(10)."""
+        assert fig1_state.amplitude(0b011) == pytest.approx(
+            -1.0 / math.sqrt(10)
+        )
+
+    def test_dot_contains_all_levels(self, fig1_state):
+        dot = state_to_dot(fig1_state, name="fig1")
+        assert "digraph fig1" in dot
+        for level in ("q0", "q1", "q2"):
+            assert level in dot
+
+    def test_dot_has_dashed_and_solid_edges(self, fig1_state):
+        dot = state_to_dot(fig1_state)
+        assert "style=dashed" in dot
+        assert "style=solid" in dot
+
+
+class TestStateDot:
+    def test_zero_edges_render_stubs(self):
+        state = StateDD.basis_state(2, 2)
+        dot = state_to_dot(state)
+        assert 'label="0"' in dot
+
+    def test_terminal_box(self):
+        dot = state_to_dot(StateDD.plus_state(2))
+        assert 'terminal [shape=box, label="1"]' in dot
+
+    def test_complex_weight_formatting(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 1j]) / math.sqrt(2)
+        )
+        dot = state_to_dot(state)
+        assert "i" in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "state.dot"
+        write_dot(StateDD.plus_state(2), str(path))
+        content = path.read_text()
+        assert content.startswith("digraph")
+
+
+class TestOperatorDot:
+    def test_identity_dot(self):
+        dot = operator_to_dot(OperatorDD.identity(2))
+        assert "digraph operator" in dot
+        assert "00:" in dot and "11:" in dot
+
+    def test_write_operator_dot(self, tmp_path):
+        path = tmp_path / "op.dot"
+        write_dot(OperatorDD.identity(3), str(path), name="op")
+        assert "digraph op" in path.read_text()

@@ -1,0 +1,126 @@
+"""Tests for bipartite entanglement analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.entanglement import (
+    cut_rank,
+    entanglement_entropy,
+    max_cut_rank,
+    schmidt_rank,
+    schmidt_spectrum,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _ghz(n: int) -> StateDD:
+    amplitudes = np.zeros(1 << n, dtype=complex)
+    amplitudes[0] = amplitudes[-1] = 1 / math.sqrt(2)
+    return StateDD.from_amplitudes(amplitudes, Package())
+
+
+class TestSchmidtSpectrum:
+    def test_product_state_rank_one(self):
+        state = StateDD.plus_state(4, Package())
+        for cut in range(1, 4):
+            assert schmidt_rank(state, cut) == 1
+            assert schmidt_spectrum(state, cut) == [pytest.approx(1.0)]
+
+    def test_ghz_rank_two(self):
+        state = _ghz(5)
+        for cut in range(1, 5):
+            spectrum = schmidt_spectrum(state, cut)
+            assert spectrum == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_spectrum_sums_to_one(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        for cut in (1, 2, 4):
+            assert sum(schmidt_spectrum(state, cut)) == pytest.approx(1.0)
+
+    def test_random_state_full_rank(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        assert schmidt_rank(state, 3) == 8  # min(2^3, 2^3), generic
+
+    def test_matches_numpy_svd(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        cut = 2
+        singular = np.linalg.svd(vector.reshape(4, 4), compute_uv=False)
+        expected = sorted((s**2 for s in singular if s**2 > 1e-14), reverse=True)
+        assert schmidt_spectrum(state, cut) == pytest.approx(expected)
+
+    def test_cut_bounds_checked(self):
+        state = StateDD.plus_state(3, Package())
+        with pytest.raises(ValueError):
+            schmidt_spectrum(state, 0)
+        with pytest.raises(ValueError):
+            schmidt_spectrum(state, 3)
+
+
+class TestEntropy:
+    def test_product_state_zero(self):
+        state = StateDD.plus_state(4, Package())
+        assert entanglement_entropy(state, 2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ghz_one_bit(self):
+        assert entanglement_entropy(_ghz(6), 3) == pytest.approx(1.0)
+
+    def test_bell_pair_maximal(self):
+        bell = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        assert entanglement_entropy(bell, 1) == pytest.approx(1.0)
+
+    def test_supremacy_states_highly_entangled(self):
+        from repro.circuits.supremacy import supremacy_circuit
+        from tests.helpers import run_circuit_dd
+
+        state = run_circuit_dd(supremacy_circuit(3, 3, 12, seed=0), Package())
+        middle = state.num_qubits // 2
+        entropy = entanglement_entropy(state, middle)
+        assert entropy > 2.5  # near the volume-law maximum of 4 bits
+
+
+class TestCutRank:
+    def test_upper_bounds_schmidt_rank(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        for cut in range(1, 6):
+            assert cut_rank(state, cut) >= schmidt_rank(state, cut)
+
+    def test_ghz_cut_rank_two(self):
+        state = _ghz(6)
+        for cut in range(1, 6):
+            assert cut_rank(state, cut) == 2
+
+    def test_product_state_cut_rank_one(self):
+        state = StateDD.plus_state(5, Package())
+        for cut in range(1, 5):
+            assert cut_rank(state, cut) == 1
+
+    def test_max_cut_rank_tracks_diagram_width(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        width = max(
+            sum(1 for node in state.nodes() if node.level == level)
+            for level in range(6)
+        )
+        assert max_cut_rank(state) >= width / 2
+
+    def test_approximation_reduces_cut_rank(self, rng):
+        from repro.core import approximate_state
+
+        state = StateDD.from_amplitudes(random_state_vector(7, rng), Package())
+        before = max_cut_rank(state)
+        result = approximate_state(state, 0.6)
+        if result.removed_nodes:
+            assert max_cut_rank(result.state) <= before
+
+    def test_cut_bounds_checked(self):
+        state = StateDD.plus_state(3, Package())
+        with pytest.raises(ValueError):
+            cut_rank(state, 0)

@@ -1,0 +1,153 @@
+"""Tests for OperatorDD: construction, application, composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import unitary_group
+
+from repro.dd.matrix import OperatorDD
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _random_unitary(dimension: int, seed: int) -> np.ndarray:
+    return unitary_group.rvs(dimension, random_state=seed)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 4])
+    def test_identity_matrix(self, num_qubits):
+        operator = OperatorDD.identity(num_qubits)
+        np.testing.assert_allclose(
+            operator.to_matrix(), np.eye(1 << num_qubits), atol=1e-12
+        )
+
+    def test_identity_node_count_linear(self):
+        assert OperatorDD.identity(8).node_count() == 8
+
+    def test_identity_preserves_states(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(4, rng))
+        result = OperatorDD.identity(4, state.package).apply(state)
+        assert result.fidelity(state) == pytest.approx(1.0)
+
+
+class TestFromMatrix:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_roundtrip_unitary(self, num_qubits):
+        matrix = _random_unitary(1 << num_qubits, seed=num_qubits)
+        operator = OperatorDD.from_matrix(matrix)
+        np.testing.assert_allclose(operator.to_matrix(), matrix, atol=1e-10)
+
+    def test_roundtrip_general_matrix(self, rng):
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        operator = OperatorDD.from_matrix(matrix)
+        np.testing.assert_allclose(operator.to_matrix(), matrix, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            OperatorDD.from_matrix(np.ones((2, 4)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            OperatorDD.from_matrix(np.ones((3, 3)))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            OperatorDD.from_matrix(np.ones((1, 1)))
+
+    def test_structured_matrix_compresses(self):
+        # A diagonal matrix of +-1 phases shares heavily.
+        diag = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+        operator = OperatorDD.from_matrix(diag)
+        assert operator.node_count() <= 6
+
+
+class TestElementAccess:
+    def test_element_matches_dense(self, rng):
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        operator = OperatorDD.from_matrix(matrix)
+        for row in range(8):
+            for col in range(8):
+                assert operator.element(row, col) == pytest.approx(
+                    matrix[row, col], abs=1e-10
+                )
+
+    def test_element_out_of_range(self):
+        operator = OperatorDD.identity(2)
+        with pytest.raises(ValueError):
+            operator.element(4, 0)
+
+
+class TestApply:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+    def test_matches_numpy_matvec(self, num_qubits, rng):
+        matrix = _random_unitary(1 << num_qubits, seed=17 + num_qubits)
+        vector = random_state_vector(num_qubits, rng)
+        operator = OperatorDD.from_matrix(matrix)
+        state = StateDD.from_amplitudes(vector, operator.package)
+        result = operator.apply(state)
+        np.testing.assert_allclose(
+            result.to_amplitudes(), matrix @ vector, atol=1e-9
+        )
+
+    def test_unitary_preserves_norm(self, rng):
+        matrix = _random_unitary(8, seed=23)
+        operator = OperatorDD.from_matrix(matrix)
+        state = StateDD.from_amplitudes(
+            random_state_vector(3, rng), operator.package
+        )
+        assert operator.apply(state).norm() == pytest.approx(1.0)
+
+    def test_qubit_mismatch_raises(self):
+        operator = OperatorDD.identity(3)
+        state = StateDD.basis_state(2, 0, operator.package)
+        with pytest.raises(ValueError):
+            operator.apply(state)
+
+    def test_package_mismatch_raises(self, fresh_package):
+        operator = OperatorDD.identity(2)
+        state = StateDD.basis_state(2, 0, fresh_package)
+        with pytest.raises(ValueError):
+            operator.apply(state)
+
+
+class TestCompose:
+    def test_matches_numpy_product(self):
+        a = _random_unitary(8, seed=31)
+        b = _random_unitary(8, seed=32)
+        op_a = OperatorDD.from_matrix(a)
+        op_b = OperatorDD.from_matrix(b, op_a.package)
+        np.testing.assert_allclose(
+            op_a.compose(op_b).to_matrix(), a @ b, atol=1e-9
+        )
+
+    def test_inverse_composition_is_identity(self):
+        matrix = _random_unitary(4, seed=41)
+        operator = OperatorDD.from_matrix(matrix)
+        inverse = OperatorDD.from_matrix(matrix.conj().T, operator.package)
+        np.testing.assert_allclose(
+            inverse.compose(operator).to_matrix(), np.eye(4), atol=1e-9
+        )
+
+    def test_compose_order(self):
+        # compose applies the argument first: (A.compose(B))|x> = A B |x>.
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        h = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        op_x = OperatorDD.from_matrix(x)
+        op_h = OperatorDD.from_matrix(h, op_x.package)
+        np.testing.assert_allclose(
+            op_x.compose(op_h).to_matrix(), x @ h, atol=1e-12
+        )
+
+    def test_qubit_mismatch(self):
+        with pytest.raises(ValueError):
+            OperatorDD.identity(2).compose(OperatorDD.identity(3))
+
+
+class TestDagger:
+    def test_unitary_dagger_is_inverse(self):
+        matrix = _random_unitary(8, seed=51)
+        operator = OperatorDD.from_matrix(matrix)
+        product = operator.dagger().compose(operator)
+        np.testing.assert_allclose(product.to_matrix(), np.eye(8), atol=1e-9)

@@ -1,0 +1,168 @@
+"""Tests for projective measurement with collapse."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.measurement import (
+    measure_all,
+    measure_qubit,
+    project_qubit,
+    sequential_measurement,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _ghz(package=None) -> StateDD:
+    return StateDD.from_amplitudes(
+        np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), package
+    )
+
+
+class TestProjectQubit:
+    def test_projection_probability(self):
+        state = _ghz(Package())
+        post, probability = project_qubit(state, 1, 0)
+        assert probability == pytest.approx(0.5)
+        assert post.probability(0) == pytest.approx(1.0)
+
+    def test_projection_matches_dense(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        for qubit in range(4):
+            for value in (0, 1):
+                mask = np.array(
+                    [((i >> qubit) & 1) == value for i in range(16)]
+                )
+                kept = np.where(mask, vector, 0.0)
+                expected_probability = float(np.sum(np.abs(kept) ** 2))
+                post, probability = project_qubit(state, qubit, value)
+                assert probability == pytest.approx(
+                    expected_probability, abs=1e-10
+                )
+                if post is not None:
+                    np.testing.assert_allclose(
+                        np.abs(post.to_amplitudes()),
+                        np.abs(kept) / math.sqrt(expected_probability),
+                        atol=1e-9,
+                    )
+
+    def test_impossible_outcome_returns_none(self):
+        state = StateDD.basis_state(3, 0b101)
+        post, probability = project_qubit(state, 0, 0)
+        assert post is None
+        assert probability == 0.0
+
+    def test_post_state_is_normalized(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        post, _probability = project_qubit(state, 2, 1)
+        assert post.norm() == pytest.approx(1.0)
+
+    def test_projection_is_idempotent(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(4, rng), Package())
+        once, _p = project_qubit(state, 1, 0)
+        twice, p2 = project_qubit(once, 1, 0)
+        assert p2 == pytest.approx(1.0)
+        assert once.fidelity(twice) == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        state = StateDD.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            project_qubit(state, 2, 0)
+        with pytest.raises(ValueError):
+            project_qubit(state, 0, 2)
+
+
+class TestMeasureQubit:
+    def test_superposition_destroyed(self):
+        """§II-A: measurement leaves the qubit in a basis state."""
+        state = StateDD.plus_state(1)
+        outcome, post, probability = measure_qubit(
+            state, 0, np.random.default_rng(0)
+        )
+        assert outcome in (0, 1)
+        assert probability == pytest.approx(0.5)
+        assert post.probability(outcome) == pytest.approx(1.0)
+
+    def test_entanglement_correlation(self):
+        """Measuring one GHZ qubit pins the others (§II-A entanglement)."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            outcome, post, _p = measure_qubit(_ghz(Package()), 0, rng)
+            expected_index = 0 if outcome == 0 else 7
+            assert post.probability(expected_index) == pytest.approx(1.0)
+
+    def test_outcome_statistics(self):
+        rng = np.random.default_rng(5)
+        biased = StateDD.from_amplitudes(
+            np.array([math.sqrt(0.9), math.sqrt(0.1)]), Package()
+        )
+        ones = sum(
+            measure_qubit(biased, 0, rng)[0] for _ in range(2000)
+        )
+        assert ones / 2000 == pytest.approx(0.1, abs=0.03)
+
+    def test_deterministic_state(self):
+        state = StateDD.basis_state(3, 0b110)
+        outcome, post, probability = measure_qubit(
+            state, 2, np.random.default_rng(0)
+        )
+        assert outcome == 1
+        assert probability == pytest.approx(1.0)
+        assert post.probability(0b110) == pytest.approx(1.0)
+
+
+class TestMeasureAll:
+    def test_collapse_to_basis(self):
+        index, post = measure_all(_ghz(Package()), np.random.default_rng(0))
+        assert index in (0, 7)
+        assert post.probability(index) == pytest.approx(1.0)
+        assert post.node_count() == 3
+
+    def test_repeated_measurement_stable(self):
+        """Example 1: subsequent measurements yield the same result."""
+        rng = np.random.default_rng(1)
+        index, post = measure_all(_ghz(Package()), rng)
+        index2, _post2 = measure_all(post, rng)
+        assert index2 == index
+
+
+class TestSequentialMeasurement:
+    def test_ghz_all_equal(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            outcomes, post = sequential_measurement(
+                _ghz(Package()), [0, 1, 2], rng
+            )
+            assert len(set(outcomes.values())) == 1
+            index = 0 if outcomes[0] == 0 else 7
+            assert post.probability(index) == pytest.approx(1.0)
+
+    def test_partial_measurement_keeps_rest_quantum(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        outcomes, post = sequential_measurement(
+            state, [0], np.random.default_rng(0)
+        )
+        # Qubit 0 is now classical, the others may remain in superposition.
+        assert post.measure_qubit_probability(0) in (
+            pytest.approx(0.0),
+            pytest.approx(1.0),
+        )
+        assert post.norm() == pytest.approx(1.0)
+
+    def test_marginal_statistics_match_born_rule(self, rng):
+        vector = random_state_vector(2, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        generator = np.random.default_rng(11)
+        expected = state.measure_qubit_probability(1)
+        hits = sum(
+            sequential_measurement(state, [1], generator)[0][1]
+            for _ in range(3000)
+        )
+        assert hits / 3000 == pytest.approx(expected, abs=0.03)

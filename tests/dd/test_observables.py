@@ -1,0 +1,139 @@
+"""Tests for Pauli-string observables."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.observables import (
+    expectation,
+    expectation_sum,
+    pauli_string_operator,
+    pauli_variance,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+_PAULIS = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def _dense_pauli(pauli: str) -> np.ndarray:
+    matrix = np.eye(1, dtype=complex)
+    for letter in pauli:
+        matrix = np.kron(matrix, _PAULIS[letter])
+    return matrix
+
+
+class TestOperatorConstruction:
+    @pytest.mark.parametrize("pauli", ["X", "ZZ", "XYZ", "IXIZ", "YYYY"])
+    def test_matches_dense_kron(self, pauli):
+        operator = pauli_string_operator(pauli, Package())
+        np.testing.assert_allclose(
+            operator.to_matrix(), _dense_pauli(pauli), atol=1e-12
+        )
+
+    def test_linear_node_count(self):
+        operator = pauli_string_operator("XZXZXZXZXZ", Package())
+        assert operator.node_count() <= 10
+
+    def test_case_insensitive(self):
+        a = pauli_string_operator("xyz", Package()).to_matrix()
+        np.testing.assert_allclose(a, _dense_pauli("XYZ"), atol=1e-12)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            pauli_string_operator("", Package())
+        with pytest.raises(ValueError):
+            pauli_string_operator("XQ", Package())
+
+    def test_pauli_squares_to_identity(self):
+        package = Package()
+        operator = pauli_string_operator("XYZ", package)
+        squared = operator.compose(operator)
+        np.testing.assert_allclose(squared.to_matrix(), np.eye(8), atol=1e-12)
+
+
+class TestExpectation:
+    def test_bell_state_stabilizers(self):
+        bell = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        assert expectation(bell, "XX") == pytest.approx(1.0)
+        assert expectation(bell, "ZZ") == pytest.approx(1.0)
+        assert expectation(bell, "YY") == pytest.approx(-1.0)
+        assert expectation(bell, "ZI") == pytest.approx(0.0)
+
+    def test_basis_state_z_values(self):
+        state = StateDD.basis_state(3, 0b101)
+        # String index 0 = qubit 2 (MSB).
+        assert expectation(state, "ZII") == pytest.approx(-1.0)
+        assert expectation(state, "IZI") == pytest.approx(1.0)
+        assert expectation(state, "IIZ") == pytest.approx(-1.0)
+
+    def test_matches_dense(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        for pauli in ("XYZ", "ZZI", "IXY", "YYY"):
+            dense = float(
+                np.real(np.vdot(vector, _dense_pauli(pauli) @ vector))
+            )
+            assert expectation(state, pauli) == pytest.approx(dense, abs=1e-9)
+
+    def test_length_mismatch(self):
+        state = StateDD.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            expectation(state, "XXX")
+
+    def test_bounded_by_one(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(4, rng), Package())
+        for pauli in ("XXXX", "ZIZI", "XYZX"):
+            assert -1.0 - 1e-9 <= expectation(state, pauli) <= 1.0 + 1e-9
+
+
+class TestExpectationSum:
+    def test_weighted_sum(self):
+        bell = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        value = expectation_sum(
+            bell, [(0.5, "XX"), (0.5, "ZZ"), (1.0, "YY")]
+        )
+        assert value == pytest.approx(0.5 + 0.5 - 1.0)
+
+    def test_empty_sum(self):
+        state = StateDD.basis_state(2, 0)
+        assert expectation_sum(state, []) == 0.0
+
+
+class TestVariance:
+    def test_eigenstate_has_zero_variance(self):
+        state = StateDD.basis_state(2, 0)
+        assert pauli_variance(state, "ZZ") == pytest.approx(0.0)
+
+    def test_maximal_variance(self):
+        state = StateDD.basis_state(1, 0)
+        assert pauli_variance(state, "X") == pytest.approx(1.0)
+
+
+class TestApproximationDegradation:
+    def test_expectation_tracks_fidelity(self, rng):
+        """Error tolerance (§III): observables degrade gracefully."""
+        from repro.core import approximate_state
+
+        bell_like = StateDD.from_amplitudes(
+            random_state_vector(4, rng), Package()
+        )
+        exact_value = expectation(bell_like, "ZZZZ")
+        result = approximate_state(bell_like, 0.9)
+        approx_value = expectation(result.state, "ZZZZ")
+        # |<P>_approx - <P>_exact| <= 2*sqrt(1-F) for unit-norm states.
+        bound = 2.0 * math.sqrt(1.0 - result.achieved_fidelity) + 1e-9
+        assert abs(approx_value - exact_value) <= bound

@@ -1,0 +1,216 @@
+"""Tests for the DD package: unique tables, normalization, caches, GC."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.dd.node import VNode, zero_medge, zero_vedge
+from repro.dd.package import Package, default_package, reset_default_package
+from repro.dd.vector import StateDD
+
+
+class TestVectorNormalization:
+    def test_node_weights_have_unit_norm(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(3.0), None), (complex(4.0), None)
+        )
+        weight, node = edge
+        (w0, _), (w1, _) = node.edges
+        assert abs(w0) ** 2 + abs(w1) ** 2 == pytest.approx(1.0)
+        assert abs(weight) == pytest.approx(5.0)
+
+    def test_first_nonzero_weight_real_positive(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(0, 2.0), None), (complex(-1.0), None)
+        )
+        _weight, node = edge
+        (w0, _), (_w1, _) = node.edges
+        assert w0.imag == pytest.approx(0.0)
+        assert w0.real > 0.0
+
+    def test_zero_children_collapse_to_zero_edge(self, fresh_package):
+        edge = fresh_package.make_vedge(0, zero_vedge(), zero_vedge())
+        assert edge == zero_vedge()
+
+    def test_near_zero_weight_is_dropped(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(1e-14), None), (complex(1.0), None)
+        )
+        _weight, node = edge
+        (w0, c0), _ = node.edges
+        assert w0 == 0.0
+        assert c0 is None
+
+    def test_phase_is_factored_out(self, fresh_package):
+        phase = np.exp(0.3j)
+        edge_a = fresh_package.make_vedge(
+            0, (complex(1.0), None), (complex(1.0), None)
+        )
+        edge_b = fresh_package.make_vedge(
+            0, (phase * 1.0, None), (phase * 1.0, None)
+        )
+        # Same node object, phase absorbed into the edge weight.
+        assert edge_a[1] is edge_b[1]
+        assert edge_b[0] / edge_a[0] == pytest.approx(phase)
+
+
+class TestHashConsing:
+    def test_identical_nodes_are_shared(self, fresh_package):
+        edge_a = fresh_package.make_vedge(
+            0, (complex(0.6), None), (complex(0.8), None)
+        )
+        edge_b = fresh_package.make_vedge(
+            0, (complex(0.6), None), (complex(0.8), None)
+        )
+        assert edge_a[1] is edge_b[1]
+
+    def test_weights_within_tolerance_share(self, fresh_package):
+        edge_a = fresh_package.make_vedge(
+            0, (complex(0.6), None), (complex(0.8), None)
+        )
+        edge_b = fresh_package.make_vedge(
+            0, (complex(0.6 + 1e-13), None), (complex(0.8), None)
+        )
+        assert edge_a[1] is edge_b[1]
+
+    def test_different_levels_not_shared(self, fresh_package):
+        child = fresh_package.make_vedge(
+            0, (complex(1.0), None), zero_vedge()
+        )
+        upper_a = fresh_package.make_vedge(1, child, zero_vedge())
+        upper_b = fresh_package.make_vedge(2, child, zero_vedge())
+        assert upper_a[1] is not upper_b[1]
+        assert upper_a[1].level == 1
+        assert upper_b[1].level == 2
+
+    def test_dead_nodes_are_collected(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(0.6), None), (complex(0.8), None)
+        )
+        assert fresh_package.unique_table_sizes()["vector"] == 1
+        del edge
+        gc.collect()
+        assert fresh_package.unique_table_sizes()["vector"] == 0
+
+
+class TestMatrixNormalization:
+    def test_largest_weight_becomes_one(self, fresh_package):
+        edges = (
+            (complex(0.5), None),
+            (complex(2.0), None),
+            zero_medge(),
+            (complex(1.0), None),
+        )
+        weight, node = fresh_package.make_medge(0, edges)
+        assert weight == pytest.approx(2.0)
+        assert node.edges[1][0] == pytest.approx(1.0)
+        assert node.edges[0][0] == pytest.approx(0.25)
+
+    def test_all_zero_collapses(self, fresh_package):
+        edges = (zero_medge(),) * 4
+        assert fresh_package.make_medge(0, edges) == zero_medge()
+
+    def test_tie_break_lowest_index(self, fresh_package):
+        edges = (
+            (complex(1.0), None),
+            (complex(-1.0), None),
+            zero_medge(),
+            zero_medge(),
+        )
+        weight, node = fresh_package.make_medge(0, edges)
+        assert weight == pytest.approx(1.0)
+        assert node.edges[0][0] == pytest.approx(1.0)
+        assert node.edges[1][0] == pytest.approx(-1.0)
+
+
+class TestArithmeticBasics:
+    def test_vadd_zero_identity(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(1.0), None), zero_vedge()
+        )
+        assert fresh_package.vadd(edge, zero_vedge(), 0) == edge
+        assert fresh_package.vadd(zero_vedge(), edge, 0) == edge
+
+    def test_vadd_same_node_adds_weights(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(1.0), None), zero_vedge()
+        )
+        doubled = fresh_package.vadd(edge, edge, 0)
+        assert doubled[1] is edge[1]
+        assert doubled[0] == pytest.approx(2.0 * edge[0])
+
+    def test_vadd_cancellation_gives_zero(self, fresh_package):
+        edge = fresh_package.make_vedge(
+            0, (complex(1.0), None), zero_vedge()
+        )
+        negated = (-edge[0], edge[1])
+        assert fresh_package.vadd(edge, negated, 0) == zero_vedge()
+
+    def test_identity_apply_is_noop(self, fresh_package):
+        state = StateDD.plus_state(3, fresh_package)
+        identity = fresh_package.identity(3)
+        result = fresh_package.multiply_mv(identity, state.edge, 2)
+        assert result[1] is state.edge[1]
+        assert result[0] == pytest.approx(state.edge[0])
+
+    def test_identity_requires_positive_qubits(self, fresh_package):
+        with pytest.raises(ValueError):
+            fresh_package.identity(0)
+
+    def test_inner_product_selfnorm(self, fresh_package):
+        state = StateDD.plus_state(4, fresh_package)
+        value = fresh_package.inner_product(state.edge, state.edge, 3)
+        assert value == pytest.approx(1.0)
+
+
+class TestCaches:
+    def test_cache_flush_on_limit(self):
+        package = Package(cache_limit=4)
+        states = [
+            StateDD.basis_state(2, index, package) for index in range(4)
+        ]
+        for left in states:
+            for right in states:
+                package.inner_product(left.edge, right.edge, 1)
+        assert package.stats["cache_flushes"] >= 1
+
+    def test_clear_caches(self, fresh_package):
+        state = StateDD.plus_state(2, fresh_package)
+        fresh_package.inner_product(state.edge, state.edge, 1)
+        assert len(fresh_package._inner_cache) > 0
+        fresh_package.clear_caches()
+        assert len(fresh_package._inner_cache) == 0
+
+
+class TestDefaultPackage:
+    def test_default_is_singleton(self):
+        assert default_package() is default_package()
+
+    def test_reset_replaces_instance(self):
+        before = default_package()
+        reset_default_package()
+        after = default_package()
+        assert after is not before
+
+
+class TestConjugateTranspose:
+    def test_dagger_matches_numpy(self, fresh_package, rng):
+        from repro.dd.matrix import OperatorDD
+
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        operator = OperatorDD.from_matrix(matrix, fresh_package)
+        np.testing.assert_allclose(
+            operator.dagger().to_matrix(), matrix.conj().T, atol=1e-10
+        )
+
+    def test_double_dagger_roundtrip(self, fresh_package, rng):
+        from repro.dd.matrix import OperatorDD
+
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        operator = OperatorDD.from_matrix(matrix, fresh_package)
+        np.testing.assert_allclose(
+            operator.dagger().dagger().to_matrix(), matrix, atol=1e-10
+        )

@@ -1,0 +1,142 @@
+"""Tests for qubit reordering of state diagrams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.package import Package
+from repro.dd.reorder import (
+    greedy_reorder,
+    inverse_permutation,
+    permute_qubits,
+    swap_adjacent,
+)
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+def _expected_permutation(vector, permutation):
+    num_qubits = len(permutation)
+    expected = np.zeros_like(vector)
+    for x in range(1 << num_qubits):
+        y = 0
+        for k in range(num_qubits):
+            y |= ((x >> permutation[k]) & 1) << k
+        expected[y] = vector[x]
+    return expected
+
+
+class TestPermuteQubits:
+    @given(st.integers(0, 5_000))
+    def test_matches_dense_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 6))
+        vector = random_state_vector(num_qubits, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        permutation = list(rng.permutation(num_qubits))
+        permuted = permute_qubits(state, permutation)
+        np.testing.assert_allclose(
+            permuted.to_amplitudes(),
+            _expected_permutation(vector, permutation),
+            atol=1e-9,
+        )
+
+    @given(st.integers(0, 5_000))
+    def test_inverse_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        permutation = list(rng.permutation(4))
+        back = permute_qubits(
+            permute_qubits(state, permutation),
+            inverse_permutation(permutation),
+        )
+        np.testing.assert_allclose(back.to_amplitudes(), vector, atol=1e-9)
+
+    def test_identity_permutation_is_noop(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        same = permute_qubits(state, [0, 1, 2])
+        assert same.fidelity(state) == pytest.approx(1.0)
+
+    def test_rejects_non_permutation(self):
+        state = StateDD.plus_state(3)
+        with pytest.raises(ValueError):
+            permute_qubits(state, [0, 1, 1])
+        with pytest.raises(ValueError):
+            permute_qubits(state, [0, 1])
+
+    def test_preserves_norm_and_probabilities(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        permuted = permute_qubits(state, [3, 1, 0, 2])
+        assert permuted.norm() == pytest.approx(1.0)
+        # Marginals move with the permutation.
+        assert permuted.measure_qubit_probability(0) == pytest.approx(
+            state.measure_qubit_probability(3), abs=1e-9
+        )
+
+
+class TestSwapAdjacent:
+    def test_swaps_two_levels(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        swapped = swap_adjacent(state, 0)
+        expected = _expected_permutation(vector, [1, 0, 2])
+        np.testing.assert_allclose(
+            swapped.to_amplitudes(), expected, atol=1e-9
+        )
+
+    def test_involution(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        back = swap_adjacent(swap_adjacent(state, 2), 2)
+        assert back.fidelity(state) == pytest.approx(1.0)
+
+    def test_level_bounds(self):
+        state = StateDD.plus_state(3)
+        with pytest.raises(ValueError):
+            swap_adjacent(state, 2)
+        with pytest.raises(ValueError):
+            swap_adjacent(state, -1)
+
+
+class TestGreedyReorder:
+    def test_copy_register_state_shrinks(self):
+        """|x>|x> on split registers: interleaving collapses the diagram."""
+        num_qubits, half = 10, 5
+        amplitudes = np.zeros(1 << num_qubits, dtype=complex)
+        for x in range(1 << half):
+            amplitudes[x | (x << half)] = 1.0
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = StateDD.from_amplitudes(amplitudes, Package())
+        assert state.node_count() > 50
+        reordered, order = greedy_reorder(state, max_passes=20)
+        assert reordered.node_count() <= 2 * num_qubits
+        assert sorted(order) == list(range(num_qubits))
+
+    def test_order_describes_the_result(self):
+        num_qubits, half = 8, 4
+        amplitudes = np.zeros(1 << num_qubits, dtype=complex)
+        for x in range(1 << half):
+            amplitudes[x | (x << half)] = 1.0
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = StateDD.from_amplitudes(amplitudes, Package())
+        reordered, order = greedy_reorder(state, max_passes=20)
+        rebuilt = permute_qubits(state, order)
+        assert rebuilt.fidelity(reordered) == pytest.approx(1.0)
+
+    def test_already_optimal_is_stable(self):
+        state = StateDD.plus_state(6)
+        reordered, order = greedy_reorder(state)
+        assert reordered.node_count() == 6
+        assert order == list(range(6))
+
+    def test_never_increases_size(self, rng):
+        vector = random_state_vector(6, rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        reordered, _order = greedy_reorder(state)
+        assert reordered.node_count() <= state.node_count()

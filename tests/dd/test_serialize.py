@@ -1,0 +1,126 @@
+"""Tests for decision-diagram serialization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.package import Package
+from repro.dd.serialize import (
+    load_state,
+    save_state,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+class TestRoundtrip:
+    @given(st.integers(0, 10_000), st.integers(min_value=1, max_value=6))
+    def test_random_states(self, seed, num_qubits):
+        vector = random_state_vector(num_qubits, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        loaded = state_from_dict(state_to_dict(state), Package())
+        np.testing.assert_allclose(
+            loaded.to_amplitudes(), vector, atol=1e-9
+        )
+
+    @given(st.integers(0, 10_000))
+    def test_sparse_states(self, seed):
+        vector = random_sparse_state_vector(5, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        loaded = state_from_dict(state_to_dict(state), Package())
+        np.testing.assert_allclose(loaded.to_amplitudes(), vector, atol=1e-9)
+
+    def test_ghz_preserves_sharing(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), Package()
+        )
+        data = state_to_dict(state)
+        assert len(data["nodes"]) == 5  # distinct nodes only
+        loaded = state_from_dict(data, Package())
+        assert loaded.node_count() == 5
+
+    def test_json_serializable(self, rng):
+        package = Package()
+        state = StateDD.from_amplitudes(random_state_vector(4, rng), package)
+        text = json.dumps(state_to_dict(state))
+        loaded = state_from_dict(json.loads(text), package)
+        assert loaded.fidelity(state) == pytest.approx(1.0)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        package = Package()
+        state = StateDD.from_amplitudes(random_state_vector(4, rng), package)
+        path = tmp_path / "state.json"
+        save_state(state, str(path))
+        loaded = load_state(str(path), package)
+        assert loaded.fidelity(state) == pytest.approx(1.0)
+
+    def test_cross_package_roundtrip(self, rng):
+        """Loading into a different package still yields a canonical DD."""
+        state = StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        other = Package()
+        loaded = state_from_dict(state_to_dict(state), other)
+        assert loaded.package is other
+        assert loaded.node_count() == state.node_count()
+
+
+class TestFormatStructure:
+    def test_header_fields(self):
+        data = state_to_dict(StateDD.plus_state(3, Package()))
+        assert data["format"] == "repro-dd-state"
+        assert data["version"] == 1
+        assert data["num_qubits"] == 3
+
+    def test_children_precede_parents(self, rng):
+        data = state_to_dict(
+            StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        )
+        for position, node in enumerate(data["nodes"]):
+            for _weight, child_index in node["edges"]:
+                assert child_index < position
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            state_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = state_to_dict(StateDD.plus_state(2, Package()))
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            state_from_dict(data)
+
+    def test_forward_reference_rejected(self):
+        data = state_to_dict(StateDD.plus_state(2, Package()))
+        data["nodes"][0]["edges"][0][1] = 5
+        with pytest.raises(ValueError):
+            state_from_dict(data)
+
+    def test_terminal_root_rejected(self):
+        data = state_to_dict(StateDD.plus_state(2, Package()))
+        data["root"]["node"] = -1
+        with pytest.raises(ValueError):
+            state_from_dict(data)
+
+
+class TestApproximateStatePersistence:
+    def test_approximated_state_roundtrip(self, rng):
+        """The intended workflow: approximate once, persist, resample."""
+        from repro.core import approximate_state
+
+        package = Package()
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), package)
+        result = approximate_state(state, 0.8)
+        loaded = state_from_dict(state_to_dict(result.state), package)
+        assert loaded.fidelity(result.state) == pytest.approx(1.0)
+        counts_a = result.state.sample(200, np.random.default_rng(3))
+        counts_b = loaded.sample(200, np.random.default_rng(3))
+        assert counts_a == counts_b

@@ -1,0 +1,61 @@
+"""Tests for diagram size/structure metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.matrix import OperatorDD
+from repro.dd.stats import DiagramStats, nodes_per_level, state_stats
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+class TestStateStats:
+    def test_ghz_metrics(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2)
+        )
+        stats = state_stats(state)
+        assert stats.num_qubits == 3
+        assert stats.node_count == 5
+        assert stats.nodes_per_level == [2, 2, 1]
+        assert stats.worst_case_nodes == 7
+
+    def test_plus_state_maximal_sharing(self):
+        stats = state_stats(StateDD.plus_state(8))
+        assert stats.node_count == 8
+        assert stats.nodes_per_level == [1] * 8
+        assert stats.sharing_factor == pytest.approx(255 / 8)
+
+    def test_random_state_no_sharing(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(4, rng))
+        stats = state_stats(state)
+        assert stats.node_count == 15
+        assert stats.sharing_factor == pytest.approx(1.0)
+
+    def test_compression_ratio_grows_with_qubits(self):
+        small = state_stats(StateDD.plus_state(6))
+        large = state_stats(StateDD.plus_state(14))
+        assert large.compression_ratio > small.compression_ratio
+
+    def test_dense_bytes(self):
+        stats = state_stats(StateDD.plus_state(10))
+        assert stats.dense_bytes == (1 << 10) * 16
+
+
+class TestNodesPerLevel:
+    def test_state_histogram(self):
+        histogram = nodes_per_level(StateDD.plus_state(5))
+        assert histogram == {level: 1 for level in range(5)}
+
+    def test_operator_histogram(self):
+        histogram = nodes_per_level(OperatorDD.identity(4))
+        assert histogram == {level: 1 for level in range(4)}
+
+    def test_sums_to_node_count(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng))
+        histogram = nodes_per_level(state)
+        assert sum(histogram.values()) == state.node_count()

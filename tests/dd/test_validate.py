@@ -1,0 +1,112 @@
+"""Tests for the diagram invariant checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.node import VNode
+from repro.dd.package import Package
+from repro.dd.validate import (
+    InvariantViolation,
+    check_state_invariants,
+    collect_violations,
+)
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+class TestWellFormedStates:
+    @given(st.integers(0, 5_000))
+    def test_random_states_pass(self, seed):
+        rng = np.random.default_rng(seed)
+        vector = random_state_vector(int(rng.integers(1, 7)), rng)
+        state = StateDD.from_amplitudes(vector, Package())
+        check_state_invariants(state)
+
+    @given(st.integers(0, 5_000))
+    def test_sparse_states_pass(self, seed):
+        vector = random_sparse_state_vector(5, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector, Package())
+        check_state_invariants(state)
+
+    def test_constructed_states_pass(self):
+        check_state_invariants(StateDD.basis_state(6, 37))
+        check_state_invariants(StateDD.plus_state(8))
+
+    def test_simulation_output_passes(self):
+        from repro.circuits.supremacy import supremacy_circuit
+        from repro.core import MemoryDrivenStrategy, simulate
+
+        outcome = simulate(
+            supremacy_circuit(3, 3, 10, seed=0),
+            MemoryDrivenStrategy(threshold=64, round_fidelity=0.9),
+            package=Package(),
+        )
+        check_state_invariants(outcome.state)
+
+    def test_approximated_states_pass(self, rng):
+        from repro.core import approximate_state
+
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        result = approximate_state(state, 0.7)
+        check_state_invariants(result.state)
+
+    def test_measured_states_pass(self, rng):
+        from repro.dd.measurement import measure_qubit
+
+        state = StateDD.from_amplitudes(random_state_vector(5, rng), Package())
+        _outcome, post, _p = measure_qubit(
+            state, 2, np.random.default_rng(0)
+        )
+        check_state_invariants(post)
+
+
+class TestViolationDetection:
+    def test_non_unit_root(self):
+        state = StateDD.plus_state(3, Package())
+        scaled = StateDD(
+            (0.5 * state.edge[0], state.edge[1]), 3, state.package
+        )
+        with pytest.raises(InvariantViolation, match="root weight"):
+            check_state_invariants(scaled)
+        # ... unless unit norm is not required.
+        check_state_invariants(scaled, require_unit_norm=False)
+
+    def test_handcrafted_bad_normalization(self):
+        package = Package()
+        # Bypass the package constructor to build an invalid node.
+        bad = VNode(0, ((complex(0.9), None), (complex(0.9), None)))
+        state = StateDD((complex(1.0), bad), 1, package)
+        problems = collect_violations(state)
+        assert any("edge-norm" in problem for problem in problems)
+
+    def test_handcrafted_phase_violation(self):
+        package = Package()
+        bad = VNode(0, ((complex(0, 1.0), None), (complex(0.0), None)))
+        state = StateDD((complex(1.0), bad), 1, package)
+        problems = collect_violations(state)
+        assert any("real non-negative" in problem for problem in problems)
+
+    def test_handcrafted_level_skip(self):
+        package = Package()
+        bottom = VNode(0, ((complex(1.0), None), (complex(0.0), None)))
+        skipper = VNode(2, ((complex(1.0), bottom), (complex(0.0), None)))
+        state = StateDD((complex(1.0), skipper), 3, package)
+        problems = collect_violations(state)
+        assert any("level skip" in problem for problem in problems)
+
+    def test_wrong_root_level(self):
+        state = StateDD.plus_state(3, Package())
+        lying = StateDD(state.edge, 5, state.package)
+        problems = collect_violations(lying)
+        assert any("root level" in problem for problem in problems)
+
+    def test_zero_state_edge(self):
+        package = Package()
+        state = StateDD((complex(0.0), None), 2, package)
+        assert collect_violations(state) == []
+        broken = StateDD((complex(0.5), None), 2, package)
+        assert collect_violations(broken)

@@ -1,0 +1,265 @@
+"""Tests for StateDD: construction, inspection, algebra, measurement."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_sparse_state_vector, random_state_vector
+
+
+class TestBasisState:
+    def test_zero_state(self):
+        state = StateDD.basis_state(3, 0)
+        amplitudes = state.to_amplitudes()
+        assert amplitudes[0] == pytest.approx(1.0)
+        assert np.count_nonzero(amplitudes) == 1
+
+    @pytest.mark.parametrize("index", [0, 1, 5, 7])
+    def test_arbitrary_index(self, index):
+        state = StateDD.basis_state(3, index)
+        assert state.amplitude(index) == pytest.approx(1.0)
+        assert state.probability(index) == pytest.approx(1.0)
+
+    def test_basis_state_has_linear_size(self):
+        state = StateDD.basis_state(10, 731)
+        assert state.node_count() == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            StateDD.basis_state(2, 4)
+        with pytest.raises(ValueError):
+            StateDD.basis_state(2, -1)
+        with pytest.raises(ValueError):
+            StateDD.basis_state(0, 0)
+
+
+class TestPlusState:
+    def test_uniform_amplitudes(self):
+        state = StateDD.plus_state(4)
+        np.testing.assert_allclose(
+            state.to_amplitudes(), np.full(16, 0.25), atol=1e-12
+        )
+
+    def test_linear_node_count(self):
+        assert StateDD.plus_state(12).node_count() == 12
+
+    def test_unit_norm(self):
+        assert StateDD.plus_state(6).norm() == pytest.approx(1.0)
+
+
+class TestFromAmplitudes:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 6])
+    def test_roundtrip_random(self, num_qubits, rng):
+        vector = random_state_vector(num_qubits, rng)
+        state = StateDD.from_amplitudes(vector)
+        np.testing.assert_allclose(state.to_amplitudes(), vector, atol=1e-10)
+
+    def test_roundtrip_sparse(self, rng):
+        vector = random_sparse_state_vector(5, rng)
+        state = StateDD.from_amplitudes(vector)
+        np.testing.assert_allclose(state.to_amplitudes(), vector, atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            StateDD.from_amplitudes([1.0, 0.0, 0.0])
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            StateDD.from_amplitudes([1.0, 1.0])
+
+    def test_normalize_flag(self):
+        state = StateDD.from_amplitudes([3.0, 4.0], normalize=True)
+        assert state.norm() == pytest.approx(1.0)
+        assert state.probability(1) == pytest.approx(0.64)
+
+    def test_rejects_zero_vector_normalization(self):
+        with pytest.raises(ValueError):
+            StateDD.from_amplitudes([0.0, 0.0], normalize=True)
+
+    def test_single_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            StateDD.from_amplitudes([1.0])
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, num_qubits, seed):
+        vector = random_state_vector(num_qubits, np.random.default_rng(seed))
+        state = StateDD.from_amplitudes(vector)
+        np.testing.assert_allclose(state.to_amplitudes(), vector, atol=1e-9)
+
+    def test_shared_subvectors_shrink_diagram(self):
+        # [a a a a] has maximal sharing: one node per level.
+        state = StateDD.from_amplitudes(np.full(8, 1 / math.sqrt(8)))
+        assert state.node_count() == 3
+
+
+class TestAmplitudeAccess:
+    def test_amplitude_matches_dense(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector)
+        for index in range(16):
+            assert state.amplitude(index) == pytest.approx(
+                vector[index], abs=1e-10
+            )
+
+    def test_amplitude_out_of_range(self):
+        state = StateDD.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            state.amplitude(4)
+
+    def test_probability_sums_to_one(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector)
+        total = sum(state.probability(i) for i in range(8))
+        assert total == pytest.approx(1.0)
+
+
+class TestInnerProductAndFidelity:
+    def test_matches_numpy(self, rng):
+        a = random_state_vector(4, rng)
+        b = random_state_vector(4, rng)
+        state_a = StateDD.from_amplitudes(a)
+        state_b = StateDD.from_amplitudes(b)
+        assert state_a.inner_product(state_b) == pytest.approx(
+            np.vdot(a, b), abs=1e-10
+        )
+        assert state_a.fidelity(state_b) == pytest.approx(
+            abs(np.vdot(a, b)) ** 2, abs=1e-10
+        )
+
+    def test_self_fidelity_is_one(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng))
+        assert state.fidelity(state) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = StateDD.basis_state(3, 1)
+        b = StateDD.basis_state(3, 6)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_paper_example5(self):
+        """Example 5: F([1,1,1,1]/2, [1,0,0,1]/sqrt(2)) = 1/2."""
+        psi = StateDD.from_amplitudes(np.full(4, 0.5))
+        phi = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 1]) / math.sqrt(2)
+        )
+        assert psi.fidelity(phi) == pytest.approx(0.5)
+
+    def test_paper_example6(self):
+        """Example 6: successive truncations 1/2, 1/2, 1/4."""
+        psi = StateDD.from_amplitudes(np.full(4, 0.5))
+        psi1 = StateDD.from_amplitudes(np.array([1, 0, 0, 1]) / math.sqrt(2))
+        psi2 = StateDD.from_amplitudes(np.array([0, 0, 0, 1.0]))
+        assert psi.fidelity(psi1) == pytest.approx(0.5)
+        assert psi1.fidelity(psi2) == pytest.approx(0.5)
+        assert psi.fidelity(psi2) == pytest.approx(0.25)
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ValueError):
+            StateDD.basis_state(2, 0).fidelity(StateDD.basis_state(3, 0))
+
+    def test_package_mismatch(self, fresh_package):
+        a = StateDD.basis_state(2, 0)
+        b = StateDD.basis_state(2, 0, fresh_package)
+        with pytest.raises(ValueError):
+            a.fidelity(b)
+
+
+class TestGlobalPhaseInvariance:
+    def test_fidelity_ignores_global_phase(self, rng):
+        vector = random_state_vector(3, rng)
+        rotated = np.exp(0.7j) * vector
+        state = StateDD.from_amplitudes(vector)
+        rotated_state = StateDD.from_amplitudes(rotated)
+        assert state.fidelity(rotated_state) == pytest.approx(1.0)
+
+    def test_diagram_structure_identical_up_to_phase(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector)
+        rotated = StateDD.from_amplitudes(np.exp(1.1j) * vector)
+        assert state.edge[1] is rotated.edge[1]
+
+
+class TestSampling:
+    def test_deterministic_state(self):
+        state = StateDD.basis_state(4, 9)
+        counts = state.sample(100, np.random.default_rng(0))
+        assert counts == {9: 100}
+
+    def test_ghz_distribution(self):
+        state = StateDD.from_amplitudes(
+            np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2)
+        )
+        counts = state.sample(4000, np.random.default_rng(1))
+        assert set(counts) == {0, 7}
+        assert counts[0] / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_sample_frequencies_match_probabilities(self, rng):
+        vector = random_state_vector(3, rng)
+        state = StateDD.from_amplitudes(vector)
+        counts = state.sample(20000, np.random.default_rng(2))
+        for index in range(8):
+            empirical = counts.get(index, 0) / 20000
+            assert empirical == pytest.approx(
+                abs(vector[index]) ** 2, abs=0.02
+            )
+
+    def test_rejects_nonpositive_shots(self):
+        with pytest.raises(ValueError):
+            StateDD.basis_state(1, 0).sample(0)
+
+
+class TestQubitProbability:
+    def test_matches_dense_marginal(self, rng):
+        vector = random_state_vector(4, rng)
+        state = StateDD.from_amplitudes(vector)
+        probabilities = np.abs(vector) ** 2
+        for qubit in range(4):
+            mask = np.array([(i >> qubit) & 1 for i in range(16)], dtype=bool)
+            expected = float(probabilities[mask].sum())
+            assert state.measure_qubit_probability(qubit) == pytest.approx(
+                expected, abs=1e-10
+            )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            StateDD.basis_state(2, 0).measure_qubit_probability(2)
+
+
+class TestRenormalized:
+    def test_restores_unit_norm(self):
+        state = StateDD.basis_state(2, 0)
+        scaled = StateDD((0.5 * state.edge[0], state.edge[1]), 2, state.package)
+        assert scaled.norm() == pytest.approx(0.5)
+        assert scaled.renormalized().norm() == pytest.approx(1.0)
+
+    def test_preserves_phase_direction(self):
+        state = StateDD.basis_state(2, 0)
+        phase = np.exp(0.4j)
+        scaled = StateDD(
+            (0.3 * phase * state.edge[0], state.edge[1]), 2, state.package
+        )
+        renormalized = scaled.renormalized()
+        assert renormalized.edge[0] / state.edge[0] == pytest.approx(phase)
+
+
+class TestNodeEnumeration:
+    def test_nodes_sorted_by_level(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng))
+        levels = [node.level for node in state.nodes()]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_node_count_matches_nodes(self, rng):
+        state = StateDD.from_amplitudes(random_state_vector(5, rng))
+        assert state.node_count() == len(state.nodes())
+
+    def test_worst_case_random_state(self, rng):
+        # Dense Gaussian states have (almost surely) no sharing:
+        # 1 + 2 + 4 + ... + 2^(n-1) nodes.
+        state = StateDD.from_amplitudes(random_state_vector(4, rng))
+        assert state.node_count() == 15

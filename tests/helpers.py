@@ -1,0 +1,41 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.lowering import circuit_operators
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+
+
+def run_circuit_dd(circuit: Circuit, package: Package | None = None) -> StateDD:
+    """Apply a circuit to |0...0> gate by gate on decision diagrams."""
+    state = StateDD.basis_state(circuit.num_qubits, 0, package)
+    for operator in circuit_operators(circuit, package or state.package):
+        state = operator.apply(state)
+    return state
+
+
+def random_state_vector(
+    num_qubits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A Haar-ish random unit vector (Gaussian components, normalized)."""
+    size = 1 << num_qubits
+    vector = rng.normal(size=size) + 1j * rng.normal(size=size)
+    return vector / np.linalg.norm(vector)
+
+
+def random_sparse_state_vector(
+    num_qubits: int, rng: np.random.Generator, density: float = 0.3
+) -> np.ndarray:
+    """A random unit vector with many exact zeros (DD-friendly)."""
+    size = 1 << num_qubits
+    mask = rng.random(size) < density
+    if not mask.any():
+        mask[int(rng.integers(size))] = True
+    vector = np.where(
+        mask, rng.normal(size=size) + 1j * rng.normal(size=size), 0.0
+    )
+    return vector / np.linalg.norm(vector)

@@ -1,0 +1,104 @@
+"""Cross-validation: DD simulation vs the dense oracle under approximation.
+
+Checks the full pipeline on random circuits: exact DD simulation must agree
+with dense simulation bit for bit (up to float noise); approximate DD
+simulation must stay within the fidelity bound of the dense exact state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.qft import qft_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.core import (
+    FidelityDrivenStrategy,
+    MemoryDrivenStrategy,
+    fidelity_dense,
+    simulate,
+)
+from repro.dd.package import Package
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        outcome = simulate(circuit, package=Package())
+        np.testing.assert_allclose(
+            outcome.state.to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-7,
+        )
+
+    def test_qft_agreement(self):
+        circuit = qft_circuit(6)
+        outcome = simulate(circuit, package=Package())
+        np.testing.assert_allclose(
+            outcome.state.to_amplitudes(),
+            simulate_dense(circuit),
+            atol=1e-8,
+        )
+
+
+class TestApproximateBounds:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fidelity_driven_respects_bound_vs_dense(self, seed):
+        circuit = random_circuit(6, 60, seed=100 + seed)
+        dense = simulate_dense(circuit)
+        outcome = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.5, 0.9, placement="even"),
+            package=Package(),
+        )
+        fidelity = fidelity_dense(dense, outcome.state.to_amplitudes())
+        assert fidelity >= 0.5 - 1e-6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_memory_driven_fidelity_traceable(self, seed):
+        circuit = random_circuit(6, 60, seed=200 + seed)
+        dense = simulate_dense(circuit)
+        outcome = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=24, round_fidelity=0.98),
+            package=Package(),
+        )
+        fidelity = fidelity_dense(dense, outcome.state.to_amplitudes())
+        # Every round keeps >= 0.98; the estimate lower-bounds compose.
+        assert fidelity > 0.98 ** max(1, outcome.stats.num_rounds) - 0.05
+
+    def test_approximation_of_structured_state_is_free(self):
+        """States with big contribution gaps lose nothing at high f_round."""
+        circuit = qft_circuit(6)
+        package = Package()
+        exact = simulate(circuit, package=package)
+        approx = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.9, 0.99, placement="even"),
+            package=package,
+        )
+        assert exact.state.fidelity(approx.state) >= 0.9 - 1e-9
+
+
+class TestDiagramVsDenseScaling:
+    """§III motivation: structured states stay tiny as DDs."""
+
+    def test_ghz_scales_linearly(self):
+        from repro.circuits.entangle import ghz_circuit
+
+        sizes = {}
+        for num_qubits in (8, 12, 16):
+            outcome = simulate(ghz_circuit(num_qubits), package=Package())
+            sizes[num_qubits] = outcome.stats.max_nodes
+        assert sizes[16] <= 2 * 16
+        assert sizes[16] - sizes[12] == sizes[12] - sizes[8]
+
+    def test_supremacy_scales_exponentially(self):
+        from repro.circuits.supremacy import supremacy_circuit
+
+        outcome = simulate(
+            supremacy_circuit(3, 3, 12, seed=0), package=Package()
+        )
+        assert outcome.stats.max_nodes > (1 << 9) * 0.7

@@ -1,0 +1,114 @@
+"""End-to-end fidelity-driven Shor experiments (Table I, bottom half).
+
+These tests execute the paper's headline claim at laptop scale: with
+``f_final = 0.5`` and ``f_round = 0.9`` and rounds placed inside the
+inverse QFT, the approximate simulation (a) keeps the true fidelity above
+0.5, (b) shrinks the maximum diagram substantially, and (c) still factors
+the modulus after classical postprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.shor import shor_circuit, shor_layout
+from repro.core import FidelityDrivenStrategy, simulate
+from repro.dd.package import Package
+from repro.postprocessing import postprocess_counts, shift_counts
+
+
+@pytest.fixture(scope="module")
+def shor33_runs():
+    """Run shor_33_5 exactly and approximately once for the module."""
+    package = Package()
+    circuit = shor_circuit(33, 5)
+    exact = simulate(circuit, package=package)
+    strategy = FidelityDrivenStrategy(
+        0.5, 0.9, placement="block:inverse_qft"
+    )
+    approx = simulate(circuit, strategy, package=package)
+    return exact, approx
+
+
+class TestShor33:
+    def test_fidelity_bound_holds(self, shor33_runs):
+        exact, approx = shor33_runs
+        assert exact.state.fidelity(approx.state) >= 0.5 - 1e-9
+
+    def test_estimate_matches_true_fidelity(self, shor33_runs):
+        """On Shor the trajectory product tracks the true fidelity tightly."""
+        exact, approx = shor33_runs
+        true_fidelity = exact.state.fidelity(approx.state)
+        assert approx.stats.fidelity_estimate == pytest.approx(
+            true_fidelity, abs=1e-3
+        )
+
+    def test_max_dd_size_shrinks(self, shor33_runs):
+        """Paper: 73 736 -> 8 135 nodes; shape-level check: >= 4x smaller."""
+        exact, approx = shor33_runs
+        assert approx.stats.max_nodes * 4 <= exact.stats.max_nodes
+
+    def test_runtime_improves(self, shor33_runs):
+        exact, approx = shor33_runs
+        assert (
+            approx.stats.runtime_seconds < exact.stats.runtime_seconds
+        )
+
+    def test_at_most_budgeted_rounds(self, shor33_runs):
+        _exact, approx = shor33_runs
+        assert approx.stats.num_rounds <= 6
+
+    def test_factoring_still_succeeds(self, shor33_runs):
+        """§VI: 50% fidelity still factors after postprocessing."""
+        _exact, approx = shor33_runs
+        layout = shor_layout(33, 5)
+        counts = shift_counts(
+            approx.state.sample(1000, np.random.default_rng(11)),
+            layout.work_bits,
+        )
+        result = postprocess_counts(counts, layout.counting_bits, 33, 5)
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 11]
+
+
+class TestSmallerModuli:
+    @pytest.mark.parametrize(
+        "modulus,base,factors",
+        [(15, 2, [3, 5]), (15, 7, [3, 5]), (21, 2, [3, 7])],
+    )
+    def test_approximate_factoring(self, modulus, base, factors):
+        package = Package()
+        circuit = shor_circuit(modulus, base)
+        layout = shor_layout(modulus, base)
+        strategy = FidelityDrivenStrategy(
+            0.5, 0.9, placement="block:inverse_qft"
+        )
+        outcome = simulate(circuit, strategy, package=package)
+        assert outcome.stats.fidelity_estimate >= 0.5 - 1e-9
+        counts = shift_counts(
+            outcome.state.sample(1000, np.random.default_rng(5)),
+            layout.work_bits,
+        )
+        result = postprocess_counts(
+            counts, layout.counting_bits, modulus, base
+        )
+        assert result.succeeded
+        assert sorted(result.factors) == factors
+
+    def test_lower_final_fidelity_allows_more_compression(self):
+        """§IV-C tradeoff: smaller f_final -> more rounds -> smaller DDs."""
+        package = Package()
+        circuit = shor_circuit(33, 5)
+        tight = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.8, 0.97, placement="block:inverse_qft"),
+            package=package,
+        )
+        loose = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.3, 0.9, placement="block:inverse_qft"),
+            package=package,
+        )
+        assert loose.stats.max_nodes <= tight.stats.max_nodes
+        assert loose.stats.fidelity_estimate < tight.stats.fidelity_estimate

@@ -1,0 +1,120 @@
+"""End-to-end memory-driven supremacy experiments (Table I, top half).
+
+Scaled-down counterparts of the paper's qsup_4x5_15 rows: the memory-driven
+strategy must cap diagram growth at (roughly) the configured threshold
+schedule while keeping every round's fidelity above its target, and the
+end-to-end fidelity estimate must track the true fidelity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.supremacy import supremacy_circuit
+from repro.core import MemoryDrivenStrategy, simulate
+from repro.dd.package import Package
+
+
+@pytest.fixture(scope="module")
+def qsup_runs():
+    package = Package()
+    circuit = supremacy_circuit(3, 3, 12, seed=0)
+    exact = simulate(circuit, package=package, record_trajectory=True)
+    approx = simulate(
+        circuit,
+        MemoryDrivenStrategy(threshold=128, round_fidelity=0.975),
+        package=package,
+        record_trajectory=True,
+    )
+    return exact, approx
+
+
+class TestMemoryDrivenSupremacy:
+    def test_rounds_triggered(self, qsup_runs):
+        _exact, approx = qsup_runs
+        assert approx.stats.num_rounds >= 1
+
+    def test_every_round_meets_target(self, qsup_runs):
+        _exact, approx = qsup_runs
+        for record in approx.stats.rounds:
+            assert record.achieved_fidelity >= 0.975 - 1e-9
+
+    def test_max_size_not_worse(self, qsup_runs):
+        exact, approx = qsup_runs
+        assert approx.stats.max_nodes <= exact.stats.max_nodes
+
+    def test_estimate_tracks_true_fidelity(self, qsup_runs):
+        exact, approx = qsup_runs
+        true_fidelity = exact.state.fidelity(approx.state)
+        assert approx.stats.fidelity_estimate == pytest.approx(
+            true_fidelity, abs=0.05
+        )
+        # With ~0.975 per round the final fidelity stays meaningful.
+        assert true_fidelity > 0.5
+
+    def test_trajectory_shows_growth_control(self, qsup_runs):
+        exact, approx = qsup_runs
+        assert max(approx.stats.trajectory) <= max(exact.stats.trajectory)
+
+
+class TestThresholdSensitivity:
+    """§IV-B: 'parameters have to be carefully selected or there is risk
+    of performance degradation' — and §VI shows low thresholds costing
+    fidelity."""
+
+    def test_lower_threshold_more_rounds(self):
+        package = Package()
+        circuit = supremacy_circuit(3, 3, 12, seed=1)
+        low = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=32, round_fidelity=0.95),
+            package=package,
+        )
+        high = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=256, round_fidelity=0.95),
+            package=package,
+        )
+        assert low.stats.num_rounds >= high.stats.num_rounds
+
+    def test_lower_threshold_lower_fidelity(self):
+        package = Package()
+        circuit = supremacy_circuit(3, 3, 12, seed=2)
+        low = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=32, round_fidelity=0.95),
+            package=package,
+        )
+        high = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=512, round_fidelity=0.95),
+            package=package,
+        )
+        assert low.stats.fidelity_estimate <= high.stats.fidelity_estimate
+
+    def test_huge_threshold_is_exact(self):
+        package = Package()
+        circuit = supremacy_circuit(3, 3, 10, seed=3)
+        outcome = simulate(
+            circuit,
+            MemoryDrivenStrategy(threshold=10**6, round_fidelity=0.9),
+            package=package,
+        )
+        assert outcome.stats.num_rounds == 0
+        assert outcome.stats.fidelity_estimate == 1.0
+
+
+class TestSeedVariation:
+    """Table I shows per-seed variation; different instances must differ."""
+
+    def test_seeds_produce_distinct_states(self):
+        package = Package()
+        states = []
+        for seed in range(3):
+            circuit = supremacy_circuit(3, 3, 12, seed=seed)
+            states.append(simulate(circuit, package=package).state)
+        # At 9 qubits every seed saturates the 511-node worst case, but
+        # the states themselves are nearly orthogonal random vectors.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert states[i].fidelity(states[j]) < 0.2

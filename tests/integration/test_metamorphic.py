@@ -1,0 +1,144 @@
+"""Metamorphic properties of the whole simulation stack.
+
+Rather than fixed expected values, these tests assert *relations* that
+must hold for any input: inverses undo, unitaries preserve norms and
+fidelities, approximation budgets are monotone, and representation
+choices (orderings, serializations, strategies) never change the physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.randomcirc import random_circuit
+from repro.core import (
+    FidelityDrivenStrategy,
+    approximate_state,
+    simulate,
+)
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from tests.helpers import random_state_vector
+
+
+class TestInverseRelations:
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=15)
+    def test_circuit_inverse_restores_initial_state(self, seed):
+        circuit = random_circuit(4, 20, seed=seed)
+        roundtrip = circuit.compose(circuit.inverse())
+        outcome = simulate(roundtrip, package=Package())
+        assert outcome.state.probability(0) == pytest.approx(1.0, abs=1e-8)
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=10)
+    def test_double_inverse_is_identity(self, seed):
+        circuit = random_circuit(3, 15, seed=seed)
+        double = circuit.inverse().inverse()
+        package = Package()
+        a = simulate(circuit, package=package)
+        b = simulate(double, package=package)
+        assert a.state.fidelity(b.state) == pytest.approx(1.0)
+
+
+class TestUnitaryInvariance:
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=10)
+    def test_fidelity_preserved_by_gates(self, seed):
+        """§III: F(U psi, U phi) = F(psi, phi) on the DD engine."""
+        rng = np.random.default_rng(seed)
+        package = Package()
+        psi = StateDD.from_amplitudes(random_state_vector(4, rng), package)
+        phi = StateDD.from_amplitudes(random_state_vector(4, rng), package)
+        before = psi.fidelity(phi)
+        circuit = random_circuit(4, 12, seed=seed + 1)
+        from repro.circuits.lowering import circuit_operators
+
+        for operator in circuit_operators(circuit, package):
+            psi = operator.apply(psi)
+            phi = operator.apply(phi)
+        assert psi.fidelity(phi) == pytest.approx(before, abs=1e-8)
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=10)
+    def test_norm_preserved(self, seed):
+        circuit = random_circuit(5, 30, seed=seed)
+        outcome = simulate(circuit, package=Package())
+        assert outcome.state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestApproximationMonotonicity:
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=15)
+    def test_lower_budget_never_larger_diagram(self, seed):
+        rng = np.random.default_rng(seed)
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        gentle = approximate_state(state, 0.95)
+        harsh = approximate_state(state, 0.6)
+        assert harsh.nodes_after <= gentle.nodes_after
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=15)
+    def test_lower_budget_never_higher_fidelity_loss_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        gentle = approximate_state(state, 0.95)
+        harsh = approximate_state(state, 0.6)
+        assert harsh.removed_contribution >= gentle.removed_contribution
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=10)
+    def test_repeated_rounds_each_honor_their_budget(self, seed):
+        """Every round's removal respects its own (renormalized) budget,
+        and fidelities compose as Lemma 1 dictates."""
+        rng = np.random.default_rng(seed)
+        state = StateDD.from_amplitudes(random_state_vector(6, rng), Package())
+        first = approximate_state(state, 0.8)
+        second = approximate_state(first.state, 0.8)
+        assert first.removed_contribution <= 0.2 + 1e-9
+        assert second.removed_contribution <= 0.2 + 1e-9
+        assert state.fidelity(second.state) == pytest.approx(
+            first.achieved_fidelity * second.achieved_fidelity, abs=1e-9
+        )
+
+
+class TestRepresentationTransparency:
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=8)
+    def test_serialization_roundtrip_through_simulation(self, seed):
+        from repro.dd.serialize import state_from_dict, state_to_dict
+
+        circuit = random_circuit(4, 15, seed=seed)
+        package = Package()
+        outcome = simulate(circuit, package=package)
+        loaded = state_from_dict(state_to_dict(outcome.state), package)
+        assert loaded.fidelity(outcome.state) == pytest.approx(1.0)
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=8)
+    def test_permutation_and_inverse_through_simulation(self, seed):
+        from repro.dd.reorder import inverse_permutation, permute_qubits
+
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(4, 15, seed=seed)
+        outcome = simulate(circuit, package=Package())
+        order = list(rng.permutation(4))
+        shuffled = permute_qubits(outcome.state, order)
+        restored = permute_qubits(shuffled, inverse_permutation(order))
+        assert restored.fidelity(outcome.state) == pytest.approx(1.0)
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=8)
+    def test_strategy_never_violates_declared_floor(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        package = Package()
+        exact = simulate(circuit, package=package)
+        approx = simulate(
+            circuit,
+            FidelityDrivenStrategy(0.7, 0.95, placement="even"),
+            package=package,
+        )
+        assert exact.state.fidelity(approx.state) >= 0.7 - 1e-6

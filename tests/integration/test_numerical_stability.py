@@ -1,0 +1,120 @@
+"""Long-horizon numerical stability of the DD engine.
+
+Pure-Python complex arithmetic accumulates rounding like any other; these
+tests pin down that the tolerance machinery (snapping, bucketed unique
+tables, norm normalization) keeps long simulations well-conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.qft import qft_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.core import simulate
+from repro.dd.package import Package
+from repro.dd.validate import check_state_invariants
+
+
+class TestNormStability:
+    def test_500_gate_random_circuit(self):
+        circuit = random_circuit(6, 500, seed=0)
+        outcome = simulate(circuit, package=Package())
+        assert outcome.state.norm() == pytest.approx(1.0, abs=1e-8)
+        check_state_invariants(outcome.state)
+
+    def test_qft_iqft_roundtrip_identity(self):
+        forward = qft_circuit(10)
+        roundtrip = forward.compose(qft_circuit(10, inverse=True))
+        outcome = simulate(roundtrip, package=Package())
+        assert outcome.state.probability(0) == pytest.approx(1.0, abs=1e-8)
+        # The diagram collapses back to the 10-node basis state.
+        assert outcome.state.node_count() == 10
+
+    def test_repeated_circuit_and_inverse(self):
+        circuit = random_circuit(5, 40, seed=3)
+        package = Package()
+        composed = circuit
+        for _ in range(3):
+            composed = composed.compose(circuit.inverse()).compose(circuit)
+        outcome = simulate(composed, package=package)
+        reference = simulate(circuit, package=package)
+        assert outcome.state.fidelity(reference.state) == pytest.approx(
+            1.0, abs=1e-7
+        )
+
+    def test_repeated_approximation_rounds_stay_canonical(self, rng):
+        from repro.core import approximate_state
+        from repro.dd.vector import StateDD
+        from tests.helpers import random_state_vector
+
+        state = StateDD.from_amplitudes(random_state_vector(8, rng), Package())
+        current = state
+        for _ in range(10):
+            result = approximate_state(current, 0.98)
+            current = result.state
+            check_state_invariants(current)
+        assert current.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCacheIntegrity:
+    def test_results_survive_cache_flushes(self):
+        """A tiny cache forces constant flushing; results must not change."""
+        roomy = Package()
+        cramped = Package(cache_limit=16)
+        circuit = random_circuit(5, 60, seed=7)
+        reference = simulate(circuit, package=roomy)
+        stressed = simulate(circuit, package=cramped)
+        np.testing.assert_allclose(
+            stressed.state.to_amplitudes(),
+            reference.state.to_amplitudes(),
+            atol=1e-8,
+        )
+        assert cramped.stats["cache_flushes"] > 0
+
+    def test_interleaved_clear_caches(self):
+        package = Package()
+        circuit = random_circuit(4, 30, seed=9)
+        from repro.circuits.lowering import circuit_operators
+        from repro.dd.vector import StateDD
+
+        state = StateDD.basis_state(4, 0, package)
+        for index, operator in enumerate(circuit_operators(circuit, package)):
+            if index % 5 == 0:
+                package.clear_caches()
+            state = operator.apply(state)
+        reference = simulate(circuit, package=Package())
+        np.testing.assert_allclose(
+            state.to_amplitudes(),
+            reference.state.to_amplitudes(),
+            atol=1e-8,
+        )
+
+
+class TestToleranceInterplay:
+    def test_tighter_tolerance_still_correct(self):
+        from repro.dd import ctable
+
+        original = ctable.tolerance()
+        try:
+            ctable.set_tolerance(1e-13)
+            circuit = random_circuit(4, 40, seed=11)
+            outcome = simulate(circuit, package=Package())
+            assert outcome.state.norm() == pytest.approx(1.0, abs=1e-9)
+        finally:
+            ctable.set_tolerance(original)
+
+    def test_loose_tolerance_merges_but_stays_normalized(self):
+        from repro.dd import ctable
+
+        original = ctable.tolerance()
+        try:
+            ctable.set_tolerance(1e-4)
+            circuit = random_circuit(5, 60, seed=13)
+            outcome = simulate(circuit, package=Package())
+            # Aggressive merging may perturb amplitudes, but the engine
+            # must keep the state normalized and structurally sound.
+            assert outcome.state.norm() == pytest.approx(1.0, abs=1e-3)
+        finally:
+            ctable.set_tolerance(original)

@@ -1,0 +1,100 @@
+"""Tests for Pauli noise channels and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit, Operation
+from repro.noise import NoiseModel, PauliChannel, noisy_instance
+
+
+class TestPauliChannel:
+    def test_depolarizing_split(self):
+        channel = PauliChannel.depolarizing(0.3)
+        assert channel.probability_x == pytest.approx(0.1)
+        assert channel.total == pytest.approx(0.3)
+
+    def test_bit_and_phase_flip(self):
+        assert PauliChannel.bit_flip(0.2).probability_x == 0.2
+        assert PauliChannel.phase_flip(0.2).probability_z == 0.2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PauliChannel(probability_x=-0.1)
+
+    def test_rejects_total_above_one(self):
+        with pytest.raises(ValueError):
+            PauliChannel(0.5, 0.4, 0.2)
+
+    def test_sampling_statistics(self):
+        channel = PauliChannel(0.2, 0.1, 0.3)
+        rng = np.random.default_rng(0)
+        draws = [channel.sample(rng) for _ in range(10_000)]
+        assert draws.count("x") / 10_000 == pytest.approx(0.2, abs=0.02)
+        assert draws.count("y") / 10_000 == pytest.approx(0.1, abs=0.02)
+        assert draws.count("z") / 10_000 == pytest.approx(0.3, abs=0.02)
+        assert draws.count(None) / 10_000 == pytest.approx(0.4, abs=0.02)
+
+    def test_zero_channel_never_fires(self):
+        channel = PauliChannel()
+        rng = np.random.default_rng(1)
+        assert all(channel.sample(rng) is None for _ in range(100))
+
+
+class TestNoiseModel:
+    def test_noiseless_detection(self):
+        assert NoiseModel().is_noiseless
+        assert not NoiseModel.depolarizing(0.01).is_noiseless
+
+    def test_two_qubit_channel_selected(self):
+        model = NoiseModel.depolarizing(0.0, 0.9)
+        single = Operation("h", (0,))
+        double = Operation("x", (1,), (0,))
+        assert model.channel_for(single).total == 0.0
+        assert model.channel_for(double).total == pytest.approx(0.9)
+
+    def test_two_qubit_falls_back_to_single(self):
+        model = NoiseModel.depolarizing(0.5)
+        double = Operation("x", (1,), (0,))
+        assert model.channel_for(double).total == pytest.approx(0.5)
+
+    def test_sample_errors_touch_all_qubits(self):
+        model = NoiseModel(single_qubit=PauliChannel.bit_flip(1.0))
+        errors = model.sample_errors(
+            Operation("x", (2,), (0, 1)), np.random.default_rng(0)
+        )
+        assert sorted(e.targets[0] for e in errors) == [0, 1, 2]
+        assert all(e.gate == "x" for e in errors)
+
+
+class TestNoisyInstance:
+    def test_noiseless_instance_is_unchanged(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        noisy, errors = noisy_instance(
+            circuit, NoiseModel(), np.random.default_rng(0)
+        )
+        assert errors == 0
+        assert noisy.operations == circuit.operations
+
+    def test_errors_spliced_after_gates(self):
+        circuit = Circuit(1).h(0)
+        model = NoiseModel(single_qubit=PauliChannel.bit_flip(1.0))
+        noisy, errors = noisy_instance(
+            circuit, model, np.random.default_rng(0)
+        )
+        assert errors == 1
+        assert [op.gate for op in noisy] == ["h", "x"]
+
+    def test_error_count_scales_with_rate(self):
+        circuit = Circuit(3)
+        for _ in range(50):
+            circuit.h(0).h(1).h(2)
+        rng = np.random.default_rng(2)
+        _low_c, low = noisy_instance(
+            circuit, NoiseModel.depolarizing(0.01), rng
+        )
+        _high_c, high = noisy_instance(
+            circuit, NoiseModel.depolarizing(0.3), rng
+        )
+        assert high > low

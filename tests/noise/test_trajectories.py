@@ -1,0 +1,134 @@
+"""Tests for stochastic noise-trajectory simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.entangle import ghz_circuit
+from repro.core import MemoryDrivenStrategy
+from repro.dd.package import Package
+from repro.noise import NoiseModel, PauliChannel, run_trajectories
+
+
+class TestNoiselessLimit:
+    def test_matches_exact_simulation(self):
+        circuit = ghz_circuit(4)
+        result = run_trajectories(
+            circuit,
+            NoiseModel(),
+            num_trajectories=3,
+            shots_per_trajectory=50,
+            rng=np.random.default_rng(0),
+            package=Package(),
+            compare_to_ideal=True,
+        )
+        assert result.total_errors == 0
+        assert result.error_free_trajectories == 3
+        assert result.mean_fidelity_to_ideal == pytest.approx(1.0)
+        assert set(result.counts) <= {0, 15}
+
+    def test_shot_accounting(self):
+        result = run_trajectories(
+            ghz_circuit(3),
+            NoiseModel(),
+            num_trajectories=4,
+            shots_per_trajectory=25,
+            rng=np.random.default_rng(1),
+            package=Package(),
+        )
+        assert result.total_shots == 100
+
+
+class TestBitFlipAnalytics:
+    def test_single_qubit_flip_rate(self):
+        """One identity gate + X-noise p: P(1) = p exactly."""
+        circuit = Circuit(1).i(0)
+        model = NoiseModel(single_qubit=PauliChannel.bit_flip(0.25))
+        result = run_trajectories(
+            circuit,
+            model,
+            num_trajectories=4000,
+            rng=np.random.default_rng(2),
+            package=Package(),
+        )
+        assert result.probability(1) == pytest.approx(0.25, abs=0.02)
+
+    def test_phase_flip_invisible_in_z_basis(self):
+        circuit = Circuit(1).i(0)
+        model = NoiseModel(single_qubit=PauliChannel.phase_flip(0.5))
+        result = run_trajectories(
+            circuit,
+            model,
+            num_trajectories=500,
+            rng=np.random.default_rng(3),
+            package=Package(),
+        )
+        assert result.probability(0) == pytest.approx(1.0)
+
+
+class TestGhzDegradation:
+    def test_noise_reduces_correlation(self):
+        circuit = ghz_circuit(5)
+        noisy = run_trajectories(
+            circuit,
+            NoiseModel.depolarizing(0.03, 0.06),
+            num_trajectories=80,
+            shots_per_trajectory=5,
+            rng=np.random.default_rng(4),
+            package=Package(),
+            compare_to_ideal=True,
+        )
+        ghz_mass = noisy.probability(0) + noisy.probability(31)
+        assert ghz_mass < 0.99
+        assert 0.1 < noisy.mean_fidelity_to_ideal < 1.0
+
+    def test_fidelity_decreases_with_noise_strength(self):
+        circuit = ghz_circuit(4)
+        fidelities = []
+        for strength in (0.005, 0.05):
+            result = run_trajectories(
+                circuit,
+                NoiseModel.depolarizing(strength),
+                num_trajectories=60,
+                rng=np.random.default_rng(5),
+                package=Package(),
+                compare_to_ideal=True,
+            )
+            fidelities.append(result.mean_fidelity_to_ideal)
+        assert fidelities[1] < fidelities[0]
+
+
+class TestComposition:
+    def test_noise_plus_approximation(self):
+        """Hardware-style noise and the paper's approximation compose."""
+        from repro.circuits.supremacy import supremacy_circuit
+
+        circuit = supremacy_circuit(3, 3, 6, seed=0)
+        result = run_trajectories(
+            circuit,
+            NoiseModel.depolarizing(0.01),
+            num_trajectories=5,
+            shots_per_trajectory=10,
+            rng=np.random.default_rng(6),
+            package=Package(),
+            strategy=MemoryDrivenStrategy(threshold=64, round_fidelity=0.95),
+        )
+        assert result.total_shots == 50
+        assert result.max_nodes > 0
+
+
+class TestValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            run_trajectories(
+                ghz_circuit(2), NoiseModel(), num_trajectories=0
+            )
+        with pytest.raises(ValueError):
+            run_trajectories(
+                ghz_circuit(2),
+                NoiseModel(),
+                num_trajectories=1,
+                shots_per_trajectory=0,
+            )

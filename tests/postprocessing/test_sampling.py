@@ -1,0 +1,65 @@
+"""Tests for sampling utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.postprocessing import (
+    marginalize_counts,
+    shift_counts,
+    top_outcomes,
+    total_variation_distance,
+)
+
+
+class TestMarginalize:
+    def test_keep_single_bit(self):
+        counts = {0b00: 10, 0b01: 20, 0b10: 30, 0b11: 40}
+        assert marginalize_counts(counts, [0]) == {0: 40, 1: 60}
+        assert marginalize_counts(counts, [1]) == {0: 30, 1: 70}
+
+    def test_reorders_bits(self):
+        counts = {0b01: 7}
+        assert marginalize_counts(counts, [1, 0]) == {0b10: 7}
+
+    def test_keep_all_is_identity(self):
+        counts = {3: 5, 6: 2}
+        assert marginalize_counts(counts, [0, 1, 2]) == counts
+
+
+class TestShift:
+    def test_drops_low_bits(self):
+        counts = {0b10110: 3, 0b10011: 4}
+        assert shift_counts(counts, 4) == {1: 7}
+
+    def test_zero_shift_identity(self):
+        counts = {5: 1, 9: 2}
+        assert shift_counts(counts, 0) == counts
+
+
+class TestTopOutcomes:
+    def test_ordering(self):
+        counts = {1: 5, 2: 9, 3: 9, 4: 1}
+        top = top_outcomes(counts, 3)
+        assert top == ((2, 9), (3, 9), (1, 5))
+
+    def test_limit(self):
+        counts = {i: i for i in range(1, 20)}
+        assert len(top_outcomes(counts, 4)) == 4
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        counts = {0: 50, 1: 50}
+        assert total_variation_distance(counts, counts) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({0: 10}, {1: 10}) == 1.0
+
+    def test_partial_overlap(self):
+        distance = total_variation_distance({0: 50, 1: 50}, {0: 100})
+        assert distance == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            total_variation_distance({}, {0: 1})

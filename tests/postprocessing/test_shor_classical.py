@@ -1,0 +1,179 @@
+"""Tests for Shor's classical postprocessing."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.postprocessing import (
+    candidate_periods,
+    continued_fraction_convergents,
+    factors_from_period,
+    order_of,
+    postprocess_counts,
+    postprocess_distribution,
+)
+
+
+class TestContinuedFractions:
+    def test_simple_fraction(self):
+        convergents = continued_fraction_convergents(3, 4)
+        assert convergents[-1] == Fraction(3, 4)
+
+    def test_known_expansion(self):
+        # 649/200 = [3; 4, 12, 4]: convergents 3, 13/4, 159/49, 649/200.
+        convergents = continued_fraction_convergents(649, 200)
+        assert convergents == [
+            Fraction(3),
+            Fraction(13, 4),
+            Fraction(159, 49),
+            Fraction(649, 200),
+        ]
+
+    def test_zero_numerator(self):
+        assert continued_fraction_convergents(0, 7) == [Fraction(0)]
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            continued_fraction_convergents(1, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 10_000))
+    def test_final_convergent_exact(self, numerator, denominator):
+        convergents = continued_fraction_convergents(numerator, denominator)
+        assert convergents[-1] == Fraction(numerator, denominator)
+
+    @given(st.integers(1, 10_000), st.integers(2, 10_000))
+    def test_convergents_increasingly_accurate(self, numerator, denominator):
+        target = numerator / denominator
+        errors = [
+            abs(float(c) - target)
+            for c in continued_fraction_convergents(numerator, denominator)
+        ]
+        # Errors are non-increasing (up to float noise).
+        for earlier, later in zip(errors, errors[1:]):
+            assert later <= earlier + 1e-12
+
+
+class TestCandidatePeriods:
+    def test_exact_peak_recovers_period(self):
+        # Measuring 192 out of 256 for r=4: 192/256 = 3/4.
+        candidates = candidate_periods(192, 8, 15)
+        assert 4 in candidates
+
+    def test_zero_measurement_gives_nothing(self):
+        assert candidate_periods(0, 8, 15) == []
+
+    def test_includes_small_multiples(self):
+        # 128/256 = 1/2 suggests period 2; the true period may be 4.
+        candidates = candidate_periods(128, 8, 15)
+        assert 2 in candidates and 4 in candidates
+
+    def test_bounded_by_modulus(self):
+        for period in candidate_periods(77, 8, 15):
+            assert period < 15
+
+
+class TestOrderOf:
+    @pytest.mark.parametrize(
+        "base,modulus,expected",
+        [(2, 15, 4), (7, 15, 4), (2, 21, 6), (5, 33, 10), (2, 55, 20)],
+    )
+    def test_known_orders(self, base, modulus, expected):
+        assert order_of(base, modulus) == expected
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(ValueError):
+            order_of(3, 15)
+
+    @given(st.integers(3, 200), st.integers(2, 199))
+    def test_order_divides_totient_property(self, modulus, base):
+        if math.gcd(base % modulus, modulus) != 1 or base % modulus < 2:
+            return
+        order = order_of(base % modulus, modulus)
+        assert pow(base, order, modulus) == 1
+
+
+class TestFactorsFromPeriod:
+    def test_classic_15(self):
+        assert sorted(factors_from_period(15, 2, 4)) == [3, 5]
+
+    def test_odd_period_fails(self):
+        assert factors_from_period(21, 5, 3) is None
+
+    def test_wrong_period_fails(self):
+        assert factors_from_period(15, 2, 6) is None
+
+    def test_half_power_minus_one_case(self):
+        # a^(r/2) = N-1 gives trivial factors only.
+        assert factors_from_period(15, 14, 2) is None
+
+    def test_factors_multiply_back(self):
+        for modulus, base in ((15, 2), (21, 2), (33, 5), (35, 2)):
+            period = order_of(base, modulus)
+            result = factors_from_period(modulus, base, period)
+            if result is not None:
+                assert result[0] * result[1] == modulus
+
+
+class TestPostprocessCounts:
+    def test_successful_factoring(self):
+        # Simulated ideal counts for N=15, a=2 (r=4, m=8).
+        counts = {0: 25, 64: 25, 128: 25, 192: 25}
+        result = postprocess_counts(counts, 8, 15, 2)
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 5]
+        assert result.period == 4
+
+    def test_all_zero_measurements_fail(self):
+        result = postprocess_counts({0: 100}, 8, 15, 2)
+        assert not result.succeeded
+        assert result.factors is None
+
+    def test_most_frequent_tried_first(self):
+        counts = {0: 90, 192: 10}
+        result = postprocess_counts(counts, 8, 15, 2)
+        assert result.succeeded
+        assert result.attempts == 2  # 0 failed, 192 worked
+
+    def test_noisy_counts_still_factor(self):
+        counts = {0: 20, 63: 5, 64: 22, 129: 4, 192: 18, 7: 3}
+        result = postprocess_counts(counts, 8, 15, 2)
+        assert result.succeeded
+
+
+class TestPostprocessDistribution:
+    def test_exact_distribution_factors(self):
+        probabilities = {0: 0.25, 64: 0.25, 128: 0.25, 192: 0.25}
+        result = postprocess_distribution(probabilities, 8, 15, 2)
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 5]
+
+    def test_cutoff_filters_noise_floor(self):
+        probabilities = {0: 0.5, 192: 0.5 - 1e-9, 77: 1e-9}
+        result = postprocess_distribution(
+            probabilities, 8, 15, 2, cutoff=1e-6
+        )
+        assert result.succeeded
+        assert result.successful_measurement == 192
+
+    def test_end_to_end_with_exact_marginal(self):
+        """Deterministic Shor: exact counting marginal, no sampling."""
+        from repro.circuits.shor import shor_circuit, shor_layout
+        from repro.core import simulate
+        from repro.dd.analysis import marginal_probabilities
+        from repro.dd.package import Package
+
+        layout = shor_layout(21, 2)
+        outcome = simulate(shor_circuit(21, 2), package=Package())
+        marginal = marginal_probabilities(
+            outcome.state, list(layout.counting_qubits)
+        )
+        result = postprocess_distribution(
+            marginal, layout.counting_bits, 21, 2
+        )
+        assert result.succeeded
+        assert sorted(result.factors) == [3, 7]

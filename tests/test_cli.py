@@ -1,0 +1,192 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "x.qasm"])
+        assert args.strategy == "exact"
+        assert args.threshold == 4096
+
+    def test_shor_defaults(self):
+        args = build_parser().parse_args(["shor", "15"])
+        assert args.modulus == 15
+        assert args.base == 2
+        assert args.final_fidelity == 0.5
+
+
+class TestRunCommand:
+    def test_run_qasm_file(self, tmp_path, capsys):
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        code = main(["run", str(qasm), "--shots", "10", "--seed", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "max_dd" in output
+        assert "top outcomes" in output
+
+    def test_run_builtin_supremacy(self, capsys):
+        code = main(
+            [
+                "run",
+                "builtin:qsup_2x2_4_0",
+                "--strategy",
+                "memory",
+                "--threshold",
+                "4",
+                "--round-fidelity",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_run_builtin_shor(self, capsys):
+        code = main(["run", "builtin:shor_15_2", "--strategy", "fidelity"])
+        assert code == 0
+        assert "shor_15_2" in capsys.readouterr().out
+
+    def test_unknown_builtin(self):
+        with pytest.raises(SystemExit):
+            main(["run", "builtin:wat_1_2"])
+
+
+class TestShorCommand:
+    def test_factors_15(self, capsys):
+        code = main(["shor", "15", "--base", "2", "--shots", "200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "15 = " in output
+
+    def test_factors_21(self, capsys):
+        code = main(["shor", "21", "--base", "2", "--shots", "500"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "21 = " in output
+
+    def test_semiclassical_mode(self, capsys):
+        code = main(["shor", "33", "--base", "5", "--semiclassical"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "33 = " in output
+        assert "max DD" in output
+
+
+class TestEquivCommand:
+    def test_equivalent_circuits(self, tmp_path, capsys):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\n")
+        b.write_text("OPENQASM 2.0;\nqreg q[2];\nid q[0];\n")
+        code = main(["equiv", str(a), str(b)])
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_inequivalent_circuits(self, tmp_path, capsys):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n")
+        b.write_text("OPENQASM 2.0;\nqreg q[2];\nx q[0];\n")
+        code = main(["equiv", str(a), str(b)])
+        assert code == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_width_mismatch(self, tmp_path, capsys):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n")
+        b.write_text("OPENQASM 2.0;\nqreg q[3];\nh q[0];\n")
+        assert main(["equiv", str(a), str(b)]) == 1
+        assert "width" in capsys.readouterr().out
+
+    def test_strict_phase(self, tmp_path, capsys):
+        import math
+
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("OPENQASM 2.0;\nqreg q[1];\nx q[0];\n")
+        b.write_text(f"OPENQASM 2.0;\nqreg q[1];\nrx({math.pi}) q[0];\n")
+        assert main(["equiv", str(a), str(b)]) == 0
+        assert "global phase" in capsys.readouterr().out
+        assert main(["equiv", str(a), str(b), "--strict-phase"]) == 1
+
+
+class TestOptimizeCommand:
+    def test_reports_reduction(self, tmp_path, capsys):
+        source = tmp_path / "c.qasm"
+        source.write_text(
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        code = main(["optimize", str(source)])
+        assert code == 0
+        assert "3 -> 1 operations" in capsys.readouterr().out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        source = tmp_path / "c.qasm"
+        target = tmp_path / "c_opt.qasm"
+        source.write_text(
+            "OPENQASM 2.0;\nqreg q[1];\nt q[0];\ntdg q[0];\nx q[0];\n"
+        )
+        code = main(["optimize", str(source), "-o", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "x q[0];" in text and "t q[0];" not in text
+
+
+class TestTable1Command:
+    def test_shor_suite_with_tight_timeout(self, capsys):
+        """Exercises the table1 path; the tight timeout keeps it fast and
+        also covers the Timeout rendering."""
+        code = main(["table1", "--suite", "shor", "--timeout", "0.75"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table I (fidelity-driven" in output
+        assert "shor_15_2" in output
+
+
+class TestAnalyzeCommand:
+    def test_analyze_builtin(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "builtin:shor_15_2",
+                "--threshold-probability",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "outcome entropy" in output
+        assert "sharing" in output
+
+    def test_analyze_with_marginal(self, capsys):
+        code = main(
+            ["analyze", "builtin:qsup_2x2_4_0", "--marginal", "0,1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "marginal over qubits [0, 1]" in output
+
+    def test_analyze_qasm_file(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(
+            "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\n"
+            "cx q[1],q[2];\n"
+        )
+        code = main(["analyze", str(qasm)])
+        assert code == 0
+        output = capsys.readouterr().out
+        # GHZ: exactly two half-probability outcomes, 1 bit of entropy.
+        assert "1.0000 bits" in output
+        assert "0.5000" in output

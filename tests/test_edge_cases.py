@@ -1,0 +1,156 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+
+
+class TestSingleQubitRegister:
+    """The smallest register exercises every terminal-adjacent branch."""
+
+    def test_state_lifecycle(self):
+        package = Package()
+        state = StateDD.basis_state(1, 0, package)
+        assert state.node_count() == 1
+        assert state.amplitude(0) == pytest.approx(1.0)
+
+    def test_single_qubit_circuit(self):
+        from repro.core import simulate
+
+        circuit = Circuit(1).h(0).t(0).h(0)
+        outcome = simulate(circuit, package=Package())
+        assert outcome.state.norm() == pytest.approx(1.0)
+
+    def test_single_qubit_approximation_is_noop(self):
+        from repro.core import approximate_state
+
+        state = StateDD.from_amplitudes(
+            np.array([0.6, 0.8]) + 0j, Package()
+        )
+        result = approximate_state(state, 0.9)
+        # The only node is the root; nothing is removable.
+        assert result.removed_nodes == 0
+
+    def test_single_qubit_measurement(self):
+        from repro.dd.measurement import measure_qubit
+
+        state = StateDD.plus_state(1, Package())
+        outcome, post, probability = measure_qubit(
+            state, 0, np.random.default_rng(0)
+        )
+        assert probability == pytest.approx(0.5)
+        assert post.probability(outcome) == pytest.approx(1.0)
+
+    def test_single_qubit_entropy(self):
+        from repro.dd.analysis import outcome_entropy
+
+        state = StateDD.plus_state(1, Package())
+        assert outcome_entropy(state) == pytest.approx(1.0)
+
+
+class TestCliTimeoutPath:
+    def test_run_command_reports_timeout(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "builtin:qsup_3x4_12_0",
+                "--timeout",
+                "0.05",
+            ]
+        )
+        assert code == 1
+        assert "TIMEOUT" in capsys.readouterr().out
+
+
+class TestReportingShapes:
+    def test_multi_strategy_rows_blank_repeat_columns(self):
+        from repro.bench import compare_strategies, format_table
+        from repro.bench import supremacy_workload
+        from repro.core import MemoryDrivenStrategy
+
+        workload = supremacy_workload(2, 2, 4, 0)
+        result = compare_strategies(
+            workload,
+            [
+                (MemoryDrivenStrategy(8, 0.99), 0.99),
+                (MemoryDrivenStrategy(8, 0.9), 0.9),
+            ],
+            package=Package(),
+        )
+        text = format_table([result], "shape test")
+        # The workload name appears exactly once despite two approx rows.
+        assert text.count("qsup_2x2_4_0") == 1
+
+
+class TestDotExportEdgeCases:
+    def test_operator_with_zero_quadrants(self):
+        from repro.circuits.gates import gate_matrix
+        from repro.circuits.lowering import single_qubit_medge
+        from repro.dd.dot import operator_to_dot
+        from repro.dd.matrix import OperatorDD
+
+        package = Package()
+        edge = single_qubit_medge(package, 2, 1, gate_matrix("x"), (0,))
+        dot = operator_to_dot(OperatorDD(edge, 2, package))
+        assert "digraph" in dot
+        # Zero quadrants are simply omitted from operator drawings.
+        assert "00:" in dot
+
+    def test_negative_weight_formatting(self):
+        from repro.dd.dot import state_to_dot
+
+        state = StateDD.from_amplitudes(
+            np.array([1, -1]) / np.sqrt(2), Package()
+        )
+        assert "-0.7071" in state_to_dot(state)
+
+
+class TestWorkloadSuites:
+    def test_extended_suites_superset_defaults(self):
+        from repro.bench import (
+            DEFAULT_SHOR_SUITE,
+            DEFAULT_SUPREMACY_SUITE,
+            EXTENDED_SHOR_SUITE,
+            EXTENDED_SUPREMACY_SUITE,
+        )
+
+        default_names = {w.name for w in DEFAULT_SHOR_SUITE}
+        extended_names = {w.name for w in EXTENDED_SHOR_SUITE}
+        assert default_names < extended_names
+        assert {w.name for w in DEFAULT_SUPREMACY_SUITE} < {
+            w.name for w in EXTENDED_SUPREMACY_SUITE
+        }
+
+
+class TestNumericCorners:
+    def test_amplitude_cancellation_to_zero_state_rejected(self):
+        """Interference that cancels everything must surface, not crash."""
+        package = Package()
+        state = StateDD.plus_state(2, package)
+        negated = StateDD((-state.edge[0], state.edge[1]), 2, package)
+        total = package.vadd(state.edge, negated.edge, 1)
+        assert total[0] == 0.0
+
+    def test_probability_of_near_zero_amplitude(self):
+        state = StateDD.from_amplitudes(
+            np.array([1.0, 1e-8]) + 0j, Package(), normalize=True
+        )
+        assert state.probability(1) == pytest.approx(1e-16, abs=1e-18)
+
+    def test_very_deep_register(self):
+        """Wide registers stress level arithmetic without dense blowup."""
+        from repro.circuits import ghz_circuit
+        from repro.core import simulate
+
+        outcome = simulate(ghz_circuit(24), package=Package())
+        assert outcome.stats.max_nodes == 2 * 24 - 1
+        assert outcome.state.probability((1 << 24) - 1) == pytest.approx(
+            0.5
+        )

@@ -1,0 +1,82 @@
+"""Smoke-run every shipped example script.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each script is run in-process via ``runpy`` with small argument
+sets so the whole module stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name: str, argv: list[str], capsys) -> str:
+    path = os.path.join(_EXAMPLES_DIR, name)
+    old_argv = sys.argv
+    sys.argv = [path] + argv
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        output = _run_example("quickstart.py", [], capsys)
+        assert "Example 8" in output
+        assert "achieved fidelity: 0.800000" in output
+
+    def test_shor_factoring_small(self, capsys):
+        output = _run_example("shor_factoring.py", ["15", "2"], capsys)
+        assert "15 = " in output
+        assert "speedup" in output
+
+    def test_supremacy_memory_driven_small(self, capsys):
+        output = _run_example(
+            "supremacy_memory_driven.py", ["2", "3", "8", "0"], capsys
+        )
+        assert "memory-driven" in output
+        assert "end-to-end fidelity" in output
+
+    def test_grover_search_small(self, capsys):
+        output = _run_example("grover_search.py", ["5", "19"], capsys)
+        assert "P(marked)" in output
+
+    def test_semiclassical_shor_small(self, capsys):
+        output = _run_example("semiclassical_shor.py", ["21", "2"], capsys)
+        assert "21 = " in output
+
+    def test_observables_under_approximation(self, capsys):
+        output = _run_example(
+            "observables_under_approximation.py", [], capsys
+        )
+        assert "envelope" in output
+        assert "VIOLATED" not in output
+
+    def test_hardware_routing_small(self, capsys):
+        output = _run_example("hardware_routing.py", ["4", "9"], capsys)
+        assert "routed on" in output
+        assert "semantically transparent" in output
+
+    def test_entanglement_structure(self, capsys):
+        output = _run_example("entanglement_structure.py", [], capsys)
+        assert "cut ranks" in output
+        assert "approximation lowers" in output
+
+    def test_vqe_demo_small(self, capsys):
+        output = _run_example("vqe_demo.py", ["3", "1", "60"], capsys)
+        assert "optimized energy" in output
+        assert "drift" in output
+
+    @pytest.mark.slow
+    def test_fidelity_tradeoff(self, capsys):
+        output = _run_example("fidelity_tradeoff.py", [], capsys)
+        assert "f_round sweep" in output
+        assert "f_final sweep" in output

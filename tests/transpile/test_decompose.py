@@ -1,0 +1,76 @@
+"""Tests for gate decomposition to two-qubit networks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.dd.package import Package
+from repro.transpile import decompose_to_two_qubit
+from repro.verify import circuits_equivalent
+
+
+def _assert_equivalent_two_qubit(circuit: Circuit) -> Circuit:
+    decomposed = decompose_to_two_qubit(circuit)
+    assert all(op.num_qubits_touched <= 2 for op in decomposed)
+    result = circuits_equivalent(circuit, decomposed, Package())
+    assert result.equivalent
+    return decomposed
+
+
+class TestToffoli:
+    def test_standard_network(self):
+        decomposed = _assert_equivalent_two_qubit(Circuit(3).ccx(0, 1, 2))
+        counts = decomposed.gate_counts()
+        assert counts.get("cx", 0) == 6
+        assert counts.get("t", 0) + counts.get("tdg", 0) == 7
+
+    @pytest.mark.parametrize(
+        "c1,c2,t", [(0, 1, 2), (2, 0, 1), (1, 2, 0)]
+    )
+    def test_any_qubit_assignment(self, c1, c2, t):
+        _assert_equivalent_two_qubit(Circuit(3).ccx(c1, c2, t))
+
+    def test_ccz(self):
+        _assert_equivalent_two_qubit(Circuit(3).mcz([0, 1], 2))
+
+
+class TestMultiControlled:
+    def test_mcp_two_controls(self):
+        _assert_equivalent_two_qubit(Circuit(3).mcp(0.7, [0, 1], 2))
+
+    def test_mcp_three_controls(self):
+        _assert_equivalent_two_qubit(Circuit(4).mcp(1.1, [0, 1, 2], 3))
+
+    def test_mcz_three_controls(self):
+        _assert_equivalent_two_qubit(Circuit(4).mcz([0, 1, 2], 3))
+
+    def test_mcx_four_controls(self):
+        _assert_equivalent_two_qubit(Circuit(5).mcx([0, 1, 2, 3], 4))
+
+    def test_negative_angle(self):
+        _assert_equivalent_two_qubit(Circuit(3).mcp(-math.pi / 3, [0, 1], 2))
+
+
+class TestPassBehaviour:
+    def test_small_gates_pass_through(self):
+        circuit = Circuit(3).h(0).cx(0, 1).swap(1, 2).cp(0.4, 0, 2)
+        decomposed = decompose_to_two_qubit(circuit)
+        assert decomposed.operations == circuit.operations
+
+    def test_grover_oracle_decomposes(self):
+        from repro.circuits.grover import grover_circuit
+
+        circuit = grover_circuit(4, 9, iterations=1)
+        _assert_equivalent_two_qubit(circuit)
+
+    def test_cmodmul_rejected(self):
+        circuit = Circuit(5).cmodmul(7, 15, work=range(4), controls=(4,))
+        with pytest.raises(ValueError):
+            decompose_to_two_qubit(circuit)
+
+    def test_name_suffix(self):
+        decomposed = decompose_to_two_qubit(Circuit(3, "foo").ccx(0, 1, 2))
+        assert decomposed.name == "foo_2q"

@@ -1,0 +1,160 @@
+"""Tests for coupling-map routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_dense
+from repro.circuits.circuit import Circuit
+from repro.circuits.entangle import ghz_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.transpile import (
+    CouplingMap,
+    decompose_to_two_qubit,
+    map_circuit,
+    unmap_amplitudes,
+)
+
+
+class TestCouplingMap:
+    def test_line_edges(self):
+        coupling = CouplingMap.line(4)
+        assert coupling.are_adjacent(0, 1)
+        assert coupling.are_adjacent(2, 1)
+        assert not coupling.are_adjacent(0, 3)
+
+    def test_ring_wraps(self):
+        coupling = CouplingMap.ring(5)
+        assert coupling.are_adjacent(4, 0)
+
+    def test_grid_structure(self):
+        coupling = CouplingMap.grid(2, 3)
+        assert coupling.num_qubits == 6
+        assert coupling.are_adjacent(0, 3)  # vertical
+        assert coupling.are_adjacent(1, 2)  # horizontal
+        assert not coupling.are_adjacent(0, 4)  # diagonal
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            CouplingMap(4, ((0, 1), (2, 3)))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, ((0, 0),))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, ((0, 5),))
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            CouplingMap.ring(2)
+
+
+class TestRoutingCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_line_semantics_preserved(self, seed):
+        circuit = random_circuit(5, 30, seed=seed)
+        result = map_circuit(circuit, CouplingMap.line(5))
+        unmapped = unmap_amplitudes(
+            simulate_dense(result.circuit), result.final_layout, 5
+        )
+        np.testing.assert_allclose(
+            unmapped, simulate_dense(circuit), atol=1e-8
+        )
+
+    def test_all_gates_adjacent_after_routing(self):
+        circuit = random_circuit(6, 40, seed=9)
+        coupling = CouplingMap.line(6)
+        result = map_circuit(circuit, coupling)
+        for operation in result.circuit:
+            touched = list(operation.targets) + list(operation.controls)
+            if len(touched) == 2:
+                assert coupling.are_adjacent(*touched)
+
+    def test_ghz_on_ring(self):
+        circuit = ghz_circuit(6)
+        result = map_circuit(circuit, CouplingMap.ring(6))
+        unmapped = unmap_amplitudes(
+            simulate_dense(result.circuit), result.final_layout, 6
+        )
+        np.testing.assert_allclose(
+            unmapped, simulate_dense(circuit), atol=1e-9
+        )
+
+    def test_grid_with_decomposed_toffolis(self):
+        circuit = Circuit(6).h(0).ccx(0, 3, 5).cx(1, 4)
+        decomposed = decompose_to_two_qubit(circuit)
+        result = map_circuit(decomposed, CouplingMap.grid(2, 3))
+        unmapped = unmap_amplitudes(
+            simulate_dense(result.circuit), result.final_layout, 6
+        )
+        np.testing.assert_allclose(
+            unmapped, simulate_dense(circuit), atol=1e-8
+        )
+
+    def test_oversized_coupling_map(self):
+        circuit = random_circuit(3, 12, seed=2)
+        result = map_circuit(circuit, CouplingMap.line(6))
+        unmapped = unmap_amplitudes(
+            simulate_dense(result.circuit), result.final_layout, 3
+        )
+        np.testing.assert_allclose(
+            unmapped, simulate_dense(circuit), atol=1e-8
+        )
+
+    def test_custom_initial_layout(self):
+        circuit = Circuit(3).cx(0, 2)
+        result = map_circuit(
+            circuit, CouplingMap.line(3), initial_layout=[0, 2, 1]
+        )
+        # Logical 2 sits at physical 1, adjacent to physical 0: no swaps.
+        assert result.swaps_inserted == 0
+        unmapped = unmap_amplitudes(
+            simulate_dense(result.circuit), result.final_layout, 3
+        )
+        np.testing.assert_allclose(
+            unmapped, simulate_dense(circuit), atol=1e-9
+        )
+
+
+class TestRoutingCosts:
+    def test_adjacent_gates_need_no_swaps(self):
+        circuit = Circuit(4).cx(0, 1).cx(1, 2).cx(2, 3)
+        result = map_circuit(circuit, CouplingMap.line(4))
+        assert result.swaps_inserted == 0
+
+    def test_long_range_gate_costs_swaps(self):
+        circuit = Circuit(5).cx(0, 4)
+        result = map_circuit(circuit, CouplingMap.line(5))
+        assert result.swaps_inserted == 3  # walk 0 next to 4
+
+    def test_ring_shortcut_used(self):
+        circuit = Circuit(6).cx(0, 5)
+        result = map_circuit(circuit, CouplingMap.ring(6))
+        assert result.swaps_inserted == 0  # 0 and 5 adjacent on the ring
+
+    def test_layout_tracking(self):
+        circuit = Circuit(4).cx(0, 3).cx(0, 3)
+        result = map_circuit(circuit, CouplingMap.line(4))
+        # Second gate reuses the moved layout: no further swaps.
+        assert result.swaps_inserted == 2
+        assert sorted(result.final_layout) == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_rejects_three_qubit_ops(self):
+        circuit = Circuit(3).ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            map_circuit(circuit, CouplingMap.line(3))
+
+    def test_rejects_small_coupling_map(self):
+        with pytest.raises(ValueError):
+            map_circuit(Circuit(4).h(0), CouplingMap.line(3))
+
+    def test_unmap_rejects_dirty_ancilla(self):
+        amplitudes = np.zeros(8, dtype=complex)
+        amplitudes[0b100] = 1.0  # ancilla (qubit 2) is |1>
+        with pytest.raises(ValueError):
+            unmap_amplitudes(amplitudes, [0, 1], 2)

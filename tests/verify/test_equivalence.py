@@ -1,0 +1,114 @@
+"""Tests for DD-based circuit equivalence checking."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qft import qft_circuit
+from repro.circuits.randomcirc import random_circuit
+from repro.dd.package import Package
+from repro.verify import circuits_equivalent, is_identity_edge
+
+
+class TestIsIdentityEdge:
+    def test_identity_recognized(self):
+        package = Package()
+        assert is_identity_edge(package.identity(4), 4)
+
+    def test_phase_times_identity(self):
+        package = Package()
+        weight, node = package.identity(3)
+        phased = (np.exp(0.7j) * weight, node)
+        assert is_identity_edge(phased, 3, up_to_global_phase=True)
+        assert not is_identity_edge(phased, 3, up_to_global_phase=False)
+
+    def test_non_identity_rejected(self):
+        from repro.circuits.gates import gate_matrix
+        from repro.circuits.lowering import single_qubit_medge
+
+        package = Package()
+        edge = single_qubit_medge(package, 3, 1, gate_matrix("h"))
+        assert not is_identity_edge(edge, 3)
+
+    def test_wrong_width_rejected(self):
+        package = Package()
+        assert not is_identity_edge(package.identity(3), 4)
+
+    def test_zero_edge_rejected(self):
+        from repro.dd.node import zero_medge
+
+        assert not is_identity_edge(zero_medge(), 2)
+
+
+class TestCircuitsEquivalent:
+    def test_circuit_equals_itself(self):
+        circuit = random_circuit(4, 25, seed=1)
+        result = circuits_equivalent(circuit, circuit, Package())
+        assert result.equivalent
+        assert result.miter_nodes == 4  # collapsed to the identity chain
+
+    def test_different_gate_orders_equal_unitary(self):
+        # H Z H == X.
+        first = Circuit(2).h(0).z(0).h(0)
+        second = Circuit(2).x(0)
+        result = circuits_equivalent(first, second, Package())
+        assert result.equivalent
+        assert result.global_phase == pytest.approx(1.0)
+
+    def test_commuting_gates_reordered(self):
+        first = Circuit(3).h(0).h(1).cz(0, 1).t(2)
+        second = Circuit(3).t(2).h(1).h(0).cz(1, 0)  # CZ is symmetric
+        assert circuits_equivalent(first, second, Package()).equivalent
+
+    def test_global_phase_detected(self):
+        # rx(pi) = -i X, so X vs rx(pi) differ by phase i.
+        first = Circuit(1).x(0)
+        second = Circuit(1).rx(math.pi, 0)
+        result = circuits_equivalent(first, second, Package())
+        assert result.equivalent
+        assert result.global_phase == pytest.approx(1j)
+        strict = circuits_equivalent(
+            first, second, Package(), up_to_global_phase=False
+        )
+        assert not strict.equivalent
+
+    def test_inequivalent_circuits(self):
+        first = Circuit(2).h(0).cx(0, 1)
+        second = Circuit(2).h(0).cz(0, 1)
+        result = circuits_equivalent(first, second, Package())
+        assert not result.equivalent
+        assert result.global_phase is None
+
+    def test_single_gate_difference_found(self):
+        base = random_circuit(4, 30, seed=2)
+        tampered = Circuit(4)
+        for index, operation in enumerate(base):
+            tampered.append(operation)
+            if index == 15:
+                tampered.t(0)  # inject a bug
+        assert not circuits_equivalent(base, tampered, Package()).equivalent
+
+    def test_qft_against_reversed_construction(self):
+        """QFT built normally vs inverse-of-inverse."""
+        first = qft_circuit(4)
+        second = qft_circuit(4, inverse=True).inverse()
+        assert circuits_equivalent(first, second, Package()).equivalent
+
+    def test_swap_decompositions(self):
+        first = Circuit(2).swap(0, 1)
+        second = Circuit(2).cx(0, 1).cx(1, 0).cx(0, 1)
+        assert circuits_equivalent(first, second, Package()).equivalent
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            circuits_equivalent(Circuit(2).h(0), Circuit(3).h(0))
+
+    def test_miter_stays_small_for_equivalent(self):
+        """Gate cancellation keeps the miter tiny — the DD advantage."""
+        circuit = random_circuit(6, 60, seed=5)
+        result = circuits_equivalent(circuit, circuit, Package())
+        assert result.miter_nodes == 6
