@@ -1,18 +1,26 @@
-"""Multi-process experiment execution.
+"""Multi-process experiment execution (compatibility wrappers).
 
-The paper ran its experiments under GNU parallel; this module provides the
-in-library equivalent: declarative run specifications fanned out over a
-``multiprocessing`` pool.  Each worker builds its own circuit, strategy,
-and DD package from the (picklable) spec, so no diagram objects ever cross
-process boundaries.
+.. deprecated::
+    The bespoke ``multiprocessing`` pool that used to live here has been
+    replaced by the persistent job engine
+    (:class:`repro.service.engine.JobEngine`), which adds
+    content-addressed result caching, checkpoint/resume, and retry on
+    worker death.  :class:`RunSpec` and :func:`run_parallel` remain as
+    thin adapters for existing callers; new code should construct
+    :class:`repro.service.jobs.JobSpec` objects and talk to the engine
+    directly (optionally with a persistent store, which this wrapper
+    deliberately does not use — it keeps the old run-everything-fresh
+    semantics via a throwaway store).
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
-from multiprocessing import get_context
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
+from ..service.engine import JobEngine, JobResult
+from ..service.jobs import JobSpec, build_strategy
 from .runner import RunRecord
 from .workloads import Workload, shor_workload, supremacy_workload
 
@@ -47,50 +55,46 @@ class RunSpec:
 
     def build_strategy(self):
         """Instantiate the strategy described by this spec."""
-        from ..core.strategies import (
-            AdaptiveStrategy,
-            FidelityDrivenStrategy,
-            MemoryDrivenStrategy,
-            NoApproximation,
-            SizeCapStrategy,
+        return build_strategy(self.strategy_kind, dict(self.strategy_args))
+
+    def to_job_spec(self) -> JobSpec:
+        """Translate into the engine's :class:`JobSpec`."""
+        workload = self.build_workload()  # validates the kind/args
+        return JobSpec(
+            circuit=f"builtin:{workload.name}",
+            strategy=self.strategy_kind,
+            strategy_args=self.strategy_args,
+            max_seconds=self.max_seconds,
         )
 
-        kwargs: Dict = dict(self.strategy_args)
-        if self.strategy_kind == "exact":
-            return NoApproximation()
-        if self.strategy_kind == "memory":
-            kwargs["threshold"] = int(kwargs["threshold"])
-            return MemoryDrivenStrategy(**kwargs)
-        if self.strategy_kind == "fidelity":
-            return FidelityDrivenStrategy(**kwargs)
-        if self.strategy_kind == "adaptive":
-            return AdaptiveStrategy(**kwargs)
-        if self.strategy_kind == "size_cap":
-            kwargs["max_nodes"] = int(kwargs["max_nodes"])
-            return SizeCapStrategy(**kwargs)
-        raise ValueError(f"unknown strategy kind {self.strategy_kind!r}")
 
-
-def _execute(spec: RunSpec) -> RunRecord:
-    """Worker entry point: run one spec in a fresh package."""
-    from ..dd.package import Package
-    from .runner import run_workload
-
-    record = run_workload(
-        spec.build_workload(),
-        spec.build_strategy(),
-        package=Package(),
-        max_seconds=spec.max_seconds,
+def _record_from_job(result: JobResult) -> RunRecord:
+    """Map an engine result back onto the legacy :class:`RunRecord`."""
+    stats = result.stats or {}
+    incomplete = result.status != "completed"
+    return RunRecord(
+        workload=stats.get("circuit_name", result.spec.display_name),
+        strategy=stats.get("strategy", result.spec.strategy),
+        qubits=int(stats.get("num_qubits", 0)),
+        max_dd_size=int(stats.get("max_nodes", 0)),
+        rounds=int(stats.get("num_rounds", 0)),
+        round_fidelity=None,
+        runtime_seconds=(
+            None if incomplete else stats.get("runtime_seconds")
+        ),
+        final_fidelity=float(stats.get("fidelity_estimate", 1.0)),
+        timed_out=incomplete,
     )
-    # Diagram outcomes are process-local; strip them before pickling back.
-    record.outcome = None
-    return record
 
 
 def run_parallel(
     specs: List[RunSpec], processes: int = 2
 ) -> List[RunRecord]:
-    """Execute run specs across a process pool, preserving order.
+    """Execute run specs across the job engine, preserving order.
+
+    Deprecated compatibility wrapper (see the module docstring): runs
+    every spec fresh in a throwaway store, so repeated calls re-simulate
+    exactly like the old pool did.
 
     Args:
         specs: The runs to execute.
@@ -104,9 +108,10 @@ def run_parallel(
         return []
     if processes < 1:
         raise ValueError("processes must be positive")
-    worker_count = min(processes, len(specs))
-    if worker_count == 1:
-        return [_execute(spec) for spec in specs]
-    context = get_context("fork")
-    with context.Pool(worker_count) as pool:
-        return pool.map(_execute, specs)
+    job_specs = [spec.to_job_spec() for spec in specs]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        engine = JobEngine(
+            root, workers=min(processes, len(job_specs))
+        )
+        results = engine.run_batch(job_specs)
+    return [_record_from_job(result) for result in results]

@@ -11,7 +11,11 @@ Subcommands:
 * ``equiv`` — DD-based unitary equivalence check of two circuits.
 * ``optimize`` — peephole-optimize a circuit, optionally writing QASM.
 * ``table1`` — regenerate the paper's Table I on the scaled workload
-  suites.
+  suites (runs through the job engine: cached and resumable).
+* ``batch`` — execute a JSON batch of job specs through the persistent
+  job engine (content-addressed caching, checkpoint/resume).
+* ``jobs`` — inspect and garbage-collect the artifact store
+  (``ls`` / ``show`` / ``gc``).
 
 Examples::
 
@@ -20,11 +24,14 @@ Examples::
     repro-sim shor 1157 --base 8 --semiclassical
     repro-sim equiv before.qasm after.qasm
     repro-sim table1 --suite shor --timeout 60
+    repro-sim batch jobs.json --workers 4 --store ~/.cache/repro-sim
+    repro-sim jobs ls && repro-sim jobs show 3f2a && repro-sim jobs gc
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -33,13 +40,12 @@ import numpy as np
 from .bench import (
     DEFAULT_SHOR_SUITE,
     DEFAULT_SUPREMACY_SUITE,
-    compare_strategies,
     format_table,
     paper_comparison,
 )
+from .bench.runner import ComparisonResult, RunRecord
 from .circuits.qasm import parse_qasm
 from .circuits.shor import shor_circuit, shor_layout
-from .circuits.supremacy import supremacy_circuit
 from .core import (
     FidelityDrivenStrategy,
     MemoryDrivenStrategy,
@@ -48,6 +54,28 @@ from .core import (
     simulate,
 )
 from .postprocessing import postprocess_counts, shift_counts
+from .service import (
+    ArtifactStore,
+    JobEngine,
+    JobSpec,
+    build_builtin_circuit,
+    load_job_specs,
+)
+
+#: Default artifact-store location for engine-backed subcommands.
+DEFAULT_STORE = os.environ.get("REPRO_SIM_STORE", "~/.cache/repro-sim")
+
+
+def _package_version() -> str:
+    """Resolve the installed package version, falling back to source."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def _build_strategy(args: argparse.Namespace):
@@ -66,16 +94,16 @@ def _build_strategy(args: argparse.Namespace):
 
 def _load_circuit(source: str):
     if source.startswith("builtin:"):
-        name = source[len("builtin:"):]
-        parts = name.split("_")
-        if parts[0] == "shor" and len(parts) == 3:
-            return shor_circuit(int(parts[1]), int(parts[2]))
-        if parts[0] == "qsup" and len(parts) == 4:
-            rows, cols = (int(v) for v in parts[1].split("x"))
-            return supremacy_circuit(rows, cols, int(parts[2]), int(parts[3]))
-        raise SystemExit(f"unknown builtin workload {name!r}")
-    with open(source, "r", encoding="utf-8") as handle:
-        return parse_qasm(handle.read(), name=source)
+        try:
+            return build_builtin_circuit(source[len("builtin:"):])
+        except ValueError as error:
+            raise SystemExit(str(error))
+    try:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read circuit {source!r}: {error}")
+    return parse_qasm(text, name=source)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -245,41 +273,228 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_from_result(result, round_fidelity=None) -> RunRecord:
+    """Map an engine :class:`JobResult` onto a bench :class:`RunRecord`."""
+    stats = result.stats or {}
+    incomplete = result.status != "completed"
+    return RunRecord(
+        workload=stats.get("circuit_name", result.spec.display_name),
+        strategy=stats.get("strategy", result.spec.strategy),
+        qubits=int(stats.get("num_qubits", 0)),
+        max_dd_size=int(stats.get("max_nodes", 0)),
+        rounds=int(stats.get("num_rounds", 0)),
+        round_fidelity=round_fidelity,
+        runtime_seconds=(
+            None if incomplete else stats.get("runtime_seconds")
+        ),
+        final_fidelity=float(stats.get("fidelity_estimate", 1.0)),
+        timed_out=incomplete,
+    )
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
-    package_timeout = args.timeout or None
-    results = []
+    """Regenerate Table I through the job engine.
+
+    Every (workload, strategy) pair becomes a content-addressed job, so
+    re-running the command serves completed rows from the artifact store
+    and *resumes* rows whose previous attempt timed out mid-circuit.
+    """
+    timeout = args.timeout or None
+    engine = JobEngine(args.store, workers=args.workers)
+    interval = args.checkpoint_interval
+
+    def job(workload, strategy="exact", strategy_args=()) -> JobSpec:
+        return JobSpec(
+            circuit=f"builtin:{workload.name}",
+            strategy=strategy,
+            strategy_args=strategy_args,
+            max_seconds=timeout,
+            checkpoint_interval=interval,
+        )
+
+    suites = []  # (title, round_fidelity, workloads, specs)
     if args.suite in ("shor", "all"):
-        shor_results = []
+        specs = []
         for workload in DEFAULT_SHOR_SUITE:
-            strategy = FidelityDrivenStrategy(
-                0.5, 0.9, placement="block:inverse_qft"
-            )
-            shor_results.append(
-                compare_strategies(
-                    workload, [(strategy, 0.9)], max_seconds=package_timeout
+            specs.append(job(workload))
+            specs.append(
+                job(
+                    workload,
+                    "fidelity",
+                    (
+                        ("final_fidelity", 0.5),
+                        ("round_fidelity", 0.9),
+                        ("placement", "block:inverse_qft"),
+                    ),
                 )
             )
-        print(format_table(shor_results, "Table I (fidelity-driven, target 50%)"))
-        print()
-        print(paper_comparison(shor_results))
-        print()
-        results.extend(shor_results)
+        suites.append(
+            (
+                "Table I (fidelity-driven, target 50%)",
+                0.9,
+                DEFAULT_SHOR_SUITE,
+                specs,
+            )
+        )
     if args.suite in ("supremacy", "all"):
-        supremacy_results = []
+        specs = []
         for workload in DEFAULT_SUPREMACY_SUITE:
-            strategy = MemoryDrivenStrategy(
-                threshold=args.threshold, round_fidelity=0.975
-            )
-            supremacy_results.append(
-                compare_strategies(
-                    workload, [(strategy, 0.975)], max_seconds=package_timeout
+            specs.append(job(workload))
+            specs.append(
+                job(
+                    workload,
+                    "memory",
+                    (
+                        ("threshold", args.threshold),
+                        ("round_fidelity", 0.975),
+                    ),
                 )
             )
-        print(format_table(supremacy_results, "Table I (memory-driven)"))
+        suites.append(
+            ("Table I (memory-driven)", 0.975, DEFAULT_SUPREMACY_SUITE, specs)
+        )
+
+    failures = 0
+    produced = False
+    for title, round_fidelity, workloads, specs in suites:
+        results = engine.run_batch(specs)
+        comparisons = []
+        for index, workload in enumerate(workloads):
+            exact_result = results[2 * index]
+            approx_result = results[2 * index + 1]
+            for result in (exact_result, approx_result):
+                if result.status == "error":
+                    failures += 1
+                    print(
+                        f"error: {result.spec.display_name}: {result.error}",
+                        file=sys.stderr,
+                    )
+            comparisons.append(
+                ComparisonResult(
+                    workload=workload,
+                    exact=_record_from_result(exact_result),
+                    approximate=[
+                        _record_from_result(approx_result, round_fidelity)
+                    ],
+                )
+            )
+        print(format_table(comparisons, title))
         print()
-        print(paper_comparison(supremacy_results))
-        results.extend(supremacy_results)
-    return 0 if results else 1
+        print(paper_comparison(comparisons))
+        print()
+        produced = True
+    return 0 if produced and not failures else 1
+
+
+def _print_counts(counts, num_qubits: int, limit: int = 10) -> None:
+    top = sorted(counts.items(), key=lambda item: -item[1])[:limit]
+    print("top outcomes:")
+    for index, frequency in top:
+        bits = format(index, f"0{num_qubits}b")
+        print(f"  |{bits}>: {frequency}")
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        specs = load_job_specs(args.jobs_file)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load batch: {error}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: batch file contains no jobs", file=sys.stderr)
+        return 2
+    engine = JobEngine(
+        args.store, workers=args.workers, use_cache=not args.no_cache
+    )
+    try:
+        results = engine.run_batch(
+            specs, progress=lambda result: print(result.summary(), flush=True)
+        )
+    except KeyboardInterrupt:
+        print("cancelled; completed jobs are cached, partial jobs "
+              "checkpointed — rerun to resume", file=sys.stderr)
+        return 130
+    statuses = [result.status for result in results]
+    cached = sum(result.cached for result in results)
+    print(
+        f"batch: {statuses.count('completed')}/{len(results)} completed "
+        f"({cached} from cache, {statuses.count('timeout')} timed out, "
+        f"{statuses.count('error')} errors)"
+    )
+    for result in results:
+        print(f"  {result.job_hash[:12]}  {result.spec.display_name:24s} "
+              f"{result.status}{' (cached)' if result.cached else ''}")
+        if result.counts and result.stats:
+            _print_counts(result.counts, int(result.stats["num_qubits"]))
+    return 0 if all(status == "completed" for status in statuses) else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    if args.jobs_command == "ls":
+        rows = list(store.iter_results())
+        checkpointed = set(store.iter_checkpoints())
+        if not rows and not checkpointed:
+            print("store is empty")
+            return 0
+        for job_hash, document in rows:
+            stats = document.get("stats", {})
+            print(
+                f"{job_hash[:12]}  {stats.get('circuit_name', '?'):24s} "
+                f"{stats.get('strategy', '?'):40s} "
+                f"f={stats.get('fidelity_estimate', 1.0):.3f} "
+                f"t={stats.get('runtime_seconds', 0.0):.2f}s"
+            )
+        for job_hash in sorted(checkpointed - {h for h, _ in rows}):
+            print(f"{job_hash[:12]}  <checkpoint only — resumable>")
+        return 0
+    if args.jobs_command == "show":
+        try:
+            job_hash = store.resolve_prefix(args.job_hash)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 1
+        document = store.load_result(job_hash)
+        stats = document.get("stats", {})
+        spec = document.get("spec", {})
+        print(f"job      {job_hash}")
+        print(f"circuit  {stats.get('circuit_name', '?')} "
+              f"({stats.get('num_qubits', '?')} qubits, "
+              f"{stats.get('num_operations', '?')} ops)")
+        print(f"strategy {stats.get('strategy', spec.get('strategy', '?'))}")
+        print(f"max DD   {stats.get('max_nodes', 0)} nodes "
+              f"(final {stats.get('final_nodes', 0)})")
+        print(f"rounds   {stats.get('num_rounds', 0)}")
+        for record in stats.get("rounds", []):
+            print(f"  @op {record['op_index']}: {record['nodes_before']} -> "
+                  f"{record['nodes_after']} nodes, "
+                  f"fidelity {record['achieved_fidelity']:.4f}")
+        print(f"f_final  {stats.get('fidelity_estimate', 1.0):.4f}")
+        print(f"runtime  {stats.get('runtime_seconds', 0.0):.2f}s")
+        if document.get("resumed_at"):
+            print(f"resumed  from op {document['resumed_at']}")
+        journal = store.read_journal(job_hash)
+        if journal:
+            ops = sum(1 for row in journal if row.get("event") == "op")
+            print(f"journal  {len(journal)} rows ({ops} op records)")
+        return 0
+    if args.jobs_command == "gc":
+        older = (
+            args.older_than_days * 86400.0
+            if args.older_than_days is not None
+            else None
+        )
+        removed = store.gc(
+            older_than_seconds=older, remove_results=args.results
+        )
+        print(
+            f"removed {removed['checkpoints']} stale checkpoint(s), "
+            f"{removed['results']} result(s)"
+        )
+        return 0
+    print(f"error: unknown jobs command {args.jobs_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
         description="Approximation-aware DD-based quantum circuit simulation",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -367,13 +587,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.set_defaults(handler=_cmd_optimize)
 
-    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1 = sub.add_parser(
+        "table1",
+        help="regenerate Table I (engine-backed: cached and resumable)",
+    )
     table1.add_argument(
         "--suite", choices=("shor", "supremacy", "all"), default="all"
     )
     table1.add_argument("--threshold", type=int, default=256)
     table1.add_argument("--timeout", type=float, default=120.0)
+    table1.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="artifact store directory (default: %(default)s)",
+    )
+    table1.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    table1.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=100,
+        help="operations between resume checkpoints (0 disables)",
+    )
     table1.set_defaults(handler=_cmd_table1)
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON batch of jobs through the job engine"
+    )
+    batch.add_argument(
+        "jobs_file", help='JSON file: [{...}, ...] or {"jobs": [...]}'
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    batch.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="artifact store directory (default: %(default)s)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate even when a stored result exists",
+    )
+    batch.set_defaults(handler=_cmd_batch)
+
+    jobs = sub.add_parser(
+        "jobs", help="inspect / garbage-collect the artifact store"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _store_option(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            help="artifact store directory (default: %(default)s)",
+        )
+
+    jobs_ls = jobs_sub.add_parser("ls", help="list stored results")
+    _store_option(jobs_ls)
+    jobs_ls.set_defaults(handler=_cmd_jobs)
+    jobs_show = jobs_sub.add_parser(
+        "show", help="show one stored result in detail"
+    )
+    jobs_show.add_argument("job_hash", help="content hash (unique prefix ok)")
+    _store_option(jobs_show)
+    jobs_show.set_defaults(handler=_cmd_jobs)
+    jobs_gc = jobs_sub.add_parser(
+        "gc", help="remove stale checkpoints (and optionally results)"
+    )
+    jobs_gc.add_argument(
+        "--results",
+        action="store_true",
+        help="also delete stored results",
+    )
+    jobs_gc.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        help="with --results, only delete results older than this",
+    )
+    _store_option(jobs_gc)
+    jobs_gc.set_defaults(handler=_cmd_jobs)
     return parser
 
 

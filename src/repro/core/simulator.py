@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..circuits.circuit import Circuit
 from ..circuits.lowering import operation_to_medge
 from ..dd.package import Package, default_package
+from ..dd.serialize import state_to_dict
 from ..dd.vector import StateDD
 from .fidelity import composed_fidelity
 from .strategies import ApproximationStrategy, NoApproximation
@@ -32,15 +33,33 @@ class SimulationTimeout(RuntimeError):
     Mirrors the 3-hour experiment timeouts of §VI ("the runtime *Timeout*
     indicates the experiment was terminated"); the partially computed
     statistics are attached for reporting.
+
+    Attributes:
+        stats: Statistics accumulated up to the timeout.
+        partial_state: JSON-compatible serialization of the state reached
+            so far (``repro.dd.serialize.state_to_dict`` format), or None
+            when no state was available.  Serialized — rather than a live
+            :class:`~repro.dd.vector.StateDD` — so the partial work is
+            picklable across process boundaries and directly persistable
+            as a checkpoint (see :mod:`repro.service.checkpoint`).
+        op_index: Index of the first operation that was *not* applied;
+            resuming from ``partial_state`` must continue at this index.
     """
 
-    def __init__(self, stats: "SimulationStats"):
+    def __init__(
+        self,
+        stats: "SimulationStats",
+        partial_state: Optional[dict] = None,
+        op_index: Optional[int] = None,
+    ):
         super().__init__(
             f"simulation of {stats.circuit_name!r} timed out after "
             f"{stats.runtime_seconds:.2f}s at operation "
-            f"{len(stats.trajectory or [])}"
+            f"{op_index if op_index is not None else len(stats.trajectory or [])}"
         )
         self.stats = stats
+        self.partial_state = partial_state
+        self.op_index = op_index
 
 
 @dataclass(frozen=True)
@@ -152,6 +171,12 @@ class DDSimulator:
         record_trajectory: bool = False,
         max_seconds: Optional[float] = None,
         size_check_interval: int = 1,
+        start_op_index: int = 0,
+        prior_rounds: Optional[Sequence[RoundRecord]] = None,
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_callback: Optional[
+            Callable[[StateDD, int, "SimulationStats"], None]
+        ] = None,
     ) -> SimulationOutcome:
         """Simulate ``circuit`` from a basis state or a prepared state.
 
@@ -173,19 +198,47 @@ class DDSimulator:
                 most recent count, so memory-driven triggering becomes
                 slightly delayed; ``max_nodes`` may undershoot the true
                 peak between checks.  The final state is always counted.
+            start_op_index: Resume support — skip operations before this
+                index.  ``initial_state`` must then be the state *after*
+                operations ``[0, start_op_index)`` (typically rehydrated
+                from a checkpoint), and the strategy is notified through
+                :meth:`~repro.core.strategies.ApproximationStrategy.resume`
+                so pre-planned rounds before the resume point are not
+                replayed.
+            prior_rounds: Approximation rounds completed before
+                ``start_op_index`` (from the interrupted run).  They seed
+                ``stats.rounds`` so the Lemma 1 fidelity product composes
+                across the interruption — truncations already applied are
+                part of the state being resumed.
+            checkpoint_interval: Invoke ``checkpoint_callback`` every this
+                many applied operations (and never otherwise).
+            checkpoint_callback: Called as ``callback(state, next_op_index,
+                stats)`` where ``next_op_index`` is the index of the first
+                operation not yet applied — the ``start_op_index`` a
+                resuming run must pass.
 
         Returns:
             A :class:`SimulationOutcome` with the final state (unit norm)
             and the per-run statistics.
 
         Raises:
-            SimulationTimeout: When ``max_seconds`` elapses mid-run.
+            SimulationTimeout: When ``max_seconds`` elapses mid-run.  The
+                exception carries the serialized partial state and the
+                index of the first unapplied operation for checkpointing.
             ValueError: When a prepared initial state mismatches the
-                circuit width or the simulator's package, or
-                ``size_check_interval < 1``.
+                circuit width or the simulator's package,
+                ``size_check_interval < 1``, or ``start_op_index`` is out
+                of range.
         """
         if size_check_interval < 1:
             raise ValueError("size_check_interval must be >= 1")
+        if not 0 <= start_op_index <= len(circuit):
+            raise ValueError(
+                f"start_op_index {start_op_index} out of range for "
+                f"{len(circuit)} operations"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         policy = strategy if strategy is not None else NoApproximation()
         policy.plan(circuit)
         stats = SimulationStats(
@@ -195,6 +248,10 @@ class DDSimulator:
             num_operations=len(circuit),
             trajectory=[] if record_trajectory else None,
         )
+        if prior_rounds:
+            stats.rounds.extend(prior_rounds)
+        if start_op_index:
+            policy.resume(start_op_index, tuple(stats.rounds))
 
         if isinstance(initial_state, StateDD):
             if initial_state.num_qubits != circuit.num_qubits:
@@ -210,15 +267,22 @@ class DDSimulator:
             state = StateDD.basis_state(
                 circuit.num_qubits, initial_state, self.package
             )
-        stats.max_nodes = state.node_count()
+        node_count = state.node_count()
+        stats.max_nodes = node_count
+        applied = 0
         started = time.perf_counter()
-        for op_index, operation in enumerate(circuit):
+        for op_index in range(start_op_index, len(circuit)):
+            operation = circuit[op_index]
             if max_seconds is not None:
                 elapsed = time.perf_counter() - started
                 if elapsed > max_seconds:
                     stats.runtime_seconds = elapsed
                     stats.final_nodes = state.node_count()
-                    raise SimulationTimeout(stats)
+                    raise SimulationTimeout(
+                        stats,
+                        partial_state=state_to_dict(state),
+                        op_index=op_index,
+                    )
             medge = operation_to_medge(
                 operation, circuit.num_qubits, self.package
             )
@@ -250,6 +314,15 @@ class DDSimulator:
                 )
             if stats.trajectory is not None:
                 stats.trajectory.append(node_count)
+            applied += 1
+            if (
+                checkpoint_interval is not None
+                and checkpoint_callback is not None
+                and applied % checkpoint_interval == 0
+                and op_index + 1 < len(circuit)
+            ):
+                stats.runtime_seconds = time.perf_counter() - started
+                checkpoint_callback(state, op_index + 1, stats)
         stats.runtime_seconds = time.perf_counter() - started
         stats.final_nodes = state.node_count()
         return SimulationOutcome(state=state, stats=stats)

@@ -57,6 +57,24 @@ class ApproximationStrategy(abc.ABC):
         """Short human-readable strategy summary for reports."""
         return type(self).__name__
 
+    def resume(
+        self, start_op_index: int, completed_rounds: Sequence = ()
+    ) -> None:
+        """Restore scheduling state when resuming mid-circuit.
+
+        Called by the simulator (after :meth:`plan`) when a run continues
+        from a checkpoint: ``start_op_index`` is the first operation that
+        will be applied and ``completed_rounds`` are the
+        :class:`~repro.core.simulator.RoundRecord`-like entries of rounds
+        the interrupted run already performed.  Lemma 1 composes those
+        rounds' fidelities multiplicatively with whatever this run adds,
+        so a strategy must (a) not replay rounds planned before the
+        resume point and (b) account for the budget the completed rounds
+        consumed.  The default is a no-op (correct for stateless
+        policies such as :class:`NoApproximation`).
+        """
+        return None
+
 
 class NoApproximation(ApproximationStrategy):
     """The exact reference simulation (the paper's baseline columns)."""
@@ -111,6 +129,14 @@ class MemoryDrivenStrategy(ApproximationStrategy):
     def plan(self, circuit: Circuit) -> None:
         """Reset the threshold for a new run."""
         self.threshold = float(self.initial_threshold)
+
+    def resume(
+        self, start_op_index: int, completed_rounds: Sequence = ()
+    ) -> None:
+        """Re-grow the threshold past the rounds already performed."""
+        self.threshold = float(self.initial_threshold) * (
+            self.growth ** len(completed_rounds)
+        )
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
@@ -214,6 +240,25 @@ class FidelityDrivenStrategy(ApproximationStrategy):
         self.planned_positions = list(positions)
         self._pending = list(positions)
 
+    def resume(
+        self, start_op_index: int, completed_rounds: Sequence = ()
+    ) -> None:
+        """Drop planned rounds the interrupted run already passed.
+
+        Positions strictly before the resume point are discarded — either
+        the earlier run performed them (they arrive in
+        ``completed_rounds``) or it skipped past them, and replaying them
+        on the resumed state would spend fidelity the plan never budgeted.
+        """
+        self._pending = [
+            position
+            for position in self._pending
+            if position >= start_op_index
+        ]
+        # Never exceed the round budget across the whole (split) run.
+        allowance = max(0, self.budgeted_rounds - len(completed_rounds))
+        self._pending = self._pending[:allowance]
+
     @staticmethod
     def _spread(start: int, end: int, rounds: int) -> List[int]:
         """Evenly distribute ``rounds`` positions over ``[start, end)``."""
@@ -287,6 +332,13 @@ class AdaptiveStrategy(ApproximationStrategy):
         self.rounds_used = 0
         self._baseline = None
 
+    def resume(
+        self, start_op_index: int, completed_rounds: Sequence = ()
+    ) -> None:
+        """Charge the rounds the interrupted run performed to the budget."""
+        self.rounds_used = min(self.budgeted_rounds, len(completed_rounds))
+        self._baseline = None
+
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
     ) -> Optional[ApproximationResult]:
@@ -346,6 +398,14 @@ class SizeCapStrategy(ApproximationStrategy):
     def plan(self, circuit: Circuit) -> None:
         """Reset the cumulative fidelity budget for a new run."""
         self.remaining_fidelity = 1.0
+
+    def resume(
+        self, start_op_index: int, completed_rounds: Sequence = ()
+    ) -> None:
+        """Restore the cumulative fidelity spent by the interrupted run."""
+        self.remaining_fidelity = 1.0
+        for record in completed_rounds:
+            self.remaining_fidelity *= record.achieved_fidelity
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int

@@ -1,0 +1,43 @@
+"""Durable simulation job engine (service layer).
+
+The paper treats an approximate simulation as a budgeted computation —
+fidelity is spent to buy runtime and memory (§IV, Lemma 1).  This package
+treats the *result* of that computation as a durable, reusable artifact:
+
+* :mod:`repro.service.jobs` — :class:`JobSpec`, a frozen, content-hashed
+  description of one simulation job (circuit, strategy, shots, seed,
+  time budget).
+* :mod:`repro.service.store` — :class:`ArtifactStore`, an on-disk
+  content-addressed store for results, serialized final-state diagrams,
+  and JSONL run journals.
+* :mod:`repro.service.checkpoint` — mid-run snapshots (serialized state
+  DD + operation index + completed approximation rounds) enabling
+  resume-after-kill, sound because Lemma 1 composes per-round fidelities
+  multiplicatively across the interruption.
+* :mod:`repro.service.engine` — :class:`JobEngine`, a cache-first
+  multiprocessing executor with per-job cooperative timeouts, bounded
+  retry with backoff, and checkpoint/resume.
+"""
+
+from .checkpoint import Checkpoint, CheckpointWriter
+from .engine import JobEngine, JobResult, execute_job
+from .jobs import (
+    JobSpec,
+    build_builtin_circuit,
+    build_strategy,
+    load_job_specs,
+)
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "Checkpoint",
+    "CheckpointWriter",
+    "JobEngine",
+    "JobResult",
+    "JobSpec",
+    "build_builtin_circuit",
+    "build_strategy",
+    "execute_job",
+    "load_job_specs",
+]

@@ -1,0 +1,188 @@
+"""Mid-run snapshots: serialize, persist, and rehydrate partial work.
+
+A checkpoint captures everything needed to continue an interrupted
+simulation as if it had never stopped:
+
+* the state diagram after the last applied operation (serialized in the
+  :mod:`repro.dd.serialize` format),
+* the index of the first operation *not yet* applied,
+* the approximation rounds already performed, and
+* bookkeeping (max diagram size so far, elapsed seconds).
+
+Resuming is *sound* — not merely convenient — because of Lemma 1: the
+end-to-end fidelity estimate is the product of per-round fidelities, so
+rounds performed before the interruption compose multiplicatively with
+rounds the resumed run adds.  The resumed run seeds its statistics with
+the recorded rounds and its strategy with the spent budget
+(:meth:`repro.core.strategies.ApproximationStrategy.resume`), so round
+placement, budgets, and the fidelity guarantee all match the
+uninterrupted run.  One caveat: the complex table's tolerance-bucketed
+canonicalization accumulates different representatives in a fresh
+process, so a later round whose greedy selection sits exactly on the
+budget boundary can admit a marginally different node set — the realized
+fidelity may then differ at that round's boundary while still obeying
+the same ``f >= f_round`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..core.simulator import RoundRecord, SimulationStats, SimulationTimeout
+from ..dd.serialize import state_to_dict
+from ..dd.vector import StateDD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .store import ArtifactStore
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> List[dict]:
+    """Serialize round records to JSON-compatible dictionaries."""
+    return [
+        {
+            "op_index": record.op_index,
+            "nodes_before": record.nodes_before,
+            "nodes_after": record.nodes_after,
+            "requested_fidelity": record.requested_fidelity,
+            "achieved_fidelity": record.achieved_fidelity,
+            "removed_contribution": record.removed_contribution,
+            "removed_nodes": record.removed_nodes,
+        }
+        for record in rounds
+    ]
+
+
+def rounds_from_dicts(rows: Sequence[dict]) -> List[RoundRecord]:
+    """Rebuild round records from their serialized form."""
+    return [RoundRecord(**row) for row in rows]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One resumable snapshot of a partially simulated job.
+
+    Attributes:
+        job_hash: Content hash of the owning :class:`JobSpec`.
+        next_op_index: First operation index not yet applied.
+        state: Serialized state diagram after ``next_op_index`` ops.
+        rounds: Approximation rounds performed so far (serialized).
+        max_nodes: Maximum diagram size observed so far.
+        elapsed_seconds: Simulation time consumed so far (across all
+            previous attempts).
+    """
+
+    job_hash: str
+    next_op_index: int
+    state: dict
+    rounds: List[dict]
+    max_nodes: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "job_hash": self.job_hash,
+            "next_op_index": self.next_op_index,
+            "state": self.state,
+            "rounds": self.rounds,
+            "max_nodes": self.max_nodes,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        """Rebuild a checkpoint; raises ValueError on format mismatch."""
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(f"not a {CHECKPOINT_FORMAT} document")
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        return cls(
+            job_hash=data["job_hash"],
+            next_op_index=int(data["next_op_index"]),
+            state=data["state"],
+            rounds=list(data["rounds"]),
+            max_nodes=int(data["max_nodes"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )
+
+    def round_records(self) -> List[RoundRecord]:
+        """The completed rounds as live :class:`RoundRecord` objects."""
+        return rounds_from_dicts(self.rounds)
+
+
+def checkpoint_from_timeout(
+    job_hash: str,
+    timeout: SimulationTimeout,
+    prior_elapsed: float = 0.0,
+    prior_max_nodes: int = 0,
+) -> Optional[Checkpoint]:
+    """Build a checkpoint from a :class:`SimulationTimeout`, if possible.
+
+    Returns None when the timeout carries no partial state (e.g. raised
+    by the matrix–matrix paradigm, which has no resumable state vector).
+    """
+    if timeout.partial_state is None or timeout.op_index is None:
+        return None
+    stats = timeout.stats
+    return Checkpoint(
+        job_hash=job_hash,
+        next_op_index=timeout.op_index,
+        state=timeout.partial_state,
+        rounds=rounds_to_dicts(stats.rounds),
+        max_nodes=max(prior_max_nodes, stats.max_nodes),
+        elapsed_seconds=prior_elapsed + stats.runtime_seconds,
+    )
+
+
+class CheckpointWriter:
+    """Simulator checkpoint callback that persists snapshots to a store.
+
+    Designed to be handed to :meth:`repro.core.simulator.DDSimulator.run`
+    as ``checkpoint_callback``; each invocation serializes the current
+    state and atomically replaces the job's latest checkpoint.
+
+    Args:
+        store: Target artifact store.
+        job_hash: Content hash of the job being executed.
+        prior_elapsed: Seconds consumed by earlier (interrupted)
+            attempts, added to the recorded elapsed time.
+        prior_max_nodes: Peak diagram size observed by earlier attempts,
+            folded into the recorded maximum so the stat stays
+            cumulative across interruptions.
+    """
+
+    def __init__(
+        self,
+        store: "ArtifactStore",
+        job_hash: str,
+        prior_elapsed: float = 0.0,
+        prior_max_nodes: int = 0,
+    ):
+        self.store = store
+        self.job_hash = job_hash
+        self.prior_elapsed = prior_elapsed
+        self.prior_max_nodes = prior_max_nodes
+        self.writes = 0
+
+    def __call__(
+        self, state: StateDD, next_op_index: int, stats: SimulationStats
+    ) -> None:
+        """Persist the current simulation frontier as the checkpoint."""
+        checkpoint = Checkpoint(
+            job_hash=self.job_hash,
+            next_op_index=next_op_index,
+            state=state_to_dict(state),
+            rounds=rounds_to_dicts(stats.rounds),
+            max_nodes=max(self.prior_max_nodes, stats.max_nodes),
+            elapsed_seconds=self.prior_elapsed + stats.runtime_seconds,
+        )
+        self.store.save_checkpoint(self.job_hash, checkpoint.to_dict())
+        self.writes += 1

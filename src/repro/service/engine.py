@@ -1,0 +1,489 @@
+"""The job engine: cache-first, checkpointed, multi-process execution.
+
+Execution path for one :class:`~repro.service.jobs.JobSpec`:
+
+1. **Cache check** — if the artifact store already holds a result for the
+   spec's content hash, return it without simulating (rehydrating the
+   stored state diagram for fresh sampling when ``shots`` is requested).
+2. **Resume check** — if a checkpoint exists, rehydrate its state diagram
+   and continue from its operation index, seeding the statistics and the
+   strategy with the rounds already performed (sound by Lemma 1 — the
+   fidelity product composes multiplicatively across the interruption).
+3. **Simulate** — run :class:`repro.core.simulator.DDSimulator` with the
+   spec's time budget; periodically persist checkpoints.
+4. **Persist** — on success write ``result.json`` + ``state.json`` +
+   ``journal.jsonl`` and delete the checkpoint; on timeout persist the
+   final checkpoint so the next attempt resumes instead of restarting.
+
+:class:`JobEngine` fans specs out over a process pool
+(``concurrent.futures.ProcessPoolExecutor``), retries jobs whose worker
+died (pool breakage, OOM-kill) with exponential backoff, deduplicates
+identical specs within a batch, and shuts the pool down cleanly on
+cancellation (Ctrl-C).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.simulator import DDSimulator, SimulationTimeout
+from ..dd.package import Package
+from ..dd.serialize import state_from_dict, state_to_dict
+from .checkpoint import (
+    Checkpoint,
+    CheckpointWriter,
+    checkpoint_from_timeout,
+    rounds_to_dicts,
+)
+from .jobs import JobSpec
+from .store import ArtifactStore
+
+RESULT_FORMAT = "repro-job-result"
+RESULT_VERSION = 1
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job submission.
+
+    Attributes:
+        spec: The submitted specification.
+        job_hash: Its content hash (the artifact store key).
+        status: ``"completed"``, ``"timeout"``, or ``"error"``.
+        cached: True when served from the store without simulating.
+        resumed_at: Operation index this execution resumed from (None
+            when it started from scratch).
+        stats: Table-I-style statistics document (see ``result.json``).
+        counts: Sampled measurement outcomes (when ``spec.shots`` > 0 and
+            a final state was available).
+        error: Diagnostic message for ``status == "error"``.
+        attempts: Worker attempts consumed (retries included).
+    """
+
+    spec: JobSpec
+    job_hash: str
+    status: str
+    cached: bool = False
+    resumed_at: Optional[int] = None
+    stats: Optional[dict] = None
+    counts: Optional[Dict[int, int]] = None
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the job has a complete result."""
+        return self.status == "completed"
+
+    @property
+    def fidelity_estimate(self) -> Optional[float]:
+        """End-to-end fidelity estimate, when statistics exist."""
+        if self.stats is None:
+            return None
+        return self.stats.get("fidelity_estimate")
+
+    @property
+    def runtime_seconds(self) -> Optional[float]:
+        """Total simulate time (across resumed attempts), when known."""
+        if self.stats is None:
+            return None
+        return self.stats.get("runtime_seconds")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        name = self.spec.display_name
+        if self.status == "error":
+            return f"{name}: ERROR {self.error}"
+        if self.status == "timeout":
+            at = self.stats.get("next_op_index") if self.stats else None
+            return (
+                f"{name}: TIMEOUT at op {at} "
+                f"(checkpointed; rerun to resume)"
+            )
+        stats = self.stats or {}
+        origin = "cache" if self.cached else (
+            f"resumed@{self.resumed_at}" if self.resumed_at else "fresh"
+        )
+        return (
+            f"{name}: f_final={stats.get('fidelity_estimate', 1.0):.3f} "
+            f"max_dd={stats.get('max_nodes', 0)} "
+            f"rounds={stats.get('num_rounds', 0)} "
+            f"time={stats.get('runtime_seconds', 0.0):.2f}s [{origin}]"
+        )
+
+
+def _stats_doc(stats, total_runtime: float, prior_max_nodes: int = 0) -> dict:
+    """Convert :class:`SimulationStats` into the persisted stats shape."""
+    return {
+        "circuit_name": stats.circuit_name,
+        "strategy": stats.strategy,
+        "num_qubits": stats.num_qubits,
+        "num_operations": stats.num_operations,
+        "max_nodes": max(prior_max_nodes, stats.max_nodes),
+        "final_nodes": stats.final_nodes,
+        "num_rounds": stats.num_rounds,
+        "rounds": rounds_to_dicts(stats.rounds),
+        "runtime_seconds": total_runtime,
+        "fidelity_estimate": stats.fidelity_estimate,
+    }
+
+
+def _journal_rows(
+    stats, start_op_index: int, resumed: bool
+) -> List[dict]:
+    """Build the JSONL journal: per-op sizes plus round records."""
+    rows: List[dict] = []
+    if resumed:
+        rows.append({"event": "resume", "at": start_op_index})
+    trajectory = stats.trajectory or []
+    for offset, nodes in enumerate(trajectory):
+        rows.append(
+            {"event": "op", "index": start_op_index + offset, "nodes": nodes}
+        )
+    for record in rounds_to_dicts(stats.rounds):
+        rows.append({"event": "round", **record})
+    rows.append(
+        {
+            "event": "completed",
+            "runtime_seconds": stats.runtime_seconds,
+            "fidelity_estimate": stats.fidelity_estimate,
+            "max_nodes": stats.max_nodes,
+            "final_nodes": stats.final_nodes,
+        }
+    )
+    return rows
+
+
+def _sample(state, shots: int, seed: int) -> Dict[int, int]:
+    return state.sample(shots, np.random.default_rng(seed))
+
+
+def execute_job(
+    spec: JobSpec,
+    store: ArtifactStore,
+    use_cache: bool = True,
+) -> JobResult:
+    """Execute one job in the current process (the worker entry point).
+
+    Follows the cache → resume → simulate → persist path described in the
+    module docstring.  Never raises for simulation-level failures; they
+    are reported as ``status="error"`` results.  (Infrastructure-level
+    failures — a killed process — surface in :class:`JobEngine`, which
+    retries.)
+    """
+    job_hash = spec.content_hash()
+
+    if use_cache and store.has_result(job_hash):
+        document = store.load_result(job_hash)
+        counts = None
+        if spec.shots:
+            try:
+                state = store.load_state(job_hash, Package())
+                counts = _sample(state, spec.shots, spec.seed)
+            except KeyError:
+                counts = None
+        return JobResult(
+            spec=spec,
+            job_hash=job_hash,
+            status="completed",
+            cached=True,
+            stats=document.get("stats"),
+            counts=counts,
+        )
+
+    checkpoint_doc = store.load_checkpoint(job_hash)
+    package = Package()
+    try:
+        circuit = spec.build_circuit()
+        strategy = spec.build_strategy()
+
+        start_op_index = 0
+        prior_rounds = None
+        prior_elapsed = 0.0
+        prior_max_nodes = 0
+        initial_state: "int | object" = 0
+        if checkpoint_doc is not None:
+            checkpoint = Checkpoint.from_dict(checkpoint_doc)
+            start_op_index = checkpoint.next_op_index
+            prior_rounds = checkpoint.round_records()
+            prior_elapsed = checkpoint.elapsed_seconds
+            prior_max_nodes = checkpoint.max_nodes
+            initial_state = state_from_dict(checkpoint.state, package)
+
+        writer = None
+        if spec.checkpoint_interval:
+            writer = CheckpointWriter(
+                store, job_hash, prior_elapsed, prior_max_nodes
+            )
+
+        simulator = DDSimulator(package)
+        try:
+            outcome = simulator.run(
+                circuit,
+                strategy,
+                initial_state=initial_state,
+                record_trajectory=True,
+                max_seconds=spec.max_seconds,
+                start_op_index=start_op_index,
+                prior_rounds=prior_rounds,
+                checkpoint_interval=spec.checkpoint_interval or None,
+                checkpoint_callback=writer,
+            )
+        except SimulationTimeout as timeout:
+            rescue = checkpoint_from_timeout(
+                job_hash, timeout, prior_elapsed, prior_max_nodes
+            )
+            if rescue is not None:
+                store.save_checkpoint(job_hash, rescue.to_dict())
+            partial = _stats_doc(
+                timeout.stats,
+                prior_elapsed + timeout.stats.runtime_seconds,
+                prior_max_nodes,
+            )
+            partial["next_op_index"] = timeout.op_index
+            return JobResult(
+                spec=spec,
+                job_hash=job_hash,
+                status="timeout",
+                resumed_at=start_op_index or None,
+                stats=partial,
+            )
+    except Exception as error:  # noqa: BLE001 - reported, not swallowed
+        return JobResult(
+            spec=spec,
+            job_hash=job_hash,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    stats = outcome.stats
+    total_runtime = prior_elapsed + stats.runtime_seconds
+    stats_document = _stats_doc(stats, total_runtime, prior_max_nodes)
+    result_document = {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "job_hash": job_hash,
+        "spec": spec.to_dict(),
+        "stats": stats_document,
+        "resumed_at": start_op_index or None,
+    }
+    store.put_result(
+        job_hash,
+        result_document,
+        state_doc=state_to_dict(outcome.state),
+        journal_rows=_journal_rows(
+            stats, start_op_index, resumed=start_op_index > 0
+        ),
+    )
+    store.clear_checkpoint(job_hash)
+
+    counts = _sample(outcome.state, spec.shots, spec.seed) if spec.shots else None
+    return JobResult(
+        spec=spec,
+        job_hash=job_hash,
+        status="completed",
+        resumed_at=start_op_index or None,
+        stats=stats_document,
+        counts=counts,
+    )
+
+
+def _pool_worker(payload) -> JobResult:
+    """Top-level (picklable) worker: rebuild the spec/store and execute."""
+    spec_dict, store_root, use_cache = payload
+    return execute_job(
+        JobSpec.from_dict(spec_dict),
+        ArtifactStore(store_root),
+        use_cache=use_cache,
+    )
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one in-flight job of a batch."""
+
+    index: int
+    spec: JobSpec
+    attempts: int = 0
+    future: Optional[object] = field(default=None, repr=False)
+
+
+class JobEngine:
+    """Persistent job executor over an artifact store.
+
+    Args:
+        store: An :class:`ArtifactStore` or a store root path.
+        workers: Process-pool size; ``<= 1`` executes serially in-process
+            (deterministic, debugger-friendly).
+        max_retries: Extra attempts per job when its *worker* dies
+            (simulation errors are deterministic and never retried).
+        retry_backoff: Base sleep before a retry; doubles per attempt.
+        use_cache: Serve stored results without re-simulating.
+    """
+
+    def __init__(
+        self,
+        store: "ArtifactStore | str",
+        workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+        use_cache: bool = True,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.store = (
+            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        )
+        self.workers = workers
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec: JobSpec) -> JobResult:
+        """Execute one job in-process (cache-first)."""
+        return execute_job(spec, self.store, use_cache=self.use_cache)
+
+    def run_batch(
+        self,
+        specs: Sequence[JobSpec],
+        progress: Optional[Callable[[JobResult], None]] = None,
+    ) -> List[JobResult]:
+        """Execute a batch, preserving input order in the returned list.
+
+        Identical specs (equal content hash, shots, and seed) are
+        deduplicated: one execution serves every duplicate.  ``progress``
+        is invoked once per *finished* unique job, in completion order.
+        """
+        if not specs:
+            return []
+        # Deduplicate within the batch so concurrent workers never race
+        # to compute the same artifact.
+        unique_keys: List[tuple] = []
+        key_to_position: Dict[tuple, int] = {}
+        positions: List[int] = []
+        unique_specs: List[JobSpec] = []
+        for spec in specs:
+            key = (spec.content_hash(), spec.shots, spec.seed)
+            if key not in key_to_position:
+                key_to_position[key] = len(unique_specs)
+                unique_keys.append(key)
+                unique_specs.append(spec)
+            positions.append(key_to_position[key])
+
+        if self.workers <= 1 or len(unique_specs) == 1:
+            unique_results = []
+            for spec in unique_specs:
+                result = self.run(spec)
+                if progress is not None:
+                    progress(result)
+                unique_results.append(result)
+        else:
+            unique_results = self._run_pool(unique_specs, progress)
+        return [unique_results[position] for position in positions]
+
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        specs: Sequence[JobSpec],
+        progress: Optional[Callable[[JobResult], None]],
+    ) -> List[JobResult]:
+        """Fan jobs out over a process pool with bounded retry."""
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import ProcessPoolExecutor
+
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        pending = [
+            _Pending(index=index, spec=spec)
+            for index, spec in enumerate(specs)
+        ]
+        pool_size = min(self.workers, len(specs))
+
+        def submit_all(executor) -> None:
+            for job in pending:
+                if job.future is None:
+                    job.attempts += 1
+                    job.future = executor.submit(
+                        _pool_worker,
+                        (
+                            job.spec.to_dict(),
+                            self.store.root,
+                            self.use_cache,
+                        ),
+                    )
+
+        executor = ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=get_context("fork")
+        )
+        try:
+            submit_all(executor)
+            while any(job.future is not None for job in pending):
+                futures = {
+                    job.future: job
+                    for job in pending
+                    if job.future is not None
+                }
+                done, _running = wait(
+                    futures, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    job = futures[future]
+                    job.future = None
+                    try:
+                        result = future.result()
+                    except Exception as error:  # worker death / pool break
+                        if job.attempts > self.max_retries:
+                            result = JobResult(
+                                spec=job.spec,
+                                job_hash=job.spec.content_hash(),
+                                status="error",
+                                error=(
+                                    f"worker failed after "
+                                    f"{job.attempts} attempts: "
+                                    f"{type(error).__name__}: {error}"
+                                ),
+                                attempts=job.attempts,
+                            )
+                        else:
+                            broken = True
+                            continue  # retry below on a fresh pool
+                    else:
+                        result.attempts = job.attempts
+                    results[job.index] = result
+                    if progress is not None:
+                        progress(result)
+                if broken:
+                    # The pool may be poisoned (a dead worker breaks every
+                    # in-flight future); rebuild it and resubmit survivors.
+                    retrying = [
+                        job for job in pending if results[job.index] is None
+                    ]
+                    for job in retrying:
+                        job.future = None
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    time.sleep(
+                        self.retry_backoff
+                        * (2 ** max(0, min(j.attempts for j in retrying) - 1))
+                    )
+                    executor = ProcessPoolExecutor(
+                        max_workers=pool_size,
+                        mp_context=get_context("fork"),
+                    )
+                    submit_all(executor)
+        except (KeyboardInterrupt, SystemExit):
+            # Graceful cancellation: stop handing out work, reap workers.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return [result for result in results if result is not None]

@@ -1,0 +1,263 @@
+"""On-disk content-addressed artifact store.
+
+Layout under the store root (all writes atomic via temp-file + rename)::
+
+    objects/<hh>/<hash>/result.json    — job result document (stats, spec)
+    objects/<hh>/<hash>/state.json     — serialized final-state DD
+    objects/<hh>/<hash>/journal.jsonl  — run journal (rounds, ops, events)
+    checkpoints/<hash>/latest.json     — most recent resume checkpoint
+
+``<hash>`` is :meth:`repro.service.jobs.JobSpec.content_hash` and
+``<hh>`` its first two hex digits (keeps directory fan-out bounded).
+Checkpoints live outside ``objects/`` because they are transient: a
+completed job deletes its checkpoint, and ``gc`` removes checkpoints
+whose result already exists (orphans of a crash after completion).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Iterator, List, Optional, Tuple
+
+from ..dd.package import Package
+from ..dd.serialize import state_from_dict
+from ..dd.vector import StateDD
+
+RESULT_FILE = "result.json"
+STATE_FILE = "state.json"
+JOURNAL_FILE = "journal.jsonl"
+CHECKPOINT_FILE = "latest.json"
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+    directory = os.path.dirname(path)
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+class ArtifactStore:
+    """Content-addressed persistence for job results and checkpoints.
+
+    Args:
+        root: Store directory (created on first write).
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.path.expanduser(root))
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def result_dir(self, job_hash: str) -> str:
+        """Directory holding the artifacts of ``job_hash``."""
+        return os.path.join(
+            self.root, "objects", job_hash[:2], job_hash
+        )
+
+    def checkpoint_dir(self, job_hash: str) -> str:
+        """Directory holding the checkpoint of ``job_hash``."""
+        return os.path.join(self.root, "checkpoints", job_hash)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def has_result(self, job_hash: str) -> bool:
+        """True when a completed result document exists for the hash."""
+        return os.path.exists(
+            os.path.join(self.result_dir(job_hash), RESULT_FILE)
+        )
+
+    def put_result(
+        self,
+        job_hash: str,
+        result_doc: dict,
+        state_doc: Optional[dict] = None,
+        journal_rows: Optional[List[dict]] = None,
+    ) -> str:
+        """Persist a completed job's artifacts; returns the object dir.
+
+        ``result.json`` is written *last* so :meth:`has_result` never
+        observes a half-written object.
+        """
+        directory = self.result_dir(job_hash)
+        os.makedirs(directory, exist_ok=True)
+        if state_doc is not None:
+            _atomic_write(
+                os.path.join(directory, STATE_FILE),
+                json.dumps(state_doc),
+            )
+        if journal_rows is not None:
+            _atomic_write(
+                os.path.join(directory, JOURNAL_FILE),
+                "".join(
+                    json.dumps(row, sort_keys=True) + "\n"
+                    for row in journal_rows
+                ),
+            )
+        document = dict(result_doc)
+        document.setdefault("stored_at", time.time())
+        _atomic_write(
+            os.path.join(directory, RESULT_FILE),
+            json.dumps(document, sort_keys=True, indent=2),
+        )
+        return directory
+
+    def load_result(self, job_hash: str) -> dict:
+        """Load a result document.
+
+        Raises:
+            KeyError: When no result exists for the hash.
+        """
+        path = os.path.join(self.result_dir(job_hash), RESULT_FILE)
+        if not os.path.exists(path):
+            raise KeyError(f"no stored result for {job_hash}")
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_state(
+        self, job_hash: str, package: Optional[Package] = None
+    ) -> StateDD:
+        """Rehydrate the stored final-state diagram of a job.
+
+        Raises:
+            KeyError: When the job has no stored state artifact.
+        """
+        path = os.path.join(self.result_dir(job_hash), STATE_FILE)
+        if not os.path.exists(path):
+            raise KeyError(f"no stored state for {job_hash}")
+        with open(path, "r", encoding="utf-8") as handle:
+            return state_from_dict(json.load(handle), package)
+
+    def read_journal(self, job_hash: str) -> List[dict]:
+        """Read the run journal rows (empty list when absent)."""
+        path = os.path.join(self.result_dir(job_hash), JOURNAL_FILE)
+        if not os.path.exists(path):
+            return []
+        rows = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+
+    def iter_results(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(job_hash, result_doc)`` for every stored result."""
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for job_hash in sorted(os.listdir(shard_dir)):
+                try:
+                    yield job_hash, self.load_result(job_hash)
+                except (KeyError, json.JSONDecodeError):
+                    continue
+
+    def resolve_prefix(self, prefix: str) -> str:
+        """Expand a unique hash prefix to the full hash.
+
+        Raises:
+            KeyError: When the prefix matches zero or several results.
+        """
+        matches = [
+            job_hash
+            for job_hash, _doc in self.iter_results()
+            if job_hash.startswith(prefix)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no stored result matches {prefix!r}")
+        raise KeyError(
+            f"ambiguous prefix {prefix!r} ({len(matches)} matches)"
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, job_hash: str, document: dict) -> str:
+        """Atomically persist the latest checkpoint of a job."""
+        directory = self.checkpoint_dir(job_hash)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, CHECKPOINT_FILE)
+        _atomic_write(path, json.dumps(document))
+        return path
+
+    def load_checkpoint(self, job_hash: str) -> Optional[dict]:
+        """Load the latest checkpoint, or None when there is none."""
+        path = os.path.join(self.checkpoint_dir(job_hash), CHECKPOINT_FILE)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def clear_checkpoint(self, job_hash: str) -> None:
+        """Delete a job's checkpoint directory (idempotent)."""
+        shutil.rmtree(self.checkpoint_dir(job_hash), ignore_errors=True)
+
+    def iter_checkpoints(self) -> Iterator[str]:
+        """Yield the job hashes that currently have a checkpoint."""
+        directory = os.path.join(self.root, "checkpoints")
+        if not os.path.isdir(directory):
+            return
+        for job_hash in sorted(os.listdir(directory)):
+            if os.path.exists(
+                os.path.join(directory, job_hash, CHECKPOINT_FILE)
+            ):
+                yield job_hash
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc(
+        self,
+        older_than_seconds: Optional[float] = None,
+        remove_results: bool = False,
+    ) -> dict:
+        """Collect garbage; returns counts of removed artifacts.
+
+        Always removes checkpoints shadowed by a stored result (the job
+        finished; the snapshot can never be resumed to a different
+        answer).  With ``remove_results`` also deletes result objects —
+        all of them, or only those stored more than
+        ``older_than_seconds`` ago.
+        """
+        removed = {"checkpoints": 0, "results": 0}
+        for job_hash in list(self.iter_checkpoints()):
+            if self.has_result(job_hash):
+                self.clear_checkpoint(job_hash)
+                removed["checkpoints"] += 1
+        if remove_results:
+            now = time.time()
+            for job_hash, document in list(self.iter_results()):
+                age = now - float(document.get("stored_at", 0.0))
+                if (
+                    older_than_seconds is None
+                    or age > older_than_seconds
+                ):
+                    shutil.rmtree(
+                        self.result_dir(job_hash), ignore_errors=True
+                    )
+                    removed["results"] += 1
+        return removed

@@ -124,3 +124,63 @@ class TestApproximateStatePersistence:
         counts_a = result.state.sample(200, np.random.default_rng(3))
         counts_b = loaded.sample(200, np.random.default_rng(3))
         assert counts_a == counts_b
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.5, max_value=0.99),
+    )
+    def test_truncated_states_roundtrip_exactly(
+        self, seed, num_qubits, round_fidelity
+    ):
+        """Post-truncation states — the artifacts the job store persists —
+        survive serialization bit-for-bit: same amplitudes, same node
+        structure, same fidelity against the pre-truncation state."""
+        from repro.core import approximate_state
+
+        package = Package()
+        original = StateDD.from_amplitudes(
+            random_state_vector(num_qubits, np.random.default_rng(seed)),
+            package,
+        )
+        truncated = approximate_state(original, round_fidelity).state
+        loaded = state_from_dict(state_to_dict(truncated), package)
+        np.testing.assert_allclose(
+            loaded.to_amplitudes(), truncated.to_amplitudes(), atol=1e-12
+        )
+        assert loaded.node_count() == truncated.node_count()
+        assert loaded.fidelity(original) == pytest.approx(
+            truncated.fidelity(original), abs=1e-12
+        )
+
+    @given(st.integers(0, 10_000), st.floats(min_value=0.0, max_value=0.2))
+    def test_contribution_cut_states_roundtrip(self, seed, epsilon):
+        """The threshold-cut variant also persists losslessly, including
+        through a JSON text round trip (how the store writes state.json)."""
+        from repro.core import approximate_below_contribution
+
+        package = Package()
+        state = StateDD.from_amplitudes(
+            random_sparse_state_vector(6, np.random.default_rng(seed)),
+            package,
+        )
+        cut = approximate_below_contribution(state, epsilon).state
+        text = json.dumps(state_to_dict(cut))
+        loaded = state_from_dict(json.loads(text), Package())
+        np.testing.assert_allclose(
+            loaded.to_amplitudes(), cut.to_amplitudes(), atol=1e-12
+        )
+
+    @given(st.integers(0, 10_000), st.integers(min_value=6, max_value=40))
+    def test_size_capped_states_roundtrip(self, seed, max_nodes):
+        """Size-capped states keep their (possibly shrunken) structure."""
+        from repro.core import approximate_to_size
+
+        package = Package()
+        state = StateDD.from_amplitudes(
+            random_state_vector(6, np.random.default_rng(seed)), package
+        )
+        result = approximate_to_size(state, max_nodes)
+        loaded = state_from_dict(state_to_dict(result.state), package)
+        assert loaded.node_count() == result.state.node_count()
+        assert loaded.fidelity(result.state) == pytest.approx(1.0)

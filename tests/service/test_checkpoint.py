@@ -1,0 +1,122 @@
+"""Tests for checkpoint serialization and the simulator callback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.qft import qft_circuit
+from repro.core.simulator import (
+    DDSimulator,
+    RoundRecord,
+    SimulationStats,
+    SimulationTimeout,
+)
+from repro.dd.package import Package
+from repro.dd.serialize import state_from_dict
+from repro.service.checkpoint import (
+    Checkpoint,
+    CheckpointWriter,
+    checkpoint_from_timeout,
+    rounds_from_dicts,
+    rounds_to_dicts,
+)
+from repro.service.store import ArtifactStore
+
+JOB_HASH = "ff" + "0" * 62
+
+
+def _round(op_index: int = 3) -> RoundRecord:
+    return RoundRecord(
+        op_index=op_index,
+        nodes_before=100,
+        nodes_after=60,
+        requested_fidelity=0.9,
+        achieved_fidelity=0.93,
+        removed_contribution=0.05,
+        removed_nodes=40,
+    )
+
+
+class TestRoundsSerialization:
+    def test_round_trip(self):
+        records = [_round(3), _round(9)]
+        assert rounds_from_dicts(rounds_to_dicts(records)) == records
+
+
+class TestCheckpointDocument:
+    def test_round_trip(self):
+        checkpoint = Checkpoint(
+            job_hash=JOB_HASH,
+            next_op_index=7,
+            state={"format": "repro-dd-state"},
+            rounds=rounds_to_dicts([_round()]),
+            max_nodes=123,
+            elapsed_seconds=1.5,
+        )
+        clone = Checkpoint.from_dict(checkpoint.to_dict())
+        assert clone == checkpoint
+        assert clone.round_records() == [_round()]
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            Checkpoint.from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        document = Checkpoint(
+            JOB_HASH, 0, {}, [], 0, 0.0
+        ).to_dict()
+        document["version"] = 99
+        with pytest.raises(ValueError):
+            Checkpoint.from_dict(document)
+
+
+class TestCheckpointFromTimeout:
+    def test_builds_from_partial_state(self):
+        package = Package()
+        simulator = DDSimulator(package)
+        circuit = qft_circuit(5)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            simulator.run(circuit, max_seconds=0.0)
+        checkpoint = checkpoint_from_timeout(
+            JOB_HASH, excinfo.value, prior_elapsed=2.0
+        )
+        assert checkpoint is not None
+        assert checkpoint.job_hash == JOB_HASH
+        assert checkpoint.next_op_index == excinfo.value.op_index
+        assert checkpoint.elapsed_seconds >= 2.0
+        # The snapshot rehydrates into a valid state.
+        state = state_from_dict(checkpoint.state, Package())
+        assert state.num_qubits == 5
+
+    def test_returns_none_without_partial_state(self):
+        stats = SimulationStats(
+            circuit_name="x", strategy="exact", num_qubits=1,
+            num_operations=1,
+        )
+        timeout = SimulationTimeout(stats)
+        assert checkpoint_from_timeout(JOB_HASH, timeout) is None
+
+
+class TestCheckpointWriter:
+    def test_writes_during_simulation(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        writer = CheckpointWriter(store, JOB_HASH, prior_elapsed=1.0)
+        package = Package()
+        circuit = qft_circuit(4)
+        outcome = DDSimulator(package).run(
+            circuit,
+            checkpoint_interval=2,
+            checkpoint_callback=writer,
+        )
+        assert writer.writes == (len(circuit) - 1) // 2
+        document = store.load_checkpoint(JOB_HASH)
+        checkpoint = Checkpoint.from_dict(document)
+        assert 0 < checkpoint.next_op_index < len(circuit)
+        assert checkpoint.elapsed_seconds >= 1.0
+        # Replaying the remaining operations reproduces the final state.
+        resumed = DDSimulator(package).run(
+            circuit,
+            initial_state=state_from_dict(checkpoint.state, package),
+            start_op_index=checkpoint.next_op_index,
+        )
+        assert outcome.state.fidelity(resumed.state) == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Tests for the content-addressed artifact store."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.dd.package import Package
+from repro.dd.serialize import state_to_dict
+from repro.dd.vector import StateDD
+from repro.service.store import ArtifactStore
+
+HASH_A = "aa" + "0" * 62
+HASH_B = "ab" + "1" * 62
+HASH_C = "cc" + "2" * 62
+
+
+def _ghz_doc():
+    state = StateDD.from_amplitudes(
+        np.array([1, 0, 0, 0, 0, 0, 0, 1]) / math.sqrt(2), Package()
+    )
+    return state_to_dict(state)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+class TestResults:
+    def test_missing_result(self, store):
+        assert not store.has_result(HASH_A)
+        with pytest.raises(KeyError):
+            store.load_result(HASH_A)
+        with pytest.raises(KeyError):
+            store.load_state(HASH_A)
+
+    def test_put_and_load(self, store):
+        store.put_result(
+            HASH_A,
+            {"stats": {"circuit_name": "ghz"}},
+            state_doc=_ghz_doc(),
+            journal_rows=[{"event": "op", "index": 0, "nodes": 1}],
+        )
+        assert store.has_result(HASH_A)
+        document = store.load_result(HASH_A)
+        assert document["stats"]["circuit_name"] == "ghz"
+        assert document["stored_at"] > 0
+        state = store.load_state(HASH_A, Package())
+        assert state.node_count() == 5
+        assert store.read_journal(HASH_A) == [
+            {"event": "op", "index": 0, "nodes": 1}
+        ]
+
+    def test_journal_absent_is_empty(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        assert store.read_journal(HASH_A) == []
+
+    def test_iter_results_sorted(self, store):
+        store.put_result(HASH_B, {"stats": {}})
+        store.put_result(HASH_A, {"stats": {}})
+        hashes = [job_hash for job_hash, _doc in store.iter_results()]
+        assert hashes == [HASH_A, HASH_B]
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put_result(HASH_A, {"stats": {}}, state_doc=_ghz_doc())
+        leftovers = [
+            name
+            for _root, _dirs, files in os.walk(store.root)
+            for name in files
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+
+class TestResolvePrefix:
+    def test_unique_prefix(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        store.put_result(HASH_C, {"stats": {}})
+        assert store.resolve_prefix("aa") == HASH_A
+
+    def test_ambiguous_prefix(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        store.put_result(HASH_B, {"stats": {}})
+        with pytest.raises(KeyError):
+            store.resolve_prefix("a")
+
+    def test_unknown_prefix(self, store):
+        with pytest.raises(KeyError):
+            store.resolve_prefix("dead")
+
+
+class TestCheckpoints:
+    def test_round_trip_and_clear(self, store):
+        assert store.load_checkpoint(HASH_A) is None
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        assert store.load_checkpoint(HASH_A) == {"next_op_index": 3}
+        assert list(store.iter_checkpoints()) == [HASH_A]
+        store.clear_checkpoint(HASH_A)
+        assert store.load_checkpoint(HASH_A) is None
+        assert list(store.iter_checkpoints()) == []
+
+    def test_save_overwrites_atomically(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        store.save_checkpoint(HASH_A, {"next_op_index": 9})
+        assert store.load_checkpoint(HASH_A) == {"next_op_index": 9}
+
+
+class TestGc:
+    def test_removes_shadowed_checkpoints(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        store.save_checkpoint(HASH_B, {"next_op_index": 5})
+        removed = store.gc()
+        assert removed == {"checkpoints": 1, "results": 0}
+        # The live (resumable) checkpoint survives.
+        assert list(store.iter_checkpoints()) == [HASH_B]
+        assert store.has_result(HASH_A)
+
+    def test_remove_results(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        removed = store.gc(remove_results=True)
+        assert removed["results"] == 1
+        assert not store.has_result(HASH_A)
+
+    def test_remove_results_respects_age(self, store):
+        store.put_result(HASH_A, {"stats": {}, "stored_at": 0.0})
+        store.put_result(HASH_B, {"stats": {}})
+        removed = store.gc(
+            older_than_seconds=3600.0, remove_results=True
+        )
+        assert removed["results"] == 1
+        assert not store.has_result(HASH_A)
+        assert store.has_result(HASH_B)

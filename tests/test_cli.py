@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -145,14 +147,141 @@ class TestOptimizeCommand:
 
 
 class TestTable1Command:
-    def test_shor_suite_with_tight_timeout(self, capsys):
+    def test_shor_suite_with_tight_timeout(self, tmp_path, capsys):
         """Exercises the table1 path; the tight timeout keeps it fast and
         also covers the Timeout rendering."""
-        code = main(["table1", "--suite", "shor", "--timeout", "0.75"])
+        code = main(
+            [
+                "table1",
+                "--suite",
+                "shor",
+                "--timeout",
+                "0.75",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
         assert code == 0
         output = capsys.readouterr().out
         assert "Table I (fidelity-driven" in output
         assert "shor_15_2" in output
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "repro-sim" in output
+        # Some version string follows the program name.
+        assert output.strip().split()[-1][0].isdigit()
+
+
+@pytest.fixture
+def batch_file(tmp_path):
+    path = tmp_path / "jobs.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"circuit": "builtin:shor_15_2", "shots": 10, "seed": 1},
+                {
+                    "circuit": "builtin:qsup_2x2_4_0",
+                    "strategy": "memory",
+                    "strategy_args": {
+                        "threshold": 8,
+                        "round_fidelity": 0.9,
+                    },
+                },
+            ]
+        )
+    )
+    return path
+
+
+class TestBatchCommand:
+    def test_runs_and_then_serves_cache(self, tmp_path, batch_file, capsys):
+        store = str(tmp_path / "store")
+        code = main(["batch", str(batch_file), "--store", store])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "2/2 completed" in first
+        assert "(0 from cache" in first
+
+        code = main(["batch", str(batch_file), "--store", store])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "2/2 completed" in second
+        assert "(2 from cache" in second
+
+    def test_no_cache_recomputes(self, tmp_path, batch_file, capsys):
+        store = str(tmp_path / "store")
+        assert main(["batch", str(batch_file), "--store", store]) == 0
+        capsys.readouterr()
+        code = main(
+            ["batch", str(batch_file), "--store", store, "--no-cache"]
+        )
+        assert code == 0
+        assert "(0 from cache" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot load batch" in capsys.readouterr().err
+
+    def test_empty_batch_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text("[]")
+        assert main(["batch", str(path)]) == 2
+
+    def test_failing_job_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"circuit": "builtin:nope_1_2"}]))
+        code = main(
+            ["batch", str(path), "--store", str(tmp_path / "store")]
+        )
+        assert code == 1
+        assert "1 errors" in capsys.readouterr().out
+
+
+class TestJobsCommand:
+    def test_ls_empty_store(self, tmp_path, capsys):
+        code = main(["jobs", "ls", "--store", str(tmp_path / "store")])
+        assert code == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_ls_show_gc_lifecycle(self, tmp_path, batch_file, capsys):
+        store = str(tmp_path / "store")
+        assert main(["batch", str(batch_file), "--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["jobs", "ls", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "shor_15_2" in listing
+        prefix = next(
+            line.split()[0]
+            for line in listing.splitlines()
+            if "shor_15_2" in line
+        )
+
+        assert main(["jobs", "show", prefix, "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "shor_15_2" in shown
+        assert "f_final" in shown
+
+        assert main(["jobs", "gc", "--store", store]) == 0
+        assert "0 result(s)" in capsys.readouterr().out
+        assert main(["jobs", "gc", "--results", "--store", store]) == 0
+        assert "2 result(s)" in capsys.readouterr().out
+        assert main(["jobs", "ls", "--store", store]) == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_show_unknown_hash_exits_1(self, tmp_path, capsys):
+        code = main(
+            ["jobs", "show", "beef", "--store", str(tmp_path / "store")]
+        )
+        assert code == 1
+        assert capsys.readouterr().err
 
 
 class TestAnalyzeCommand:
