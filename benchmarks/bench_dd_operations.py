@@ -45,6 +45,31 @@ def test_bench_gate_application(benchmark, hostile_state):
     benchmark(apply_gate)
 
 
+def test_bench_gate_application_counting(benchmark, hostile_state):
+    """Gate application with cache hit/miss counting enabled.
+
+    Compare against ``test_bench_gate_application`` to see the metrics
+    guard overhead — the enabled-counting path must stay within a few
+    percent of the plain one (the disabled path is a single attribute
+    check per cache lookup).
+    """
+    package = hostile_state.package
+    num_qubits = hostile_state.num_qubits
+    medge = single_qubit_medge(
+        package, num_qubits, num_qubits // 2, gate_matrix("h")
+    )
+    package.enable_metrics()
+
+    def apply_gate():
+        package.clear_caches()
+        return package.multiply_mv(
+            medge, hostile_state.edge, num_qubits - 1
+        )
+
+    benchmark(apply_gate)
+    package.enable_metrics(False)
+
+
 def test_bench_inner_product(benchmark, hostile_state):
     package = hostile_state.package
 

@@ -2,6 +2,14 @@
 
 from .parallel import RunSpec, run_parallel
 from .reporting import comparison_rows, format_table, paper_comparison
+from .snapshot import (
+    DEFAULT_SMOKE_WORKLOADS,
+    DEFAULT_TOLERANCE,
+    compare_snapshots,
+    load_snapshot,
+    run_snapshot,
+    write_snapshot,
+)
 from .runner import (
     ComparisonResult,
     RunRecord,
@@ -25,7 +33,9 @@ from .workloads import (
 __all__ = [
     "ComparisonResult",
     "DEFAULT_SHOR_SUITE",
+    "DEFAULT_SMOKE_WORKLOADS",
     "DEFAULT_SUPREMACY_SUITE",
+    "DEFAULT_TOLERANCE",
     "EXTENDED_SHOR_SUITE",
     "EXTENDED_SUPREMACY_SUITE",
     "PAPER_SHOR_ROWS",
@@ -35,12 +45,16 @@ __all__ = [
     "RunSpec",
     "Workload",
     "run_parallel",
+    "compare_snapshots",
     "compare_strategies",
     "comparison_rows",
     "factor_check",
     "format_table",
+    "load_snapshot",
     "paper_comparison",
+    "run_snapshot",
     "run_workload",
     "shor_workload",
     "supremacy_workload",
+    "write_snapshot",
 ]

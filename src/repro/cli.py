@@ -3,9 +3,18 @@
 Subcommands:
 
 * ``run`` — simulate a QASM file (or a built-in workload) under an
-  approximation strategy and print the Table-I-style statistics.
+  approximation strategy and print the Table-I-style statistics;
+  ``--metrics out.json`` additionally writes the full instrumentation
+  report (cache hit rates, per-gate timings, node trajectory, per-round
+  fidelity spent — see docs/OBSERVABILITY.md).
 * ``analyze`` — simulate, then report entropy, dominant outcomes, and
   exact marginals of the final state.
+* ``trace`` — record a JSONL trace of an instrumented run
+  (``trace record``) or summarize an existing trace file
+  (``trace summary``).
+* ``bench`` — produce a machine-readable benchmark snapshot
+  (``BENCH_*.json``) and optionally gate it against a committed
+  baseline (the CI ``bench-smoke`` job).
 * ``shor`` — factor a number end to end (full circuit, or
   ``--semiclassical`` for the single-control-qubit formulation).
 * ``equiv`` — DD-based unitary equivalence check of two circuits.
@@ -20,6 +29,11 @@ Subcommands:
 Examples::
 
     repro-sim run circuit.qasm --strategy memory --threshold 4096
+    repro-sim run builtin:shor_15_2 --metrics out.json
+    repro-sim trace record builtin:qsup_2x2_8_0 -o trace.jsonl
+    repro-sim trace summary trace.jsonl
+    repro-sim bench --out BENCH_smoke.json \
+        --baseline benchmarks/baselines/BENCH_smoke.json
     repro-sim analyze builtin:qsup_3x3_12_0 --marginal 0,1,2
     repro-sim shor 1157 --base 8 --semiclassical
     repro-sim equiv before.qasm after.qasm
@@ -31,6 +45,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -52,6 +67,14 @@ from .core import (
     NoApproximation,
     SimulationTimeout,
     simulate,
+)
+from .obs import (
+    Recorder,
+    metrics_report,
+    read_trace,
+    recording,
+    summarize_trace,
+    write_trace,
 )
 from .postprocessing import postprocess_counts, shift_counts
 from .service import (
@@ -106,17 +129,51 @@ def _load_circuit(source: str):
     return parse_qasm(text, name=source)
 
 
+def _instrumented_simulate(circuit, strategy, max_seconds=None):
+    """Simulate under a fresh recorder + metrics-counting package.
+
+    Returns ``(outcome, recorder, package)``; used by ``run --metrics``
+    and ``trace record``.
+    """
+    from .dd.package import Package
+
+    package = Package()
+    recorder = Recorder(enabled=True)
+    package.attach_recorder(recorder)
+    with recording(recorder):
+        outcome = simulate(
+            circuit,
+            strategy,
+            package=package,
+            record_trajectory=True,
+            max_seconds=max_seconds,
+            recorder=recorder,
+        )
+    return outcome, recorder, package
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     strategy = _build_strategy(args)
     try:
-        outcome = simulate(
-            circuit, strategy, max_seconds=args.timeout or None
-        )
+        if args.metrics:
+            outcome, recorder, package = _instrumented_simulate(
+                circuit, strategy, max_seconds=args.timeout or None
+            )
+        else:
+            outcome = simulate(
+                circuit, strategy, max_seconds=args.timeout or None
+            )
     except SimulationTimeout as timeout:
         print(f"TIMEOUT after {timeout.stats.runtime_seconds:.2f}s")
         print(timeout.stats.summary())
         return 1
+    if args.metrics:
+        report = metrics_report(outcome.stats, recorder, package)
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics report to {args.metrics}")
     print(outcome.stats.summary())
     for record in outcome.stats.rounds:
         print(
@@ -497,6 +554,109 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        circuit = _load_circuit(args.circuit)
+        strategy = _build_strategy(args)
+        try:
+            outcome, recorder, _package = _instrumented_simulate(
+                circuit, strategy, max_seconds=args.timeout or None
+            )
+        except SimulationTimeout as timeout:
+            print(f"TIMEOUT after {timeout.stats.runtime_seconds:.2f}s",
+                  file=sys.stderr)
+            return 1
+        rows = write_trace(recorder.events, args.output)
+        print(f"wrote {rows} trace events to {args.output}")
+        print(outcome.stats.summary())
+        return 0
+    if args.trace_command == "summary":
+        try:
+            events = read_trace(args.trace_file)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        summary = summarize_trace(events)
+        print(f"trace    {args.trace_file} ({len(events)} events)")
+        for kind in sorted(summary["events_by_kind"]):
+            print(f"  {kind:12s} {summary['events_by_kind'][kind]}")
+        print(f"ops      {summary['num_operations']}")
+        print(f"rounds   {summary['num_rounds']}")
+        print(f"peak DD  {summary['peak_nodes']} nodes")
+        print(f"f_final  {summary['fidelity_estimate']:.4f} "
+              f"(spent {summary['fidelity_spent']:.4f})")
+        print(f"span     {summary['span_seconds']:.3f}s")
+        return 0
+    print(f"error: unknown trace command {args.trace_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.snapshot import (
+        compare_snapshots,
+        load_snapshot,
+        run_snapshot,
+        write_snapshot,
+    )
+
+    # Default constructor arguments per strategy kind, mirroring the
+    # ``run`` subcommand's defaults (strategies have required arguments).
+    default_args = {
+        "memory": {"threshold": 4096, "round_fidelity": 0.975},
+        "fidelity": {"final_fidelity": 0.5, "round_fidelity": 0.975},
+        "adaptive": {"final_fidelity": 0.5, "round_fidelity": 0.975},
+        "size_cap": {"max_nodes": 4096},
+    }
+    entries = None
+    if args.workloads:
+        entries = []
+        for token in args.workloads:
+            name, _, strategy = token.partition(":")
+            strategy = strategy or "exact"
+            entries.append(
+                {
+                    "workload": name,
+                    "strategy": strategy,
+                    "strategy_args": default_args.get(strategy, {}),
+                }
+            )
+    try:
+        snapshot = run_snapshot(entries)
+    except (TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for row in snapshot["workloads"]:
+        print(
+            f"{row['workload']:20s} {row['strategy']:28s} "
+            f"peak={row['peak_nodes']:>8d} "
+            f"t={row['wall_time_seconds']:.3f}s "
+            f"norm={row['normalized_time']:.2f}"
+        )
+    if args.out:
+        write_snapshot(snapshot, args.out)
+        print(f"wrote snapshot to {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_snapshot(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+        violations = compare_snapshots(
+            snapshot, baseline, tolerance=args.tolerance
+        )
+        if violations:
+            print(f"REGRESSION vs {args.baseline}:", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(
+            f"gate passed vs {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -510,20 +670,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _strategy_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--strategy",
+            choices=("exact", "memory", "fidelity"),
+            default="exact",
+        )
+        subparser.add_argument("--threshold", type=int, default=4096)
+        subparser.add_argument("--round-fidelity", type=float, default=0.975)
+        subparser.add_argument("--final-fidelity", type=float, default=0.5)
+        subparser.add_argument("--placement", default="even")
+
     run = sub.add_parser("run", help="simulate a QASM file or builtin")
     run.add_argument("circuit", help="path to .qasm or builtin:<name>")
-    run.add_argument(
-        "--strategy",
-        choices=("exact", "memory", "fidelity"),
-        default="exact",
-    )
-    run.add_argument("--threshold", type=int, default=4096)
-    run.add_argument("--round-fidelity", type=float, default=0.975)
-    run.add_argument("--final-fidelity", type=float, default=0.5)
-    run.add_argument("--placement", default="even")
+    _strategy_options(run)
     run.add_argument("--timeout", type=float, default=0.0)
     run.add_argument("--shots", type=int, default=0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--metrics",
+        default="",
+        help="write the full instrumentation report (JSON) to this path",
+    )
     run.set_defaults(handler=_cmd_run)
 
     shor = sub.add_parser("shor", help="factor a number via Shor")
@@ -544,15 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="simulate and analyze the final state exactly"
     )
     analyze.add_argument("circuit", help="path to .qasm or builtin:<name>")
-    analyze.add_argument(
-        "--strategy",
-        choices=("exact", "memory", "fidelity"),
-        default="exact",
-    )
-    analyze.add_argument("--threshold", type=int, default=4096)
-    analyze.add_argument("--round-fidelity", type=float, default=0.975)
-    analyze.add_argument("--final-fidelity", type=float, default=0.5)
-    analyze.add_argument("--placement", default="even")
+    _strategy_options(analyze)
     analyze.add_argument(
         "--threshold-probability",
         type=float,
@@ -586,6 +746,59 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="", help="write optimized QASM here"
     )
     optimize.set_defaults(handler=_cmd_optimize)
+
+    trace = sub.add_parser(
+        "trace", help="record or summarize JSONL instrumentation traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="simulate with full tracing, write a JSONL trace"
+    )
+    trace_record.add_argument(
+        "circuit", help="path to .qasm or builtin:<name>"
+    )
+    _strategy_options(trace_record)
+    trace_record.add_argument("--timeout", type=float, default=0.0)
+    trace_record.add_argument(
+        "-o", "--output", default="trace.jsonl",
+        help="JSONL output path (default: %(default)s)",
+    )
+    trace_record.set_defaults(handler=_cmd_trace)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="summarize an existing JSONL trace file"
+    )
+    trace_summary.add_argument("trace_file", help="path to a .jsonl trace")
+    trace_summary.set_defaults(handler=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="produce a BENCH_*.json snapshot and gate it vs a baseline",
+    )
+    bench.add_argument(
+        "--workload",
+        dest="workloads",
+        action="append",
+        default=None,
+        metavar="NAME[:STRATEGY]",
+        help="builtin workload to measure (repeatable; default: the "
+        "smoke suite)",
+    )
+    bench.add_argument(
+        "--out", default="", help="write the snapshot JSON to this path"
+    )
+    bench.add_argument(
+        "--baseline",
+        default="",
+        help="compare against this committed snapshot and exit 1 on "
+        "regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative regression tolerance (default: %(default)s)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     table1 = sub.add_parser(
         "table1",

@@ -23,6 +23,7 @@ from ..circuits.lowering import operation_to_medge
 from ..dd.package import Package, default_package
 from ..dd.serialize import state_to_dict
 from ..dd.vector import StateDD
+from ..obs import Recorder, get_recorder
 from .fidelity import composed_fidelity
 from .strategies import ApproximationStrategy, NoApproximation
 
@@ -177,6 +178,7 @@ class DDSimulator:
         checkpoint_callback: Optional[
             Callable[[StateDD, int, "SimulationStats"], None]
         ] = None,
+        recorder: Optional[Recorder] = None,
     ) -> SimulationOutcome:
         """Simulate ``circuit`` from a basis state or a prepared state.
 
@@ -216,6 +218,15 @@ class DDSimulator:
                 stats)`` where ``next_op_index`` is the index of the first
                 operation not yet applied — the ``start_op_index`` a
                 resuming run must pass.
+            recorder: An :class:`repro.obs.Recorder` to instrument the
+                run with (per-gate wall-time timers under ``gate.<name>``,
+                ``op``/``round`` trace events, approximation counters).
+                Defaults to the process-wide active recorder, which is a
+                no-op unless :func:`repro.obs.recording` (or
+                ``set_recorder``) activated one.  The ``nodes`` field of
+                ``op`` events reports the most recent size check, so with
+                ``size_check_interval > 1`` it can lag by up to
+                ``interval - 1`` operations.
 
         Returns:
             A :class:`SimulationOutcome` with the final state (unit norm)
@@ -270,6 +281,19 @@ class DDSimulator:
         node_count = state.node_count()
         stats.max_nodes = node_count
         applied = 0
+        if recorder is None:
+            recorder = get_recorder()
+        obs = recorder if recorder.enabled else None
+        if obs is not None:
+            obs.event(
+                "run_start",
+                circuit=circuit.name,
+                strategy=stats.strategy,
+                num_qubits=circuit.num_qubits,
+                num_operations=len(circuit),
+                start_op_index=start_op_index,
+                initial_nodes=node_count,
+            )
         started = time.perf_counter()
         for op_index in range(start_op_index, len(circuit)):
             operation = circuit[op_index]
@@ -283,6 +307,7 @@ class DDSimulator:
                         partial_state=state_to_dict(state),
                         op_index=op_index,
                     )
+            op_started = time.perf_counter() if obs is not None else 0.0
             medge = operation_to_medge(
                 operation, circuit.num_qubits, self.package
             )
@@ -296,6 +321,17 @@ class DDSimulator:
             ):
                 node_count = state.node_count()
             stats.max_nodes = max(stats.max_nodes, node_count)
+            if obs is not None:
+                op_seconds = time.perf_counter() - op_started
+                obs.observe(f"gate.{operation.gate}", op_seconds)
+                obs.observe("simulate.apply", op_seconds)
+                obs.event(
+                    "op",
+                    index=op_index,
+                    gate=operation.gate,
+                    seconds=op_seconds,
+                    nodes=node_count,
+                )
 
             result = policy.after_operation(state, op_index, node_count)
             if result is not None and result.removed_nodes > 0:
@@ -312,6 +348,21 @@ class DDSimulator:
                         removed_nodes=result.removed_nodes,
                     )
                 )
+                if obs is not None:
+                    spent = 1.0 - result.achieved_fidelity
+                    obs.count("approx.rounds")
+                    obs.count("approx.nodes_removed", result.removed_nodes)
+                    obs.count("approx.fidelity_spent", spent)
+                    obs.event(
+                        "round",
+                        op_index=op_index,
+                        nodes_before=result.nodes_before,
+                        nodes_after=result.nodes_after,
+                        nodes_removed=result.removed_nodes,
+                        requested_fidelity=result.requested_fidelity,
+                        achieved_fidelity=result.achieved_fidelity,
+                        fidelity_spent=spent,
+                    )
             if stats.trajectory is not None:
                 stats.trajectory.append(node_count)
             applied += 1
@@ -325,6 +376,16 @@ class DDSimulator:
                 checkpoint_callback(state, op_index + 1, stats)
         stats.runtime_seconds = time.perf_counter() - started
         stats.final_nodes = state.node_count()
+        if obs is not None:
+            obs.event(
+                "run_end",
+                circuit=circuit.name,
+                runtime_seconds=stats.runtime_seconds,
+                max_nodes=stats.max_nodes,
+                final_nodes=stats.final_nodes,
+                num_rounds=stats.num_rounds,
+                fidelity_estimate=stats.fidelity_estimate,
+            )
         return SimulationOutcome(state=state, stats=stats)
 
     def run_exact(
@@ -399,6 +460,7 @@ def simulate(
     record_trajectory: bool = False,
     max_seconds: Optional[float] = None,
     size_check_interval: int = 1,
+    recorder: Optional[Recorder] = None,
 ) -> SimulationOutcome:
     """Module-level convenience wrapper around :class:`DDSimulator`."""
     simulator = DDSimulator(package)
@@ -409,4 +471,5 @@ def simulate(
         record_trajectory=record_trajectory,
         max_seconds=max_seconds,
         size_check_interval=size_check_interval,
+        recorder=recorder,
     )

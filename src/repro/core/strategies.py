@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from ..circuits.circuit import Circuit
 from ..dd.vector import StateDD
+from ..obs import get_recorder
 from .approximation import (
     ApproximationResult,
     approximate_state,
@@ -148,6 +149,16 @@ class MemoryDrivenStrategy(ApproximationStrategy):
             state, self.round_fidelity, self.measure_fidelity
         )
         self.threshold *= self.growth
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("strategy.threshold_doublings")
+            recorder.event(
+                "threshold",
+                op_index=op_index,
+                threshold=self.threshold,
+                growth=self.growth,
+                trigger_nodes=node_count,
+            )
         return result
 
     def describe(self) -> str:
@@ -356,6 +367,15 @@ class AdaptiveStrategy(ApproximationStrategy):
         if result.removed_nodes:
             self.rounds_used += 1
             self._baseline = max(result.nodes_after, state.num_qubits)
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.count("strategy.budget_rounds_used")
+                recorder.event(
+                    "budget",
+                    op_index=op_index,
+                    rounds_used=self.rounds_used,
+                    rounds_budgeted=self.budgeted_rounds,
+                )
         else:
             # Nothing removable at this size: raise the baseline so the
             # trigger does not fire on every subsequent operation.
@@ -423,6 +443,14 @@ class SizeCapStrategy(ApproximationStrategy):
         )
         if result.removed_nodes:
             self.remaining_fidelity *= result.achieved_fidelity
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.event(
+                    "budget",
+                    op_index=op_index,
+                    remaining_fidelity=self.remaining_fidelity,
+                    floor=self.final_fidelity,
+                )
         return result
 
     def describe(self) -> str:

@@ -42,6 +42,9 @@ from .node import MEdge, MNode, VEdge, VNode, zero_medge, zero_vedge
 #: Default upper bound on compute-cache entries before a cache is flushed.
 DEFAULT_CACHE_LIMIT = 1 << 19
 
+#: Names of the compute caches, as reported by :meth:`Package.cache_stats`.
+CACHE_NAMES = ("vadd", "madd", "mv", "mm", "inner")
+
 
 class Package:
     """Owner of unique tables and compute caches for DD arithmetic.
@@ -74,6 +77,15 @@ class Package:
             "vnodes_created": 0,
             "mnodes_created": 0,
             "cache_flushes": 0,
+        }
+        # Observability: hit/miss counting is gated behind one boolean so
+        # the uninstrumented hot path pays a single attribute check (the
+        # <5% guard bench_dd_operations enforces).  Flush counting is
+        # always on — flushes are rare and previously invisible.
+        self._counting = False
+        self._recorder = None
+        self._cache_counts: Dict[str, list] = {
+            name: [0, 0, 0] for name in CACHE_NAMES  # [hits, misses, flushes]
         }
 
     # ------------------------------------------------------------------
@@ -183,10 +195,23 @@ class Package:
     # Cache plumbing
     # ------------------------------------------------------------------
 
-    def _checked_insert(self, cache: dict, key: tuple, value) -> None:
+    def _checked_insert(
+        self, cache: dict, key: tuple, value, name: str
+    ) -> None:
         if len(cache) >= self.cache_limit:
+            entries = len(cache)
             cache.clear()
             self.stats["cache_flushes"] += 1
+            self._cache_counts[name][2] += 1
+            recorder = self._recorder
+            if recorder is not None and recorder.enabled:
+                recorder.count(f"dd.cache.{name}.flush")
+                recorder.event(
+                    "cache_flush",
+                    cache=name,
+                    entries=entries,
+                    limit=self.cache_limit,
+                )
         cache[key] = value
 
     def clear_caches(self) -> None:
@@ -200,6 +225,62 @@ class Package:
     def unique_table_sizes(self) -> dict:
         """Return the current live-node counts of both unique tables."""
         return {"vector": len(self._vtable), "matrix": len(self._mtable)}
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def enable_metrics(self, enabled: bool = True) -> None:
+        """Turn per-cache hit/miss counting on or off.
+
+        Off by default: counting costs one guarded increment per cache
+        lookup, which the micro-benchmarks must not pay silently.
+        """
+        self._counting = enabled
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.Recorder` and enable counting.
+
+        The recorder receives ``cache_flush`` trace events and
+        ``dd.cache.<name>.flush`` counters; hit/miss tallies stay in the
+        package (read them via :meth:`cache_stats`) so the hot path never
+        constructs event objects.  Passing None detaches (counting stays
+        at its current setting).
+        """
+        self._recorder = recorder
+        if recorder is not None:
+            self._counting = True
+
+    def _cache_sizes(self) -> Dict[str, int]:
+        return {
+            "vadd": len(self._vadd_cache),
+            "madd": len(self._madd_cache),
+            "mv": len(self._mv_cache),
+            "mm": len(self._mm_cache),
+            "inner": len(self._inner_cache),
+        }
+
+    def cache_stats(self) -> dict:
+        """Per-compute-cache statistics document.
+
+        Returns a dict keyed by cache name (:data:`CACHE_NAMES`), each
+        value holding ``hits`` / ``misses`` / ``flushes`` / ``size`` /
+        ``hit_rate``, plus a ``counting`` flag recording whether hit/miss
+        tallies were being collected (flush counts are always live).
+        """
+        sizes = self._cache_sizes()
+        caches = {}
+        for name in CACHE_NAMES:
+            hits, misses, flushes = self._cache_counts[name]
+            lookups = hits + misses
+            caches[name] = {
+                "hits": hits,
+                "misses": misses,
+                "flushes": flushes,
+                "size": sizes[name],
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+        return {"counting": self._counting, "caches": caches}
 
     # ------------------------------------------------------------------
     # Vector arithmetic
@@ -224,15 +305,19 @@ class Package:
         key = (n1, n2, ctable.weight_key(ratio))
         cached = self._vadd_cache.get(key)
         if cached is not None:
+            if self._counting:
+                self._cache_counts["vadd"][0] += 1
             rw, rn = cached
             return (rw * w1, rn)
+        if self._counting:
+            self._cache_counts["vadd"][1] += 1
 
         (a0w, a0n), (a1w, a1n) = n1.edges
         (b0w, b0n), (b1w, b1n) = n2.edges
         child0 = self.vadd((a0w, a0n), (ratio * b0w, b0n), level - 1)
         child1 = self.vadd((a1w, a1n), (ratio * b1w, b1n), level - 1)
         result = self.make_vedge(level, child0, child1)
-        self._checked_insert(self._vadd_cache, key, result)
+        self._checked_insert(self._vadd_cache, key, result, "vadd")
         return (result[0] * w1, result[1])
 
     def multiply_mv(self, me: MEdge, ve: VEdge, level: int) -> VEdge:
@@ -247,8 +332,12 @@ class Package:
         key = (m, v)
         cached = self._mv_cache.get(key)
         if cached is not None:
+            if self._counting:
+                self._cache_counts["mv"][0] += 1
             rw, rn = cached
             return (rw * wm * wv, rn)
+        if self._counting:
+            self._cache_counts["mv"][1] += 1
 
         m00, m01, m10, m11 = m.edges
         v0, v1 = v.edges
@@ -264,7 +353,7 @@ class Package:
             sub,
         )
         result = self.make_vedge(level, child0, child1)
-        self._checked_insert(self._mv_cache, key, result)
+        self._checked_insert(self._mv_cache, key, result, "mv")
         return (result[0] * wm * wv, result[1])
 
     def inner_product(self, e1: VEdge, e2: VEdge, level: int) -> complex:
@@ -284,14 +373,18 @@ class Package:
         key = (n1, n2)
         cached = self._inner_cache.get(key)
         if cached is not None:
+            if self._counting:
+                self._cache_counts["inner"][0] += 1
             return cached
+        if self._counting:
+            self._cache_counts["inner"][1] += 1
         total = complex(0.0)
         for k in (0, 1):
             w1k, c1 = n1.edges[k]  # type: ignore[union-attr]
             w2k, c2 = n2.edges[k]  # type: ignore[union-attr]
             if w1k != 0.0 and w2k != 0.0:
                 total += w1k.conjugate() * w2k * self._inner_nodes(c1, c2, level - 1)
-        self._checked_insert(self._inner_cache, key, total)
+        self._checked_insert(self._inner_cache, key, total, "inner")
         return total
 
     def fidelity(self, e1: VEdge, e2: VEdge, level: int) -> float:
@@ -338,8 +431,12 @@ class Package:
         key = (n1, n2, ctable.weight_key(ratio))
         cached = self._madd_cache.get(key)
         if cached is not None:
+            if self._counting:
+                self._cache_counts["madd"][0] += 1
             rw, rn = cached
             return (rw * w1, rn)
+        if self._counting:
+            self._cache_counts["madd"][1] += 1
 
         children = tuple(
             self.madd(
@@ -350,7 +447,7 @@ class Package:
             for k in range(4)
         )
         result = self.make_medge(level, children)  # type: ignore[arg-type]
-        self._checked_insert(self._madd_cache, key, result)
+        self._checked_insert(self._madd_cache, key, result, "madd")
         return (result[0] * w1, result[1])
 
     def multiply_mm(self, ae: MEdge, be: MEdge, level: int) -> MEdge:
@@ -365,8 +462,12 @@ class Package:
         key = (a, b)
         cached = self._mm_cache.get(key)
         if cached is not None:
+            if self._counting:
+                self._cache_counts["mm"][0] += 1
             rw, rn = cached
             return (rw * wa * wb, rn)
+        if self._counting:
+            self._cache_counts["mm"][1] += 1
 
         sub = level - 1
         children = []
@@ -380,7 +481,7 @@ class Package:
                 )
                 children.append(acc)
         result = self.make_medge(level, tuple(children))  # type: ignore[arg-type]
-        self._checked_insert(self._mm_cache, key, result)
+        self._checked_insert(self._mm_cache, key, result, "mm")
         return (result[0] * wa * wb, result[1])
 
     def identity(self, num_qubits: int) -> MEdge:

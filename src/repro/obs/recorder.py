@@ -1,0 +1,227 @@
+"""The :class:`Recorder`: counters, timers, and trace events.
+
+Design constraints, in priority order:
+
+1. **Disabled must be free.**  Instrumented hot loops (DD cache lookups,
+   the per-operation simulator loop) call recorder methods
+   unconditionally; when the recorder is disabled each call must cost one
+   attribute load and one branch, nothing more.  No dict lookups, no
+   object construction, no clock reads.
+2. **Zero dependencies.**  Standard library only, so the DD layer can
+   depend on it without widening the install footprint.
+3. **Structured, not stringly.**  Trace events are dicts with a stable
+   schema (``seq``, ``ts``, ``event`` + free-form fields) that serialize
+   to JSONL via :mod:`repro.obs.trace` and round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class TimerStat:
+    """Streaming summary of one named timer: count / total / min / max.
+
+    Mean is derived.  Observations are in seconds (wall clock).
+    """
+
+    __slots__ = ("count", "total_seconds", "min_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = math.inf
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average observation, 0.0 when nothing was observed."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary document."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class _NullTiming:
+    """Shared no-op context manager returned by a disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTiming":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_TIMING = _NullTiming()
+
+
+class _Timing:
+    """Context manager that feeds one timer observation on exit."""
+
+    __slots__ = ("_recorder", "_name", "_started")
+
+    def __init__(self, recorder: "Recorder", name: str):
+        self._recorder = recorder
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._started = self._recorder._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = self._recorder._clock() - self._started
+        self._recorder.observe(self._name, elapsed)
+
+
+class Recorder:
+    """Collects counters, timer summaries, and structured trace events.
+
+    Args:
+        enabled: When False every mutating method is a no-op and the
+            recorder holds no data — the cheap guard instrumented code
+            relies on.
+        clock: Monotonic time source (injectable for deterministic
+            tests); defaults to :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("enabled", "counters", "timers", "events", "_clock", "_seq")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self.counters: Dict[str, float] = {}
+        self.timers: Dict[str, TimerStat] = {}
+        self.events: List[dict] = []
+        self._clock = clock
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (creating it at 0)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration under the named timer."""
+        if not self.enabled:
+            return
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.observe(seconds)
+
+    def time(self, name: str):
+        """Context manager timing its body into the named timer."""
+        if not self.enabled:
+            return _NULL_TIMING
+        return _Timing(self, name)
+
+    # ------------------------------------------------------------------
+    # Trace events
+    # ------------------------------------------------------------------
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Append one structured trace event.
+
+        Events carry a monotonically increasing ``seq``, a wall-clock
+        timestamp ``ts`` (from the recorder's clock), the ``event`` kind,
+        and any JSON-compatible keyword fields.
+        """
+        if not self.enabled:
+            return
+        self._seq += 1
+        row = {"seq": self._seq, "ts": self._clock(), "event": kind}
+        row.update(fields)
+        self.events.append(row)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of counters, timers, and event count."""
+        timers = {name: stat.to_dict() for name, stat in self.timers.items()}
+        return {
+            "counters": dict(self.counters),
+            "timers": timers,
+            "num_events": len(self.events),
+        }
+
+    def reset(self) -> None:
+        """Drop all collected data (the enabled flag is unchanged)."""
+        self.counters.clear()
+        self.timers.clear()
+        self.events.clear()
+        self._seq = 0
+
+
+#: The process-wide disabled recorder: safe to call from anywhere.
+NULL_RECORDER = Recorder(enabled=False)
+
+_ACTIVE: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """Return the process-wide active recorder (disabled by default)."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install ``recorder`` as the active one; None restores the no-op.
+
+    Returns:
+        The previously active recorder (so callers can restore it).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Scoped activation: install a recorder, restore the previous on exit.
+
+    Args:
+        recorder: The recorder to activate; a fresh enabled
+            :class:`Recorder` is created when omitted.
+    """
+    active = recorder if recorder is not None else Recorder(enabled=True)
+    previous = set_recorder(active)
+    try:
+        yield active
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,101 @@
+"""Assembly of the ``--metrics`` JSON report.
+
+:func:`metrics_report` merges the three data sources of an instrumented
+run into one JSON-compatible document:
+
+* the simulator's :class:`~repro.core.simulator.SimulationStats`
+  (peak/final nodes, rounds, runtime, trajectory),
+* the :class:`~repro.obs.recorder.Recorder` (counters, per-gate timer
+  summaries, event count),
+* the :class:`~repro.dd.package.Package` cache statistics (per-cache
+  hit/miss/flush counts and hit rates, unique-table sizes).
+
+The stats/package arguments are duck-typed so this module depends only
+on the standard library — ``repro.obs`` stays importable from the DD
+layer without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .recorder import Recorder
+from .trace import TRACE_SCHEMA_VERSION
+
+METRICS_FORMAT = "repro-metrics"
+METRICS_VERSION = 1
+
+#: Timer-name prefix under which the simulator records per-gate timings.
+GATE_TIMER_PREFIX = "gate."
+
+
+def metrics_report(
+    stats,
+    recorder: Optional[Recorder] = None,
+    package=None,
+) -> dict:
+    """Build the metrics document for one simulation run.
+
+    Args:
+        stats: A :class:`~repro.core.simulator.SimulationStats`-shaped
+            object (``circuit_name``, ``strategy``, ``max_nodes``,
+            ``rounds``, ``trajectory``, ...).
+        recorder: The recorder the run was instrumented with (optional —
+            gate timings and counters are omitted when absent/disabled).
+        package: The :class:`~repro.dd.package.Package` the run used
+            (optional — cache statistics are omitted when absent).
+    """
+    rounds = [
+        {
+            "op_index": record.op_index,
+            "nodes_before": record.nodes_before,
+            "nodes_after": record.nodes_after,
+            "nodes_removed": record.removed_nodes,
+            "requested_fidelity": record.requested_fidelity,
+            "achieved_fidelity": record.achieved_fidelity,
+            "fidelity_spent": 1.0 - record.achieved_fidelity,
+        }
+        for record in stats.rounds
+    ]
+    fidelity_estimate = stats.fidelity_estimate
+    report = {
+        "format": METRICS_FORMAT,
+        "version": METRICS_VERSION,
+        "trace_schema_version": TRACE_SCHEMA_VERSION,
+        "workload": stats.circuit_name,
+        "strategy": stats.strategy,
+        "num_qubits": stats.num_qubits,
+        "num_operations": stats.num_operations,
+        "wall_time_seconds": stats.runtime_seconds,
+        "peak_nodes": stats.max_nodes,
+        "final_nodes": stats.final_nodes,
+        "node_trajectory": (
+            list(stats.trajectory) if stats.trajectory is not None else None
+        ),
+        "rounds": rounds,
+        "fidelity": {
+            "estimate": fidelity_estimate,
+            "spent": 1.0 - fidelity_estimate,
+            "num_rounds": len(rounds),
+        },
+    }
+    if recorder is not None and recorder.enabled:
+        prefix_len = len(GATE_TIMER_PREFIX)
+        gate_timing = {
+            name[prefix_len:]: stat.to_dict()
+            for name, stat in recorder.timers.items()
+            if name.startswith(GATE_TIMER_PREFIX)
+        }
+        other_timers = {
+            name: stat.to_dict()
+            for name, stat in recorder.timers.items()
+            if not name.startswith(GATE_TIMER_PREFIX)
+        }
+        report["gate_timing"] = gate_timing
+        report["timers"] = other_timers
+        report["counters"] = dict(recorder.counters)
+        report["num_trace_events"] = len(recorder.events)
+    if package is not None:
+        report["cache"] = package.cache_stats()
+        report["unique_tables"] = package.unique_table_sizes()
+    return report

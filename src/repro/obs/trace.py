@@ -1,0 +1,120 @@
+"""JSONL trace serialization and summarization.
+
+A *trace* is the recorder's event list written one JSON object per line.
+Every event carries the envelope fields
+
+* ``seq``  — 1-based monotonically increasing integer,
+* ``ts``   — wall-clock timestamp from the recorder's clock (seconds),
+* ``event``— the event kind (``op``, ``round``, ``cache_flush``,
+  ``threshold``, ``job``, ``run_start``, ``run_end``, ...),
+
+plus kind-specific payload fields.  The envelope is the schema contract:
+:func:`validate_event` enforces it, :func:`read_trace` applies it to
+every line, and the documented kinds live in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+#: Version stamp written into metrics reports that embed trace data.
+TRACE_SCHEMA_VERSION = 1
+
+_ENVELOPE_FIELDS = ("seq", "ts", "event")
+
+
+def validate_event(event: dict) -> dict:
+    """Check the envelope of one trace event, returning it unchanged.
+
+    Raises:
+        ValueError: When a required envelope field is missing or of the
+            wrong type.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"trace event must be an object, got {type(event)}")
+    for field in _ENVELOPE_FIELDS:
+        if field not in event:
+            raise ValueError(f"trace event missing {field!r}: {event!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 1:
+        raise ValueError(f"trace event seq must be a positive int: {event!r}")
+    if not isinstance(event["ts"], (int, float)):
+        raise ValueError(f"trace event ts must be a number: {event!r}")
+    if not isinstance(event["event"], str) or not event["event"]:
+        raise ValueError(f"trace event kind must be non-empty: {event!r}")
+    return event
+
+
+def write_trace(events: Iterable[dict], path: str) -> int:
+    """Write events as JSONL (one object per line); returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            validate_event(event)
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> List[dict]:
+    """Read and validate a JSONL trace file.
+
+    Raises:
+        ValueError: On malformed JSON or envelope violations (the line
+            number is included in the message).
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+                validate_event(event)
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from None
+            events.append(event)
+    return events
+
+
+def summarize_trace(events: Iterable[dict]) -> dict:
+    """Aggregate a trace into a compact summary document.
+
+    Returns a dict with per-kind event counts, the number of applied
+    operations, the peak node count seen across ``op``/``round`` events,
+    the total fidelity spent (Lemma 1 product over ``round`` events),
+    and the trace's wall-clock span.
+    """
+    kinds: dict = {}
+    peak_nodes = 0
+    ops = 0
+    fidelity_product = 1.0
+    rounds = 0
+    first_ts = None
+    last_ts = None
+    for event in events:
+        kind = event.get("event", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        if kind == "op":
+            ops += 1
+            peak_nodes = max(peak_nodes, int(event.get("nodes", 0)))
+        elif kind == "round":
+            rounds += 1
+            fidelity_product *= float(event.get("achieved_fidelity", 1.0))
+            peak_nodes = max(peak_nodes, int(event.get("nodes_before", 0)))
+    span = (last_ts - first_ts) if first_ts is not None else 0.0
+    return {
+        "events_by_kind": kinds,
+        "num_operations": ops,
+        "num_rounds": rounds,
+        "peak_nodes": peak_nodes,
+        "fidelity_estimate": fidelity_product,
+        "fidelity_spent": 1.0 - fidelity_product,
+        "span_seconds": span,
+    }

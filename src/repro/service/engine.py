@@ -34,6 +34,7 @@ import numpy as np
 from ..core.simulator import DDSimulator, SimulationTimeout
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict, state_to_dict
+from ..obs import get_recorder
 from .checkpoint import (
     Checkpoint,
     CheckpointWriter,
@@ -177,8 +178,15 @@ def execute_job(
     retries.)
     """
     job_hash = spec.content_hash()
+    obs = get_recorder()
 
     if use_cache and store.has_result(job_hash):
+        if obs.enabled:
+            obs.count("jobs.cached")
+            obs.event(
+                "job", phase="cached", job=job_hash[:12],
+                name=spec.display_name,
+            )
         document = store.load_result(job_hash)
         counts = None
         if spec.shots:
@@ -221,6 +229,13 @@ def execute_job(
                 store, job_hash, prior_elapsed, prior_max_nodes
             )
 
+        if obs.enabled:
+            phase = "resumed" if checkpoint_doc is not None else "started"
+            obs.count(f"jobs.{phase}")
+            obs.event(
+                "job", phase=phase, job=job_hash[:12],
+                name=spec.display_name, op_index=start_op_index,
+            )
         simulator = DDSimulator(package)
         try:
             outcome = simulator.run(
@@ -246,6 +261,12 @@ def execute_job(
                 prior_max_nodes,
             )
             partial["next_op_index"] = timeout.op_index
+            if obs.enabled:
+                obs.count("jobs.timeout")
+                obs.event(
+                    "job", phase="timeout", job=job_hash[:12],
+                    name=spec.display_name, op_index=timeout.op_index,
+                )
             return JobResult(
                 spec=spec,
                 job_hash=job_hash,
@@ -254,6 +275,12 @@ def execute_job(
                 stats=partial,
             )
     except Exception as error:  # noqa: BLE001 - reported, not swallowed
+        if obs.enabled:
+            obs.count("jobs.error")
+            obs.event(
+                "job", phase="error", job=job_hash[:12],
+                name=spec.display_name, error=type(error).__name__,
+            )
         return JobResult(
             spec=spec,
             job_hash=job_hash,
@@ -281,6 +308,14 @@ def execute_job(
         ),
     )
     store.clear_checkpoint(job_hash)
+    if obs.enabled:
+        obs.count("jobs.completed")
+        obs.event(
+            "job", phase="completed", job=job_hash[:12],
+            name=spec.display_name,
+            runtime_seconds=total_runtime,
+            max_nodes=stats_document["max_nodes"],
+        )
 
     counts = _sample(outcome.state, spec.shots, spec.seed) if spec.shots else None
     return JobResult(
@@ -378,6 +413,14 @@ class JobEngine:
                 unique_keys.append(key)
                 unique_specs.append(spec)
             positions.append(key_to_position[key])
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("jobs.queued", len(unique_specs))
+            for spec in unique_specs:
+                obs.event(
+                    "job", phase="queued", job=spec.content_hash()[:12],
+                    name=spec.display_name,
+                )
 
         if self.workers <= 1 or len(unique_specs) == 1:
             unique_results = []
@@ -468,6 +511,16 @@ class JobEngine:
                     retrying = [
                         job for job in pending if results[job.index] is None
                     ]
+                    obs = get_recorder()
+                    if obs.enabled:
+                        obs.count("jobs.retried", len(retrying))
+                        for job in retrying:
+                            obs.event(
+                                "job", phase="retried",
+                                job=job.spec.content_hash()[:12],
+                                name=job.spec.display_name,
+                                attempt=job.attempts,
+                            )
                     for job in retrying:
                         job.future = None
                     executor.shutdown(wait=False, cancel_futures=True)

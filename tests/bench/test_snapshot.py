@@ -1,0 +1,146 @@
+"""Tests for benchmark snapshots and the regression gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCE,
+    compare_snapshots,
+    load_snapshot,
+    run_snapshot,
+    write_snapshot,
+)
+from repro.bench.snapshot import SNAPSHOT_FORMAT, calibration_seconds
+
+
+def make_snapshot():
+    """A hand-built snapshot document (no simulation needed)."""
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": 1,
+        "calibration_seconds": 0.01,
+        "platform": {"python": "3.12.0"},
+        "workloads": [
+            {
+                "workload": "w1",
+                "strategy": "exact",
+                "peak_nodes": 100,
+                "normalized_time": 10.0,
+            },
+            {
+                "workload": "w1",
+                "strategy": "memory",
+                "peak_nodes": 40,
+                "normalized_time": 6.0,
+            },
+        ],
+    }
+
+
+class TestCompareSnapshots:
+    def test_identical_snapshots_pass(self):
+        base = make_snapshot()
+        assert compare_snapshots(copy.deepcopy(base), base) == []
+
+    def test_within_tolerance_passes(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"][0]["peak_nodes"] = 120  # +20% < 25%
+        current["workloads"][0]["normalized_time"] = 12.0
+        assert compare_snapshots(current, base, tolerance=0.25) == []
+
+    def test_peak_nodes_regression_is_flagged(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"][0]["peak_nodes"] = 130  # +30% > 25%
+        violations = compare_snapshots(current, base, tolerance=0.25)
+        assert len(violations) == 1
+        assert "w1/exact" in violations[0]
+        assert "peak_nodes" in violations[0]
+
+    def test_normalized_time_regression_is_flagged(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"][1]["normalized_time"] = 9.0  # +50%
+        violations = compare_snapshots(current, base, tolerance=0.25)
+        assert len(violations) == 1
+        assert "w1/memory" in violations[0]
+        assert "normalized time" in violations[0]
+
+    def test_missing_row_is_flagged(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        del current["workloads"][1]
+        violations = compare_snapshots(current, base)
+        assert violations == ["w1/memory: missing from current snapshot"]
+
+    def test_extra_current_rows_are_allowed(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"].append(
+            {
+                "workload": "w2",
+                "strategy": "exact",
+                "peak_nodes": 9,
+                "normalized_time": 1.0,
+            }
+        )
+        assert compare_snapshots(current, base) == []
+
+    def test_tolerance_widens_the_band(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"][0]["peak_nodes"] = 180  # +80%
+        assert compare_snapshots(current, base, tolerance=1.0) == []
+        assert compare_snapshots(current, base, tolerance=0.25)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_snapshots(make_snapshot(), make_snapshot(), -0.1)
+
+    def test_default_tolerance_is_25_percent(self):
+        assert DEFAULT_TOLERANCE == 0.25
+
+
+class TestSnapshotIO:
+    def test_write_then_load_round_trips(self, tmp_path):
+        snapshot = make_snapshot()
+        path = tmp_path / "nested" / "BENCH_x.json"
+        write_snapshot(snapshot, str(path))
+        assert load_snapshot(str(path)) == snapshot
+
+    def test_load_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a"):
+            load_snapshot(str(path))
+
+
+class TestRunSnapshot:
+    def test_calibration_is_positive(self):
+        assert calibration_seconds(repeats=1) > 0.0
+
+    def test_small_workload_snapshot(self):
+        entries = [{"workload": "qsup_2x2_4_0", "strategy": "exact"}]
+        snapshot = run_snapshot(
+            entries, calibration_repeats=1, workload_repeats=1
+        )
+        assert snapshot["format"] == SNAPSHOT_FORMAT
+        assert len(snapshot["workloads"]) == 1
+        row = snapshot["workloads"][0]
+        assert row["workload"] == "qsup_2x2_4_0"
+        assert row["peak_nodes"] > 0
+        assert row["normalized_time"] > 0.0
+        assert set(row["cache_hit_rates"]) == {
+            "vadd",
+            "madd",
+            "mv",
+            "mm",
+            "inner",
+        }
+        # Self-comparison passes the gate.
+        assert compare_snapshots(snapshot, snapshot) == []

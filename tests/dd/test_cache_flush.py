@@ -1,0 +1,104 @@
+"""Regression tests for compute-cache flush visibility.
+
+The flush threshold is enforced *per cache*: each of the five compute
+caches must be emptied when it reaches ``cache_limit`` entries, the
+flush must be counted for that cache, and — with a recorder attached —
+surfaced as a counter and a ``cache_flush`` trace event.  Before flush
+counting was per-cache, a runaway cache could thrash invisibly behind
+the aggregate ``cache_flushes`` stat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.simulator import simulate
+from repro.dd.package import CACHE_NAMES, Package
+from repro.obs import Recorder, recording
+
+
+def random_circuit(num_qubits: int, depth: int, seed: int = 7) -> Circuit:
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name="rand")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            if rng.random() < 0.5:
+                circuit.h(q)
+            else:
+                circuit.rz(0.1 * (layer + q + 1), q)
+        for q in range(num_qubits - 1):
+            if rng.random() < 0.7:
+                circuit.cx(q, q + 1)
+    return circuit
+
+
+class TestPerCacheFlush:
+    def test_cache_names_cover_all_counts(self):
+        package = Package()
+        stats = package.cache_stats()
+        assert set(stats["caches"]) == set(CACHE_NAMES)
+
+    def test_tiny_limit_forces_flushes_and_caps_size(self):
+        package = Package(cache_limit=4)
+        circuit = random_circuit(4, 6)
+        simulate(circuit, package=package)
+        stats = package.cache_stats()
+        mv = stats["caches"]["mv"]
+        assert mv["flushes"] >= 1
+        # The threshold is honored: a cache never exceeds the limit.
+        assert mv["size"] <= 4
+        # The aggregate stat equals the sum of the per-cache counts.
+        total = sum(c["flushes"] for c in stats["caches"].values())
+        assert package.stats["cache_flushes"] == total
+
+    def test_large_limit_never_flushes(self):
+        package = Package(cache_limit=1 << 20)
+        simulate(random_circuit(3, 4), package=package)
+        stats = package.cache_stats()
+        assert all(c["flushes"] == 0 for c in stats["caches"].values())
+
+    def test_flush_emits_counter_and_event(self):
+        package = Package(cache_limit=4)
+        recorder = Recorder(enabled=True)
+        package.attach_recorder(recorder)
+        with recording(recorder):
+            simulate(random_circuit(4, 6), package=package)
+        flush_events = [
+            e for e in recorder.events if e["event"] == "cache_flush"
+        ]
+        assert flush_events, "expected at least one cache_flush event"
+        event = flush_events[0]
+        assert event["cache"] in CACHE_NAMES
+        assert event["limit"] == 4
+        assert event["entries"] >= 4
+        name = event["cache"]
+        assert recorder.counters[f"dd.cache.{name}.flush"] >= 1
+
+
+class TestHitMissCounting:
+    def test_counting_disabled_by_default(self):
+        package = Package()
+        simulate(random_circuit(3, 3), package=package)
+        stats = package.cache_stats()
+        assert stats["counting"] is False
+        assert all(
+            c["hits"] == 0 and c["misses"] == 0
+            for c in stats["caches"].values()
+        )
+
+    def test_enable_metrics_counts_hits_and_misses(self):
+        package = Package()
+        package.enable_metrics()
+        simulate(random_circuit(3, 3), package=package)
+        stats = package.cache_stats()
+        assert stats["counting"] is True
+        mv = stats["caches"]["mv"]
+        assert mv["hits"] + mv["misses"] > 0
+        assert 0.0 <= mv["hit_rate"] <= 1.0
+
+    def test_hit_rate_zero_without_lookups(self):
+        package = Package()
+        package.enable_metrics()
+        stats = package.cache_stats()
+        assert stats["caches"]["vadd"]["hit_rate"] == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the Recorder: counters, timers, events, no-op guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    TimerStat,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.5):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current
+
+
+class TestTimerStat:
+    def test_streaming_summary(self):
+        stat = TimerStat()
+        for seconds in (0.2, 0.1, 0.4):
+            stat.observe(seconds)
+        assert stat.count == 3
+        assert stat.total_seconds == pytest.approx(0.7)
+        assert stat.mean_seconds == pytest.approx(0.7 / 3)
+        assert stat.min_seconds == pytest.approx(0.1)
+        assert stat.max_seconds == pytest.approx(0.4)
+
+    def test_empty_to_dict_has_zero_min(self):
+        doc = TimerStat().to_dict()
+        assert doc["count"] == 0
+        assert doc["min_seconds"] == 0.0
+        assert doc["mean_seconds"] == 0.0
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        recorder = Recorder()
+        recorder.count("hits")
+        recorder.count("hits", 2)
+        recorder.count("misses", 0.5)
+        assert recorder.counters == {"hits": 3, "misses": 0.5}
+
+
+class TestTimers:
+    def test_observe_creates_and_folds(self):
+        recorder = Recorder()
+        recorder.observe("apply", 0.25)
+        recorder.observe("apply", 0.75)
+        stat = recorder.timers["apply"]
+        assert stat.count == 2
+        assert stat.total_seconds == pytest.approx(1.0)
+
+    def test_time_context_manager_uses_clock(self):
+        recorder = Recorder(clock=FakeClock(step=0.5))
+        with recorder.time("span"):
+            pass
+        stat = recorder.timers["span"]
+        assert stat.count == 1
+        assert stat.total_seconds == pytest.approx(0.5)
+
+
+class TestEvents:
+    def test_envelope_and_payload(self):
+        recorder = Recorder(clock=FakeClock(start=10.0, step=1.0))
+        recorder.event("op", index=0, gate="h")
+        recorder.event("round", nodes_removed=3)
+        first, second = recorder.events
+        assert first == {"seq": 1, "ts": 10.0, "event": "op", "index": 0, "gate": "h"}
+        assert second["seq"] == 2
+        assert second["event"] == "round"
+        assert second["nodes_removed"] == 3
+
+    def test_reset_clears_data_and_seq(self):
+        recorder = Recorder()
+        recorder.count("c")
+        recorder.observe("t", 1.0)
+        recorder.event("e")
+        recorder.reset()
+        assert recorder.counters == {}
+        assert recorder.timers == {}
+        assert recorder.events == []
+        recorder.event("again")
+        assert recorder.events[0]["seq"] == 1
+
+    def test_snapshot_document(self):
+        recorder = Recorder()
+        recorder.count("c", 2)
+        recorder.observe("t", 0.5)
+        recorder.event("e")
+        snap = recorder.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["num_events"] == 1
+
+
+class TestDisabledIsNoOp:
+    def test_disabled_recorder_stores_nothing(self):
+        calls = []
+
+        def clock() -> float:
+            calls.append(1)
+            return 0.0
+
+        recorder = Recorder(enabled=False, clock=clock)
+        recorder.count("c")
+        recorder.observe("t", 1.0)
+        recorder.event("e", payload=1)
+        with recorder.time("span"):
+            pass
+        assert recorder.counters == {}
+        assert recorder.timers == {}
+        assert recorder.events == []
+        # A true no-op never reads the clock.
+        assert calls == []
+
+    def test_null_recorder_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+
+
+class TestGlobalRecorder:
+    def test_default_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_returns_previous_and_none_restores(self):
+        mine = Recorder()
+        previous = set_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+        assert get_recorder() is NULL_RECORDER
+        set_recorder(None)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_recording_scopes_activation(self):
+        mine = Recorder()
+        with recording(mine) as active:
+            assert active is mine
+            assert get_recorder() is mine
+        assert get_recorder() is NULL_RECORDER
+
+    def test_recording_creates_enabled_recorder(self):
+        with recording() as active:
+            assert active.enabled is True
+            assert get_recorder() is active
+        assert get_recorder() is NULL_RECORDER
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert get_recorder() is NULL_RECORDER

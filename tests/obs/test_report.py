@@ -1,0 +1,124 @@
+"""End-to-end tests for the metrics report of an instrumented run.
+
+The fidelity-spent accounting here is the observability-side check of
+Lemma 1: the end-to-end fidelity estimate is the product of the
+per-round fidelities, so the *spent* budget reported per round must
+satisfy ``total_spent == 1 - product(round fidelities)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.dd.package import Package
+from repro.obs import Recorder, metrics_report, recording
+from repro.service.jobs import build_builtin_circuit, build_strategy
+
+
+def run_instrumented(workload, kind, args=None):
+    circuit = build_builtin_circuit(workload)
+    strategy = build_strategy(kind, dict(args or {}))
+    package = Package()
+    recorder = Recorder(enabled=True)
+    package.attach_recorder(recorder)
+    with recording(recorder):
+        outcome = simulate(
+            circuit,
+            strategy,
+            package=package,
+            record_trajectory=True,
+            recorder=recorder,
+        )
+    return outcome, recorder, package
+
+
+@pytest.fixture(scope="module")
+def approx_run():
+    return run_instrumented(
+        "qsup_3x3_12_0",
+        "memory",
+        {"threshold": 32, "round_fidelity": 0.95},
+    )
+
+
+class TestMetricsReport:
+    def test_report_structure(self, approx_run):
+        outcome, recorder, package = approx_run
+        report = metrics_report(outcome.stats, recorder, package)
+        assert report["format"] == "repro-metrics"
+        assert report["workload"] == "qsup_3x3_12_0"
+        assert report["peak_nodes"] == outcome.stats.max_nodes
+        assert len(report["node_trajectory"]) == report["num_operations"]
+        assert set(report["cache"]["caches"]) == {
+            "vadd",
+            "madd",
+            "mv",
+            "mm",
+            "inner",
+        }
+        apply_timer = report["timers"]["simulate.apply"]
+        assert apply_timer["count"] == outcome.stats.num_operations
+
+    def test_gate_timing_covers_all_operations(self, approx_run):
+        outcome, recorder, package = approx_run
+        report = metrics_report(outcome.stats, recorder, package)
+        total = sum(stat["count"] for stat in report["gate_timing"].values())
+        assert total == outcome.stats.num_operations
+
+    def test_mv_cache_hit_rate_is_consistent(self, approx_run):
+        _outcome, _recorder, package = approx_run
+        mv = package.cache_stats()["caches"]["mv"]
+        lookups = mv["hits"] + mv["misses"]
+        assert lookups > 0
+        assert mv["hit_rate"] == pytest.approx(mv["hits"] / lookups)
+
+    def test_report_without_recorder_or_package(self, approx_run):
+        outcome, _recorder, _package = approx_run
+        report = metrics_report(outcome.stats)
+        assert "counters" not in report
+        assert "cache" not in report
+        assert report["fidelity"]["num_rounds"] == outcome.stats.num_rounds
+
+
+class TestFidelitySpentAccounting:
+    def test_rounds_actually_ran(self, approx_run):
+        outcome, _recorder, _package = approx_run
+        assert outcome.stats.num_rounds >= 1
+
+    def test_spent_matches_lemma1_product(self, approx_run):
+        outcome, recorder, package = approx_run
+        report = metrics_report(outcome.stats, recorder, package)
+        product = math.prod(
+            entry["achieved_fidelity"] for entry in report["rounds"]
+        )
+        assert report["fidelity"]["estimate"] == pytest.approx(product)
+        assert report["fidelity"]["spent"] == pytest.approx(1.0 - product)
+
+    def test_per_round_spent_is_complement(self, approx_run):
+        outcome, recorder, package = approx_run
+        report = metrics_report(outcome.stats, recorder, package)
+        for entry in report["rounds"]:
+            assert entry["fidelity_spent"] == pytest.approx(
+                1.0 - entry["achieved_fidelity"]
+            )
+
+    def test_counter_accumulates_per_round_spent(self, approx_run):
+        outcome, recorder, _package = approx_run
+        expected = sum(
+            1.0 - record.achieved_fidelity for record in outcome.stats.rounds
+        )
+        assert recorder.counters["approx.fidelity_spent"] == pytest.approx(
+            expected
+        )
+        assert recorder.counters["approx.rounds"] == outcome.stats.num_rounds
+
+    def test_round_events_match_stats(self, approx_run):
+        outcome, recorder, _package = approx_run
+        round_events = [e for e in recorder.events if e["event"] == "round"]
+        assert len(round_events) == outcome.stats.num_rounds
+        for event, record in zip(round_events, outcome.stats.rounds):
+            assert event["achieved_fidelity"] == record.achieved_fidelity
+            assert event["nodes_removed"] == record.removed_nodes

@@ -1,0 +1,120 @@
+"""Tests for JSONL trace serialization, validation, and summarization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Recorder,
+    read_trace,
+    summarize_trace,
+    validate_event,
+    write_trace,
+)
+
+
+def make_events():
+    recorder = Recorder(clock=lambda: 1.0)
+    recorder.event("run_start", workload="w")
+    recorder.event("op", index=0, gate="h", nodes=3)
+    recorder.event("op", index=1, gate="cx", nodes=7)
+    recorder.event(
+        "round",
+        op_index=1,
+        nodes_before=7,
+        nodes_after=4,
+        nodes_removed=3,
+        achieved_fidelity=0.9,
+    )
+    recorder.event("run_end")
+    return recorder.events
+
+
+class TestValidateEvent:
+    def test_accepts_valid_event(self):
+        event = {"seq": 1, "ts": 0.5, "event": "op", "extra": [1, 2]}
+        assert validate_event(event) is event
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"ts": 0.0, "event": "op"},  # missing seq
+            {"seq": 1, "event": "op"},  # missing ts
+            {"seq": 1, "ts": 0.0},  # missing kind
+            {"seq": 0, "ts": 0.0, "event": "op"},  # seq not positive
+            {"seq": "1", "ts": 0.0, "event": "op"},  # seq not int
+            {"seq": 1, "ts": "now", "event": "op"},  # ts not a number
+            {"seq": 1, "ts": 0.0, "event": ""},  # empty kind
+            {"seq": 1, "ts": 0.0, "event": 7},  # kind not a string
+        ],
+    )
+    def test_rejects_envelope_violations(self, bad):
+        with pytest.raises(ValueError):
+            validate_event(bad)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_event([1, 2, 3])
+
+
+class TestRoundTrip:
+    def test_write_then_read_is_lossless(self, tmp_path):
+        events = make_events()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(events, str(path))
+        assert count == len(events)
+        assert read_trace(str(path)) == events
+
+    def test_file_is_one_json_object_per_line(self, tmp_path):
+        events = make_events()
+        path = tmp_path / "trace.jsonl"
+        write_trace(events, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(events)
+
+    def test_read_reports_line_number_on_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "ts": 0.0, "event": "op"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            read_trace(str(path))
+
+    def test_read_rejects_envelope_violation(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "ts": 0.0}\n')
+        with pytest.raises(ValueError, match=r":1:"):
+            read_trace(str(path))
+
+    def test_write_rejects_invalid_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(ValueError):
+            write_trace([{"event": "op"}], str(path))
+
+
+class TestSummarize:
+    def test_summary_counts_and_fidelity(self):
+        summary = summarize_trace(make_events())
+        assert summary["events_by_kind"] == {
+            "run_start": 1,
+            "op": 2,
+            "round": 1,
+            "run_end": 1,
+        }
+        assert summary["num_operations"] == 2
+        assert summary["num_rounds"] == 1
+        assert summary["peak_nodes"] == 7
+        assert summary["fidelity_estimate"] == pytest.approx(0.9)
+        assert summary["fidelity_spent"] == pytest.approx(0.1)
+
+    def test_fidelity_is_product_over_rounds(self):
+        recorder = Recorder(clock=lambda: 0.0)
+        recorder.event("round", achieved_fidelity=0.9, nodes_before=1)
+        recorder.event("round", achieved_fidelity=0.8, nodes_before=1)
+        summary = summarize_trace(recorder.events)
+        assert summary["fidelity_estimate"] == pytest.approx(0.72)
+        assert summary["fidelity_spent"] == pytest.approx(0.28)
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary["num_operations"] == 0
+        assert summary["fidelity_spent"] == 0.0
+        assert summary["span_seconds"] == 0.0

@@ -210,3 +210,36 @@ class TestJobResult:
         )
         assert "ERROR" in error.summary()
         assert error.fidelity_estimate is None
+
+
+class TestJobLifecycleEvents:
+    def test_batch_emits_job_events_and_counters(self, store):
+        from repro.obs import Recorder, recording
+
+        engine = JobEngine(store, workers=1)
+        recorder = Recorder(enabled=True)
+        with recording(recorder):
+            engine.run_batch([_spec()])
+            engine.run_batch([_spec()])  # second run is served from cache
+        phases = [e["phase"] for e in recorder.events if e["event"] == "job"]
+        assert phases == ["queued", "started", "completed", "queued", "cached"]
+        assert recorder.counters["jobs.queued"] == 2
+        assert recorder.counters["jobs.started"] == 1
+        assert recorder.counters["jobs.completed"] == 1
+        assert recorder.counters["jobs.cached"] == 1
+
+    def test_error_job_emits_error_phase(self, store):
+        from repro.obs import Recorder, recording
+
+        recorder = Recorder(enabled=True)
+        with recording(recorder):
+            execute_job(_spec(circuit="builtin:nope"), store)
+        phases = [e["phase"] for e in recorder.events if e["event"] == "job"]
+        assert "error" in phases
+        assert recorder.counters["jobs.error"] == 1
+
+    def test_no_events_without_active_recorder(self, store):
+        from repro.obs import get_recorder
+
+        execute_job(_spec(), store, use_cache=False)
+        assert get_recorder().events == []

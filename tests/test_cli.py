@@ -319,3 +319,155 @@ class TestAnalyzeCommand:
         # GHZ: exactly two half-probability outcomes, 1 bit of entropy.
         assert "1.0000 bits" in output
         assert "0.5000" in output
+
+
+class TestMetricsFlag:
+    def test_run_with_metrics_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "builtin:qsup_2x2_4_0",
+                "--strategy",
+                "memory",
+                "--threshold",
+                "4",
+                "--round-fidelity",
+                "0.9",
+                "--metrics",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "wrote metrics report" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["format"] == "repro-metrics"
+        assert report["workload"] == "qsup_2x2_4_0"
+        assert report["peak_nodes"] > 0
+        assert len(report["node_trajectory"]) == report["num_operations"]
+        assert "mv" in report["cache"]["caches"]
+        assert report["fidelity"]["spent"] == pytest.approx(
+            1.0 - report["fidelity"]["estimate"]
+        )
+        assert sum(
+            stat["count"] for stat in report["gate_timing"].values()
+        ) == report["num_operations"]
+
+
+class TestTraceCommand:
+    def test_record_then_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "record",
+                "builtin:qsup_2x2_4_0",
+                "--strategy",
+                "memory",
+                "--threshold",
+                "4",
+                "--round-fidelity",
+                "0.9",
+                "-o",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        assert trace.exists()
+
+        code = main(["trace", "summary", str(trace)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "run_start" in output
+        assert "peak DD" in output
+        assert "f_final" in output
+
+    def test_summary_missing_file_exits_1(self, tmp_path, capsys):
+        code = main(["trace", "summary", str(tmp_path / "no.jsonl")])
+        assert code == 1
+        assert capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_writes_snapshot_and_self_gates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        code = main(
+            [
+                "bench",
+                "--workload",
+                "qsup_2x2_4_0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "wrote snapshot" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        assert snapshot["format"] == "repro-bench-snapshot"
+
+        # Gating a snapshot against itself always passes.
+        code = main(
+            [
+                "bench",
+                "--workload",
+                "qsup_2x2_4_0",
+                "--baseline",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_bench_flags_regression(self, tmp_path, capsys):
+        baseline = {
+            "format": "repro-bench-snapshot",
+            "version": 1,
+            "calibration_seconds": 1.0,
+            "workloads": [
+                {
+                    "workload": "qsup_2x2_4_0",
+                    "strategy": "exact",
+                    "peak_nodes": 1,
+                    "normalized_time": 1e-9,
+                }
+            ],
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        code = main(
+            [
+                "bench",
+                "--workload",
+                "qsup_2x2_4_0",
+                "--baseline",
+                str(path),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bench_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--workload",
+                "qsup_2x2_4_0",
+                "--baseline",
+                str(tmp_path / "no.json"),
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_bench_fills_strategy_defaults(self, capsys):
+        # Non-exact strategies have required constructor arguments; the
+        # bench command must supply its documented defaults.
+        code = main(["bench", "--workload", "qsup_2x2_4_0:memory"])
+        assert code == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_bench_unknown_workload_exits_2(self, capsys):
+        code = main(["bench", "--workload", "definitely_not_a_workload"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
