@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import os
 from collections import defaultdict
-from typing import Dict, List
 
 import pytest
 
@@ -21,7 +20,7 @@ class ReportCollector:
     """Accumulates text report sections keyed by experiment id."""
 
     def __init__(self):
-        self.sections: Dict[str, List[str]] = defaultdict(list)
+        self.sections: dict[str, list[str]] = defaultdict(list)
 
     def add(self, experiment: str, text: str) -> None:
         """Append a text block to an experiment's report."""

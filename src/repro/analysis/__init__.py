@@ -1,0 +1,63 @@
+"""Static and runtime analysis for the DD engine.
+
+Three layers of defense for the representation invariants the paper's
+correctness claims rest on (hash-consed uniqueness, norm-preserving
+normalization, tolerance-bucketed complex interning):
+
+* :mod:`repro.analysis.ddlint` — an AST linter with domain rules
+  (DD001–DD005) that rejects code shapes able to break the invariants;
+* :mod:`repro.analysis.baseline` — the ratchet that grandfathers
+  pre-existing findings in ``analysis/baseline.json`` and only lets the
+  count shrink;
+* :mod:`repro.analysis.ddsan` — DDSan, a runtime sanitizer mode
+  (``REPRO_DDSAN=1`` / ``repro-sim run --ddsan``) re-verifying the
+  invariants after every gate and approximation round.
+
+See ``docs/ANALYSIS.md`` for the rule catalog and workflows.
+"""
+
+from .baseline import (
+    RatchetReport,
+    baseline_key,
+    compare_to_baseline,
+    load_baseline,
+    summarize,
+    write_baseline,
+)
+from .ddlint import (
+    RULES,
+    LintError,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from .ddsan import (
+    Sanitizer,
+    SanitizerError,
+    audit_package,
+    check_operator_invariants,
+    collect_operator_violations,
+    ddsan_enabled,
+)
+
+__all__ = [
+    "RULES",
+    "LintError",
+    "RatchetReport",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+    "audit_package",
+    "baseline_key",
+    "check_operator_invariants",
+    "collect_operator_violations",
+    "compare_to_baseline",
+    "ddsan_enabled",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "summarize",
+    "write_baseline",
+]

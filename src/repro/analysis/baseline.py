@@ -1,0 +1,160 @@
+"""Baseline ratchet for ddlint findings.
+
+The linter was introduced into a living codebase, so it cannot start
+from zero: pre-existing findings (e.g. the intentional exact
+``weight == 0.0`` annihilator checks on the package hot paths) are
+*grandfathered* in a committed ``analysis/baseline.json``.  The ratchet
+rules are:
+
+* a file/rule pair may never have **more** findings than the baseline
+  records — new violations fail the build;
+* when findings are fixed, the baseline must be **re-committed smaller**
+  (``repro-sim lint --write-baseline``) — in strict mode (CI) a stale,
+  too-large baseline fails so improvements are locked in;
+* entries for vanished files or fully-fixed rules must be dropped.
+
+Baselines are keyed by ``<path>::<rule>`` with a count, not by line
+number: line-keyed baselines churn on every unrelated edit, while
+count-keyed ones only move when findings appear or disappear.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .ddlint import Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "RatchetReport",
+    "baseline_key",
+    "compare_to_baseline",
+    "load_baseline",
+    "summarize",
+    "write_baseline",
+]
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+
+def baseline_key(violation: Violation) -> str:
+    """Ratchet key for a violation: ``<path>::<rule>``."""
+    return f"{violation.path}::{violation.rule}"
+
+
+def summarize(violations: list[Violation]) -> dict[str, int]:
+    """Collapse violations to ``{key: count}`` ratchet form."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = baseline_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Load a committed baseline; a missing file is an empty baseline.
+
+    Raises:
+        ValueError: On a malformed or wrong-version document.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or "violations" not in document:
+        raise ValueError(f"baseline {path} lacks a 'violations' table")
+    if document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {document.get('version')!r}; "
+            f"this tool expects {BASELINE_VERSION}"
+        )
+    violations = document["violations"]
+    if not isinstance(violations, dict) or not all(
+        isinstance(key, str) and isinstance(count, int) and count > 0
+        for key, count in violations.items()
+    ):
+        raise ValueError(
+            f"baseline {path} violations must map '<path>::<rule>' to "
+            "positive counts"
+        )
+    return dict(violations)
+
+
+def write_baseline(violations: list[Violation], path: Path) -> dict[str, int]:
+    """Write the current findings as the new baseline; returns the table."""
+    counts = summarize(violations)
+    document = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "ddlint ratchet: grandfathered findings by '<path>::<rule>'. "
+            "Counts may only shrink; regenerate with "
+            "'repro-sim lint --write-baseline' after fixing findings."
+        ),
+        "violations": {key: counts[key] for key in sorted(counts)},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return counts
+
+
+@dataclass
+class RatchetReport:
+    """Outcome of comparing current findings against the baseline.
+
+    Attributes:
+        new: Keys whose current count exceeds the baseline (count delta).
+        fixed: Keys whose current count undercuts the baseline (delta),
+            including keys that vanished entirely — the baseline is
+            stale and should be re-committed smaller.
+        matched: Number of findings covered by the baseline.
+    """
+
+    new: dict[str, int] = field(default_factory=dict)
+    fixed: dict[str, int] = field(default_factory=dict)
+    matched: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when findings exactly match the committed baseline."""
+        return not self.new and not self.fixed
+
+    def describe(self) -> list[str]:
+        """Human-readable ratchet summary lines."""
+        lines: list[str] = []
+        for key in sorted(self.new):
+            lines.append(f"NEW {key}: +{self.new[key]} finding(s)")
+        for key in sorted(self.fixed):
+            lines.append(
+                f"FIXED {key}: -{self.fixed[key]} finding(s) — shrink the "
+                "baseline (repro-sim lint --write-baseline) and commit it"
+            )
+        return lines
+
+
+def compare_to_baseline(
+    violations: list[Violation], baseline: dict[str, int]
+) -> RatchetReport:
+    """Ratchet comparison of current findings against the baseline."""
+    current = summarize(violations)
+    report = RatchetReport()
+    for key, count in current.items():
+        allowed = baseline.get(key, 0)
+        if count > allowed:
+            report.new[key] = count - allowed
+        elif count < allowed:
+            report.fixed[key] = allowed - count
+        report.matched += min(count, allowed)
+    for key, allowed in baseline.items():
+        if key not in current:
+            report.fixed[key] = allowed
+    return report

@@ -1,0 +1,470 @@
+"""ddlint — domain-aware static analysis for the DD engine.
+
+A self-contained AST linter that enforces the *representation invariants*
+the paper's correctness arguments silently assume: norm contributions
+(Definition 2, §IV-A) and the multiplicative fidelity composition of
+Lemma 1 (§V) are only exact while nodes stay hash-consed, normalized,
+and compared through the tolerance-bucketed complex table of
+:mod:`repro.dd.ctable`.  Generic linters cannot see those rules; ddlint
+encodes them directly:
+
+========  ============================================================
+Rule      What it forbids
+========  ============================================================
+DD001     Constructing ``VNode``/``MNode`` outside ``repro.dd.package``
+          and ``repro.dd.node`` — bypasses hash-consing, so node
+          identity (and with it every unique-table and compute-cache
+          lookup) silently breaks.
+DD002     Exact ``==`` / ``!=`` comparisons against float or complex
+          literals outside ``repro.dd.ctable`` — amplitude math must go
+          through the tolerance helpers (``is_zero``, ``approx_equal``,
+          ``tolerance``), or rounding noise flips branches.
+DD003     Assigning to the ``level`` / ``edges`` attributes of node
+          objects outside the DD package — hash-consed nodes are
+          immutable by contract; mutation corrupts every diagram that
+          shares the node.
+DD004     Public functions in ``repro.dd`` / ``repro.core`` without
+          complete type annotations — the mypy strict ratchet only
+          bites where annotations exist.
+DD005     ``time.time()`` anywhere in the engine — duration measurement
+          must use ``time.perf_counter()`` (monotonic, higher
+          resolution), which is what the ``repro.obs`` timers consume.
+          Wall-clock *timestamping* sites carry an inline suppression.
+========  ============================================================
+
+Suppressions: a line may carry ``# ddlint: ignore[DD002]`` (comma
+separate several codes) to silence a finding with an auditable marker.
+Everything else goes through the baseline ratchet of
+:mod:`repro.analysis.baseline`: pre-existing findings are grandfathered,
+new ones fail, and fixes shrink the committed baseline.
+
+The linter depends only on the standard library so it can run before the
+package itself imports (and in CI before any dependency install).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
+
+__all__ = [
+    "LintError",
+    "Rule",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+
+class LintError(ValueError):
+    """Raised when a source file cannot be linted (syntax error)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule broken at a specific source location.
+
+    Attributes:
+        rule: Rule code (``DD001`` … ``DD005``).
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based source line.
+        col: 0-based column offset.
+        message: Human-readable description of the finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render as a conventional ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule's metadata (the catalog shown by ``lint --list-rules``)."""
+
+    code: str
+    summary: str
+    rationale: str
+
+
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            "DD001",
+            "no VNode/MNode construction outside repro.dd.{package,node}",
+            "direct construction bypasses hash-consing; node equality is "
+            "identity, so un-interned nodes break unique-table and "
+            "compute-cache lookups",
+        ),
+        Rule(
+            "DD002",
+            "no exact ==/!= against float or complex literals "
+            "(outside repro.dd.ctable)",
+            "amplitude comparisons must use the ctable tolerance helpers; "
+            "exact equality flips on rounding noise",
+        ),
+        Rule(
+            "DD003",
+            "no assignment to node attributes (level/edges) outside "
+            "repro.dd.{package,node}",
+            "hash-consed nodes are shared and immutable by contract; "
+            "mutating one corrupts every diagram that references it",
+        ),
+        Rule(
+            "DD004",
+            "public functions in repro.dd / repro.core must be fully "
+            "type-annotated",
+            "the mypy strict ratchet for the engine packages only checks "
+            "what is annotated",
+        ),
+        Rule(
+            "DD005",
+            "no time.time() in engine code (use time.perf_counter())",
+            "durations feed repro.obs timers and the benchmark gate; "
+            "time.time() is neither monotonic nor high-resolution",
+        ),
+    )
+}
+
+#: Modules allowed to construct and mutate nodes (the hash-consing core).
+_NODE_PRIVILEGED = ("repro.dd.package", "repro.dd.node")
+
+#: Module allowed to compare floats exactly (it defines the tolerance).
+_CTABLE = "repro.dd.ctable"
+
+#: Packages whose public API must be fully annotated (DD004).
+_ANNOTATED_PACKAGES = ("repro.dd", "repro.core")
+
+#: Attribute names that identify a hash-consed node mutation (DD003).
+_NODE_ATTRS = frozenset({"level", "edges"})
+
+_SUPPRESS_RE = re.compile(r"ddlint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+def module_name_for(path: str) -> str:
+    """Derive the dotted module name from a repo-relative file path.
+
+    ``src/repro/dd/package.py`` → ``repro.dd.package``;  paths outside a
+    ``repro`` tree are returned with slashes replaced by dots (good
+    enough for exemption matching, which only targets ``repro.*``).
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _suppressed_codes(source: str) -> dict[int, set[str]]:
+    """Map line numbers to rule codes suppressed by inline comments."""
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            suppressed.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenizeError:  # pragma: no cover - ast parsed already
+        pass
+    return suppressed
+
+
+def _is_float_or_complex_literal(node: ast.expr) -> bool:
+    """True for literals like ``0.0``, ``1e-6``, ``1j``, ``-0.5``.
+
+    Complex literals spelled as arithmetic on numeric constants
+    (``1 + 0j``, ``-1 - 0j``) count too: Python has no single-token
+    complex literal with a real part, so that spelling is the idiom.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        return _is_numeric_literal(node.left) and _is_float_or_complex_literal(
+            node.right
+        )
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (float, complex)
+    ) and not isinstance(node.value, bool)
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    """True for any int/float/complex constant (sign included)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float, complex)
+    ) and not isinstance(node.value, bool)
+
+
+def _call_target_name(node: ast.Call) -> str | None:
+    """Return the bare callee name for ``Name(...)`` / ``mod.Name(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor collecting violations for one module."""
+
+    def __init__(self, path: str, module: str):
+        self.path = path
+        self.module = module
+        self.violations: list[Violation] = []
+        self._node_privileged = any(
+            module == exempt for exempt in _NODE_PRIVILEGED
+        )
+        self._ctable_exempt = module == _CTABLE
+        self._wants_annotations = any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in _ANNOTATED_PACKAGES
+        )
+        self._depth = 0  # function-nesting depth, for DD004 scoping
+
+    # -- helpers -----------------------------------------------------------
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- DD001: node construction -----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._node_privileged:
+            name = _call_target_name(node)
+            if name in ("VNode", "MNode"):
+                self._report(
+                    "DD001",
+                    node,
+                    f"direct {name}(...) construction bypasses hash-consing; "
+                    "build nodes through Package.make_vedge/make_medge",
+                )
+        # DD005: time.time() calls
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._report(
+                "DD005",
+                node,
+                "time.time() is not monotonic; use time.perf_counter() "
+                "for durations (repro.obs timers expect it)",
+            )
+        self.generic_visit(node)
+
+    # -- DD002: exact float/complex comparison ----------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if not self._ctable_exempt:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_or_complex_literal(
+                    left
+                ) or _is_float_or_complex_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    self._report(
+                        "DD002",
+                        node,
+                        f"exact {symbol} against a float/complex literal; "
+                        "use repro.dd.ctable helpers (is_zero, approx_equal) "
+                        "or an explicit tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- DD003: node attribute mutation -----------------------------------
+
+    def _check_attr_targets(self, node: ast.AST, targets: list[ast.expr]) -> None:
+        if self._node_privileged:
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _NODE_ATTRS
+            ):
+                self._report(
+                    "DD003",
+                    node,
+                    f"assignment to .{target.attr} mutates a hash-consed "
+                    "node; diagrams sharing it are corrupted — rebuild "
+                    "through the package instead",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_attr_targets(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attr_targets(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_attr_targets(node, [node.target])
+        self.generic_visit(node)
+
+    # -- DD004: public annotation coverage --------------------------------
+
+    def _check_signature(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if (
+            not self._wants_annotations
+            or self._depth > 0  # nested helpers are implementation detail
+            or node.name.startswith("_")
+        ):
+            return
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        # `self` / `cls` never need annotations.
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        missing = [
+            arg.arg
+            for arg in (
+                positional
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+            if arg.annotation is None
+        ]
+        if missing:
+            self._report(
+                "DD004",
+                node,
+                f"public function {node.name!r} has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if node.returns is None:
+            self._report(
+                "DD004",
+                node,
+                f"public function {node.name!r} has no return annotation",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_signature(node)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_signature(node)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Methods of a top-level class are public API: do not bump depth
+        # for the class body itself (only for nested defs inside methods).
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str) -> list[Violation]:
+    """Lint one module's source text.
+
+    Args:
+        source: The module's source code.
+        path: Repo-relative POSIX path (used for messages and for the
+            module-based rule exemptions).
+
+    Returns:
+        All non-suppressed violations, ordered by position.
+
+    Raises:
+        LintError: If the source does not parse.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintError(f"{path}: {error}") from error
+    checker = _Checker(path, module_name_for(path))
+    checker.visit(tree)
+    suppressed = _suppressed_codes(source)
+    findings = [
+        violation
+        for violation in checker.violations
+        if violation.rule not in suppressed.get(violation.line, ())
+    ]
+    findings.sort(key=lambda v: (v.line, v.col, v.rule))
+    return findings
+
+
+def lint_file(file_path: Path, root: Path) -> list[Violation]:
+    """Lint one file, reporting paths relative to ``root``."""
+    relative = file_path.resolve().relative_to(root.resolve()).as_posix()
+    return lint_source(file_path.read_text(encoding="utf-8"), relative)
+
+
+def lint_paths(
+    paths: list[Path] | tuple[Path, ...], root: Path | None = None
+) -> list[Violation]:
+    """Lint every ``.py`` file under the given paths.
+
+    Args:
+        paths: Files or directories to lint (directories recurse).
+        root: Directory violations are reported relative to (defaults to
+            the current working directory).
+
+    Returns:
+        All violations, sorted by path then position.
+    """
+    base = (root or Path.cwd()).resolve()
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    violations: list[Violation] = []
+    for file_path in files:
+        violations.extend(lint_file(file_path, base))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

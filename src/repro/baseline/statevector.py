@@ -9,7 +9,7 @@ for tests and the comparator in the baseline benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -140,8 +140,8 @@ class StatevectorSimulator:
         return np.abs(self.state) ** 2
 
     def sample(
-        self, shots: int, rng: Optional[np.random.Generator] = None
-    ) -> Dict[int, int]:
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> dict[int, int]:
         """Sample measurement outcomes from the current state."""
         if shots <= 0:
             raise ValueError("shots must be positive")
@@ -151,7 +151,7 @@ class StatevectorSimulator:
         outcomes = generator.choice(
             probabilities.size, size=shots, p=probabilities
         )
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
         for outcome in outcomes:
             counts[int(outcome)] = counts.get(int(outcome), 0) + 1
         return counts

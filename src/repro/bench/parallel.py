@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import tempfile
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from ..service.engine import JobEngine, JobResult
 from ..service.jobs import JobSpec, build_strategy
@@ -42,8 +41,8 @@ class RunSpec:
     workload_kind: str
     workload_args: Tuple
     strategy_kind: str = "exact"
-    strategy_args: Tuple[Tuple[str, float], ...] = ()
-    max_seconds: Optional[float] = None
+    strategy_args: tuple[tuple[str, float], ...] = ()
+    max_seconds: float | None = None
 
     def build_workload(self) -> Workload:
         """Instantiate the workload described by this spec."""
@@ -88,8 +87,8 @@ def _record_from_job(result: JobResult) -> RunRecord:
 
 
 def run_parallel(
-    specs: List[RunSpec], processes: int = 2
-) -> List[RunRecord]:
+    specs: list[RunSpec], processes: int = 2
+) -> list[RunRecord]:
     """Execute run specs across the job engine, preserving order.
 
     Deprecated compatibility wrapper (see the module docstring): runs

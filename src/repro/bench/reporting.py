@@ -9,7 +9,7 @@ row, a paper-vs-measured appendix used to fill EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from .runner import ComparisonResult
 
@@ -27,21 +27,21 @@ _COLUMNS = (
 )
 
 
-def _format_runtime(seconds: Optional[float]) -> str:
+def _format_runtime(seconds: float | None) -> str:
     if seconds is None:
         return "Timeout"
     return f"{seconds:.2f}"
 
 
-def _format_count(value: Optional[int]) -> str:
+def _format_count(value: int | None) -> str:
     if value is None:
         return "-"
     return f"{value:,}".replace(",", " ")
 
 
-def comparison_rows(result: ComparisonResult) -> List[List[str]]:
+def comparison_rows(result: ComparisonResult) -> list[list[str]]:
     """Expand one comparison into formatted table rows."""
-    rows: List[List[str]] = []
+    rows: list[list[str]] = []
     exact = result.exact
     for index, approx in enumerate(result.approximate):
         speedup = result.speedup(index)
@@ -100,7 +100,7 @@ def format_table(results: Sequence[ComparisonResult], title: str) -> str:
 
 def paper_comparison(results: Sequence[ComparisonResult]) -> str:
     """Render paper-vs-measured lines for workloads with paper rows."""
-    lines: List[str] = []
+    lines: list[str] = []
     for result in results:
         paper = result.workload.paper_row
         if paper is None:

@@ -9,7 +9,7 @@ for the paper's 3-hour experiment cutoff.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -47,11 +47,11 @@ class RunRecord:
     qubits: int
     max_dd_size: int
     rounds: int
-    round_fidelity: Optional[float]
-    runtime_seconds: Optional[float]
+    round_fidelity: float | None
+    runtime_seconds: float | None
     final_fidelity: float
     timed_out: bool = False
-    outcome: Optional[SimulationOutcome] = None
+    outcome: SimulationOutcome | None = None
 
 
 @dataclass
@@ -60,9 +60,9 @@ class ComparisonResult:
 
     workload: Workload
     exact: RunRecord
-    approximate: List[RunRecord] = field(default_factory=list)
+    approximate: list[RunRecord] = field(default_factory=list)
 
-    def speedup(self, index: int = 0) -> Optional[float]:
+    def speedup(self, index: int = 0) -> float | None:
         """Exact runtime divided by the ``index``-th approximate runtime."""
         approx = self.approximate[index]
         if (
@@ -76,10 +76,10 @@ class ComparisonResult:
 
 def run_workload(
     workload: Workload,
-    strategy: Optional[ApproximationStrategy] = None,
-    package: Optional[Package] = None,
-    max_seconds: Optional[float] = None,
-    round_fidelity: Optional[float] = None,
+    strategy: ApproximationStrategy | None = None,
+    package: Package | None = None,
+    max_seconds: float | None = None,
+    round_fidelity: float | None = None,
 ) -> RunRecord:
     """Run one workload under one strategy, tolerating timeouts."""
     circuit = workload.build()
@@ -120,8 +120,8 @@ def run_workload(
 def compare_strategies(
     workload: Workload,
     strategies: Sequence[tuple[ApproximationStrategy, float]],
-    package: Optional[Package] = None,
-    max_seconds: Optional[float] = None,
+    package: Package | None = None,
+    max_seconds: float | None = None,
 ) -> ComparisonResult:
     """Run exact plus each ``(strategy, f_round)`` configuration.
 
@@ -151,7 +151,7 @@ def compare_strategies(
 
 def factor_check(
     record: RunRecord, workload: Workload, shots: int = 1000, seed: int = 0
-) -> Optional[ShorResult]:
+) -> ShorResult | None:
     """Validate that a Shor run's final state still factors (§VI).
 
     Returns None for non-Shor workloads or timed-out runs.

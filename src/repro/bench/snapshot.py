@@ -24,7 +24,7 @@ import json
 import os
 import platform
 import time
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.simulator import simulate
 from ..dd.package import Package
@@ -62,7 +62,7 @@ def calibration_seconds(repeats: int = 3) -> float:
     best = float("inf")
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        table: Dict[tuple, complex] = {}
+        table: dict[tuple, complex] = {}
         acc = complex(1.0, 0.0)
         for i in range(40000):
             key = (i & 1023, (i * 7) & 1023)
@@ -127,7 +127,7 @@ def _run_one(entry: dict, repeats: int = 3) -> dict:
 
 
 def run_snapshot(
-    entries: Optional[Sequence[dict]] = None,
+    entries: Sequence[dict] | None = None,
     calibration_repeats: int = 3,
     workload_repeats: int = 3,
 ) -> dict:
@@ -169,7 +169,7 @@ def compare_snapshots(
     current: dict,
     baseline: dict,
     tolerance: float = DEFAULT_TOLERANCE,
-) -> List[str]:
+) -> list[str]:
     """Gate ``current`` against ``baseline``; return violation messages.
 
     A workload row regresses when its peak node count or its
@@ -183,7 +183,7 @@ def compare_snapshots(
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
-    violations: List[str] = []
+    violations: list[str] = []
     current_rows = {_key(row): row for row in current.get("workloads", [])}
     for base_row in baseline.get("workloads", []):
         key = _key(base_row)
@@ -226,7 +226,7 @@ def load_snapshot(path: str) -> dict:
     Raises:
         ValueError: When the file is not a snapshot document.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     if document.get("format") != SNAPSHOT_FORMAT:
         raise ValueError(

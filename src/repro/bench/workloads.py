@@ -9,7 +9,7 @@ paper-vs-measured side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from collections.abc import Callable
 
 from ..circuits.circuit import Circuit
 from ..circuits.shor import shor_circuit
@@ -35,8 +35,8 @@ class PaperRow:
 
     name: str
     qubits: int
-    exact_max_dd: Optional[int]
-    exact_runtime: Optional[float]
+    exact_max_dd: int | None
+    exact_runtime: float | None
     approx_max_dd: int
     rounds: int
     round_fidelity: float
@@ -62,14 +62,14 @@ class Workload:
     name: str
     build: Callable[[], Circuit]
     family: str
-    paper_row: Optional[PaperRow] = None
-    shor_modulus: Optional[int] = None
-    shor_base: Optional[int] = None
+    paper_row: PaperRow | None = None
+    shor_modulus: int | None = None
+    shor_base: int | None = None
     notes: str = ""
 
 
 #: Fidelity-driven rows of Table I (paper values, for report comparison).
-PAPER_SHOR_ROWS: Dict[str, PaperRow] = {
+PAPER_SHOR_ROWS: dict[str, PaperRow] = {
     row.name: row
     for row in (
         PaperRow("shor_33_5", 18, 73736, 0.50, 8135, 6, 0.9, 0.33, 0.567),
@@ -83,7 +83,7 @@ PAPER_SHOR_ROWS: Dict[str, PaperRow] = {
 }
 
 #: Memory-driven rows of Table I (one representative configuration each).
-PAPER_SUPREMACY_ROWS: Dict[str, PaperRow] = {
+PAPER_SUPREMACY_ROWS: dict[str, PaperRow] = {
     row.name: row
     for row in (
         PaperRow(
@@ -140,7 +140,7 @@ def supremacy_workload(
 
 #: Default fidelity-driven suite: the paper's two smallest rows verbatim
 #: plus scaled-down companions that keep total bench time laptop-friendly.
-DEFAULT_SHOR_SUITE: Tuple[Workload, ...] = (
+DEFAULT_SHOR_SUITE: tuple[Workload, ...] = (
     shor_workload(15, 2),
     shor_workload(15, 7),
     shor_workload(21, 2),
@@ -149,13 +149,13 @@ DEFAULT_SHOR_SUITE: Tuple[Workload, ...] = (
 )
 
 #: Extended suite for longer runs (matches more paper rows).
-EXTENDED_SHOR_SUITE: Tuple[Workload, ...] = DEFAULT_SHOR_SUITE + (
+EXTENDED_SHOR_SUITE: tuple[Workload, ...] = DEFAULT_SHOR_SUITE + (
     shor_workload(69, 2),
 )
 
 #: Default memory-driven suite: same generation rules as the paper's
 #: circuits on grids a pure-Python DD engine can carry.
-DEFAULT_SUPREMACY_SUITE: Tuple[Workload, ...] = (
+DEFAULT_SUPREMACY_SUITE: tuple[Workload, ...] = (
     supremacy_workload(3, 3, 12, 0),
     supremacy_workload(3, 3, 12, 1),
     supremacy_workload(3, 3, 12, 2),
@@ -163,6 +163,6 @@ DEFAULT_SUPREMACY_SUITE: Tuple[Workload, ...] = (
 )
 
 #: Extended memory-driven suite (slower, closer to paper scale).
-EXTENDED_SUPREMACY_SUITE: Tuple[Workload, ...] = DEFAULT_SUPREMACY_SUITE + (
+EXTENDED_SUPREMACY_SUITE: tuple[Workload, ...] = DEFAULT_SUPREMACY_SUITE + (
     supremacy_workload(4, 4, 10, 0),
 )

@@ -10,7 +10,7 @@ ripple-carry adder (Cuccaro et al.) exercising deep Toffoli networks.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .circuit import Circuit
 from .qft import append_qft
@@ -44,7 +44,7 @@ def bernstein_vazirani_circuit(num_qubits: int, secret: int) -> Circuit:
 
 
 def deutsch_jozsa_circuit(
-    num_qubits: int, balanced_mask: Optional[int] = None
+    num_qubits: int, balanced_mask: int | None = None
 ) -> Circuit:
     """Distinguish constant from balanced oracles with one query.
 

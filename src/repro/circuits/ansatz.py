@@ -11,7 +11,7 @@ on top of the DD simulator and its approximation strategies.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from .circuit import Circuit
 
@@ -83,7 +83,7 @@ def hardware_efficient_ansatz(
 
 def transverse_field_ising_hamiltonian(
     num_qubits: int, coupling: float, field: float
-) -> List[tuple[float, str]]:
+) -> list[tuple[float, str]]:
     """Pauli terms of the 1-D transverse-field Ising model (open chain).
 
     .. math::
@@ -97,7 +97,7 @@ def transverse_field_ising_hamiltonian(
     """
     if num_qubits < 2:
         raise ValueError("the chain needs at least two qubits")
-    terms: List[tuple[float, str]] = []
+    terms: list[tuple[float, str]] = []
     for site in range(num_qubits - 1):
         letters = ["I"] * num_qubits
         letters[num_qubits - 1 - site] = "Z"

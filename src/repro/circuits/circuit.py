@@ -18,7 +18,7 @@ single-qubit registry:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 from .gates import GATE_REGISTRY, inverse_gate
 
@@ -41,9 +41,9 @@ class Operation:
     """
 
     gate: str
-    targets: Tuple[int, ...]
-    controls: Tuple[int, ...] = ()
-    params: Tuple[float, ...] = ()
+    targets: tuple[int, ...]
+    controls: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.gate not in GATE_REGISTRY and self.gate not in PSEUDO_GATES:
@@ -136,9 +136,9 @@ class Circuit:
             raise ValueError("num_qubits must be positive")
         self.num_qubits = num_qubits
         self.name = name
-        self._operations: List[Operation] = []
-        self._blocks: List[Block] = []
-        self._open_block: Optional[tuple[str, int]] = None
+        self._operations: list[Operation] = []
+        self._blocks: list[Block] = []
+        self._open_block: tuple[str, int] | None = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -154,12 +154,12 @@ class Circuit:
         return self._operations[index]
 
     @property
-    def operations(self) -> Tuple[Operation, ...]:
+    def operations(self) -> tuple[Operation, ...]:
         """The operations as an immutable snapshot."""
         return tuple(self._operations)
 
     @property
-    def blocks(self) -> Tuple[Block, ...]:
+    def blocks(self) -> tuple[Block, ...]:
         """The annotated blocks as an immutable snapshot."""
         return tuple(self._blocks)
 
@@ -373,7 +373,7 @@ class Circuit:
         self._open_block = None
         return self
 
-    def block_boundaries(self) -> List[int]:
+    def block_boundaries(self) -> list[int]:
         """Operation indices at which annotated blocks end.
 
         These are the paper's preferred locations for approximation rounds
@@ -397,7 +397,7 @@ class Circuit:
             )
         return inverted
 
-    def subcircuit(self, start: int, end: Optional[int] = None) -> "Circuit":
+    def subcircuit(self, start: int, end: int | None = None) -> "Circuit":
         """Return the operations in ``[start, end)`` as a new circuit.
 
         Block annotations fully contained in the range are preserved

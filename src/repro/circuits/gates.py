@@ -17,7 +17,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -153,7 +153,7 @@ class GateSpec:
     param_negate: bool = False
 
 
-GATE_REGISTRY: Dict[str, GateSpec] = {
+GATE_REGISTRY: dict[str, GateSpec] = {
     spec.name: spec
     for spec in (
         GateSpec("id", 0, identity_matrix, self_inverse=True),
@@ -178,7 +178,7 @@ GATE_REGISTRY: Dict[str, GateSpec] = {
 GATE_REGISTRY["u"] = GateSpec("u", 3, u_matrix)
 
 
-def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
     """Look up a gate by name and build its matrix.
 
     Args:
@@ -200,7 +200,7 @@ def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
     return spec.factory(*params)
 
 
-def inverse_gate(name: str, params: Tuple[float, ...]) -> tuple[str, Tuple[float, ...]]:
+def inverse_gate(name: str, params: tuple[float, ...]) -> tuple[str, tuple[float, ...]]:
     """Return ``(name, params)`` of the inverse of a registered gate."""
     spec = GATE_REGISTRY.get(name)
     if spec is None:

@@ -11,7 +11,6 @@ contrast workload for the approximation benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from .circuit import Circuit
 
@@ -58,7 +57,7 @@ def append_diffusion(circuit: Circuit) -> Circuit:
 def grover_circuit(
     num_qubits: int,
     marked: int,
-    iterations: Optional[int] = None,
+    iterations: int | None = None,
 ) -> Circuit:
     """Build a Grover search circuit for one marked element.
 

@@ -24,7 +24,7 @@ the bottom of the ``A`` chain replaced by a *permutation diagram* encoding
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ _PROJ_ONE = np.array([[0, 0], [0, 1]], dtype=complex)
 def _kron_chain(
     package: Package,
     num_qubits: int,
-    factors: Dict[int, np.ndarray],
+    factors: dict[int, np.ndarray],
     bottom: MEdge = (complex(1.0), None),
     bottom_levels: int = 0,
 ) -> MEdge:
@@ -75,7 +75,7 @@ def _kron_chain(
 
 
 def permutation_medge(
-    package: Package, num_qubits: int, mapping: Dict[int, int]
+    package: Package, num_qubits: int, mapping: dict[int, int]
 ) -> MEdge:
     """Build the permutation matrix diagram for ``column -> row`` pairs.
 
@@ -115,7 +115,7 @@ def permutation_medge(
 
 def modular_multiplication_mapping(
     multiplier: int, modulus: int, num_bits: int
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Return the permutation of ``|x>`` to ``|a*x mod N>``.
 
     Values ``x >= modulus`` are fixed points, keeping the map a bijection
@@ -219,7 +219,7 @@ def operation_to_medge(
 def operation_to_operator(
     operation: Operation,
     num_qubits: int,
-    package: Optional[Package] = None,
+    package: Package | None = None,
 ) -> OperatorDD:
     """Lower one IR operation to an :class:`OperatorDD`."""
     pkg = package or default_package()
@@ -229,7 +229,7 @@ def operation_to_operator(
 
 
 def circuit_operators(
-    circuit: Circuit, package: Optional[Package] = None
+    circuit: Circuit, package: Package | None = None
 ) -> Iterator[OperatorDD]:
     """Yield the operator diagram of each operation, in circuit order."""
     pkg = package or default_package()
@@ -238,7 +238,7 @@ def circuit_operators(
 
 
 def circuit_unitary(
-    circuit: Circuit, package: Optional[Package] = None
+    circuit: Circuit, package: Package | None = None
 ) -> OperatorDD:
     """Multiply out the whole circuit into a single operator diagram.
 

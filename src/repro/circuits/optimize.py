@@ -26,7 +26,6 @@ phenomenon the paper describes.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
 
 from .circuit import Circuit, Operation
 
@@ -87,7 +86,7 @@ def _is_trivial(operation: Operation) -> bool:
     return False
 
 
-def _merge_rotations(a: Operation, b: Operation) -> Optional[Operation]:
+def _merge_rotations(a: Operation, b: Operation) -> Operation | None:
     if (
         a.gate in _ADDITIVE_ROTATIONS
         and a.gate == b.gate
@@ -114,12 +113,12 @@ def optimize_circuit(circuit: Circuit, max_passes: int = 16) -> Circuit:
         A new, annotation-free circuit implementing the same unitary with
         at most as many operations.
     """
-    operations: List[Operation] = [
+    operations: list[Operation] = [
         op for op in circuit if not _is_trivial(op)
     ]
     for _ in range(max_passes):
         changed = False
-        output: List[Operation] = []
+        output: list[Operation] = []
         index = 0
         while index < len(operations):
             current = operations[index]

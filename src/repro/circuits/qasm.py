@@ -20,7 +20,7 @@ import math
 import operator
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from .circuit import Circuit, Operation
 
@@ -96,7 +96,7 @@ class GateDefinition:
 
 
 def _evaluate_parameter(
-    expression: str, environment: Optional[dict] = None
+    expression: str, environment: dict | None = None
 ) -> float:
     """Safely evaluate a QASM parameter expression.
 
@@ -134,7 +134,7 @@ def _emit_call(
     name: str,
     params: Sequence[float],
     qubits: Sequence[int],
-    definitions: Dict[str, GateDefinition],
+    definitions: dict[str, GateDefinition],
     depth: int = 0,
 ) -> None:
     """Append one (possibly user-defined) gate call to ``circuit``."""
@@ -152,8 +152,8 @@ def _emit_call(
                 f"gate {name!r} expects {len(definition.qubits)} qubits, "
                 f"got {len(qubits)}"
             )
-        parameter_env = dict(zip(definition.params, params))
-        qubit_env = dict(zip(definition.qubits, qubits))
+        parameter_env = dict(zip(definition.params, params, strict=True))
+        qubit_env = dict(zip(definition.qubits, qubits, strict=True))
         for statement in definition.body.split(";"):
             statement = statement.strip()
             if not statement:
@@ -223,16 +223,16 @@ def parse_qasm(text: str, name: str = "qasm") -> Circuit:
     Raises:
         QasmError: On syntax errors, unknown gates, or missing ``qreg``.
     """
-    stripped_lines: List[str] = []
+    stripped_lines: list[str] = []
     for raw_line in text.splitlines():
         line = raw_line.split("//", 1)[0].strip()
         if line:
             stripped_lines.append(line)
     source = " ".join(stripped_lines)
 
-    circuit: Optional[Circuit] = None
-    register: Optional[str] = None
-    definitions: Dict[str, GateDefinition] = {}
+    circuit: Circuit | None = None
+    register: str | None = None
+    definitions: dict[str, GateDefinition] = {}
     position = 0
     header = _HEADER_RE.match(source)
     if header:

@@ -15,7 +15,7 @@ which is what DD simulators often do to save the swap gates).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from .circuit import Circuit
 

@@ -10,7 +10,7 @@ circuits of the paper live in :mod:`repro.circuits.supremacy`.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from .circuit import Circuit
 from .qft import append_qft
@@ -66,7 +65,7 @@ class ShorLayout:
 
 
 def shor_layout(
-    modulus: int, base: int, counting_bits: Optional[int] = None
+    modulus: int, base: int, counting_bits: int | None = None
 ) -> ShorLayout:
     """Validate inputs and compute the register layout.
 
@@ -94,7 +93,7 @@ def shor_layout(
 def shor_circuit(
     modulus: int,
     base: int,
-    counting_bits: Optional[int] = None,
+    counting_bits: int | None = None,
 ) -> Circuit:
     """Build the full period-finding circuit ``shor_<N>_<a>``.
 
@@ -134,7 +133,7 @@ def shor_circuit(
 
 
 def modular_exponentiation_only(
-    modulus: int, base: int, counting_bits: Optional[int] = None
+    modulus: int, base: int, counting_bits: int | None = None
 ) -> Circuit:
     """The circuit up to (excluding) the inverse QFT — useful for staging."""
     full = shor_circuit(modulus, base, counting_bits)

@@ -31,14 +31,13 @@ identifiers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .circuit import Circuit
 
 #: Cycle order of the eight coupler patterns (kind, stagger-index).
-_PATTERN_ORDER: Tuple[Tuple[str, int], ...] = (
+_PATTERN_ORDER: tuple[tuple[str, int], ...] = (
     ("h", 0),
     ("h", 2),
     ("v", 0),
@@ -68,7 +67,7 @@ class Grid:
             raise ValueError(f"({row}, {col}) outside {self.rows}x{self.cols}")
         return row * self.cols + col
 
-    def horizontal_edges(self) -> List[Tuple[int, int, int]]:
+    def horizontal_edges(self) -> list[tuple[int, int, int]]:
         """All ``(row, col, col+1)`` horizontal couplings."""
         return [
             (r, c, c + 1)
@@ -76,7 +75,7 @@ class Grid:
             for c in range(self.cols - 1)
         ]
 
-    def vertical_edges(self) -> List[Tuple[int, int, int]]:
+    def vertical_edges(self) -> list[tuple[int, int, int]]:
         """All ``(row, row+1, col)`` vertical couplings."""
         return [
             (r, r + 1, c)
@@ -85,7 +84,7 @@ class Grid:
         ]
 
 
-def cz_layer(grid: Grid, cycle: int) -> List[Tuple[int, int]]:
+def cz_layer(grid: Grid, cycle: int) -> list[tuple[int, int]]:
     """Return the CZ qubit pairs activated in clock cycle ``cycle`` (>= 1).
 
     Pattern selection follows the staggered eight-cycle schedule described
@@ -94,7 +93,7 @@ def cz_layer(grid: Grid, cycle: int) -> List[Tuple[int, int]]:
     if cycle < 1:
         raise ValueError("CZ layers start at cycle 1")
     kind, stagger = _PATTERN_ORDER[(cycle - 1) % len(_PATTERN_ORDER)]
-    pairs: List[Tuple[int, int]] = []
+    pairs: list[tuple[int, int]] = []
     if kind == "h":
         for r, c1, c2 in grid.horizontal_edges():
             if (c1 + 2 * r) % 4 == stagger:
@@ -141,7 +140,7 @@ def supremacy_circuit(
     circuit.end_block()
 
     #: Last single-qubit gate per qubit (None = only the initial H so far).
-    last_single: Dict[int, Optional[str]] = {
+    last_single: dict[int, str | None] = {
         q: None for q in range(grid.num_qubits)
     }
     previous_cz_qubits: set[int] = set()

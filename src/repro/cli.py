@@ -15,6 +15,10 @@ Subcommands:
 * ``bench`` — produce a machine-readable benchmark snapshot
   (``BENCH_*.json``) and optionally gate it against a committed
   baseline (the CI ``bench-smoke`` job).
+* ``lint`` — run the domain-aware ddlint rules (DD001–DD005) over the
+  source tree and enforce the ``analysis/baseline.json`` ratchet:
+  grandfathered findings pass, new findings fail, fixed findings
+  require re-committing a smaller baseline (``--write-baseline``).
 * ``shor`` — factor a number end to end (full circuit, or
   ``--semiclassical`` for the single-control-qubit formulation).
 * ``equiv`` — DD-based unitary equivalence check of two circuits.
@@ -30,6 +34,8 @@ Examples::
 
     repro-sim run circuit.qasm --strategy memory --threshold 4096
     repro-sim run builtin:shor_15_2 --metrics out.json
+    repro-sim run builtin:grover_7 --ddsan
+    repro-sim lint && repro-sim lint --list-rules
     repro-sim trace record builtin:qsup_2x2_8_0 -o trace.jsonl
     repro-sim trace summary trace.jsonl
     repro-sim bench --out BENCH_smoke.json \
@@ -48,7 +54,6 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
 
 import numpy as np
 
@@ -120,16 +125,18 @@ def _load_circuit(source: str):
         try:
             return build_builtin_circuit(source[len("builtin:"):])
         except ValueError as error:
-            raise SystemExit(str(error))
+            raise SystemExit(str(error)) from error
     try:
-        with open(source, "r", encoding="utf-8") as handle:
+        with open(source, encoding="utf-8") as handle:
             text = handle.read()
     except OSError as error:
-        raise SystemExit(f"cannot read circuit {source!r}: {error}")
+        raise SystemExit(
+            f"cannot read circuit {source!r}: {error}"
+        ) from error
     return parse_qasm(text, name=source)
 
 
-def _instrumented_simulate(circuit, strategy, max_seconds=None):
+def _instrumented_simulate(circuit, strategy, max_seconds=None, ddsan=None):
     """Simulate under a fresh recorder + metrics-counting package.
 
     Returns ``(outcome, recorder, package)``; used by ``run --metrics``
@@ -148,22 +155,37 @@ def _instrumented_simulate(circuit, strategy, max_seconds=None):
             record_trajectory=True,
             max_seconds=max_seconds,
             recorder=recorder,
+            ddsan=ddsan,
         )
     return outcome, recorder, package
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis import SanitizerError
+
     circuit = _load_circuit(args.circuit)
     strategy = _build_strategy(args)
+    ddsan = True if args.ddsan else None  # None defers to REPRO_DDSAN
     try:
         if args.metrics:
             outcome, recorder, package = _instrumented_simulate(
-                circuit, strategy, max_seconds=args.timeout or None
+                circuit,
+                strategy,
+                max_seconds=args.timeout or None,
+                ddsan=ddsan,
             )
         else:
             outcome = simulate(
-                circuit, strategy, max_seconds=args.timeout or None
+                circuit,
+                strategy,
+                max_seconds=args.timeout or None,
+                ddsan=ddsan,
             )
+    except SanitizerError as violation:
+        print(f"DDSAN VIOLATION: {violation}", file=sys.stderr)
+        for problem in violation.problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 3
     except SimulationTimeout as timeout:
         print(f"TIMEOUT after {timeout.stats.runtime_seconds:.2f}s")
         print(timeout.stats.summary())
@@ -592,6 +614,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        RULES,
+        LintError,
+        compare_to_baseline,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+    from .analysis.baseline import baseline_key
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}  {rule.summary}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    paths = [Path(token) for token in (args.paths or ["src/repro"])]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(
+            f"error: no such path(s): {', '.join(missing)} "
+            "(run from the repository root)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        violations = lint_paths(paths)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        counts = write_baseline(violations, Path(args.baseline))
+        print(
+            f"wrote {args.baseline}: {sum(counts.values())} grandfathered "
+            f"finding(s) across {len(counts)} file/rule pair(s)"
+        )
+        return 0
+
+    if args.no_ratchet:
+        for violation in violations:
+            print(violation.format())
+        print(f"{len(violations)} finding(s)")
+        return 1 if violations else 0
+
+    try:
+        baseline = load_baseline(Path(args.baseline))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = compare_to_baseline(violations, baseline)
+    if report.new:
+        print("ddlint: new findings (not in the baseline):")
+        for violation in violations:
+            if baseline_key(violation) in report.new:
+                print(f"  {violation.format()}")
+    for line in report.describe():
+        print(line, file=sys.stderr)
+    if report.new:
+        return 1
+    if report.fixed:
+        if args.strict:
+            print(
+                "ddlint: baseline is stale (findings were fixed) — "
+                "re-commit it with 'repro-sim lint --write-baseline'",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"ddlint: OK — {report.matched} grandfathered finding(s); "
+            "baseline can shrink (see above)"
+        )
+        return 0
+    print(
+        f"ddlint: OK — {report.matched} grandfathered finding(s), "
+        "0 new"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.snapshot import (
         compare_snapshots,
@@ -692,6 +798,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="write the full instrumentation report (JSON) to this path",
     )
+    run.add_argument(
+        "--ddsan",
+        action="store_true",
+        help="run under the DDSan invariant sanitizer (slow; aborts on "
+        "the first representation-invariant violation)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     shor = sub.add_parser("shor", help="factor a number via Shor")
@@ -769,6 +881,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summary.add_argument("trace_file", help="path to a .jsonl trace")
     trace_summary.set_defaults(handler=_cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware ddlint rules with the baseline ratchet",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="analysis/baseline.json",
+        help="ratchet baseline path (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when the baseline is stale (findings were fixed "
+        "but the baseline was not re-committed) — the CI mode",
+    )
+    lint.add_argument(
+        "--no-ratchet",
+        action="store_true",
+        help="ignore the baseline: print every finding and fail if any",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     bench = sub.add_parser(
         "bench",
@@ -886,7 +1035,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)

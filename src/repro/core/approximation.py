@@ -19,7 +19,6 @@ measured with a DD inner product and reported alongside the bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
 
 from ..dd.node import VEdge, VNode, zero_vedge
 from ..dd.vector import StateDD
@@ -59,7 +58,7 @@ class ApproximationResult:
 
 def select_nodes_for_removal(
     state: StateDD, round_fidelity: float
-) -> tuple[Set[VNode], float]:
+) -> tuple[set[VNode], float]:
     """Greedily pick removable nodes within the fidelity budget.
 
     Nodes are considered in ascending contribution order; the root is never
@@ -78,7 +77,7 @@ def select_nodes_for_removal(
         ),
         key=lambda item: (item[0], item[1]),
     )
-    removed: Set[VNode] = set()
+    removed: set[VNode] = set()
     spent = 0.0
     # Tiny slack keeps exact-boundary removals (e.g. budget 0.2 against a
     # contribution of 0.2) from being rejected by floating-point rounding.
@@ -92,7 +91,7 @@ def select_nodes_for_removal(
 
 
 def rebuild_without(
-    state: StateDD, removed: Set[VNode]
+    state: StateDD, removed: set[VNode]
 ) -> StateDD:
     """Rebuild a diagram with every edge into ``removed`` zeroed.
 
@@ -103,7 +102,7 @@ def rebuild_without(
         ValueError: If the removal set erases the entire state.
     """
     package = state.package
-    memo: Dict[VNode, VEdge] = {}
+    memo: dict[VNode, VEdge] = {}
 
     def rebuild(edge: VEdge, level: int) -> VEdge:
         weight, node = edge
@@ -353,7 +352,7 @@ def round_edge_weights(
         raise ValueError("precision must be in (0, 0.5]")
     package = state.package
     nodes_before = state.node_count()
-    memo: Dict[VNode, VEdge] = {}
+    memo: dict[VNode, VEdge] = {}
 
     def quantize(weight: complex) -> complex:
         return complex(

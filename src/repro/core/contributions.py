@@ -21,13 +21,12 @@ exactly 1 (Definition 2), which the test suite checks as an invariant.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..dd.node import VNode
 from ..dd.vector import StateDD
 
 
-def node_contributions(state: StateDD) -> Dict[VNode, float]:
+def node_contributions(state: StateDD) -> dict[VNode, float]:
     """Compute the norm contribution of every node of ``state``.
 
     Args:
@@ -41,7 +40,7 @@ def node_contributions(state: StateDD) -> Dict[VNode, float]:
     weight, root = state.edge
     if root is None:
         return {}
-    contributions: Dict[VNode, float] = {root: abs(weight) ** 2}
+    contributions: dict[VNode, float] = {root: abs(weight) ** 2}
     # ``nodes()`` returns distinct nodes sorted by descending level, so
     # every parent is processed before any of its children.
     for node in state.nodes():
@@ -58,7 +57,7 @@ def node_contributions(state: StateDD) -> Dict[VNode, float]:
     return contributions
 
 
-def level_contribution_sums(state: StateDD) -> List[float]:
+def level_contribution_sums(state: StateDD) -> list[float]:
     """Sum contributions per level (index = level).
 
     For a normalized state every entry is 1 up to numerical noise —
@@ -73,7 +72,7 @@ def level_contribution_sums(state: StateDD) -> List[float]:
 
 def smallest_contributors(
     state: StateDD, limit: int = 10
-) -> List[tuple[VNode, float]]:
+) -> list[tuple[VNode, float]]:
     """The ``limit`` nodes with the smallest contributions, ascending.
 
     The root is excluded — removing it would erase the entire state

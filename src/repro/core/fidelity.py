@@ -10,7 +10,7 @@ fidelity-driven strategy's round budget
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

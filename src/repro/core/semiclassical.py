@@ -28,9 +28,12 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..postprocessing.shor_classical import ShorResult
 
 from ..circuits.circuit import Operation
 from ..circuits.lowering import operation_to_medge
@@ -61,11 +64,11 @@ class SemiclassicalRun:
     modulus: int
     base: int
     measured_value: int
-    bits: List[int]
+    bits: list[int]
     num_qubits: int
     max_nodes: int
     rounds: int
-    round_fidelities: List[float] = field(default_factory=list)
+    round_fidelities: list[float] = field(default_factory=list)
     runtime_seconds: float = 0.0
 
     @property
@@ -82,9 +85,9 @@ class SemiclassicalRun:
 def semiclassical_shor_run(
     modulus: int,
     base: int,
-    rng: Optional[np.random.Generator] = None,
-    package: Optional[Package] = None,
-    round_fidelity: Optional[float] = None,
+    rng: np.random.Generator | None = None,
+    package: Package | None = None,
+    round_fidelity: float | None = None,
 ) -> SemiclassicalRun:
     """Run one semiclassical period-finding experiment.
 
@@ -117,8 +120,8 @@ def semiclassical_shor_run(
     reset_x = Operation("x", (control,))
 
     state = StateDD.basis_state(num_qubits, 1, pkg)  # work = |1>, control |0>
-    bits: List[int] = []
-    round_fidelities: List[float] = []
+    bits: list[int] = []
+    round_fidelities: list[float] = []
     rounds = 0
     max_nodes = state.node_count()
     started = time.perf_counter()
@@ -177,8 +180,8 @@ def semiclassical_shor_run(
 def semiclassical_phase_estimation(
     phase: float,
     bits: int,
-    rng: Optional[np.random.Generator] = None,
-    package: Optional[Package] = None,
+    rng: np.random.Generator | None = None,
+    package: Package | None = None,
 ) -> int:
     """Iterative phase estimation of ``P(2*pi*phase)`` with one qubit.
 
@@ -205,7 +208,7 @@ def semiclassical_phase_estimation(
         return StateDD(edge, num_qubits, pkg)
 
     state = StateDD.basis_state(num_qubits, 1, pkg)  # target = |1>
-    measured_bits: List[int] = []
+    measured_bits: list[int] = []
     for step in range(bits):
         exponent = bits - 1 - step
         state = apply(Operation("h", (control,)), state)
@@ -235,22 +238,27 @@ def semiclassical_shor_factor(
     modulus: int,
     base: int,
     attempts: int = 10,
-    rng: Optional[np.random.Generator] = None,
-    package: Optional[Package] = None,
-    round_fidelity: Optional[float] = None,
-):
+    rng: np.random.Generator | None = None,
+    package: Package | None = None,
+    round_fidelity: float | None = None,
+) -> "tuple[ShorResult, list[SemiclassicalRun]]":
     """Repeat semiclassical runs until the factors fall out.
 
     Returns:
         ``(ShorResult, runs)`` — the postprocessing result (factors or a
         failure record) and the list of runs executed.
+
+    Raises:
+        ValueError: If ``attempts`` is not positive.
     """
     from ..postprocessing.shor_classical import postprocess_counts
 
+    if attempts < 1:
+        raise ValueError("attempts must be positive")
     generator = rng if rng is not None else np.random.default_rng()
-    runs: List[SemiclassicalRun] = []
+    runs: list[SemiclassicalRun] = []
     counts: dict[int, int] = {}
-    result = None
+    result: ShorResult | None = None
     for _ in range(attempts):
         run = semiclassical_shor_run(
             modulus,
@@ -266,4 +274,5 @@ def semiclassical_shor_factor(
         )
         if result.succeeded:
             break
+    assert result is not None  # attempts >= 1 always runs the loop
     return result, runs

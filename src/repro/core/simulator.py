@@ -15,8 +15,12 @@ the DD-growth ablation experiments.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..analysis.ddsan import Sanitizer
 
 from ..circuits.circuit import Circuit
 from ..circuits.lowering import operation_to_medge
@@ -26,6 +30,23 @@ from ..dd.vector import StateDD
 from ..obs import Recorder, get_recorder
 from .fidelity import composed_fidelity
 from .strategies import ApproximationStrategy, NoApproximation
+
+
+def _resolve_sanitizer(
+    ddsan: bool | None, package: Package
+) -> "Sanitizer | None":
+    """Build a DDSan sanitizer when requested (arg, or REPRO_DDSAN env
+    when the arg is None).  The analysis package is imported lazily so
+    explicitly-unsanitized runs never load it."""
+    if ddsan is None:
+        from ..analysis.ddsan import ddsan_enabled
+
+        ddsan = ddsan_enabled()
+    if not ddsan:
+        return None
+    from ..analysis.ddsan import Sanitizer
+
+    return Sanitizer(package)
 
 
 class SimulationTimeout(RuntimeError):
@@ -50,8 +71,8 @@ class SimulationTimeout(RuntimeError):
     def __init__(
         self,
         stats: "SimulationStats",
-        partial_state: Optional[dict] = None,
-        op_index: Optional[int] = None,
+        partial_state: dict | None = None,
+        op_index: int | None = None,
     ):
         super().__init__(
             f"simulation of {stats.circuit_name!r} timed out after "
@@ -109,9 +130,9 @@ class SimulationStats:
     num_operations: int
     max_nodes: int = 0
     final_nodes: int = 0
-    rounds: List[RoundRecord] = field(default_factory=list)
+    rounds: list[RoundRecord] = field(default_factory=list)
     runtime_seconds: float = 0.0
-    trajectory: Optional[List[int]] = None
+    trajectory: list[int] | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -161,24 +182,25 @@ class DDSimulator:
         package: DD package to simulate in (defaults to the global one).
     """
 
-    def __init__(self, package: Optional[Package] = None):
+    def __init__(self, package: Package | None = None):
         self.package = package or default_package()
 
     def run(
         self,
         circuit: Circuit,
-        strategy: Optional[ApproximationStrategy] = None,
+        strategy: ApproximationStrategy | None = None,
         initial_state: "int | StateDD" = 0,
         record_trajectory: bool = False,
-        max_seconds: Optional[float] = None,
+        max_seconds: float | None = None,
         size_check_interval: int = 1,
         start_op_index: int = 0,
-        prior_rounds: Optional[Sequence[RoundRecord]] = None,
-        checkpoint_interval: Optional[int] = None,
-        checkpoint_callback: Optional[
+        prior_rounds: Sequence[RoundRecord] | None = None,
+        checkpoint_interval: int | None = None,
+        checkpoint_callback: 
             Callable[[StateDD, int, "SimulationStats"], None]
-        ] = None,
-        recorder: Optional[Recorder] = None,
+         | None = None,
+        recorder: Recorder | None = None,
+        ddsan: bool | None = None,
     ) -> SimulationOutcome:
         """Simulate ``circuit`` from a basis state or a prepared state.
 
@@ -227,6 +249,17 @@ class DDSimulator:
                 ``op`` events reports the most recent size check, so with
                 ``size_check_interval > 1`` it can lag by up to
                 ``interval - 1`` operations.
+            ddsan: Run under the DDSan invariant sanitizer
+                (:mod:`repro.analysis.ddsan`): re-verify state-diagram
+                invariants plus unique-table and compute-cache integrity
+                after every gate application and approximation round.
+                ``None`` (the default) defers to the ``REPRO_DDSAN``
+                environment variable.  Sanitized runs are slow — each
+                check sweeps the diagram, the unique tables, and the
+                caches — and abort with
+                :class:`repro.analysis.ddsan.SanitizerError` naming the
+                offending operation index, gate, and round on the first
+                violation.
 
         Returns:
             A :class:`SimulationOutcome` with the final state (unit norm)
@@ -281,6 +314,7 @@ class DDSimulator:
         node_count = state.node_count()
         stats.max_nodes = node_count
         applied = 0
+        sanitizer = _resolve_sanitizer(ddsan, self.package)
         if recorder is None:
             recorder = get_recorder()
         obs = recorder if recorder.enabled else None
@@ -315,6 +349,10 @@ class DDSimulator:
                 medge, state.edge, circuit.num_qubits - 1
             )
             state = StateDD(edge, circuit.num_qubits, self.package)
+            if sanitizer is not None:
+                sanitizer.check_after_operation(
+                    state, op_index, operation.gate
+                )
             if (
                 op_index % size_check_interval == 0
                 or op_index == len(circuit) - 1
@@ -337,6 +375,10 @@ class DDSimulator:
             if result is not None and result.removed_nodes > 0:
                 state = result.state
                 node_count = result.nodes_after
+                if sanitizer is not None:
+                    sanitizer.check_after_round(
+                        state, op_index, round_index=len(stats.rounds)
+                    )
                 stats.rounds.append(
                     RoundRecord(
                         op_index=op_index,
@@ -399,7 +441,8 @@ class DDSimulator:
         circuit: Circuit,
         initial_state: int = 0,
         record_trajectory: bool = False,
-        max_seconds: Optional[float] = None,
+        max_seconds: float | None = None,
+        ddsan: bool | None = None,
     ) -> SimulationOutcome:
         """Simulate by accumulating the circuit unitary (matrix–matrix).
 
@@ -425,8 +468,9 @@ class DDSimulator:
         )
         accumulated = OperatorDD.identity(circuit.num_qubits, self.package)
         stats.max_nodes = accumulated.node_count()
+        sanitizer = _resolve_sanitizer(ddsan, self.package)
         started = time.perf_counter()
-        for operation in circuit:
+        for op_index, operation in enumerate(circuit):
             if max_seconds is not None:
                 elapsed = time.perf_counter() - started
                 if elapsed > max_seconds:
@@ -438,6 +482,8 @@ class DDSimulator:
             )
             gate = OperatorDD(medge, circuit.num_qubits, self.package)
             accumulated = gate.compose(accumulated)
+            if sanitizer is not None:
+                sanitizer.check_operator(accumulated, op_index)
             node_count = accumulated.node_count()
             stats.max_nodes = max(stats.max_nodes, node_count)
             if stats.trajectory is not None:
@@ -454,13 +500,14 @@ class DDSimulator:
 
 def simulate(
     circuit: Circuit,
-    strategy: Optional[ApproximationStrategy] = None,
-    package: Optional[Package] = None,
+    strategy: ApproximationStrategy | None = None,
+    package: Package | None = None,
     initial_state: "int | StateDD" = 0,
     record_trajectory: bool = False,
-    max_seconds: Optional[float] = None,
+    max_seconds: float | None = None,
     size_check_interval: int = 1,
-    recorder: Optional[Recorder] = None,
+    recorder: Recorder | None = None,
+    ddsan: bool | None = None,
 ) -> SimulationOutcome:
     """Module-level convenience wrapper around :class:`DDSimulator`."""
     simulator = DDSimulator(package)
@@ -472,4 +519,5 @@ def simulate(
         max_seconds=max_seconds,
         size_check_interval=size_check_interval,
         recorder=recorder,
+        ddsan=ddsan,
     )

@@ -18,7 +18,7 @@ the state) or ``None``.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..circuits.circuit import Circuit
 from ..dd.vector import StateDD
@@ -41,7 +41,7 @@ class ApproximationStrategy(abc.ABC):
     @abc.abstractmethod
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:
+    ) -> ApproximationResult | None:
         """Called after each applied operation.
 
         Args:
@@ -85,7 +85,7 @@ class NoApproximation(ApproximationStrategy):
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:  # noqa: D102 - trivial
+    ) -> ApproximationResult | None:  # noqa: D102 - trivial
         return None
 
     def describe(self) -> str:  # noqa: D102 - trivial
@@ -141,7 +141,7 @@ class MemoryDrivenStrategy(ApproximationStrategy):
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:
+    ) -> ApproximationResult | None:
         """Approximate and grow the threshold when the size bound trips."""
         if node_count <= self.threshold:
             return None
@@ -199,7 +199,7 @@ class FidelityDrivenStrategy(ApproximationStrategy):
         self,
         final_fidelity: float,
         round_fidelity: float,
-        positions: Optional[Sequence[int]] = None,
+        positions: Sequence[int] | None = None,
         placement: str = "blocks",
         measure_fidelity: bool = True,
     ):
@@ -217,8 +217,8 @@ class FidelityDrivenStrategy(ApproximationStrategy):
         )
         self.placement = placement
         self.measure_fidelity = measure_fidelity
-        self.planned_positions: List[int] = []
-        self._pending: List[int] = []
+        self.planned_positions: list[int] = []
+        self._pending: list[int] = []
 
     def plan(self, circuit: Circuit) -> None:
         """Choose the operation indices after which rounds will run."""
@@ -271,7 +271,7 @@ class FidelityDrivenStrategy(ApproximationStrategy):
         self._pending = self._pending[:allowance]
 
     @staticmethod
-    def _spread(start: int, end: int, rounds: int) -> List[int]:
+    def _spread(start: int, end: int, rounds: int) -> list[int]:
         """Evenly distribute ``rounds`` positions over ``[start, end)``."""
         width = end - start
         if width <= 0:
@@ -286,7 +286,7 @@ class FidelityDrivenStrategy(ApproximationStrategy):
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:
+    ) -> ApproximationResult | None:
         """Run a round when the next planned position is reached."""
         if not self._pending or op_index < self._pending[0]:
             return None
@@ -336,7 +336,7 @@ class AdaptiveStrategy(ApproximationStrategy):
         self.growth_trigger = growth_trigger
         self.measure_fidelity = measure_fidelity
         self.rounds_used = 0
-        self._baseline: Optional[int] = None
+        self._baseline: int | None = None
 
     def plan(self, circuit: Circuit) -> None:
         """Reset the budget and the growth baseline."""
@@ -352,7 +352,7 @@ class AdaptiveStrategy(ApproximationStrategy):
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:
+    ) -> ApproximationResult | None:
         """Fire a round when growth since the last round exceeds the trigger."""
         if self._baseline is None:
             self._baseline = max(node_count, state.num_qubits)
@@ -429,7 +429,7 @@ class SizeCapStrategy(ApproximationStrategy):
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
-    ) -> Optional[ApproximationResult]:
+    ) -> ApproximationResult | None:
         """Shrink back to the cap whenever the diagram exceeds it."""
         if node_count <= self.max_nodes:
             return None

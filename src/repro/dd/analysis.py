@@ -19,7 +19,7 @@ noise-free observables.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .node import VNode
 from .vector import StateDD
@@ -27,7 +27,7 @@ from .vector import StateDD
 
 def marginal_probabilities(
     state: StateDD, qubits: Sequence[int]
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Exact joint distribution of a subset of qubits.
 
     Args:
@@ -54,13 +54,13 @@ def marginal_probabilities(
     weight, root = state.edge
     if root is None:
         return {}
-    masses: Dict[Tuple[int, int], float] = {(id(root), 0): abs(weight) ** 2}
-    nodes_by_id: Dict[int, VNode] = {id(root): root}
-    result: Dict[int, float] = {}
+    masses: dict[tuple[int, int], float] = {(id(root), 0): abs(weight) ** 2}
+    nodes_by_id: dict[int, VNode] = {id(root): root}
+    result: dict[int, float] = {}
 
     for level in range(state.num_qubits - 1, -1, -1):
-        next_masses: Dict[Tuple[int, int], float] = {}
-        next_nodes: Dict[int, VNode] = {}
+        next_masses: dict[tuple[int, int], float] = {}
+        next_nodes: dict[int, VNode] = {}
         for (node_id, partial), mass in masses.items():
             node = nodes_by_id[node_id]
             for bit, (edge_weight, child) in enumerate(node.edges):
@@ -102,17 +102,17 @@ def outcome_entropy(state: StateDD, base: float = 2.0) -> float:
     log_base = math.log(base)
     # mass[node] = total path-prefix probability arriving at the node;
     # plogp[node] = sum of m * log(m) over those prefixes.
-    masses: Dict[int, float] = {id(root): abs(weight) ** 2}
-    plogp: Dict[int, float] = {
+    masses: dict[int, float] = {id(root): abs(weight) ** 2}
+    plogp: dict[int, float] = {
         id(root): abs(weight) ** 2 * math.log(max(abs(weight) ** 2, 1e-300))
     }
-    nodes_by_id: Dict[int, VNode] = {id(root): root}
+    nodes_by_id: dict[int, VNode] = {id(root): root}
     entropy_sum = 0.0
 
     for level in range(state.num_qubits - 1, -1, -1):
-        next_masses: Dict[int, float] = {}
-        next_plogp: Dict[int, float] = {}
-        next_nodes: Dict[int, VNode] = {}
+        next_masses: dict[int, float] = {}
+        next_plogp: dict[int, float] = {}
+        next_nodes: dict[int, VNode] = {}
         for node_id, mass in masses.items():
             node = nodes_by_id[node_id]
             node_plogp = plogp[node_id]
@@ -140,7 +140,7 @@ def outcome_entropy(state: StateDD, base: float = 2.0) -> float:
 
 def dominant_outcomes(
     state: StateDD, threshold: float = 0.01, limit: int = 64
-) -> List[Tuple[int, float]]:
+) -> list[tuple[int, float]]:
     """Basis states with probability above ``threshold``, most likely first.
 
     Branch-and-bound: a path prefix whose accumulated probability already
@@ -150,7 +150,7 @@ def dominant_outcomes(
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError("threshold must be in (0, 1]")
-    results: List[Tuple[int, float]] = []
+    results: list[tuple[int, float]] = []
 
     def descend(edge, level: int, prefix: int, mass: float) -> None:
         if len(results) >= limit * 4:

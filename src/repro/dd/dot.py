@@ -9,7 +9,6 @@ small "0" box.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .matrix import OperatorDD
 from .vector import StateDD
@@ -130,7 +129,7 @@ def operator_to_dot(operator: OperatorDD, name: str = "operator") -> str:
 
 
 def write_dot(
-    diagram: StateDD | OperatorDD, path: str, name: Optional[str] = None
+    diagram: StateDD | OperatorDD, path: str, name: str | None = None
 ) -> None:
     """Write a diagram's DOT serialization to ``path``."""
     if isinstance(diagram, StateDD):

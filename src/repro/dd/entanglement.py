@@ -18,7 +18,6 @@ cut ranks grow to the maximum; GHZ stays at rank 2 on every cut.
 from __future__ import annotations
 
 import math
-from typing import List
 
 import numpy as np
 
@@ -64,7 +63,7 @@ def cut_rank(state: StateDD, cut: int) -> int:
     return len(distinct)
 
 
-def schmidt_spectrum(state: StateDD, cut: int) -> List[float]:
+def schmidt_spectrum(state: StateDD, cut: int) -> list[float]:
     """Exact Schmidt coefficients (squared) across a cut, descending.
 
     Dense SVD of the ``2^(n-cut) x 2^cut`` amplitude matrix — guarded to

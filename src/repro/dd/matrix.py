@@ -12,7 +12,7 @@ most-significant qubit downwards), and multiplying the edge weights.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class OperatorDD:
 
     @classmethod
     def identity(
-        cls, num_qubits: int, package: Optional[Package] = None
+        cls, num_qubits: int, package: Package | None = None
     ) -> "OperatorDD":
         """Return the identity operator on ``num_qubits`` qubits."""
         pkg = package or default_package()
@@ -54,7 +54,7 @@ class OperatorDD:
     def from_matrix(
         cls,
         matrix: Sequence[Sequence[complex]] | np.ndarray,
-        package: Optional[Package] = None,
+        package: Package | None = None,
     ) -> "OperatorDD":
         """Build an operator diagram from a dense ``2**n x 2**n`` matrix."""
         mat = np.asarray(matrix, dtype=complex)

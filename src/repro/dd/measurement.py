@@ -14,7 +14,6 @@ falls out of the root weight after the normalizing rebuild.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +23,7 @@ from .vector import StateDD
 
 def project_qubit(
     state: StateDD, qubit: int, value: int
-) -> Tuple[Optional[StateDD], float]:
+) -> tuple[StateDD | None, float]:
     """Project a state onto ``qubit == value`` and renormalize.
 
     Args:
@@ -41,7 +40,7 @@ def project_qubit(
     if value not in (0, 1):
         raise ValueError("value must be 0 or 1")
     package = state.package
-    memo: Dict[VNode, VEdge] = {}
+    memo: dict[VNode, VEdge] = {}
 
     def rebuild(edge: VEdge, level: int) -> VEdge:
         weight, node = edge
@@ -78,8 +77,8 @@ def project_qubit(
 def measure_qubit(
     state: StateDD,
     qubit: int,
-    rng: Optional[np.random.Generator] = None,
-) -> Tuple[int, StateDD, float]:
+    rng: np.random.Generator | None = None,
+) -> tuple[int, StateDD, float]:
     """Measure one qubit, collapsing the state.
 
     Args:
@@ -106,8 +105,8 @@ def measure_qubit(
 
 def measure_all(
     state: StateDD,
-    rng: Optional[np.random.Generator] = None,
-) -> Tuple[int, StateDD]:
+    rng: np.random.Generator | None = None,
+) -> tuple[int, StateDD]:
     """Measure every qubit, collapsing to a basis state.
 
     Returns:
@@ -124,9 +123,9 @@ def measure_all(
 
 def sequential_measurement(
     state: StateDD,
-    qubits: List[int],
-    rng: Optional[np.random.Generator] = None,
-) -> Tuple[Dict[int, int], StateDD]:
+    qubits: list[int],
+    rng: np.random.Generator | None = None,
+) -> tuple[dict[int, int], StateDD]:
     """Measure a list of qubits one after another with collapse.
 
     Demonstrates entanglement correlations: measuring one half of a GHZ
@@ -136,7 +135,7 @@ def sequential_measurement(
         ``(outcomes_by_qubit, post_state)``.
     """
     generator = rng if rng is not None else np.random.default_rng()
-    outcomes: Dict[int, int] = {}
+    outcomes: dict[int, int] = {}
     current = state
     for qubit in qubits:
         outcome, current, _probability = measure_qubit(

@@ -26,12 +26,11 @@ the default ``object`` hash applies.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 #: Type alias for edges: a complex weight paired with a child node
 #: (``None`` denotes the shared terminal).
-VEdge = Tuple[complex, Optional["VNode"]]
-MEdge = Tuple[complex, Optional["MNode"]]
+VEdge = tuple[complex, "VNode | None"]
+MEdge = tuple[complex, "MNode | None"]
 
 #: The canonical zero edge shared by vector and matrix diagrams.
 ZERO_WEIGHT = complex(0.0, 0.0)
@@ -87,7 +86,7 @@ class MNode:
         return f"MNode(q{self.level}, {parts})"
 
 
-def is_terminal(node: Optional[VNode | MNode]) -> bool:
+def is_terminal(node: VNode | MNode | None) -> bool:
     """Return True for the shared terminal (represented by ``None``)."""
     return node is None
 

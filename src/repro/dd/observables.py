@@ -13,7 +13,7 @@ String convention: ``pauli[0]`` acts on the *most significant* qubit
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from .node import MEdge, zero_medge
 from .package import Package
 from .vector import StateDD
 
-_PAULI_MATRICES: Dict[str, np.ndarray] = {
+_PAULI_MATRICES: dict[str, np.ndarray] = {
     "I": np.eye(2, dtype=complex),
     "X": np.array([[0, 1], [1, 0]], dtype=complex),
     "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
@@ -87,7 +87,7 @@ def expectation(state: StateDD, pauli: str) -> float:
 
 
 def expectation_sum(
-    state: StateDD, terms: Sequence[Tuple[float, str]]
+    state: StateDD, terms: Sequence[tuple[float, str]]
 ) -> float:
     """Expectation of a weighted Pauli sum :math:`\\sum_k c_k P_k`.
 

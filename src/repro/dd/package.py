@@ -34,10 +34,13 @@ from __future__ import annotations
 
 import math
 import weakref
-from typing import Dict, Optional
+from typing import TYPE_CHECKING
 
 from . import ctable
 from .node import MEdge, MNode, VEdge, VNode, zero_medge, zero_vedge
+
+if TYPE_CHECKING:
+    from ..obs import Recorder
 
 #: Default upper bound on compute-cache entries before a cache is flushed.
 DEFAULT_CACHE_LIMIT = 1 << 19
@@ -66,12 +69,12 @@ class Package:
             weakref.WeakValueDictionary()
         )
         self.cache_limit = cache_limit
-        self._vadd_cache: Dict[tuple, VEdge] = {}
-        self._madd_cache: Dict[tuple, MEdge] = {}
-        self._mv_cache: Dict[tuple, VEdge] = {}
-        self._mm_cache: Dict[tuple, MEdge] = {}
-        self._inner_cache: Dict[tuple, complex] = {}
-        self._identity_cache: Dict[int, MEdge] = {}
+        self._vadd_cache: dict[tuple, VEdge] = {}
+        self._madd_cache: dict[tuple, MEdge] = {}
+        self._mv_cache: dict[tuple, VEdge] = {}
+        self._mm_cache: dict[tuple, MEdge] = {}
+        self._inner_cache: dict[tuple, complex] = {}
+        self._identity_cache: dict[int, MEdge] = {}
         #: Operation counters, useful for performance diagnostics.
         self.stats = {
             "vnodes_created": 0,
@@ -84,7 +87,7 @@ class Package:
         # always on — flushes are rare and previously invisible.
         self._counting = False
         self._recorder = None
-        self._cache_counts: Dict[str, list] = {
+        self._cache_counts: dict[str, list] = {
             name: [0, 0, 0] for name in CACHE_NAMES  # [hits, misses, flushes]
         }
 
@@ -238,7 +241,7 @@ class Package:
         """
         self._counting = enabled
 
-    def attach_recorder(self, recorder) -> None:
+    def attach_recorder(self, recorder: "Recorder | None") -> None:
         """Attach a :class:`repro.obs.Recorder` and enable counting.
 
         The recorder receives ``cache_flush`` trace events and
@@ -251,7 +254,7 @@ class Package:
         if recorder is not None:
             self._counting = True
 
-    def _cache_sizes(self) -> Dict[str, int]:
+    def _cache_sizes(self) -> dict[str, int]:
         return {
             "vadd": len(self._vadd_cache),
             "madd": len(self._madd_cache),
@@ -366,7 +369,7 @@ class Package:
         return scale * self._inner_nodes(n1, n2, level)
 
     def _inner_nodes(
-        self, n1: Optional[VNode], n2: Optional[VNode], level: int
+        self, n1: VNode | None, n2: VNode | None, level: int
     ) -> complex:
         if level < 0:
             return complex(1.0)
@@ -529,7 +532,7 @@ class Package:
         return (result[0] * w_top, result[1])
 
 
-_DEFAULT_PACKAGE: Optional[Package] = None
+_DEFAULT_PACKAGE: Package | None = None
 
 
 def default_package() -> Package:

@@ -13,7 +13,7 @@ transposition), reusing the verified gate-lowering machinery.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .vector import StateDD
 
@@ -77,7 +77,7 @@ def swap_adjacent(state: StateDD, level: int) -> StateDD:
 
 def greedy_reorder(
     state: StateDD, max_passes: int = 8
-) -> Tuple[StateDD, List[int]]:
+) -> tuple[StateDD, list[int]]:
     """Reduce diagram size by greedy adjacent-swap local search.
 
     Sweeps all adjacent pairs repeatedly, keeping any swap that shrinks
@@ -110,7 +110,7 @@ def greedy_reorder(
     return current, order
 
 
-def inverse_permutation(order: Sequence[int]) -> List[int]:
+def inverse_permutation(order: Sequence[int]) -> list[int]:
     """Return the permutation undoing ``order``."""
     inverse = [0] * len(order)
     for position, qubit in enumerate(order):

@@ -27,7 +27,6 @@ different package still yields a canonical diagram.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
 
 from .node import VEdge, zero_vedge
 from .package import Package, default_package
@@ -50,10 +49,10 @@ def state_to_dict(state: StateDD) -> dict:
     nodes = state.nodes()
     # Children must precede parents: emit in ascending level order.
     nodes.sort(key=lambda node: node.level)
-    index_of: Dict[int, int] = {
+    index_of: dict[int, int] = {
         id(node): position for position, node in enumerate(nodes)
     }
-    serialized_nodes: List[dict] = []
+    serialized_nodes: list[dict] = []
     for node in nodes:
         edges = []
         for weight, child in node.edges:
@@ -74,7 +73,7 @@ def state_to_dict(state: StateDD) -> dict:
 
 
 def state_from_dict(
-    data: dict, package: Optional[Package] = None
+    data: dict, package: Package | None = None
 ) -> StateDD:
     """Rebuild a state diagram from its serialized form.
 
@@ -90,10 +89,10 @@ def state_from_dict(
     num_qubits = int(data["num_qubits"])
     pkg = package or default_package()
 
-    rebuilt: List[VEdge] = []
+    rebuilt: list[VEdge] = []
     for position, entry in enumerate(data["nodes"]):
         level = int(entry["level"])
-        edges: List[VEdge] = []
+        edges: list[VEdge] = []
         for weight_json, child_index in entry["edges"]:
             weight = _weight_from_json(weight_json)
             if child_index == -1:
@@ -130,7 +129,7 @@ def save_state(state: StateDD, path: str) -> None:
         json.dump(state_to_dict(state), handle)
 
 
-def load_state(path: str, package: Optional[Package] = None) -> StateDD:
+def load_state(path: str, package: Package | None = None) -> StateDD:
     """Read a state diagram from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return state_from_dict(json.load(handle), package)

@@ -11,7 +11,6 @@ replaces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Union
 
 from .matrix import OperatorDD
 from .vector import StateDD
@@ -38,7 +37,7 @@ class DiagramStats:
 
     num_qubits: int
     node_count: int
-    nodes_per_level: List[int]
+    nodes_per_level: list[int]
     worst_case_nodes: int
     sharing_factor: float
     dd_bytes_estimate: int
@@ -70,9 +69,9 @@ def state_stats(state: StateDD) -> DiagramStats:
     )
 
 
-def nodes_per_level(diagram: Union[StateDD, OperatorDD]) -> Dict[int, int]:
+def nodes_per_level(diagram: StateDD | OperatorDD) -> dict[int, int]:
     """Node histogram keyed by level (works for states and operators)."""
-    histogram: Dict[int, int] = {}
+    histogram: dict[int, int] = {}
     if isinstance(diagram, StateDD):
         nodes = diagram.nodes()
     else:

@@ -16,14 +16,28 @@ Checked invariants (see docs/THEORY.md §1):
 4. **Hash-consing** — no two distinct node objects are structurally
    identical (level, children, weights within tolerance).
 5. **Unit norm** (optional) — the root weight has magnitude 1.
+
+All comparisons go through the global tolerance of
+:mod:`repro.dd.ctable` rather than exact float equality or hardcoded
+epsilons, so tightening or loosening the interning tolerance tightens
+or loosens validation with it.  *Derived* quantities (norms, products
+of weights) are granted a small multiple of the tolerance
+(:data:`TOLERANCE_SLACK`): snapping may legally move each stored weight
+by up to one tolerance, so sums of squared magnitudes drift by a few.
 """
 
 from __future__ import annotations
 
-from typing import List
-
+from .node import VNode
 from . import ctable
 from .vector import StateDD
+
+#: Multiples of the ctable tolerance granted to derived quantities
+#: (edge-norm sums, root magnitudes, phase components).  Snapping moves
+#: each weight by <= 1 tolerance, so a two-edge norm² can shift by ~4;
+#: 16 leaves comfortable headroom without masking real corruption,
+#: which produces errors orders of magnitude larger.
+TOLERANCE_SLACK = 16.0
 
 
 class InvariantViolation(AssertionError):
@@ -50,17 +64,17 @@ def check_state_invariants(
 
 def collect_violations(
     state: StateDD, require_unit_norm: bool = True
-) -> List[str]:
+) -> list[str]:
     """Like :func:`check_state_invariants` but returns all findings."""
-    tolerance = ctable.tolerance()
-    problems: List[str] = []
+    slack = TOLERANCE_SLACK * ctable.tolerance()
+    problems: list[str] = []
 
     weight, root = state.edge
     if root is None:
-        if weight != 0.0:
+        if not ctable.is_zero(weight):
             problems.append("terminal root with nonzero weight")
         return problems
-    if require_unit_norm and abs(abs(weight) - 1.0) > 1e-6:
+    if require_unit_norm and abs(abs(weight) - 1.0) > slack:
         problems.append(
             f"root weight magnitude {abs(weight):.3g} is not 1"
         )
@@ -70,13 +84,13 @@ def collect_violations(
             f"({state.num_qubits - 1})"
         )
 
-    seen_keys: dict = {}
+    seen_keys: dict[tuple, VNode] = {}
     for node in state.nodes():
         (w0, c0), (w1, c1) = node.edges
 
         # 1. level discipline
         for weight_k, child in ((w0, c0), (w1, c1)):
-            if weight_k == 0.0:
+            if ctable.is_zero(weight_k):
                 if child is not None:
                     problems.append(
                         f"zero edge at level {node.level} does not point "
@@ -96,14 +110,14 @@ def collect_violations(
 
         # 2. norm normalization
         norm_sq = abs(w0) ** 2 + abs(w1) ** 2
-        if abs(norm_sq - 1.0) > 1e-6:
+        if abs(norm_sq - 1.0) > slack:
             problems.append(
                 f"node at level {node.level} has edge-norm² {norm_sq:.6f}"
             )
 
         # 3. phase canonicality
-        first = w0 if w0 != 0.0 else w1
-        if abs(first.imag) > 1e-6 or first.real < -1e-6:
+        first = w1 if ctable.is_zero(w0) else w0
+        if abs(first.imag) > slack or first.real < -slack:
             problems.append(
                 f"node at level {node.level} first weight {first:.3g} "
                 "is not real non-negative"

@@ -14,7 +14,7 @@ statevector simulators.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class StateDD:
 
     @classmethod
     def basis_state(
-        cls, num_qubits: int, index: int = 0, package: Optional[Package] = None
+        cls, num_qubits: int, index: int = 0, package: Package | None = None
     ) -> "StateDD":
         """Build the computational basis state :math:`|index\\rangle`.
 
@@ -71,7 +71,7 @@ class StateDD:
 
     @classmethod
     def plus_state(
-        cls, num_qubits: int, package: Optional[Package] = None
+        cls, num_qubits: int, package: Package | None = None
     ) -> "StateDD":
         """Build the uniform superposition :math:`|+\\rangle^{\\otimes n}`."""
         if num_qubits <= 0:
@@ -89,7 +89,7 @@ class StateDD:
     def from_amplitudes(
         cls,
         amplitudes: Sequence[complex] | np.ndarray,
-        package: Optional[Package] = None,
+        package: Package | None = None,
         normalize: bool = False,
     ) -> "StateDD":
         """Build a state diagram from a dense amplitude vector.
@@ -247,7 +247,7 @@ class StateDD:
     # ------------------------------------------------------------------
 
     def sample(
-        self, shots: int, rng: Optional[np.random.Generator] = None
+        self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[int, int]:
         """Sample measurement outcomes of all qubits.
 

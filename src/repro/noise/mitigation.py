@@ -11,7 +11,7 @@ hardware error budget a mitigated observable can absorb.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -60,23 +60,23 @@ class MitigationResult:
 
     mitigated_value: float
     raw_value: float
-    scales: Tuple[float, ...]
-    values: Tuple[float, ...]
+    scales: tuple[float, ...]
+    values: tuple[float, ...]
     polynomial_degree: int
 
 
 def noisy_expectation(
     circuit: Circuit,
-    terms: Sequence[Tuple[float, str]],
+    terms: Sequence[tuple[float, str]],
     model: NoiseModel,
     num_trajectories: int,
     rng: np.random.Generator,
-    package: Optional[Package] = None,
+    package: Package | None = None,
 ) -> float:
     """Mean observable value over stochastic noise trajectories."""
     pkg = package or default_package()
     simulator = DDSimulator(pkg)
-    values: List[float] = []
+    values: list[float] = []
     for _ in range(num_trajectories):
         instance, _errors = noisy_instance(circuit, model, rng)
         state = simulator.run(instance).state
@@ -86,13 +86,13 @@ def noisy_expectation(
 
 def zero_noise_extrapolation(
     circuit: Circuit,
-    terms: Sequence[Tuple[float, str]],
+    terms: Sequence[tuple[float, str]],
     model: NoiseModel,
     scales: Sequence[float] = (1.0, 2.0, 3.0),
     num_trajectories: int = 50,
-    rng: Optional[np.random.Generator] = None,
-    package: Optional[Package] = None,
-    polynomial_degree: Optional[int] = None,
+    rng: np.random.Generator | None = None,
+    package: Package | None = None,
+    polynomial_degree: int | None = None,
 ) -> MitigationResult:
     """Richardson-style zero-noise extrapolation.
 

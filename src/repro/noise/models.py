@@ -18,7 +18,6 @@ A :class:`NoiseModel` assigns error channels to gate applications:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -61,7 +60,7 @@ class PauliChannel:
         """Probability that *some* error occurs."""
         return self.probability_x + self.probability_y + self.probability_z
 
-    def sample(self, rng: np.random.Generator) -> Optional[str]:
+    def sample(self, rng: np.random.Generator) -> str | None:
         """Draw an error outcome: a Pauli label or None (no error)."""
         draw = rng.random()
         if draw < self.probability_x:
@@ -102,7 +101,7 @@ class NoiseModel:
     """
 
     single_qubit: PauliChannel = field(default_factory=PauliChannel)
-    two_qubit: Optional[PauliChannel] = None
+    two_qubit: PauliChannel | None = None
 
     @property
     def is_noiseless(self) -> bool:
@@ -118,12 +117,12 @@ class NoiseModel:
 
     def sample_errors(
         self, operation: Operation, rng: np.random.Generator
-    ) -> List[Operation]:
+    ) -> list[Operation]:
         """Draw the error operations following one gate application."""
         channel = self.channel_for(operation)
         if channel.total == 0.0:
             return []
-        errors: List[Operation] = []
+        errors: list[Operation] = []
         touched = tuple(operation.targets) + tuple(operation.controls)
         for qubit in touched:
             label = channel.sample(rng)
@@ -133,7 +132,7 @@ class NoiseModel:
 
     @classmethod
     def depolarizing(
-        cls, probability: float, two_qubit_probability: Optional[float] = None
+        cls, probability: float, two_qubit_probability: float | None = None
     ) -> "NoiseModel":
         """Depolarizing noise with optional separate two-qubit strength."""
         return cls(
@@ -148,7 +147,7 @@ class NoiseModel:
 
 def noisy_instance(
     circuit: Circuit, model: NoiseModel, rng: np.random.Generator
-) -> Tuple[Circuit, int]:
+) -> tuple[Circuit, int]:
     """Materialize one noisy trajectory of a circuit.
 
     Returns:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -43,10 +42,10 @@ class TrajectoryResult:
     circuit_name: str
     num_trajectories: int
     shots_per_trajectory: int
-    counts: Dict[int, int] = field(default_factory=dict)
+    counts: dict[int, int] = field(default_factory=dict)
     total_errors: int = 0
     error_free_trajectories: int = 0
-    mean_fidelity_to_ideal: Optional[float] = None
+    mean_fidelity_to_ideal: float | None = None
     max_nodes: int = 0
     runtime_seconds: float = 0.0
 
@@ -68,9 +67,9 @@ def run_trajectories(
     model: NoiseModel,
     num_trajectories: int,
     shots_per_trajectory: int = 1,
-    rng: Optional[np.random.Generator] = None,
-    package: Optional[Package] = None,
-    strategy: Optional[ApproximationStrategy] = None,
+    rng: np.random.Generator | None = None,
+    package: Package | None = None,
+    strategy: ApproximationStrategy | None = None,
     compare_to_ideal: bool = False,
 ) -> TrajectoryResult:
     """Simulate a batch of noisy trajectories and aggregate their samples.
@@ -107,7 +106,7 @@ def run_trajectories(
         num_trajectories=num_trajectories,
         shots_per_trajectory=shots_per_trajectory,
     )
-    fidelities: List[float] = []
+    fidelities: list[float] = []
     started = time.perf_counter()
     for _ in range(num_trajectories):
         instance, error_count = noisy_instance(circuit, model, generator)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from collections.abc import Callable, Iterator
 
 
 class TimerStat:
@@ -114,9 +114,9 @@ class Recorder:
         clock: Callable[[], float] = time.perf_counter,
     ):
         self.enabled = enabled
-        self.counters: Dict[str, float] = {}
-        self.timers: Dict[str, TimerStat] = {}
-        self.events: List[dict] = []
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self.events: list[dict] = []
         self._clock = clock
         self._seq = 0
 
@@ -199,7 +199,7 @@ def get_recorder() -> Recorder:
     return _ACTIVE
 
 
-def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+def set_recorder(recorder: Recorder | None) -> Recorder:
     """Install ``recorder`` as the active one; None restores the no-op.
 
     Returns:
@@ -212,7 +212,7 @@ def set_recorder(recorder: Optional[Recorder]) -> Recorder:
 
 
 @contextmanager
-def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+def recording(recorder: Recorder | None = None) -> Iterator[Recorder]:
     """Scoped activation: install a recorder, restore the previous on exit.
 
     Args:

@@ -17,7 +17,6 @@ layer without cycles.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .recorder import Recorder
 from .trace import TRACE_SCHEMA_VERSION
@@ -31,7 +30,7 @@ GATE_TIMER_PREFIX = "gate."
 
 def metrics_report(
     stats,
-    recorder: Optional[Recorder] = None,
+    recorder: Recorder | None = None,
     package=None,
 ) -> dict:
     """Build the metrics document for one simulation run.

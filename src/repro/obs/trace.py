@@ -16,7 +16,7 @@ every line, and the documented kinds live in ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List
+from collections.abc import Iterable
 
 #: Version stamp written into metrics reports that embed trace data.
 TRACE_SCHEMA_VERSION = 1
@@ -57,15 +57,15 @@ def write_trace(events: Iterable[dict], path: str) -> int:
     return count
 
 
-def read_trace(path: str) -> List[dict]:
+def read_trace(path: str) -> list[dict]:
     """Read and validate a JSONL trace file.
 
     Raises:
         ValueError: On malformed JSON or envelope violations (the line
             number is included in the message).
     """
-    events: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from collections.abc import Iterable
 
 
 def marginalize_counts(
-    counts: Dict[int, int], keep_bits: Iterable[int]
-) -> Dict[int, int]:
+    counts: dict[int, int], keep_bits: Iterable[int]
+) -> dict[int, int]:
     """Project sampled counts onto a subset of qubits.
 
     Args:
@@ -16,7 +16,7 @@ def marginalize_counts(
             the value of ``keep_bits[k]``.
     """
     kept = list(keep_bits)
-    result: Dict[int, int] = {}
+    result: dict[int, int] = {}
     for index, frequency in counts.items():
         projected = 0
         for position, qubit in enumerate(kept):
@@ -25,9 +25,9 @@ def marginalize_counts(
     return result
 
 
-def shift_counts(counts: Dict[int, int], shift: int) -> Dict[int, int]:
+def shift_counts(counts: dict[int, int], shift: int) -> dict[int, int]:
     """Right-shift every outcome index (drop low-order qubits)."""
-    result: Dict[int, int] = {}
+    result: dict[int, int] = {}
     for index, frequency in counts.items():
         key = index >> shift
         result[key] = result.get(key, 0) + frequency
@@ -35,15 +35,15 @@ def shift_counts(counts: Dict[int, int], shift: int) -> Dict[int, int]:
 
 
 def top_outcomes(
-    counts: Dict[int, int], limit: int = 10
-) -> Tuple[Tuple[int, int], ...]:
+    counts: dict[int, int], limit: int = 10
+) -> tuple[tuple[int, int], ...]:
     """The ``limit`` most frequent outcomes, most frequent first."""
     ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     return tuple(ordered[:limit])
 
 
 def total_variation_distance(
-    counts_a: Dict[int, int], counts_b: Dict[int, int]
+    counts_a: dict[int, int], counts_b: dict[int, int]
 ) -> float:
     """TV distance between two empirical distributions."""
     total_a = sum(counts_a.values())

@@ -12,12 +12,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
 
 def continued_fraction_convergents(
     numerator: int, denominator: int
-) -> List[Fraction]:
+) -> list[Fraction]:
     """Return all convergents of ``numerator / denominator``.
 
     Uses the standard recurrence on the continued-fraction expansion; the
@@ -25,7 +24,7 @@ def continued_fraction_convergents(
     """
     if denominator <= 0:
         raise ValueError("denominator must be positive")
-    convergents: List[Fraction] = []
+    convergents: list[Fraction] = []
     h_prev, h_curr = 0, 1
     k_prev, k_curr = 1, 0
     a, b = numerator, denominator
@@ -40,7 +39,7 @@ def continued_fraction_convergents(
 
 def candidate_periods(
     measured: int, counting_bits: int, modulus: int
-) -> List[int]:
+) -> list[int]:
     """Candidate periods from one measurement of the counting register.
 
     The measured value approximates :math:`s/r \\cdot 2^{m}`; every
@@ -50,7 +49,7 @@ def candidate_periods(
     if measured == 0:
         return []
     space = 1 << counting_bits
-    candidates: List[int] = []
+    candidates: list[int] = []
     seen: set[int] = set()
     for convergent in continued_fraction_convergents(measured, space):
         denominator = convergent.denominator
@@ -84,7 +83,7 @@ def order_of(base: int, modulus: int) -> int:
 
 def factors_from_period(
     modulus: int, base: int, period: int
-) -> Optional[Tuple[int, int]]:
+) -> tuple[int, int] | None:
     """Try to split ``modulus`` given a candidate period.
 
     Returns the nontrivial factor pair, or None when the period is odd,
@@ -115,9 +114,9 @@ class ShorResult:
         attempts: Number of measurement outcomes examined.
     """
 
-    factors: Optional[Tuple[int, int]]
-    period: Optional[int]
-    successful_measurement: Optional[int]
+    factors: tuple[int, int] | None
+    period: int | None
+    successful_measurement: int | None
     attempts: int
 
     @property
@@ -127,7 +126,7 @@ class ShorResult:
 
 
 def postprocess_counts(
-    counts: Dict[int, int],
+    counts: dict[int, int],
     counting_bits: int,
     modulus: int,
     base: int,
@@ -158,7 +157,7 @@ def postprocess_counts(
 
 
 def postprocess_distribution(
-    probabilities: Dict[int, float],
+    probabilities: dict[int, float],
     counting_bits: int,
     modulus: int,
     base: int,

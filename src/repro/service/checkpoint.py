@@ -27,7 +27,8 @@ the same ``f >= f_round`` bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..core.simulator import RoundRecord, SimulationStats, SimulationTimeout
 from ..dd.serialize import state_to_dict
@@ -40,7 +41,7 @@ CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_VERSION = 1
 
 
-def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> List[dict]:
+def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> list[dict]:
     """Serialize round records to JSON-compatible dictionaries."""
     return [
         {
@@ -56,7 +57,7 @@ def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> List[dict]:
     ]
 
 
-def rounds_from_dicts(rows: Sequence[dict]) -> List[RoundRecord]:
+def rounds_from_dicts(rows: Sequence[dict]) -> list[RoundRecord]:
     """Rebuild round records from their serialized form."""
     return [RoundRecord(**row) for row in rows]
 
@@ -78,7 +79,7 @@ class Checkpoint:
     job_hash: str
     next_op_index: int
     state: dict
-    rounds: List[dict]
+    rounds: list[dict]
     max_nodes: int
     elapsed_seconds: float
 
@@ -113,7 +114,7 @@ class Checkpoint:
             elapsed_seconds=float(data["elapsed_seconds"]),
         )
 
-    def round_records(self) -> List[RoundRecord]:
+    def round_records(self) -> list[RoundRecord]:
         """The completed rounds as live :class:`RoundRecord` objects."""
         return rounds_from_dicts(self.rounds)
 
@@ -123,7 +124,7 @@ def checkpoint_from_timeout(
     timeout: SimulationTimeout,
     prior_elapsed: float = 0.0,
     prior_max_nodes: int = 0,
-) -> Optional[Checkpoint]:
+) -> Checkpoint | None:
     """Build a checkpoint from a :class:`SimulationTimeout`, if possible.
 
     Returns None when the timeout carries no partial state (e.g. raised

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -70,9 +70,9 @@ class JobResult:
     job_hash: str
     status: str
     cached: bool = False
-    resumed_at: Optional[int] = None
-    stats: Optional[dict] = None
-    counts: Optional[Dict[int, int]] = None
+    resumed_at: int | None = None
+    stats: dict | None = None
+    counts: dict[int, int] | None = None
     error: str = ""
     attempts: int = 1
 
@@ -82,14 +82,14 @@ class JobResult:
         return self.status == "completed"
 
     @property
-    def fidelity_estimate(self) -> Optional[float]:
+    def fidelity_estimate(self) -> float | None:
         """End-to-end fidelity estimate, when statistics exist."""
         if self.stats is None:
             return None
         return self.stats.get("fidelity_estimate")
 
     @property
-    def runtime_seconds(self) -> Optional[float]:
+    def runtime_seconds(self) -> float | None:
         """Total simulate time (across resumed attempts), when known."""
         if self.stats is None:
             return None
@@ -136,9 +136,9 @@ def _stats_doc(stats, total_runtime: float, prior_max_nodes: int = 0) -> dict:
 
 def _journal_rows(
     stats, start_op_index: int, resumed: bool
-) -> List[dict]:
+) -> list[dict]:
     """Build the JSONL journal: per-op sizes plus round records."""
-    rows: List[dict] = []
+    rows: list[dict] = []
     if resumed:
         rows.append({"event": "resume", "at": start_op_index})
     trajectory = stats.trajectory or []
@@ -160,7 +160,7 @@ def _journal_rows(
     return rows
 
 
-def _sample(state, shots: int, seed: int) -> Dict[int, int]:
+def _sample(state, shots: int, seed: int) -> dict[int, int]:
     return state.sample(shots, np.random.default_rng(seed))
 
 
@@ -345,7 +345,7 @@ class _Pending:
     index: int
     spec: JobSpec
     attempts: int = 0
-    future: Optional[object] = field(default=None, repr=False)
+    future: object | None = field(default=None, repr=False)
 
 
 class JobEngine:
@@ -390,8 +390,8 @@ class JobEngine:
     def run_batch(
         self,
         specs: Sequence[JobSpec],
-        progress: Optional[Callable[[JobResult], None]] = None,
-    ) -> List[JobResult]:
+        progress: Callable[[JobResult], None] | None = None,
+    ) -> list[JobResult]:
         """Execute a batch, preserving input order in the returned list.
 
         Identical specs (equal content hash, shots, and seed) are
@@ -402,10 +402,10 @@ class JobEngine:
             return []
         # Deduplicate within the batch so concurrent workers never race
         # to compute the same artifact.
-        unique_keys: List[tuple] = []
-        key_to_position: Dict[tuple, int] = {}
-        positions: List[int] = []
-        unique_specs: List[JobSpec] = []
+        unique_keys: list[tuple] = []
+        key_to_position: dict[tuple, int] = {}
+        positions: list[int] = []
+        unique_specs: list[JobSpec] = []
         for spec in specs:
             key = (spec.content_hash(), spec.shots, spec.seed)
             if key not in key_to_position:
@@ -438,13 +438,13 @@ class JobEngine:
     def _run_pool(
         self,
         specs: Sequence[JobSpec],
-        progress: Optional[Callable[[JobResult], None]],
-    ) -> List[JobResult]:
+        progress: Callable[[JobResult], None] | None,
+    ) -> list[JobResult]:
         """Fan jobs out over a process pool with bounded retry."""
         from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import ProcessPoolExecutor
 
-        results: List[Optional[JobResult]] = [None] * len(specs)
+        results: list[JobResult | None] = [None] * len(specs)
         pending = [
             _Pending(index=index, spec=spec)
             for index, spec in enumerate(specs)

@@ -19,7 +19,6 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Optional, Tuple
 
 from ..circuits.circuit import Circuit
 from ..circuits.qasm import parse_qasm
@@ -64,12 +63,14 @@ def build_builtin_circuit(name: str) -> Circuit:
             )
     except ValueError as error:
         # Re-raise int() parse failures with the workload name attached.
-        raise ValueError(f"malformed builtin workload {name!r}: {error}")
+        raise ValueError(
+            f"malformed builtin workload {name!r}: {error}"
+        ) from error
     raise ValueError(f"unknown builtin workload {name!r}")
 
 
 def build_strategy(
-    kind: str, args: Optional[Dict[str, float]] = None
+    kind: str, args: dict[str, float] | None = None
 ) -> ApproximationStrategy:
     """Instantiate an approximation strategy from a picklable description.
 
@@ -122,10 +123,10 @@ class JobSpec:
 
     circuit: str
     strategy: str = "exact"
-    strategy_args: Tuple[Tuple[str, float], ...] = ()
+    strategy_args: tuple[tuple[str, float], ...] = ()
     shots: int = 0
     seed: int = 0
-    max_seconds: Optional[float] = None
+    max_seconds: float | None = None
     checkpoint_interval: int = 0
     label: str = ""
 
@@ -166,7 +167,7 @@ class JobSpec:
         canonical = json.dumps(
             identity, sort_keys=True, separators=(",", ":")
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     @property
     def display_name(self) -> str:
@@ -191,7 +192,7 @@ class JobSpec:
         """
         if source.startswith(BUILTIN_PREFIX):
             return cls(circuit=source, **kwargs)
-        with open(source, "r", encoding="utf-8") as handle:
+        with open(source, encoding="utf-8") as handle:
             kwargs.setdefault("label", source)
             return cls(circuit=handle.read(), **kwargs)
 
@@ -266,7 +267,7 @@ def load_job_specs(path: str) -> list[JobSpec]:
     """
     import os
 
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     if isinstance(document, dict):
         entries = document.get("jobs")
@@ -287,7 +288,7 @@ def load_job_specs(path: str) -> list[JobSpec]:
             qasm_path = circuit[len("file:"):]
             if not os.path.isabs(qasm_path):
                 qasm_path = os.path.join(base_dir, qasm_path)
-            with open(qasm_path, "r", encoding="utf-8") as qasm:
+            with open(qasm_path, encoding="utf-8") as qasm:
                 entry["circuit"] = qasm.read()
             entry.setdefault("label", circuit[len("file:"):])
         specs.append(JobSpec.from_dict(entry))

@@ -21,7 +21,7 @@ import os
 import shutil
 import tempfile
 import time
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict
@@ -87,8 +87,8 @@ class ArtifactStore:
         self,
         job_hash: str,
         result_doc: dict,
-        state_doc: Optional[dict] = None,
-        journal_rows: Optional[List[dict]] = None,
+        state_doc: dict | None = None,
+        journal_rows: list[dict] | None = None,
     ) -> str:
         """Persist a completed job's artifacts; returns the object dir.
 
@@ -111,7 +111,9 @@ class ArtifactStore:
                 ),
             )
         document = dict(result_doc)
-        document.setdefault("stored_at", time.time())
+        document.setdefault(  # wall-clock timestamp, not a duration
+            "stored_at", time.time()  # ddlint: ignore[DD005]
+        )
         _atomic_write(
             os.path.join(directory, RESULT_FILE),
             json.dumps(document, sort_keys=True, indent=2),
@@ -127,11 +129,11 @@ class ArtifactStore:
         path = os.path.join(self.result_dir(job_hash), RESULT_FILE)
         if not os.path.exists(path):
             raise KeyError(f"no stored result for {job_hash}")
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             return json.load(handle)
 
     def load_state(
-        self, job_hash: str, package: Optional[Package] = None
+        self, job_hash: str, package: Package | None = None
     ) -> StateDD:
         """Rehydrate the stored final-state diagram of a job.
 
@@ -141,23 +143,23 @@ class ArtifactStore:
         path = os.path.join(self.result_dir(job_hash), STATE_FILE)
         if not os.path.exists(path):
             raise KeyError(f"no stored state for {job_hash}")
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             return state_from_dict(json.load(handle), package)
 
-    def read_journal(self, job_hash: str) -> List[dict]:
+    def read_journal(self, job_hash: str) -> list[dict]:
         """Read the run journal rows (empty list when absent)."""
         path = os.path.join(self.result_dir(job_hash), JOURNAL_FILE)
         if not os.path.exists(path):
             return []
         rows = []
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if line:
                     rows.append(json.loads(line))
         return rows
 
-    def iter_results(self) -> Iterator[Tuple[str, dict]]:
+    def iter_results(self) -> Iterator[tuple[str, dict]]:
         """Yield ``(job_hash, result_doc)`` for every stored result."""
         objects = os.path.join(self.root, "objects")
         if not os.path.isdir(objects):
@@ -203,12 +205,12 @@ class ArtifactStore:
         _atomic_write(path, json.dumps(document))
         return path
 
-    def load_checkpoint(self, job_hash: str) -> Optional[dict]:
+    def load_checkpoint(self, job_hash: str) -> dict | None:
         """Load the latest checkpoint, or None when there is none."""
         path = os.path.join(self.checkpoint_dir(job_hash), CHECKPOINT_FILE)
         if not os.path.exists(path):
             return None
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             return json.load(handle)
 
     def clear_checkpoint(self, job_hash: str) -> None:
@@ -232,7 +234,7 @@ class ArtifactStore:
 
     def gc(
         self,
-        older_than_seconds: Optional[float] = None,
+        older_than_seconds: float | None = None,
         remove_results: bool = False,
     ) -> dict:
         """Collect garbage; returns counts of removed artifacts.
@@ -249,7 +251,7 @@ class ArtifactStore:
                 self.clear_checkpoint(job_hash)
                 removed["checkpoints"] += 1
         if remove_results:
-            now = time.time()
+            now = time.time()  # ddlint: ignore[DD005] - compared to stored_at
             for job_hash, document in list(self.iter_results()):
                 age = now - float(document.get("stored_at", 0.0))
                 if (

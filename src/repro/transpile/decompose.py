@@ -20,12 +20,11 @@ equivalence checker in the tests).
 from __future__ import annotations
 
 import math
-from typing import List
 
 from ..circuits.circuit import Circuit, Operation
 
 
-def _toffoli_network(control1: int, control2: int, target: int) -> List[Operation]:
+def _toffoli_network(control1: int, control2: int, target: int) -> list[Operation]:
     """The standard T-depth decomposition of the Toffoli gate."""
     return [
         Operation("h", (target,)),
@@ -46,7 +45,7 @@ def _toffoli_network(control1: int, control2: int, target: int) -> List[Operatio
     ]
 
 
-def _mcp_network(angle: float, qubits: List[int]) -> List[Operation]:
+def _mcp_network(angle: float, qubits: list[int]) -> list[Operation]:
     """Recursive no-ancilla multi-controlled phase.
 
     ``mcp(theta)`` on ``[q0 .. qk]`` (phase applies when *all* are 1)
@@ -69,7 +68,7 @@ def _mcp_network(angle: float, qubits: List[int]) -> List[Operation]:
             Operation("p", (b,), (), (angle / 2,)),
         ]
     *rest, last = qubits
-    operations: List[Operation] = []
+    operations: list[Operation] = []
     operations += _mcp_network(angle / 2, rest)
     operations.append(Operation("x", (last,), (rest[-1],)))
     operations += _mcp_network(-angle / 2, rest[:-1] + [last])

@@ -16,7 +16,7 @@ mapped circuit can be validated end-to-end against the original.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import networkx as nx
 
@@ -33,7 +33,7 @@ class CouplingMap:
     """
 
     num_qubits: int
-    edges: Tuple[Tuple[int, int], ...]
+    edges: tuple[tuple[int, int], ...]
 
     def __post_init__(self) -> None:
         for a, b in self.edges:
@@ -79,7 +79,7 @@ class CouplingMap:
     @classmethod
     def grid(cls, rows: int, cols: int) -> "CouplingMap":
         """A 2-D grid (the supremacy-chip topology)."""
-        edges: List[Tuple[int, int]] = []
+        edges: list[tuple[int, int]] = []
         for r in range(rows):
             for c in range(cols):
                 q = r * cols + c
@@ -102,15 +102,15 @@ class MappingResult:
     """
 
     circuit: Circuit
-    initial_layout: List[int]
-    final_layout: List[int]
+    initial_layout: list[int]
+    final_layout: list[int]
     swaps_inserted: int
 
 
 def map_circuit(
     circuit: Circuit,
     coupling: CouplingMap,
-    initial_layout: Optional[Sequence[int]] = None,
+    initial_layout: Sequence[int] | None = None,
 ) -> MappingResult:
     """Route a circuit onto a coupling map by SWAP insertion.
 

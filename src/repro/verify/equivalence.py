@@ -11,7 +11,6 @@ canonical form makes the check structural rather than numerical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..circuits.circuit import Circuit
 from ..circuits.lowering import circuit_operators
@@ -66,14 +65,14 @@ class EquivalenceResult:
     """
 
     equivalent: bool
-    global_phase: Optional[complex]
+    global_phase: complex | None
     miter_nodes: int
 
 
 def circuits_equivalent(
     first: Circuit,
     second: Circuit,
-    package: Optional[Package] = None,
+    package: Package | None = None,
     up_to_global_phase: bool = True,
 ) -> EquivalenceResult:
     """Check two circuits for (phase-insensitive) unitary equivalence.

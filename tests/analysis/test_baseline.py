@@ -1,0 +1,163 @@
+"""Tests for the ddlint baseline ratchet semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Violation,
+    baseline_key,
+    compare_to_baseline,
+    load_baseline,
+    summarize,
+    write_baseline,
+)
+
+
+def finding(path: str, rule: str, line: int = 1) -> Violation:
+    return Violation(
+        rule=rule, path=path, line=line, col=0, message="fixture"
+    )
+
+
+class TestSummarize:
+    def test_counts_by_file_and_rule(self):
+        violations = [
+            finding("src/a.py", "DD002", line=1),
+            finding("src/a.py", "DD002", line=9),
+            finding("src/b.py", "DD001"),
+        ]
+        assert summarize(violations) == {
+            "src/a.py::DD002": 2,
+            "src/b.py::DD001": 1,
+        }
+
+    def test_key_ignores_line_numbers(self):
+        early = finding("src/a.py", "DD002", line=1)
+        late = finding("src/a.py", "DD002", line=500)
+        assert baseline_key(early) == baseline_key(late)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding("src/a.py", "DD002")], path)
+        assert load_baseline(path) == {"src/a.py::DD002": 1}
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_rejects_malformed_document(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_rejects_bad_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": {"a::DD001": -2}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRatchet:
+    def test_clean_when_counts_match(self):
+        violations = [finding("src/a.py", "DD002")]
+        report = compare_to_baseline(violations, {"src/a.py::DD002": 1})
+        assert report.clean
+        assert report.matched == 1
+        assert report.new == {}
+        assert report.fixed == {}
+
+    def test_new_finding_fails(self):
+        violations = [
+            finding("src/a.py", "DD002"),
+            finding("src/a.py", "DD002", line=2),
+        ]
+        report = compare_to_baseline(violations, {"src/a.py::DD002": 1})
+        assert not report.clean
+        assert report.new == {"src/a.py::DD002": 1}
+
+    def test_unknown_file_is_new(self):
+        report = compare_to_baseline([finding("src/c.py", "DD001")], {})
+        assert report.new == {"src/c.py::DD001": 1}
+
+    def test_fix_shrinks_baseline(self):
+        report = compare_to_baseline([], {"src/a.py::DD002": 1})
+        assert report.fixed == {"src/a.py::DD002": 1}
+        assert report.new == {}
+        text = "\n".join(report.describe())
+        assert "FIXED" in text
+        assert "shrink" in text.lower()
+
+
+class TestCliRatchet:
+    """End-to-end ratchet behaviour through ``repro-sim lint``."""
+
+    def _tree(self, tmp_path, body: str):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "mod.py").write_text(body, encoding="utf-8")
+        return tmp_path / "src"
+
+    def test_write_then_strict_pass(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        source = self._tree(tmp_path, "bad = VNode(0, ())\n")
+        baseline = tmp_path / "baseline.json"
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            [
+                "lint",
+                str(source),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["lint", str(source), "--baseline", str(baseline), "--strict"]
+        ) == 0
+
+    def test_new_finding_fails_lint(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        source = self._tree(tmp_path, "bad = VNode(0, ())\n")
+        baseline = tmp_path / "baseline.json"
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(source), "--baseline", str(baseline)]) == 1
+        assert "DD001" in capsys.readouterr().err
+
+    def test_strict_fails_on_stale_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        source = self._tree(tmp_path, "bad = VNode(0, ())\n")
+        baseline = tmp_path / "baseline.json"
+        monkeypatch.chdir(tmp_path)
+        main(
+            [
+                "lint",
+                str(source),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        (tmp_path / "src" / "repro" / "core" / "mod.py").write_text(
+            "good = make_vedge(0)\n", encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert main(
+            ["lint", str(source), "--baseline", str(baseline)]
+        ) == 0  # shrinkage alone passes outside strict mode
+        assert main(
+            ["lint", str(source), "--baseline", str(baseline), "--strict"]
+        ) == 1

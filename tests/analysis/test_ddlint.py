@@ -1,0 +1,222 @@
+"""Tests for the domain-aware linter (DD001-DD005).
+
+Every rule gets a positive fixture (code that must be flagged) and a
+negative fixture (idiomatic code that must pass), plus the privileged
+modules where the rule is intentionally silent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RULES, LintError, lint_paths, lint_source
+from repro.analysis.ddlint import module_name_for
+
+
+def codes(source: str, path: str = "src/repro/core/example.py") -> list[str]:
+    return [violation.rule for violation in lint_source(source, path)]
+
+
+class TestRuleCatalog:
+    def test_all_rules_documented(self):
+        assert set(RULES) == {"DD001", "DD002", "DD003", "DD004", "DD005"}
+        for rule in RULES.values():
+            assert rule.summary
+            assert rule.rationale
+
+    def test_violation_format(self):
+        violations = lint_source(
+            "x = VNode(0, ())\n", "src/repro/core/a.py"
+        )
+        assert len(violations) == 1
+        rendered = violations[0].format()
+        assert "src/repro/core/a.py:1:" in rendered
+        assert "DD001" in rendered
+
+
+class TestDD001NodeConstruction:
+    def test_flags_direct_vnode_construction(self):
+        assert "DD001" in codes("node = VNode(0, (e0, e1))\n")
+
+    def test_flags_direct_mnode_construction(self):
+        assert "DD001" in codes("node = MNode(1, edges)\n")
+
+    def test_flags_attribute_form(self):
+        assert "DD001" in codes("node = node_module.VNode(0, edges)\n")
+
+    def test_allows_package_module(self):
+        assert codes(
+            "node = VNode(0, (e0, e1))\n", "src/repro/dd/package.py"
+        ) == []
+
+    def test_allows_node_module(self):
+        assert codes(
+            "node = VNode(0, (e0, e1))\n", "src/repro/dd/node.py"
+        ) == []
+
+    def test_allows_other_calls(self):
+        assert codes("node = make_vedge(0, e0, e1)\n") == []
+
+
+class TestDD002ExactFloatComparison:
+    def test_flags_float_equality(self):
+        assert "DD002" in codes("if weight == 0.0:\n    pass\n")
+
+    def test_flags_float_inequality(self):
+        assert "DD002" in codes("if weight != 1.0:\n    pass\n")
+
+    def test_flags_complex_literal(self):
+        assert "DD002" in codes("if w == 1 + 0j:\n    pass\n")
+
+    def test_flags_negative_literal(self):
+        assert "DD002" in codes("if w == -1.0:\n    pass\n")
+
+    def test_allows_integer_comparison(self):
+        assert codes("if count == 0:\n    pass\n") == []
+
+    def test_allows_ordering_comparison(self):
+        assert codes("if weight > 0.5:\n    pass\n") == []
+
+    def test_allows_ctable_module(self):
+        assert codes(
+            "if weight == 0.0:\n    pass\n", "src/repro/dd/ctable.py"
+        ) == []
+
+
+class TestDD003NodeMutation:
+    def test_flags_edges_assignment(self):
+        assert "DD003" in codes("node.edges = new_edges\n")
+
+    def test_flags_level_assignment(self):
+        assert "DD003" in codes("node.level = 3\n")
+
+    def test_flags_augmented_assignment(self):
+        assert "DD003" in codes("node.level += 1\n")
+
+    def test_allows_other_attributes(self):
+        assert codes("record.edges_seen = 3\nstate.total = 1\n") == []
+
+    def test_allows_package_module(self):
+        assert codes(
+            "node.edges = edges\n", "src/repro/dd/package.py"
+        ) == []
+
+
+class TestDD004MissingAnnotations:
+    def test_flags_unannotated_public_function(self):
+        assert "DD004" in codes("def apply(state, gate):\n    return state\n")
+
+    def test_flags_missing_return_annotation(self):
+        assert "DD004" in codes(
+            "def apply(state: int, gate: str):\n    return state\n"
+        )
+
+    def test_allows_fully_annotated(self):
+        assert codes(
+            "def apply(state: int, gate: str) -> int:\n    return state\n"
+        ) == []
+
+    def test_allows_private_functions(self):
+        assert codes("def _helper(state):\n    return state\n") == []
+
+    def test_allows_nested_functions(self):
+        source = (
+            "def outer() -> None:\n"
+            "    def inner(x):\n"
+            "        return x\n"
+        )
+        assert codes(source) == []
+
+    def test_skips_self_and_cls(self):
+        source = (
+            "class Thing:\n"
+            "    def method(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def build(cls) -> 'Thing':\n"
+            "        return cls()\n"
+        )
+        assert codes(source) == []
+
+    def test_methods_are_public_api(self):
+        source = (
+            "class Thing:\n"
+            "    def method(self, x):\n"
+            "        return x\n"
+        )
+        assert "DD004" in codes(source)
+
+    def test_only_in_annotated_packages(self):
+        source = "def apply(state, gate):\n    return state\n"
+        assert codes(source, "src/repro/service/jobs.py") == []
+
+
+class TestDD005WallClockTiming:
+    def test_flags_time_time(self):
+        assert "DD005" in codes(
+            "import time\nstarted = time.time()\n"
+        )
+
+    def test_allows_perf_counter(self):
+        assert codes(
+            "import time\nstarted = time.perf_counter()\n"
+        ) == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_rule(self):
+        source = "import time\nt = time.time()  # ddlint: ignore[DD005]\n"
+        assert codes(source) == []
+
+    def test_ignore_is_rule_specific(self):
+        source = "import time\nt = time.time()  # ddlint: ignore[DD001]\n"
+        assert "DD005" in codes(source)
+
+
+class TestPaths:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/dd/package.py") == (
+            "repro.dd.package"
+        )
+        assert module_name_for("src/repro/dd/__init__.py") == "repro.dd"
+
+    def test_lint_paths_recurses_and_sorts(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "core"
+        tree.mkdir(parents=True)
+        (tree / "b.py").write_text("x = VNode(0, ())\n", encoding="utf-8")
+        (tree / "a.py").write_text("y = MNode(0, ())\n", encoding="utf-8")
+        violations = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [v.path for v in violations] == [
+            "src/repro/core/a.py",
+            "src/repro/core/b.py",
+        ]
+        assert {v.rule for v in violations} == {"DD001"}
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        with pytest.raises(LintError):
+            lint_paths([bad], root=tmp_path)
+
+
+class TestRepositoryIsRatcheted:
+    def test_tree_has_no_unbaselined_findings(self):
+        """The committed baseline covers every finding in the tree."""
+        from pathlib import Path
+
+        from repro.analysis import (
+            compare_to_baseline,
+            load_baseline,
+            summarize,
+        )
+
+        root = Path(__file__).resolve().parents[2]
+        violations = lint_paths([root / "src" / "repro"], root=root)
+        baseline = load_baseline(root / "analysis" / "baseline.json")
+        report = compare_to_baseline(violations, baseline)
+        assert report.new == {}, (
+            "new ddlint findings: fix them or justify a suppression:\n"
+            + "\n".join(report.describe())
+        )
+        assert summarize(violations).keys() <= baseline.keys()

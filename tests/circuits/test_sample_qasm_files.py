@@ -19,7 +19,7 @@ _CIRCUIT_DIR = os.path.join(
 
 def _load(name: str):
     path = os.path.join(_CIRCUIT_DIR, name)
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return parse_qasm(handle.read(), name=name)
 
 

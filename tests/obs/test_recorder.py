@@ -159,7 +159,6 @@ class TestGlobalRecorder:
         assert get_recorder() is NULL_RECORDER
 
     def test_recording_restores_on_error(self):
-        with pytest.raises(RuntimeError):
-            with recording():
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), recording():
+            raise RuntimeError("boom")
         assert get_recorder() is NULL_RECORDER
