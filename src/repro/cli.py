@@ -28,7 +28,10 @@ Subcommands:
 * ``batch`` — execute a JSON batch of job specs through the persistent
   job engine (content-addressed caching, checkpoint/resume).
 * ``jobs`` — inspect and garbage-collect the artifact store
-  (``ls`` / ``show`` / ``gc``).
+  (``ls`` / ``show`` / ``gc``, including the quarantine area).
+* ``faults`` — fault-injection tooling (``sites`` lists injection
+  sites and kinds, ``check`` validates a plan file — see
+  docs/FAULTS.md).
 
 Examples::
 
@@ -46,6 +49,9 @@ Examples::
     repro-sim table1 --suite shor --timeout 60
     repro-sim batch jobs.json --workers 4 --store ~/.cache/repro-sim
     repro-sim jobs ls && repro-sim jobs show 3f2a && repro-sim jobs gc
+    repro-sim faults sites && repro-sim faults check plan.json
+    repro-sim run builtin:shor_15_2 --fault-plan plan.json \
+        --node-ceiling 5000 --fidelity-floor 0.25
 """
 
 from __future__ import annotations
@@ -136,7 +142,9 @@ def _load_circuit(source: str):
     return parse_qasm(text, name=source)
 
 
-def _instrumented_simulate(circuit, strategy, max_seconds=None, ddsan=None):
+def _instrumented_simulate(
+    circuit, strategy, max_seconds=None, ddsan=None, watchdog=None
+):
     """Simulate under a fresh recorder + metrics-counting package.
 
     Returns ``(outcome, recorder, package)``; used by ``run --metrics``
@@ -156,16 +164,68 @@ def _instrumented_simulate(circuit, strategy, max_seconds=None, ddsan=None):
             max_seconds=max_seconds,
             recorder=recorder,
             ddsan=ddsan,
+            watchdog=watchdog,
         )
     return outcome, recorder, package
 
 
+def _arm_fault_plan(path: str | None) -> int:
+    """Arm ``--fault-plan`` when given; returns an exit code (0 = ok)."""
+    if not path:
+        return 0
+    from .faults import arm_from_path
+
+    try:
+        arm_from_path(path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load fault plan: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _build_watchdog(args: argparse.Namespace):
+    """Build a :class:`MemoryWatchdog` from CLI knobs (None = default)."""
+    from .core.simulator import MemoryWatchdog
+
+    if (
+        args.node_ceiling is None
+        and args.rss_ceiling_mb is None
+        and args.emergency_fidelity is None
+        and args.fidelity_floor is None
+    ):
+        return None
+    defaults = MemoryWatchdog()
+    return MemoryWatchdog(
+        node_ceiling=args.node_ceiling,
+        rss_mb_ceiling=args.rss_ceiling_mb,
+        emergency_fidelity=(
+            args.emergency_fidelity
+            if args.emergency_fidelity is not None
+            else defaults.emergency_fidelity
+        ),
+        fidelity_floor=(
+            args.fidelity_floor
+            if args.fidelity_floor is not None
+            else defaults.fidelity_floor
+        ),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import SanitizerError
+    from .faults import MemoryBudgetExceeded
 
+    exit_code = _arm_fault_plan(args.fault_plan)
+    if exit_code:
+        return exit_code
     circuit = _load_circuit(args.circuit)
     strategy = _build_strategy(args)
     ddsan = True if args.ddsan else None  # None defers to REPRO_DDSAN
+    try:
+        watchdog = _build_watchdog(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         if args.metrics:
             outcome, recorder, package = _instrumented_simulate(
@@ -173,6 +233,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 strategy,
                 max_seconds=args.timeout or None,
                 ddsan=ddsan,
+                watchdog=watchdog,
             )
         else:
             outcome = simulate(
@@ -180,12 +241,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 strategy,
                 max_seconds=args.timeout or None,
                 ddsan=ddsan,
+                watchdog=watchdog,
             )
     except SanitizerError as violation:
         print(f"DDSAN VIOLATION: {violation}", file=sys.stderr)
         for problem in violation.problems:
             print(f"  {problem}", file=sys.stderr)
         return 3
+    except MemoryBudgetExceeded as exceeded:
+        print(f"MEMORY BUDGET EXCEEDED: {exceeded}", file=sys.stderr)
+        return 4
     except SimulationTimeout as timeout:
         print(f"TIMEOUT after {timeout.stats.runtime_seconds:.2f}s")
         print(timeout.stats.summary())
@@ -198,10 +263,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote metrics report to {args.metrics}")
     print(outcome.stats.summary())
     for record in outcome.stats.rounds:
+        marker = " [emergency]" if record.emergency else ""
         print(
             f"  round @op {record.op_index}: "
             f"{record.nodes_before} -> {record.nodes_after} nodes, "
-            f"fidelity {record.achieved_fidelity:.4f}"
+            f"fidelity {record.achieved_fidelity:.4f}{marker}"
         )
     if args.shots:
         counts = outcome.state.sample(
@@ -474,6 +540,9 @@ def _print_counts(counts, num_qubits: int, limit: int = 10) -> None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    exit_code = _arm_fault_plan(args.fault_plan)
+    if exit_code:
+        return exit_code
     try:
         specs = load_job_specs(args.jobs_file)
     except (OSError, ValueError) as error:
@@ -526,6 +595,13 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             )
         for job_hash in sorted(checkpointed - {h for h, _ in rows}):
             print(f"{job_hash[:12]}  <checkpoint only — resumable>")
+        quarantined = list(store.iter_quarantined())
+        if quarantined:
+            print(
+                f"quarantine: {len(quarantined)} item(s) — inspect under "
+                f"{store.quarantine_root()}, purge with "
+                f"'jobs gc --quarantine'"
+            )
         return 0
     if args.jobs_command == "show":
         try:
@@ -564,14 +640,56 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             else None
         )
         removed = store.gc(
-            older_than_seconds=older, remove_results=args.results
+            older_than_seconds=older,
+            remove_results=args.results,
+            remove_quarantine=args.quarantine,
         )
         print(
             f"removed {removed['checkpoints']} stale checkpoint(s), "
-            f"{removed['results']} result(s)"
+            f"{removed['results']} result(s), "
+            f"{removed['quarantined']} quarantined item(s)"
         )
         return 0
     print(f"error: unknown jobs command {args.jobs_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import KINDS, SITES, FaultPlan
+
+    if args.faults_command == "sites":
+        print("injection sites:")
+        for name in sorted(SITES):
+            print(f"  {name:22s} {SITES[name]}")
+        print("fault kinds:")
+        for name in sorted(KINDS):
+            print(f"  {name:22s} {KINDS[name]}")
+        return 0
+    if args.faults_command == "check":
+        try:
+            plan = FaultPlan.load(args.plan_file)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"ok: {len(plan.rules)} rule(s), seed={plan.seed}, "
+            f"state_dir={plan.state_dir or '<per-process counters>'}"
+        )
+        for index, rule in enumerate(plan.rules):
+            window = (
+                "always"
+                if rule.max_hits is None
+                else f"visits {rule.after_hits + 1}.."
+                f"{rule.after_hits + rule.max_hits}"
+            )
+            at = f" at op {rule.at_op}" if rule.at_op is not None else ""
+            print(
+                f"  [{index}] {rule.kind} @ {rule.site}{at} "
+                f"({window}, p={rule.probability})"
+            )
+        return 0
+    print(f"error: unknown faults command {args.faults_command!r}",
           file=sys.stderr)
     return 2
 
@@ -804,6 +922,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the DDSan invariant sanitizer (slow; aborts on "
         "the first representation-invariant violation)",
     )
+    run.add_argument(
+        "--fault-plan",
+        default="",
+        help="arm a deterministic fault-injection plan (JSON; see "
+        "docs/FAULTS.md) — equivalent to setting REPRO_FAULTS",
+    )
+    run.add_argument(
+        "--node-ceiling",
+        type=int,
+        default=None,
+        help="memory watchdog: force an emergency approximation round "
+        "when the state diagram exceeds this many nodes",
+    )
+    run.add_argument(
+        "--rss-ceiling-mb",
+        type=float,
+        default=None,
+        help="memory watchdog: trigger emergency approximation when "
+        "peak process RSS exceeds this many MiB",
+    )
+    run.add_argument(
+        "--emergency-fidelity",
+        type=float,
+        default=None,
+        help="per-emergency-round fidelity target (default 0.9)",
+    )
+    run.add_argument(
+        "--fidelity-floor",
+        type=float,
+        default=None,
+        help="fail (exit 4) instead of degrading the fidelity estimate "
+        "below this floor (default 0.05)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     shor = sub.add_parser("shor", help="factor a number via Shor")
@@ -993,6 +1144,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-simulate even when a stored result exists",
     )
+    batch.add_argument(
+        "--fault-plan",
+        default="",
+        help="arm a deterministic fault-injection plan (JSON; see "
+        "docs/FAULTS.md) — inherited by forked workers",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     jobs = sub.add_parser(
@@ -1030,8 +1187,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --results, only delete results older than this",
     )
+    jobs_gc.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="also purge quarantined (corrupt) artifacts",
+    )
     _store_option(jobs_gc)
     jobs_gc.set_defaults(handler=_cmd_jobs)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection plans: list sites, validate plans"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sites = faults_sub.add_parser(
+        "sites", help="list known injection sites and fault kinds"
+    )
+    faults_sites.set_defaults(handler=_cmd_faults)
+    faults_check = faults_sub.add_parser(
+        "check", help="validate a fault plan file"
+    )
+    faults_check.add_argument("plan_file", help="path to a plan JSON file")
+    faults_check.set_defaults(handler=_cmd_faults)
     return parser
 
 

@@ -27,9 +27,27 @@ from ..circuits.lowering import operation_to_medge
 from ..dd.package import Package, default_package
 from ..dd.serialize import state_to_dict
 from ..dd.vector import StateDD
+from ..faults.errors import MemoryBudgetExceeded
+from ..faults.injector import get_injector
 from ..obs import Recorder, get_recorder
+from .approximation import approximate_state
 from .fidelity import composed_fidelity
 from .strategies import ApproximationStrategy, NoApproximation
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident-set size of this process in MiB (0.0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def _resolve_sanitizer(
@@ -105,6 +123,65 @@ class RoundRecord:
     achieved_fidelity: float
     removed_contribution: float
     removed_nodes: int
+    emergency: bool = False
+    """True when the round was forced by the memory watchdog rather than
+    scheduled by the approximation strategy (graceful degradation under
+    memory pressure).  Lemma 1 composes it like any other round."""
+
+
+@dataclass(frozen=True)
+class MemoryWatchdog:
+    """Graceful degradation policy for memory pressure (§IV-B's stance).
+
+    The memory-driven use case of the paper approximates *instead of*
+    running out of memory.  The watchdog generalizes that to runs whose
+    strategy did not anticipate the pressure: when an allocation fails
+    (a real or injected :class:`MemoryError`) or the diagram crosses a
+    configured ceiling, the simulator runs an **emergency approximation
+    round** through the same machinery as scheduled rounds
+    (:func:`repro.core.approximation.approximate_state`) and keeps
+    going.  Every rescue is recorded as an ``emergency`` round, so its
+    fidelity cost appears in the Lemma-1 product (``--metrics`` reports
+    it), and the strategy is notified via
+    :meth:`~repro.core.strategies.ApproximationStrategy.note_external_round`
+    so budgeted policies charge it against their allowance.
+
+    The run *fails* (:class:`~repro.faults.errors.MemoryBudgetExceeded`)
+    rather than degrade past ``fidelity_floor`` — §IV-B's warning that
+    unchecked approximation "may render the simulation result
+    meaningless" made executable.
+
+    Attributes:
+        enabled: Master switch; disabled means MemoryError propagates.
+        node_ceiling: Proactive ceiling on the state diagram's node
+            count (checked at size-check points); None disables.
+        rss_mb_ceiling: Proactive ceiling on the process's peak RSS in
+            MiB; None disables.  Peak RSS is monotonic, so after a trip
+            further rescues fire only while the diagram keeps growing.
+        emergency_fidelity: Per-rescue fidelity target.
+        fidelity_floor: Lower bound on the end-to-end fidelity estimate;
+            a rescue that would (conservatively) cross it raises
+            :class:`MemoryBudgetExceeded` instead of degrading.
+        max_rescues: Hard cap on emergency rounds per run; exhausted
+            rescues re-raise the original pressure signal.
+    """
+
+    enabled: bool = True
+    node_ceiling: int | None = None
+    rss_mb_ceiling: float | None = None
+    emergency_fidelity: float = 0.9
+    fidelity_floor: float = 0.05
+    max_rescues: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.emergency_fidelity <= 1.0:
+            raise ValueError("emergency_fidelity must be in (0, 1]")
+        if not 0.0 <= self.fidelity_floor < 1.0:
+            raise ValueError("fidelity_floor must be in [0, 1)")
+        if self.max_rescues < 1:
+            raise ValueError("max_rescues must be positive")
+        if self.node_ceiling is not None and self.node_ceiling < 2:
+            raise ValueError("node_ceiling must be at least 2")
 
 
 @dataclass
@@ -201,6 +278,7 @@ class DDSimulator:
          | None = None,
         recorder: Recorder | None = None,
         ddsan: bool | None = None,
+        watchdog: MemoryWatchdog | None = None,
     ) -> SimulationOutcome:
         """Simulate ``circuit`` from a basis state or a prepared state.
 
@@ -260,6 +338,12 @@ class DDSimulator:
                 :class:`repro.analysis.ddsan.SanitizerError` naming the
                 offending operation index, gate, and round on the first
                 violation.
+            watchdog: Memory-pressure policy (see
+                :class:`MemoryWatchdog`).  ``None`` uses the default
+                watchdog — ``MemoryError`` during a gate application
+                triggers an emergency approximation round and a single
+                retry.  Pass ``MemoryWatchdog(enabled=False)`` to let
+                memory pressure propagate unhandled.
 
         Returns:
             A :class:`SimulationOutcome` with the final state (unit norm)
@@ -269,6 +353,11 @@ class DDSimulator:
             SimulationTimeout: When ``max_seconds`` elapses mid-run.  The
                 exception carries the serialized partial state and the
                 index of the first unapplied operation for checkpointing.
+            MemoryBudgetExceeded: When an emergency approximation round
+                would push the fidelity estimate below the watchdog's
+                floor.
+            MemoryError: When pressure persists after a rescue (or the
+                watchdog is disabled / its rescue budget is spent).
             ValueError: When a prepared initial state mismatches the
                 circuit width or the simulator's package,
                 ``size_check_interval < 1``, or ``start_op_index`` is out
@@ -315,6 +404,12 @@ class DDSimulator:
         stats.max_nodes = node_count
         applied = 0
         sanitizer = _resolve_sanitizer(ddsan, self.package)
+        guard = watchdog if watchdog is not None else MemoryWatchdog()
+        rescues = 0
+        rescue_floor = 0  # node count after the last rescue (anti-thrash)
+        # Resolved once; the per-gate cost of a disarmed fault framework
+        # is this local's ``is None`` check.
+        injector = get_injector()
         if recorder is None:
             recorder = get_recorder()
         obs = recorder if recorder.enabled else None
@@ -342,12 +437,38 @@ class DDSimulator:
                         op_index=op_index,
                     )
             op_started = time.perf_counter() if obs is not None else 0.0
-            medge = operation_to_medge(
-                operation, circuit.num_qubits, self.package
-            )
-            edge = self.package.multiply_mv(
-                medge, state.edge, circuit.num_qubits - 1
-            )
+            try:
+                if injector is not None:
+                    injector.fire(
+                        "simulator.gate",
+                        op_index=op_index,
+                        gate=operation.gate,
+                        circuit=circuit.name,
+                    )
+                medge = operation_to_medge(
+                    operation, circuit.num_qubits, self.package
+                )
+                edge = self.package.multiply_mv(
+                    medge, state.edge, circuit.num_qubits - 1
+                )
+            except MemoryError:
+                if not guard.enabled or rescues >= guard.max_rescues:
+                    raise
+                # Graceful degradation: shrink the pre-operation state
+                # with an emergency round, then retry the gate once.  A
+                # second MemoryError propagates — degradation did not
+                # relieve the pressure.
+                state, node_count = self._emergency_round(
+                    state, op_index, stats, guard, policy, obs
+                )
+                rescues += 1
+                rescue_floor = node_count
+                medge = operation_to_medge(
+                    operation, circuit.num_qubits, self.package
+                )
+                edge = self.package.multiply_mv(
+                    medge, state.edge, circuit.num_qubits - 1
+                )
             state = StateDD(edge, circuit.num_qubits, self.package)
             if sanitizer is not None:
                 sanitizer.check_after_operation(
@@ -405,6 +526,30 @@ class DDSimulator:
                         achieved_fidelity=result.achieved_fidelity,
                         fidelity_spent=spent,
                     )
+            if (
+                guard.enabled
+                and rescues < guard.max_rescues
+                and node_count > rescue_floor
+                and (
+                    (
+                        guard.node_ceiling is not None
+                        and node_count > guard.node_ceiling
+                    )
+                    or (
+                        guard.rss_mb_ceiling is not None
+                        and _peak_rss_mb() > guard.rss_mb_ceiling
+                    )
+                )
+            ):
+                # Proactive ceiling trip: degrade before allocation
+                # fails.  Fires only while the diagram keeps growing
+                # past the previous rescue's result, so an irreducible
+                # diagram does not trigger a round on every operation.
+                state, node_count = self._emergency_round(
+                    state, op_index, stats, guard, policy, obs
+                )
+                rescues += 1
+                rescue_floor = node_count
             if stats.trajectory is not None:
                 stats.trajectory.append(node_count)
             applied += 1
@@ -429,6 +574,75 @@ class DDSimulator:
                 fidelity_estimate=stats.fidelity_estimate,
             )
         return SimulationOutcome(state=state, stats=stats)
+
+    def _emergency_round(
+        self,
+        state: StateDD,
+        op_index: int,
+        stats: SimulationStats,
+        watchdog: MemoryWatchdog,
+        policy: ApproximationStrategy,
+        obs: Recorder | None,
+    ) -> tuple[StateDD, int]:
+        """Run one watchdog-forced approximation round on ``state``.
+
+        Returns the (possibly shrunken) state and its node count.  The
+        round is recorded with ``emergency=True`` so its fidelity cost
+        is visible in the Lemma-1 product, and the strategy is told via
+        :meth:`~repro.core.strategies.ApproximationStrategy.note_external_round`.
+
+        Raises:
+            MemoryBudgetExceeded: When spending ``emergency_fidelity``
+                would (conservatively) push the end-to-end estimate
+                below the watchdog's floor.
+        """
+        projected = stats.fidelity_estimate * watchdog.emergency_fidelity
+        if projected < watchdog.fidelity_floor:
+            raise MemoryBudgetExceeded(
+                f"emergency approximation at operation {op_index} would "
+                f"drop the fidelity estimate to ~{projected:.4f}, below "
+                f"the configured floor {watchdog.fidelity_floor} — "
+                "refusing to degrade further (raise the floor's budget, "
+                "relax the ceiling, or grant more memory)"
+            )
+        result = approximate_state(
+            state, watchdog.emergency_fidelity, measure_fidelity=True
+        )
+        if obs is not None:
+            obs.count("watchdog.emergency_rounds")
+            obs.event(
+                "emergency_round",
+                op_index=op_index,
+                nodes_before=result.nodes_before,
+                nodes_after=result.nodes_after,
+                nodes_removed=result.removed_nodes,
+                requested_fidelity=result.requested_fidelity,
+                achieved_fidelity=result.achieved_fidelity,
+            )
+        if result.removed_nodes == 0:
+            # Nothing removable at this fidelity: the state is unchanged
+            # and no fidelity was spent, so there is nothing to record.
+            return state, result.nodes_after
+        stats.rounds.append(
+            RoundRecord(
+                op_index=op_index,
+                nodes_before=result.nodes_before,
+                nodes_after=result.nodes_after,
+                requested_fidelity=result.requested_fidelity,
+                achieved_fidelity=result.achieved_fidelity,
+                removed_contribution=result.removed_contribution,
+                removed_nodes=result.removed_nodes,
+                emergency=True,
+            )
+        )
+        policy.note_external_round(op_index, result.achieved_fidelity)
+        if obs is not None:
+            obs.count("approx.rounds")
+            obs.count("approx.nodes_removed", result.removed_nodes)
+            obs.count(
+                "approx.fidelity_spent", 1.0 - result.achieved_fidelity
+            )
+        return result.state, result.nodes_after
 
     def run_exact(
         self, circuit: Circuit, initial_state: int = 0
@@ -508,6 +722,7 @@ def simulate(
     size_check_interval: int = 1,
     recorder: Recorder | None = None,
     ddsan: bool | None = None,
+    watchdog: MemoryWatchdog | None = None,
 ) -> SimulationOutcome:
     """Module-level convenience wrapper around :class:`DDSimulator`."""
     simulator = DDSimulator(package)
@@ -520,4 +735,5 @@ def simulate(
         size_check_interval=size_check_interval,
         recorder=recorder,
         ddsan=ddsan,
+        watchdog=watchdog,
     )

@@ -76,6 +76,25 @@ class ApproximationStrategy(abc.ABC):
         """
         return None
 
+    def note_external_round(
+        self, op_index: int, achieved_fidelity: float
+    ) -> None:
+        """Account for an approximation round the strategy did not run.
+
+        The simulator's memory watchdog can force an *emergency* round
+        (graceful degradation under memory pressure) between the
+        strategy's own rounds.  Lemma 1 composes its fidelity into the
+        same product, so budgeted strategies must charge it against
+        their remaining allowance or the end-to-end guarantee silently
+        erodes.  The default is a no-op (correct for stateless
+        policies).
+
+        Args:
+            op_index: Operation index after which the round ran.
+            achieved_fidelity: The round's achieved fidelity.
+        """
+        return None
+
 
 class NoApproximation(ApproximationStrategy):
     """The exact reference simulation (the paper's baseline columns)."""
@@ -138,6 +157,12 @@ class MemoryDrivenStrategy(ApproximationStrategy):
         self.threshold = float(self.initial_threshold) * (
             self.growth ** len(completed_rounds)
         )
+
+    def note_external_round(
+        self, op_index: int, achieved_fidelity: float
+    ) -> None:
+        """Grow the threshold as if the strategy had run the round itself."""
+        self.threshold *= self.growth
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
@@ -270,6 +295,20 @@ class FidelityDrivenStrategy(ApproximationStrategy):
         allowance = max(0, self.budgeted_rounds - len(completed_rounds))
         self._pending = self._pending[:allowance]
 
+    def note_external_round(
+        self, op_index: int, achieved_fidelity: float
+    ) -> None:
+        """Give up one planned round to pay for the emergency round.
+
+        The budget is ``max_rounds`` factors of at least
+        ``round_fidelity``; an emergency round contributes its own
+        factor, so dropping the last planned position keeps the Lemma 1
+        product at or above ``final_fidelity`` whenever the emergency
+        fidelity is no worse than the per-round target.
+        """
+        if self._pending:
+            self._pending.pop()
+
     @staticmethod
     def _spread(start: int, end: int, rounds: int) -> list[int]:
         """Evenly distribute ``rounds`` positions over ``[start, end)``."""
@@ -350,6 +389,13 @@ class AdaptiveStrategy(ApproximationStrategy):
         self.rounds_used = min(self.budgeted_rounds, len(completed_rounds))
         self._baseline = None
 
+    def note_external_round(
+        self, op_index: int, achieved_fidelity: float
+    ) -> None:
+        """Charge the emergency round against the adaptive budget."""
+        self.rounds_used = min(self.budgeted_rounds, self.rounds_used + 1)
+        self._baseline = None  # re-baseline on the shrunken diagram
+
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int
     ) -> ApproximationResult | None:
@@ -426,6 +472,12 @@ class SizeCapStrategy(ApproximationStrategy):
         self.remaining_fidelity = 1.0
         for record in completed_rounds:
             self.remaining_fidelity *= record.achieved_fidelity
+
+    def note_external_round(
+        self, op_index: int, achieved_fidelity: float
+    ) -> None:
+        """Fold the emergency round into the cumulative fidelity."""
+        self.remaining_fidelity *= achieved_fidelity
 
     def after_operation(
         self, state: StateDD, op_index: int, node_count: int

@@ -1,0 +1,89 @@
+"""Fault taxonomy: transient vs. permanent failures.
+
+The job engine's retry loop is only sound when it can distinguish
+failures that a retry can fix from failures it cannot:
+
+* :class:`TransientFault` — environmental and may succeed on retry
+  (I/O hiccups, memory pressure, a killed worker).  The engine retries
+  these with exponential backoff, up to its ``max_retries`` budget.
+* :class:`PermanentFault` — deterministic given the job spec (malformed
+  QASM, an unknown builtin, an exhausted fidelity budget).  Retrying
+  re-runs the same computation to the same failure, so the engine
+  reports them immediately.
+
+:func:`classify_exception` maps arbitrary exceptions onto the taxonomy.
+Integrity failures (checksum mismatches on stored artifacts) get their
+own subclasses so callers can quarantine the corrupt artifact and fall
+back to recomputation rather than surfacing the error at all.
+"""
+
+from __future__ import annotations
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+class TransientFault(RuntimeError):
+    """A failure that may not recur: retrying the operation is sensible."""
+
+
+class PermanentFault(RuntimeError):
+    """A deterministic failure: retrying re-runs into the same error."""
+
+
+class ArtifactIntegrityError(PermanentFault):
+    """A stored artifact failed its checksum / consistency verification.
+
+    Permanent for the *artifact* (re-reading the same bytes re-fails),
+    but recoverable for the *job*: quarantine the object and recompute.
+
+    Attributes:
+        path: Filesystem path of the offending artifact, when known.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointIntegrityError(ArtifactIntegrityError):
+    """A checkpoint document is corrupt, truncated, or stale.
+
+    Recovery: quarantine the checkpoint and restart the job from
+    scratch — sound (if wasteful) because a fresh run spends its own
+    Lemma-1 fidelity budget from 1.0.
+    """
+
+
+class MemoryBudgetExceeded(PermanentFault):
+    """Memory pressure persists but the fidelity floor forbids degrading.
+
+    Raised by the simulator's memory watchdog when an emergency
+    approximation round would push the Lemma-1 fidelity product below
+    the configured floor — the run fails rather than returning a
+    meaninglessly inaccurate state (§IV-B's warning).
+    """
+
+
+#: Exception types that are environmental — a retry may succeed.
+_TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
+    TransientFault,
+    OSError,
+    MemoryError,
+    TimeoutError,
+    ConnectionError,
+)
+
+
+def classify_exception(error: BaseException) -> str:
+    """Map an exception to :data:`TRANSIENT` or :data:`PERMANENT`.
+
+    Explicit taxonomy members win; otherwise I/O- and resource-shaped
+    standard exceptions are transient and everything else (value errors,
+    parse errors, programming errors) is permanent.
+    """
+    if isinstance(error, PermanentFault):
+        return PERMANENT
+    if isinstance(error, _TRANSIENT_TYPES):
+        return TRANSIENT
+    return PERMANENT

@@ -1,0 +1,231 @@
+"""Fault plans: declarative, seeded descriptions of what to break where.
+
+A :class:`FaultPlan` is a JSON document listing :class:`FaultRule`\\ s.
+Each rule names an **injection site** (a choke point the runtime threads
+through — see :data:`SITES`), a **fault kind** (what happens when the
+rule fires — see :data:`KINDS`), and deterministic trigger conditions:
+
+* ``at_op`` — fire only when the site reports that operation index
+  (the ``simulator.gate`` site reports the gate being applied);
+* ``after_hits`` / ``max_hits`` — skip the first N matching visits,
+  then fire at most M times;
+* ``probability`` — fire with this probability, drawn from a stream
+  seeded by ``(plan seed, rule index, visit number)`` so a given plan
+  replays identically regardless of wall clock or process id.
+
+Cross-process determinism: hit counters normally live in the injector
+(per process).  A plan may name a ``state_dir``; visit counts are then
+persisted there so a rule with ``max_hits: 1`` fires exactly once
+*across* worker restarts — the mechanism that lets a chaos test kill a
+worker once and assert the retry completes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+PLAN_FORMAT = "repro-fault-plan"
+PLAN_VERSION = 1
+
+#: Known injection sites: name -> where in the runtime it fires.
+SITES: dict[str, str] = {
+    "store.put_result": (
+        "ArtifactStore.put_result, between staging writes — the crash "
+        "window the staging-dir promotion protocol must close"
+    ),
+    "store.load_result": "ArtifactStore.load_result, before reading",
+    "store.save_checkpoint": (
+        "ArtifactStore.save_checkpoint, after the checkpoint file is "
+        "written — corrupt/truncate target the verify-on-load path "
+        "must catch"
+    ),
+    "store.load_checkpoint": (
+        "ArtifactStore.load_checkpoint, before reading"
+    ),
+    "engine.job": "execute_job, before the cache check (worker entry)",
+    "simulator.gate": (
+        "DDSimulator.run, before applying the operation whose index "
+        "the context reports"
+    ),
+}
+
+#: Known fault kinds: name -> effect when the rule fires.
+KINDS: dict[str, str] = {
+    "io_error": "raise OSError (read/write failure)",
+    "memory_error": "raise MemoryError (allocation failure)",
+    "transient": "raise repro.faults.errors.TransientFault",
+    "permanent": "raise repro.faults.errors.PermanentFault",
+    "kill": "SIGKILL the current process (crash, no cleanup)",
+    "truncate": "truncate the file named by the site's path context",
+    "corrupt": "flip one byte of the file named by the path context",
+}
+
+#: Kinds that mutate a file and therefore need ``path`` context.
+FILE_KINDS = frozenset({"truncate", "corrupt"})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection rule of a plan.
+
+    Attributes:
+        site: Injection site name (a :data:`SITES` key).
+        kind: Fault kind (a :data:`KINDS` key).
+        at_op: Only fire when the site context carries this
+            ``op_index`` (None matches any visit).
+        after_hits: Skip this many matching visits before arming.
+        max_hits: Fire at most this many times (None = unbounded).
+        probability: Chance of firing per armed visit, in ``(0, 1]``.
+        args: Kind-specific arguments (``truncate``: ``keep_bytes``;
+            ``corrupt``: ``offset``).
+    """
+
+    site: str
+    kind: str
+    at_op: int | None = None
+    after_hits: int = 0
+    max_hits: int | None = 1
+    probability: float = 1.0
+    args: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{', '.join(sorted(KINDS))}"
+            )
+        if self.after_hits < 0:
+            raise ValueError("after_hits must be non-negative")
+        if self.max_hits is not None and self.max_hits < 1:
+            raise ValueError("max_hits must be positive (or null)")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at_op": self.at_op,
+            "after_hits": self.after_hits,
+            "max_hits": self.max_hits,
+            "probability": self.probability,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        """Rebuild a rule; raises ValueError on unknown keys/values."""
+        known = {
+            "site", "kind", "at_op", "after_hits", "max_hits",
+            "probability", "args",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault rule fields: {', '.join(sorted(unknown))}"
+            )
+        if "site" not in data or "kind" not in data:
+            raise ValueError("fault rule needs 'site' and 'kind'")
+        payload = dict(data)
+        if payload.get("args") is None:
+            payload["args"] = {}
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault-injection scenario.
+
+    Attributes:
+        rules: The injection rules, in declaration order.
+        seed: Seed for the per-rule probability streams.
+        state_dir: Optional directory for cross-process hit counters.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    state_dir: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible plan document."""
+        return {
+            "format": PLAN_FORMAT,
+            "version": PLAN_VERSION,
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "faults": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Parse a plan document; raises ValueError when malformed."""
+        if data.get("format") != PLAN_FORMAT:
+            raise ValueError(f"not a {PLAN_FORMAT} document")
+        if data.get("version") != PLAN_VERSION:
+            raise ValueError(
+                f"unsupported fault plan version {data.get('version')!r}"
+            )
+        raw_rules = data.get("faults", [])
+        if not isinstance(raw_rules, list):
+            raise ValueError("'faults' must be a list of rule objects")
+        rules = []
+        for index, entry in enumerate(raw_rules):
+            if not isinstance(entry, dict):
+                raise ValueError(f"fault rule {index} must be an object")
+            try:
+                rules.append(FaultRule.from_dict(entry))
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"fault rule {index}: {error}"
+                ) from error
+        state_dir = data.get("state_dir")
+        if state_dir is not None and not isinstance(state_dir, str):
+            raise ValueError("'state_dir' must be a string or null")
+        return cls(
+            rules=tuple(rules),
+            seed=int(data.get("seed", 0)),
+            state_dir=state_dir,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load and validate a plan from a JSON file.
+
+        Raises:
+            ValueError: When the document is malformed.
+            OSError: When the file is unreadable.
+        """
+        with open(path, encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"fault plan {path!r} is not valid JSON: {error}"
+                ) from error
+        if not isinstance(document, dict):
+            raise ValueError("fault plan must be a JSON object")
+        return cls.from_dict(document)
+
+    def decides_to_fire(self, rule_index: int, visit: int) -> bool:
+        """Deterministic probability draw for one armed visit of a rule.
+
+        Seeded by ``(plan seed, rule index, visit number)`` so replays
+        are identical across processes and interleavings.
+        """
+        rule = self.rules[rule_index]
+        if rule.probability >= 1.0:
+            return True
+        # Mix the coordinates into one integer seed (hash() would work
+        # but tuple hashing is an implementation detail; this is stable
+        # by construction).
+        mixed = (self.seed * 1_000_003 + rule_index) * 1_000_003 + visit
+        stream = random.Random(mixed)
+        return stream.random() < rule.probability

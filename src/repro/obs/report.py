@@ -53,6 +53,7 @@ def metrics_report(
             "requested_fidelity": record.requested_fidelity,
             "achieved_fidelity": record.achieved_fidelity,
             "fidelity_spent": 1.0 - record.achieved_fidelity,
+            "emergency": record.emergency,
         }
         for record in stats.rounds
     ]
@@ -76,6 +77,9 @@ def metrics_report(
             "estimate": fidelity_estimate,
             "spent": 1.0 - fidelity_estimate,
             "num_rounds": len(rounds),
+            "num_emergency_rounds": sum(
+                1 for entry in rounds if entry["emergency"]
+            ),
         },
     }
     if recorder is not None and recorder.enabled:

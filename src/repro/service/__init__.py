@@ -17,12 +17,21 @@ treats the *result* of that computation as a durable, reusable artifact:
 * :mod:`repro.service.engine` — :class:`JobEngine`, a cache-first
   multiprocessing executor with per-job cooperative timeouts, bounded
   retry with backoff, and checkpoint/resume.
+
+Failure handling (see ``docs/SERVICE.md`` § Failure model & recovery):
+artifacts and checkpoints embed checksums verified on load; corrupt
+ones are quarantined (moved aside, never deleted) and the job recomputes
+or restarts fresh; failures classify as transient (retried with
+backoff) or permanent (reported immediately) via
+:mod:`repro.faults.errors`.  The :mod:`repro.faults` package injects
+these failures deterministically for chaos testing.
 """
 
 from .checkpoint import Checkpoint, CheckpointWriter
 from .engine import JobEngine, JobResult, execute_job
 from .jobs import (
     JobSpec,
+    JobSpecError,
     build_builtin_circuit,
     build_strategy,
     load_job_specs,
@@ -36,6 +45,7 @@ __all__ = [
     "JobEngine",
     "JobResult",
     "JobSpec",
+    "JobSpecError",
     "build_builtin_circuit",
     "build_strategy",
     "execute_job",

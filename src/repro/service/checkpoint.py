@@ -26,19 +26,32 @@ the same ``f >= f_round`` bound.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from collections.abc import Sequence
+from hashlib import sha256
 from typing import TYPE_CHECKING
 
 from ..core.simulator import RoundRecord, SimulationStats, SimulationTimeout
 from ..dd.serialize import state_to_dict
 from ..dd.vector import StateDD
+from ..faults.errors import CheckpointIntegrityError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .store import ArtifactStore
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_VERSION = 1
+
+#: Document key carrying the SHA-256 over the rest of the document.
+CHECKSUM_KEY = "checksum"
+
+
+def _document_checksum(document: dict) -> str:
+    """SHA-256 over the canonical JSON form, excluding the checksum key."""
+    payload = {k: v for k, v in document.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return sha256(canonical.encode()).hexdigest()
 
 
 def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> list[dict]:
@@ -52,6 +65,7 @@ def rounds_to_dicts(rounds: Sequence[RoundRecord]) -> list[dict]:
             "achieved_fidelity": record.achieved_fidelity,
             "removed_contribution": record.removed_contribution,
             "removed_nodes": record.removed_nodes,
+            "emergency": record.emergency,
         }
         for record in rounds
     ]
@@ -84,8 +98,14 @@ class Checkpoint:
     elapsed_seconds: float
 
     def to_dict(self) -> dict:
-        """JSON-compatible representation."""
-        return {
+        """JSON-compatible representation, with an embedded checksum.
+
+        The ``checksum`` key holds a SHA-256 over the canonical JSON of
+        every other key; :meth:`from_dict` verifies it, so a truncated
+        or bit-flipped checkpoint is detected before it can resume a
+        job from corrupted state.
+        """
+        document = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "job_hash": self.job_hash,
@@ -95,15 +115,28 @@ class Checkpoint:
             "max_nodes": self.max_nodes,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        document[CHECKSUM_KEY] = _document_checksum(document)
+        return document
 
     @classmethod
     def from_dict(cls, data: dict) -> "Checkpoint":
-        """Rebuild a checkpoint; raises ValueError on format mismatch."""
+        """Rebuild a checkpoint; raises ValueError on format mismatch.
+
+        Raises:
+            CheckpointIntegrityError: When the document carries a
+                checksum that does not match its content.
+        """
         if data.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(f"not a {CHECKPOINT_FORMAT} document")
         if data.get("version") != CHECKPOINT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        recorded = data.get(CHECKSUM_KEY)
+        if recorded is not None and recorded != _document_checksum(data):
+            raise CheckpointIntegrityError(
+                "checkpoint fails its embedded SHA-256 check "
+                f"(job {str(data.get('job_hash'))[:12]})"
             )
         return cls(
             job_hash=data["job_hash"],

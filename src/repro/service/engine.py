@@ -34,6 +34,13 @@ import numpy as np
 from ..core.simulator import DDSimulator, SimulationTimeout
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict, state_to_dict
+from ..faults.errors import (
+    TRANSIENT,
+    ArtifactIntegrityError,
+    CheckpointIntegrityError,
+    classify_exception,
+)
+from ..faults.injector import inject
 from ..obs import get_recorder
 from .checkpoint import (
     Checkpoint,
@@ -63,6 +70,10 @@ class JobResult:
         counts: Sampled measurement outcomes (when ``spec.shots`` > 0 and
             a final state was available).
         error: Diagnostic message for ``status == "error"``.
+        error_kind: ``"transient"`` or ``"permanent"``
+            (:func:`repro.faults.errors.classify_exception`) for
+            ``status == "error"``; the engine retries only transient
+            failures.  Empty otherwise.
         attempts: Worker attempts consumed (retries included).
     """
 
@@ -74,6 +85,7 @@ class JobResult:
     stats: dict | None = None
     counts: dict[int, int] | None = None
     error: str = ""
+    error_kind: str = ""
     attempts: int = 1
 
     @property
@@ -164,6 +176,78 @@ def _sample(state, shots: int, seed: int) -> dict[int, int]:
     return state.sample(shots, np.random.default_rng(seed))
 
 
+def _error_result(
+    spec: JobSpec, job_hash: str, error: BaseException, obs
+) -> JobResult:
+    """Build a classified ``status="error"`` result and record it."""
+    kind = classify_exception(error)
+    if obs.enabled:
+        obs.count("jobs.error")
+        obs.event(
+            "job", phase="error", job=job_hash[:12],
+            name=spec.display_name, error=type(error).__name__,
+            error_kind=kind,
+        )
+    return JobResult(
+        spec=spec,
+        job_hash=job_hash,
+        status="error",
+        error=f"{type(error).__name__}: {error}",
+        error_kind=kind,
+    )
+
+
+def _quarantine_checkpoint(
+    store: ArtifactStore, job_hash: str, reason: str, obs
+) -> None:
+    """Move a bad checkpoint aside and record the event."""
+    store.quarantine_checkpoint(job_hash, reason)
+    if obs.enabled:
+        obs.count("jobs.checkpoint_quarantined")
+        obs.event(
+            "job", phase="checkpoint_quarantined", job=job_hash[:12],
+            error=reason,
+        )
+
+
+def _validated_checkpoint(
+    store: ArtifactStore, job_hash: str, document: dict, obs
+) -> Checkpoint | None:
+    """Parse and validate a checkpoint document, or quarantine it.
+
+    Returns None (fresh start) when the document is malformed, fails
+    its checksum, or is *stale* — recorded for a different job hash
+    than the spec resolves to (e.g. a hand-edited spec reusing an old
+    store key).  Resuming from a stale snapshot would splice another
+    job's state into this one, so it is quarantined instead.
+    """
+    try:
+        checkpoint = Checkpoint.from_dict(document)
+    except (
+        CheckpointIntegrityError,
+        KeyError,
+        TypeError,
+        ValueError,
+    ) as error:
+        _quarantine_checkpoint(
+            store, job_hash, f"{type(error).__name__}: {error}", obs
+        )
+        return None
+    if checkpoint.job_hash != job_hash:
+        _quarantine_checkpoint(
+            store,
+            job_hash,
+            (
+                "stale checkpoint: recorded for job "
+                f"{checkpoint.job_hash[:12]} but the spec hashes to "
+                f"{job_hash[:12]}"
+            ),
+            obs,
+        )
+        return None
+    return checkpoint
+
+
 def execute_job(
     spec: JobSpec,
     store: ArtifactStore,
@@ -173,38 +257,76 @@ def execute_job(
 
     Follows the cache → resume → simulate → persist path described in the
     module docstring.  Never raises for simulation-level failures; they
-    are reported as ``status="error"`` results.  (Infrastructure-level
-    failures — a killed process — surface in :class:`JobEngine`, which
-    retries.)
+    are reported as ``status="error"`` results tagged with the
+    transient/permanent classification.  (Infrastructure-level failures
+    — a killed process — surface in :class:`JobEngine`, which retries.)
+
+    Recovery behaviors:
+
+    * A cached artifact that fails its integrity check is quarantined
+      and the job is recomputed — corruption never surfaces as an error.
+    * A corrupt, truncated, or *stale* checkpoint (its ``job_hash``
+      disagrees with the spec's) is quarantined and the job restarts
+      from scratch — sound, since a fresh run spends its own Lemma-1
+      budget from 1.0.
     """
     job_hash = spec.content_hash()
     obs = get_recorder()
+    try:
+        # Worker-entry injection site ("engine.job"): kill/transient
+        # rules here simulate a worker dying before any real work.
+        inject("engine.job", job=job_hash, name=spec.display_name)
+    except Exception as error:  # noqa: BLE001 - injected by plan
+        return _error_result(spec, job_hash, error, obs)
 
     if use_cache and store.has_result(job_hash):
-        if obs.enabled:
-            obs.count("jobs.cached")
-            obs.event(
-                "job", phase="cached", job=job_hash[:12],
-                name=spec.display_name,
+        try:
+            document = store.load_result(job_hash)
+            counts = None
+            if spec.shots:
+                try:
+                    state = store.load_state(job_hash, Package())
+                    counts = _sample(state, spec.shots, spec.seed)
+                except KeyError:
+                    counts = None
+            if obs.enabled:
+                obs.count("jobs.cached")
+                obs.event(
+                    "job", phase="cached", job=job_hash[:12],
+                    name=spec.display_name,
+                )
+            return JobResult(
+                spec=spec,
+                job_hash=job_hash,
+                status="completed",
+                cached=True,
+                stats=document.get("stats"),
+                counts=counts,
             )
-        document = store.load_result(job_hash)
-        counts = None
-        if spec.shots:
-            try:
-                state = store.load_state(job_hash, Package())
-                counts = _sample(state, spec.shots, spec.seed)
-            except KeyError:
-                counts = None
-        return JobResult(
-            spec=spec,
-            job_hash=job_hash,
-            status="completed",
-            cached=True,
-            stats=document.get("stats"),
-            counts=counts,
-        )
+        except ArtifactIntegrityError as error:
+            # Corrupt cache entry: move it aside and recompute.
+            store.quarantine_result(job_hash, str(error))
+            if obs.enabled:
+                obs.count("jobs.cache_corrupt")
+                obs.event(
+                    "job", phase="cache_quarantined", job=job_hash[:12],
+                    name=spec.display_name, error=str(error),
+                )
+        except OSError as error:
+            # Unreadable cache entry (I/O trouble): recompute rather
+            # than fail the job on a read path.
+            if obs.enabled:
+                obs.count("jobs.cache_unreadable")
+                obs.event(
+                    "job", phase="cache_unreadable", job=job_hash[:12],
+                    name=spec.display_name, error=str(error),
+                )
 
-    checkpoint_doc = store.load_checkpoint(job_hash)
+    try:
+        checkpoint_doc = store.load_checkpoint(job_hash)
+    except CheckpointIntegrityError as error:
+        checkpoint_doc = None
+        _quarantine_checkpoint(store, job_hash, str(error), obs)
     package = Package()
     try:
         circuit = spec.build_circuit()
@@ -216,7 +338,12 @@ def execute_job(
         prior_max_nodes = 0
         initial_state: "int | object" = 0
         if checkpoint_doc is not None:
-            checkpoint = Checkpoint.from_dict(checkpoint_doc)
+            checkpoint = _validated_checkpoint(
+                store, job_hash, checkpoint_doc, obs
+            )
+        else:
+            checkpoint = None
+        if checkpoint is not None:
             start_op_index = checkpoint.next_op_index
             prior_rounds = checkpoint.round_records()
             prior_elapsed = checkpoint.elapsed_seconds
@@ -230,7 +357,7 @@ def execute_job(
             )
 
         if obs.enabled:
-            phase = "resumed" if checkpoint_doc is not None else "started"
+            phase = "resumed" if checkpoint is not None else "started"
             obs.count(f"jobs.{phase}")
             obs.event(
                 "job", phase=phase, job=job_hash[:12],
@@ -275,18 +402,7 @@ def execute_job(
                 stats=partial,
             )
     except Exception as error:  # noqa: BLE001 - reported, not swallowed
-        if obs.enabled:
-            obs.count("jobs.error")
-            obs.event(
-                "job", phase="error", job=job_hash[:12],
-                name=spec.display_name, error=type(error).__name__,
-            )
-        return JobResult(
-            spec=spec,
-            job_hash=job_hash,
-            status="error",
-            error=f"{type(error).__name__}: {error}",
-        )
+        return _error_result(spec, job_hash, error, obs)
 
     stats = outcome.stats
     total_runtime = prior_elapsed + stats.runtime_seconds
@@ -299,15 +415,22 @@ def execute_job(
         "stats": stats_document,
         "resumed_at": start_op_index or None,
     }
-    store.put_result(
-        job_hash,
-        result_document,
-        state_doc=state_to_dict(outcome.state),
-        journal_rows=_journal_rows(
-            stats, start_op_index, resumed=start_op_index > 0
-        ),
-    )
-    store.clear_checkpoint(job_hash)
+    try:
+        store.put_result(
+            job_hash,
+            result_document,
+            state_doc=state_to_dict(outcome.state),
+            journal_rows=_journal_rows(
+                stats, start_op_index, resumed=start_op_index > 0
+            ),
+        )
+        store.clear_checkpoint(job_hash)
+    except OSError as error:
+        # The simulation finished but its artifacts could not be
+        # persisted (store I/O failure — classified transient).  The
+        # checkpoint survives, so a retry resumes instead of redoing
+        # the whole run.
+        return _error_result(spec, job_hash, error, obs)
     if obs.enabled:
         obs.count("jobs.completed")
         obs.event(
@@ -355,8 +478,12 @@ class JobEngine:
         store: An :class:`ArtifactStore` or a store root path.
         workers: Process-pool size; ``<= 1`` executes serially in-process
             (deterministic, debugger-friendly).
-        max_retries: Extra attempts per job when its *worker* dies
-            (simulation errors are deterministic and never retried).
+        max_retries: Extra attempts per job when its *worker* dies or
+            its failure classifies as transient
+            (:func:`repro.faults.errors.classify_exception` — I/O
+            hiccups, memory pressure).  Permanent failures (malformed
+            specs, exhausted fidelity budgets) are deterministic and
+            never retried.
         retry_backoff: Base sleep before a retry; doubles per attempt.
         use_cache: Serve stored results without re-simulating.
     """
@@ -384,8 +511,38 @@ class JobEngine:
     # ------------------------------------------------------------------
 
     def run(self, spec: JobSpec) -> JobResult:
-        """Execute one job in-process (cache-first)."""
-        return execute_job(spec, self.store, use_cache=self.use_cache)
+        """Execute one job in-process (cache-first).
+
+        Transient failures are retried with exponential backoff up to
+        ``max_retries`` extra attempts; a checkpoint left by a failed
+        attempt makes the retry resume rather than restart.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            result = execute_job(spec, self.store, use_cache=self.use_cache)
+            result.attempts = attempts
+            if not self._should_retry(result, attempts):
+                return result
+            obs = get_recorder()
+            if obs.enabled:
+                obs.count("jobs.retried")
+                obs.event(
+                    "job", phase="retried",
+                    job=result.job_hash[:12],
+                    name=spec.display_name,
+                    attempt=attempts,
+                    error=result.error,
+                )
+            time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+
+    def _should_retry(self, result: JobResult, attempts: int) -> bool:
+        """Retry only failures a retry can fix, within the budget."""
+        return (
+            result.status == "error"
+            and result.error_kind == TRANSIENT
+            and attempts <= self.max_retries
+        )
 
     def run_batch(
         self,
@@ -451,18 +608,23 @@ class JobEngine:
         ]
         pool_size = min(self.workers, len(specs))
 
+        def submit_one(executor, job: _Pending) -> None:
+            job.attempts += 1
+            job.future = executor.submit(
+                _pool_worker,
+                (
+                    job.spec.to_dict(),
+                    self.store.root,
+                    self.use_cache,
+                ),
+            )
+
         def submit_all(executor) -> None:
+            # Guard on results: after a pool rebuild, finished jobs
+            # also have no future and must not be resubmitted.
             for job in pending:
-                if job.future is None:
-                    job.attempts += 1
-                    job.future = executor.submit(
-                        _pool_worker,
-                        (
-                            job.spec.to_dict(),
-                            self.store.root,
-                            self.use_cache,
-                        ),
-                    )
+                if job.future is None and results[job.index] is None:
+                    submit_one(executor, job)
 
         executor = ProcessPoolExecutor(
             max_workers=pool_size, mp_context=get_context("fork")
@@ -502,6 +664,26 @@ class JobEngine:
                             continue  # retry below on a fresh pool
                     else:
                         result.attempts = job.attempts
+                        if (
+                            result.status == "error"
+                            and result.error_kind == TRANSIENT
+                            and job.attempts <= self.max_retries
+                        ):
+                            # Transient in-worker failure (I/O hiccup,
+                            # memory pressure): the pool is healthy, so
+                            # resubmit on it directly.
+                            obs = get_recorder()
+                            if obs.enabled:
+                                obs.count("jobs.retried")
+                                obs.event(
+                                    "job", phase="retried",
+                                    job=job.spec.content_hash()[:12],
+                                    name=job.spec.display_name,
+                                    attempt=job.attempts,
+                                    error=result.error,
+                                )
+                            submit_one(executor, job)
+                            continue
                     results[job.index] = result
                     if progress is not None:
                         progress(result)

@@ -24,6 +24,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.qasm import parse_qasm
 from ..circuits.shor import shor_circuit
 from ..circuits.supremacy import supremacy_circuit
+from ..faults.errors import PermanentFault
 from ..core.strategies import (
     AdaptiveStrategy,
     ApproximationStrategy,
@@ -41,6 +42,37 @@ STRATEGY_KINDS = ("exact", "memory", "fidelity", "adaptive", "size_cap")
 #: Strategy constructor arguments that must be integers (JSON round-trips
 #: and CLI parsing deliver floats/strings; constructors validate ints).
 _INT_ARGS = frozenset({"threshold", "max_nodes"})
+
+
+class JobSpecError(PermanentFault, ValueError):
+    """A job spec (or a file it references) could not be loaded.
+
+    Subclasses both :class:`~repro.faults.errors.PermanentFault` (the
+    engine must not retry a malformed spec) and :class:`ValueError`
+    (existing ``except (OSError, ValueError)`` call sites keep working).
+
+    Attributes:
+        path: The offending file, when the failure came from reading one.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+def _read_text(path: str, what: str) -> str:
+    """Read a referenced file, wrapping failures as :class:`JobSpecError`."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        raise JobSpecError(
+            f"cannot read {what} {path!r}: {error}", path=path
+        ) from error
+    except UnicodeDecodeError as error:
+        raise JobSpecError(
+            f"{what} {path!r} is not UTF-8 text: {error}", path=path
+        ) from error
 
 
 def build_builtin_circuit(name: str) -> Circuit:
@@ -189,12 +221,16 @@ class JobSpec:
         ``builtin:<name>`` passes through; anything else is treated as a
         path to a QASM file whose *content* is inlined into the spec (so
         the hash addresses the circuit text, not the path).
+
+        Raises:
+            JobSpecError: When the QASM file cannot be read — carries
+                the offending path.
         """
         if source.startswith(BUILTIN_PREFIX):
             return cls(circuit=source, **kwargs)
-        with open(source, encoding="utf-8") as handle:
-            kwargs.setdefault("label", source)
-            return cls(circuit=handle.read(), **kwargs)
+        text = _read_text(source, "circuit file")
+        kwargs.setdefault("label", source)
+        return cls(circuit=text, **kwargs)
 
     def to_dict(self) -> dict:
         """JSON-compatible representation (inverse of :meth:`from_dict`)."""
@@ -263,12 +299,18 @@ def load_job_specs(path: str) -> list[JobSpec]:
 
     Raises:
         ValueError: On malformed documents.
-        OSError: When the file (or a referenced QASM file) is unreadable.
+        JobSpecError: When the batch file or a referenced QASM file is
+            unreadable — carries the offending path (a ``ValueError``
+            subclass, so broad call sites keep working).
     """
     import os
 
-    with open(path, encoding="utf-8") as handle:
-        document = json.load(handle)
+    try:
+        document = json.loads(_read_text(path, "batch file"))
+    except json.JSONDecodeError as error:
+        raise JobSpecError(
+            f"batch file {path!r} is not valid JSON: {error}", path=path
+        ) from error
     if isinstance(document, dict):
         entries = document.get("jobs")
         if not isinstance(entries, list):
@@ -288,8 +330,7 @@ def load_job_specs(path: str) -> list[JobSpec]:
             qasm_path = circuit[len("file:"):]
             if not os.path.isabs(qasm_path):
                 qasm_path = os.path.join(base_dir, qasm_path)
-            with open(qasm_path, encoding="utf-8") as qasm:
-                entry["circuit"] = qasm.read()
+            entry["circuit"] = _read_text(qasm_path, "referenced QASM file")
             entry.setdefault("label", circuit[len("file:"):])
         specs.append(JobSpec.from_dict(entry))
     return specs

@@ -1,17 +1,31 @@
 """On-disk content-addressed artifact store.
 
-Layout under the store root (all writes atomic via temp-file + rename)::
+Layout under the store root::
 
     objects/<hh>/<hash>/result.json    — job result document (stats, spec)
     objects/<hh>/<hash>/state.json     — serialized final-state DD
     objects/<hh>/<hash>/journal.jsonl  — run journal (rounds, ops, events)
     checkpoints/<hash>/latest.json     — most recent resume checkpoint
+    quarantine/<kind>-<hash>-<n>/      — corrupt artifacts, moved aside
 
 ``<hash>`` is :meth:`repro.service.jobs.JobSpec.content_hash` and
 ``<hh>`` its first two hex digits (keeps directory fan-out bounded).
 Checkpoints live outside ``objects/`` because they are transient: a
 completed job deletes its checkpoint, and ``gc`` removes checkpoints
 whose result already exists (orphans of a crash after completion).
+
+**Integrity protocol.**  A result object is written as one unit: every
+file goes into a same-filesystem staging directory which is then
+*renamed* into place — the object either exists completely or not at
+all, so a crash between file writes can never leave a half-artifact
+that reads as a cache hit.  ``result.json`` embeds an ``integrity``
+block (SHA-256 of the state and journal bytes, CRC-32 of the document
+itself); loads verify it and raise
+:class:`~repro.faults.errors.ArtifactIntegrityError` on mismatch, which
+callers handle by quarantining the object (move aside, keep for
+forensics) and recomputing.  Truncated journals are repaired in place
+by dropping the torn tail line — the only damage an interrupted append
+can cause.
 """
 
 from __future__ import annotations
@@ -21,16 +35,24 @@ import os
 import shutil
 import tempfile
 import time
+import zlib
 from collections.abc import Iterator
+from hashlib import sha256
 
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict
 from ..dd.vector import StateDD
+from ..faults.errors import ArtifactIntegrityError, CheckpointIntegrityError
+from ..faults.injector import inject
+from ..obs import get_recorder
 
 RESULT_FILE = "result.json"
 STATE_FILE = "state.json"
 JOURNAL_FILE = "journal.jsonl"
 CHECKPOINT_FILE = "latest.json"
+
+#: Key under which result documents carry their checksums.
+INTEGRITY_KEY = "integrity"
 
 
 def _atomic_write(path: str, text: str) -> None:
@@ -47,6 +69,12 @@ def _atomic_write(path: str, text: str) -> None:
         if os.path.exists(temp_path):
             os.unlink(temp_path)
         raise
+
+
+def _doc_crc(document: dict) -> int:
+    """CRC-32 over the canonical JSON form of ``document``."""
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode())
 
 
 class ArtifactStore:
@@ -73,6 +101,10 @@ class ArtifactStore:
         """Directory holding the checkpoint of ``job_hash``."""
         return os.path.join(self.root, "checkpoints", job_hash)
 
+    def quarantine_root(self) -> str:
+        """Directory corrupt artifacts are moved into."""
+        return os.path.join(self.root, "quarantine")
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -92,71 +124,225 @@ class ArtifactStore:
     ) -> str:
         """Persist a completed job's artifacts; returns the object dir.
 
-        ``result.json`` is written *last* so :meth:`has_result` never
-        observes a half-written object.
+        Every file is written into a staging directory which is renamed
+        into place as the single terminal step, so a crash at any point
+        leaves either the complete object or no object — never a
+        half-artifact that :meth:`has_result` would treat as a cache
+        hit.  The result document gains an ``integrity`` block covering
+        the sibling files and itself.
         """
         directory = self.result_dir(job_hash)
-        os.makedirs(directory, exist_ok=True)
-        if state_doc is not None:
-            _atomic_write(
-                os.path.join(directory, STATE_FILE),
-                json.dumps(state_doc),
-            )
-        if journal_rows is not None:
-            _atomic_write(
-                os.path.join(directory, JOURNAL_FILE),
-                "".join(
+        shard = os.path.dirname(directory)
+        os.makedirs(shard, exist_ok=True)
+        staging = tempfile.mkdtemp(
+            dir=shard, prefix=f".staging-{job_hash[:8]}-"
+        )
+        try:
+            integrity: dict = {}
+            if state_doc is not None:
+                state_text = json.dumps(state_doc)
+                integrity["state_sha256"] = sha256(
+                    state_text.encode()
+                ).hexdigest()
+                with open(
+                    os.path.join(staging, STATE_FILE), "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(state_text)
+            # Named crash window: a fault plan can break the write here,
+            # between the state file and the terminal marker.
+            inject("store.put_result", job_hash=job_hash, path=staging)
+            if journal_rows is not None:
+                journal_text = "".join(
                     json.dumps(row, sort_keys=True) + "\n"
                     for row in journal_rows
-                ),
+                )
+                integrity["journal_sha256"] = sha256(
+                    journal_text.encode()
+                ).hexdigest()
+                with open(
+                    os.path.join(staging, JOURNAL_FILE),
+                    "w",
+                    encoding="utf-8",
+                ) as handle:
+                    handle.write(journal_text)
+            document = dict(result_doc)
+            document.setdefault(  # wall-clock timestamp, not a duration
+                "stored_at", time.time()  # ddlint: ignore[DD005]
             )
-        document = dict(result_doc)
-        document.setdefault(  # wall-clock timestamp, not a duration
-            "stored_at", time.time()  # ddlint: ignore[DD005]
-        )
-        _atomic_write(
-            os.path.join(directory, RESULT_FILE),
-            json.dumps(document, sort_keys=True, indent=2),
-        )
+            document.pop(INTEGRITY_KEY, None)
+            integrity["doc_crc32"] = _doc_crc(
+                {**document, INTEGRITY_KEY: integrity}
+            )
+            document[INTEGRITY_KEY] = integrity
+            with open(
+                os.path.join(staging, RESULT_FILE), "w", encoding="utf-8"
+            ) as handle:
+                handle.write(
+                    json.dumps(document, sort_keys=True, indent=2)
+                )
+            self._promote(staging, directory)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
         return directory
 
-    def load_result(self, job_hash: str) -> dict:
-        """Load a result document.
+    @staticmethod
+    def _promote(staging: str, final: str) -> None:
+        """Rename the staging directory into place (the terminal step)."""
+        try:
+            os.rename(staging, final)
+            return
+        except OSError:
+            if not os.path.isdir(final):
+                raise
+        # The object already exists (a concurrent writer won, or this is
+        # an explicit recompute): swap the old object out, then discard
+        # it — last writer wins, and readers always see a complete dir.
+        backup = staging + ".replaced"
+        os.rename(final, backup)
+        os.rename(staging, final)
+        shutil.rmtree(backup, ignore_errors=True)
+
+    def load_result(self, job_hash: str, verify: bool = True) -> dict:
+        """Load a result document, verifying its embedded checksum.
 
         Raises:
             KeyError: When no result exists for the hash.
+            ArtifactIntegrityError: When the document is unparsable or
+                fails its CRC (callers should quarantine + recompute).
         """
         path = os.path.join(self.result_dir(job_hash), RESULT_FILE)
         if not os.path.exists(path):
             raise KeyError(f"no stored result for {job_hash}")
+        inject("store.load_result", job_hash=job_hash, path=path)
         with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
+            try:
+                document = json.load(handle)
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ArtifactIntegrityError(
+                    f"result document for {job_hash[:12]} is not valid "
+                    f"JSON: {error}",
+                    path=path,
+                ) from error
+        if verify and INTEGRITY_KEY in document:
+            integrity = dict(document[INTEGRITY_KEY])
+            expected = integrity.pop("doc_crc32", None)
+            actual = _doc_crc(
+                {
+                    **{
+                        k: v
+                        for k, v in document.items()
+                        if k != INTEGRITY_KEY
+                    },
+                    INTEGRITY_KEY: integrity,
+                }
+            )
+            if expected is not None and actual != expected:
+                raise ArtifactIntegrityError(
+                    f"result document for {job_hash[:12]} fails its "
+                    f"CRC-32 (stored {expected}, computed {actual})",
+                    path=path,
+                )
+        return document
 
     def load_state(
-        self, job_hash: str, package: Package | None = None
+        self,
+        job_hash: str,
+        package: Package | None = None,
+        verify: bool = True,
     ) -> StateDD:
         """Rehydrate the stored final-state diagram of a job.
 
+        When the result document records a state checksum, the file
+        bytes are verified against it before deserialization.
+
         Raises:
             KeyError: When the job has no stored state artifact.
+            ArtifactIntegrityError: On checksum mismatch.
         """
         path = os.path.join(self.result_dir(job_hash), STATE_FILE)
         if not os.path.exists(path):
             raise KeyError(f"no stored state for {job_hash}")
-        with open(path, encoding="utf-8") as handle:
-            return state_from_dict(json.load(handle), package)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if verify:
+            expected = self._recorded_hash(job_hash, "state_sha256")
+            if expected is not None and sha256(raw).hexdigest() != expected:
+                raise ArtifactIntegrityError(
+                    f"state artifact for {job_hash[:12]} fails its "
+                    f"SHA-256 check",
+                    path=path,
+                )
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ArtifactIntegrityError(
+                f"state artifact for {job_hash[:12]} is unreadable: "
+                f"{error}",
+                path=path,
+            ) from error
+        return state_from_dict(document, package)
 
-    def read_journal(self, job_hash: str) -> list[dict]:
-        """Read the run journal rows (empty list when absent)."""
+    def _recorded_hash(self, job_hash: str, key: str) -> str | None:
+        """The checksum the result document records for a sibling file."""
+        try:
+            document = self.load_result(job_hash, verify=False)
+        except (KeyError, ArtifactIntegrityError):
+            return None
+        integrity = document.get(INTEGRITY_KEY)
+        if not isinstance(integrity, dict):
+            return None
+        value = integrity.get(key)
+        return value if isinstance(value, str) else None
+
+    def read_journal(self, job_hash: str, repair: bool = True) -> list[dict]:
+        """Read the run journal rows (empty list when absent).
+
+        A torn tail line — the only damage an interrupted append can
+        cause — is dropped, and with ``repair`` the file is rewritten
+        without it.  Corruption *before* the tail raises
+        :class:`ArtifactIntegrityError`.
+        """
         path = os.path.join(self.result_dir(job_hash), JOURNAL_FILE)
         if not os.path.exists(path):
             return []
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
         rows = []
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
+        torn_at: int | None = None
+        for index, raw in enumerate(lines):
+            problem: Exception
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as error:
+                problem = error
+            else:
+                if not line:
+                    continue
+                try:
                     rows.append(json.loads(line))
+                    continue
+                except json.JSONDecodeError as error:
+                    problem = error
+            if any(rest.strip() for rest in lines[index + 1:]):
+                raise ArtifactIntegrityError(
+                    f"journal for {job_hash[:12]} is corrupt at "
+                    f"line {index + 1}: {problem}",
+                    path=path,
+                ) from problem
+            torn_at = index
+            break
+        if torn_at is not None and repair:
+            # Every line before the torn one decoded cleanly above.
+            _atomic_write(path, b"".join(lines[:torn_at]).decode("utf-8"))
+            obs = get_recorder()
+            if obs.enabled:
+                obs.count("store.journal_repairs")
+                obs.event(
+                    "journal_repair",
+                    job=job_hash[:12],
+                    dropped_line=torn_at + 1,
+                )
         return rows
 
     def iter_results(self) -> Iterator[tuple[str, dict]]:
@@ -169,9 +355,11 @@ class ArtifactStore:
             if not os.path.isdir(shard_dir):
                 continue
             for job_hash in sorted(os.listdir(shard_dir)):
+                if job_hash.startswith("."):
+                    continue  # staging leftovers of a crashed writer
                 try:
                     yield job_hash, self.load_result(job_hash)
-                except (KeyError, json.JSONDecodeError):
+                except (KeyError, ArtifactIntegrityError):
                     continue
 
     def resolve_prefix(self, prefix: str) -> str:
@@ -203,15 +391,31 @@ class ArtifactStore:
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, CHECKPOINT_FILE)
         _atomic_write(path, json.dumps(document))
+        # Post-write window: corrupt/truncate rules damage the file
+        # here, exercising the verify-on-load + quarantine path.
+        inject("store.save_checkpoint", job_hash=job_hash, path=path)
         return path
 
     def load_checkpoint(self, job_hash: str) -> dict | None:
-        """Load the latest checkpoint, or None when there is none."""
+        """Load the latest checkpoint, or None when there is none.
+
+        Raises:
+            CheckpointIntegrityError: When the checkpoint file exists
+                but is unreadable or unparsable (truncated, corrupted).
+                Callers should quarantine it and start fresh.
+        """
         path = os.path.join(self.checkpoint_dir(job_hash), CHECKPOINT_FILE)
         if not os.path.exists(path):
             return None
-        with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
+        inject("store.load_checkpoint", job_hash=job_hash, path=path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointIntegrityError(
+                f"checkpoint for {job_hash[:12]} is unreadable: {error}",
+                path=path,
+            ) from error
 
     def clear_checkpoint(self, job_hash: str) -> None:
         """Delete a job's checkpoint directory (idempotent)."""
@@ -229,6 +433,70 @@ class ArtifactStore:
                 yield job_hash
 
     # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, source: str, label: str, reason: str) -> str | None:
+        """Move ``source`` into the quarantine area; returns the new path."""
+        if not os.path.exists(source):
+            return None
+        root = self.quarantine_root()
+        os.makedirs(root, exist_ok=True)
+        for attempt in range(1000):
+            target = os.path.join(root, f"{label}-{attempt}")
+            if not os.path.exists(target):
+                break
+        else:  # pragma: no cover - 1000 quarantined copies of one artifact
+            raise RuntimeError(f"quarantine area full for {label}")
+        os.makedirs(target)
+        os.rename(source, os.path.join(target, os.path.basename(source)))
+        _atomic_write(
+            os.path.join(target, "reason.json"),
+            json.dumps(
+                {
+                    "reason": reason,
+                    "source": source,
+                    # Wall-clock timestamp for forensics, not a duration.
+                    "quarantined_at": time.time(),  # ddlint: ignore[DD005]
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("store.quarantined")
+            obs.event("quarantine", label=label, reason=reason)
+        return target
+
+    def quarantine_checkpoint(
+        self, job_hash: str, reason: str
+    ) -> str | None:
+        """Move a corrupt checkpoint aside instead of crashing on it.
+
+        Returns the quarantine directory, or None when the job had no
+        checkpoint to move.
+        """
+        return self._quarantine(
+            self.checkpoint_dir(job_hash),
+            f"checkpoint-{job_hash[:12]}",
+            reason,
+        )
+
+    def quarantine_result(self, job_hash: str, reason: str) -> str | None:
+        """Move a corrupt result object aside so it stops serving reads."""
+        return self._quarantine(
+            self.result_dir(job_hash), f"result-{job_hash[:12]}", reason
+        )
+
+    def iter_quarantined(self) -> Iterator[str]:
+        """Yield the quarantine entry directory names, sorted."""
+        root = self.quarantine_root()
+        if not os.path.isdir(root):
+            return
+        yield from sorted(os.listdir(root))
+
+    # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
 
@@ -236,6 +504,7 @@ class ArtifactStore:
         self,
         older_than_seconds: float | None = None,
         remove_results: bool = False,
+        remove_quarantine: bool = False,
     ) -> dict:
         """Collect garbage; returns counts of removed artifacts.
 
@@ -243,9 +512,10 @@ class ArtifactStore:
         finished; the snapshot can never be resumed to a different
         answer).  With ``remove_results`` also deletes result objects —
         all of them, or only those stored more than
-        ``older_than_seconds`` ago.
+        ``older_than_seconds`` ago.  With ``remove_quarantine`` the
+        quarantine area is purged too.
         """
-        removed = {"checkpoints": 0, "results": 0}
+        removed = {"checkpoints": 0, "results": 0, "quarantined": 0}
         for job_hash in list(self.iter_checkpoints()):
             if self.has_result(job_hash):
                 self.clear_checkpoint(job_hash)
@@ -262,4 +532,11 @@ class ArtifactStore:
                         self.result_dir(job_hash), ignore_errors=True
                     )
                     removed["results"] += 1
+        if remove_quarantine:
+            for entry in list(self.iter_quarantined()):
+                shutil.rmtree(
+                    os.path.join(self.quarantine_root(), entry),
+                    ignore_errors=True,
+                )
+                removed["quarantined"] += 1
         return removed

@@ -1,0 +1,45 @@
+"""Chaos-suite fixtures: injector hygiene and CI-visible store roots."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.faults import injector as injector_module
+from repro.service.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Disarm the process-wide injector before and after every test.
+
+    The armed plan is module-global state; a leaked plan would inject
+    faults into unrelated tests.
+    """
+    injector_module.disarm()
+    yield
+    injector_module.disarm()
+
+
+@pytest.fixture
+def chaos_root(tmp_path) -> Path:
+    """Directory for chaos-test stores.
+
+    Defaults to pytest's per-test temp dir.  When ``REPRO_CHAOS_DIR``
+    is set (the CI chaos job points it at a workspace path), stores are
+    created there instead so quarantine directories survive the run and
+    can be uploaded as failure artifacts.
+    """
+    base = os.environ.get("REPRO_CHAOS_DIR")
+    if not base:
+        return tmp_path
+    os.makedirs(base, exist_ok=True)
+    return Path(tempfile.mkdtemp(dir=base, prefix="chaos-"))
+
+
+@pytest.fixture
+def store(chaos_root) -> ArtifactStore:
+    return ArtifactStore(str(chaos_root / "store"))

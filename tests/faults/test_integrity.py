@@ -1,0 +1,218 @@
+"""Artifact/checkpoint integrity: checksums, atomicity, quarantine, repair."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults.errors import (
+    ArtifactIntegrityError,
+    CheckpointIntegrityError,
+)
+from repro.faults.injector import arm
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.service.checkpoint import Checkpoint
+from repro.service.engine import execute_job
+from repro.service.jobs import JobSpec
+from repro.service.store import JOURNAL_FILE, RESULT_FILE, STATE_FILE
+
+HASH_A = "a" * 64
+
+
+def _spec(**kwargs) -> JobSpec:
+    defaults = dict(circuit="builtin:shor_15_2")
+    defaults.update(kwargs)
+    return JobSpec(**defaults)
+
+
+def _arm(*rules: FaultRule, **kwargs) -> None:
+    arm(FaultPlan(rules=tuple(rules), **kwargs))
+
+
+class TestAtomicPut:
+    def test_put_round_trips_with_integrity_block(self, store):
+        store.put_result(
+            HASH_A,
+            {"stats": {"max_nodes": 4}},
+            state_doc={"num_qubits": 1},
+            journal_rows=[{"event": "completed"}],
+        )
+        document = store.load_result(HASH_A)
+        integrity = document["integrity"]
+        assert set(integrity) == {
+            "state_sha256",
+            "journal_sha256",
+            "doc_crc32",
+        }
+        assert store.read_journal(HASH_A) == [{"event": "completed"}]
+
+    def test_crash_mid_put_leaves_no_half_artifact(self, store):
+        """An I/O failure between the staging writes must leave the
+        store exactly as it was: no result, no readable object."""
+        _arm(FaultRule(site="store.put_result", kind="io_error"))
+        with pytest.raises(OSError, match="injected"):
+            store.put_result(
+                HASH_A,
+                {"stats": {}},
+                state_doc={"num_qubits": 1},
+                journal_rows=[{"event": "completed"}],
+            )
+        assert not store.has_result(HASH_A)
+        assert list(store.iter_results()) == []
+        # The staging directory was rolled back, not orphaned.
+        shard = os.path.dirname(store.result_dir(HASH_A))
+        leftovers = [
+            entry
+            for entry in (os.listdir(shard) if os.path.isdir(shard) else [])
+            if entry.startswith(".staging-")
+        ]
+        assert leftovers == []
+
+    def test_reput_replaces_the_object(self, store):
+        store.put_result(HASH_A, {"stats": {"run": 1}})
+        store.put_result(HASH_A, {"stats": {"run": 2}})
+        assert store.load_result(HASH_A)["stats"] == {"run": 2}
+
+
+class TestResultVerification:
+    def test_corrupted_document_fails_its_crc(self, store):
+        store.put_result(HASH_A, {"stats": {"max_nodes": 4}})
+        path = os.path.join(store.result_dir(HASH_A), RESULT_FILE)
+        document = json.loads(open(path, encoding="utf-8").read())
+        document["stats"]["max_nodes"] = 99999  # silent bit-rot
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ArtifactIntegrityError, match="CRC-32"):
+            store.load_result(HASH_A)
+
+    def test_unparsable_document_is_an_integrity_error(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        path = os.path.join(store.result_dir(HASH_A), RESULT_FILE)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        with pytest.raises(ArtifactIntegrityError, match="not valid JSON"):
+            store.load_result(HASH_A)
+
+    def test_corrupted_state_fails_its_sha(self, store):
+        spec = _spec()
+        execute_job(spec, store)
+        job_hash = spec.content_hash()
+        path = os.path.join(store.result_dir(job_hash), STATE_FILE)
+        with open(path, "r+b") as handle:
+            handle.seek(20)
+            byte = handle.read(1)
+            handle.seek(20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(ArtifactIntegrityError, match="SHA-256"):
+            store.load_state(job_hash)
+
+    def test_engine_quarantines_corrupt_cache_and_recomputes(self, store):
+        spec = _spec(shots=10)
+        first = execute_job(spec, store)
+        job_hash = spec.content_hash()
+        path = os.path.join(store.result_dir(job_hash), RESULT_FILE)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage")
+        result = execute_job(spec, store)
+        assert result.status == "completed"
+        assert not result.cached  # recomputed, not served from cache
+        for key in ("max_nodes", "final_nodes", "fidelity_estimate"):
+            assert result.stats[key] == first.stats[key]
+        assert len(list(store.iter_quarantined())) == 1
+        # The recomputed artifact is whole again and verifies.
+        stored = store.load_result(job_hash)["stats"]
+        assert stored["fidelity_estimate"] == first.stats["fidelity_estimate"]
+
+
+class TestJournalRepair:
+    def test_torn_tail_is_dropped_and_repaired(self, store):
+        store.put_result(
+            HASH_A,
+            {"stats": {}},
+            journal_rows=[{"event": "op", "index": 0}],
+        )
+        path = os.path.join(store.result_dir(HASH_A), JOURNAL_FILE)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "op", "ind')  # interrupted append
+        assert store.read_journal(HASH_A) == [{"event": "op", "index": 0}]
+        # The file itself was rewritten without the torn line.
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read().count("\n") == 1
+
+    def test_mid_file_corruption_raises(self, store):
+        store.put_result(HASH_A, {"stats": {}}, journal_rows=[])
+        path = os.path.join(store.result_dir(HASH_A), JOURNAL_FILE)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "op"}\n{broken}\n{"event": "end"}\n')
+        with pytest.raises(ArtifactIntegrityError, match="line 2"):
+            store.read_journal(HASH_A)
+
+
+class TestCheckpointIntegrity:
+    def _checkpoint(self) -> Checkpoint:
+        return Checkpoint(
+            job_hash=HASH_A,
+            next_op_index=7,
+            state={"num_qubits": 1, "terms": []},
+            rounds=[],
+            max_nodes=12,
+            elapsed_seconds=0.5,
+        )
+
+    def test_checksum_round_trips(self):
+        checkpoint = self._checkpoint()
+        document = checkpoint.to_dict()
+        assert "checksum" in document
+        assert Checkpoint.from_dict(document) == checkpoint
+
+    def test_tampered_field_fails_the_checksum(self):
+        document = self._checkpoint().to_dict()
+        document["next_op_index"] = 9
+        with pytest.raises(CheckpointIntegrityError, match="SHA-256"):
+            Checkpoint.from_dict(document)
+
+    def test_legacy_document_without_checksum_still_loads(self):
+        document = self._checkpoint().to_dict()
+        del document["checksum"]
+        assert Checkpoint.from_dict(document) == self._checkpoint()
+
+    def test_truncated_checkpoint_file_raises(self, store):
+        store.save_checkpoint(HASH_A, self._checkpoint().to_dict())
+        path = os.path.join(store.checkpoint_dir(HASH_A), "latest.json")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(CheckpointIntegrityError, match="unreadable"):
+            store.load_checkpoint(HASH_A)
+
+
+class TestQuarantine:
+    def test_quarantine_moves_checkpoint_aside_with_reason(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        target = store.quarantine_checkpoint(HASH_A, "checksum mismatch")
+        assert target is not None
+        assert store.load_checkpoint(HASH_A) is None
+        reason = json.loads(
+            open(
+                os.path.join(target, "reason.json"), encoding="utf-8"
+            ).read()
+        )
+        assert reason["reason"] == "checksum mismatch"
+        assert len(list(store.iter_quarantined())) == 1
+
+    def test_quarantine_without_artifact_is_none(self, store):
+        assert store.quarantine_checkpoint(HASH_A, "nothing there") is None
+
+    def test_repeated_quarantines_get_distinct_slots(self, store):
+        for _ in range(3):
+            store.save_checkpoint(HASH_A, {"next_op_index": 3})
+            assert store.quarantine_checkpoint(HASH_A, "bad") is not None
+        assert len(list(store.iter_quarantined())) == 3
+
+    def test_gc_can_purge_quarantine(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        store.quarantine_checkpoint(HASH_A, "bad")
+        removed = store.gc(remove_quarantine=True)
+        assert removed["quarantined"] == 1
+        assert list(store.iter_quarantined()) == []

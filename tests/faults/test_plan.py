@@ -1,0 +1,139 @@
+"""Tests for fault plans: validation, round-trips, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.plan import KINDS, SITES, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_round_trip(self):
+        rule = FaultRule(
+            site="store.put_result",
+            kind="io_error",
+            after_hits=2,
+            max_hits=3,
+            probability=0.5,
+            args={"keep_bytes": 10},
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="store.nope", kind="io_error")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(site="engine.job", kind="explode")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault rule fields"):
+            FaultRule.from_dict(
+                {"site": "engine.job", "kind": "kill", "when": "now"}
+            )
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(site="engine.job", kind="kill", probability=0.0)
+
+    def test_rejects_bad_hit_window(self):
+        with pytest.raises(ValueError, match="max_hits"):
+            FaultRule(site="engine.job", kind="kill", max_hits=0)
+        with pytest.raises(ValueError, match="after_hits"):
+            FaultRule(site="engine.job", kind="kill", after_hits=-1)
+
+    def test_every_registered_site_and_kind_constructs(self):
+        for site in SITES:
+            for kind in KINDS:
+                FaultRule(site=site, kind=kind)
+
+
+class TestFaultPlan:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="engine.job", kind="kill"),
+                FaultRule(
+                    site="simulator.gate", kind="memory_error", at_op=7
+                ),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(
+            rules=(FaultRule(site="store.load_result", kind="io_error"),),
+            seed=7,
+        )
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.load(str(path))
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="repro-fault-plan"):
+            FaultPlan.load(str(path))
+
+    def test_malformed_rule_names_its_index(self):
+        document = {
+            "format": "repro-fault-plan",
+            "version": 1,
+            "faults": [
+                {"site": "engine.job", "kind": "kill"},
+                {"site": "engine.job"},
+            ],
+        }
+        with pytest.raises(ValueError, match="fault rule 1"):
+            FaultPlan.from_dict(document)
+
+    def test_certain_rule_always_fires(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="engine.job", kind="kill"),), seed=0
+        )
+        assert all(plan.decides_to_fire(0, visit) for visit in range(1, 50))
+
+    def test_probability_draws_are_deterministic(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="engine.job",
+                    kind="transient",
+                    probability=0.5,
+                    max_hits=None,
+                ),
+            ),
+            seed=3,
+        )
+        draws = [plan.decides_to_fire(0, visit) for visit in range(1, 200)]
+        replay = [plan.decides_to_fire(0, visit) for visit in range(1, 200)]
+        assert draws == replay
+        # A fair-ish coin: both outcomes occur.
+        assert any(draws) and not all(draws)
+
+    def test_different_seeds_give_different_streams(self):
+        def stream(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="engine.job",
+                        kind="transient",
+                        probability=0.5,
+                        max_hits=None,
+                    ),
+                ),
+                seed=seed,
+            )
+            return [plan.decides_to_fire(0, v) for v in range(1, 100)]
+
+        assert stream(1) != stream(2)

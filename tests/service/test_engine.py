@@ -118,6 +118,50 @@ class TestTimeoutResume:
         assert result.stats["runtime_seconds"] >= 0.15
 
 
+class TestStaleCheckpoint:
+    def test_stale_checkpoint_is_quarantined_and_job_restarts_fresh(
+        self, store
+    ):
+        """A checkpoint recorded for a *different* job hash (e.g. a
+        hand-edited spec reusing an old store key) must not be resumed
+        from — it is quarantined and the job restarts from scratch."""
+        from repro.service.checkpoint import Checkpoint
+
+        spec = _spec(checkpoint_interval=10)
+        job_hash = spec.content_hash()
+        stale = Checkpoint(
+            job_hash="f" * 64,  # some other job's snapshot
+            next_op_index=30,
+            state={"num_qubits": 12, "terms": []},
+            rounds=[],
+            max_nodes=5,
+            elapsed_seconds=1.0,
+        )
+        store.save_checkpoint(job_hash, stale.to_dict())
+
+        result = execute_job(spec, store)
+        assert result.status == "completed"
+        assert result.resumed_at is None  # fresh start, not a resume
+        assert result.stats["fidelity_estimate"] == 1.0
+        # The stale snapshot was moved aside, not silently deleted.
+        quarantined = list(store.iter_quarantined())
+        assert len(quarantined) == 1
+        # A completed job leaves no checkpoint behind.
+        assert store.load_checkpoint(job_hash) is None
+
+    def test_malformed_checkpoint_is_quarantined_and_job_restarts(
+        self, store
+    ):
+        spec = _spec()
+        store.save_checkpoint(
+            spec.content_hash(), {"format": "repro-checkpoint", "version": 1}
+        )
+        result = execute_job(spec, store)
+        assert result.status == "completed"
+        assert result.resumed_at is None
+        assert len(list(store.iter_quarantined())) == 1
+
+
 class TestJobEngine:
     def test_validates_construction(self, store):
         with pytest.raises(ValueError):

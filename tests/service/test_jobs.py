@@ -8,6 +8,7 @@ import pytest
 
 from repro.service.jobs import (
     JobSpec,
+    JobSpecError,
     build_builtin_circuit,
     build_strategy,
     load_job_specs,
@@ -196,3 +197,51 @@ class TestLoadJobSpecs:
         path.write_text(document)
         with pytest.raises(ValueError):
             load_job_specs(str(path))
+
+
+class TestJobSpecError:
+    """I/O-level spec failures surface as typed, permanent errors."""
+
+    def test_missing_batch_file_names_its_path(self, tmp_path):
+        path = str(tmp_path / "absent.json")
+        with pytest.raises(JobSpecError, match="absent.json") as excinfo:
+            load_job_specs(path)
+        assert excinfo.value.path == path
+
+    def test_undecodable_batch_file(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_bytes(b"\xff\xfe garbage")
+        with pytest.raises(JobSpecError, match="not UTF-8"):
+            load_job_specs(str(path))
+
+    def test_invalid_batch_json(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("{not json")
+        with pytest.raises(JobSpecError, match="not valid JSON"):
+            load_job_specs(str(path))
+
+    def test_missing_referenced_qasm_names_the_reference(self, tmp_path):
+        batch = tmp_path / "jobs.json"
+        batch.write_text(json.dumps([{"circuit": "file:missing.qasm"}]))
+        with pytest.raises(JobSpecError, match="missing.qasm") as excinfo:
+            load_job_specs(str(batch))
+        assert excinfo.value.path.endswith("missing.qasm")
+
+    def test_missing_source_file_for_from_source(self, tmp_path):
+        path = str(tmp_path / "absent.qasm")
+        with pytest.raises(JobSpecError, match="cannot read"):
+            JobSpec.from_source(path)
+
+    def test_is_still_a_value_error(self, tmp_path):
+        """Existing ``except (OSError, ValueError)`` callers keep
+        catching spec problems."""
+        with pytest.raises(ValueError):
+            load_job_specs(str(tmp_path / "absent.json"))
+
+    def test_classifies_permanent(self, tmp_path):
+        from repro.faults.errors import PERMANENT, classify_exception
+
+        try:
+            load_job_specs(str(tmp_path / "absent.json"))
+        except JobSpecError as error:
+            assert classify_exception(error) == PERMANENT

@@ -115,7 +115,11 @@ class TestGc:
         store.save_checkpoint(HASH_A, {"next_op_index": 3})
         store.save_checkpoint(HASH_B, {"next_op_index": 5})
         removed = store.gc()
-        assert removed == {"checkpoints": 1, "results": 0}
+        assert removed == {
+            "checkpoints": 1,
+            "results": 0,
+            "quarantined": 0,
+        }
         # The live (resumable) checkpoint survives.
         assert list(store.iter_checkpoints()) == [HASH_B]
         assert store.has_result(HASH_A)
