@@ -26,12 +26,19 @@ Subcommands:
 * ``table1`` — regenerate the paper's Table I on the scaled workload
   suites (runs through the job engine: cached and resumable).
 * ``batch`` — execute a JSON batch of job specs through the persistent
-  job engine (content-addressed caching, checkpoint/resume).
+  job engine (content-addressed caching, checkpoint/resume).  SIGTERM
+  or a first Ctrl-C triggers a graceful drain (exit 5): in-flight jobs
+  finish or checkpoint, queued jobs are skipped as ``drained``.
 * ``jobs`` — inspect and garbage-collect the artifact store
   (``ls`` / ``show`` / ``gc``, including the quarantine area).
 * ``faults`` — fault-injection tooling (``sites`` lists injection
   sites and kinds, ``check`` validates a plan file — see
   docs/FAULTS.md).
+* ``serve`` — run the persistent simulation daemon (supervised worker
+  pool, bounded admission queue, per-request deadlines, fidelity-tier
+  load shedding — see docs/SERVE.md); drains gracefully on SIGTERM.
+* ``submit`` / ``status`` / ``drain`` — client commands against a
+  running daemon (exit 6 when the daemon sheds the submission).
 
 Examples::
 
@@ -98,6 +105,19 @@ from .service import (
 
 #: Default artifact-store location for engine-backed subcommands.
 DEFAULT_STORE = os.environ.get("REPRO_SIM_STORE", "~/.cache/repro-sim")
+
+#: Exit codes beyond the usual 0/1/2 (see docs/SERVE.md § Exit codes):
+#: 3 = DDSan sanitizer violation, 4 = memory budget exceeded,
+#: 5 = graceful drain completed (SIGTERM/SIGINT or a drain request),
+#: 6 = the daemon refused the submission (shed / breaker / draining).
+EXIT_DRAINED = 5
+EXIT_SHED = 6
+
+
+def _default_socket(store: str) -> str:
+    """Store-scoped default Unix socket path for serve/submit/etc."""
+    root = os.path.abspath(os.path.expanduser(store))
+    return os.path.join(root, "serve", "serve.sock")
 
 
 def _package_version() -> str:
@@ -539,6 +559,45 @@ def _print_counts(counts, num_qubits: int, limit: int = 10) -> None:
         print(f"  |{bits}>: {frequency}")
 
 
+def _install_drain_signals(request_drain) -> "dict | None":
+    """Route SIGTERM/SIGINT to a graceful drain (first signal) or a
+    hard cancel (second signal).  Returns the previous handlers for
+    restoration, or None when not in the main thread (tests)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    state = {"signals": 0}
+
+    def _on_signal(signum, frame) -> None:
+        state["signals"] += 1
+        if state["signals"] == 1:
+            print(
+                "drain requested: in-flight jobs finish or checkpoint, "
+                "queued jobs are skipped (signal again to abort hard)",
+                file=sys.stderr,
+                flush=True,
+            )
+            request_drain()
+        else:
+            raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
+    return previous
+
+
+def _restore_signals(previous: "dict | None") -> None:
+    if previous is None:
+        return
+    import signal
+
+    for signum, handler in previous.items():
+        signal.signal(signum, handler)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     exit_code = _arm_fault_plan(args.fault_plan)
     if exit_code:
@@ -554,6 +613,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     engine = JobEngine(
         args.store, workers=args.workers, use_cache=not args.no_cache
     )
+    previous = _install_drain_signals(engine.request_drain)
     try:
         results = engine.run_batch(
             specs, progress=lambda result: print(result.summary(), flush=True)
@@ -562,18 +622,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("cancelled; completed jobs are cached, partial jobs "
               "checkpointed — rerun to resume", file=sys.stderr)
         return 130
+    finally:
+        _restore_signals(previous)
     statuses = [result.status for result in results]
     cached = sum(result.cached for result in results)
+    drained = statuses.count("drained")
     print(
         f"batch: {statuses.count('completed')}/{len(results)} completed "
         f"({cached} from cache, {statuses.count('timeout')} timed out, "
-        f"{statuses.count('error')} errors)"
+        f"{drained} drained, {statuses.count('error')} errors)"
     )
     for result in results:
         print(f"  {result.job_hash[:12]}  {result.spec.display_name:24s} "
               f"{result.status}{' (cached)' if result.cached else ''}")
         if result.counts and result.stats:
             _print_counts(result.counts, int(result.stats["num_qubits"]))
+    if engine.draining or drained:
+        print(
+            "drained; completed jobs are cached, interrupted jobs "
+            "checkpointed — rerun to resume",
+            file=sys.stderr,
+        )
+        return EXIT_DRAINED
     return 0 if all(status == "completed" for status in statuses) else 1
 
 
@@ -595,13 +665,18 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             )
         for job_hash in sorted(checkpointed - {h for h, _ in rows}):
             print(f"{job_hash[:12]}  <checkpoint only — resumable>")
-        quarantined = list(store.iter_quarantined())
+        quarantined = store.quarantine_report()
         if quarantined:
             print(
                 f"quarantine: {len(quarantined)} item(s) — inspect under "
                 f"{store.quarantine_root()}, purge with "
                 f"'jobs gc --quarantine'"
             )
+            for entry in quarantined:
+                # Half-written entries (crash mid-quarantine) are
+                # reported, never allowed to crash the listing.
+                detail = entry["reason"] or f"<{entry['error']}>"
+                print(f"  {entry['name']}: {detail}")
         return 0
     if args.jobs_command == "show":
         try:
@@ -692,6 +767,203 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     print(f"error: unknown faults command {args.faults_command!r}",
           file=sys.stderr)
     return 2
+
+
+def _parse_ladder(text: str):
+    """Parse ``--ladder "0.5:0.99,0.8:0.9"`` into a FidelityLadder."""
+    from .serve import FidelityLadder
+
+    if not text:
+        return FidelityLadder()
+    tiers = []
+    for part in text.split(","):
+        threshold_text, _, cap_text = part.partition(":")
+        tiers.append((float(threshold_text), float(cap_text)))
+    return FidelityLadder(tiers=tuple(tiers))
+
+
+def _serve_client(args: argparse.Namespace):
+    """Build a ServeClient from the shared endpoint options."""
+    from .serve import ServeClient
+
+    if args.port:
+        return ServeClient(host=args.host, port=args.port)
+    socket_path = args.socket or _default_socket(args.store)
+    return ServeClient(socket_path=socket_path)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    exit_code = _arm_fault_plan(args.fault_plan)
+    if exit_code:
+        return exit_code
+    from .serve import CircuitBreaker, SimDaemon
+
+    try:
+        ladder = _parse_ladder(args.ladder)
+    except ValueError as error:
+        print(f"error: bad --ladder: {error}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    if args.port:
+        socket_path = None
+    else:
+        socket_path = args.socket or _default_socket(args.store)
+        os.makedirs(os.path.dirname(socket_path), exist_ok=True)
+    daemon = SimDaemon(
+        store,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        ladder=ladder,
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_attempts=args.max_attempts,
+        use_cache=not args.no_cache,
+        socket_path=socket_path,
+        host=args.host,
+        port=args.port,
+        log=sys.stderr,
+    )
+    recorder = Recorder(enabled=True)
+    previous = _install_drain_signals(daemon.request_drain)
+    try:
+        with recording(recorder):
+            daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("aborted hard; draining was skipped", file=sys.stderr)
+        return 130
+    finally:
+        _restore_signals(previous)
+    if args.metrics:
+        snapshot = daemon.handle_request({"op": "metrics"})
+        snapshot.pop("ok", None)
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    return EXIT_DRAINED if daemon.draining else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    strategy_args: dict = {}
+    for pair in args.strategy_arg or []:
+        name, separator, value = pair.partition("=")
+        if not separator:
+            print(
+                f"error: --strategy-arg needs name=value, got {pair!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            strategy_args[name] = float(value)
+        except ValueError:
+            print(
+                f"error: --strategy-arg {name!r} value {value!r} is not "
+                "numeric",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        spec = JobSpec.from_source(
+            args.circuit,
+            strategy=args.strategy,
+            strategy_args=tuple(sorted(strategy_args.items())),
+            shots=args.shots,
+            seed=args.seed,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except ValueError as error:
+        print(f"error: bad spec: {error}", file=sys.stderr)
+        return 2
+    client = _serve_client(args)
+    try:
+        response = client.submit(
+            spec,
+            priority=args.priority,
+            soft_timeout=args.soft_timeout,
+            hard_timeout=args.hard_timeout,
+        )
+    except ServeError as error:
+        if error.error in ("shed", "breaker_open", "draining"):
+            after = error.retry_after
+            hint = f" (retry after ~{after}s)" if after else ""
+            print(f"rejected: {error.error}{hint}", file=sys.stderr)
+            return EXIT_SHED
+        print(f"error: {error.error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach daemon: {error}", file=sys.stderr)
+        return 1
+    job_id = response["job_id"]
+    tier_note = (
+        f" tier={response['tier']} (f_final capped at "
+        f"{response['f_final_cap']})"
+        if response.get("degraded")
+        else ""
+    )
+    print(f"accepted {job_id} [{response['job_hash'][:12]}]{tier_note}")
+    if not args.wait:
+        return 0
+    try:
+        waited = client.wait(job_id, timeout=args.wait_timeout)
+    except ServeError as error:
+        job = error.response.get("job")
+        status = job["status"] if isinstance(job, dict) else "unknown"
+        print(
+            f"{job_id}: still {status} after {args.wait_timeout}s",
+            file=sys.stderr,
+        )
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach daemon: {error}", file=sys.stderr)
+        return 1
+    job = waited["job"]
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["status"] == "completed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        if args.job_id:
+            response = client.status(args.job_id)
+            document = response["job"]
+        else:
+            response = client.metrics()
+            document = {
+                key: value
+                for key, value in response.items()
+                if key != "ok"
+            }
+    except ServeError as error:
+        print(f"error: {error.error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach daemon: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        client.drain()
+    except ServeError as error:
+        print(f"error: {error.error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach daemon: {error}", file=sys.stderr)
+        return 1
+    print("drain requested")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1208,6 +1480,167 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_check.add_argument("plan_file", help="path to a plan JSON file")
     faults_check.set_defaults(handler=_cmd_faults)
+
+    def _endpoint_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            help="artifact store directory; also determines the default "
+            "socket path <store>/serve/serve.sock (default: %(default)s)",
+        )
+        subparser.add_argument(
+            "--socket",
+            default=os.environ.get("REPRO_SIM_SOCKET", ""),
+            help="daemon Unix socket path (default: the store-scoped "
+            "socket, or $REPRO_SIM_SOCKET)",
+        )
+        subparser.add_argument(
+            "--host", default="127.0.0.1", help="TCP host (with --port)"
+        )
+        subparser.add_argument(
+            "--port",
+            type=int,
+            default=0,
+            help="listen/connect on TCP instead of the Unix socket",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (docs/SERVE.md)",
+    )
+    _endpoint_options(serve)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="supervised worker processes"
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="bounded admission queue size; beyond it submissions shed",
+    )
+    serve.add_argument(
+        "--ladder",
+        default="",
+        help='fidelity ladder tiers as "util:cap,..." '
+        '(default "0.5:0.99,0.8:0.9")',
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="permanent failures per spec before fast rejection",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before half-open probes",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        help="stale-heartbeat threshold for wedged-worker replacement",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="executions per job across worker deaths and hard kills",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate even when a stored result exists",
+    )
+    serve.add_argument(
+        "--metrics",
+        default="",
+        help="write a final metrics snapshot JSON here on exit",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default="",
+        help="arm a deterministic fault-injection plan (JSON; inherited "
+        "by forked workers — chaos testing)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running daemon"
+    )
+    _endpoint_options(submit)
+    submit.add_argument(
+        "circuit", help="builtin:<name> or a QASM file path"
+    )
+    submit.add_argument(
+        "--strategy",
+        default="exact",
+        choices=["exact", "memory", "fidelity", "adaptive", "size_cap"],
+        help="approximation strategy kind",
+    )
+    submit.add_argument(
+        "--strategy-arg",
+        action="append",
+        metavar="NAME=VALUE",
+        help="strategy constructor argument (repeatable), e.g. "
+        "final_fidelity=0.999",
+    )
+    submit.add_argument("--shots", type=int, default=0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="checkpoint every N operations (enables deadline resume)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs first"
+    )
+    submit.add_argument(
+        "--soft-timeout",
+        type=float,
+        default=None,
+        help="per-attempt soft deadline (seconds): the job checkpoints "
+        "and answers status=deadline with the fidelity spent so far",
+    )
+    submit.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        help="per-attempt hard deadline (seconds): the worker is killed "
+        "and the job requeued or failed",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a final state",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=300.0,
+        help="give up waiting after this many seconds",
+    )
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a job (or daemon metrics) as JSON"
+    )
+    _endpoint_options(status)
+    status.add_argument(
+        "job_id",
+        nargs="?",
+        default="",
+        help="job id from submit; omit for daemon-wide metrics",
+    )
+    status.set_defaults(handler=_cmd_status)
+
+    drain = sub.add_parser(
+        "drain", help="ask a running daemon to drain and exit"
+    )
+    _endpoint_options(drain)
+    drain.set_defaults(handler=_cmd_drain)
     return parser
 
 

@@ -35,8 +35,11 @@ from .fidelity import (
     verify_lemma1_dense,
 )
 from .simulator import (
+    CancellationToken,
     DDSimulator,
+    MemoryWatchdog,
     RoundRecord,
+    SimulationCancelled,
     SimulationOutcome,
     SimulationStats,
     SimulationTimeout,
@@ -61,12 +64,15 @@ __all__ = [
     "AdaptiveStrategy",
     "ApproximationResult",
     "ApproximationStrategy",
+    "CancellationToken",
     "DDSimulator",
     "FidelityDrivenStrategy",
     "MemoryDrivenStrategy",
+    "MemoryWatchdog",
     "NoApproximation",
     "RoundRecord",
     "SemiclassicalRun",
+    "SimulationCancelled",
     "SimulationOutcome",
     "SizeCapStrategy",
     "SimulationStats",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 if TYPE_CHECKING:
     from ..analysis.ddsan import Sanitizer
@@ -67,6 +67,65 @@ def _resolve_sanitizer(
     return Sanitizer(package)
 
 
+class SupportsIsSet(Protocol):
+    """Anything with a ``threading.Event``-style ``is_set`` probe.
+
+    A :class:`threading.Event`, a ``multiprocessing`` event proxy, or a
+    test double all satisfy it — the simulator only ever *polls*, never
+    waits, so the protocol is deliberately this narrow.
+    """
+
+    def is_set(self) -> bool: ...
+
+
+class CancellationToken:
+    """Cooperative cancellation handle, polled between gate applications.
+
+    The serving layer (:mod:`repro.serve`) propagates per-request
+    deadlines and drain requests into a running simulation through this
+    token: :meth:`DDSimulator.run` polls :meth:`reason` before each
+    operation and again after each operation's approximation round, and
+    raises :class:`SimulationCancelled` — carrying a checkpointable
+    partial state — as soon as either trigger fires.  Polling (rather
+    than signals) keeps cancellation deterministic: it can only land at
+    Lemma-1-consistent boundaries, never mid-multiplication.
+
+    Attributes:
+        soft_deadline: Absolute deadline on ``clock``'s timeline
+            (``time.monotonic`` by default); ``None`` disables the
+            time trigger.
+        event: External cancel signal (e.g. a drain event shared with a
+            worker process); ``None`` disables the event trigger.
+        clock: Monotonic time source, injectable for deterministic
+            tests.
+    """
+
+    __slots__ = ("soft_deadline", "event", "clock")
+
+    def __init__(
+        self,
+        soft_deadline: float | None = None,
+        event: SupportsIsSet | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.soft_deadline = soft_deadline
+        self.event = event
+        self.clock = clock
+
+    def reason(self) -> str | None:
+        """Why the run should stop: ``"drain"``, ``"deadline"``, or
+        ``None`` to keep going.  The event trigger wins ties — a drain
+        is an operator decision, a deadline merely a budget."""
+        if self.event is not None and self.event.is_set():
+            return "drain"
+        if (
+            self.soft_deadline is not None
+            and self.clock() >= self.soft_deadline
+        ):
+            return "deadline"
+        return None
+
+
 class SimulationTimeout(RuntimeError):
     """Raised when a run exceeds its cooperative time budget.
 
@@ -100,6 +159,32 @@ class SimulationTimeout(RuntimeError):
         self.stats = stats
         self.partial_state = partial_state
         self.op_index = op_index
+
+
+class SimulationCancelled(SimulationTimeout):
+    """Raised when a :class:`CancellationToken` fires mid-run.
+
+    A subclass of :class:`SimulationTimeout` so every existing
+    checkpoint/resume path (``repro.service.checkpoint``) handles it
+    unchanged: the partially computed state, accumulated statistics, and
+    resume index travel on the exception exactly as for a timeout.
+
+    Attributes:
+        reason: ``"drain"`` (operator-initiated shutdown) or
+            ``"deadline"`` (the request's soft deadline elapsed).
+    """
+
+    def __init__(
+        self,
+        stats: "SimulationStats",
+        partial_state: dict | None = None,
+        op_index: int | None = None,
+        reason: str = "deadline",
+    ):
+        super().__init__(
+            stats, partial_state=partial_state, op_index=op_index
+        )
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -279,6 +364,7 @@ class DDSimulator:
         recorder: Recorder | None = None,
         ddsan: bool | None = None,
         watchdog: MemoryWatchdog | None = None,
+        cancel: CancellationToken | None = None,
     ) -> SimulationOutcome:
         """Simulate ``circuit`` from a basis state or a prepared state.
 
@@ -344,6 +430,15 @@ class DDSimulator:
                 triggers an emergency approximation round and a single
                 retry.  Pass ``MemoryWatchdog(enabled=False)`` to let
                 memory pressure propagate unhandled.
+            cancel: Cooperative cancellation token (see
+                :class:`CancellationToken`).  Polled before every
+                operation and again after every operation's
+                approximation round; when it fires the run raises
+                :class:`SimulationCancelled` carrying the serialized
+                partial state, the index of the first unapplied
+                operation, and the trigger reason.  The post-round
+                check is skipped after the final operation — a run
+                whose last gate finished simply completes.
 
         Returns:
             A :class:`SimulationOutcome` with the final state (unit norm)
@@ -353,6 +448,9 @@ class DDSimulator:
             SimulationTimeout: When ``max_seconds`` elapses mid-run.  The
                 exception carries the serialized partial state and the
                 index of the first unapplied operation for checkpointing.
+            SimulationCancelled: When ``cancel`` fires mid-run (same
+                checkpoint payload as :class:`SimulationTimeout`, plus
+                the cancellation reason).
             MemoryBudgetExceeded: When an emergency approximation round
                 would push the fidelity estimate below the watchdog's
                 floor.
@@ -435,6 +533,17 @@ class DDSimulator:
                         stats,
                         partial_state=state_to_dict(state),
                         op_index=op_index,
+                    )
+            if cancel is not None:
+                cancel_reason = cancel.reason()
+                if cancel_reason is not None:
+                    stats.runtime_seconds = time.perf_counter() - started
+                    stats.final_nodes = state.node_count()
+                    raise SimulationCancelled(
+                        stats,
+                        partial_state=state_to_dict(state),
+                        op_index=op_index,
+                        reason=cancel_reason,
                     )
             op_started = time.perf_counter() if obs is not None else 0.0
             try:
@@ -561,6 +670,21 @@ class DDSimulator:
             ):
                 stats.runtime_seconds = time.perf_counter() - started
                 checkpoint_callback(state, op_index + 1, stats)
+            if cancel is not None and op_index + 1 < len(circuit):
+                # Second poll per operation, *after* any approximation
+                # round spent its fidelity, so a cancellation landing
+                # mid-round still checkpoints a Lemma-1-consistent
+                # (state, rounds) pair with the round included.
+                cancel_reason = cancel.reason()
+                if cancel_reason is not None:
+                    stats.runtime_seconds = time.perf_counter() - started
+                    stats.final_nodes = state.node_count()
+                    raise SimulationCancelled(
+                        stats,
+                        partial_state=state_to_dict(state),
+                        op_index=op_index + 1,
+                        reason=cancel_reason,
+                    )
         stats.runtime_seconds = time.perf_counter() - started
         stats.final_nodes = state.node_count()
         if obs is not None:
@@ -723,6 +847,7 @@ def simulate(
     recorder: Recorder | None = None,
     ddsan: bool | None = None,
     watchdog: MemoryWatchdog | None = None,
+    cancel: CancellationToken | None = None,
 ) -> SimulationOutcome:
     """Module-level convenience wrapper around :class:`DDSimulator`."""
     simulator = DDSimulator(package)
@@ -736,4 +861,5 @@ def simulate(
         recorder=recorder,
         ddsan=ddsan,
         watchdog=watchdog,
+        cancel=cancel,
     )

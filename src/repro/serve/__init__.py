@@ -1,0 +1,45 @@
+"""The serving layer: a supervised simulation daemon (``repro-sim serve``).
+
+Turns the batch-oriented service layer into a long-running request
+path, applying the paper's fidelity-as-budget stance (Lemma 1) as a
+*serving policy* — under load the daemon degrades accuracy before it
+degrades availability:
+
+* :mod:`repro.serve.daemon` — :class:`SimDaemon`: admission, the
+  control loop, deadlines, drain.
+* :mod:`repro.serve.supervisor` — :class:`WorkerSupervisor`: forked
+  workers with heartbeats; dead or wedged workers are replaced and
+  their jobs requeued (checkpoint-resumed when possible).
+* :mod:`repro.serve.queue` — :class:`AdmissionQueue`: bounded priority
+  queue; a full queue sheds with an explicit rejection.
+* :mod:`repro.serve.breaker` — :class:`CircuitBreaker`: per-spec fast
+  rejection of persistently failing work, with half-open recovery.
+* :mod:`repro.serve.degrade` — :class:`FidelityLadder`: queue-pressure
+  tiers that admit new jobs at downgraded ``f_final`` targets.
+* :mod:`repro.serve.client` / :mod:`repro.serve.protocol` — the
+  JSON-lines client and wire format.
+
+See ``docs/SERVE.md`` for the serving model and deadline semantics.
+"""
+
+from .breaker import CircuitBreaker
+from .client import ServeClient, ServeError
+from .daemon import JobRecord, SimDaemon
+from .degrade import DEGRADABLE_KINDS, FidelityLadder, TieredSpec
+from .queue import AdmissionQueue, QueueItem
+from .supervisor import WorkerEvent, WorkerSupervisor
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "DEGRADABLE_KINDS",
+    "FidelityLadder",
+    "JobRecord",
+    "QueueItem",
+    "ServeClient",
+    "ServeError",
+    "SimDaemon",
+    "TieredSpec",
+    "WorkerEvent",
+    "WorkerSupervisor",
+]

@@ -1,0 +1,137 @@
+"""Per-spec circuit breaker: stop burning workers on a poisoned spec.
+
+A job spec that fails *permanently* (malformed circuit, exhausted
+fidelity budget — :mod:`repro.faults.errors` taxonomy) will fail again
+no matter how often it is retried; every execution wastes a worker slot
+that admitted, well-formed jobs are queueing for.  The breaker tracks
+permanent failures per content hash and, past a threshold, rejects new
+submissions of that spec *at admission time* ("fast rejection") until a
+cooldown elapses.  After the cooldown a limited number of half-open
+probes are let through; one success closes the breaker, another
+permanent failure re-opens it.
+
+States follow the classic pattern:
+
+* ``closed`` — healthy; failures are counted.
+* ``open`` — rejecting; ``retry_after`` reports the cooldown remaining.
+* ``half-open`` — cooldown elapsed; up to ``half_open_probes``
+  submissions pass through as probes.
+
+Not thread-safe on its own; the daemon serializes access under its
+state lock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class _Entry:
+    failures: int = 0
+    state: str = CLOSED
+    opened_at: float = 0.0
+    probes: int = 0
+
+
+@dataclass
+class CircuitBreaker:
+    """Keyed circuit breaker (keys are job content hashes).
+
+    Args:
+        failure_threshold: Consecutive permanent failures that open the
+            breaker for a key.
+        cooldown_seconds: Open duration before half-open probing.
+        half_open_probes: Probe submissions allowed per half-open
+            window.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+    half_open_probes: int = 1
+    clock: Callable[[], float] = time.monotonic
+    _entries: dict[str, _Entry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be positive")
+
+    def _entry(self, key: str) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _Entry()
+        return entry
+
+    def state(self, key: str) -> str:
+        """Current state for ``key`` (open may lapse into half-open)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return CLOSED
+        if entry.state == OPEN and (
+            self.clock() - entry.opened_at >= self.cooldown_seconds
+        ):
+            entry.state = HALF_OPEN
+            entry.probes = 0
+        return entry.state
+
+    def allow(self, key: str) -> bool:
+        """Admission check; True lets the submission through.
+
+        A half-open True *consumes* one probe slot, so call this only
+        when actually admitting.
+        """
+        state = self.state(key)
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        entry = self._entry(key)
+        if entry.probes >= self.half_open_probes:
+            return False
+        entry.probes += 1
+        return True
+
+    def retry_after(self, key: str) -> float:
+        """Seconds until an open breaker will half-open (0 otherwise)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.state != OPEN:
+            return 0.0
+        remaining = self.cooldown_seconds - (self.clock() - entry.opened_at)
+        return max(0.0, remaining)
+
+    def record_success(self, key: str) -> None:
+        """A completed execution: close and forget the key."""
+        self._entries.pop(key, None)
+
+    def record_failure(self, key: str) -> None:
+        """A *permanent* failure (transient ones must not be recorded —
+        they are retryable and say nothing about the spec itself)."""
+        entry = self._entry(key)
+        entry.failures += 1
+        if entry.state == HALF_OPEN or (
+            entry.failures >= self.failure_threshold
+        ):
+            entry.state = OPEN
+            entry.opened_at = self.clock()
+            entry.probes = 0
+
+    def snapshot(self) -> dict[str, dict]:
+        """States and failure counts per key (for ``--metrics``)."""
+        return {
+            key: {
+                "state": self.state(key),
+                "failures": entry.failures,
+            }
+            for key, entry in sorted(self._entries.items())
+        }

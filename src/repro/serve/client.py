@@ -1,0 +1,131 @@
+"""Blocking client for the simulation daemon (stdlib only).
+
+Opens one connection per request — the protocol is stateless per line,
+and the daemon's handler threads are cheap — so the client needs no
+connection lifecycle of its own and is trivially safe to share across
+threads.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..service.jobs import JobSpec
+from .protocol import decode_message, encode_message
+
+
+class ServeError(RuntimeError):
+    """The daemon rejected a request (``ok: false``).
+
+    Attributes:
+        error: The daemon's error code (``"shed"``, ``"breaker_open"``,
+            ``"draining"``, ...).
+        response: The full response document.
+    """
+
+    def __init__(self, response: dict):
+        self.error = str(response.get("error", "unknown"))
+        self.response = response
+        super().__init__(self.error)
+
+    @property
+    def retry_after(self) -> float | None:
+        """Suggested backoff in seconds, when the daemon offered one."""
+        value = self.response.get("retry_after")
+        return float(value) if value is not None else None
+
+
+class ServeClient:
+    """Talk to a :class:`repro.serve.daemon.SimDaemon`.
+
+    Args:
+        socket_path: Unix socket the daemon listens on, or
+        host / port: its TCP address.
+        timeout: Per-request socket timeout (None = block forever).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = 60.0,
+    ) -> None:
+        if socket_path is None and not port:
+            raise ValueError("need a socket_path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            connection.settimeout(self.timeout)
+            connection.connect(self.socket_path)
+            return connection
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def request(self, message: dict) -> dict:
+        """Send one request; return the ``ok: true`` response.
+
+        Raises:
+            ServeError: On an ``ok: false`` response.
+            ConnectionError / OSError: When the daemon is unreachable.
+        """
+        with self._connect() as connection:
+            connection.sendall(encode_message(message))
+            chunks = bytearray()
+            while not chunks.endswith(b"\n"):
+                chunk = connection.recv(65536)
+                if not chunk:  # EOF: parse whatever arrived
+                    break
+                chunks.extend(chunk)
+        if not chunks:
+            raise ConnectionError("daemon closed the connection")
+        response = decode_message(bytes(chunks))
+        if not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        spec: "JobSpec | dict",
+        priority: int = 0,
+        soft_timeout: float | None = None,
+        hard_timeout: float | None = None,
+    ) -> dict:
+        document = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        message: dict = {
+            "op": "submit",
+            "spec": document,
+            "priority": priority,
+        }
+        if soft_timeout is not None:
+            message["soft_timeout"] = soft_timeout
+        if hard_timeout is not None:
+            message["hard_timeout"] = hard_timeout
+        return self.request(message)
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> dict:
+        return self.request(
+            {"op": "wait", "job_id": job_id, "timeout": timeout}
+        )
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})

@@ -1,0 +1,108 @@
+"""The fidelity ladder: degrade accuracy instead of availability.
+
+The paper's thesis — fidelity is a budget spent to buy efficiency
+(Lemma 1) — doubles as a load-shedding policy: when the daemon's queue
+fills up, *new* jobs are admitted at a downgraded ``f_final`` target
+(e.g. 0.999 → 0.99 → 0.9) instead of being shed outright.  A degraded
+job simulates faster (more aggressive truncation keeps the diagram
+smaller), so the queue drains sooner, and the caller still gets a
+result whose accuracy is explicitly recorded — the Zulehner et al.
+accuracy/cost dial turned by the operator instead of the user.
+
+Only strategies that carry a ``final_fidelity`` budget can be
+degraded (``fidelity``, ``adaptive``, ``size_cap``); ``exact`` and
+``memory`` jobs have no fidelity dial and pass through untouched —
+under saturation they are simply shed when the queue is full.
+
+Degradation changes the spec's ``strategy_args`` and therefore its
+content hash: a degraded result is cached under the degraded identity
+and can never masquerade as the full-fidelity artifact.  The Lemma-1
+accounting needs no special case — the lowered ``final_fidelity``
+flows into the strategy's round budget exactly as if the user had
+requested it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..service.jobs import JobSpec
+
+#: Strategy kinds whose ``final_fidelity`` argument the ladder may cap.
+DEGRADABLE_KINDS = ("fidelity", "adaptive", "size_cap")
+
+
+@dataclass(frozen=True)
+class TieredSpec:
+    """Outcome of an admission-time degradation decision."""
+
+    spec: JobSpec
+    tier: int
+    f_final_cap: float | None
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class FidelityLadder:
+    """Utilization-indexed ``f_final`` caps.
+
+    Args:
+        tiers: ``(utilization_threshold, f_final_cap)`` pairs, sorted by
+            threshold.  Tier 0 (utilization below the first threshold)
+            applies no cap; tier ``i >= 1`` caps ``final_fidelity`` at
+            ``tiers[i-1][1]``.
+    """
+
+    tiers: tuple[tuple[float, float], ...] = ((0.5, 0.99), (0.8, 0.9))
+
+    def __post_init__(self) -> None:
+        previous = -1.0
+        for threshold, cap in self.tiers:
+            if not 0.0 <= threshold <= 1.0:
+                raise ValueError("tier thresholds must be in [0, 1]")
+            if threshold <= previous:
+                raise ValueError("tier thresholds must strictly increase")
+            if not 0.0 < cap <= 1.0:
+                raise ValueError("f_final caps must be in (0, 1]")
+            previous = threshold
+
+    def tier_for(self, utilization: float) -> tuple[int, float | None]:
+        """Map queue utilization to ``(tier_index, f_final_cap)``.
+
+        Tier 0 / ``None`` means full fidelity.
+        """
+        tier = 0
+        cap: float | None = None
+        for threshold, tier_cap in self.tiers:
+            if utilization >= threshold:
+                tier += 1
+                cap = tier_cap
+            else:
+                break
+        return tier, cap
+
+    def apply(self, spec: JobSpec, utilization: float) -> TieredSpec:
+        """Degrade ``spec`` for the current load, when possible.
+
+        Returns the (possibly rewritten) spec plus the tier decision.
+        The cap only ever *lowers* ``final_fidelity`` — a job already
+        requesting less accuracy than the tier's cap is untouched.
+        """
+        tier, cap = self.tier_for(utilization)
+        if cap is None or spec.strategy not in DEGRADABLE_KINDS:
+            return TieredSpec(
+                spec=spec, tier=tier, f_final_cap=cap, degraded=False
+            )
+        args = dict(spec.strategy_args)
+        current = float(args.get("final_fidelity", 1.0))
+        if current <= cap:
+            return TieredSpec(
+                spec=spec, tier=tier, f_final_cap=cap, degraded=False
+            )
+        args["final_fidelity"] = cap
+        degraded = spec.with_overrides(
+            strategy_args=tuple(sorted(args.items()))
+        )
+        return TieredSpec(
+            spec=degraded, tier=tier, f_final_cap=cap, degraded=True
+        )

@@ -1,0 +1,93 @@
+"""Wire protocol of the simulation daemon: JSON lines over a stream.
+
+One request per line, one response per line, UTF-8, no framing beyond
+the newline — debuggable with ``nc``/``socat`` and implementable from
+any language with a JSON library.  A connection may issue any number of
+requests sequentially (the server answers in order).
+
+Requests are objects with an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...JobSpec...}, "priority": 1,
+     "soft_timeout": 30.0, "hard_timeout": 60.0}
+    {"op": "status", "job_id": "j-000042"}
+    {"op": "wait", "job_id": "j-000042", "timeout": 10.0}
+    {"op": "metrics"}
+    {"op": "drain"}
+
+Responses always carry ``ok``.  Rejections (``ok: false``) carry
+``error`` — notably ``"shed"`` (queue full; ``retry_after`` suggests a
+backoff) and ``"breaker_open"`` (the spec keeps failing permanently;
+``retry_after`` is the breaker cooldown remaining).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+#: Maximum accepted request line (a spec carries full QASM text, so the
+#: bound is generous; beyond it the connection is dropped as malformed).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame on the wire (not valid JSON, not an object)."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialize one protocol message to its wire form (line + newline)."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one wire line into a message object.
+
+    Raises:
+        ProtocolError: When the line is not a JSON object.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_message(stream: IO[bytes]) -> dict | None:
+    """Read one message from a binary stream; None on clean EOF.
+
+    Raises:
+        ProtocolError: On an oversized or malformed frame.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("frame exceeds MAX_LINE_BYTES")
+    if line.strip() == b"":
+        return {}
+    return decode_message(line)
+
+
+def write_message(stream: IO[bytes], message: dict) -> None:
+    """Write one message to a binary stream and flush it."""
+    stream.write(encode_message(message))
+    stream.flush()
+
+
+def error_response(error: str, **extra: object) -> dict:
+    """Build a standard rejection response."""
+    response: dict = {"ok": False, "error": error}
+    response.update(extra)
+    return response
+
+
+def ok_response(**extra: object) -> dict:
+    """Build a standard success response."""
+    response: dict = {"ok": True}
+    response.update(extra)
+    return response

@@ -24,6 +24,8 @@ cancellation (Ctrl-C).
 
 from __future__ import annotations
 
+import random
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -31,7 +33,12 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from ..core.simulator import DDSimulator, SimulationTimeout
+from ..core.simulator import (
+    CancellationToken,
+    DDSimulator,
+    SimulationCancelled,
+    SimulationTimeout,
+)
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict, state_to_dict
 from ..faults.errors import (
@@ -62,7 +69,11 @@ class JobResult:
     Attributes:
         spec: The submitted specification.
         job_hash: Its content hash (the artifact store key).
-        status: ``"completed"``, ``"timeout"``, or ``"error"``.
+        status: ``"completed"``, ``"timeout"``, ``"deadline"`` (a
+            request deadline cancelled the run mid-flight; a checkpoint
+            holds the partial work and its fidelity spend),
+            ``"drained"`` (a graceful shutdown stopped the job before
+            or during execution), or ``"error"``.
         cached: True when served from the store without simulating.
         resumed_at: Operation index this execution resumed from (None
             when it started from scratch).
@@ -112,10 +123,13 @@ class JobResult:
         name = self.spec.display_name
         if self.status == "error":
             return f"{name}: ERROR {self.error}"
-        if self.status == "timeout":
+        if self.status in ("timeout", "deadline", "drained"):
             at = self.stats.get("next_op_index") if self.stats else None
+            label = self.status.upper()
+            if at is None:
+                return f"{name}: {label} (not started; rerun to retry)"
             return (
-                f"{name}: TIMEOUT at op {at} "
+                f"{name}: {label} at op {at} "
                 f"(checkpointed; rerun to resume)"
             )
         stats = self.stats or {}
@@ -252,6 +266,7 @@ def execute_job(
     spec: JobSpec,
     store: ArtifactStore,
     use_cache: bool = True,
+    cancel: CancellationToken | None = None,
 ) -> JobResult:
     """Execute one job in the current process (the worker entry point).
 
@@ -260,6 +275,12 @@ def execute_job(
     are reported as ``status="error"`` results tagged with the
     transient/permanent classification.  (Infrastructure-level failures
     — a killed process — surface in :class:`JobEngine`, which retries.)
+
+    ``cancel`` propagates a request deadline or a drain signal into the
+    simulator (see :class:`repro.core.simulator.CancellationToken`);
+    a fired token yields ``status="deadline"`` or ``status="drained"``
+    with a checkpoint persisted exactly as for a timeout, so the next
+    attempt resumes with the Lemma-1 fidelity budget already spent.
 
     Recovery behaviors:
 
@@ -375,8 +396,15 @@ def execute_job(
                 prior_rounds=prior_rounds,
                 checkpoint_interval=spec.checkpoint_interval or None,
                 checkpoint_callback=writer,
+                cancel=cancel,
             )
         except SimulationTimeout as timeout:
+            if isinstance(timeout, SimulationCancelled):
+                status = (
+                    "drained" if timeout.reason == "drain" else "deadline"
+                )
+            else:
+                status = "timeout"
             rescue = checkpoint_from_timeout(
                 job_hash, timeout, prior_elapsed, prior_max_nodes
             )
@@ -389,15 +417,15 @@ def execute_job(
             )
             partial["next_op_index"] = timeout.op_index
             if obs.enabled:
-                obs.count("jobs.timeout")
+                obs.count(f"jobs.{status}")
                 obs.event(
-                    "job", phase="timeout", job=job_hash[:12],
+                    "job", phase=status, job=job_hash[:12],
                     name=spec.display_name, op_index=timeout.op_index,
                 )
             return JobResult(
                 spec=spec,
                 job_hash=job_hash,
-                status="timeout",
+                status=status,
                 resumed_at=start_op_index or None,
                 stats=partial,
             )
@@ -484,8 +512,16 @@ class JobEngine:
             hiccups, memory pressure).  Permanent failures (malformed
             specs, exhausted fidelity budgets) are deterministic and
             never retried.
-        retry_backoff: Base sleep before a retry; doubles per attempt.
+        retry_backoff: Base sleep before a retry.  Backoff uses
+            *decorrelated jitter* (sleep drawn uniformly from
+            ``[base, 3 * previous]``, capped at an exponential
+            envelope) so a restarted pool's retries do not
+            thunder-herd the artifact store in lockstep.
         use_cache: Serve stored results without re-simulating.
+        jitter: Disable to fall back to deterministic exponential
+            backoff (useful for exact-timing tests).
+        jitter_seed: Seed for the jitter RNG — chaos tests pin it so
+            retry schedules are reproducible across runs.
     """
 
     def __init__(
@@ -495,6 +531,8 @@ class JobEngine:
         max_retries: int = 2,
         retry_backoff: float = 0.25,
         use_cache: bool = True,
+        jitter: bool = True,
+        jitter_seed: int | None = None,
     ):
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -507,8 +545,45 @@ class JobEngine:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.use_cache = use_cache
+        self.jitter = jitter
+        self._jitter_rng = random.Random(jitter_seed)
+        self._prev_backoff = retry_backoff
+        self._drain = threading.Event()
 
     # ------------------------------------------------------------------
+    # Drain support (SIGTERM/SIGINT graceful shutdown).
+
+    def request_drain(self) -> None:
+        """Ask the engine to stop admitting work and wind down.
+
+        Safe to call from a signal handler or another thread.  Jobs not
+        yet started come back as ``status="drained"``; in-flight serial
+        jobs see the drain through their cancellation token and
+        checkpoint at the next gate boundary.
+        """
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain has been requested."""
+        return self._drain.is_set()
+
+    # ------------------------------------------------------------------
+    # Retry backoff with decorrelated jitter.
+
+    def _backoff_seconds(self, attempts: int) -> float:
+        """Sleep before retry ``attempts`` (1-based count of tries so
+        far).  Decorrelated jitter (uniform over ``[base, 3 * prev]``)
+        bounded by the deterministic exponential envelope, so worst-case
+        growth matches the un-jittered schedule."""
+        cap = self.retry_backoff * (2 ** (attempts - 1))
+        if not self.jitter:
+            return cap
+        upper = max(self.retry_backoff, self._prev_backoff * 3.0)
+        sleep = self._jitter_rng.uniform(self.retry_backoff, upper)
+        sleep = min(sleep, cap * 2.0)
+        self._prev_backoff = sleep
+        return sleep
 
     def run(self, spec: JobSpec) -> JobResult:
         """Execute one job in-process (cache-first).
@@ -518,9 +593,19 @@ class JobEngine:
         attempt makes the retry resume rather than restart.
         """
         attempts = 0
+        cancel = CancellationToken(event=self._drain)
         while True:
+            if self.draining:
+                return JobResult(
+                    spec=spec,
+                    job_hash=spec.content_hash(),
+                    status="drained",
+                    attempts=attempts,
+                )
             attempts += 1
-            result = execute_job(spec, self.store, use_cache=self.use_cache)
+            result = execute_job(
+                spec, self.store, use_cache=self.use_cache, cancel=cancel
+            )
             result.attempts = attempts
             if not self._should_retry(result, attempts):
                 return result
@@ -534,7 +619,7 @@ class JobEngine:
                     attempt=attempts,
                     error=result.error,
                 )
-            time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+            time.sleep(self._backoff_seconds(attempts))
 
     def _should_retry(self, result: JobResult, attempts: int) -> bool:
         """Retry only failures a retry can fix, within the budget."""
@@ -629,17 +714,41 @@ class JobEngine:
         executor = ProcessPoolExecutor(
             max_workers=pool_size, mp_context=get_context("fork")
         )
+        drain_handled = False
         try:
             submit_all(executor)
             while any(job.future is not None for job in pending):
+                if self.draining and not drain_handled:
+                    # Graceful drain: cancel whatever has not started
+                    # yet (reported as "drained"), let running futures
+                    # finish.  Fresh pool workers never see the drain
+                    # event (separate processes), so in-flight jobs run
+                    # to their own completion or timeout.
+                    drain_handled = True
+                    for job in pending:
+                        if job.future is not None and job.future.cancel():
+                            job.future = None
+                            result = JobResult(
+                                spec=job.spec,
+                                job_hash=job.spec.content_hash(),
+                                status="drained",
+                                attempts=job.attempts,
+                            )
+                            results[job.index] = result
+                            if progress is not None:
+                                progress(result)
+                    if not any(j.future is not None for j in pending):
+                        break
                 futures = {
                     job.future: job
                     for job in pending
                     if job.future is not None
                 }
                 done, _running = wait(
-                    futures, return_when=FIRST_COMPLETED
+                    futures, return_when=FIRST_COMPLETED, timeout=0.2
                 )
+                if not done:
+                    continue
                 broken = False
                 for future in done:
                     job = futures[future]
@@ -668,6 +777,7 @@ class JobEngine:
                             result.status == "error"
                             and result.error_kind == TRANSIENT
                             and job.attempts <= self.max_retries
+                            and not self.draining
                         ):
                             # Transient in-worker failure (I/O hiccup,
                             # memory pressure): the pool is healthy, so
@@ -687,6 +797,23 @@ class JobEngine:
                     results[job.index] = result
                     if progress is not None:
                         progress(result)
+                if broken and self.draining:
+                    # Draining and the pool just broke: do not rebuild.
+                    # Unfinished jobs are reported as drained — any
+                    # checkpoint they wrote resumes on the next run.
+                    for job in pending:
+                        if results[job.index] is None:
+                            job.future = None
+                            result = JobResult(
+                                spec=job.spec,
+                                job_hash=job.spec.content_hash(),
+                                status="drained",
+                                attempts=job.attempts,
+                            )
+                            results[job.index] = result
+                            if progress is not None:
+                                progress(result)
+                    break
                 if broken:
                     # The pool may be poisoned (a dead worker breaks every
                     # in-flight future); rebuild it and resubmit survivors.
@@ -707,8 +834,9 @@ class JobEngine:
                         job.future = None
                     executor.shutdown(wait=False, cancel_futures=True)
                     time.sleep(
-                        self.retry_backoff
-                        * (2 ** max(0, min(j.attempts for j in retrying) - 1))
+                        self._backoff_seconds(
+                            max(1, min(j.attempts for j in retrying))
+                        )
                     )
                     executor = ProcessPoolExecutor(
                         max_workers=pool_size,

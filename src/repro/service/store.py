@@ -496,6 +496,64 @@ class ArtifactStore:
             return
         yield from sorted(os.listdir(root))
 
+    def quarantine_report(self) -> list[dict]:
+        """Describe every quarantine entry, surviving damaged metadata.
+
+        Quarantining itself can be interrupted (a crash between the
+        artifact move and the ``reason.json`` write) or the reason file
+        can be damaged later; a listing must *report* that rather than
+        crash.  Each returned dict has:
+
+        * ``name`` — the entry directory name,
+        * ``reason`` — the recorded reason, or ``None``,
+        * ``quarantined_at`` — the recorded wall-clock time, or ``None``,
+        * ``error`` — why the metadata was unreadable (``"missing
+          reason.json"``, a parse error, ...), or ``None`` when intact.
+        """
+        report: list[dict] = []
+        root = self.quarantine_root()
+        for name in self.iter_quarantined():
+            entry: dict = {
+                "name": name,
+                "reason": None,
+                "quarantined_at": None,
+                "error": None,
+            }
+            path = os.path.join(root, name, "reason.json")
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except FileNotFoundError:
+                entry["error"] = "missing reason.json"
+            except (
+                OSError,
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+            ) as error:
+                entry["error"] = (
+                    f"unreadable reason.json: {type(error).__name__}: "
+                    f"{error}"
+                )
+            else:
+                if isinstance(document, dict):
+                    reason = document.get("reason")
+                    stamp = document.get("quarantined_at")
+                    entry["reason"] = (
+                        reason if isinstance(reason, str) else None
+                    )
+                    entry["quarantined_at"] = (
+                        float(stamp)
+                        if isinstance(stamp, (int, float))
+                        else None
+                    )
+                else:
+                    entry["error"] = (
+                        "malformed reason.json: expected an object, got "
+                        f"{type(document).__name__}"
+                    )
+            report.append(entry)
+        return report
+
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------

@@ -1,0 +1,242 @@
+"""Tests for cooperative cancellation (deadlines/drains) in the core.
+
+The serving layer cancels runs by polling a :class:`CancellationToken`
+at two deterministic, Lemma-1-consistent cut points per operation:
+*before* applying a gate, and *after* the operation's approximation
+round has spent its fidelity.  With a counting clock the poll sequence
+is fully deterministic — pre-op polls are the odd calls, post-round
+polls the even ones — so every test below pins the exact boundary the
+cancellation lands on and proves the checkpoint it leaves behind
+resumes to the uninterrupted result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.qft import qft_circuit
+from repro.circuits.shor import shor_circuit
+from repro.core.simulator import (
+    CancellationToken,
+    DDSimulator,
+    SimulationCancelled,
+    SimulationTimeout,
+)
+from repro.core.strategies import FidelityDrivenStrategy
+from repro.dd.package import Package
+from repro.dd.serialize import state_from_dict
+
+
+class CountingClock:
+    """Monotone clock returning 1.0, 2.0, ... — one tick per poll."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return float(self.calls)
+
+
+class SetEvent:
+    def is_set(self) -> bool:
+        return True
+
+
+class ClearEvent:
+    def is_set(self) -> bool:
+        return False
+
+
+def _token(deadline: float) -> CancellationToken:
+    return CancellationToken(
+        soft_deadline=deadline, clock=CountingClock()
+    )
+
+
+class TestToken:
+    def test_no_triggers_means_no_reason(self):
+        assert CancellationToken().reason() is None
+        assert CancellationToken(event=ClearEvent()).reason() is None
+
+    def test_deadline_fires_when_clock_reaches_it(self):
+        token = _token(2.0)
+        assert token.reason() is None  # clock -> 1.0
+        assert token.reason() == "deadline"  # clock -> 2.0
+
+    def test_event_wins_over_an_elapsed_deadline(self):
+        token = CancellationToken(
+            soft_deadline=0.0, event=SetEvent(), clock=CountingClock()
+        )
+        assert token.reason() == "drain"
+
+
+class TestCancellationBoundaries:
+    """Pre-op polls are odd clock calls; post-round polls are even."""
+
+    def test_fires_before_the_first_operation(self):
+        package = Package()
+        circuit = qft_circuit(4)
+        with pytest.raises(SimulationCancelled) as excinfo:
+            DDSimulator(package).run(circuit, cancel=_token(1.0))
+        cancelled = excinfo.value
+        assert cancelled.reason == "deadline"
+        assert cancelled.op_index == 0
+        assert cancelled.stats.rounds == []
+        # The partial state is the untouched initial state.
+        state = state_from_dict(cancelled.partial_state, package)
+        assert state.to_amplitudes()[0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("op_k", [1, 3])
+    def test_pre_op_cancellation_lands_on_the_gate_boundary(self, op_k):
+        """Deadline at clock ``2k+1`` cancels *before* operation k."""
+        package = Package()
+        circuit = qft_circuit(4)
+        with pytest.raises(SimulationCancelled) as excinfo:
+            DDSimulator(package).run(
+                circuit, cancel=_token(2.0 * op_k + 1.0)
+            )
+        cancelled = excinfo.value
+        assert cancelled.op_index == op_k
+        resumed = DDSimulator(package).run(
+            circuit,
+            initial_state=state_from_dict(
+                cancelled.partial_state, package
+            ),
+            start_op_index=cancelled.op_index,
+        )
+        reference = DDSimulator(package).run(qft_circuit(4))
+        assert resumed.state.fidelity(reference.state) == pytest.approx(
+            1.0
+        )
+
+    def test_event_cancellation_reports_drain(self):
+        class Toggle:
+            def __init__(self) -> None:
+                self.checks = 0
+
+            def is_set(self) -> bool:
+                self.checks += 1
+                return self.checks >= 4
+
+        circuit = qft_circuit(4)
+        with pytest.raises(SimulationCancelled) as excinfo:
+            DDSimulator(Package()).run(
+                circuit, cancel=CancellationToken(event=Toggle())
+            )
+        assert excinfo.value.reason == "drain"
+        # 4th poll = the even (post-round) poll after operation 1.
+        assert excinfo.value.op_index == 2
+
+    def test_no_post_poll_after_the_final_operation(self):
+        """A deadline only reachable by the final op's post-poll never
+        fires — completed work is returned, not thrown away."""
+        circuit = qft_circuit(3)
+        # Polls: 2 * len - 1 (the last op has no post-poll).
+        outcome = DDSimulator(Package()).run(
+            circuit, cancel=_token(2.0 * len(circuit))
+        )
+        assert outcome.stats.num_operations == len(circuit)
+
+    def test_cancelled_is_a_timeout_subclass(self):
+        """The service layer's checkpoint/resume path catches
+        SimulationTimeout; cancellations must travel through it."""
+        assert issubclass(SimulationCancelled, SimulationTimeout)
+
+
+class TestMidRoundCancellation:
+    def test_post_round_checkpoint_is_lemma1_consistent(self):
+        """Cancel on the *post-round* poll of the op that ran an
+        approximation round: the checkpoint must include that round, and
+        seeding the resume with it reproduces the uninterrupted
+        fidelity product exactly (Lemma 1)."""
+        package = Package()
+        circuit = shor_circuit(21, 2)
+
+        def strategy() -> FidelityDrivenStrategy:
+            return FidelityDrivenStrategy(
+                0.5, 0.9, placement="block:inverse_qft"
+            )
+
+        full = DDSimulator(package).run(circuit, strategy())
+        assert full.stats.num_rounds >= 1
+        round_op = full.stats.rounds[0].op_index
+        assert round_op + 1 < len(circuit)
+
+        with pytest.raises(SimulationCancelled) as excinfo:
+            DDSimulator(package).run(
+                circuit,
+                strategy(),
+                cancel=_token(2.0 * round_op + 2.0),
+            )
+        cancelled = excinfo.value
+        # The cut lands after the round's op, with the round recorded:
+        # the (state, rounds) pair is a consistent Lemma-1 snapshot.
+        assert cancelled.op_index == round_op + 1
+        assert len(cancelled.stats.rounds) == 1
+        assert cancelled.stats.rounds[0].op_index == round_op
+        spent = cancelled.stats.rounds[0].achieved_fidelity
+        assert cancelled.stats.fidelity_estimate == pytest.approx(spent)
+
+        resumed = DDSimulator(package).run(
+            circuit,
+            strategy(),
+            initial_state=state_from_dict(
+                cancelled.partial_state, package
+            ),
+            start_op_index=cancelled.op_index,
+            prior_rounds=list(cancelled.stats.rounds),
+        )
+        assert resumed.stats.num_rounds == full.stats.num_rounds
+        assert resumed.stats.fidelity_estimate == pytest.approx(
+            full.stats.fidelity_estimate, abs=1e-12
+        )
+        assert resumed.state.fidelity(full.state) == pytest.approx(1.0)
+
+
+class TestServiceResume:
+    def test_deadline_job_resumes_to_the_reference_result(self, tmp_path):
+        """Full-stack: a daemon-style deadline mid-job leaves a
+        checkpoint that a later execution of the same spec resumes
+        from, matching an uninterrupted reference run."""
+        from repro.service.engine import execute_job
+        from repro.service.jobs import JobSpec
+        from repro.service.store import ArtifactStore
+
+        spec = JobSpec(circuit="builtin:shor_15_2")
+        store = ArtifactStore(str(tmp_path / "store"))
+
+        cancel = CancellationToken(
+            soft_deadline=31.0, clock=CountingClock()
+        )
+        interrupted = execute_job(spec, store, cancel=cancel)
+        assert interrupted.status == "deadline"
+        cut = interrupted.stats["next_op_index"]
+        assert cut == 15  # clock 31 = pre-op poll of operation 15
+        assert store.load_checkpoint(spec.content_hash()) is not None
+
+        resumed = execute_job(spec, store)
+        assert resumed.status == "completed"
+        assert resumed.resumed_at == cut
+
+        reference = execute_job(
+            spec, ArtifactStore(str(tmp_path / "reference"))
+        )
+        assert resumed.stats["fidelity_estimate"] == (
+            reference.stats["fidelity_estimate"]
+        )
+        assert resumed.stats["num_operations"] == (
+            reference.stats["num_operations"]
+        )
+
+    def test_drain_event_yields_drained_status(self, tmp_path):
+        from repro.service.engine import execute_job
+        from repro.service.jobs import JobSpec
+        from repro.service.store import ArtifactStore
+
+        spec = JobSpec(circuit="builtin:shor_15_2")
+        store = ArtifactStore(str(tmp_path / "store"))
+        result = execute_job(
+            spec, store, cancel=CancellationToken(event=SetEvent())
+        )
+        assert result.status == "drained"

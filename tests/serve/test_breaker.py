@@ -1,0 +1,113 @@
+"""Tests for the per-spec circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=3,
+        cooldown_seconds=30.0,
+        half_open_probes=1,
+        clock=clock,
+    )
+
+
+class TestStates:
+    def test_unknown_key_is_closed_and_allowed(self, breaker):
+        assert breaker.state("k") == CLOSED
+        assert breaker.allow("k")
+
+    def test_opens_at_failure_threshold(self, breaker):
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == CLOSED
+        assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == OPEN
+        assert not breaker.allow("k")
+
+    def test_retry_after_counts_down_the_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        assert breaker.retry_after("k") == pytest.approx(30.0)
+        clock.now += 12.0
+        assert breaker.retry_after("k") == pytest.approx(18.0)
+        assert breaker.retry_after("other") == 0.0
+
+    def test_cooldown_lapses_into_half_open(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.now += 30.0
+        assert breaker.state("k") == HALF_OPEN
+
+    def test_keys_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("bad")
+        assert not breaker.allow("bad")
+        assert breaker.allow("good")
+
+
+class TestHalfOpen:
+    def _open_and_lapse(self, breaker, clock) -> None:
+        for _ in range(3):
+            breaker.record_failure("k")
+        clock.now += 30.0
+
+    def test_allow_consumes_the_probe_budget(self, breaker, clock):
+        self._open_and_lapse(breaker, clock)
+        assert breaker.allow("k")  # the single probe
+        assert not breaker.allow("k")  # budget spent
+
+    def test_probe_success_closes_and_forgets(self, breaker, clock):
+        self._open_and_lapse(breaker, clock)
+        assert breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.state("k") == CLOSED
+        assert breaker.snapshot() == {}
+
+    def test_probe_failure_reopens_for_a_full_cooldown(
+        self, breaker, clock
+    ):
+        self._open_and_lapse(breaker, clock)
+        assert breaker.allow("k")
+        breaker.record_failure("k")
+        assert breaker.state("k") == OPEN
+        assert breaker.retry_after("k") == pytest.approx(30.0)
+
+
+class TestValidationAndSnapshot:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_snapshot_reports_state_and_failures(self, breaker):
+        breaker.record_failure("a")
+        for _ in range(3):
+            breaker.record_failure("b")
+        assert breaker.snapshot() == {
+            "a": {"state": CLOSED, "failures": 1},
+            "b": {"state": OPEN, "failures": 3},
+        }

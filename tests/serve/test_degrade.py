@@ -1,0 +1,97 @@
+"""Tests for the load-shedding fidelity ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import DEGRADABLE_KINDS, FidelityLadder
+from repro.service.jobs import JobSpec
+
+LADDER = FidelityLadder(tiers=((0.5, 0.99), (0.8, 0.9)))
+
+
+def _spec(strategy: str = "fidelity", **args) -> JobSpec:
+    return JobSpec(
+        circuit="builtin:shor_15_2",
+        strategy=strategy,
+        strategy_args=tuple(sorted(args.items())),
+    )
+
+
+class TestTierMapping:
+    @pytest.mark.parametrize(
+        ("utilization", "expected"),
+        [
+            (0.0, (0, None)),
+            (0.49, (0, None)),
+            (0.5, (1, 0.99)),
+            (0.79, (1, 0.99)),
+            (0.8, (2, 0.9)),
+            (1.0, (2, 0.9)),
+        ],
+    )
+    def test_tier_for(self, utilization, expected):
+        assert LADDER.tier_for(utilization) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FidelityLadder(tiers=((0.8, 0.99), (0.5, 0.9)))  # not increasing
+        with pytest.raises(ValueError):
+            FidelityLadder(tiers=((1.5, 0.99),))  # threshold out of range
+        with pytest.raises(ValueError):
+            FidelityLadder(tiers=((0.5, 0.0),))  # cap out of range
+
+
+class TestApply:
+    def test_tier0_leaves_spec_untouched(self):
+        spec = _spec(final_fidelity=0.999, round_fidelity=0.99)
+        tiered = LADDER.apply(spec, 0.0)
+        assert tiered.spec is spec
+        assert (tiered.tier, tiered.f_final_cap, tiered.degraded) == (
+            0,
+            None,
+            False,
+        )
+
+    def test_caps_final_fidelity_under_load(self):
+        spec = _spec(final_fidelity=0.999, round_fidelity=0.99)
+        tiered = LADDER.apply(spec, 0.9)
+        assert tiered.degraded and tiered.tier == 2
+        assert dict(tiered.spec.strategy_args)["final_fidelity"] == 0.9
+        # Everything else about the spec survives the rewrite.
+        assert dict(tiered.spec.strategy_args)["round_fidelity"] == 0.99
+        assert tiered.spec.circuit == spec.circuit
+
+    def test_degraded_spec_has_a_distinct_content_hash(self):
+        spec = _spec(final_fidelity=0.999, round_fidelity=0.99)
+        tiered = LADDER.apply(spec, 0.9)
+        assert tiered.spec.content_hash() != spec.content_hash()
+
+    def test_missing_final_fidelity_defaults_to_full_and_is_capped(self):
+        spec = _spec(round_fidelity=0.99)
+        tiered = LADDER.apply(spec, 0.9)
+        assert tiered.degraded
+        assert dict(tiered.spec.strategy_args)["final_fidelity"] == 0.9
+
+    def test_never_raises_an_already_lower_budget(self):
+        spec = _spec(final_fidelity=0.5, round_fidelity=0.9)
+        tiered = LADDER.apply(spec, 1.0)
+        assert not tiered.degraded
+        assert tiered.spec is spec
+        assert dict(tiered.spec.strategy_args)["final_fidelity"] == 0.5
+
+    @pytest.mark.parametrize("strategy", ["exact", "memory"])
+    def test_non_degradable_kinds_pass_through(self, strategy):
+        if strategy == "memory":
+            spec = _spec("memory", threshold=100, round_fidelity=0.9)
+        else:
+            spec = JobSpec(circuit="builtin:shor_15_2")
+        tiered = LADDER.apply(spec, 1.0)
+        assert not tiered.degraded
+        assert tiered.spec is spec
+        assert tiered.tier == 2  # the tier is still reported
+
+    @pytest.mark.parametrize("strategy", DEGRADABLE_KINDS)
+    def test_all_fidelity_budget_kinds_are_degradable(self, strategy):
+        spec = _spec(strategy, final_fidelity=0.999)
+        assert LADDER.apply(spec, 1.0).degraded

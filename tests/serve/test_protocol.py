@@ -1,0 +1,76 @@
+"""Tests for the JSON-lines wire protocol."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = {"op": "submit", "spec": {"circuit": "x"}, "priority": 3}
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoded_form_is_one_line(self):
+        wire = encode_message({"op": "ping", "note": "a\nb"})
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json}\n")
+
+    def test_rejects_non_object_frames(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+
+    def test_rejects_invalid_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\xff\xfe\n")
+
+
+class TestStreamIO:
+    def test_read_returns_none_on_eof(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_read_blank_line_is_empty_message(self):
+        assert read_message(io.BytesIO(b"\n")) == {}
+
+    def test_read_rejects_oversized_frames(self):
+        stream = io.BytesIO(b"x" * (MAX_LINE_BYTES + 10))
+        with pytest.raises(ProtocolError):
+            read_message(stream)
+
+    def test_write_then_read_roundtrips(self):
+        stream = io.BytesIO()
+        write_message(stream, {"op": "ping"})
+        write_message(stream, {"op": "drain"})
+        stream.seek(0)
+        assert read_message(stream) == {"op": "ping"}
+        assert read_message(stream) == {"op": "drain"}
+        assert read_message(stream) is None
+
+
+class TestResponseBuilders:
+    def test_ok_response(self):
+        assert ok_response(job_id="j-1") == {"ok": True, "job_id": "j-1"}
+
+    def test_error_response_carries_extras(self):
+        response = error_response("shed", retry_after=1.5)
+        assert response == {
+            "ok": False,
+            "error": "shed",
+            "retry_after": 1.5,
+        }

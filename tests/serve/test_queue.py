@@ -1,0 +1,71 @@
+"""Tests for the bounded priority admission queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionQueue, QueueItem
+
+
+def _item(job_id: str, priority: int = 0) -> QueueItem:
+    return QueueItem(job_id=job_id, priority=priority)
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.offer(_item("low", priority=0))
+        queue.offer(_item("high", priority=5))
+        queue.offer(_item("mid", priority=2))
+        assert [queue.poll().job_id for _ in range(3)] == [
+            "high",
+            "mid",
+            "low",
+        ]
+
+    def test_ties_dequeue_fifo(self):
+        queue = AdmissionQueue(capacity=8)
+        for name in ("a", "b", "c"):
+            queue.offer(_item(name, priority=1))
+        assert [queue.poll().job_id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_drain_returns_dequeue_order_and_empties(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.offer(_item("low", priority=0))
+        queue.offer(_item("high", priority=9))
+        drained = queue.drain()
+        assert [item.job_id for item in drained] == ["high", "low"]
+        assert queue.depth == 0
+        assert queue.poll() is None
+
+
+class TestBounds:
+    def test_offer_refuses_when_full(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer(_item("a"))
+        assert queue.offer(_item("b"))
+        assert queue.full
+        assert not queue.offer(_item("c"))
+        assert queue.depth == 2  # never grows past capacity
+
+    def test_utilization_tracks_fill_fraction(self):
+        queue = AdmissionQueue(capacity=4)
+        assert queue.utilization == 0.0
+        queue.offer(_item("a"))
+        assert queue.utilization == 0.25
+        queue.offer(_item("b"))
+        assert queue.utilization == 0.5
+        queue.poll()
+        assert queue.utilization == 0.25
+
+    def test_len_matches_depth(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.offer(_item("a"))
+        assert len(queue) == queue.depth == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_poll_empty_returns_none(self):
+        assert AdmissionQueue(capacity=1).poll() is None

@@ -139,3 +139,71 @@ class TestGc:
         assert removed["results"] == 1
         assert not store.has_result(HASH_A)
         assert store.has_result(HASH_B)
+
+
+class TestQuarantineReport:
+    """`jobs ls` must report half-written quarantine entries, not crash."""
+
+    def _quarantine_one(self, store) -> str:
+        store.save_checkpoint(HASH_A, {"next_op_index": 3})
+        store.quarantine_checkpoint(HASH_A, "checksum mismatch")
+        return next(iter(store.iter_quarantined()))
+
+    def test_intact_entry_is_fully_described(self, store):
+        name = self._quarantine_one(store)
+        (entry,) = store.quarantine_report()
+        assert entry["name"] == name
+        assert entry["reason"] == "checksum mismatch"
+        assert entry["quarantined_at"] is not None
+        assert entry["error"] is None
+
+    def test_missing_reason_file_is_reported(self, store):
+        name = self._quarantine_one(store)
+        os.unlink(
+            os.path.join(store.quarantine_root(), name, "reason.json")
+        )
+        (entry,) = store.quarantine_report()
+        assert entry["reason"] is None
+        assert entry["error"] == "missing reason.json"
+
+    def test_truncated_reason_file_is_reported(self, store):
+        name = self._quarantine_one(store)
+        path = os.path.join(store.quarantine_root(), name, "reason.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"reason": "checksum mis')  # crash mid-write
+        (entry,) = store.quarantine_report()
+        assert entry["reason"] is None
+        assert "unreadable reason.json" in entry["error"]
+
+    def test_non_object_reason_file_is_reported(self, store):
+        name = self._quarantine_one(store)
+        path = os.path.join(store.quarantine_root(), name, "reason.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('["not", "an", "object"]')
+        (entry,) = store.quarantine_report()
+        assert entry["reason"] is None
+        assert "malformed reason.json" in entry["error"]
+
+    def test_non_string_reason_degrades_to_none(self, store):
+        name = self._quarantine_one(store)
+        path = os.path.join(store.quarantine_root(), name, "reason.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"reason": 42, "quarantined_at": "soon"}')
+        (entry,) = store.quarantine_report()
+        assert entry["reason"] is None
+        assert entry["quarantined_at"] is None
+        assert entry["error"] is None
+
+    def test_report_covers_every_entry(self, store):
+        self._quarantine_one(store)
+        store.save_checkpoint(HASH_B, {"next_op_index": 5})
+        store.quarantine_checkpoint(HASH_B, "torn file")
+        report = store.quarantine_report()
+        assert len(report) == 2
+        assert {e["reason"] for e in report} == {
+            "checksum mismatch",
+            "torn file",
+        }
+
+    def test_empty_store_reports_nothing(self, store):
+        assert store.quarantine_report() == []
