@@ -30,6 +30,11 @@ DD005     ``time.time()`` anywhere in the engine — duration measurement
           must use ``time.perf_counter()`` (monotonic, higher
           resolution), which is what the ``repro.obs`` timers consume.
           Wall-clock *timestamping* sites carry an inline suppression.
+DD006     Touching unique-table / compute-cache internals (``_vtable``,
+          ``_vadd_cache``, …) outside ``repro.dd.backends.*`` — storage
+          layout is backend-private; callers must use the ``DDBackend``
+          interface (``integrity_problems``, ``cache_stats``,
+          ``unique_table_sizes``) so every backend stays swappable.
 ========  ============================================================
 
 Suppressions: a line may carry ``# ddlint: ignore[DD002]`` (comma
@@ -136,11 +141,40 @@ RULES: dict[str, Rule] = {
             "durations feed repro.obs timers and the benchmark gate; "
             "time.time() is neither monotonic nor high-resolution",
         ),
+        Rule(
+            "DD006",
+            "no unique-table/compute-cache internals access outside "
+            "repro.dd.backends.*",
+            "storage layout (_vtable, _vadd_cache, ...) is backend-"
+            "private; going through the DDBackend interface keeps every "
+            "backend swappable and the differential guarantees intact",
+        ),
     )
 }
 
 #: Modules allowed to construct and mutate nodes (the hash-consing core).
-_NODE_PRIVILEGED = ("repro.dd.package", "repro.dd.node")
+#: Backend engines are the hash-consing implementation, hence privileged.
+_NODE_PRIVILEGED = ("repro.dd.package", "repro.dd.node", "repro.dd.backends")
+
+#: Package whose modules may touch backend storage internals (DD006).
+_BACKEND_PRIVILEGED = "repro.dd.backends"
+
+#: Attribute names identifying backend storage internals (DD006).
+_BACKEND_INTERNALS = frozenset(
+    {
+        "_vtable",
+        "_mtable",
+        "_vadd_cache",
+        "_madd_cache",
+        "_mv_cache",
+        "_mm_cache",
+        "_inner_cache",
+        "_identity_cache",
+        "_compute_caches",
+        "_cache_counts",
+        "_checked_insert",
+    }
+)
 
 #: Module allowed to compare floats exactly (it defines the tolerance).
 _CTABLE = "repro.dd.ctable"
@@ -244,9 +278,14 @@ class _Checker(ast.NodeVisitor):
         self.module = module
         self.violations: list[Violation] = []
         self._node_privileged = any(
-            module == exempt for exempt in _NODE_PRIVILEGED
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in _NODE_PRIVILEGED
         )
         self._ctable_exempt = module == _CTABLE
+        self._backend_privileged = (
+            module == _BACKEND_PRIVILEGED
+            or module.startswith(_BACKEND_PRIVILEGED + ".")
+        )
         self._wants_annotations = any(
             module == pkg or module.startswith(pkg + ".")
             for pkg in _ANNOTATED_PACKAGES
@@ -316,6 +355,19 @@ class _Checker(ast.NodeVisitor):
                         "or an explicit tolerance",
                     )
                     break
+        self.generic_visit(node)
+
+    # -- DD006: backend storage internals ---------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self._backend_privileged and node.attr in _BACKEND_INTERNALS:
+            self._report(
+                "DD006",
+                node,
+                f"access to backend storage internal .{node.attr}; use the "
+                "DDBackend interface (cache_stats, unique_table_sizes, "
+                "integrity_problems) — storage layout is backend-private",
+            )
         self.generic_visit(node)
 
     # -- DD003: node attribute mutation -----------------------------------

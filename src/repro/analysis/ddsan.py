@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 from ..dd import ctable
 from ..dd.matrix import OperatorDD
-from ..dd.node import MNode, VNode
+from ..dd.node import MNode
 from ..dd.package import Package
 from ..dd.validate import InvariantViolation, collect_violations
 from ..dd.vector import StateDD
@@ -233,32 +233,16 @@ def check_operator_invariants(operator: OperatorDD) -> None:
 # ----------------------------------------------------------------------
 
 
-def _vnode_key(node: VNode) -> tuple:
-    (w0, n0), (w1, n1) = node.edges
-    return (
-        node.level,
-        ctable.weight_key(w0),
-        n0,
-        ctable.weight_key(w1),
-        n1,
-    )
-
-
-def _mnode_key(node: MNode) -> tuple:
-    key: list = [node.level]
-    for weight, child in node.edges:
-        key.append(ctable.weight_key(weight))
-        key.append(child)
-    return tuple(key)
-
-
 def audit_package(
     package: Package, check_caches: bool = True
 ) -> list[str]:
-    """Audit a package's unique tables and compute caches.
+    """Audit a package's unique tables, compute caches, and backend storage.
 
-    The sanitizer is a privileged friend of the package: it reads the
-    private tables directly rather than widening the public API.
+    Delegates to the backend's
+    :meth:`repro.dd.backends.DDBackend.integrity_problems` — each engine
+    audits its own storage layout (the reference backend checks its weak
+    tables and object-keyed caches, the arena additionally verifies its
+    numpy mirror arrays against the node objects).  The common contract:
 
     Unique tables: every entry's key must equal the key recomputed from
     the node it maps to — a mismatch is a *stale entry*, the signature
@@ -269,47 +253,7 @@ def audit_package(
     Compute caches: every cached result edge must reference a canonical
     node, i.e. one the unique table resolves its own key back to.
     """
-    problems: list[str] = []
-
-    for table_name, table, key_of in (
-        ("vector", package._vtable, _vnode_key),
-        ("matrix", package._mtable, _mnode_key),
-    ):
-        recomputed: dict[tuple, tuple] = {}
-        for key, node in list(table.items()):
-            actual = key_of(node)
-            if actual != key:
-                problems.append(
-                    f"stale {table_name} unique-table entry at level "
-                    f"{node.level}: stored key does not match node "
-                    "contents (node mutated after interning?)"
-                )
-            if actual in recomputed:
-                problems.append(
-                    f"duplicate {table_name} unique-table entries for one "
-                    f"structural node at level {node.level}"
-                )
-            recomputed[actual] = key
-
-    if check_caches:
-        for cache_name, cache, table, key_of in (
-            ("vadd", package._vadd_cache, package._vtable, _vnode_key),
-            ("mv", package._mv_cache, package._vtable, _vnode_key),
-            ("madd", package._madd_cache, package._mtable, _mnode_key),
-            ("mm", package._mm_cache, package._mtable, _mnode_key),
-        ):
-            for _key, (_weight, node) in list(cache.items()):
-                if node is None:
-                    continue
-                if table.get(key_of(node)) is not node:
-                    problems.append(
-                        f"compute cache {cache_name!r} holds a "
-                        f"non-canonical node at level {node.level} "
-                        "(not interned, or mutated after caching)"
-                    )
-                    break  # one finding per cache keeps reports readable
-
-    return problems
+    return package.integrity_problems(check_caches=check_caches)
 
 
 # ----------------------------------------------------------------------

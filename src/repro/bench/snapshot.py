@@ -77,7 +77,9 @@ def calibration_seconds(repeats: int = 3) -> float:
     return best
 
 
-def _run_one(entry: dict, repeats: int = 3) -> dict:
+def _run_one(
+    entry: dict, repeats: int = 3, backend: str | None = None
+) -> dict:
     """Run one workload entry under full instrumentation.
 
     The workload is executed ``repeats`` times (fresh package each time)
@@ -95,7 +97,7 @@ def _run_one(entry: dict, repeats: int = 3) -> dict:
     report = None
     for _ in range(max(1, repeats)):
         strategy = build_strategy(strategy_kind, dict(strategy_args))
-        package = Package()
+        package = Package(backend=backend)
         recorder = Recorder(enabled=True)
         package.attach_recorder(recorder)
         with recording(recorder):
@@ -117,6 +119,7 @@ def _run_one(entry: dict, repeats: int = 3) -> dict:
         "num_qubits": outcome.stats.num_qubits,
         "num_operations": outcome.stats.num_operations,
         "wall_time_seconds": best_seconds,
+        "backend": outcome.stats.dd_backend,
         "peak_nodes": outcome.stats.max_nodes,
         "final_nodes": outcome.stats.final_nodes,
         "num_rounds": outcome.stats.num_rounds,
@@ -130,6 +133,7 @@ def run_snapshot(
     entries: Sequence[dict] | None = None,
     calibration_repeats: int = 3,
     workload_repeats: int = 3,
+    backend: str | None = None,
 ) -> dict:
     """Produce a full snapshot document for the given workload entries.
 
@@ -139,18 +143,25 @@ def run_snapshot(
             :data:`DEFAULT_SMOKE_WORKLOADS`.
         calibration_repeats: Repeats of the calibration kernel.
         workload_repeats: Best-of-N repeats per workload entry.
+        backend: DD backend every workload package is built with; None
+            defers to the process default (``--backend`` override or
+            ``REPRO_DD_BACKEND``).  The resolved name is stamped on the
+            document and on every workload row so per-backend baselines
+            cannot be compared against the wrong engine by accident.
     """
     if entries is None:
         entries = DEFAULT_SMOKE_WORKLOADS
     calibration = calibration_seconds(calibration_repeats)
     workloads = []
     for entry in entries:
-        row = _run_one(entry, repeats=workload_repeats)
+        row = _run_one(entry, repeats=workload_repeats, backend=backend)
         row["normalized_time"] = row["wall_time_seconds"] / calibration
         workloads.append(row)
+    resolved = workloads[0]["backend"] if workloads else (backend or "")
     return {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
+        "backend": resolved,
         "calibration_seconds": calibration,
         "platform": {
             "python": platform.python_version(),
@@ -184,6 +195,13 @@ def compare_snapshots(
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     violations: list[str] = []
+    base_backend = baseline.get("backend")
+    current_backend = current.get("backend")
+    if base_backend and current_backend and base_backend != current_backend:
+        violations.append(
+            f"backend mismatch: current snapshot ran on "
+            f"{current_backend!r} but baseline is for {base_backend!r}"
+        )
     current_rows = {_key(row): row for row in current.get("workloads", [])}
     for base_row in baseline.get("workloads", []):
         key = _key(base_row)

@@ -192,7 +192,38 @@ def single_qubit_medge(
 def operation_to_medge(
     operation: Operation, num_qubits: int, package: Package
 ) -> MEdge:
-    """Lower one IR operation to a full-register matrix edge."""
+    """Lower one IR operation to a full-register matrix edge.
+
+    When the package's backend enables its ``gate_cache``, the lowered
+    diagram is memoized per ``(register size, gate, targets, controls,
+    params)``.  This is observationally transparent: hash-consing makes
+    a repeated lowering return the identical interned edge anyway, so a
+    hit changes no computed value, inserts nothing into the compute
+    caches, and bumps no creation counters — it only skips the
+    per-operation rebuild of the full-register diagram.
+    """
+    gate_cache = package.gate_cache
+    if gate_cache is not None:
+        cache_key = (
+            num_qubits,
+            operation.gate,
+            tuple(operation.targets),
+            tuple(operation.controls),
+            tuple(operation.params),
+        )
+        cached = gate_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = _build_operation_medge(operation, num_qubits, package)
+        gate_cache[cache_key] = result
+        return result
+    return _build_operation_medge(operation, num_qubits, package)
+
+
+def _build_operation_medge(
+    operation: Operation, num_qubits: int, package: Package
+) -> MEdge:
+    """Uncached lowering of one IR operation (see ``operation_to_medge``)."""
     if operation.gate == "swap":
         q1, q2 = operation.targets
         if operation.controls:

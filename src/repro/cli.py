@@ -86,6 +86,8 @@ from .core import (
     SimulationTimeout,
     simulate,
 )
+from .dd.backends import BACKEND_NAMES
+from .dd.package import set_default_backend
 from .obs import (
     Recorder,
     metrics_report,
@@ -203,6 +205,19 @@ def _arm_fault_plan(path: str | None) -> int:
     return 0
 
 
+def _select_backend(args: argparse.Namespace) -> None:
+    """Apply a ``--backend`` choice as the process-wide override.
+
+    The flag outranks the ``REPRO_DD_BACKEND`` environment variable;
+    when absent the environment (or the reference default) governs.
+    Forked workers inherit the override, so one flag at the entry point
+    covers batch/serve worker pools too.
+    """
+    backend = getattr(args, "backend", None)
+    if backend:
+        set_default_backend(backend)
+
+
 def _build_watchdog(args: argparse.Namespace):
     """Build a :class:`MemoryWatchdog` from CLI knobs (None = default)."""
     from .core.simulator import MemoryWatchdog
@@ -235,6 +250,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import SanitizerError
     from .faults import MemoryBudgetExceeded
 
+    _select_backend(args)
     exit_code = _arm_fault_plan(args.fault_plan)
     if exit_code:
         return exit_code
@@ -599,6 +615,7 @@ def _restore_signals(previous: "dict | None") -> None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    _select_backend(args)
     exit_code = _arm_fault_plan(args.fault_plan)
     if exit_code:
         return exit_code
@@ -793,6 +810,7 @@ def _serve_client(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _select_backend(args)
     exit_code = _arm_fault_plan(args.fault_plan)
     if exit_code:
         return exit_code
@@ -1089,6 +1107,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    _select_backend(args)
     from .bench.snapshot import (
         compare_snapshots,
         load_snapshot,
@@ -1177,9 +1196,19 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--final-fidelity", type=float, default=0.5)
         subparser.add_argument("--placement", default="even")
 
+    def _backend_option(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--backend",
+            choices=BACKEND_NAMES,
+            default=None,
+            help="DD engine backend (default: REPRO_DD_BACKEND or "
+            "'reference'; see docs/BACKENDS.md)",
+        )
+
     run = sub.add_parser("run", help="simulate a QASM file or builtin")
     run.add_argument("circuit", help="path to .qasm or builtin:<name>")
     _strategy_options(run)
+    _backend_option(run)
     run.add_argument("--timeout", type=float, default=0.0)
     run.add_argument("--shots", type=int, default=0)
     run.add_argument("--seed", type=int, default=0)
@@ -1370,6 +1399,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="relative regression tolerance (default: %(default)s)",
     )
+    _backend_option(bench)
     bench.set_defaults(handler=_cmd_bench)
 
     table1 = sub.add_parser(
@@ -1422,6 +1452,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deterministic fault-injection plan (JSON; see "
         "docs/FAULTS.md) — inherited by forked workers",
     )
+    _backend_option(batch)
     batch.set_defaults(handler=_cmd_batch)
 
     jobs = sub.add_parser(
@@ -1564,6 +1595,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deterministic fault-injection plan (JSON; inherited "
         "by forked workers — chaos testing)",
     )
+    _backend_option(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     submit = sub.add_parser(

@@ -35,26 +35,11 @@ def node_contributions(state: StateDD) -> dict[VNode, float]:
     Returns:
         Mapping from node (by identity) to its contribution.  The root's
         contribution equals the squared norm of the state (1 for
-        normalized states, as in Example 7 of the paper).
+        normalized states, as in Example 7 of the paper).  Insertion
+        order (root first, then sweep-encounter order) is identical
+        across backends — removal selection uses it to break ties.
     """
-    weight, root = state.edge
-    if root is None:
-        return {}
-    contributions: dict[VNode, float] = {root: abs(weight) ** 2}
-    # ``nodes()`` returns distinct nodes sorted by descending level, so
-    # every parent is processed before any of its children.
-    for node in state.nodes():
-        incoming = contributions.get(node, 0.0)
-        if incoming == 0.0:
-            continue
-        for edge_weight, child in node.edges:
-            if child is None or edge_weight == 0.0:
-                continue
-            contributions[child] = (
-                contributions.get(child, 0.0)
-                + incoming * abs(edge_weight) ** 2
-            )
-    return contributions
+    return state.package.norm_contributions(state.edge)
 
 
 def level_contribution_sums(state: StateDD) -> list[float]:

@@ -284,6 +284,8 @@ class SimulationStats:
         rounds: The approximation rounds that actually ran.
         runtime_seconds: Wall-clock simulation time.
         trajectory: Optional per-operation diagram sizes.
+        dd_backend: Name of the DD backend the run executed on
+            (observability metadata; results are backend-independent).
     """
 
     circuit_name: str
@@ -295,6 +297,7 @@ class SimulationStats:
     rounds: list[RoundRecord] = field(default_factory=list)
     runtime_seconds: float = 0.0
     trajectory: list[int] | None = None
+    dd_backend: str = ""
 
     @property
     def num_rounds(self) -> int:
@@ -478,6 +481,7 @@ class DDSimulator:
             num_qubits=circuit.num_qubits,
             num_operations=len(circuit),
             trajectory=[] if record_trajectory else None,
+            dd_backend=getattr(self.package, "backend_name", ""),
         )
         if prior_rounds:
             stats.rounds.extend(prior_rounds)
@@ -520,7 +524,9 @@ class DDSimulator:
                 num_operations=len(circuit),
                 start_op_index=start_op_index,
                 initial_nodes=node_count,
+                backend=stats.dd_backend,
             )
+            obs.count(f"dd.backend.{stats.dd_backend or 'unknown'}")
         started = time.perf_counter()
         for op_index in range(start_op_index, len(circuit)):
             operation = circuit[op_index]
@@ -803,6 +809,7 @@ class DDSimulator:
             num_qubits=circuit.num_qubits,
             num_operations=len(circuit),
             trajectory=[] if record_trajectory else None,
+            dd_backend=getattr(self.package, "backend_name", ""),
         )
         accumulated = OperatorDD.identity(circuit.num_qubits, self.package)
         stats.max_nodes = accumulated.node_count()

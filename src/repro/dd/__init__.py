@@ -40,9 +40,18 @@ from .observables import (
     pauli_string_operator,
     pauli_variance,
 )
-from .package import Package, default_package, reset_default_package
+from .package import (
+    Package,
+    default_package,
+    reset_default_package,
+    set_default_backend,
+)
 from .serialize import load_state, save_state, state_from_dict, state_to_dict
-from .validate import check_state_invariants, collect_violations
+from .validate import (
+    check_state_invariants,
+    collect_backend_violations,
+    collect_violations,
+)
 from .vector import StateDD
 
 __all__ = [
@@ -50,6 +59,7 @@ __all__ = [
     "Package",
     "StateDD",
     "check_state_invariants",
+    "collect_backend_violations",
     "collect_violations",
     "cut_rank",
     "default_package",
@@ -71,6 +81,7 @@ __all__ = [
     "reset_default_package",
     "save_state",
     "sequential_measurement",
+    "set_default_backend",
     "set_tolerance",
     "state_from_dict",
     "state_to_dict",

@@ -47,11 +47,14 @@ class VNode:
             and positive.
     """
 
-    __slots__ = ("level", "edges", "__weakref__")
+    __slots__ = ("level", "edges", "index", "__weakref__")
 
     def __init__(self, level: int, edges: tuple[VEdge, VEdge]):
         self.level = level
         self.edges = edges
+        # Arena slot id; -1 outside an arena backend.  Only
+        # :mod:`repro.dd.backends.arena` assigns it.
+        self.index = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         (w0, n0), (w1, n1) = self.edges
@@ -73,11 +76,13 @@ class MNode:
             equals 1 (ties broken towards the lowest index).
     """
 
-    __slots__ = ("level", "edges", "__weakref__")
+    __slots__ = ("level", "edges", "index", "__weakref__")
 
     def __init__(self, level: int, edges: tuple[MEdge, MEdge, MEdge, MEdge]):
         self.level = level
         self.edges = edges
+        # Arena slot id; -1 outside an arena backend (see VNode.index).
+        self.index = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(

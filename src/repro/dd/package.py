@@ -1,13 +1,22 @@
-"""The decision-diagram package: unique tables, normalization, arithmetic.
+"""The decision-diagram package: a facade over pluggable backends.
 
-A :class:`Package` owns the *unique tables* that hash-cons vector and matrix
-nodes, and the *compute caches* that memoize the results of arithmetic
-operations (addition, matrix–vector and matrix–matrix multiplication, inner
-products, Kronecker products).  This mirrors the architecture of classical
-decision-diagram libraries and of the JKQ/MQT quantum DD package the paper
-builds on.
+A :class:`Package` owns one :class:`repro.dd.backends.DDBackend` — the
+engine holding the unique tables that hash-cons vector and matrix nodes
+and the compute caches that memoize arithmetic (addition,
+matrix–vector and matrix–matrix multiplication, inner products,
+Kronecker products).  This mirrors the architecture of classical
+decision-diagram libraries and of the JKQ/MQT quantum DD package the
+paper builds on.
 
-Canonicity guarantees enforced here:
+Two engines are available (selection precedence and contract in
+docs/BACKENDS.md):
+
+* ``reference`` — hash-consed Python objects in weak unique tables
+  (:mod:`repro.dd.backends.reference`), the semantic baseline;
+* ``arena`` — integer-id arena storage with numpy mirrors and
+  vectorized sweeps (:mod:`repro.dd.backends.arena`).
+
+Canonicity guarantees — enforced identically by every backend:
 
 * **Vector nodes** are normalized so that the two outgoing edge weights
   satisfy ``|w0|**2 + |w1|**2 == 1`` and the first nonzero weight is real
@@ -22,35 +31,45 @@ Canonicity guarantees enforced here:
 
 * Structurally equal nodes (same level, same children, weights equal within
   the global tolerance of :mod:`repro.dd.ctable`) are the same Python
-  object.  The unique tables hold *weak* references, so sub-diagrams that
-  become unreachable are reclaimed by Python's reference counting — the
-  analogue of the reference-counted garbage collection in C++ DD packages.
+  object.
 
 All arithmetic operates on edges — ``(weight, node)`` tuples — and returns
 edges.  Zero edges ``(0j, None)`` annihilate everywhere.
+
+The hot operations are bound as *instance attributes* pointing straight
+at the backend's bound methods, so the facade adds zero per-call
+indirection on the simulation path.
 """
 
 from __future__ import annotations
 
-import math
-import weakref
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
-from . import ctable
-from .node import MEdge, MNode, VEdge, VNode, zero_medge, zero_vedge
+from .backends import (
+    CACHE_NAMES,
+    DEFAULT_CACHE_LIMIT,
+    DDBackend,
+    create_backend,
+    default_backend_name,
+    set_backend_override,
+)
+from .node import MEdge, VEdge, VNode
 
 if TYPE_CHECKING:
     from ..obs import Recorder
 
-#: Default upper bound on compute-cache entries before a cache is flushed.
-DEFAULT_CACHE_LIMIT = 1 << 19
-
-#: Names of the compute caches, as reported by :meth:`Package.cache_stats`.
-CACHE_NAMES = ("vadd", "madd", "mv", "mm", "inner")
+__all__ = [
+    "CACHE_NAMES",
+    "DEFAULT_CACHE_LIMIT",
+    "Package",
+    "default_package",
+    "reset_default_package",
+    "set_default_backend",
+]
 
 
 class Package:
-    """Owner of unique tables and compute caches for DD arithmetic.
+    """Facade owning one DD backend and exposing its operations.
 
     Most applications use the process-wide :func:`default_package`; tests
     and long-running services may create isolated instances.
@@ -59,494 +78,160 @@ class Package:
         cache_limit: Maximum number of entries per compute cache.  When a
             cache exceeds this bound it is flushed wholesale (the classic
             DD-package strategy; correctness is unaffected).
+        backend: Backend name (``"reference"`` / ``"arena"``), an already
+            constructed :class:`~repro.dd.backends.DDBackend` instance,
+            or None to use the resolved default (CLI/env override aware —
+            see :mod:`repro.dd.backends`).
     """
 
-    def __init__(self, cache_limit: int = DEFAULT_CACHE_LIMIT):
-        self._vtable: "weakref.WeakValueDictionary[tuple, VNode]" = (
-            weakref.WeakValueDictionary()
-        )
-        self._mtable: "weakref.WeakValueDictionary[tuple, MNode]" = (
-            weakref.WeakValueDictionary()
-        )
-        self.cache_limit = cache_limit
-        self._vadd_cache: dict[tuple, VEdge] = {}
-        self._madd_cache: dict[tuple, MEdge] = {}
-        self._mv_cache: dict[tuple, VEdge] = {}
-        self._mm_cache: dict[tuple, MEdge] = {}
-        self._inner_cache: dict[tuple, complex] = {}
-        self._identity_cache: dict[int, MEdge] = {}
-        #: Operation counters, useful for performance diagnostics.
-        self.stats = {
-            "vnodes_created": 0,
-            "mnodes_created": 0,
-            "cache_flushes": 0,
-        }
-        # Observability: hit/miss counting is gated behind one boolean so
-        # the uninstrumented hot path pays a single attribute check (the
-        # <5% guard bench_dd_operations enforces).  Flush counting is
-        # always on — flushes are rare and previously invisible.
-        self._counting = False
-        self._recorder = None
-        self._cache_counts: dict[str, list] = {
-            name: [0, 0, 0] for name in CACHE_NAMES  # [hits, misses, flushes]
-        }
+    # Hot operations are rebound per instance (zero facade indirection);
+    # the annotations keep the public surface typed.
+    make_vedge: Callable[[int, VEdge, VEdge], VEdge]
+    make_medge: Callable[[int, tuple[MEdge, MEdge, MEdge, MEdge]], MEdge]
+    vadd: Callable[[VEdge, VEdge, int], VEdge]
+    madd: Callable[[MEdge, MEdge, int], MEdge]
+    multiply_mv: Callable[[MEdge, VEdge, int], VEdge]
+    multiply_mm: Callable[[MEdge, MEdge, int], MEdge]
+    inner_product: Callable[[VEdge, VEdge, int], complex]
+    fidelity: Callable[[VEdge, VEdge, int], float]
+    vkron: Callable[[VEdge, VEdge], VEdge]
+    mkron: Callable[[MEdge, MEdge], MEdge]
+    identity: Callable[[int], MEdge]
+    conjugate_transpose: Callable[[MEdge, int], MEdge]
+    node_count: Callable[[VEdge], int]
+    vnodes: Callable[[VEdge], list[VNode]]
+    norm_contributions: Callable[[VEdge], dict[VNode, float]]
 
-    # ------------------------------------------------------------------
-    # Node construction (normalizing, hash-consing)
-    # ------------------------------------------------------------------
-
-    def make_vedge(self, level: int, e0: VEdge, e1: VEdge) -> VEdge:
-        """Create a normalized, hash-consed vector edge above two children.
-
-        The returned edge carries the norm and phase factored out of the
-        children so that the node below it is canonical.  If both children
-        are zero the canonical zero edge is returned.
-
-        Args:
-            level: Qubit level of the new node.
-            e0: Edge for qubit value 0 (child must live at ``level - 1``
-                or be a zero edge / terminal).
-            e1: Edge for qubit value 1.
-        """
-        tol = ctable.tolerance()
-        w0, n0 = e0
-        w1, n1 = e1
-        a0 = abs(w0)
-        a1 = abs(w1)
-        if a0 <= tol:
-            if a1 <= tol:
-                return zero_vedge()
-            w0, n0, a0 = complex(0.0), None, 0.0
-        elif a1 <= tol:
-            w1, n1, a1 = complex(0.0), None, 0.0
-
-        norm = math.sqrt(a0 * a0 + a1 * a1)
-        if a0 > 0.0:
-            phase = w0 / a0
+    def __init__(
+        self,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+        backend: str | DDBackend | None = None,
+    ):
+        if isinstance(backend, DDBackend):
+            impl = backend
         else:
-            phase = w1 / a1
-        top_weight = norm * phase
-        w0n = ctable.snap(w0 / top_weight)
-        w1n = ctable.snap(w1 / top_weight)
+            impl = create_backend(backend, cache_limit=cache_limit)
+        self._backend = impl
+        #: Registry name of the engine in use (result/obs metadata).
+        self.backend_name = impl.name
+        #: Operation counters, useful for performance diagnostics
+        #: (shared dict with the backend).
+        self.stats = impl.stats
+        #: Lowered-gate memo consulted by the circuit lowering layer
+        #: (None on backends that disable gate memoization).
+        self.gate_cache: dict[Hashable, MEdge] | None = impl.gate_cache
+        # Hot-path bindings: straight to the backend's bound methods.
+        self.make_vedge = impl.make_vedge
+        self.make_medge = impl.make_medge
+        self.vadd = impl.vadd
+        self.madd = impl.madd
+        self.multiply_mv = impl.multiply_mv
+        self.multiply_mm = impl.multiply_mm
+        self.inner_product = impl.inner_product
+        self.fidelity = impl.fidelity
+        self.vkron = impl.vkron
+        self.mkron = impl.mkron
+        self.identity = impl.identity
+        self.conjugate_transpose = impl.conjugate_transpose
+        self.node_count = impl.node_count
+        self.vnodes = impl.vnodes
+        self.norm_contributions = impl.norm_contributions
 
-        key = (
-            level,
-            ctable.weight_key(w0n),
-            n0,
-            ctable.weight_key(w1n),
-            n1,
-        )
-        node = self._vtable.get(key)
-        if node is None:
-            node = VNode(level, ((w0n, n0), (w1n, n1)))
-            self._vtable[key] = node
-            self.stats["vnodes_created"] += 1
-        return (top_weight, node)
+    @property
+    def backend(self) -> DDBackend:
+        """The engine behind this facade."""
+        return self._backend
 
-    def make_medge(
-        self, level: int, edges: tuple[MEdge, MEdge, MEdge, MEdge]
-    ) -> MEdge:
-        """Create a normalized, hash-consed matrix edge above four children.
+    @property
+    def cache_limit(self) -> int:
+        """Per-compute-cache entry bound (flush threshold)."""
+        return self._backend.cache_limit
 
-        Normalization divides all weights by the largest-magnitude weight
-        (lowest index on ties); a matrix whose quadrants are all zero
-        collapses to the canonical zero edge.
-        """
-        tol = ctable.tolerance()
-        cleaned = []
-        max_mag = 0.0
-        max_idx = -1
-        for idx, (w, n) in enumerate(edges):
-            mag = abs(w)
-            if mag <= tol:
-                cleaned.append((complex(0.0), None))
-            else:
-                cleaned.append((w, n))
-                if mag > max_mag + tol:
-                    max_mag = mag
-                    max_idx = idx
-                elif max_idx < 0:
-                    max_mag = mag
-                    max_idx = idx
-        if max_idx < 0:
-            return zero_medge()
-
-        divisor = cleaned[max_idx][0]
-        normalized = tuple(
-            (ctable.snap(w / divisor), n) if w != 0.0 else (w, n)
-            for (w, n) in cleaned
-        )
-        key = (
-            level,
-            ctable.weight_key(normalized[0][0]),
-            normalized[0][1],
-            ctable.weight_key(normalized[1][0]),
-            normalized[1][1],
-            ctable.weight_key(normalized[2][0]),
-            normalized[2][1],
-            ctable.weight_key(normalized[3][0]),
-            normalized[3][1],
-        )
-        node = self._mtable.get(key)
-        if node is None:
-            node = MNode(level, normalized)  # type: ignore[arg-type]
-            self._mtable[key] = node
-            self.stats["mnodes_created"] += 1
-        return (divisor, node)
+    @cache_limit.setter
+    def cache_limit(self, value: int) -> None:
+        self._backend.cache_limit = value
 
     # ------------------------------------------------------------------
-    # Cache plumbing
+    # Cold paths: explicit delegation
     # ------------------------------------------------------------------
-
-    def _checked_insert(
-        self, cache: dict, key: tuple, value, name: str
-    ) -> None:
-        if len(cache) >= self.cache_limit:
-            entries = len(cache)
-            cache.clear()
-            self.stats["cache_flushes"] += 1
-            self._cache_counts[name][2] += 1
-            recorder = self._recorder
-            if recorder is not None and recorder.enabled:
-                recorder.count(f"dd.cache.{name}.flush")
-                recorder.event(
-                    "cache_flush",
-                    cache=name,
-                    entries=entries,
-                    limit=self.cache_limit,
-                )
-        cache[key] = value
 
     def clear_caches(self) -> None:
         """Flush all compute caches (unique tables are left intact)."""
-        self._vadd_cache.clear()
-        self._madd_cache.clear()
-        self._mv_cache.clear()
-        self._mm_cache.clear()
-        self._inner_cache.clear()
+        self._backend.clear_caches()
 
-    def unique_table_sizes(self) -> dict:
+    def unique_table_sizes(self) -> dict[str, int]:
         """Return the current live-node counts of both unique tables."""
-        return {"vector": len(self._vtable), "matrix": len(self._mtable)}
-
-    # ------------------------------------------------------------------
-    # Observability
-    # ------------------------------------------------------------------
+        return self._backend.unique_table_sizes()
 
     def enable_metrics(self, enabled: bool = True) -> None:
-        """Turn per-cache hit/miss counting on or off.
-
-        Off by default: counting costs one guarded increment per cache
-        lookup, which the micro-benchmarks must not pay silently.
-        """
-        self._counting = enabled
+        """Turn per-cache hit/miss counting on or off."""
+        self._backend.enable_metrics(enabled)
 
     def attach_recorder(self, recorder: "Recorder | None") -> None:
-        """Attach a :class:`repro.obs.Recorder` and enable counting.
+        """Attach a :class:`repro.obs.Recorder` and enable counting."""
+        self._backend.attach_recorder(recorder)
 
-        The recorder receives ``cache_flush`` trace events and
-        ``dd.cache.<name>.flush`` counters; hit/miss tallies stay in the
-        package (read them via :meth:`cache_stats`) so the hot path never
-        constructs event objects.  Passing None detaches (counting stays
-        at its current setting).
-        """
-        self._recorder = recorder
-        if recorder is not None:
-            self._counting = True
+    def cache_stats(self) -> dict[str, Any]:
+        """Per-compute-cache statistics document (see the backend docs)."""
+        return self._backend.cache_stats()
 
-    def _cache_sizes(self) -> dict[str, int]:
-        return {
-            "vadd": len(self._vadd_cache),
-            "madd": len(self._madd_cache),
-            "mv": len(self._mv_cache),
-            "mm": len(self._mm_cache),
-            "inner": len(self._inner_cache),
-        }
+    def integrity_problems(self, check_caches: bool = True) -> list[str]:
+        """Audit the backend's storage; see
+        :meth:`repro.dd.backends.DDBackend.integrity_problems`."""
+        return self._backend.integrity_problems(check_caches=check_caches)
 
-    def cache_stats(self) -> dict:
-        """Per-compute-cache statistics document.
-
-        Returns a dict keyed by cache name (:data:`CACHE_NAMES`), each
-        value holding ``hits`` / ``misses`` / ``flushes`` / ``size`` /
-        ``hit_rate``, plus a ``counting`` flag recording whether hit/miss
-        tallies were being collected (flush counts are always live).
-        """
-        sizes = self._cache_sizes()
-        caches = {}
-        for name in CACHE_NAMES:
-            hits, misses, flushes = self._cache_counts[name]
-            lookups = hits + misses
-            caches[name] = {
-                "hits": hits,
-                "misses": misses,
-                "flushes": flushes,
-                "size": sizes[name],
-                "hit_rate": hits / lookups if lookups else 0.0,
-            }
-        return {"counting": self._counting, "caches": caches}
-
-    # ------------------------------------------------------------------
-    # Vector arithmetic
-    # ------------------------------------------------------------------
-
-    def vadd(self, e1: VEdge, e2: VEdge, level: int) -> VEdge:
-        """Add two state edges rooted at the same level."""
-        w1, n1 = e1
-        w2, n2 = e2
-        if w1 == 0.0:
-            return e2
-        if w2 == 0.0:
-            return e1
-        if level < 0:
-            total = w1 + w2
-            return (total, None) if not ctable.is_zero(total) else zero_vedge()
-        if n1 is n2:
-            total = w1 + w2
-            return (total, n1) if not ctable.is_zero(total) else zero_vedge()
-
-        ratio = w2 / w1
-        key = (n1, n2, ctable.weight_key(ratio))
-        cached = self._vadd_cache.get(key)
-        if cached is not None:
-            if self._counting:
-                self._cache_counts["vadd"][0] += 1
-            rw, rn = cached
-            return (rw * w1, rn)
-        if self._counting:
-            self._cache_counts["vadd"][1] += 1
-
-        (a0w, a0n), (a1w, a1n) = n1.edges
-        (b0w, b0n), (b1w, b1n) = n2.edges
-        child0 = self.vadd((a0w, a0n), (ratio * b0w, b0n), level - 1)
-        child1 = self.vadd((a1w, a1n), (ratio * b1w, b1n), level - 1)
-        result = self.make_vedge(level, child0, child1)
-        self._checked_insert(self._vadd_cache, key, result, "vadd")
-        return (result[0] * w1, result[1])
-
-    def multiply_mv(self, me: MEdge, ve: VEdge, level: int) -> VEdge:
-        """Apply a matrix edge to a state edge (matrix–vector product)."""
-        wm, m = me
-        wv, v = ve
-        if wm == 0.0 or wv == 0.0:
-            return zero_vedge()
-        if level < 0:
-            return (wm * wv, None)
-
-        key = (m, v)
-        cached = self._mv_cache.get(key)
-        if cached is not None:
-            if self._counting:
-                self._cache_counts["mv"][0] += 1
-            rw, rn = cached
-            return (rw * wm * wv, rn)
-        if self._counting:
-            self._cache_counts["mv"][1] += 1
-
-        m00, m01, m10, m11 = m.edges
-        v0, v1 = v.edges
-        sub = level - 1
-        child0 = self.vadd(
-            self.multiply_mv(m00, v0, sub),
-            self.multiply_mv(m01, v1, sub),
-            sub,
-        )
-        child1 = self.vadd(
-            self.multiply_mv(m10, v0, sub),
-            self.multiply_mv(m11, v1, sub),
-            sub,
-        )
-        result = self.make_vedge(level, child0, child1)
-        self._checked_insert(self._mv_cache, key, result, "mv")
-        return (result[0] * wm * wv, result[1])
-
-    def inner_product(self, e1: VEdge, e2: VEdge, level: int) -> complex:
-        """Return :math:`\\langle e_1 | e_2 \\rangle` (first argument conjugated)."""
-        w1, n1 = e1
-        w2, n2 = e2
-        if w1 == 0.0 or w2 == 0.0:
-            return complex(0.0)
-        scale = w1.conjugate() * w2
-        return scale * self._inner_nodes(n1, n2, level)
-
-    def _inner_nodes(
-        self, n1: VNode | None, n2: VNode | None, level: int
-    ) -> complex:
-        if level < 0:
-            return complex(1.0)
-        key = (n1, n2)
-        cached = self._inner_cache.get(key)
-        if cached is not None:
-            if self._counting:
-                self._cache_counts["inner"][0] += 1
-            return cached
-        if self._counting:
-            self._cache_counts["inner"][1] += 1
-        total = complex(0.0)
-        for k in (0, 1):
-            w1k, c1 = n1.edges[k]  # type: ignore[union-attr]
-            w2k, c2 = n2.edges[k]  # type: ignore[union-attr]
-            if w1k != 0.0 and w2k != 0.0:
-                total += w1k.conjugate() * w2k * self._inner_nodes(c1, c2, level - 1)
-        self._checked_insert(self._inner_cache, key, total, "inner")
-        return total
-
-    def fidelity(self, e1: VEdge, e2: VEdge, level: int) -> float:
-        """Return the fidelity :math:`|\\langle e_1|e_2\\rangle|^2` (Definition 1)."""
-        return abs(self.inner_product(e1, e2, level)) ** 2
-
-    def vkron(self, top: VEdge, bottom: VEdge) -> VEdge:
-        """Kronecker product placing ``top`` above ``bottom``.
-
-        The ``top`` diagram must already be built over levels strictly above
-        every level of ``bottom`` (callers construct it with an offset);
-        its terminal edges are spliced onto ``bottom``.
-        """
-        w_top, n_top = top
-        if w_top == 0.0 or bottom[0] == 0.0:
-            return zero_vedge()
-        if n_top is None:
-            return (w_top * bottom[0], bottom[1])
-        child0 = self.vkron(n_top.edges[0], bottom)
-        child1 = self.vkron(n_top.edges[1], bottom)
-        result = self.make_vedge(n_top.level, child0, child1)
-        return (result[0] * w_top, result[1])
-
-    # ------------------------------------------------------------------
-    # Matrix arithmetic
-    # ------------------------------------------------------------------
-
-    def madd(self, e1: MEdge, e2: MEdge, level: int) -> MEdge:
-        """Add two matrix edges rooted at the same level."""
-        w1, n1 = e1
-        w2, n2 = e2
-        if w1 == 0.0:
-            return e2
-        if w2 == 0.0:
-            return e1
-        if level < 0:
-            total = w1 + w2
-            return (total, None) if not ctable.is_zero(total) else zero_medge()
-        if n1 is n2:
-            total = w1 + w2
-            return (total, n1) if not ctable.is_zero(total) else zero_medge()
-
-        ratio = w2 / w1
-        key = (n1, n2, ctable.weight_key(ratio))
-        cached = self._madd_cache.get(key)
-        if cached is not None:
-            if self._counting:
-                self._cache_counts["madd"][0] += 1
-            rw, rn = cached
-            return (rw * w1, rn)
-        if self._counting:
-            self._cache_counts["madd"][1] += 1
-
-        children = tuple(
-            self.madd(
-                n1.edges[k],
-                (ratio * n2.edges[k][0], n2.edges[k][1]),
-                level - 1,
-            )
-            for k in range(4)
-        )
-        result = self.make_medge(level, children)  # type: ignore[arg-type]
-        self._checked_insert(self._madd_cache, key, result, "madd")
-        return (result[0] * w1, result[1])
-
-    def multiply_mm(self, ae: MEdge, be: MEdge, level: int) -> MEdge:
-        """Multiply two matrix edges: result applies ``be`` first, ``ae`` second."""
-        wa, a = ae
-        wb, b = be
-        if wa == 0.0 or wb == 0.0:
-            return zero_medge()
-        if level < 0:
-            return (wa * wb, None)
-
-        key = (a, b)
-        cached = self._mm_cache.get(key)
-        if cached is not None:
-            if self._counting:
-                self._cache_counts["mm"][0] += 1
-            rw, rn = cached
-            return (rw * wa * wb, rn)
-        if self._counting:
-            self._cache_counts["mm"][1] += 1
-
-        sub = level - 1
-        children = []
-        for row in (0, 1):
-            for col in (0, 1):
-                acc = self.multiply_mm(a.edges[row * 2], b.edges[col], sub)
-                acc = self.madd(
-                    acc,
-                    self.multiply_mm(a.edges[row * 2 + 1], b.edges[2 + col], sub),
-                    sub,
-                )
-                children.append(acc)
-        result = self.make_medge(level, tuple(children))  # type: ignore[arg-type]
-        self._checked_insert(self._mm_cache, key, result, "mm")
-        return (result[0] * wa * wb, result[1])
-
-    def identity(self, num_qubits: int) -> MEdge:
-        """Return the identity operator diagram over ``num_qubits`` qubits."""
-        if num_qubits <= 0:
-            raise ValueError("identity requires at least one qubit")
-        cached = self._identity_cache.get(num_qubits)
-        if cached is not None:
-            return cached
-        edge: MEdge = (complex(1.0), None)
-        for level in range(num_qubits):
-            edge = self.make_medge(
-                level, (edge, zero_medge(), zero_medge(), edge)
-            )
-            self._identity_cache[level + 1] = edge
-        return edge
-
-    def conjugate_transpose(self, me: MEdge, level: int) -> MEdge:
-        """Return the conjugate transpose (dagger) of a matrix edge."""
-        w, n = me
-        if w == 0.0:
-            return zero_medge()
-        if level < 0:
-            return (w.conjugate(), None)
-        e00, e01, e10, e11 = n.edges
-        sub = level - 1
-        children = (
-            self.conjugate_transpose(e00, sub),
-            self.conjugate_transpose(e10, sub),
-            self.conjugate_transpose(e01, sub),
-            self.conjugate_transpose(e11, sub),
-        )
-        result = self.make_medge(level, children)
-        return (result[0] * w.conjugate(), result[1])
-
-    def mkron(self, top: MEdge, bottom: MEdge) -> MEdge:
-        """Kronecker product of matrix diagrams (``top`` above ``bottom``)."""
-        w_top, n_top = top
-        if w_top == 0.0 or bottom[0] == 0.0:
-            return zero_medge()
-        if n_top is None:
-            return (w_top * bottom[0], bottom[1])
-        children = tuple(self.mkron(edge, bottom) for edge in n_top.edges)
-        result = self.make_medge(n_top.level, children)  # type: ignore[arg-type]
-        return (result[0] * w_top, result[1])
+    def __getattr__(self, name: str) -> Any:
+        # Unknown attributes fall through to the backend.  This keeps
+        # privileged friends (DDSan, white-box tests) working against
+        # backend internals without widening the facade; ordinary code
+        # must not rely on it (ddlint rule DD006).
+        backend = self.__dict__.get("_backend")
+        if backend is None:
+            raise AttributeError(name)
+        return getattr(backend, name)
 
 
 _DEFAULT_PACKAGE: Package | None = None
 
 
 def default_package() -> Package:
-    """Return the process-wide default :class:`Package`, creating it lazily."""
+    """Return the process-wide default :class:`Package`, creating it lazily.
+
+    The default is rebuilt when the resolved backend selection (CLI
+    override or ``REPRO_DD_BACKEND``) no longer matches the existing
+    instance's backend, so a backend choice made before first use — or
+    between uses — is always respected.
+    """
     global _DEFAULT_PACKAGE
-    if _DEFAULT_PACKAGE is None:
+    wanted = default_backend_name()
+    if _DEFAULT_PACKAGE is None or _DEFAULT_PACKAGE.backend_name != wanted:
         _DEFAULT_PACKAGE = Package()
     return _DEFAULT_PACKAGE
 
 
 def reset_default_package() -> None:
-    """Replace the process-wide default package with a fresh instance.
+    """Drop the process-wide default package; the next use gets a fresh one.
 
-    Primarily used by tests that need a clean unique table.
+    Used by tests that need a clean unique table, and called on entry by
+    forked workers so a parent-initialized default (and its interned
+    nodes) never leaks into a worker process.  The replacement is built
+    lazily by :func:`default_package` so the reset itself never touches
+    backend resolution (cheap in fork workers, and a misconfigured
+    ``REPRO_DD_BACKEND`` only fails where a package is actually used).
     """
     global _DEFAULT_PACKAGE
-    _DEFAULT_PACKAGE = Package()
+    _DEFAULT_PACKAGE = None
+
+
+def set_default_backend(name: str | None) -> None:
+    """Select the backend for subsequently created packages.
+
+    Thin wrapper over
+    :func:`repro.dd.backends.set_backend_override` (None clears the
+    override); :func:`default_package` picks the change up on its next
+    call without an explicit reset.
+
+    Raises:
+        ValueError: For an unknown backend name.
+    """
+    set_backend_override(name)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from .node import VNode
 from . import ctable
+from .package import Package
 from .vector import StateDD
 
 #: Multiples of the ctable tolerance granted to derived quantities
@@ -138,3 +139,25 @@ def collect_violations(
         seen_keys[key] = node
 
     return problems
+
+
+def collect_backend_violations(
+    package: "Package", check_caches: bool = True
+) -> list[str]:
+    """Audit a package's *storage* (unique tables, caches, arena mirrors).
+
+    The storage-level companion of :func:`collect_violations`: where that
+    function checks the invariants of one state diagram, this one checks
+    the engine underneath — delegated to the backend's
+    :meth:`repro.dd.backends.DDBackend.integrity_problems`, so each
+    engine audits its own layout (the arena additionally verifies its
+    numpy mirror arrays against the node objects).
+
+    Args:
+        package: The package whose backend storage to audit.
+        check_caches: Also audit compute-cache canonicality.
+
+    Returns:
+        Human-readable findings; empty when the storage is consistent.
+    """
+    return package.integrity_problems(check_caches=check_caches)

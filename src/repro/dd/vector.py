@@ -178,42 +178,20 @@ class StateDD:
         """Return the number of (non-terminal) nodes in the diagram.
 
         This is the paper's notion of DD *size*, reported as "Max. DD Size"
-        in Table I when tracked over a simulation run.
+        in Table I when tracked over a simulation run.  Delegated to the
+        backend, which may accelerate the sweep (the arena uses visit
+        stamps instead of an ``id()`` set).
         """
-        _weight, root = self.edge
-        if root is None:
-            return 0
-        seen: set[int] = set()
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            for _w, child in node.edges:
-                if child is not None and id(child) not in seen:
-                    stack.append(child)
-        return len(seen)
+        return self.package.node_count(self.edge)
 
     def nodes(self) -> list[VNode]:
-        """Return all distinct nodes of the diagram (top-down level order)."""
-        _weight, root = self.edge
-        if root is None:
-            return []
-        seen: set[int] = set()
-        collected: list[VNode] = []
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            collected.append(node)
-            for _w, child in node.edges:
-                if child is not None and id(child) not in seen:
-                    stack.append(child)
-        collected.sort(key=lambda n: -n.level)
-        return collected
+        """Return all distinct nodes of the diagram (top-down level order).
+
+        The within-level order is pinned by the backend interface
+        contract (approximation tie-breaking depends on it), so all
+        backends return the identical sequence.
+        """
+        return self.package.vnodes(self.edge)
 
     # ------------------------------------------------------------------
     # Algebra

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 
 from ..core.simulator import CancellationToken
+from ..dd.package import reset_default_package
 from ..service.engine import JobResult, execute_job
 from ..service.jobs import JobSpec
 from ..service.store import ArtifactStore
@@ -51,6 +52,11 @@ def _worker_main(
     use_cache: bool,
 ) -> None:
     """Worker process entry: beat, take tasks, execute, report."""
+    # Forked workers inherit the daemon's process-global default package
+    # (and every node it interned); replace it with a fresh one.  The
+    # backend override is inherited too — deliberately, so a --backend
+    # choice made at daemon startup governs all workers.
+    reset_default_package()
     stop_beat = threading.Event()
 
     def beat() -> None:

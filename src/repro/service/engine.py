@@ -39,7 +39,7 @@ from ..core.simulator import (
     SimulationCancelled,
     SimulationTimeout,
 )
-from ..dd.package import Package
+from ..dd.package import Package, reset_default_package
 from ..dd.serialize import state_from_dict, state_to_dict
 from ..faults.errors import (
     TRANSIENT,
@@ -157,6 +157,9 @@ def _stats_doc(stats, total_runtime: float, prior_max_nodes: int = 0) -> dict:
         "rounds": rounds_to_dicts(stats.rounds),
         "runtime_seconds": total_runtime,
         "fidelity_estimate": stats.fidelity_estimate,
+        # Observability only: excluded from the JobSpec content hash, so
+        # cached artifacts stay shared across backends.
+        "dd_backend": stats.dd_backend,
     }
 
 
@@ -481,6 +484,11 @@ def execute_job(
 
 def _pool_worker(payload) -> JobResult:
     """Top-level (picklable) worker: rebuild the spec/store and execute."""
+    # A forked worker inherits the parent's process-global default
+    # package (and its interned nodes); start from a fresh one.  The
+    # backend *override* is also inherited, which is intended — it keeps
+    # the CLI --backend choice in force inside workers.
+    reset_default_package()
     spec_dict, store_root, use_cache = payload
     return execute_job(
         JobSpec.from_dict(spec_dict),

@@ -1,4 +1,4 @@
-"""Tests for the domain-aware linter (DD001-DD005).
+"""Tests for the domain-aware linter (DD001-DD006).
 
 Every rule gets a positive fixture (code that must be flagged) and a
 negative fixture (idiomatic code that must pass), plus the privileged
@@ -19,7 +19,14 @@ def codes(source: str, path: str = "src/repro/core/example.py") -> list[str]:
 
 class TestRuleCatalog:
     def test_all_rules_documented(self):
-        assert set(RULES) == {"DD001", "DD002", "DD003", "DD004", "DD005"}
+        assert set(RULES) == {
+            "DD001",
+            "DD002",
+            "DD003",
+            "DD004",
+            "DD005",
+            "DD006",
+        }
         for rule in RULES.values():
             assert rule.summary
             assert rule.rationale
@@ -160,6 +167,39 @@ class TestDD005WallClockTiming:
     def test_allows_perf_counter(self):
         assert codes(
             "import time\nstarted = time.perf_counter()\n"
+        ) == []
+
+
+class TestDD006BackendInternals:
+    def test_flags_unique_table_access(self):
+        assert "DD006" in codes("size = len(package._vtable)\n")
+
+    def test_flags_compute_cache_access(self):
+        assert "DD006" in codes("package._vadd_cache.clear()\n")
+
+    def test_flags_cache_forgery_assignment(self):
+        assert "DD006" in codes('package._mv_cache["k"] = edge\n')
+
+    def test_allows_backend_modules(self):
+        assert codes(
+            "size = len(self._vtable)\n",
+            "src/repro/dd/backends/arena.py",
+        ) == []
+        assert codes(
+            "self._vadd_cache.clear()\n",
+            "src/repro/dd/backends/reference.py",
+        ) == []
+
+    def test_facade_is_not_privileged(self):
+        assert "DD006" in codes(
+            "x = self._backend._vtable\n", "src/repro/dd/package.py"
+        )
+
+    def test_allows_interface_methods(self):
+        assert codes(
+            "sizes = package.unique_table_sizes()\n"
+            "stats = package.cache_stats()\n"
+            "problems = package.integrity_problems()\n"
         ) == []
 
 
