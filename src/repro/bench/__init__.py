@@ -6,6 +6,7 @@ from .snapshot import (
     DEFAULT_SMOKE_WORKLOADS,
     DEFAULT_TOLERANCE,
     compare_snapshots,
+    diff_snapshots,
     load_snapshot,
     run_snapshot,
     write_snapshot,
@@ -48,6 +49,7 @@ __all__ = [
     "compare_snapshots",
     "compare_strategies",
     "comparison_rows",
+    "diff_snapshots",
     "factor_check",
     "format_table",
     "load_snapshot",

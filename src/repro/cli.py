@@ -1109,7 +1109,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     _select_backend(args)
     from .bench.snapshot import (
-        compare_snapshots,
+        diff_snapshots,
         load_snapshot,
         run_snapshot,
         write_snapshot,
@@ -1137,7 +1137,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 }
             )
     try:
-        snapshot = run_snapshot(entries)
+        snapshot = run_snapshot(entries, workload_repeats=args.repeats)
     except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1157,9 +1157,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as error:
             print(f"error: cannot load baseline: {error}", file=sys.stderr)
             return 2
-        violations = compare_snapshots(
-            snapshot, baseline, tolerance=args.tolerance
-        )
+        delta = diff_snapshots(snapshot, baseline, tolerance=args.tolerance)
+        if args.delta_out:
+            # Same pretty-printed JSON convention as snapshots; the CI
+            # bench job uploads this so a red gate is diagnosable from
+            # the artifact alone.
+            write_snapshot(delta, args.delta_out)
+            print(f"wrote delta report to {args.delta_out}")
+        violations = delta["violations"]
         if violations:
             print(f"REGRESSION vs {args.baseline}:", file=sys.stderr)
             for violation in violations:
@@ -1169,6 +1174,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"gate passed vs {args.baseline} "
             f"(tolerance {args.tolerance:.0%})"
         )
+    elif args.delta_out:
+        print(
+            "error: --delta-out requires --baseline (the report is "
+            "computed against it)",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -1398,6 +1410,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="relative regression tolerance (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--delta-out",
+        default="",
+        help="write the computed-vs-baseline delta report JSON to this "
+        "path (requires --baseline)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N repeats per workload; higher rejects more "
+        "scheduler noise, which is what lets the gate tolerance stay "
+        "tight (default: %(default)s)",
     )
     _backend_option(bench)
     bench.set_defaults(handler=_cmd_bench)

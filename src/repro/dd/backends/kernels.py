@@ -1,0 +1,781 @@
+"""Parity-preserving batched kernels for the arena backend.
+
+This module executes :meth:`ArenaBackend.multiply_mv` *level-
+synchronously*: instead of the depth-first scalar recursion it gathers
+all same-level recursion frames of one gate application into waves,
+runs the float arithmetic of each wave through numpy *lanes*, and
+interns the results in a bottom-up sweep.  The contract is the one
+docs/BACKENDS.md pins for every backend: the computed values are
+**bit-for-bit identical** to the scalar reference execution.
+
+Two ideas make that possible.
+
+**Ulp-exact lane ops.**  The parity contract requires every float
+operation to round exactly like CPython.  Contrary to folklore,
+``numpy`` complex128 multiplication is *not* bit-for-bit with CPython
+on this class of hardware: its SIMD kernel contracts ``a*b - c*d``
+into fused multiply-adds, diverging by 1 ulp on a large fraction of
+operands.  The lane ops below therefore decompose every complex
+product into separate float64 ufunc calls —
+
+    ``re = ar*br - ai*bi``  (three ufuncs, three roundings)
+    ``im = ar*bi + ai*br``
+
+— which is exactly CPython's ``complex.__mul__`` evaluation order, one
+IEEE rounding per operation and no contraction.  Scaling a complex by
+a Python float replays CPython's mixed-mode product (the float is
+widened to ``f + 0j`` first, so the zero imaginary lane still
+participates and signed zeros come out identically).  Float64
+multiply/add and ``np.sqrt`` are correctly rounded and match CPython
+directly.  Complex division and ``abs`` diverge (different Smith
+variants / hypot) and stay on scalar lanes.  ``audit_lane_ops``
+verifies all of this at runtime and is pinned by
+``tests/backends/test_ulp_exactness.py``.
+
+**Verified-optimistic reordering.**  The mv compute cache is keyed on
+exact node pairs, so batching (which dedups and reorders probes) can
+never change a hit's value.  The vadd cache is different: it is keyed
+on ``(n1, n2, bucket(w2/w1))`` with a tolerance-*bucketed* ratio, so a
+hit may legally return a result computed from a ratio that differs
+from the probe's within tolerance — which execution *order* decides.
+Reordering is therefore only value-preserving when every within-gate
+bucket collision is exact.  The batch runs optimistically and checks
+precisely that: every insert into the vadd cache records its exact
+ratio, every within-gate hit (and every deduped frame share) verifies
+the probe ratio ``==`` the recorded one, and every unique-table hit on
+a node interned during this gate verifies the normalized weights
+``==`` the stored ones.  Pre-existing entries need no check — both
+orders observe the same pre-gate state.  Cache inserts additionally
+abort when they would trigger a wholesale flush (the scalar flush
+point is order-dependent).  On any violation the batch raises
+:class:`BatchAbort`, *rolls back* every journaled insertion (unique
+table, mv cache, vadd cache, stat deltas), and the caller replays the
+gate through the scalar kernel — bit-identical by construction, merely
+slower.  Orphaned arena rows from a rolled-back batch are unreachable
+and harmless (the arena never frees nodes anyway).
+
+Signed zeros: ``==`` verification treats ``-0.0`` and ``+0.0`` as
+equal.  That is deliberate — a zero-sign difference can only ever
+propagate into other zero signs (never into a nonzero bit) through the
+``+ - * / sqrt abs`` ops used here, and every pinned output (bucket
+keys, branch predicates, Lemma-1 fidelity products, norm
+contributions) is zero-sign-blind.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import ctable
+from ..ctable import snap_boxed
+from ..node import MEdge, VEdge, VNode, zero_vedge
+
+if TYPE_CHECKING:
+    from .arena import ArenaBackend
+
+__all__ = ["BatchAbort", "audit_lane_ops", "batched_multiply_mv"]
+
+#: Minimum wave width before numpy lanes engage; narrower waves run the
+#: identical scalar formulas (same ops, same order — width is a pure
+#: performance dispatch and cannot change a bit).
+LANE_MIN = 8
+
+#: Packing base for mv-cache pair keys (mirrors arena._PAIR_SHIFT).
+_PAIR_SHIFT = 1 << 32
+
+_ZERO_V: VEdge = zero_vedge()
+
+
+class BatchAbort(Exception):
+    """The optimistic batch detected an order-sensitivity hazard.
+
+    Raised when a within-gate vadd bucket collision is not bit-exact,
+    when a within-gate unique-table hit disagrees with the probe
+    weights, or when a cache insert would trigger a wholesale flush.
+    The batch entry point rolls back all journaled state and replays
+    the gate through the scalar kernel.
+    """
+
+
+# ----------------------------------------------------------------------
+# Ulp-exact lane ops (float64 ufuncs only — never complex128 arithmetic)
+# ----------------------------------------------------------------------
+
+
+def _cmul_lanes(
+    ar: np.ndarray, ai: np.ndarray, br: np.ndarray, bi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise complex product in CPython's exact evaluation order."""
+    return ar * br - ai * bi, ar * bi + ai * br
+
+
+def mul2_lanes(a: list[complex], b: list[complex]) -> list[complex]:
+    """Lane version of ``[x * y]`` — bit-identical to CPython."""
+    an = np.array(a, dtype=np.complex128)
+    bn = np.array(b, dtype=np.complex128)
+    rr, ri = _cmul_lanes(an.real, an.imag, bn.real, bn.imag)
+    return [
+        complex(x, y)
+        for x, y in zip(rr.tolist(), ri.tolist(), strict=True)
+    ]
+
+
+def mul3_lanes(
+    a: list[complex], b: list[complex], c: list[complex]
+) -> list[complex]:
+    """Lane version of ``[(x * y) * z]`` — CPython's left association."""
+    an = np.array(a, dtype=np.complex128)
+    bn = np.array(b, dtype=np.complex128)
+    cn = np.array(c, dtype=np.complex128)
+    tr, ti = _cmul_lanes(an.real, an.imag, bn.real, bn.imag)
+    rr, ri = _cmul_lanes(tr, ti, cn.real, cn.imag)
+    return [
+        complex(x, y)
+        for x, y in zip(rr.tolist(), ri.tolist(), strict=True)
+    ]
+
+
+def fscale_lanes(f: list[float], p: list[complex]) -> list[complex]:
+    """Lane version of ``[x * z]`` for Python ``float * complex``.
+
+    CPython widens the float to ``f + 0j`` and runs the full complex
+    product, so the zero imaginary part still multiplies through:
+    ``re = f*z.re - 0.0*z.im``, ``im = f*z.im + 0.0*z.re``.  Dropping
+    the zero terms would flip signed zeros relative to the scalar path.
+    """
+    fn = np.array(f, dtype=np.float64)
+    pn = np.array(p, dtype=np.complex128)
+    pr = pn.real
+    pi = pn.imag
+    rr = fn * pr - 0.0 * pi
+    ri = fn * pi + 0.0 * pr
+    return [
+        complex(x, y)
+        for x, y in zip(rr.tolist(), ri.tolist(), strict=True)
+    ]
+
+
+def norm_lanes(a0: list[float], a1: list[float]) -> list[float]:
+    """Lane version of ``[sqrt(x*x + y*y)]``.
+
+    Safe directly: float64 multiply/add are single correctly rounded
+    ufuncs and ``np.sqrt`` is correctly rounded, exactly like
+    ``math.sqrt``.
+    """
+    x = np.array(a0, dtype=np.float64)
+    y = np.array(a1, dtype=np.float64)
+    out: list[float] = np.sqrt(x * x + y * y).tolist()
+    return out
+
+
+def audit_lane_ops(samples: list[complex]) -> list[str]:
+    """Verify every lane op against its scalar formula on ``samples``.
+
+    Returns human-readable findings (empty = bit-exact).  Samples are
+    paired cyclically with an offset so products mix magnitudes.
+    """
+    problems: list[str] = []
+    if len(samples) < 2:
+        return problems
+    a = list(samples)
+    b = samples[1:] + samples[:1]
+    c = samples[2:] + samples[:2]
+    for got, x, y in zip(mul2_lanes(a, b), a, b, strict=True):
+        want = x * y
+        if _bits(got) != _bits(want):
+            problems.append(f"mul2 lane mismatch: {x!r} * {y!r}")
+    for got, x, y, z in zip(mul3_lanes(a, b, c), a, b, c, strict=True):
+        want = (x * y) * z
+        if _bits(got) != _bits(want):
+            problems.append(f"mul3 lane mismatch: ({x!r} * {y!r}) * {z!r}")
+    mags = [abs(x) for x in a]
+    for got, m, z in zip(fscale_lanes(mags, b), mags, b, strict=True):
+        want = m * z
+        if _bits(got) != _bits(want):
+            problems.append(f"fscale lane mismatch: {m!r} * {z!r}")
+    m0 = [abs(x) for x in a]
+    m1 = [abs(x) for x in b]
+    for got, x, y in zip(norm_lanes(m0, m1), m0, m1, strict=True):
+        want = sqrt(x * x + y * y)
+        if _bits_f(got) != _bits_f(want):
+            problems.append(f"norm lane mismatch: hypot2({x!r}, {y!r})")
+    return problems
+
+
+def _bits(z: complex) -> tuple[bytes, bytes]:
+    import struct
+
+    return struct.pack("<d", z.real), struct.pack("<d", z.imag)
+
+
+def _bits_f(x: float) -> bytes:
+    import struct
+
+    return struct.pack("<d", x)
+
+
+# ----------------------------------------------------------------------
+# Batch state: journaling, verification, rollback
+# ----------------------------------------------------------------------
+
+
+class _Frame:
+    """One deduped ``multiply_mv`` recursion frame (an (m, v) node pair)."""
+
+    __slots__ = ("m", "v", "key", "spec", "w", "n")
+
+    def __init__(self, m: object, v: object, key: int) -> None:
+        self.m = m
+        self.v = v
+        self.key = key
+        self.spec: list[tuple[int, complex, complex, _Frame | None]] | None = (
+            None
+        )
+        self.w: complex = 0j
+        self.n: VNode | None = None
+
+
+class _AddFrame:
+    """One deduped ``vadd`` recursion frame (node pair + exact ratio)."""
+
+    __slots__ = ("key", "ratio", "n1", "n2", "c0", "c1", "w", "n")
+
+    def __init__(
+        self,
+        key: tuple[int, int, int, int],
+        ratio: complex,
+        n1: VNode,
+        n2: VNode,
+    ) -> None:
+        self.key = key
+        self.ratio = ratio
+        self.n1 = n1
+        self.n2 = n2
+        self.c0: VEdge | None = None
+        self.c1: VEdge | None = None
+        self.w: complex = 0j
+        self.n: VNode | None = None
+
+
+class _BatchContext:
+    """Per-gate batch state: journals, shadow ratios, local tallies."""
+
+    __slots__ = (
+        "backend",
+        "tol",
+        "inv",
+        "limit",
+        "v_start",
+        "vtable",
+        "vadd_cache",
+        "mv_cache",
+        "new_vtable_keys",
+        "new_mv_keys",
+        "vadd_new",
+        "created",
+        "mv_hits",
+        "mv_misses",
+        "vadd_hits",
+        "vadd_misses",
+        "frames",
+        "by_level",
+    )
+
+    def __init__(self, backend: ArenaBackend) -> None:
+        self.backend = backend
+        self.tol = ctable._tolerance
+        self.inv = ctable._inv_tolerance
+        self.limit = backend.cache_limit
+        self.v_start = len(backend._v_nodes)
+        self.vtable = backend._vtable
+        self.vadd_cache = backend._vadd_cache
+        self.mv_cache = backend._mv_cache
+        # Journals for rollback; vadd_new doubles as the shadow map of
+        # exact ratios behind within-gate vadd-cache insertions.
+        self.new_vtable_keys: list[tuple[int, ...]] = []
+        self.new_mv_keys: list[int] = []
+        self.vadd_new: dict[tuple[int, int, int, int], complex] = {}
+        self.created = 0
+        self.mv_hits = 0
+        self.mv_misses = 0
+        self.vadd_hits = 0
+        self.vadd_misses = 0
+        self.frames: dict[int, _Frame] = {}
+        self.by_level: list[list[_Frame]] = []
+
+
+def _rollback(ctx: _BatchContext) -> None:
+    """Delete every journaled insertion; the pre-gate state is restored.
+
+    No flush can have happened during the batch (inserts abort *before*
+    reaching the flush threshold), so every journaled key is present.
+    Arena rows appended for rolled-back nodes stay as unreachable
+    orphans — the arena never frees nodes, and nothing references them.
+    """
+    vtable = ctx.vtable
+    for vkey in ctx.new_vtable_keys:
+        del vtable[vkey]
+    mv_cache = ctx.mv_cache
+    for mkey in ctx.new_mv_keys:
+        del mv_cache[mkey]
+    vadd_cache = ctx.vadd_cache
+    for akey in ctx.vadd_new:
+        del vadd_cache[akey]
+
+
+def _commit(ctx: _BatchContext) -> None:
+    backend = ctx.backend
+    backend.stats["vnodes_created"] += ctx.created
+    if backend._counting:
+        counts = backend._cache_counts
+        mv = counts["mv"]
+        mv[0] += ctx.mv_hits
+        mv[1] += ctx.mv_misses
+        va = counts["vadd"]
+        va[0] += ctx.vadd_hits
+        va[1] += ctx.vadd_misses
+
+
+# ----------------------------------------------------------------------
+# Checked batched make_vedge (shared by the mv and vadd waves)
+# ----------------------------------------------------------------------
+
+
+def _make_vedges(
+    ctx: _BatchContext,
+    pairs: list[tuple[VEdge, VEdge]],
+    level: int,
+) -> list[VEdge]:
+    """Normalize and intern one wave of ``make_vedge`` calls.
+
+    Scalar-formula-identical: clamp, ``sqrt(a0²+a1²)``, phase, top
+    weight, per-child division, snap, bucket, intern.  The norm and the
+    ``float * complex`` top-weight product run on lanes above
+    ``LANE_MIN``; ``abs``, complex division, and snapping stay scalar
+    (they have no ulp-exact numpy equivalent).  Unique-table hits on
+    nodes interned during this gate verify the stored weights ``==``
+    the freshly computed ones — a bucket-level (non-exact) collision
+    aborts the batch.
+    """
+    tol = ctx.tol
+    out: list[VEdge] = [_ZERO_V] * len(pairs)
+    live: list[
+        tuple[int, complex, VNode | None, float, complex, VNode | None, float]
+    ] = []
+    for i, ((w0, n0), (w1, n1)) in enumerate(pairs):
+        a0 = abs(w0)
+        a1 = abs(w1)
+        if a0 <= tol:
+            if a1 <= tol:
+                continue  # out[i] stays the zero edge
+            w0, n0, a0 = complex(0.0), None, 0.0
+        elif a1 <= tol:
+            w1, n1, a1 = complex(0.0), None, 0.0
+        live.append((i, w0, n0, a0, w1, n1, a1))
+    if not live:
+        return out
+
+    if len(live) >= LANE_MIN:
+        norms = norm_lanes([t[3] for t in live], [t[6] for t in live])
+        phases = [
+            w0 / a0 if a0 > 0.0 else w1 / a1
+            for (_i, w0, _n0, a0, w1, _n1, a1) in live
+        ]
+        tops = fscale_lanes(norms, phases)
+    else:
+        tops = []
+        for _i, w0, _n0, a0, w1, _n1, a1 in live:
+            norm = sqrt(a0 * a0 + a1 * a1)
+            phase = w0 / a0 if a0 > 0.0 else w1 / a1
+            tops.append(norm * phase)
+
+    # Child-weight divisions and snapping: exact scalar lanes.
+    w0ns = ctable.snap_lane(
+        [t[1] / top for t, top in zip(live, tops, strict=True)], tol
+    )
+    w1ns = ctable.snap_lane(
+        [t[4] / top for t, top in zip(live, tops, strict=True)], tol
+    )
+
+    inv = ctx.inv
+    vtable = ctx.vtable
+    backend = ctx.backend
+    nodes = backend._v_nodes
+    row_level = backend._v_row_level
+    row_child = backend._v_row_child
+    row_weight = backend._v_row_weight
+    new_keys = ctx.new_vtable_keys
+    v_start = ctx.v_start
+    for (i, _w0, n0, _a0, _w1, n1, _a1), top, w0n, w1n in zip(
+        live, tops, w0ns, w1ns, strict=True
+    ):
+        i0 = -1 if n0 is None else n0.index
+        i1 = -1 if n1 is None else n1.index
+        key = (
+            level,
+            round(w0n.real * inv),
+            round(w0n.imag * inv),
+            i0,
+            round(w1n.real * inv),
+            round(w1n.imag * inv),
+            i1,
+        )
+        node = vtable.get(key)
+        if node is None:
+            node = VNode(level, ((w0n, n0), (w1n, n1)))
+            node.index = len(nodes)
+            nodes.append(node)
+            row_level.append(level)
+            row_child.append((i0, i1))
+            row_weight.append((w0n, w1n))
+            vtable[key] = node
+            new_keys.append(key)
+            ctx.created += 1
+        elif node.index >= v_start:
+            # Interned during this gate in a different order than the
+            # scalar DFS would have used: only safe if bit-exact.
+            (s0, _c0), (s1, _c1) = node.edges
+            if s0 != w0n or s1 != w1n:
+                raise BatchAbort(
+                    "within-gate unique-table bucket collision is not "
+                    "bit-exact"
+                )
+        out[i] = (top, node)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Checked vadd wavefront
+# ----------------------------------------------------------------------
+
+
+def _vadd_wave(
+    ctx: _BatchContext,
+    items: list[tuple[VEdge, VEdge]],
+    level: int,
+) -> list[VEdge]:
+    """Resolve one wave of same-level ``vadd`` calls.
+
+    Per item the scalar front half runs unchanged (zero shortcuts,
+    terminal sum, same-node sum, exact ratio, bucketed key).  Misses
+    dedup into frames — a key collision between frames with non-equal
+    exact ratios aborts, as does a within-gate cache hit whose recorded
+    ratio differs from the probe's.  Frame children are expanded with
+    the ``ratio * b_w`` products on lanes, recursed as the next wave
+    down, and resolved through the batched ``make_vedge``.
+    """
+    results: list[VEdge] = [_ZERO_V] * len(items)
+    frames: dict[tuple[int, int, int, int], _AddFrame] = {}
+    order: list[_AddFrame] = []
+    pending: list[tuple[int, _AddFrame, complex]] = []
+    tol = ctx.tol
+    inv = ctx.inv
+    cache = ctx.vadd_cache
+    vadd_new = ctx.vadd_new
+    for idx, (e1, e2) in enumerate(items):
+        w1, n1 = e1
+        w2, n2 = e2
+        if w1 == 0.0:  # ddlint: ignore[DD002]
+            results[idx] = e2
+            continue
+        if w2 == 0.0:  # ddlint: ignore[DD002]
+            results[idx] = e1
+            continue
+        if level < 0:
+            total = w1 + w2
+            if abs(total.real) <= tol and abs(total.imag) <= tol:
+                results[idx] = _ZERO_V
+            else:
+                results[idx] = (total, None)
+            continue
+        if n1 is n2:
+            total = w1 + w2
+            if abs(total.real) <= tol and abs(total.imag) <= tol:
+                results[idx] = _ZERO_V
+            else:
+                results[idx] = (total, n1)
+            continue
+        assert n1 is not None and n2 is not None
+        ratio = w2 / w1
+        key = (
+            n1.index,
+            n2.index,
+            round(ratio.real * inv),
+            round(ratio.imag * inv),
+        )
+        frame = frames.get(key)
+        if frame is not None:
+            if frame.ratio != ratio:
+                raise BatchAbort(
+                    "within-wave vadd bucket collision is not bit-exact"
+                )
+            ctx.vadd_hits += 1  # the scalar DFS would hit its own insert
+            pending.append((idx, frame, w1))
+            continue
+        cached = cache.get(key)
+        if cached is not None:
+            recorded = vadd_new.get(key)
+            if recorded is not None and recorded != ratio:
+                raise BatchAbort(
+                    "within-gate vadd cache hit is not bit-exact"
+                )
+            ctx.vadd_hits += 1
+            rw, rn = cached
+            results[idx] = (rw * w1, rn)
+            continue
+        ctx.vadd_misses += 1
+        frame = _AddFrame(key, ratio, n1, n2)
+        frames[key] = frame
+        order.append(frame)
+        pending.append((idx, frame, w1))
+
+    if order:
+        sub = level - 1
+        if len(order) >= LANE_MIN:
+            ratios = [fr.ratio for fr in order]
+            rb0s = mul2_lanes(ratios, [fr.n2.edges[0][0] for fr in order])
+            rb1s = mul2_lanes(ratios, [fr.n2.edges[1][0] for fr in order])
+        else:
+            rb0s = [fr.ratio * fr.n2.edges[0][0] for fr in order]
+            rb1s = [fr.ratio * fr.n2.edges[1][0] for fr in order]
+        sub_items: list[tuple[VEdge, VEdge]] = []
+        sub_slots: list[tuple[_AddFrame, int]] = []
+        for j, fr in enumerate(order):
+            (a0w, a0n), (a1w, a1n) = fr.n1.edges
+            (_b0w, b0n), (_b1w, b1n) = fr.n2.edges
+            rb0 = rb0s[j]
+            if a0w == 0.0:  # ddlint: ignore[DD002]
+                fr.c0 = (rb0, b0n)
+            elif rb0 == 0.0:  # ddlint: ignore[DD002]
+                fr.c0 = (a0w, a0n)
+            else:
+                sub_items.append(((a0w, a0n), (rb0, b0n)))
+                sub_slots.append((fr, 0))
+            rb1 = rb1s[j]
+            if a1w == 0.0:  # ddlint: ignore[DD002]
+                fr.c1 = (rb1, b1n)
+            elif rb1 == 0.0:  # ddlint: ignore[DD002]
+                fr.c1 = (a1w, a1n)
+            else:
+                sub_items.append(((a1w, a1n), (rb1, b1n)))
+                sub_slots.append((fr, 1))
+        if sub_items:
+            sub_results = _vadd_wave(ctx, sub_items, sub)
+            for (fr, which), res in zip(sub_slots, sub_results, strict=True):
+                if which == 0:
+                    fr.c0 = res
+                else:
+                    fr.c1 = res
+        mk_pairs: list[tuple[VEdge, VEdge]] = []
+        for fr in order:
+            assert fr.c0 is not None and fr.c1 is not None
+            mk_pairs.append((fr.c0, fr.c1))
+        tops = _make_vedges(ctx, mk_pairs, level)
+        limit = ctx.limit
+        for fr, res in zip(order, tops, strict=True):
+            if len(cache) >= limit:
+                raise BatchAbort("vadd cache insert would flush")
+            cache[fr.key] = res
+            vadd_new[fr.key] = fr.ratio
+            fr.w, fr.n = res
+
+    for idx, frame, w1 in pending:
+        results[idx] = (frame.w * w1, frame.n)
+    return results
+
+
+# ----------------------------------------------------------------------
+# multiply_mv: plan (top-down) + execute (bottom-up)
+# ----------------------------------------------------------------------
+
+_ZERO_SPEC: tuple[int, complex, complex, None] = (0, 0j, 0j, None)
+
+
+def _get_frame(ctx: _BatchContext, m: object, v: VNode, lv: int) -> _Frame:
+    """Dedup-probe one (m, v) pair; misses enter the level plan."""
+    key = m.index * _PAIR_SHIFT + v.index  # type: ignore[attr-defined]
+    frame = ctx.frames.get(key)
+    if frame is not None:
+        # A re-encounter of a planned pair is exactly the call the
+        # scalar DFS would have satisfied from the mv cache (the key is
+        # the exact node pair, so the value cannot depend on order).
+        ctx.mv_hits += 1
+        return frame
+    frame = _Frame(m, v, key)
+    cached = ctx.mv_cache.get(key)
+    if cached is not None:
+        ctx.mv_hits += 1
+        frame.w, frame.n = cached
+        ctx.frames[key] = frame
+        return frame
+    ctx.mv_misses += 1
+    ctx.frames[key] = frame
+    ctx.by_level[lv].append(frame)
+    return frame
+
+
+def _expand(ctx: _BatchContext, frame: _Frame, lv: int) -> None:
+    """Record the four child products of one miss frame (static plan).
+
+    The zero shortcuts test the *stored* edge weights — the same
+    comparisons the scalar kernel performs before recursing — so the
+    plan is static: no computed value feeds a planning decision.
+    """
+    sub = lv - 1
+    m00, m01, m10, m11 = frame.m.edges  # type: ignore[attr-defined]
+    v0, v1 = frame.v.edges  # type: ignore[union-attr]
+    v0w = v0[0]
+    v1w = v1[0]
+    spec: list[tuple[int, complex, complex, _Frame | None]] = []
+    for m_edge, v_edge, vw in (
+        (m00, v0, v0w),
+        (m01, v1, v1w),
+        (m10, v0, v0w),
+        (m11, v1, v1w),
+    ):
+        mw = m_edge[0]
+        if mw == 0.0 or vw == 0.0:  # ddlint: ignore[DD002]
+            spec.append(_ZERO_SPEC)
+        elif sub < 0:
+            spec.append((1, mw, vw, None))
+        else:
+            spec.append((2, mw, vw, _get_frame(ctx, m_edge[1], v_edge[1], sub)))
+    frame.spec = spec
+
+
+def _resolve_wave(ctx: _BatchContext, wave: list[_Frame], lv: int) -> None:
+    """Resolve all miss frames of one level bottom-up.
+
+    Children of this level are already resolved, so the child products
+    ``(child_w * m_w) * v_w`` run as one lane across the wave, the
+    combines run as one vadd wave, and the results normalize through
+    one batched ``make_vedge`` wave before being cached and journaled.
+    """
+    count = len(wave)
+    prods: list[VEdge] = [_ZERO_V] * (4 * count)
+    tri_slots: list[int] = []
+    tri_a: list[complex] = []
+    tri_b: list[complex] = []
+    tri_c: list[complex] = []
+    tri_n: list[VNode | None] = []
+    duo_slots: list[int] = []
+    duo_a: list[complex] = []
+    duo_b: list[complex] = []
+    for i, frame in enumerate(wave):
+        base = 4 * i
+        spec = frame.spec
+        assert spec is not None
+        for k in range(4):
+            tag, mw, vw, child = spec[k]
+            if tag == 0:
+                continue
+            if tag == 1:
+                duo_slots.append(base + k)
+                duo_a.append(mw)
+                duo_b.append(vw)
+            else:
+                assert child is not None
+                tri_slots.append(base + k)
+                tri_a.append(child.w)
+                tri_b.append(mw)
+                tri_c.append(vw)
+                tri_n.append(child.n)
+    if duo_slots:
+        if len(duo_slots) >= LANE_MIN:
+            duo_vals = mul2_lanes(duo_a, duo_b)
+        else:
+            duo_vals = [
+                a * b for a, b in zip(duo_a, duo_b, strict=True)
+            ]
+        for slot, val in zip(duo_slots, duo_vals, strict=True):
+            prods[slot] = (val, None)
+    if tri_slots:
+        if len(tri_slots) >= LANE_MIN:
+            tri_vals = mul3_lanes(tri_a, tri_b, tri_c)
+        else:
+            tri_vals = [
+                (a * b) * c
+                for a, b, c in zip(tri_a, tri_b, tri_c, strict=True)
+            ]
+        for slot, val, child_n in zip(
+            tri_slots, tri_vals, tri_n, strict=True
+        ):
+            prods[slot] = (val, child_n)
+
+    sub = lv - 1
+    add_items: list[tuple[VEdge, VEdge]] = []
+    add_slots: list[int] = []
+    children: list[VEdge] = [_ZERO_V] * (2 * count)
+    for i in range(count):
+        base = 4 * i
+        for half in (0, 1):
+            p0 = prods[base + 2 * half]
+            p1 = prods[base + 2 * half + 1]
+            if p0[0] == 0.0:  # ddlint: ignore[DD002]
+                children[2 * i + half] = p1
+            elif p1[0] == 0.0:  # ddlint: ignore[DD002]
+                children[2 * i + half] = p0
+            else:
+                add_items.append((p0, p1))
+                add_slots.append(2 * i + half)
+    if add_items:
+        for slot, res in zip(
+            add_slots, _vadd_wave(ctx, add_items, sub), strict=True
+        ):
+            children[slot] = res
+
+    pairs = [
+        (children[2 * i], children[2 * i + 1]) for i in range(count)
+    ]
+    tops = _make_vedges(ctx, pairs, lv)
+    mv_cache = ctx.mv_cache
+    limit = ctx.limit
+    new_keys = ctx.new_mv_keys
+    for frame, res in zip(wave, tops, strict=True):
+        if len(mv_cache) >= limit:
+            raise BatchAbort("mv cache insert would flush")
+        mv_cache[frame.key] = res
+        new_keys.append(frame.key)
+        frame.w, frame.n = res
+
+
+def _run(ctx: _BatchContext, m: object, v: VNode, level: int) -> VEdge:
+    ctx.by_level = [[] for _ in range(level + 1)]
+    root = _get_frame(ctx, m, v, level)
+    for lv in range(level, -1, -1):
+        for frame in ctx.by_level[lv]:
+            _expand(ctx, frame, lv)
+    for lv in range(level + 1):
+        wave = ctx.by_level[lv]
+        if wave:
+            _resolve_wave(ctx, wave, lv)
+    return (root.w, root.n)
+
+
+def batched_multiply_mv(
+    backend: ArenaBackend, me: MEdge, ve: VEdge, level: int
+) -> VEdge:
+    """Level-synchronous ``multiply_mv``, bit-identical to the scalar path.
+
+    Callers (the arena dispatcher) guarantee nonzero top weights,
+    ``level >= 0``, and arena-owned root nodes.  On a
+    :class:`BatchAbort` the journaled state is rolled back and the gate
+    replays through :meth:`ArenaBackend._multiply_mv_scalar`.
+    """
+    wm, m = me
+    wv, v = ve
+    assert m is not None and v is not None
+    ctx = _BatchContext(backend)
+    try:
+        rw, rn = _run(ctx, m, v, level)
+    except BatchAbort:
+        _rollback(ctx)
+        return backend._multiply_mv_scalar(me, ve, level)
+    except BaseException:
+        _rollback(ctx)
+        raise
+    _commit(ctx)
+    return (rw * wm * wv, rn)

@@ -17,6 +17,7 @@ and keeps probabilities normalized over long gate sequences.
 from __future__ import annotations
 
 import cmath
+from collections.abc import Iterable
 
 #: Default tolerance used to decide whether two edge weights are equal.
 #: The value mirrors the default of the JKQ/MQT decision-diagram package.
@@ -95,6 +96,66 @@ def snap(weight: complex) -> complex:
         if abs(weight - target) <= _tolerance:
             return target
     return weight
+
+
+_T_ZERO, _T_ONE, _T_NEG_ONE, _T_I, _T_NEG_I = _SNAP_TARGETS
+
+
+def snap_boxed(w: complex, tol: float) -> complex:
+    """:func:`snap` with cheap box prefilters (hot-path variant).
+
+    ``snap`` compares ``abs(w - target)`` against the tolerance for all
+    five targets — five complex subtractions and five hypots per
+    weight, on *every* interned edge.  This version first runs per-axis
+    interval tests on ``w.real`` / ``w.imag`` (plain float compares, no
+    allocation); only a box hit falls through to the *same* complex
+    comparison ``snap`` performs, so every snap decision is bit-for-bit
+    identical.  Two facts make the restructuring safe:
+
+    * the circle test implies the box test, so the prefilter never
+      rejects a weight ``snap`` would have accepted;
+    * targets are at least 1.0 apart and ``set_tolerance`` caps the
+      tolerance at 0.1, so at most one target can match and the
+      first-match order of ``_SNAP_TARGETS`` cannot matter.
+
+    Non-snappable weights (the common case) exit after at most four
+    float compares.  The tolerance is an explicit argument so backends
+    can hoist the global lookup out of their hot loops.
+    """
+    im = w.imag
+    if -tol <= im <= tol:
+        re = w.real
+        if -tol <= re <= tol:
+            if abs(w - _T_ZERO) <= tol:
+                return _T_ZERO
+        elif 1.0 - tol <= re <= 1.0 + tol:
+            if abs(w - _T_ONE) <= tol:
+                return _T_ONE
+        elif -1.0 - tol <= re <= -1.0 + tol:
+            if abs(w - _T_NEG_ONE) <= tol:
+                return _T_NEG_ONE
+    else:
+        re = w.real
+        if -tol <= re <= tol:
+            if 1.0 - tol <= im <= 1.0 + tol:
+                if abs(w - _T_I) <= tol:
+                    return _T_I
+            elif -1.0 - tol <= im <= -1.0 + tol:
+                if abs(w - _T_NEG_I) <= tol:
+                    return _T_NEG_I
+    return w
+
+
+def snap_lane(weights: Iterable[complex], tol: float) -> list[complex]:
+    """Snap one batched lane of weights (see the kernels module).
+
+    Pure Python and duck-typed on purpose: the reference backend must
+    stay importable without numpy, so this accepts any iterable of
+    (Python) complex values — batched callers convert their lanes to
+    exact Python complexes first.  Element decisions are exactly
+    :func:`snap_boxed`, i.e. bit-identical to scalar :func:`snap`.
+    """
+    return [snap_boxed(w, tol) for w in weights]
 
 
 def phase_of(weight: complex) -> complex:

@@ -27,11 +27,21 @@ from repro.circuits.randomcirc import random_circuit
 from repro.core import MemoryDrivenStrategy, NoApproximation, simulate
 from repro.core.approximation import approximate_state
 from repro.dd import ctable
+from repro.dd.backends.arena import ArenaBackend
 from repro.dd.package import Package
 from repro.dd.vector import StateDD
 from repro.service.jobs import build_builtin_circuit
 
-BACKENDS = ("reference", "arena")
+# "arena-batched" routes multiply_mv through the level-synchronous
+# batched kernels; it must be indistinguishable from the scalar arena
+# (and hence from reference) on everything this harness observes.
+BACKENDS = ("reference", "arena", "arena-batched")
+
+
+def _make_package(spec: str) -> Package:
+    if spec == "arena-batched":
+        return Package(backend=ArenaBackend(batched=True))
+    return Package(backend=spec)
 
 
 def _apply_circuit(circuit, package: Package) -> StateDD:
@@ -62,16 +72,17 @@ class TestGateParity:
         amplitudes = {}
         counts = {}
         for backend in BACKENDS:
-            state = _apply_circuit(circuit, Package(backend=backend))
+            state = _apply_circuit(circuit, _make_package(backend))
             amplitudes[backend] = state.to_amplitudes()
             counts[backend] = state.node_count()
-        np.testing.assert_allclose(
-            amplitudes["arena"],
-            amplitudes["reference"],
-            atol=ctable.tolerance(),
-            rtol=0.0,
-        )
-        assert counts["arena"] == counts["reference"]
+        for backend in BACKENDS[1:]:
+            np.testing.assert_allclose(
+                amplitudes[backend],
+                amplitudes["reference"],
+                atol=ctable.tolerance(),
+                rtol=0.0,
+            )
+            assert counts[backend] == counts["reference"]
 
     @settings(max_examples=25, deadline=None)
     @given(
@@ -85,15 +96,16 @@ class TestGateParity:
         circuit = random_circuit(num_qubits, num_operations, seed=seed)
         contributions = {}
         for backend in BACKENDS:
-            package = Package(backend=backend)
+            package = _make_package(backend)
             state = _apply_circuit(circuit, package)
             contributions[backend] = package.norm_contributions(state.edge)
         reference = contributions["reference"]
-        arena = contributions["arena"]
-        # Same sweep over isomorphic diagrams: same number of nodes and
-        # the same multiset of contribution values, bit for bit.
-        assert len(arena) == len(reference)
-        assert sorted(arena.values()) == sorted(reference.values())
+        for backend in BACKENDS[1:]:
+            other = contributions[backend]
+            # Same sweep over isomorphic diagrams: same number of nodes
+            # and the same multiset of contribution values, bit for bit.
+            assert len(other) == len(reference)
+            assert sorted(other.values()) == sorted(reference.values())
 
 
 class TestApproximationParity:
@@ -113,7 +125,7 @@ class TestApproximationParity:
         circuit = random_circuit(num_qubits, num_operations, seed=seed)
         rounds: dict[str, list[tuple]] = {}
         for backend in BACKENDS:
-            package = Package(backend=backend)
+            package = _make_package(backend)
             state = StateDD.basis_state(circuit.num_qubits, 0, package)
             top = circuit.num_qubits - 1
             records = []
@@ -140,7 +152,8 @@ class TestApproximationParity:
                     )
             rounds[backend] = records
         # Bit-for-bit: same removal selections, same measured fidelity.
-        assert rounds["arena"] == rounds["reference"]
+        for backend in BACKENDS[1:]:
+            assert rounds[backend] == rounds["reference"]
 
 
 @pytest.mark.parametrize(
@@ -163,20 +176,24 @@ def test_builtin_workload_parity(workload, strategy_factory):
         outcomes[backend] = simulate(
             build_builtin_circuit(workload),
             strategy_factory(),
-            package=Package(backend=backend),
+            package=_make_package(backend),
         )
-    reference, arena = outcomes["reference"], outcomes["arena"]
-    assert arena.stats.fidelity_estimate == reference.stats.fidelity_estimate
-    assert [r.achieved_fidelity for r in arena.stats.rounds] == [
-        r.achieved_fidelity for r in reference.stats.rounds
-    ]
-    assert arena.stats.max_nodes == reference.stats.max_nodes
-    assert arena.stats.final_nodes == reference.stats.final_nodes
-    np.testing.assert_allclose(
-        arena.state.to_amplitudes(),
-        reference.state.to_amplitudes(),
-        atol=ctable.tolerance(),
-        rtol=0.0,
-    )
-    assert arena.stats.dd_backend == "arena"
+    reference = outcomes["reference"]
+    for backend in BACKENDS[1:]:
+        other = outcomes[backend]
+        assert (
+            other.stats.fidelity_estimate == reference.stats.fidelity_estimate
+        )
+        assert [r.achieved_fidelity for r in other.stats.rounds] == [
+            r.achieved_fidelity for r in reference.stats.rounds
+        ]
+        assert other.stats.max_nodes == reference.stats.max_nodes
+        assert other.stats.final_nodes == reference.stats.final_nodes
+        np.testing.assert_allclose(
+            other.state.to_amplitudes(),
+            reference.state.to_amplitudes(),
+            atol=ctable.tolerance(),
+            rtol=0.0,
+        )
+        assert other.stats.dd_backend == "arena"
     assert reference.stats.dd_backend == "reference"

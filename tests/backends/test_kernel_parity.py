@@ -1,0 +1,294 @@
+"""Kernel parity: the batched mv path is bit-for-bit the scalar path.
+
+The arena backend's level-synchronous batched kernels
+(:mod:`repro.dd.backends.kernels`) promise *exactly* the scalar
+execution — same compute-cache hit/miss sequence, same normalization
+decisions, same float results — under reordered, deduped, lane-executed
+arithmetic.  This suite pins that promise differentially:
+
+* hypothesis-generated circuits applied gate-by-gate through the forced
+  batched entry point (:meth:`multiply_mv_batched`) against a scalar
+  twin backend, comparing per-gate root weights, final amplitudes,
+  node counts, creation stats, and cache hit/miss tallies;
+* the abort/rollback machinery (flush-guard aborts and injected
+  mid-batch aborts) must leave the backend in the exact state a pure
+  scalar run produces, with storage integrity clean;
+* DDSan-instrumented full runs stay green on the batched path.
+
+Weight comparisons use exact component equality (``==``, tolerance
+zero).  That is bit-equality except for the sign of zero, which is
+deliberate: the kernels' verification contract is zero-sign-blind
+because a zero-sign difference cannot propagate into any nonzero bit
+through the operations involved (see the kernels module docstring).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.lowering import operation_to_medge
+from repro.circuits.randomcirc import random_circuit
+from repro.core import MemoryDrivenStrategy, NoApproximation, simulate
+from repro.dd.backends import kernels
+from repro.dd.backends.arena import ArenaBackend
+from repro.dd.package import Package
+from repro.dd.vector import StateDD
+from repro.service.jobs import build_builtin_circuit
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _exact_equal(a: complex, b: complex) -> bool:
+    """Tolerance-zero equality on both components (zero-sign-blind)."""
+    return a.real == b.real and a.imag == b.imag
+
+
+def _apply_gates(circuit, package: Package, forced_batched: bool):
+    """Apply ``circuit`` gate by gate; yield the root edge after each."""
+    state = StateDD.basis_state(circuit.num_qubits, 0, package)
+    top = circuit.num_qubits - 1
+    apply = package.multiply_mv_batched if forced_batched else package.multiply_mv
+    for operation in circuit:
+        medge = operation_to_medge(operation, circuit.num_qubits, package)
+        state = StateDD(
+            apply(medge, state.edge, top), circuit.num_qubits, package
+        )
+        yield state
+
+
+class TestBatchedScalarBitParity:
+    """Scalar twin vs forced-batched twin: everything observable agrees."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=2, max_value=4),
+        num_operations=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_gate_by_gate_bit_parity(self, num_qubits, num_operations, seed):
+        circuit = random_circuit(num_qubits, num_operations, seed=seed)
+        scalar_pkg = Package(backend=ArenaBackend(batched=False))
+        batched_pkg = Package(backend=ArenaBackend(batched=False))
+        scalar_pkg.enable_metrics(True)
+        batched_pkg.enable_metrics(True)
+        scalar_states = _apply_gates(circuit, scalar_pkg, forced_batched=False)
+        batched_states = _apply_gates(circuit, batched_pkg, forced_batched=True)
+        final_s = final_b = None
+        for gate_index, (s, b) in enumerate(
+            zip(scalar_states, batched_states, strict=True)
+        ):
+            ws, wb = s.edge[0], b.edge[0]
+            assert _exact_equal(ws, wb), (
+                f"root weight diverged after gate {gate_index}: "
+                f"scalar={ws!r} batched={wb!r}"
+            )
+            final_s, final_b = s, b
+        assert final_s is not None and final_b is not None
+        for amp_s, amp_b in zip(
+            final_s.to_amplitudes(), final_b.to_amplitudes(), strict=True
+        ):
+            assert _exact_equal(complex(amp_s), complex(amp_b))
+        # Identical structure and identical accounting, not just values.
+        assert final_s.node_count() == final_b.node_count()
+        assert (
+            scalar_pkg.stats["vnodes_created"]
+            == batched_pkg.stats["vnodes_created"]
+        )
+        stats_s = scalar_pkg.cache_stats()["caches"]
+        stats_b = batched_pkg.cache_stats()["caches"]
+        for cache_name in ("mv", "vadd"):
+            assert stats_s[cache_name] == stats_b[cache_name], (
+                f"{cache_name} hit/miss tallies diverged: "
+                f"scalar={stats_s[cache_name]} batched={stats_b[cache_name]}"
+            )
+        # Both storages pass the full integrity audit.
+        assert scalar_pkg.integrity_problems() == []
+        assert batched_pkg.integrity_problems() == []
+
+    def test_default_dispatch_is_opt_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DD_BATCHED", raising=False)
+        assert ArenaBackend().batched is False
+        monkeypatch.setenv("REPRO_DD_BATCHED", "1")
+        assert ArenaBackend().batched is True
+        # The explicit constructor argument always wins over the env.
+        assert ArenaBackend(batched=False).batched is False
+        monkeypatch.setenv("REPRO_DD_BATCHED", "off")
+        assert ArenaBackend(batched=True).batched is True
+
+    def test_reference_backend_fallback_entry_point(self):
+        """``multiply_mv_batched`` exists on every backend via the base
+        class and degrades to the scalar path on engines without a
+        batched implementation."""
+        package = Package(backend="reference")
+        state = StateDD.plus_state(3, package)
+        circuit = random_circuit(3, 5, seed=7)
+        medge = operation_to_medge(circuit[0], 3, package)
+        scalar = package.multiply_mv(medge, state.edge, 2)
+        batched = package.multiply_mv_batched(medge, state.edge, 2)
+        assert scalar[1] is batched[1]
+        assert _exact_equal(scalar[0], batched[0])
+
+
+class TestAbortAndRollback:
+    """Aborted batches must be invisible: scalar replay, clean storage."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_operations=st.integers(min_value=3, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        cache_limit=st.integers(min_value=2, max_value=24),
+    )
+    def test_flush_guard_aborts_replay_scalar(
+        self, num_operations, seed, cache_limit
+    ):
+        """Tiny cache limits force 'insert would flush' aborts; results
+        and storage must match a scalar twin with the same limits."""
+        circuit = random_circuit(3, num_operations, seed=seed)
+        scalar_pkg = Package(
+            backend=ArenaBackend(cache_limit=cache_limit, batched=False)
+        )
+        batched_pkg = Package(
+            backend=ArenaBackend(cache_limit=cache_limit, batched=False)
+        )
+        last = None
+        for s, b in zip(
+            _apply_gates(circuit, scalar_pkg, forced_batched=False),
+            _apply_gates(circuit, batched_pkg, forced_batched=True),
+            strict=True,
+        ):
+            assert _exact_equal(s.edge[0], b.edge[0])
+            last = (s, b)
+        assert last is not None
+        for amp_s, amp_b in zip(
+            last[0].to_amplitudes(), last[1].to_amplitudes(), strict=True
+        ):
+            assert _exact_equal(complex(amp_s), complex(amp_b))
+        assert batched_pkg.integrity_problems() == []
+
+    def test_injected_abort_rolls_back_all_journaled_state(
+        self, monkeypatch
+    ):
+        """An abort raised *after* the batch has interned nodes and
+        populated caches must restore the exact pre-gate tables."""
+        circuit = build_builtin_circuit("qsup_2x2_8_0")
+        backend = ArenaBackend(batched=False)
+        package = Package(backend=backend)
+        state = StateDD.basis_state(circuit.num_qubits, 0, package)
+        top = circuit.num_qubits - 1
+        operations = list(circuit)
+        # Warm up with a scalar prefix so the final gate sees realistic
+        # table and cache populations.
+        for operation in operations[:-1]:
+            medge = operation_to_medge(operation, circuit.num_qubits, package)
+            state = StateDD(
+                package.multiply_mv(medge, state.edge, top),
+                circuit.num_qubits,
+                package,
+            )
+        medge = operation_to_medge(
+            operations[-1], circuit.num_qubits, package
+        )
+
+        real_make_vedges = kernels._make_vedges
+        progress = {"calls": 0}
+
+        def sabotaged(ctx, pairs, level):
+            # Let the bottom waves intern real nodes and fill caches,
+            # then pull the rug out.
+            progress["calls"] += 1
+            if progress["calls"] >= 2:
+                raise kernels.BatchAbort("injected mid-batch abort")
+            return real_make_vedges(ctx, pairs, level)
+
+        pre_vtable = dict(backend._vtable)
+        pre_mv = dict(backend._mv_cache)
+        pre_vadd = dict(backend._vadd_cache)
+        pre_created = backend.stats["vnodes_created"]
+
+        monkeypatch.setattr(kernels, "_make_vedges", sabotaged)
+        result = package.multiply_mv_batched(medge, state.edge, top)
+        monkeypatch.setattr(kernels, "_make_vedges", real_make_vedges)
+
+        # The sabotage fired (so a rollback really happened) and the
+        # scalar replay produced the same edge a scalar twin computes.
+        assert progress["calls"] >= 2
+        twin = ArenaBackend(batched=False)
+        twin_pkg = Package(backend=twin)
+        twin_state = StateDD.basis_state(circuit.num_qubits, 0, twin_pkg)
+        for operation in operations[:-1]:
+            m = operation_to_medge(operation, circuit.num_qubits, twin_pkg)
+            twin_state = StateDD(
+                twin_pkg.multiply_mv(m, twin_state.edge, top),
+                circuit.num_qubits,
+                twin_pkg,
+            )
+        m = operation_to_medge(operations[-1], circuit.num_qubits, twin_pkg)
+        twin_result = twin_pkg.multiply_mv(m, twin_state.edge, top)
+        assert _exact_equal(result[0], twin_result[0])
+
+        # Rolled-back journal keys are gone; the scalar replay then
+        # re-populated the tables exactly as the pure-scalar twin did.
+        # (The rolled-back batch committed no creation stats, so the
+        # counters agree too, despite the orphaned arena rows.)
+        assert set(backend._vtable) == set(twin._vtable)
+        assert set(backend._mv_cache) == set(twin._mv_cache)
+        assert set(backend._vadd_cache) == set(twin._vadd_cache)
+        assert set(backend._mv_cache) >= set(pre_mv)
+        assert set(backend._vadd_cache) >= set(pre_vadd)
+        assert len(backend._vtable) >= len(pre_vtable)
+        assert pre_created <= backend.stats["vnodes_created"]
+        assert (
+            backend.stats["vnodes_created"] == twin.stats["vnodes_created"]
+        )
+        assert package.integrity_problems() == []
+
+
+class TestBatchedFullRuns:
+    """Whole simulations, approximation included, agree bit for bit."""
+
+    @pytest.mark.parametrize(
+        "workload, strategy_factory",
+        [
+            ("qsup_2x2_8_0", NoApproximation),
+            (
+                "qsup_3x3_12_0",
+                lambda: MemoryDrivenStrategy(
+                    threshold=64, round_fidelity=0.975
+                ),
+            ),
+            ("shor_15_2", NoApproximation),
+        ],
+    )
+    def test_builtin_workload_parity(self, workload, strategy_factory):
+        outcomes = {}
+        for batched in (False, True):
+            outcomes[batched] = simulate(
+                build_builtin_circuit(workload),
+                strategy_factory(),
+                package=Package(backend=ArenaBackend(batched=batched)),
+            )
+        scalar, batched = outcomes[False], outcomes[True]
+        assert (
+            batched.stats.fidelity_estimate == scalar.stats.fidelity_estimate
+        )
+        assert [r.achieved_fidelity for r in batched.stats.rounds] == [
+            r.achieved_fidelity for r in scalar.stats.rounds
+        ]
+        assert batched.stats.max_nodes == scalar.stats.max_nodes
+        assert batched.stats.final_nodes == scalar.stats.final_nodes
+        for amp_b, amp_s in zip(
+            batched.state.to_amplitudes(),
+            scalar.state.to_amplitudes(),
+            strict=True,
+        ):
+            assert _exact_equal(complex(amp_b), complex(amp_s))
+
+    def test_full_ddsan_run_is_green_batched(self):
+        outcome = simulate(
+            build_builtin_circuit("qsup_2x2_8_0"),
+            MemoryDrivenStrategy(threshold=16, round_fidelity=0.95),
+            package=Package(backend=ArenaBackend(batched=True)),
+            ddsan=True,
+        )
+        assert outcome.stats.dd_backend == "arena"

@@ -1,0 +1,230 @@
+"""Ulp-exactness assumptions behind the batched kernels, pinned.
+
+The batched kernels (:mod:`repro.dd.backends.kernels`) claim their
+numpy lane ops are *bit-for-bit* identical to CPython scalar
+arithmetic.  That claim rests on a small set of facts about this
+numpy/CPython/hardware combination which this suite verifies over
+adversarial operands — subnormals, near-overflow magnitudes, signed
+zeros, unit phases — plus hypothesis-generated floats:
+
+* float64 ``*``, ``+``, ``-`` and ``np.sqrt`` are single correctly
+  rounded IEEE-754 operations, so they match CPython exactly;
+* a complex product *decomposed into float64 ufuncs* in CPython's
+  evaluation order (``re = ar*br - ai*bi``, ``im = ar*bi + ai*br``)
+  matches ``complex.__mul__`` exactly — whereas numpy's *native*
+  complex128 multiply may not (its SIMD kernel is free to contract
+  ``a*b - c*d`` into FMAs, a 1-ulp divergence on a large fraction of
+  operands on FMA hardware);
+* CPython's mixed ``float * complex`` widens the float to ``f + 0j``
+  first, so the zero imaginary lane participates and decides signed
+  zeros — the kernels replicate exactly that;
+* ``np.abs`` on complex128 and numpy complex division use different
+  algorithms than CPython (hypot variants, Smith's method) and are
+  **not** ulp-exact — the kernels must never route magnitudes or
+  divisions through numpy, which is guarded here against the module
+  source itself.
+"""
+
+from __future__ import annotations
+
+import cmath
+import struct
+
+import numpy as np
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd.backends import kernels
+from repro.dd.backends.kernels import (
+    audit_lane_ops,
+    fscale_lanes,
+    mul2_lanes,
+    mul3_lanes,
+    norm_lanes,
+)
+
+# ----------------------------------------------------------------------
+# Adversarial operand pool
+# ----------------------------------------------------------------------
+
+_TINY = 5e-324  # smallest subnormal
+_SUBNORMAL = 1e-310
+_NEAR_MAX = 1.2e154  # products of two land near the overflow edge
+_HUGE = 8.9e307  # half of float64 max
+
+_REALS = (
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    1.0 / 3.0,
+    2.0 / 3.0,
+    0.7071067811865476,  # sqrt(2)/2
+    _TINY,
+    -_TINY,
+    _SUBNORMAL,
+    -_SUBNORMAL,
+    _NEAR_MAX,
+    -_NEAR_MAX,
+    _HUGE,
+    1e-200,
+    -3.337e-5,
+    123456.789,
+)
+
+
+def _adversarial_samples() -> list[complex]:
+    """A mixed pool of complex operands covering the nasty corners."""
+    samples = [complex(re, im) for re in _REALS for im in _REALS]
+    # Unit phases: the exact shape of normalization phase factors.
+    samples.extend(cmath.exp(1j * k * 0.37) for k in range(32))
+    return samples
+
+
+def _bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def _cbits(value: complex) -> tuple[bytes, bytes]:
+    return _bits(value.real), _bits(value.imag)
+
+
+class TestLaneOpsBitExact:
+    """Every lane op matches its scalar formula on adversarial operands."""
+
+    def test_audit_is_clean_on_adversarial_pool(self):
+        # Near-overflow operands produce infinities identically on both
+        # sides; silence numpy's (correct) overflow chatter.
+        with np.errstate(over="ignore", invalid="ignore"):
+            assert audit_lane_ops(_adversarial_samples()) == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.complex_numbers(
+                allow_nan=False,
+                allow_infinity=False,
+                allow_subnormal=True,
+                max_magnitude=1e150,
+            ),
+            min_size=2,
+            max_size=64,
+        )
+    )
+    def test_audit_is_clean_on_hypothesis_operands(self, values):
+        assert audit_lane_ops(values) == []
+
+    def test_signed_zero_propagation_matches_cpython(self):
+        """Zero-sign outcomes of the lane ops equal CPython's exactly
+        (stricter than the kernels' own zero-sign-blind contract)."""
+        zeros = [0.0, -0.0]
+        operands = [
+            complex(zr, zi) for zr in zeros for zi in zeros
+        ] + [complex(1.0, -0.0), complex(-0.0, 1.0), complex(-1.0, 0.0)]
+        pairs = [(a, b) for a in operands for b in operands]
+        lane = mul2_lanes([a for a, _ in pairs], [b for _, b in pairs])
+        for (a, b), got in zip(pairs, lane, strict=True):
+            assert _cbits(got) == _cbits(a * b), f"{a!r} * {b!r}"
+        floats = [0.0, -0.0, 1.0, -1.0, _TINY, -_TINY]
+        fpairs = [(f, z) for f in floats for z in operands]
+        lane = fscale_lanes([f for f, _ in fpairs], [z for _, z in fpairs])
+        for (f, z), got in zip(fpairs, lane, strict=True):
+            assert _cbits(got) == _cbits(f * z), f"{f!r} * {z!r}"
+
+    def test_triple_product_association_is_left_to_right(self):
+        """``mul3_lanes`` must round like ``(a*b)*c`` — not ``a*(b*c)``
+        — because that is the order the scalar kernels evaluate."""
+        a = complex(1.0 / 3.0, 2.0 / 3.0)
+        b = complex(0.1, -0.7)
+        c = complex(-5.3e-5, 1.9)
+        triples = [(a, b, c), (c, a, b), (b, c, a)] * 3
+        lane = mul3_lanes(
+            [t[0] for t in triples],
+            [t[1] for t in triples],
+            [t[2] for t in triples],
+        )
+        for (x, y, z), got in zip(triples, lane, strict=True):
+            assert _cbits(got) == _cbits((x * y) * z)
+
+    def test_norm_lanes_match_math_sqrt(self):
+        mags = [abs(z) for z in _adversarial_samples() if abs(z) < 1e154]
+        other = mags[1:] + mags[:1]
+        import math
+
+        lane = norm_lanes(mags, other)
+        for x, y, got in zip(mags, other, lane, strict=True):
+            assert _bits(got) == _bits(math.sqrt(x * x + y * y))
+
+
+class TestDocumentedDivergences:
+    """The divergences that force the decomposed-kernel design.
+
+    Whether numpy's native complex128 multiply actually diverges is
+    hardware- and build-dependent (FMA contraction), so these tests do
+    not assert that it *must*; they assert the stronger, portable fact:
+    wherever the native op and CPython disagree, the decomposed kernel
+    still sides with CPython — i.e. the corrected kernels make the
+    divergence irrelevant.
+    """
+
+    def test_decomposed_multiply_wins_wherever_native_diverges(self):
+        samples = _adversarial_samples()
+        a = samples
+        b = samples[1:] + samples[:1]
+        # Near-overflow pairs legitimately produce infinities in both
+        # engines; the comparison below is still exact on the bits.
+        with np.errstate(over="ignore", invalid="ignore"):
+            native = (
+                np.array(a, dtype=np.complex128)
+                * np.array(b, dtype=np.complex128)
+            ).tolist()
+            corrected = mul2_lanes(a, b)
+        native_diverged = 0
+        for x, y, nat, cor in zip(a, b, native, corrected, strict=True):
+            want = x * y
+            if _cbits(nat) != _cbits(want):
+                native_diverged += 1
+            assert _cbits(cor) == _cbits(want)
+        # Informative, not required: on FMA hardware native_diverged is
+        # typically large.  Either way the corrected kernel covered it.
+        assert native_diverged >= 0
+
+    def test_np_abs_divergence_is_guarded_not_relied_on(self):
+        """CPython ``abs`` and ``np.abs`` may differ by 1 ulp on
+        complex128; the kernels must therefore never use numpy for
+        magnitudes or divisions.  Guard the module source."""
+        import inspect
+
+        source = inspect.getsource(kernels)
+        for forbidden in ("np.abs", "np.absolute", "np.hypot", "np.divide"):
+            assert forbidden not in source, (
+                f"kernels module must not use {forbidden}: it is not "
+                "ulp-exact against CPython"
+            )
+        # And document the divergence concretely: where the two hypots
+        # disagree, the scalar result is the contract.
+        samples = _adversarial_samples()
+        np_abs = np.abs(np.array(samples, dtype=np.complex128)).tolist()
+        disagreements = sum(
+            1
+            for z, na in zip(samples, np_abs, strict=True)
+            if _bits(abs(z)) != _bits(na)
+        )
+        # Zero on some platforms, nonzero on others — both acceptable,
+        # which is exactly why the kernels never call np.abs.
+        assert disagreements >= 0
+
+    def test_division_stays_scalar(self):
+        """Complex division (Smith's algorithm) differs between numpy
+        and CPython on a measurable fraction of operands; the kernels
+        divide on exact scalar lanes.  Demonstrate the hazard exists in
+        principle by checking the corrected path: scalar division of
+        lane-produced values equals the all-scalar computation."""
+        samples = [z for z in _adversarial_samples() if z != 0]
+        a = samples
+        b = samples[1:] + samples[:1]
+        products = mul2_lanes(a, b)
+        for x, y, prod in zip(a, b, products, strict=True):
+            assert _cbits(prod / y) == _cbits((x * y) / y)

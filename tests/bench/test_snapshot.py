@@ -10,11 +10,16 @@ import pytest
 from repro.bench import (
     DEFAULT_TOLERANCE,
     compare_snapshots,
+    diff_snapshots,
     load_snapshot,
     run_snapshot,
     write_snapshot,
 )
-from repro.bench.snapshot import SNAPSHOT_FORMAT, calibration_seconds
+from repro.bench.snapshot import (
+    DELTA_FORMAT,
+    SNAPSHOT_FORMAT,
+    calibration_seconds,
+)
 
 
 def make_snapshot():
@@ -104,6 +109,72 @@ class TestCompareSnapshots:
 
     def test_default_tolerance_is_25_percent(self):
         assert DEFAULT_TOLERANCE == 0.25
+
+
+class TestDiffSnapshots:
+    """The delta report agrees with the gate and explains every row."""
+
+    def test_identical_snapshots_report_passes(self):
+        base = make_snapshot()
+        report = diff_snapshots(copy.deepcopy(base), base)
+        assert report["format"] == DELTA_FORMAT
+        assert report["passed"] is True
+        assert report["violations"] == []
+        assert len(report["rows"]) == 2
+        for row in report["rows"]:
+            assert row["in_baseline"] and row["in_current"]
+            assert row["normalized_time"]["ratio"] == 1.0
+            assert row["normalized_time"]["delta"] == 0.0
+            assert row["normalized_time"]["within_tolerance"] is True
+            assert row["peak_nodes"]["within_tolerance"] is True
+
+    def test_regression_row_is_explained(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        current["workloads"][0]["normalized_time"] = 15.0  # +50% > 25%
+        report = diff_snapshots(current, base, tolerance=0.25)
+        assert report["passed"] is False
+        assert report["violations"] == compare_snapshots(
+            current, base, tolerance=0.25
+        )
+        row = next(
+            r for r in report["rows"] if r["key"] == "w1/exact"
+        )
+        detail = row["normalized_time"]
+        assert detail["baseline"] == 10.0
+        assert detail["current"] == 15.0
+        assert detail["delta"] == 5.0
+        assert detail["ratio"] == 1.5
+        assert detail["within_tolerance"] is False
+        # The untouched metric on the same row still reads as clean.
+        assert row["peak_nodes"]["within_tolerance"] is True
+
+    def test_missing_and_extra_rows_are_marked(self):
+        base = make_snapshot()
+        current = copy.deepcopy(base)
+        del current["workloads"][1]
+        current["workloads"].append(
+            {
+                "workload": "w2",
+                "strategy": "exact",
+                "peak_nodes": 5,
+                "normalized_time": 1.0,
+            }
+        )
+        report = diff_snapshots(current, base)
+        by_key = {row["key"]: row for row in report["rows"]}
+        assert by_key["w1/memory"]["in_current"] is False
+        assert by_key["w1/memory"]["in_baseline"] is True
+        assert by_key["w2/exact"]["in_baseline"] is False
+        assert by_key["w2/exact"]["in_current"] is True
+        # Missing coverage fails the gate; the new row does not.
+        assert report["passed"] is False
+
+    def test_report_round_trips_as_json(self, tmp_path):
+        report = diff_snapshots(make_snapshot(), make_snapshot())
+        path = tmp_path / "delta.json"
+        write_snapshot(report, str(path))
+        assert json.loads(path.read_text()) == report
 
 
 class TestSnapshotIO:
