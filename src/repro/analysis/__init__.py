@@ -5,7 +5,10 @@ correctness claims rest on (hash-consed uniqueness, norm-preserving
 normalization, tolerance-bucketed complex interning):
 
 * :mod:`repro.analysis.ddlint` — an AST linter with domain rules
-  (DD001–DD005) that rejects code shapes able to break the invariants;
+  (DD001–DD006) that rejects code shapes able to break the invariants;
+* :mod:`repro.analysis.passes` — dataflow-aware passes (DD007–DD012:
+  float determinism, concurrency discipline, Lemma-1 soundness) over
+  the shared project index of :mod:`repro.analysis.dataflow`;
 * :mod:`repro.analysis.baseline` — the ratchet that grandfathers
   pre-existing findings in ``analysis/baseline.json`` and only lets the
   count shrink;
@@ -24,11 +27,13 @@ from .baseline import (
     summarize,
     write_baseline,
 )
+from .dataflow import ProjectIndex
 from .ddlint import (
     RULES,
     LintError,
     Rule,
     Violation,
+    lint_modules,
     lint_paths,
     lint_source,
 )
@@ -44,6 +49,7 @@ from .ddsan import (
 __all__ = [
     "RULES",
     "LintError",
+    "ProjectIndex",
     "RatchetReport",
     "Rule",
     "Sanitizer",
@@ -55,6 +61,7 @@ __all__ = [
     "collect_operator_violations",
     "compare_to_baseline",
     "ddsan_enabled",
+    "lint_modules",
     "lint_paths",
     "lint_source",
     "load_baseline",

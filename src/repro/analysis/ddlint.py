@@ -37,11 +37,20 @@ DD006     Touching unique-table / compute-cache internals (``_vtable``,
           ``unique_table_sizes``) so every backend stays swappable.
 ========  ============================================================
 
-Suppressions: a line may carry ``# ddlint: ignore[DD002]`` (comma
-separate several codes) to silence a finding with an auditable marker.
-Everything else goes through the baseline ratchet of
-:mod:`repro.analysis.baseline`: pre-existing findings are grandfathered,
-new ones fail, and fixes shrink the committed baseline.
+Rules DD007 — DD012 are *dataflow-aware passes* — float determinism
+(DD007/DD008), concurrency discipline (DD009/DD010/DD011), and Lemma-1
+soundness (DD012) — implemented in :mod:`repro.analysis.passes` on the
+shared project index of :mod:`repro.analysis.dataflow`.  They run
+whenever files are linted together (``lint_paths`` / ``lint_modules``)
+and report findings with a dataflow trace.
+
+Suppressions: ``# ddlint: ignore[DD002]`` (comma separate several
+codes, ``# ddlint: ignore[DD002, DD007]``) silences a finding with an
+auditable marker; the comment may sit on any line of the offending
+statement, including decorator lines and continuation lines of
+multi-line statements.  Everything else goes through the baseline
+ratchet of :mod:`repro.analysis.baseline`: pre-existing findings are
+grandfathered, new ones fail, and fixes shrink the committed baseline.
 
 The linter depends only on the standard library so it can run before the
 package itself imports (and in CI before any dependency install).
@@ -62,6 +71,7 @@ __all__ = [
     "RULES",
     "Violation",
     "lint_file",
+    "lint_modules",
     "lint_paths",
     "lint_source",
     "module_name_for",
@@ -77,11 +87,18 @@ class Violation:
     """One finding: a rule broken at a specific source location.
 
     Attributes:
-        rule: Rule code (``DD001`` … ``DD005``).
+        rule: Rule code (``DD001`` … ``DD012``).
         path: Repo-relative POSIX path of the offending file.
         line: 1-based source line.
         col: 0-based column offset.
         message: Human-readable description of the finding.
+        trace: Dataflow trace (one human-readable step per entry) for
+            findings produced by the project-wide passes; empty for the
+            single-module syntactic rules.
+        span: Inclusive ``(first, last)`` line range of the offending
+            statement; an inline suppression anywhere in the span
+            silences the finding (decorated and multi-line statements
+            included).  ``None`` means "the anchor line only".
     """
 
     rule: str
@@ -89,10 +106,18 @@ class Violation:
     line: int
     col: int
     message: str
+    trace: tuple[str, ...] = ()
+    span: tuple[int, int] | None = None
 
     def format(self) -> str:
         """Render as a conventional ``path:line:col: CODE message`` line."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def format_verbose(self) -> str:
+        """Render with the dataflow trace (if any) indented beneath."""
+        lines = [self.format()]
+        lines.extend(f"    | {step}" for step in self.trace)
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -148,6 +173,61 @@ RULES: dict[str, Rule] = {
             "storage layout (_vtable, _vadd_cache, ...) is backend-"
             "private; going through the DDBackend interface keeps every "
             "backend swappable and the differential guarantees intact",
+        ),
+        Rule(
+            "DD007",
+            "no nondeterministic numpy ufuncs (np.abs/np.hypot/"
+            "np.divide) reachable from lane-op code in "
+            "repro.dd.backends.*",
+            "the batched kernels' parity contract requires bit-for-bit "
+            "agreement with CPython scalar arithmetic; these ufuncs use "
+            "different algorithms in the last ulp — resolution-aware, "
+            "so aliased imports and helper indirection are caught",
+        ),
+        Rule(
+            "DD008",
+            "no native complex128 array multiply/divide in lane-op "
+            "code (decompose into float64 .real/.imag lanes)",
+            "numpy may FMA-contract complex products, diverging from "
+            "CPython's complex arithmetic; the ulp contract "
+            "(docs/BACKENDS.md) requires the decomposed lane kernels",
+        ),
+        Rule(
+            "DD009",
+            "no blocking calls (file/socket I/O, un-timed-out waits) "
+            "while a threading lock/condition is held",
+            "the serve daemon's latency guarantees assume every lock "
+            "region is O(state update); blocking under the state lock "
+            "stalls admission, heartbeats, and deadline enforcement — "
+            "checked transitively through the call graph",
+        ),
+        Rule(
+            "DD010",
+            "fork/signal discipline: no threads/sockets created before "
+            "a fork-context spawn; no non-reentrant work in signal "
+            "handlers",
+            "a forked child inherits threads mid-state, held locks, "
+            "and open sockets; signal handlers interrupt arbitrary "
+            "bytecode, so print/logging/locks there can self-deadlock",
+        ),
+        Rule(
+            "DD011",
+            "no cross-process shared-state writes in fork workers "
+            "outside sanctioned channels (queue/event/shared value "
+            "parameters)",
+            "a write to module-level state in a Process target lands "
+            "in the child's copy-on-write page and is silently lost to "
+            "the parent — results must travel through the supervisor's "
+            "channels",
+        ),
+        Rule(
+            "DD012",
+            "no mutation of edge weights, node children, or Lemma-1 "
+            "fidelity accumulators outside repro.dd.* / repro.core.*",
+            "Lemma 1's multiplicative fidelity composition is only "
+            "sound while DD structure and the round ledger change "
+            "through the sanctioned Package/backend/strategy APIs "
+            "(compile-time counterpart of the DDSan runtime audit)",
         ),
     )
 }
@@ -294,14 +374,24 @@ class _Checker(ast.NodeVisitor):
 
     # -- helpers -----------------------------------------------------------
 
-    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+    def _report(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        span: tuple[int, int] | None = None,
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        if span is None:
+            span = (line, getattr(node, "end_lineno", None) or line)
         self.violations.append(
             Violation(
                 rule=rule,
                 path=self.path,
-                line=getattr(node, "lineno", 1),
+                line=line,
                 col=getattr(node, "col_offset", 0),
                 message=message,
+                span=span,
             )
         )
 
@@ -411,6 +501,17 @@ class _Checker(ast.NodeVisitor):
             or node.name.startswith("_")
         ):
             return
+        # The suppressible span covers the decorators and the (possibly
+        # multi-line) signature, but not the function body.
+        first = min(
+            [dec.lineno for dec in node.decorator_list] + [node.lineno]
+        )
+        last = node.lineno
+        if node.body:
+            body_line = node.body[0].lineno
+            if body_line > node.lineno:
+                last = body_line - 1
+        sig_span = (first, max(first, last))
         args = node.args
         positional = list(args.posonlyargs) + list(args.args)
         # `self` / `cls` never need annotations.
@@ -432,12 +533,14 @@ class _Checker(ast.NodeVisitor):
                 node,
                 f"public function {node.name!r} has unannotated "
                 f"parameter(s): {', '.join(missing)}",
+                span=sig_span,
             )
         if node.returns is None:
             self._report(
                 "DD004",
                 node,
                 f"public function {node.name!r} has no return annotation",
+                span=sig_span,
             )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -458,8 +561,67 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _is_suppressed(
+    violation: Violation, suppressed: dict[int, set[str]]
+) -> bool:
+    """An inline marker anywhere in the violation's span silences it."""
+    first, last = violation.span or (violation.line, violation.line)
+    return any(
+        violation.rule in suppressed.get(line, ())
+        for line in range(first, last + 1)
+    )
+
+
+def lint_modules(sources: list[tuple[str, str]]) -> list[Violation]:
+    """Lint a set of modules together (syntactic rules + dataflow passes).
+
+    The single-module rules (DD001 — DD006) run per file; the
+    project-wide passes (DD007 — DD012, :mod:`repro.analysis.passes`)
+    run over the whole set at once, so cross-module facts (call graph,
+    aliased imports) resolve.  Inline suppressions apply to both.
+
+    Args:
+        sources: ``(repo-relative path, source text)`` pairs.
+
+    Returns:
+        All non-suppressed violations, sorted by path then position.
+
+    Raises:
+        LintError: If any source does not parse.
+    """
+    # Imported here: passes depend on Violation, so a module-level
+    # import would be circular.
+    from .passes import build_project, run_passes
+
+    parsed: list[tuple[str, str, ast.Module]] = []
+    violations: list[Violation] = []
+    suppressions: dict[str, dict[int, set[str]]] = {}
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            raise LintError(f"{path}: {error}") from error
+        module = module_name_for(path)
+        checker = _Checker(path, module)
+        checker.visit(tree)
+        violations.extend(checker.violations)
+        parsed.append((path, module, tree))
+        suppressions[path] = _suppressed_codes(source)
+    violations.extend(run_passes(build_project(parsed)))
+    findings = [
+        violation
+        for violation in violations
+        if not _is_suppressed(violation, suppressions.get(violation.path, {}))
+    ]
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return findings
+
+
 def lint_source(source: str, path: str) -> list[Violation]:
-    """Lint one module's source text.
+    """Lint one module's source text (single-module convenience).
+
+    The dataflow passes run too, but with only this module in the
+    project index — cross-module reachability reduces to local facts.
 
     Args:
         source: The module's source code.
@@ -472,20 +634,7 @@ def lint_source(source: str, path: str) -> list[Violation]:
     Raises:
         LintError: If the source does not parse.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        raise LintError(f"{path}: {error}") from error
-    checker = _Checker(path, module_name_for(path))
-    checker.visit(tree)
-    suppressed = _suppressed_codes(source)
-    findings = [
-        violation
-        for violation in checker.violations
-        if violation.rule not in suppressed.get(violation.line, ())
-    ]
-    findings.sort(key=lambda v: (v.line, v.col, v.rule))
-    return findings
+    return lint_modules([(path, source)])
 
 
 def lint_file(file_path: Path, root: Path) -> list[Violation]:
@@ -498,6 +647,9 @@ def lint_paths(
     paths: list[Path] | tuple[Path, ...], root: Path | None = None
 ) -> list[Violation]:
     """Lint every ``.py`` file under the given paths.
+
+    All files are linted as one project so the dataflow passes can
+    resolve cross-module call chains and aliases.
 
     Args:
         paths: Files or directories to lint (directories recurse).
@@ -515,8 +667,11 @@ def lint_paths(
             files.extend(sorted(path.rglob("*.py")))
         else:
             files.append(path)
-    violations: list[Violation] = []
-    for file_path in files:
-        violations.extend(lint_file(file_path, base))
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return violations
+    sources = [
+        (
+            file_path.resolve().relative_to(base).as_posix(),
+            file_path.read_text(encoding="utf-8"),
+        )
+        for file_path in files
+    ]
+    return lint_modules(sources)

@@ -1,0 +1,158 @@
+"""Lemma-1 soundness pass: DD012.
+
+Lemma 1 (PAPER.md §V) composes per-round fidelity contributions
+multiplicatively; the composed bound is only sound while every weight,
+child edge, and fidelity accumulator changes *through* the sanctioned
+APIs (``Package`` edge builders, backend engines, strategy round
+records).  DDSan audits this at runtime; DD012 is its compile-time
+counterpart, so the upcoming node-replacement strategy (ROADMAP item 4)
+lands against a checked contract.  Outside ``repro.dd.*`` and
+``repro.core.*`` the pass flags:
+
+* writes to fidelity accumulators (``.achieved_fidelity``,
+  ``.requested_fidelity``) or to ``.rounds`` (including in-place
+  mutator calls like ``.rounds.append(...)``) — the Lemma-1 ledger;
+* writes into DD structure: item-assignment on ``.edges`` /
+  ``.children`` and writes to ``.weight`` / ``.index`` (the arena
+  slot id).
+
+DD003 already forbids *rebinding* ``.level``/``.edges`` wholesale; this
+pass closes the in-place and accounting-state gaps with dataflow-grade
+reporting so the two read as one family.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..dataflow import FunctionScope, ProjectIndex, iter_scope_nodes
+from ..ddlint import Violation
+
+__all__ = ["check_soundness"]
+
+#: Packages whose modules own the mutation APIs (Package facade,
+#: backend engines, strategies, fidelity accounting).
+_SANCTIONED = ("repro.dd", "repro.core")
+
+#: Lemma-1 ledger attributes: only strategies/engines may write them.
+_LEDGER_ATTRS = frozenset({"achieved_fidelity", "requested_fidelity"})
+
+#: DD structure attributes whose *elements* must never be written.
+_STRUCT_ATTRS = frozenset({"edges", "children"})
+
+#: Scalar DD attributes that identify a node/edge in a backend.
+_SLOT_ATTRS = frozenset({"weight", "index"})
+
+#: In-place mutators that would grow/shrink the round ledger.
+_MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "clear", "pop", "remove"}
+)
+
+
+def _is_sanctioned(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in _SANCTIONED
+    )
+
+
+def _span(node: ast.AST) -> tuple[int, int]:
+    line = getattr(node, "lineno", 1)
+    return (line, getattr(node, "end_lineno", None) or line)
+
+
+def check_soundness(project: ProjectIndex) -> list[Violation]:
+    """Run DD012 over every non-sanctioned module."""
+    findings: list[Violation] = []
+    for scope in sorted(
+        project.functions.values(), key=lambda s: (s.path, s.qualname)
+    ):
+        if _is_sanctioned(scope.module):
+            continue
+        for node in iter_scope_nodes(scope):
+            finding = _classify(scope, node)
+            if finding is not None:
+                findings.append(finding)
+    return findings
+
+
+def _classify(scope: FunctionScope, node: ast.AST) -> Violation | None:
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for target in targets:
+            hazard = _target_hazard(target)
+            if hazard is not None:
+                return _violation(scope, node, hazard)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "rounds"
+        ):
+            return _violation(
+                scope,
+                node,
+                f".rounds.{func.attr}() mutates the Lemma-1 round "
+                "ledger in place",
+            )
+    return None
+
+
+def _target_hazard(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Attribute):
+        if target.attr in _LEDGER_ATTRS:
+            return (
+                f"assignment to .{target.attr} rewrites the Lemma-1 "
+                "fidelity ledger"
+            )
+        if target.attr == "rounds":
+            return (
+                "assignment to .rounds replaces the Lemma-1 round "
+                "ledger"
+            )
+        if target.attr in _SLOT_ATTRS and isinstance(
+            target.value, ast.Name
+        ):
+            return (
+                f"assignment to .{target.attr} rewrites DD "
+                "node/edge identity"
+            )
+    if isinstance(target, ast.Subscript) and isinstance(
+        target.value, ast.Attribute
+    ):
+        if target.value.attr in _STRUCT_ATTRS:
+            return (
+                f"item assignment into .{target.value.attr} mutates "
+                "hash-consed DD structure in place"
+            )
+    return None
+
+
+def _violation(
+    scope: FunctionScope, node: ast.AST, hazard: str
+) -> Violation:
+    line = getattr(node, "lineno", 1)
+    return Violation(
+        rule="DD012",
+        path=scope.path,
+        line=line,
+        col=getattr(node, "col_offset", 0),
+        message=(
+            f"{hazard}; module {scope.module} is outside the "
+            "sanctioned mutation APIs (repro.dd.*, repro.core.*) — "
+            "route the change through Package/backend/strategy methods "
+            "so Lemma-1 accounting stays sound"
+        ),
+        trace=(
+            f"{scope.path}:{line} {scope.display_name}: {hazard}",
+            f"module {scope.module} is not under repro.dd.* / "
+            "repro.core.*",
+        ),
+        span=_span(node),
+    )

@@ -589,11 +589,13 @@ def _install_drain_signals(request_drain) -> "dict | None":
     def _on_signal(signum, frame) -> None:
         state["signals"] += 1
         if state["signals"] == 1:
-            print(
-                "drain requested: in-flight jobs finish or checkpoint, "
-                "queued jobs are skipped (signal again to abort hard)",
-                file=sys.stderr,
-                flush=True,
+            # os.write is async-signal-safe; print() re-enters the
+            # buffered stderr stream and can raise RuntimeError (or
+            # deadlock) if the signal lands mid-write (DD010).
+            os.write(
+                2,
+                b"drain requested: in-flight jobs finish or checkpoint, "
+                b"queued jobs are skipped (signal again to abort hard)\n",
             )
             request_drain()
         else:
@@ -1022,6 +1024,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 2
 
 
+def _lint_findings_document(violations, report=None, baseline_path=None):
+    """Machine-readable lint result (the ``lint --format json`` shape)."""
+    by_rule: dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    document = {
+        "version": 1,
+        "findings": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "message": violation.message,
+                "trace": list(violation.trace),
+            }
+            for violation in violations
+        ],
+        "summary": {"total": len(violations), "by_rule": by_rule},
+        "baseline": baseline_path,
+        "ratchet": None,
+    }
+    if report is not None:
+        document["ratchet"] = {
+            "new": dict(report.new),
+            "fixed": dict(report.fixed),
+            "matched": report.matched,
+            "clean": report.clean,
+        }
+    return document
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1034,6 +1068,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_baseline,
     )
     from .analysis.baseline import baseline_key
+
+    as_json = getattr(args, "format", "text") == "json"
 
     if args.list_rules:
         for code in sorted(RULES):
@@ -1066,9 +1102,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.no_ratchet:
-        for violation in violations:
-            print(violation.format())
-        print(f"{len(violations)} finding(s)")
+        if as_json:
+            print(json.dumps(_lint_findings_document(violations), indent=2))
+        else:
+            for violation in violations:
+                print(violation.format_verbose())
+            print(f"{len(violations)} finding(s)")
         return 1 if violations else 0
 
     try:
@@ -1077,11 +1116,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     report = compare_to_baseline(violations, baseline)
+    if as_json:
+        print(
+            json.dumps(
+                _lint_findings_document(
+                    violations, report, str(args.baseline)
+                ),
+                indent=2,
+            )
+        )
+        if report.new:
+            return 1
+        return 1 if (report.fixed and args.strict) else 0
     if report.new:
         print("ddlint: new findings (not in the baseline):")
         for violation in violations:
             if baseline_key(violation) in report.new:
-                print(f"  {violation.format()}")
+                for line in violation.format_verbose().splitlines():
+                    print(f"  {line}")
     for line in report.describe():
         print(line, file=sys.stderr)
     if report.new:
@@ -1380,6 +1432,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or a "
+        "machine-readable findings document (CI artifact)",
     )
     lint.set_defaults(handler=_cmd_lint)
 

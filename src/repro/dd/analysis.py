@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
+from . import ctable
 from .node import VNode
 from .vector import StateDD
 
@@ -64,7 +65,7 @@ def marginal_probabilities(
         for (node_id, partial), mass in masses.items():
             node = nodes_by_id[node_id]
             for bit, (edge_weight, child) in enumerate(node.edges):
-                if edge_weight == 0.0:
+                if ctable.is_zero(edge_weight):
                     continue
                 branch_mass = mass * abs(edge_weight) ** 2
                 key = partial
@@ -117,7 +118,7 @@ def outcome_entropy(state: StateDD, base: float = 2.0) -> float:
             node = nodes_by_id[node_id]
             node_plogp = plogp[node_id]
             for _bit, (edge_weight, child) in enumerate(node.edges):
-                if edge_weight == 0.0:
+                if ctable.is_zero(edge_weight):
                     continue
                 p_edge = abs(edge_weight) ** 2
                 branch_mass = mass * p_edge
@@ -156,7 +157,7 @@ def dominant_outcomes(
         if len(results) >= limit * 4:
             return
         weight, node = edge
-        if weight == 0.0:
+        if ctable.is_zero(weight):
             return
         mass = mass * abs(weight) ** 2
         if mass < threshold:

@@ -10,6 +10,7 @@ small "0" box.
 from __future__ import annotations
 
 
+from . import ctable
 from .matrix import OperatorDD
 from .vector import StateDD
 
@@ -68,7 +69,7 @@ def state_to_dot(state: StateDD, name: str = "state") -> str:
         lines.append(f'  {this} [shape=circle, label="q{node.level}"];')
         for bit, (edge_weight, child) in enumerate(node.edges):
             style = "dashed" if bit == 0 else "solid"
-            if edge_weight == 0.0:
+            if ctable.is_zero(edge_weight):
                 stub = f"zero{zero_counter}"
                 zero_counter += 1
                 lines.append(f'  {stub} [shape=box, label="0", height=0.2];')
@@ -116,7 +117,7 @@ def operator_to_dot(operator: OperatorDD, name: str = "operator") -> str:
         this = node_name(node)
         lines.append(f'  {this} [shape=circle, label="q{node.level}"];')
         for selector, (edge_weight, child) in enumerate(node.edges):
-            if edge_weight == 0.0:
+            if ctable.is_zero(edge_weight):
                 continue
             label = _format_weight(edge_weight)
             tag = format(selector, "02b")

@@ -21,6 +21,7 @@ import math
 
 import numpy as np
 
+from . import ctable
 from .vector import StateDD
 
 #: Dense SVD guard: 2**_MAX_DENSE_QUBITS amplitudes at most.
@@ -54,7 +55,7 @@ def cut_rank(state: StateDD, cut: int) -> int:
         if node.level != cut:
             continue
         for weight, child in node.edges:
-            if weight == 0.0:
+            if ctable.is_zero(weight):
                 zero_seen = True
             else:
                 distinct.add(id(child))

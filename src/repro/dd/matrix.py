@@ -95,7 +95,7 @@ class OperatorDD:
             edge: MEdge, level: int, row: int, col: int, factor: complex
         ) -> None:
             weight, node = edge
-            if weight == 0.0:
+            if ctable.is_zero(weight):
                 return
             value = factor * weight
             if level < 0:

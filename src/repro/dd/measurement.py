@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import ctable
 from .node import VEdge, VNode, zero_vedge
 from .vector import StateDD
 
@@ -44,7 +45,7 @@ def project_qubit(
 
     def rebuild(edge: VEdge, level: int) -> VEdge:
         weight, node = edge
-        if weight == 0.0:
+        if ctable.is_zero(weight):
             return zero_vedge()
         if level < qubit:
             return edge

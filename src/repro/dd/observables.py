@@ -17,6 +17,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from . import ctable
 from .matrix import OperatorDD
 from .node import MEdge, zero_medge
 from .package import Package
@@ -58,7 +59,7 @@ def pauli_string_operator(
         for row in (0, 1):
             for col in (0, 1):
                 entry = complex(factor[row, col])
-                if entry == 0.0 or edge[0] == 0.0:
+                if ctable.is_zero(entry) or ctable.is_zero(edge[0]):
                     children.append(zero_medge())
                 else:
                     children.append((entry * edge[0], edge[1]))

@@ -141,7 +141,7 @@ class StateDD:
 
         def fill(edge: VEdge, level: int, offset: int, factor: complex) -> None:
             weight, node = edge
-            if weight == 0.0:
+            if ctable.is_zero(weight):
                 return
             value = factor * weight
             if level < 0:
@@ -216,7 +216,7 @@ class StateDD:
         """
         weight, node = self.edge
         magnitude = abs(weight)
-        if magnitude == 0.0:
+        if ctable.is_zero(weight):
             raise ValueError("cannot renormalize the zero state")
         return StateDD((weight / magnitude, node), self.num_qubits, self.package)
 
@@ -279,7 +279,7 @@ class StateDD:
                 if node is None or node.level != level:
                     continue
                 for bit, (weight, child) in enumerate(node.edges):
-                    if weight == 0.0:
+                    if ctable.is_zero(weight):
                         continue
                     branch_probability = probability * abs(weight) ** 2
                     if level == qubit:

@@ -552,13 +552,17 @@ class SimDaemon:
 
     def _tick(self) -> None:
         """One supervision pass; all state mutation happens here or in
-        the handler threads, both under the state lock."""
+        the handler threads, both under the state lock.  Blocking work
+        (drained-queue persistence) is collected under the lock and
+        performed after release (DD009 discipline)."""
         with self._lock:
             self._pump_results()
             self._check_workers()
             self._enforce_hard_deadlines()
             self._dispatch()
-            self._advance_drain()
+            to_persist = self._advance_drain()
+        if to_persist:
+            self._persist_drained_queue(to_persist)
 
     def _pump_results(self) -> None:
         for event in self.supervisor.poll():
@@ -637,25 +641,31 @@ class SimDaemon:
             )
             record.events.append(f"attempt {record.attempts} dispatched")
 
-    def _advance_drain(self) -> None:
+    def _advance_drain(self) -> list[JobRecord]:
+        """Advance the drain state machine under the state lock.
+
+        Returns the records whose specs still need persisting; the
+        caller writes them to disk *after* releasing the lock so file
+        I/O never runs inside the lock region (DD009).
+        """
+        queued: list[JobRecord] = []
         if not self.draining:
-            return
+            return queued
         if not self._drain_swept:
             self._drain_swept = True
             cancelled = self.supervisor.cancel_all()
-            queued: list[JobRecord] = []
             for item in self.queue.drain():
                 record = self._jobs.get(item.job_id)
                 if record is not None and record.status == "queued":
                     queued.append(record)
                     self._finalize(record, "drained")
-            self._persist_drained_queue(queued)
             self._log(
                 f"draining: cancelled {cancelled} in-flight job(s), "
                 f"parked {len(queued)} queued job(s)"
             )
         if not self.supervisor.busy_jobs:
             self._stopped.set()
+        return queued
 
     # ------------------------------------------------------------------
     # Result application

@@ -1,0 +1,13 @@
+"""Seeded DD007 near-miss negative: the same alias-and-helper shape,
+but math.hypot is CPython's own scalar algorithm — exactly what the
+ulp contract prescribes — so the pass must stay silent."""
+
+from math import hypot as fast_hypot
+
+
+def _magnitudes(re_lane: list, im_lane: list) -> list:
+    return [fast_hypot(re, im) for re, im in zip(re_lane, im_lane)]
+
+
+def norm_lanes(re_lane: list, im_lane: list) -> list:
+    return _magnitudes(re_lane, im_lane)

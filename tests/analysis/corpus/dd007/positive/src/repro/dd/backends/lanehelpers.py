@@ -1,0 +1,13 @@
+"""Seeded DD007 positive: a banned ufunc behind an aliased import and a
+helper function — the exact shape the old substring scan ("np.hypot"
+in source) provably misses."""
+
+from numpy import hypot as fast_hypot
+
+
+def _magnitudes(re_lane: list, im_lane: list) -> object:
+    return fast_hypot(re_lane, im_lane)
+
+
+def norm_lanes(re_lane: list, im_lane: list) -> object:
+    return _magnitudes(re_lane, im_lane)

@@ -1,0 +1,13 @@
+"""Seeded DD008 near-miss negative: the same complex128 inputs, but the
+product is decomposed into float64 .real/.imag lanes (the sanctioned
+kernel shape) — the pass must stay silent."""
+
+import numpy as np
+
+
+def mul_lanes(a: list, b: list) -> tuple:
+    an = np.array(a, dtype=np.complex128)
+    bn = np.array(b, dtype=np.complex128)
+    rr = an.real * bn.real - an.imag * bn.imag
+    ri = an.real * bn.imag + an.imag * bn.real
+    return rr, ri

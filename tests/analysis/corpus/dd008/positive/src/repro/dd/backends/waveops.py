@@ -1,0 +1,10 @@
+"""Seeded DD008 positive: a native complex128 array multiply in lane-op
+code — numpy may FMA-contract it, breaking the ulp contract."""
+
+import numpy as np
+
+
+def mul_lanes(a: list, b: list) -> object:
+    an = np.array(a, dtype=np.complex128)
+    bn = np.array(b, dtype=np.complex128)
+    return an * bn

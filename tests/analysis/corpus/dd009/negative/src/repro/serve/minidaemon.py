@@ -1,0 +1,20 @@
+"""Seeded DD009 near-miss negative: the state is snapshotted under the
+lock and persisted after release (the sanctioned shape)."""
+
+import json
+import threading
+
+
+class MiniDaemon:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict = {}
+
+    def tick(self) -> None:
+        with self._lock:
+            snapshot = dict(self._jobs)
+        self._persist(snapshot)
+
+    def _persist(self, snapshot: dict) -> None:
+        with open("state.json", "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)

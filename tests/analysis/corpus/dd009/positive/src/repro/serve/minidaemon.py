@@ -1,0 +1,19 @@
+"""Seeded DD009 positive: file I/O reached transitively while the
+daemon state lock is held."""
+
+import json
+import threading
+
+
+class MiniDaemon:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict = {}
+
+    def tick(self) -> None:
+        with self._lock:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        with open("state.json", "w", encoding="utf-8") as handle:
+            json.dump(self._jobs, handle)

@@ -1,0 +1,14 @@
+"""Seeded DD010 near-miss negative: the fork-context spawn happens
+first; the thread starts only after the child exists."""
+
+import threading
+from multiprocessing import get_context
+
+
+def launch(worker: object, beat: object) -> None:
+    ctx = get_context("fork")
+    proc = ctx.Process(target=worker)
+    proc.start()
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    proc.join(1.0)

@@ -1,0 +1,14 @@
+"""Seeded DD010 positive: a thread is started before a fork-context
+process spawn in the same function — the child inherits it mid-state."""
+
+import threading
+from multiprocessing import get_context
+
+
+def launch(worker: object, beat: object) -> None:
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    ctx = get_context("fork")
+    proc = ctx.Process(target=worker)
+    proc.start()
+    proc.join(1.0)

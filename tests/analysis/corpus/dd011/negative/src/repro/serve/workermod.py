@@ -1,0 +1,16 @@
+"""Seeded DD011 near-miss negative: the worker communicates through a
+queue passed as a parameter (the sanctioned channel)."""
+
+from multiprocessing import get_context
+
+
+def _worker(task: object, results: object) -> None:
+    results.put(task)
+
+
+def launch(task: object) -> None:
+    ctx = get_context("fork")
+    results = ctx.Queue()
+    proc = ctx.Process(target=_worker, args=(task, results))
+    proc.start()
+    proc.join(1.0)

@@ -1,0 +1,18 @@
+"""Seeded DD011 positive: a fork worker writes module-level state — the
+write lands in the child's copy-on-write page and is lost to the
+parent."""
+
+from multiprocessing import get_context
+
+RESULTS: list = []
+
+
+def _worker(task: object) -> None:
+    RESULTS.append(task)
+
+
+def launch(task: object) -> None:
+    ctx = get_context("fork")
+    proc = ctx.Process(target=_worker, args=(task,))
+    proc.start()
+    proc.join(1.0)

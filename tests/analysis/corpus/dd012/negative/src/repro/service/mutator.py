@@ -1,0 +1,9 @@
+"""Seeded DD012 near-miss negative: the same attributes, read-only —
+summarizing the ledger is fine anywhere."""
+
+
+def summarize(stats: object) -> dict:
+    return {
+        "achieved_fidelity": stats.achieved_fidelity,
+        "rounds": len(stats.rounds),
+    }

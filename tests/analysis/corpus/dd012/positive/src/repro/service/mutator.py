@@ -1,0 +1,7 @@
+"""Seeded DD012 positive: Lemma-1 accounting state mutated outside the
+sanctioned repro.dd / repro.core APIs."""
+
+
+def forge_fidelity(stats: object, round_record: object) -> None:
+    stats.achieved_fidelity = 1.0
+    stats.rounds.append(round_record)

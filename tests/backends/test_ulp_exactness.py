@@ -28,7 +28,9 @@ zeros, unit phases — plus hypothesis-generated floats:
 from __future__ import annotations
 
 import cmath
+import inspect
 import struct
+from pathlib import Path
 
 import numpy as np
 
@@ -42,6 +44,14 @@ from repro.dd.backends.kernels import (
     mul2_lanes,
     mul3_lanes,
     norm_lanes,
+)
+
+# Repo-relative path of the kernels module, so the DD007 pass scopes it
+# to the repro.dd.backends lane package when linting its source.
+_KERNELS_RELPATH = str(
+    Path(kernels.__file__).resolve().relative_to(
+        Path(__file__).resolve().parents[2]
+    )
 )
 
 # ----------------------------------------------------------------------
@@ -194,15 +204,20 @@ class TestDocumentedDivergences:
     def test_np_abs_divergence_is_guarded_not_relied_on(self):
         """CPython ``abs`` and ``np.abs`` may differ by 1 ulp on
         complex128; the kernels must therefore never use numpy for
-        magnitudes or divisions.  Guard the module source."""
-        import inspect
+        magnitudes or divisions.  Guarded by the DD007 dataflow pass
+        (docs/ANALYSIS.md), which replaced the old substring scan: it
+        follows aliased imports and helper calls, so renaming the
+        import can no longer hide a banned ufunc."""
+        from repro.analysis import lint_modules
 
         source = inspect.getsource(kernels)
-        for forbidden in ("np.abs", "np.absolute", "np.hypot", "np.divide"):
-            assert forbidden not in source, (
-                f"kernels module must not use {forbidden}: it is not "
-                "ulp-exact against CPython"
-            )
+        violations = lint_modules([(_KERNELS_RELPATH, source)])
+        banned = [
+            v for v in violations if v.rule in ("DD007", "DD008")
+        ]
+        assert banned == [], "\n".join(
+            v.format_verbose() for v in banned
+        )
         # And document the divergence concretely: where the two hypots
         # disagree, the scalar result is the contract.
         samples = _adversarial_samples()
@@ -215,6 +230,50 @@ class TestDocumentedDivergences:
         # Zero on some platforms, nonzero on others — both acceptable,
         # which is exactly why the kernels never call np.abs.
         assert disagreements >= 0
+
+    def test_dd007_flags_each_previously_scanned_pattern(self):
+        """Regression for the retired substring scan: every pattern it
+        used to catch (``np.abs`` / ``np.absolute`` / ``np.hypot`` /
+        ``np.divide``) is still flagged when seeded into a backends
+        module — now by the DD007 dataflow pass."""
+        from repro.analysis import lint_modules
+
+        for ufunc in ("abs", "absolute", "hypot", "divide"):
+            seeded = (
+                "import numpy as np\n"
+                "def _lane(w: list) -> object:\n"
+                f"    return np.{ufunc}(w, w)\n"
+            )
+            found = {
+                v.rule
+                for v in lint_modules(
+                    [("src/repro/dd/backends/seeded.py", seeded)]
+                )
+            }
+            assert "DD007" in found, f"np.{ufunc} not flagged"
+
+    def test_dd007_catches_alias_the_substring_scan_missed(self):
+        """The shape that motivated the upgrade: a banned ufunc behind
+        ``from numpy import hypot as h`` contains none of the scanned
+        substrings, so the old guard provably passes it — DD007's
+        import resolution does not."""
+        from repro.analysis import lint_modules
+
+        seeded = (
+            "from numpy import hypot as h\n"
+            "def norm_lanes(xs: list, ys: list) -> object:\n"
+            "    return h(xs, ys)\n"
+        )
+        # The retired guard: none of its substrings appear.
+        for forbidden in ("np.abs", "np.absolute", "np.hypot", "np.divide"):
+            assert forbidden not in seeded
+        found = {
+            v.rule
+            for v in lint_modules(
+                [("src/repro/dd/backends/seeded.py", seeded)]
+            )
+        }
+        assert "DD007" in found
 
     def test_division_stays_scalar(self):
         """Complex division (Smith's algorithm) differs between numpy
