@@ -684,6 +684,35 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             )
         for job_hash in sorted(checkpointed - {h for h, _ in rows}):
             print(f"{job_hash[:12]}  <checkpoint only — resumable>")
+        ownership = store.read_ownership_log()
+        if ownership:
+            # Group the cluster router's ownership events by job and
+            # surface the shard chain — jobs that survived a failover
+            # or a stealing move show every hop.
+            chains: dict = {}
+            for event in ownership:
+                key = str(
+                    event.get("cluster_job") or event.get("job_hash", "")
+                )
+                chains.setdefault(key, []).append(event)
+            moved = {
+                key: events
+                for key, events in chains.items()
+                if any(e.get("event") != "assigned" for e in events)
+            }
+            print(
+                f"cluster: {len(chains)} routed job(s), "
+                f"{len(moved)} moved by failover/stealing"
+            )
+            for key in sorted(moved):
+                events = moved[key]
+                hops = " -> ".join(
+                    f"{e.get('shard', '?')}"
+                    f"[{e.get('event', '?')}]"
+                    for e in events
+                )
+                job_hash = str(events[0].get("job_hash", ""))[:12]
+                print(f"  {key}  {job_hash}  {hops}")
         quarantined = store.quarantine_report()
         if quarantined:
             print(
@@ -811,7 +840,97 @@ def _serve_client(args: argparse.Namespace):
     return ServeClient(socket_path=socket_path)
 
 
+def _parse_quotas(pairs: "list[str] | None") -> dict:
+    """Parse repeated ``--quota TENANT=N`` options."""
+    quotas: dict = {}
+    for pair in pairs or []:
+        tenant, separator, value = pair.partition("=")
+        if not separator:
+            raise ValueError(f"--quota needs TENANT=N, got {pair!r}")
+        quotas[tenant] = int(value)
+    return quotas
+
+
+def _parse_rate_limits(pairs: "list[str] | None") -> dict:
+    """Parse repeated ``--rate-limit TENANT=RATE[:BURST]`` options."""
+    limits: dict = {}
+    for pair in pairs or []:
+        tenant, separator, value = pair.partition("=")
+        if not separator:
+            raise ValueError(
+                f"--rate-limit needs TENANT=RATE[:BURST], got {pair!r}"
+            )
+        rate_text, _, burst_text = value.partition(":")
+        rate = float(rate_text)
+        burst = float(burst_text) if burst_text else max(1.0, 2.0 * rate)
+        limits[tenant] = (rate, burst)
+    return limits
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``serve --cluster N``: shard daemons + router front door."""
+    from .serve import ServeCluster
+
+    try:
+        quotas = _parse_quotas(args.quota)
+        rate_limits = _parse_rate_limits(args.rate_limit)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    # The router takes the endpoint the CLI was given; shard sockets
+    # live in their own short-path directory.
+    shard_args: list[str] = []
+    if args.fault_plan:
+        shard_args += ["--fault-plan", args.fault_plan]
+    if args.no_cache:
+        shard_args += ["--no-cache"]
+    if args.ladder:
+        shard_args += ["--ladder", args.ladder]
+    cluster = ServeCluster(
+        store,
+        shards=args.cluster,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        shard_args=shard_args,
+        quotas=quotas,
+        rate_limits=rate_limits,
+    )
+    if args.port:
+        cluster.router.socket_path = None
+        cluster.router.host = args.host
+        cluster.router.port = args.port
+    elif args.socket:
+        cluster.router.socket_path = args.socket
+        os.makedirs(os.path.dirname(args.socket) or ".", exist_ok=True)
+    else:
+        socket_path = _default_socket(args.store)
+        os.makedirs(os.path.dirname(socket_path), exist_ok=True)
+        cluster.router.socket_path = socket_path
+    previous = _install_drain_signals(cluster.request_drain)
+    try:
+        cluster.serve_forever()
+    except KeyboardInterrupt:
+        print("aborted hard; draining was skipped", file=sys.stderr)
+        cluster.shutdown()
+        return 130
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        _restore_signals(previous)
+    if args.metrics:
+        snapshot = cluster.router.handle_request({"op": "metrics"})
+        snapshot.pop("ok", None)
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    return EXIT_DRAINED if cluster.draining else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.cluster:
+        return _cmd_serve_cluster(args)
     _select_backend(args)
     exit_code = _arm_fault_plan(args.fault_plan)
     if exit_code:
@@ -841,6 +960,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         max_attempts=args.max_attempts,
         use_cache=not args.no_cache,
+        shard_id=args.shard_id,
         socket_path=socket_path,
         host=args.host,
         port=args.port,
@@ -903,11 +1023,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         response = client.submit(
             spec,
             priority=args.priority,
+            tenant=args.tenant or None,
             soft_timeout=args.soft_timeout,
             hard_timeout=args.hard_timeout,
         )
     except ServeError as error:
-        if error.error in ("shed", "breaker_open", "draining"):
+        if error.error in (
+            "shed",
+            "breaker_open",
+            "draining",
+            "quota",
+            "rate_limited",
+        ):
             after = error.retry_after
             hint = f" (retry after ~{after}s)" if after else ""
             print(f"rejected: {error.error}{hint}", file=sys.stderr)
@@ -975,14 +1102,85 @@ def _cmd_drain(args: argparse.Namespace) -> int:
 
     client = _serve_client(args)
     try:
-        client.drain()
+        client.drain(shard=args.shard or None)
     except ServeError as error:
         print(f"error: {error.error}", file=sys.stderr)
         return 1
     except OSError as error:
         print(f"error: cannot reach daemon: {error}", file=sys.stderr)
         return 1
-    print("drain requested")
+    if args.shard:
+        print(f"drain requested for shard {args.shard}")
+    else:
+        print("drain requested")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        metrics = client.metrics()
+        listing = client.jobs() if args.jobs else None
+    except ServeError as error:
+        print(f"error: {error.error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach router: {error}", file=sys.stderr)
+        return 1
+    if not metrics.get("cluster"):
+        print(
+            "error: endpoint is a single daemon, not a cluster router",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"draining: {metrics.get('draining', False)}")
+    print("shards:")
+    for shard_id in sorted(metrics.get("shards", {})):
+        shard = metrics["shards"][shard_id]
+        print(
+            f"  {shard_id:8s} {shard['state']:9s} "
+            f"queue={shard['queue_depth']}/{shard['queue_capacity']} "
+            f"running={shard['running']} "
+            f"ladder_tier={shard['ladder_tier']} "
+            f"breaker_open={shard['breaker_open']}"
+        )
+    tenants = metrics.get("tenants", {})
+    if tenants:
+        print("tenants:")
+        for tenant in sorted(tenants):
+            entry = tenants[tenant]
+            quota = (
+                f" quota={entry['quota']}" if "quota" in entry else ""
+            )
+            print(
+                f"  {tenant:12s} queued={entry['queued']} "
+                f"running={entry['running']} final={entry['final']} "
+                f"readmissions={entry['readmissions']}{quota}"
+            )
+    statuses = metrics.get("jobs_by_status", {})
+    if statuses:
+        summary = ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(statuses.items())
+        )
+        print(f"jobs: {summary}")
+    if listing is not None:
+        print("routed jobs:")
+        for job in listing.get("jobs", []):
+            moves = (
+                f" ({job['readmissions']} move(s): "
+                + "; ".join(job["history"])
+                + ")"
+                if job.get("readmissions")
+                else ""
+            )
+            print(
+                f"  {job['job_id']}  {job['job_hash'][:12]}  "
+                f"{job['status']:10s} shard={job['shard'] or '-'} "
+                f"tenant={job['tenant']}{moves}"
+            )
     return 0
 
 
@@ -1680,8 +1878,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deterministic fault-injection plan (JSON; inherited "
         "by forked workers — chaos testing)",
     )
+    serve.add_argument(
+        "--shard-id",
+        default="",
+        help="cluster shard name (namespaces the drained-queue file; "
+        "set by 'serve --cluster' on each spawned shard)",
+    )
+    serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a sharded tier: N shard daemons over the shared "
+        "store plus a router front door on the endpoint above "
+        "(docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--quota",
+        action="append",
+        metavar="TENANT=N",
+        help="cluster router: max in-flight jobs per tenant "
+        "(repeatable; '*' sets the default for unlisted tenants)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        action="append",
+        metavar="TENANT=RATE[:BURST]",
+        help="cluster router: token-bucket admission rate per tenant "
+        "in jobs/second (repeatable; '*' = default; burst defaults "
+        "to 2x rate)",
+    )
     _backend_option(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster", help="inspect a running sharded tier (serve --cluster)"
+    )
+    cluster_sub = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_status = cluster_sub.add_parser(
+        "status",
+        help="per-shard health/load and per-tenant usage from the router",
+    )
+    _endpoint_options(cluster_status)
+    cluster_status.add_argument(
+        "--jobs",
+        action="store_true",
+        help="also list every routed job with its ownership history",
+    )
+    cluster_status.set_defaults(handler=_cmd_cluster)
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running daemon"
@@ -1713,6 +1959,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--priority", type=int, default=0, help="higher runs first"
+    )
+    submit.add_argument(
+        "--tenant",
+        default="",
+        help="tenant label for cluster quotas/rate limits and metrics "
+        "breakdowns (default: 'default')",
     )
     submit.add_argument(
         "--soft-timeout",
@@ -1757,6 +2009,12 @@ def build_parser() -> argparse.ArgumentParser:
         "drain", help="ask a running daemon to drain and exit"
     )
     _endpoint_options(drain)
+    drain.add_argument(
+        "--shard",
+        default="",
+        help="cluster router: drain one shard, redistributing its "
+        "queue to the others (default: drain the whole endpoint)",
+    )
     drain.set_defaults(handler=_cmd_drain)
     return parser
 

@@ -30,6 +30,7 @@ from .errors import (
     ArtifactIntegrityError,
     CheckpointIntegrityError,
     MemoryBudgetExceeded,
+    PartialWriteFault,
     PermanentFault,
     TransientFault,
     classify_exception,
@@ -59,6 +60,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "MemoryBudgetExceeded",
+    "PartialWriteFault",
     "PermanentFault",
     "TransientFault",
     "arm",

@@ -55,6 +55,16 @@ class CheckpointIntegrityError(ArtifactIntegrityError):
     """
 
 
+class PartialWriteFault(ConnectionResetError):
+    """An injected torn write on a network path (``partial_write`` kind).
+
+    Raised to the *writer* after only part of a frame reached the peer —
+    the peer sees a torn line, the writer sees a reset.  Subclasses
+    :class:`ConnectionResetError` so :func:`classify_exception` treats
+    it as transient and retry/failover logic applies unchanged.
+    """
+
+
 class MemoryBudgetExceeded(PermanentFault):
     """Memory pressure persists but the fidelity floor forbids degrading.
 

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from dataclasses import dataclass
 
 from ..obs import get_recorder
-from .errors import PermanentFault, TransientFault
+from .errors import PartialWriteFault, PermanentFault, TransientFault
 from .plan import FILE_KINDS, FaultPlan, FaultRule
 
 ENV_PLAN = "REPRO_FAULTS"
@@ -157,6 +158,16 @@ class FaultInjector:
         if rule.kind == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
             raise RuntimeError("unreachable: SIGKILL returned")
+        if rule.kind == "conn_refused":
+            raise ConnectionRefusedError(
+                f"injected connection refused at {where}"
+            )
+        if rule.kind == "partial_write":
+            raise PartialWriteFault(f"injected partial write at {where}")
+        if rule.kind == "slow":
+            delay = rule.args.get("delay_seconds", 0.05)
+            time.sleep(max(0.0, float(delay)))  # type: ignore[arg-type]
+            return
         if rule.kind in FILE_KINDS:
             path = context.get("path")
             if not isinstance(path, str) or not os.path.exists(path):

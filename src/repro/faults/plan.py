@@ -49,6 +49,11 @@ SITES: dict[str, str] = {
         "DDSimulator.run, before applying the operation whose index "
         "the context reports"
     ),
+    "cluster.rpc": (
+        "the cluster router's request path to a shard daemon, before "
+        "the connection is made — network fault kinds (conn_refused, "
+        "partial_write, slow) target this site"
+    ),
 }
 
 #: Known fault kinds: name -> effect when the rule fires.
@@ -60,6 +65,17 @@ KINDS: dict[str, str] = {
     "kill": "SIGKILL the current process (crash, no cleanup)",
     "truncate": "truncate the file named by the site's path context",
     "corrupt": "flip one byte of the file named by the path context",
+    "conn_refused": (
+        "raise ConnectionRefusedError (peer down / not listening)"
+    ),
+    "partial_write": (
+        "raise repro.faults.errors.PartialWriteFault; network callers "
+        "send a torn frame to the peer before failing"
+    ),
+    "slow": (
+        "sleep args.delay_seconds (default 0.05) then proceed — "
+        "latency, not failure"
+    ),
 }
 
 #: Kinds that mutate a file and therefore need ``path`` context.

@@ -19,25 +19,47 @@ degrades availability:
 * :mod:`repro.serve.client` / :mod:`repro.serve.protocol` — the
   JSON-lines client and wire format.
 
-See ``docs/SERVE.md`` for the serving model and deadline semantics.
+The sharded tier (``repro-sim serve --cluster N``) stacks three more
+modules on the same protocol:
+
+* :mod:`repro.serve.membership` — :class:`Membership`: shard health
+  state machine + rendezvous placement.
+* :mod:`repro.serve.router` — :class:`ClusterRouter`: the front door;
+  heartbeat supervision, failover re-admission, work stealing, tenant
+  quotas and rate limits.
+* :mod:`repro.serve.cluster` — :class:`ServeCluster`: shard daemons as
+  subprocesses over one shared store, router in-process.
+
+See ``docs/SERVE.md`` for the serving model, deadline semantics, and
+the cluster topology.
 """
 
 from .breaker import CircuitBreaker
 from .client import ServeClient, ServeError
+from .cluster import ServeCluster
 from .daemon import JobRecord, SimDaemon
 from .degrade import DEGRADABLE_KINDS, FidelityLadder, TieredSpec
+from .membership import Membership, ShardInfo
+from .protocol import ProtocolError
 from .queue import AdmissionQueue, QueueItem
+from .router import ClusterJob, ClusterRouter
 from .supervisor import WorkerEvent, WorkerSupervisor
 
 __all__ = [
     "AdmissionQueue",
     "CircuitBreaker",
+    "ClusterJob",
+    "ClusterRouter",
     "DEGRADABLE_KINDS",
     "FidelityLadder",
     "JobRecord",
+    "Membership",
+    "ProtocolError",
     "QueueItem",
     "ServeClient",
+    "ServeCluster",
     "ServeError",
+    "ShardInfo",
     "SimDaemon",
     "TieredSpec",
     "WorkerEvent",

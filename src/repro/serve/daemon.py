@@ -59,10 +59,15 @@ from .supervisor import WorkerSupervisor
 #: when a drain completed; the next daemon start re-admits them.
 DRAINED_QUEUE_FILE = "drained-queue.json"
 
-#: Job states a record can rest in (no further transitions).
+#: Job states a record can rest in (no further transitions).  A
+#: ``stolen`` job left this daemon's queue for a peer shard (the
+#: cluster router re-admits it elsewhere; see repro.serve.router).
 FINAL_STATES = frozenset(
-    {"completed", "timeout", "deadline", "drained", "error"}
+    {"completed", "timeout", "deadline", "drained", "error", "stolen"}
 )
+
+#: Tenant recorded for submissions that carry no ``tenant`` field.
+DEFAULT_TENANT = "default"
 
 
 @dataclass
@@ -71,6 +76,7 @@ class JobRecord:
 
     job_id: str
     spec: JobSpec
+    tenant: str = DEFAULT_TENANT
     priority: int = 0
     tier: int = 0
     f_final_cap: float | None = None
@@ -97,6 +103,7 @@ class JobRecord:
             "job_hash": self.spec.content_hash(),
             "name": self.spec.display_name,
             "status": self.status,
+            "tenant": self.tenant,
             "priority": self.priority,
             "tier": self.tier,
             "f_final_cap": self.f_final_cap,
@@ -159,6 +166,28 @@ if hasattr(socketserver, "ThreadingUnixStreamServer"):
         daemon_threads = True
 
 
+def build_line_server(
+    owner, socket_path: str | None, host: str, port: int
+) -> tuple:
+    """Create the threading JSON-lines listener for ``owner``.
+
+    ``owner`` is any object with a ``handle_request(dict) -> dict``
+    method — the single daemon and the cluster router share this server
+    (and hence the exact wire behavior).  Returns ``(server, address)``
+    where address is the socket path or the bound ``(host, port)``.
+    """
+    if socket_path is not None:
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        server = _UnixServer(socket_path, _StreamHandler)
+        address: tuple[str, int] | str = socket_path
+    else:
+        server = _TCPServer((host, port), _StreamHandler)
+        address = server.server_address[:2]
+    server.daemon = owner  # type: ignore[attr-defined]
+    return server, address
+
+
 class SimDaemon:
     """Persistent simulation service over one artifact store.
 
@@ -173,6 +202,10 @@ class SimDaemon:
         max_attempts: Total executions allowed per job across worker
             deaths, hard kills, and transient failures.
         use_cache: Serve cached artifacts without simulating.
+        shard_id: Cluster shard name; namespaces the drained-queue
+            file so shards sharing one store never clobber each other,
+            and is stamped into ping/metrics/jobs responses.  Empty
+            for a standalone daemon (the pre-cluster file name).
         socket_path: Unix socket to listen on (preferred).
         host / port: TCP fallback when ``socket_path`` is None
             (``port=0`` picks a free port; see :attr:`address`).
@@ -190,6 +223,7 @@ class SimDaemon:
         heartbeat_timeout: float = 10.0,
         max_attempts: int = 3,
         use_cache: bool = True,
+        shard_id: str = "",
         socket_path: str | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -211,6 +245,7 @@ class SimDaemon:
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
         self.max_attempts = max_attempts
+        self.shard_id = shard_id
         self.socket_path = socket_path
         self.host = host
         self.port = port
@@ -254,17 +289,9 @@ class SimDaemon:
         self._started = True
         self.supervisor.start()
         self._restore_drained_queue()
-        if self.socket_path is not None:
-            if os.path.exists(self.socket_path):
-                os.unlink(self.socket_path)
-            self._server = _UnixServer(self.socket_path, _StreamHandler)
-            self.address = self.socket_path
-        else:
-            self._server = _TCPServer(
-                (self.host, self.port), _StreamHandler
-            )
-            self.address = self._server.server_address[:2]
-        self._server.daemon = self  # type: ignore[attr-defined]
+        self._server, self.address = build_line_server(
+            self, self.socket_path, self.host, self.port
+        )
         self._server_thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.1},
@@ -319,7 +346,12 @@ class SimDaemon:
     # ------------------------------------------------------------------
 
     def _drained_queue_path(self) -> str:
-        return os.path.join(self.store.root, "serve", DRAINED_QUEUE_FILE)
+        name = (
+            f"drained-queue-{self.shard_id}.json"
+            if self.shard_id
+            else DRAINED_QUEUE_FILE
+        )
+        return os.path.join(self.store.root, "serve", name)
 
     def _persist_drained_queue(self, records: list[JobRecord]) -> None:
         if not records:
@@ -327,7 +359,13 @@ class SimDaemon:
         path = self._drained_queue_path()
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = [
-            {"spec": record.spec.to_dict(), "priority": record.priority}
+            {
+                "spec": record.spec.to_dict(),
+                "priority": record.priority,
+                "tenant": record.tenant,
+                "soft_timeout": record.soft_timeout,
+                "hard_timeout": record.hard_timeout,
+            }
             for record in records
         ]
         with open(path, "w", encoding="utf-8") as handle:
@@ -360,6 +398,17 @@ class SimDaemon:
                     self._log(f"dropping malformed drained entry: {error}")
                     continue
                 record = self._new_record(spec, priority)
+                record.tenant = str(
+                    entry.get("tenant") or DEFAULT_TENANT
+                )
+                soft = entry.get("soft_timeout")
+                hard = entry.get("hard_timeout")
+                record.soft_timeout = (
+                    float(soft) if soft is not None else None
+                )
+                record.hard_timeout = (
+                    float(hard) if hard is not None else None
+                )
                 if self.queue.offer(
                     QueueItem(job_id=record.job_id, priority=priority)
                 ):
@@ -404,6 +453,7 @@ class SimDaemon:
             with self._lock:
                 return ok_response(
                     pong=True,
+                    shard=self.shard_id,
                     draining=self.draining,
                     queue_depth=self.queue.depth,
                 )
@@ -415,6 +465,10 @@ class SimDaemon:
             return self._handle_wait(message)
         if op == "metrics":
             return self._handle_metrics()
+        if op == "jobs":
+            return self._handle_jobs()
+        if op == "steal":
+            return self._handle_steal(message)
         if op == "drain":
             self.request_drain()
             return ok_response(draining=True)
@@ -464,6 +518,9 @@ class SimDaemon:
                     )
                 tiered = self.ladder.apply(spec, self.queue.utilization)
                 record = self._new_record(tiered.spec, priority)
+                record.tenant = str(
+                    message.get("tenant") or DEFAULT_TENANT
+                )
                 record.tier = tiered.tier
                 record.f_final_cap = tiered.f_final_cap
                 record.degraded = tiered.degraded
@@ -529,10 +586,27 @@ class SimDaemon:
         with self._lock:
             statuses: dict[str, int] = {}
             tiers: dict[str, int] = {}
+            tenants: dict[str, dict] = {}
             for record in self._jobs.values():
                 statuses[record.status] = statuses.get(record.status, 0) + 1
                 tiers[str(record.tier)] = tiers.get(str(record.tier), 0) + 1
+                tenant = tenants.setdefault(
+                    record.tenant,
+                    {"queued": 0, "running": 0, "final": 0, "total": 0},
+                )
+                tenant["total"] += 1
+                if record.status == "queued":
+                    tenant["queued"] += 1
+                elif record.status in ("dispatched", "running"):
+                    tenant["running"] += 1
+                elif record.final:
+                    tenant["final"] += 1
+            breaker = self.breaker.snapshot()
+            ladder_tier, ladder_cap = self.ladder.tier_for(
+                self.queue.utilization
+            )
             return ok_response(
+                shard=self.shard_id,
                 queue_depth=self.queue.depth,
                 queue_capacity=self.queue.capacity,
                 utilization=round(self.queue.utilization, 4),
@@ -542,8 +616,72 @@ class SimDaemon:
                 draining=self.draining,
                 jobs_by_status=statuses,
                 jobs_by_tier=tiers,
-                breaker=self.breaker.snapshot(),
+                tenants=tenants,
+                ladder_tier=ladder_tier,
+                ladder_cap=ladder_cap,
+                breaker=breaker,
+                breaker_open=sum(
+                    1
+                    for entry in breaker.values()
+                    if entry["state"] != "closed"
+                ),
                 recorder=obs.snapshot() if obs.enabled else {},
+            )
+
+    def _handle_jobs(self) -> dict:
+        """Compact status of every record — the router's sync primitive.
+
+        One bulk response per tick instead of per-job ``status`` calls;
+        the router uses it both as a liveness probe and to learn which
+        of its routed jobs reached a final state.
+        """
+        with self._lock:
+            jobs = [
+                {
+                    "job_id": record.job_id,
+                    "job_hash": record.spec.content_hash(),
+                    "status": record.status,
+                    "tenant": record.tenant,
+                }
+                for record in self._jobs.values()
+            ]
+            return ok_response(shard=self.shard_id, jobs=jobs)
+
+    def _handle_steal(self, message: dict) -> dict:
+        """Give up to ``max_jobs`` queued jobs to the cluster router.
+
+        The router re-admits them on a cooler (or surviving) shard;
+        here each stolen record finalizes as ``stolen`` so this shard
+        never also runs it — a stolen job has exactly one owner.
+        Returns the full submission payload (spec, tenant, priority,
+        deadlines) so nothing is lost in the move.
+        """
+        obs = get_recorder()
+        max_jobs = int(message.get("max_jobs", 0))
+        with self._lock:
+            stolen: list[dict] = []
+            for item in self.queue.steal(max_jobs):
+                record = self._jobs.get(item.job_id)
+                if record is None or record.status != "queued":
+                    continue
+                self._finalize(record, "stolen")
+                stolen.append(
+                    {
+                        "job_id": record.job_id,
+                        "job_hash": record.spec.content_hash(),
+                        "spec": record.spec.to_dict(),
+                        "priority": record.priority,
+                        "tenant": record.tenant,
+                        "soft_timeout": record.soft_timeout,
+                        "hard_timeout": record.hard_timeout,
+                    }
+                )
+            if obs.enabled and stolen:
+                obs.count("serve.stolen", len(stolen))
+            return ok_response(
+                shard=self.shard_id,
+                stolen=stolen,
+                queue_depth=self.queue.depth,
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Cluster membership: shard states and rendezvous placement.
+
+The router keeps one :class:`ShardInfo` per shard daemon and feeds two
+facts back into it from every supervision tick — *this probe succeeded*
+or *this probe failed*.  Membership turns those into a small state
+machine per shard::
+
+    up ──failure──▶ suspect ──failures ≥ threshold──▶ down
+    ▲                  │                                │
+    └────success───────┘◀───────────success─────────────┘
+
+``suspect`` shards still receive traffic (one failed probe is usually a
+blip); ``down`` shards receive none and their routed jobs are re-admitted
+to survivors (failover).  A ``down`` shard that answers a probe again is
+immediately ``up`` — but the jobs moved away from it stay moved: a job
+has exactly one owner at all times.  ``draining`` is sticky and set by
+an operator drain, never by probes.
+
+**Placement** is rendezvous (highest-random-weight) hashing: each shard
+scores ``sha256(shard_id ':' job_hash)`` and the shards are preferred in
+descending score order.  Unlike modulo hashing, removing a shard only
+moves the jobs that scored it first — every other job keeps its owner —
+and the full preference order doubles as the failover order: when the
+first choice is down, the second choice is the same shard every router
+restart, so placement stays deterministic cluster-wide with no
+coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+#: Shard states that may receive newly routed or re-admitted work.
+ROUTABLE_STATES = frozenset({"up", "suspect"})
+
+
+@dataclass
+class ShardInfo:
+    """The router's view of one shard daemon."""
+
+    shard_id: str
+    socket_path: str
+    state: str = "up"
+    failures: int = 0
+    #: Last synced load facts (from ``jobs``/``metrics`` probes); used
+    #: by the work-stealing heuristic and surfaced in ``metrics``.
+    queue_depth: int = 0
+    queue_capacity: int = 0
+    running: int = 0
+    breaker_open: int = 0
+    ladder_tier: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def routable(self) -> bool:
+        return self.state in ROUTABLE_STATES
+
+
+class Membership:
+    """Shard registry + health state machine + rendezvous placement.
+
+    Args:
+        shards: ``(shard_id, socket_path)`` pairs; the shard set is
+            fixed for the life of the router (shards restart in place;
+            they do not join or leave dynamically).
+        fail_threshold: Consecutive failed probes before a shard is
+            declared ``down`` and its jobs fail over.
+
+    Not thread-safe on its own — the router serializes access under its
+    state lock (probes themselves happen outside it; only the recorded
+    outcomes mutate this state).
+    """
+
+    def __init__(
+        self,
+        shards: list[tuple[str, str]],
+        fail_threshold: int = 3,
+    ) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be positive")
+        self.fail_threshold = fail_threshold
+        self._shards: dict[str, ShardInfo] = {}
+        for shard_id, socket_path in shards:
+            if shard_id in self._shards:
+                raise ValueError(f"duplicate shard id {shard_id!r}")
+            self._shards[shard_id] = ShardInfo(
+                shard_id=shard_id, socket_path=socket_path
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._shards.values())
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def get(self, shard_id: str) -> ShardInfo:
+        return self._shards[shard_id]
+
+    def snapshot(self) -> dict[str, dict]:
+        """Serializable per-shard view for ``metrics`` / ``cluster
+        status``."""
+        return {
+            info.shard_id: {
+                "state": info.state,
+                "failures": info.failures,
+                "queue_depth": info.queue_depth,
+                "queue_capacity": info.queue_capacity,
+                "running": info.running,
+                "breaker_open": info.breaker_open,
+                "ladder_tier": info.ladder_tier,
+            }
+            for info in self._shards.values()
+        }
+
+    # ------------------------------------------------------------------
+    # Health state machine
+    # ------------------------------------------------------------------
+
+    def record_success(self, shard_id: str) -> bool:
+        """A probe answered; returns True when the shard *recovered*
+        (was ``down`` and is routable again)."""
+        info = self._shards[shard_id]
+        info.failures = 0
+        if info.state == "draining":
+            return False
+        recovered = info.state == "down"
+        info.state = "up"
+        return recovered
+
+    def record_failure(self, shard_id: str) -> bool:
+        """A probe failed; returns True when this failure *transitions*
+        the shard to ``down`` (the caller should start failover)."""
+        info = self._shards[shard_id]
+        info.failures += 1
+        if info.state in ("down", "draining"):
+            return False
+        if info.failures >= self.fail_threshold:
+            info.state = "down"
+            return True
+        info.state = "suspect"
+        return False
+
+    def mark_draining(self, shard_id: str) -> None:
+        """Operator drain: the shard stops receiving routed work."""
+        self._shards[shard_id].state = "draining"
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def prefer(self, job_hash: str) -> list[str]:
+        """All shard ids in rendezvous preference order for the hash."""
+
+        def score(shard_id: str) -> bytes:
+            return sha256(f"{shard_id}:{job_hash}".encode()).digest()
+
+        return sorted(self._shards, key=score, reverse=True)
+
+    def route(self, job_hash: str, exclude: set[str] | None = None) -> list[str]:
+        """Routable shard ids in preference order (failover order).
+
+        Args:
+            exclude: Shard ids to skip even if routable (e.g. the shard
+                a job is being stolen *from*).
+        """
+        skip = exclude or set()
+        return [
+            shard_id
+            for shard_id in self.prefer(job_hash)
+            if shard_id not in skip and self._shards[shard_id].routable
+        ]

@@ -9,11 +9,22 @@ Requests are objects with an ``op`` field::
 
     {"op": "ping"}
     {"op": "submit", "spec": {...JobSpec...}, "priority": 1,
-     "soft_timeout": 30.0, "hard_timeout": 60.0}
+     "tenant": "team-a", "soft_timeout": 30.0, "hard_timeout": 60.0}
     {"op": "status", "job_id": "j-000042"}
     {"op": "wait", "job_id": "j-000042", "timeout": 10.0}
     {"op": "metrics"}
+    {"op": "jobs"}
+    {"op": "steal", "max_jobs": 4}
     {"op": "drain"}
+
+The same protocol is spoken by a single daemon and by the cluster
+router (:mod:`repro.serve.router`) — a client cannot tell, and does not
+need to know, whether it is talking to one shard or a sharded tier.
+``jobs`` (bulk job statuses) and ``steal`` (hand queued jobs back for
+re-admission elsewhere) exist for the router's supervision and
+work-stealing loops; the router additionally accepts a ``shard``
+argument on ``drain`` to drain one shard while redistributing its
+queue.
 
 Responses always carry ``ok``.  Rejections (``ok: false``) carry
 ``error`` — notably ``"shed"`` (queue full; ``retry_after`` suggests a

@@ -83,5 +83,22 @@ class AdmissionQueue:
             items.append(heapq.heappop(self._heap)[2])
         return items
 
+    def steal(self, count: int) -> list[QueueItem]:
+        """Remove up to ``count`` items from the *back* of the queue.
+
+        Work stealing takes the jobs that would wait longest here —
+        the lowest-priority, most recently enqueued items — so moving
+        them to an idle peer helps the most and reorders the least.
+        Returned items are in reverse dequeue order (the longest-wait
+        item first).
+        """
+        if count <= 0 or not self._heap:
+            return []
+        ordered = self.drain()
+        keep, stolen = ordered[:-count], ordered[-count:]
+        for item in keep:
+            self.offer(item)
+        return list(reversed(stolen))
+
     def __len__(self) -> int:
         return len(self._heap)

@@ -1,0 +1,1082 @@
+"""The cluster router: one front door over N shard daemons.
+
+:class:`ClusterRouter` speaks the exact JSON-lines protocol of a single
+:class:`~repro.serve.daemon.SimDaemon` (it reuses the daemon's listener
+via :func:`~repro.serve.daemon.build_line_server`), so existing clients
+and CLI commands work against a sharded tier unchanged.  Behind the
+front door it adds the cluster concerns:
+
+* **Sharding** — submissions are placed by rendezvous hashing over the
+  spec's content hash (:class:`~repro.serve.membership.Membership`), so
+  repeated submissions of one spec land on the shard that holds its
+  checkpoint/cache state, and the preference order doubles as the
+  failover order.
+* **Supervision & failover** — every tick probes each shard with the
+  bulk ``jobs`` op (one RPC doubles as heartbeat and status sync).
+  After ``fail_threshold`` consecutive probe failures a shard is
+  ``down`` and every non-final job routed to it is re-admitted to the
+  surviving shards.  The shared artifact store makes that recovery
+  cheap *and* exact: a re-admitted job resumes from its Lemma-1
+  checkpoint (same fidelity ledger, same final fidelity as an
+  uninterrupted run), and a job whose shard died *after* completing is
+  a cache hit on the new shard — never recomputed, never lost.
+* **Exactly one owner** — a cluster job is owned by one shard at a
+  time.  Failover reassigns ownership before re-submitting; work
+  stealing finalizes the job as ``stolen`` on the hot shard inside the
+  ``steal`` op itself before the router re-admits it on the cool one.
+  A ``down`` shard that comes back keeps running its orphaned copies,
+  but the router ignores their reports — results land in the shared
+  content-addressed store either way, so the duplicate costs compute,
+  not correctness.
+* **Tenancy** — per-tenant max-in-flight quotas and token-bucket rate
+  limits are enforced at admission, before any shard sees the request
+  (rejections: ``error="quota"`` / ``error="rate_limited"``, both with
+  ``retry_after``).
+* **Fault surface** — every router→shard RPC passes the
+  ``cluster.rpc`` injection site first, so a seeded
+  :class:`~repro.faults.plan.FaultPlan` can refuse connections, tear
+  writes (:class:`~repro.faults.errors.PartialWriteFault`), or slow the
+  path deterministically; the failover machinery above is exercised by
+  the cluster soak under exactly these rules.
+
+Lock discipline (DD009): the router holds its state lock only around
+table/membership mutation; every RPC, ownership-log append, and file
+write happens outside lock regions — decisions are *collected* under
+the lock and *performed* after release.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..faults.injector import inject
+from ..obs import get_recorder
+from ..service.jobs import JobSpec
+from ..service.store import ArtifactStore
+from .client import ServeClient, ServeError
+from .daemon import DEFAULT_TENANT, build_line_server
+from .protocol import ProtocolError, error_response, ok_response
+
+#: File (under ``<store>/serve/``) holding router-side jobs that had no
+#: live owner when a cluster drain completed; the next router start
+#: re-admits them.
+ROUTER_DRAINED_FILE = "drained-queue-router.json"
+
+#: Cluster-job states with no further transitions.
+CLUSTER_FINAL = frozenset(
+    {"completed", "timeout", "deadline", "drained", "error"}
+)
+
+#: Router-internal states (never reported by a shard): ``admitting`` is
+#: a submission whose first placement RPC is still in flight;
+#: ``orphaned`` has no live owner and is awaiting re-admission;
+#: ``readmitting`` has a re-admission RPC in flight.
+_UNOWNED = ("admitting", "orphaned", "readmitting")
+
+
+@dataclass
+class ClusterJob:
+    """Router-side lifecycle of one accepted job."""
+
+    cluster_id: str
+    job_hash: str
+    spec_doc: dict
+    tenant: str = DEFAULT_TENANT
+    priority: int = 0
+    soft_timeout: float | None = None
+    hard_timeout: float | None = None
+    shard_id: str = ""
+    shard_job_id: str = ""
+    status: str = "admitting"
+    readmissions: int = 0
+    error: str = ""
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def final(self) -> bool:
+        return self.status in CLUSTER_FINAL
+
+    def describe(self) -> dict:
+        """Router-local job document (used when no shard can answer)."""
+        return {
+            "job_id": self.cluster_id,
+            "job_hash": self.job_hash,
+            "status": self.status,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "error": self.error,
+            "shard": self.shard_id,
+            "shard_job_id": self.shard_job_id,
+            "readmissions": self.readmissions,
+            "history": list(self.history),
+        }
+
+
+@dataclass
+class _TokenBucket:
+    """Deterministic token bucket (monotonic clock, no randomness)."""
+
+    rate: float
+    burst: float
+    tokens: float
+    stamp: float
+
+    def take(self, now: float) -> float:
+        """Consume one token; returns 0.0, or the suggested wait."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class ClusterRouter:
+    """Protocol-compatible front door over a set of shard daemons.
+
+    Args:
+        store: The artifact store *shared by every shard* (checkpoint
+            resume across shards depends on this).
+        membership: Shard registry (see
+            :class:`~repro.serve.membership.Membership`).
+        quotas: Per-tenant max in-flight jobs (``"*"`` = default for
+            unlisted tenants; 0/absent = unlimited).
+        rate_limits: Per-tenant ``(rate_per_second, burst)`` token
+            buckets (``"*"`` = default; absent = unlimited).
+        max_readmissions: Failover/steal moves allowed per job before
+            it finalizes as ``error`` (guards against a spec that kills
+            every shard it lands on).
+        steal_threshold: Queue-depth gap between the hottest and
+            coolest shard that triggers work stealing.
+        steal_batch: Maximum jobs moved per stealing pass.
+        rpc_timeout: Socket timeout for router→shard RPCs.
+        socket_path / host / port: The router's own listener endpoint.
+        tick_interval: Supervision-loop period in seconds.
+        log: Writable text stream for router log lines (stderr).
+    """
+
+    def __init__(
+        self,
+        store: "ArtifactStore | str",
+        membership,
+        quotas: dict[str, int] | None = None,
+        rate_limits: dict[str, tuple[float, float]] | None = None,
+        max_readmissions: int = 5,
+        steal_threshold: int = 4,
+        steal_batch: int = 2,
+        rpc_timeout: float = 30.0,
+        socket_path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval: float = 0.1,
+        log=None,
+    ) -> None:
+        self.store = (
+            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        )
+        self.membership = membership
+        self.quotas = dict(quotas or {})
+        self.rate_limits = dict(rate_limits or {})
+        if max_readmissions < 1:
+            raise ValueError("max_readmissions must be positive")
+        self.max_readmissions = max_readmissions
+        self.steal_threshold = max(1, steal_threshold)
+        self.steal_batch = max(1, steal_batch)
+        self.rpc_timeout = rpc_timeout
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.tick_interval = tick_interval
+        self._log_stream = log if log is not None else sys.stderr
+        self._lock = threading.RLock()
+        self._jobs: dict[str, ClusterJob] = {}
+        #: ``(shard_id, shard_job_id) -> cluster_id`` for the *current*
+        #: owner only; stale entries are removed on every reassignment,
+        #: which is what makes reports from ex-owners ignorable.
+        self._owners: dict[tuple[str, str], str] = {}
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._seq = 0
+        self._drain = threading.Event()
+        self._drain_rpcs_sent = False
+        self._stopped = threading.Event()
+        self._server = None
+        self._server_thread: threading.Thread | None = None
+        self._started = False
+        self.address: tuple[str, int] | str | None = None
+        self.clock = time.monotonic
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        try:
+            self._log_stream.write(
+                f"[cluster +{self.clock():.3f}] {message}\n"
+            )
+            self._log_stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the listener and restore parked jobs (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._restore_orphans()
+        self._server, self.address = build_line_server(
+            self, self.socket_path, self.host, self.port
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._log(
+            f"routing on {self.address} across "
+            f"{len(self.membership)} shard(s)"
+        )
+
+    def serve_forever(self) -> None:
+        """Run the supervision loop until drained (or :meth:`stop`)."""
+        self.start()
+        try:
+            while not self._stopped.is_set():
+                self._tick()
+                time.sleep(self.tick_interval)
+        finally:
+            self.shutdown()
+
+    def stop(self) -> None:
+        """Stop immediately (tests); prefer :meth:`request_drain`."""
+        self._stopped.set()
+
+    def request_drain(self) -> None:
+        """Begin a graceful cluster-wide drain (signal-handler safe)."""
+        if not self._drain.is_set():
+            self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def shutdown(self) -> None:
+        """Tear down the listener; park unowned jobs for the next start."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        with self._lock:
+            orphans = [
+                job
+                for job in self._jobs.values()
+                if job.status in _UNOWNED
+            ]
+        self._persist_orphans(orphans)
+        self._log("shut down")
+
+    # ------------------------------------------------------------------
+    # Router-side drained-queue persistence (zero-lost-jobs backstop
+    # for jobs that had no live owner when the cluster went down)
+    # ------------------------------------------------------------------
+
+    def _orphan_path(self) -> str:
+        return os.path.join(self.store.root, "serve", ROUTER_DRAINED_FILE)
+
+    def _persist_orphans(self, jobs: list[ClusterJob]) -> None:
+        if not jobs:
+            return
+        path = self._orphan_path()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = [
+            {
+                "spec": job.spec_doc,
+                "tenant": job.tenant,
+                "priority": job.priority,
+                "soft_timeout": job.soft_timeout,
+                "hard_timeout": job.hard_timeout,
+            }
+            for job in jobs
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        self._log(
+            f"parked {len(jobs)} unowned job(s) to {path} for the next "
+            "start"
+        )
+
+    def _restore_orphans(self) -> None:
+        path = self._orphan_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = payload if isinstance(payload, list) else []
+        except (OSError, json.JSONDecodeError) as error:
+            self._log(f"ignoring unreadable parked-job file: {error}")
+            return
+        os.unlink(path)
+        restored = 0
+        with self._lock:
+            for entry in entries:
+                try:
+                    spec = JobSpec.from_dict(entry["spec"])
+                except (KeyError, TypeError, ValueError) as error:
+                    self._log(f"dropping malformed parked job: {error}")
+                    continue
+                job = self._new_record(
+                    spec.content_hash(),
+                    spec.to_dict(),
+                    str(entry.get("tenant") or DEFAULT_TENANT),
+                    int(entry.get("priority", 0)),
+                )
+                soft = entry.get("soft_timeout")
+                hard = entry.get("hard_timeout")
+                job.soft_timeout = float(soft) if soft is not None else None
+                job.hard_timeout = float(hard) if hard is not None else None
+                job.status = "orphaned"
+                job.history.append("restored from parked-job file")
+                restored += 1
+        if restored:
+            self._log(
+                f"restored {restored} parked job(s); re-admitting on "
+                "the next tick"
+            )
+
+    # ------------------------------------------------------------------
+    # Shard RPC (never called with the state lock held — DD009)
+    # ------------------------------------------------------------------
+
+    def _rpc(
+        self, shard_id: str, message: dict, idempotent: bool = False
+    ) -> dict:
+        """One router→shard request through the fault-injection site.
+
+        Raises whatever the transport raises — connection errors
+        (including injected ``conn_refused`` / ``partial_write``
+        faults) and :class:`ProtocolError` for torn frames; callers
+        convert those into membership probe failures.
+        """
+        info = self.membership.get(shard_id)
+        inject(
+            "cluster.rpc",
+            shard=shard_id,
+            op=str(message.get("op")),
+        )
+        client = ServeClient(
+            socket_path=info.socket_path, timeout=self.rpc_timeout
+        )
+        return client.request(message, idempotent=idempotent)
+
+    def _record_rpc_failure(self, shard_id: str) -> None:
+        with self._lock:
+            if self.membership.record_failure(shard_id):
+                self._log(
+                    f"shard {shard_id} declared down "
+                    f"(={self.membership.fail_threshold} consecutive "
+                    "failures); failing over its jobs"
+                )
+
+    def _record_ownership(
+        self, job: ClusterJob, event: str, shard_id: str
+    ) -> None:
+        """Append one event to the store's shared ownership log."""
+        try:
+            self.store.append_ownership(
+                {
+                    "event": event,
+                    "cluster_job": job.cluster_id,
+                    "job_hash": job.job_hash,
+                    "shard": shard_id,
+                    "tenant": job.tenant,
+                    "readmissions": job.readmissions,
+                }
+            )
+        except OSError as error:  # pragma: no cover - advisory log
+            self._log(f"ownership log append failed: {error}")
+
+    # ------------------------------------------------------------------
+    # Request handling (handler threads)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, message: dict) -> dict:
+        """Dispatch one protocol request (thread-safe)."""
+        op = message.get("op")
+        if op == "ping":
+            with self._lock:
+                return ok_response(
+                    pong=True,
+                    cluster=True,
+                    draining=self.draining,
+                    shards=self.membership.snapshot(),
+                )
+        if op == "submit":
+            return self._handle_submit(message)
+        if op == "status":
+            return self._handle_status(message)
+        if op == "wait":
+            return self._handle_wait(message)
+        if op == "metrics":
+            return self._handle_metrics()
+        if op == "jobs":
+            return self._handle_jobs()
+        if op == "drain":
+            return self._handle_drain(message)
+        return error_response(f"unknown op {op!r}")
+
+    def _new_record(
+        self,
+        job_hash: str,
+        spec_doc: dict,
+        tenant: str,
+        priority: int,
+    ) -> ClusterJob:
+        self._seq += 1
+        job = ClusterJob(
+            cluster_id=f"c-{self._seq:06d}",
+            job_hash=job_hash,
+            spec_doc=spec_doc,
+            tenant=tenant,
+            priority=priority,
+        )
+        self._jobs[job.cluster_id] = job
+        return job
+
+    def _tenant_gate(self, tenant: str) -> dict | None:
+        """Quota + rate-limit check (called under the state lock)."""
+        quota = self.quotas.get(tenant, self.quotas.get("*", 0))
+        if quota:
+            active = sum(
+                1
+                for job in self._jobs.values()
+                if job.tenant == tenant and not job.final
+            )
+            if active >= quota:
+                return error_response(
+                    "quota",
+                    tenant=tenant,
+                    in_flight=active,
+                    limit=quota,
+                    retry_after=1.0,
+                )
+        limit = self.rate_limits.get(tenant, self.rate_limits.get("*"))
+        if limit:
+            rate, burst = float(limit[0]), float(limit[1])
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = _TokenBucket(
+                    rate=rate, burst=burst, tokens=burst, stamp=self.clock()
+                )
+                self._buckets[tenant] = bucket
+            wait = bucket.take(self.clock())
+            if wait > 0:
+                return error_response(
+                    "rate_limited",
+                    tenant=tenant,
+                    retry_after=round(wait, 3),
+                )
+        return None
+
+    def _submit_message(self, job: ClusterJob) -> dict:
+        message: dict = {
+            "op": "submit",
+            "spec": job.spec_doc,
+            "priority": job.priority,
+            "tenant": job.tenant,
+        }
+        if job.soft_timeout is not None:
+            message["soft_timeout"] = job.soft_timeout
+        if job.hard_timeout is not None:
+            message["hard_timeout"] = job.hard_timeout
+        return message
+
+    def _handle_submit(self, message: dict) -> dict:
+        obs = get_recorder()
+        admission_started = time.perf_counter()
+        try:
+            return self._admit(message)
+        finally:
+            if obs.enabled:
+                obs.observe(
+                    "cluster.admission",
+                    time.perf_counter() - admission_started,
+                )
+
+    def _admit(self, message: dict) -> dict:
+        obs = get_recorder()
+        spec_doc = message.get("spec")
+        if not isinstance(spec_doc, dict):
+            return error_response("submit requires a spec object")
+        try:
+            spec = JobSpec.from_dict(spec_doc)
+        except (TypeError, ValueError) as error:
+            return error_response(f"bad spec: {error}")
+        job_hash = spec.content_hash()
+        tenant = str(message.get("tenant") or DEFAULT_TENANT)
+        priority = int(message.get("priority", 0))
+        with self._lock:
+            if self.draining:
+                return error_response("draining")
+            rejection = self._tenant_gate(tenant)
+            if rejection is not None:
+                if obs.enabled:
+                    obs.count(f"cluster.rejected_{rejection['error']}")
+                return rejection
+            targets = self.membership.route(job_hash)
+            job = self._new_record(
+                job_hash, spec.to_dict(), tenant, priority
+            )
+            soft = message.get("soft_timeout")
+            hard = message.get("hard_timeout")
+            job.soft_timeout = float(soft) if soft is not None else None
+            job.hard_timeout = float(hard) if hard is not None else None
+        try:
+            placed = self._place(job, targets, event="assigned")
+        except ServeError as error:
+            # A terminal per-spec rejection (breaker open): forward the
+            # shard's rejection document verbatim.
+            if obs.enabled:
+                obs.count("cluster.rejected_breaker")
+            return dict(error.response)
+        if placed is not None:
+            response, shard_id = placed
+            if obs.enabled:
+                obs.count("cluster.submitted")
+            return ok_response(
+                job_id=job.cluster_id,
+                job_hash=job_hash,
+                shard=shard_id,
+                tier=response.get("tier"),
+                f_final_cap=response.get("f_final_cap"),
+                degraded=response.get("degraded"),
+                queue_depth=response.get("queue_depth"),
+            )
+        # Nowhere to put it right now.  A terminal rejection (breaker
+        # open, bad spec) was already returned by _place; reaching here
+        # means every routable shard shed or was unreachable — drop the
+        # record and shed explicitly rather than admit without an owner.
+        with self._lock:
+            self._jobs.pop(job.cluster_id, None)
+        if obs.enabled:
+            obs.count("cluster.shed")
+        return error_response("shed", retry_after=1.0)
+
+    def _place(
+        self, job: ClusterJob, targets: list[str], event: str
+    ) -> tuple[dict, str] | None:
+        """Try each shard in preference order; returns the accepting
+        ``(response, shard_id)`` or None when all shed/unreachable.
+
+        Terminal per-spec rejections (breaker open) finalize the job
+        as ``error`` and are returned as an accepting-shaped response
+        so the caller forwards the rejection; transient conditions
+        (shed, connection failures) move on to the next preference.
+        """
+        for shard_id in targets:
+            try:
+                response = self._rpc(shard_id, self._submit_message(job))
+            except ServeError as error:
+                if error.error in ("shed", "draining"):
+                    continue
+                # breaker_open (or a malformed-spec disagreement):
+                # trying other shards would just trip their breakers
+                # too — finalize and surface the rejection.
+                with self._lock:
+                    job.status = "error"
+                    job.error = f"rejected by {shard_id}: {error.error}"
+                    job.history.append(job.error)
+                raise
+            except (OSError, ProtocolError):
+                self._record_rpc_failure(shard_id)
+                continue
+            with self._lock:
+                # Retire the previous ownership key (failover/steal
+                # re-placement): reports from the ex-owner about its
+                # orphaned copy must no longer reach this job.
+                self._owners.pop((job.shard_id, job.shard_job_id), None)
+                job.shard_id = shard_id
+                job.shard_job_id = str(response.get("job_id", ""))
+                job.status = "queued"
+                job.history.append(f"{event} to {shard_id}")
+                self._owners[(shard_id, job.shard_job_id)] = (
+                    job.cluster_id
+                )
+                self.membership.record_success(shard_id)
+            self._record_ownership(job, event, shard_id)
+            return response, shard_id
+        return None
+
+    def _merge_doc(self, job: ClusterJob, doc: dict) -> dict:
+        """Overlay cluster identity/history onto a shard job document."""
+        merged = dict(doc)
+        merged["job_id"] = job.cluster_id
+        merged["shard_job_id"] = job.shard_job_id
+        merged["shard"] = job.shard_id
+        merged["readmissions"] = job.readmissions
+        merged["history"] = list(job.history)
+        return merged
+
+    def _handle_status(self, message: dict) -> dict:
+        cluster_id = message.get("job_id")
+        with self._lock:
+            job = self._jobs.get(cluster_id)
+            if job is None:
+                return error_response(f"unknown job {cluster_id!r}")
+            owner, shard_job_id = job.shard_id, job.shard_job_id
+            unowned = job.status in _UNOWNED
+        if unowned:
+            return ok_response(job=job.describe())
+        try:
+            response = self._rpc(
+                owner,
+                {"op": "status", "job_id": shard_job_id},
+                idempotent=True,
+            )
+        except (ServeError, OSError, ProtocolError):
+            # Owner can't answer right now; the router's mirror is the
+            # best truth available (failover will refresh it).
+            return ok_response(job=job.describe())
+        return ok_response(job=self._merge_doc(job, response["job"]))
+
+    def _handle_wait(self, message: dict) -> dict:
+        cluster_id = message.get("job_id")
+        timeout = float(message.get("timeout", 60.0))
+        deadline = self.clock() + timeout
+        while True:
+            with self._lock:
+                job = self._jobs.get(cluster_id)
+                if job is None:
+                    return error_response(f"unknown job {cluster_id!r}")
+                owner, shard_job_id = job.shard_id, job.shard_job_id
+                status = job.status
+            if status in CLUSTER_FINAL and (
+                status == "error" or not owner
+            ):
+                # Router-finalized (readmission exhausted, parked):
+                # there is no shard document to fetch.
+                return ok_response(job=job.describe())
+            remaining = deadline - self.clock()
+            if remaining <= 0:
+                return error_response("wait_timeout", job=job.describe())
+            if status in _UNOWNED:
+                # Between owners (failover in progress): poll the
+                # supervision loop's progress rather than any shard.
+                time.sleep(min(remaining, self.tick_interval))
+                continue
+            try:
+                response = self._rpc(
+                    owner,
+                    {
+                        "op": "wait",
+                        "job_id": shard_job_id,
+                        # Short chunks so ownership changes (failover,
+                        # stealing) are picked up promptly.
+                        "timeout": min(remaining, 1.0),
+                    },
+                )
+            except ServeError as error:
+                if error.error == "wait_timeout":
+                    continue
+                # Unknown job (shard restarted without its state) or
+                # another rejection: let supervision re-own it.
+                time.sleep(min(remaining, self.tick_interval))
+                continue
+            except (OSError, ProtocolError):
+                self._record_rpc_failure(owner)
+                time.sleep(min(remaining, self.tick_interval))
+                continue
+            doc = response["job"]
+            with self._lock:
+                moved = (
+                    job.shard_id != owner
+                    or job.shard_job_id != shard_job_id
+                )
+                if not moved and doc.get("status") in CLUSTER_FINAL:
+                    job.status = str(doc["status"])
+                    merged = self._merge_doc(job, doc)
+                else:
+                    merged = None
+            if merged is not None:
+                return ok_response(job=merged)
+            # The job moved mid-wait (stolen / failed over) or ended in
+            # a shard-final state the cluster re-owns (e.g. ``stolen``):
+            # keep waiting on the current owner.
+
+    def _handle_metrics(self) -> dict:
+        obs = get_recorder()
+        with self._lock:
+            shard_ids = [info.shard_id for info in self.membership]
+        reports: dict[str, dict | None] = {}
+        for shard_id in shard_ids:
+            try:
+                reports[shard_id] = self._rpc(
+                    shard_id, {"op": "metrics"}, idempotent=True
+                )
+            except (ServeError, OSError, ProtocolError):
+                reports[shard_id] = None
+        with self._lock:
+            shards: dict[str, dict] = {}
+            for shard_id, report in reports.items():
+                info = self.membership.get(shard_id)
+                if report is not None:
+                    info.queue_depth = int(report.get("queue_depth", 0))
+                    info.queue_capacity = int(
+                        report.get("queue_capacity", 0)
+                    )
+                    info.running = int(report.get("running", 0))
+                    info.breaker_open = int(report.get("breaker_open", 0))
+                    info.ladder_tier = int(report.get("ladder_tier", 0))
+                entry = {
+                    "state": info.state,
+                    "queue_depth": info.queue_depth,
+                    "queue_capacity": info.queue_capacity,
+                    "running": info.running,
+                    "breaker_open": info.breaker_open,
+                    "ladder_tier": info.ladder_tier,
+                }
+                if report is not None:
+                    entry["utilization"] = report.get("utilization")
+                    entry["tenants"] = report.get("tenants", {})
+                shards[shard_id] = entry
+            statuses: dict[str, int] = {}
+            tenants: dict[str, dict] = {}
+            for job in self._jobs.values():
+                statuses[job.status] = statuses.get(job.status, 0) + 1
+                tenant = tenants.setdefault(
+                    job.tenant,
+                    {
+                        "queued": 0,
+                        "running": 0,
+                        "final": 0,
+                        "total": 0,
+                        "readmissions": 0,
+                    },
+                )
+                tenant["total"] += 1
+                tenant["readmissions"] += job.readmissions
+                if job.final:
+                    tenant["final"] += 1
+                elif job.status in ("dispatched", "running"):
+                    tenant["running"] += 1
+                else:
+                    tenant["queued"] += 1
+            for tenant, quota in self.quotas.items():
+                if tenant in tenants:
+                    tenants[tenant]["quota"] = quota
+            return ok_response(
+                cluster=True,
+                draining=self.draining,
+                shards=shards,
+                jobs_by_status=statuses,
+                tenants=tenants,
+                recorder=obs.snapshot() if obs.enabled else {},
+            )
+
+    def _handle_jobs(self) -> dict:
+        with self._lock:
+            return ok_response(
+                cluster=True,
+                jobs=[
+                    {
+                        "job_id": job.cluster_id,
+                        "job_hash": job.job_hash,
+                        "status": job.status,
+                        "tenant": job.tenant,
+                        "shard": job.shard_id,
+                        "readmissions": job.readmissions,
+                        "history": list(job.history),
+                    }
+                    for job in self._jobs.values()
+                ],
+            )
+
+    def _handle_drain(self, message: dict) -> dict:
+        shard_id = message.get("shard")
+        if shard_id is None:
+            self.request_drain()
+            return ok_response(draining=True)
+        shard_id = str(shard_id)
+        try:
+            with self._lock:
+                info = self.membership.get(shard_id)
+        except KeyError:
+            return error_response(f"unknown shard {shard_id!r}")
+        with self._lock:
+            self.membership.mark_draining(shard_id)
+            capacity = max(info.queue_capacity, 64)
+        # Redistribute the queue before draining: steal everything
+        # still queued there and re-admit it on the other shards, so a
+        # single-shard drain sheds capacity, not jobs.
+        moved = self._steal_and_readmit(shard_id, capacity)
+        try:
+            self._rpc(shard_id, {"op": "drain"})
+        except (ServeError, OSError, ProtocolError):
+            self._record_rpc_failure(shard_id)
+        self._log(
+            f"draining shard {shard_id}; redistributed {moved} queued "
+            "job(s)"
+        )
+        return ok_response(draining=shard_id, redistributed=moved)
+
+    # ------------------------------------------------------------------
+    # Supervision loop
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        """One supervision pass: probe, sync, fail over, steal, drain.
+
+        RPCs and file writes all happen outside the lock; the lock only
+        guards the job table and membership state (DD009).
+        """
+        with self._lock:
+            shard_ids = [info.shard_id for info in self.membership]
+        probes: list[tuple[str, dict | None]] = []
+        for shard_id in shard_ids:
+            try:
+                response = self._rpc(
+                    shard_id, {"op": "jobs"}, idempotent=True
+                )
+            except (ServeError, OSError, ProtocolError):
+                probes.append((shard_id, None))
+            else:
+                probes.append((shard_id, response))
+        readmit: list[ClusterJob] = []
+        with self._lock:
+            for shard_id, response in probes:
+                if response is None:
+                    if self.membership.record_failure(shard_id):
+                        self._log(
+                            f"shard {shard_id} declared down; failing "
+                            "over its jobs"
+                        )
+                    continue
+                if self.membership.record_success(shard_id):
+                    self._log(
+                        f"shard {shard_id} recovered; resuming routing "
+                        "to it"
+                    )
+                self._sync_shard_jobs(shard_id, response.get("jobs", []))
+            cluster_draining = self.draining
+            for job in self._jobs.values():
+                if job.final or job.status == "readmitting":
+                    continue
+                if job.status == "orphaned":
+                    job.status = "readmitting"
+                    readmit.append(job)
+                    continue
+                if job.status == "admitting":
+                    continue
+                owner = self.membership.get(job.shard_id)
+                if owner.state == "down" and not cluster_draining:
+                    job.status = "readmitting"
+                    readmit.append(job)
+        for job in readmit:
+            self._readmit(job)
+        self._maybe_steal()
+        self._advance_drain()
+
+    def _sync_shard_jobs(self, shard_id: str, jobs: list) -> None:
+        """Mirror shard-reported statuses (called under the lock)."""
+        for entry in jobs:
+            if not isinstance(entry, dict):
+                continue
+            key = (shard_id, str(entry.get("job_id", "")))
+            cluster_id = self._owners.get(key)
+            if cluster_id is None:
+                continue  # ex-owner report or shard-local job
+            job = self._jobs.get(cluster_id)
+            if job is None or job.final:
+                continue
+            status = str(entry.get("status", ""))
+            if status == "stolen":
+                # The steal path re-owns the job; if we see this the
+                # reassignment already happened (the owners map entry
+                # would be gone) or is in flight — never a final state
+                # cluster-side.
+                continue
+            if status == "drained":
+                owner = self.membership.get(shard_id)
+                if owner.state == "draining" and not self.draining:
+                    # Single-shard drain: the shard checkpointed its
+                    # in-flight jobs and parked; the cluster re-owns
+                    # them and resumes elsewhere.
+                    del self._owners[key]
+                    job.status = "orphaned"
+                    job.history.append(
+                        f"orphaned by draining shard {shard_id}"
+                    )
+                    continue
+            if status:
+                job.status = status
+
+    def _readmit(self, job: ClusterJob) -> None:
+        """Re-admit an unowned job to a surviving shard (no lock held).
+
+        The shared store turns this into exact recovery: a checkpoint
+        written by the old shard resumes on the new one with the same
+        fidelity ledger (Lemma 1 composes across processes), and a job
+        the old shard completed before dying is a cache hit.
+        """
+        obs = get_recorder()
+        with self._lock:
+            if job.readmissions >= self.max_readmissions:
+                job.status = "error"
+                job.error = (
+                    f"abandoned after {job.readmissions} re-admissions"
+                )
+                job.history.append(job.error)
+                failed = True
+            else:
+                job.readmissions += 1
+                exclude = {job.shard_id} if job.shard_id else set()
+                targets = self.membership.route(
+                    job.job_hash, exclude=exclude
+                )
+                failed = False
+        if failed:
+            if obs.enabled:
+                obs.count("cluster.abandoned")
+            return
+        try:
+            placed = self._place(job, targets, event="readmitted")
+        except ServeError:
+            return  # finalized as a terminal rejection inside _place
+        if placed is not None:
+            if obs.enabled:
+                obs.count("cluster.readmitted")
+            self._log(
+                f"{job.cluster_id} re-admitted to {placed[1]} "
+                f"(move {job.readmissions})"
+            )
+            return
+        with self._lock:
+            job.status = "orphaned"  # retry next tick
+
+    def _steal_and_readmit(self, shard_id: str, max_jobs: int) -> int:
+        """Steal up to ``max_jobs`` from a shard and place them
+        elsewhere; returns the number moved (no lock held on entry)."""
+        try:
+            response = self._rpc(
+                shard_id, {"op": "steal", "max_jobs": max_jobs}
+            )
+        except (ServeError, OSError, ProtocolError):
+            self._record_rpc_failure(shard_id)
+            return 0
+        moved = 0
+        for payload in response.get("stolen", []):
+            if not isinstance(payload, dict):
+                continue
+            key = (shard_id, str(payload.get("job_id", "")))
+            with self._lock:
+                cluster_id = self._owners.pop(key, None)
+                job = (
+                    self._jobs.get(cluster_id)
+                    if cluster_id is not None
+                    else None
+                )
+                if job is None:
+                    # A shard-local job (e.g. restored from the shard's
+                    # own drained queue): adopt it into the cluster so
+                    # the move cannot lose it.
+                    spec_doc = payload.get("spec")
+                    if not isinstance(spec_doc, dict):
+                        continue
+                    job = self._new_record(
+                        str(payload.get("job_hash", "")),
+                        spec_doc,
+                        str(payload.get("tenant") or DEFAULT_TENANT),
+                        int(payload.get("priority", 0)),
+                    )
+                    soft = payload.get("soft_timeout")
+                    hard = payload.get("hard_timeout")
+                    job.soft_timeout = (
+                        float(soft) if soft is not None else None
+                    )
+                    job.hard_timeout = (
+                        float(hard) if hard is not None else None
+                    )
+                    job.history.append(f"adopted from {shard_id}")
+                job.status = "orphaned"
+                job.history.append(f"stolen from {shard_id}")
+            self._readmit(job)
+            moved += 1
+        return moved
+
+    def _maybe_steal(self) -> None:
+        """Rebalance when one shard runs hot (no lock held on entry).
+
+        Depths come from the router's own mirror (no extra RPC): the
+        number of non-final jobs currently owned per shard, which is
+        exactly the load the router has placed.
+        """
+        with self._lock:
+            depths: dict[str, int] = {
+                info.shard_id: 0
+                for info in self.membership
+                if info.state == "up"
+            }
+            if len(depths) < 2:
+                return
+            for job in self._jobs.values():
+                if job.final or job.status in _UNOWNED:
+                    continue
+                if job.status == "queued" and job.shard_id in depths:
+                    depths[job.shard_id] += 1
+            hot = max(depths, key=lambda sid: depths[sid])
+            cool = min(depths, key=lambda sid: depths[sid])
+            gap = depths[hot] - depths[cool]
+            if gap < self.steal_threshold:
+                return
+            batch = min(self.steal_batch, gap // 2)
+        if batch < 1:
+            return
+        moved = self._steal_and_readmit(hot, batch)
+        if moved:
+            obs = get_recorder()
+            if obs.enabled:
+                obs.count("cluster.stolen", moved)
+            self._log(
+                f"rebalanced {moved} job(s) off hot shard {hot} "
+                f"(gap {gap})"
+            )
+
+    def _advance_drain(self) -> None:
+        """Cluster-wide drain: drain every shard, stop when quiet."""
+        if not self.draining:
+            return
+        if not self._drain_rpcs_sent:
+            self._drain_rpcs_sent = True
+            with self._lock:
+                shard_ids = [info.shard_id for info in self.membership]
+            for shard_id in shard_ids:
+                try:
+                    self._rpc(shard_id, {"op": "drain"})
+                except (ServeError, OSError, ProtocolError):
+                    self._record_rpc_failure(shard_id)
+            self._log("draining: drain requested on every shard")
+        with self._lock:
+            busy = sum(
+                1
+                for job in self._jobs.values()
+                if not job.final and job.status not in _UNOWNED
+            )
+            if busy == 0:
+                self._stopped.set()

@@ -7,6 +7,7 @@ Layout under the store root::
     objects/<hh>/<hash>/journal.jsonl  — run journal (rounds, ops, events)
     checkpoints/<hash>/latest.json     — most recent resume checkpoint
     quarantine/<kind>-<hash>-<n>/      — corrupt artifacts, moved aside
+    serve/ownership.jsonl              — append-only job ownership log
 
 ``<hash>`` is :meth:`repro.service.jobs.JobSpec.content_hash` and
 ``<hh>`` its first two hex digits (keeps directory fan-out bounded).
@@ -26,6 +27,19 @@ callers handle by quarantining the object (move aside, keep for
 forensics) and recomputing.  Truncated journals are repaired in place
 by dropping the torn tail line — the only damage an interrupted append
 can cause.
+
+**Multi-reader/multi-writer safety.**  One store may back several
+daemon shards at once (the serve cluster shares a store so results and
+checkpoints are location-independent — any shard can resume any job).
+The protocol already makes that mostly free: objects appear atomically
+via rename, and last-writer-wins replacement keeps every reader on a
+complete directory.  The remaining races are handled explicitly —
+:meth:`load_checkpoint` treats a checkpoint that vanishes between the
+existence check and the open as "no checkpoint" (a peer completed the
+job and cleared it), and :meth:`_promote` retries its replace-swap when
+a concurrent writer wins the rename race.  The ownership log
+(:meth:`append_ownership`) is an O_APPEND JSONL file, safe for
+concurrent appenders on POSIX.
 """
 
 from __future__ import annotations
@@ -189,19 +203,31 @@ class ArtifactStore:
     @staticmethod
     def _promote(staging: str, final: str) -> None:
         """Rename the staging directory into place (the terminal step)."""
-        try:
-            os.rename(staging, final)
-            return
-        except OSError:
-            if not os.path.isdir(final):
-                raise
-        # The object already exists (a concurrent writer won, or this is
-        # an explicit recompute): swap the old object out, then discard
-        # it — last writer wins, and readers always see a complete dir.
         backup = staging + ".replaced"
-        os.rename(final, backup)
-        os.rename(staging, final)
-        shutil.rmtree(backup, ignore_errors=True)
+        for _attempt in range(8):
+            try:
+                os.rename(staging, final)
+                return
+            except OSError:
+                if not os.path.isdir(final):
+                    raise
+            # The object already exists (a concurrent writer won, or
+            # this is an explicit recompute): swap the old object out,
+            # then discard it — last writer wins, and readers always
+            # see a complete dir.  With several shards completing the
+            # same hash at once the old object can vanish between our
+            # check and the swap; that just reopens the fast path, so
+            # loop rather than fail.
+            try:
+                os.rename(final, backup)
+            except FileNotFoundError:
+                continue
+            os.rename(staging, final)
+            shutil.rmtree(backup, ignore_errors=True)
+            return
+        raise RuntimeError(  # pragma: no cover - pathological contention
+            f"could not promote {staging!r}: rename race persisted"
+        )
 
     def load_result(self, job_hash: str, verify: bool = True) -> dict:
         """Load a result document, verifying its embedded checksum.
@@ -411,6 +437,11 @@ class ArtifactStore:
         try:
             with open(path, encoding="utf-8") as handle:
                 return json.load(handle)
+        except FileNotFoundError:
+            # Vanished between the existence check and the open: a peer
+            # shard completed the job and cleared its checkpoint.  Not
+            # corruption — there is simply no checkpoint any more.
+            return None
         except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
             raise CheckpointIntegrityError(
                 f"checkpoint for {job_hash[:12]} is unreadable: {error}",
@@ -431,6 +462,65 @@ class ArtifactStore:
                 os.path.join(directory, job_hash, CHECKPOINT_FILE)
             ):
                 yield job_hash
+
+    # ------------------------------------------------------------------
+    # Ownership log
+    # ------------------------------------------------------------------
+
+    def ownership_log_path(self) -> str:
+        """The append-only job ownership log shared by the serve tier."""
+        return os.path.join(self.root, "serve", "ownership.jsonl")
+
+    def append_ownership(self, entry: dict) -> None:
+        """Append one ownership event to the shared log.
+
+        The cluster router records ``assigned`` / ``readmitted`` /
+        ``stolen`` events here so ``jobs ls`` can show which shard owns
+        a job and how it moved during failover.  The write is a single
+        ``O_APPEND`` of one line, which POSIX keeps atomic across
+        concurrent appenders — no lock needed, and a torn tail (crash
+        mid-append) is tolerated by :meth:`read_ownership_log`.
+        """
+        path = self.ownership_log_path()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        descriptor = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(descriptor, line.encode("utf-8"))
+        finally:
+            os.close(descriptor)
+
+    def read_ownership_log(self, job_hash: str | None = None) -> list[dict]:
+        """Read ownership events, oldest first.
+
+        Args:
+            job_hash: When given, only events whose ``job_hash`` field
+                matches (exactly, or by this prefix).
+
+        A torn tail line — the only damage an interrupted append can
+        cause — is silently dropped; the log is advisory history, not
+        an integrity-checked artifact.
+        """
+        path = self.ownership_log_path()
+        if not os.path.exists(path):
+            return []
+        events: list[dict] = []
+        with open(path, "rb") as handle:
+            for raw in handle.readlines():
+                try:
+                    row = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue  # torn tail of a crashed appender
+                if not isinstance(row, dict):
+                    continue
+                if job_hash is not None:
+                    recorded = str(row.get("job_hash", ""))
+                    if not recorded.startswith(job_hash):
+                        continue
+                events.append(row)
+        return events
 
     # ------------------------------------------------------------------
     # Quarantine

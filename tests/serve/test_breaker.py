@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
-from repro.serve import CircuitBreaker
+from repro.serve import CircuitBreaker, SimDaemon
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.service.jobs import JobSpec
 
 
 class FakeClock:
@@ -92,6 +95,53 @@ class TestHalfOpen:
         breaker.record_failure("k")
         assert breaker.state("k") == OPEN
         assert breaker.retry_after("k") == pytest.approx(30.0)
+
+
+class TestHalfOpenUnderConcurrency:
+    def test_exactly_one_probe_wins_across_submitters(
+        self, clock, store
+    ):
+        """The daemon's admission lock serializes ``allow``: when the
+        cooldown lapses, concurrent submitters race for the single
+        half-open probe slot and exactly one wins."""
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_seconds=5.0,
+            half_open_probes=1,
+            clock=clock,
+        )
+        daemon = SimDaemon(store, breaker=breaker, queue_capacity=32)
+        spec = JobSpec(circuit="builtin:shor_15_2")
+        breaker.record_failure(spec.content_hash())
+        assert breaker.state(spec.content_hash()) == OPEN
+        clock.now += 5.0  # lapse into half-open
+
+        barrier = threading.Barrier(8)
+        responses: list[dict] = []
+        collect = threading.Lock()
+
+        def submit() -> None:
+            barrier.wait()
+            response = daemon.handle_request(
+                {"op": "submit", "spec": spec.to_dict()}
+            )
+            with collect:
+                responses.append(response)
+
+        threads = [
+            threading.Thread(target=submit) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        admitted = [r for r in responses if r["ok"]]
+        rejected = [r for r in responses if not r["ok"]]
+        assert len(admitted) == 1
+        assert len(rejected) == 7
+        assert all(r["error"] == "breaker_open" for r in rejected)
+        # Exactly the probe job was queued.
+        assert daemon.queue.depth == 1
 
 
 class TestValidationAndSnapshot:

@@ -1,0 +1,198 @@
+"""Client robustness tests: bounded reads, typed errors, reconnect.
+
+A scripted TCP server plays the daemon — each test declares exactly
+what the "daemon" does per connection (answer, tear the frame, close
+silently), so every failure mode is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import ProtocolError, ServeClient, ServeError
+from repro.service.jobs import JobSpec
+
+
+def _reply(payload: dict):
+    """Handler: answer with one well-formed JSON line."""
+
+    def handler(connection: socket.socket) -> None:
+        connection.sendall(json.dumps(payload).encode() + b"\n")
+
+    return handler
+
+
+def _raw(data: bytes):
+    """Handler: send raw bytes (no newline), then close."""
+
+    def handler(connection: socket.socket) -> None:
+        connection.sendall(data)
+
+    return handler
+
+
+def _close(connection: socket.socket) -> None:
+    """Handler: close without sending anything (daemon died)."""
+
+
+class ScriptedServer:
+    """Accept one connection per scripted handler, in order."""
+
+    def __init__(self, handlers) -> None:
+        self.handlers = list(handlers)
+        self.received: list[dict] = []
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        for handler in self.handlers:
+            try:
+                connection, _ = self._sock.accept()
+            except OSError:  # closed mid-test
+                return
+            with connection:
+                data = bytearray()
+                while not data.endswith(b"\n"):
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    data.extend(chunk)
+                if data:
+                    self.received.append(json.loads(data.decode()))
+                self.connections += 1
+                handler(connection)
+        self._sock.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def serve():
+    servers = []
+
+    def start(*handlers) -> tuple[ScriptedServer, ServeClient]:
+        server = ScriptedServer(handlers)
+        servers.append(server)
+        client = ServeClient(port=server.port, timeout=5.0)
+        return server, client
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestConstruction:
+    def test_needs_an_endpoint(self):
+        with pytest.raises(ValueError):
+            ServeClient()
+
+
+class TestTypedErrors:
+    def test_rejection_raises_serve_error_with_details(self, serve):
+        _, client = serve(
+            _reply({"ok": False, "error": "shed", "retry_after": 2.5})
+        )
+        with pytest.raises(ServeError) as info:
+            client.ping()
+        assert info.value.error == "shed"
+        assert info.value.retry_after == 2.5
+        assert info.value.response["ok"] is False
+
+    def test_retry_after_defaults_to_none(self, serve):
+        _, client = serve(_reply({"ok": False, "error": "draining"}))
+        with pytest.raises(ServeError) as info:
+            client.request({"op": "submit"})
+        assert info.value.retry_after is None
+
+    def test_torn_response_is_a_protocol_error(self, serve):
+        _, client = serve(_raw(b'{"ok": tru'))
+        with pytest.raises(ProtocolError, match="torn response"):
+            client.request({"op": "ping"})
+
+    def test_non_json_response_is_a_protocol_error(self, serve):
+        _, client = serve(_raw(b"hello world\n"))
+        with pytest.raises(ProtocolError):
+            client.request({"op": "ping"})
+
+    def test_oversized_response_is_bounded(self, serve, monkeypatch):
+        monkeypatch.setattr("repro.serve.client.MAX_LINE_BYTES", 64)
+        _, client = serve(_raw(b"x" * 4096))
+        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+            client.request({"op": "ping"})
+
+    def test_silent_close_is_a_connection_reset(self, serve):
+        _, client = serve(_close)
+        with pytest.raises(ConnectionResetError):
+            client.request({"op": "steal", "max_jobs": 1})
+
+
+class TestReconnectOnce:
+    def test_idempotent_request_retries_once_on_reset(self, serve):
+        server, client = serve(_close, _reply({"ok": True, "pong": True}))
+        assert client.ping()["pong"] is True
+        assert server.connections == 2
+
+    def test_non_idempotent_request_never_retries(self, serve):
+        server, client = serve(_close, _reply({"ok": True}))
+        with pytest.raises(ConnectionResetError):
+            client.request({"op": "submit", "spec": {}})
+        # The scripted reply for a second connection was never consumed.
+        assert server.connections == 1
+
+    def test_retry_is_once_not_a_loop(self, serve):
+        server, client = serve(_close, _close)
+        with pytest.raises(ConnectionResetError):
+            client.ping()
+        assert server.connections == 2
+
+
+class TestWrappers:
+    def test_submit_carries_tenant_and_deadlines(self, serve):
+        server, client = serve(
+            _reply({"ok": True, "job_id": "j-000001"})
+        )
+        spec = JobSpec(circuit="builtin:shor_15_2")
+        client.submit(
+            spec,
+            priority=3,
+            tenant="acme",
+            soft_timeout=1.5,
+            hard_timeout=9.0,
+        )
+        (message,) = server.received
+        assert message["op"] == "submit"
+        assert message["spec"] == spec.to_dict()
+        assert message["priority"] == 3
+        assert message["tenant"] == "acme"
+        assert message["soft_timeout"] == 1.5
+        assert message["hard_timeout"] == 9.0
+
+    def test_submit_omits_unset_optionals(self, serve):
+        server, client = serve(_reply({"ok": True}))
+        client.submit(JobSpec(circuit="builtin:shor_15_2"))
+        (message,) = server.received
+        assert "tenant" not in message
+        assert "soft_timeout" not in message
+        assert "hard_timeout" not in message
+
+    def test_drain_targets_a_shard_when_asked(self, serve):
+        server, client = serve(
+            _reply({"ok": True}), _reply({"ok": True})
+        )
+        client.drain()
+        client.drain(shard="s1")
+        assert "shard" not in server.received[0]
+        assert server.received[1]["shard"] == "s1"

@@ -156,6 +156,76 @@ class TestDrainWithoutWorkers:
         assert daemon.queue.depth == 0
 
 
+class TestStealAndJobsOps:
+    """The shard-side primitives the cluster router drives."""
+
+    def test_steal_hands_over_the_longest_waiting_jobs(self, store):
+        daemon = SimDaemon(store, queue_capacity=8, shard_id="s0")
+        low = daemon.handle_request(
+            _submit_message(_spec(seed=1), priority=0, tenant="acme")
+        )
+        high = daemon.handle_request(
+            _submit_message(_spec(seed=2), priority=5)
+        )
+        response = daemon.handle_request({"op": "steal", "max_jobs": 1})
+        assert response["shard"] == "s0"
+        (payload,) = response["stolen"]
+        # The low-priority job — the one that would wait longest here —
+        # moves, with its full submission payload.
+        assert payload["job_id"] == low["job_id"]
+        assert payload["tenant"] == "acme"
+        assert payload["priority"] == 0
+        assert payload["spec"] == _spec(seed=1).to_dict()
+        # The stolen record finalizes here: exactly one owner.
+        assert daemon._jobs[low["job_id"]].status == "stolen"
+        assert daemon._jobs[high["job_id"]].status == "queued"
+        assert daemon.queue.depth == 1
+
+    def test_steal_is_bounded_by_whats_queued(self, store):
+        daemon = SimDaemon(store, queue_capacity=8)
+        daemon.handle_request(_submit_message(_spec()))
+        first = daemon.handle_request({"op": "steal", "max_jobs": 5})
+        assert len(first["stolen"]) == 1
+        again = daemon.handle_request({"op": "steal", "max_jobs": 5})
+        assert again["stolen"] == []
+
+    def test_jobs_op_reports_every_record(self, store):
+        daemon = SimDaemon(store, queue_capacity=8, shard_id="s7")
+        ids = [
+            daemon.handle_request(
+                _submit_message(_spec(seed=seed), tenant=tenant)
+            )["job_id"]
+            for seed, tenant in ((1, "acme"), (2, "beta"))
+        ]
+        response = daemon.handle_request({"op": "jobs"})
+        assert response["shard"] == "s7"
+        by_id = {job["job_id"]: job for job in response["jobs"]}
+        assert set(by_id) == set(ids)
+        assert by_id[ids[0]]["tenant"] == "acme"
+        assert by_id[ids[1]]["tenant"] == "beta"
+        assert all(
+            job["status"] == "queued" for job in response["jobs"]
+        )
+
+    def test_metrics_breaks_down_tenants(self, store):
+        daemon = SimDaemon(store, queue_capacity=8)
+        daemon.handle_request(
+            _submit_message(_spec(seed=1), tenant="acme")
+        )
+        daemon.handle_request(
+            _submit_message(_spec(seed=2), tenant="acme")
+        )
+        daemon.handle_request(_submit_message(_spec(seed=3)))
+        tenants = daemon.handle_request({"op": "metrics"})["tenants"]
+        assert tenants["acme"] == {
+            "queued": 2,
+            "running": 0,
+            "final": 0,
+            "total": 2,
+        }
+        assert tenants["default"]["total"] == 1
+
+
 class TestEndToEnd:
     def test_submit_wait_status_metrics(self, store):
         with run_daemon(store) as (daemon, client):
@@ -195,6 +265,36 @@ class TestEndToEnd:
             # Every accepted job ended in a final state.
             for record in daemon._jobs.values():
                 assert record.final
+
+
+class TestDrainedQueueRestartEndToEnd:
+    def test_parked_jobs_complete_on_the_next_daemon(self, store):
+        """Zero-lost-jobs across a restart, end to end: jobs parked by
+        a drain are re-admitted by the successor daemon and actually
+        run to completion with their tenant intact."""
+        predecessor = SimDaemon(store, queue_capacity=8)
+        specs = [_spec(seed=71), _spec(seed=72)]
+        for spec in specs:
+            assert predecessor.handle_request(
+                _submit_message(spec, tenant="acme")
+            )["ok"]
+        predecessor.request_drain()
+        predecessor._tick()
+        assert predecessor._stopped.is_set()
+
+        with run_daemon(store) as (daemon, client):
+            jobs = client.jobs()["jobs"]
+            assert len(jobs) == 2
+            assert {job["job_hash"] for job in jobs} == {
+                spec.content_hash() for spec in specs
+            }
+            for job in jobs:
+                final = client.wait(job["job_id"], timeout=60.0)["job"]
+                assert final["status"] == "completed"
+                assert final["tenant"] == "acme"
+                assert (
+                    final["result"]["stats"]["fidelity_estimate"] == 1.0
+                )
 
 
 class TestKilledWorker:

@@ -207,3 +207,93 @@ class TestQuarantineReport:
 
     def test_empty_store_reports_nothing(self, store):
         assert store.quarantine_report() == []
+
+
+class TestOwnershipLog:
+    def test_append_and_read_preserve_order(self, store):
+        store.append_ownership(
+            {"event": "assigned", "job_hash": HASH_A, "shard": "s0"}
+        )
+        store.append_ownership(
+            {"event": "readmitted", "job_hash": HASH_A, "shard": "s1"}
+        )
+        store.append_ownership(
+            {"event": "assigned", "job_hash": HASH_B, "shard": "s1"}
+        )
+        events = store.read_ownership_log()
+        assert [e["event"] for e in events] == [
+            "assigned",
+            "readmitted",
+            "assigned",
+        ]
+        assert [e["shard"] for e in events] == ["s0", "s1", "s1"]
+
+    def test_filter_by_hash_prefix(self, store):
+        store.append_ownership({"event": "assigned", "job_hash": HASH_A})
+        store.append_ownership({"event": "assigned", "job_hash": HASH_B})
+        assert len(store.read_ownership_log(HASH_A)) == 1
+        assert len(store.read_ownership_log(HASH_A[:8])) == 1
+        assert len(store.read_ownership_log("a")) == 2  # shared prefix
+        assert store.read_ownership_log("ff") == []
+
+    def test_missing_log_reads_empty(self, store):
+        assert store.read_ownership_log() == []
+
+    def test_torn_tail_and_garbage_rows_are_dropped(self, store):
+        store.append_ownership({"event": "assigned", "job_hash": HASH_A})
+        with open(store.ownership_log_path(), "a", encoding="utf-8") as f:
+            f.write('["not", "a", "dict"]\n')
+            f.write('{"event": "readmit')  # crash mid-append
+        events = store.read_ownership_log()
+        assert [e["event"] for e in events] == ["assigned"]
+
+    def test_concurrent_appenders_never_tear_lines(self, store):
+        import threading
+
+        def append(tag: str) -> None:
+            for index in range(25):
+                store.append_ownership(
+                    {"event": tag, "n": index, "job_hash": HASH_A}
+                )
+
+        threads = [
+            threading.Thread(target=append, args=(f"w{k}",))
+            for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = store.read_ownership_log()
+        assert len(events) == 100
+        for tag in ("w0", "w1", "w2", "w3"):
+            ours = [e["n"] for e in events if e["event"] == tag]
+            assert ours == list(range(25))  # per-writer order intact
+
+
+class TestMultiWriterSafety:
+    """Races between shard daemons sharing one store."""
+
+    def test_checkpoint_vanishing_mid_load_reads_as_none(
+        self, store, monkeypatch
+    ):
+        """A peer shard can complete the job and clear its checkpoint
+        between our existence check and the open; that is "no
+        checkpoint", not corruption."""
+        target = os.path.join(
+            store.checkpoint_dir(HASH_A), "latest.json"
+        )
+        real_exists = os.path.exists
+        monkeypatch.setattr(
+            "repro.service.store.os.path.exists",
+            lambda path: path == target or real_exists(path),
+        )
+        assert store.load_checkpoint(HASH_A) is None
+
+    def test_promote_replaces_an_existing_object(self, store):
+        store.put_result(HASH_A, {"spec": {}, "stats": {"version": 1}})
+        store.put_result(HASH_A, {"spec": {}, "stats": {"version": 2}})
+        assert store.load_result(HASH_A)["stats"] == {"version": 2}
+        # No staging or backup directories linger after the swap.
+        shard_dir = os.path.dirname(store.result_dir(HASH_A))
+        assert os.listdir(shard_dir) == [HASH_A]
