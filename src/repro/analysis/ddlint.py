@@ -35,6 +35,11 @@ DD006     Touching unique-table / compute-cache internals (``_vtable``,
           layout is backend-private; callers must use the ``DDBackend``
           interface (``integrity_problems``, ``cache_stats``,
           ``unique_table_sizes``) so every backend stays swappable.
+DD013     ``open()`` / ``os.replace()`` / ``os.rename()`` on artifact-
+          store paths outside ``repro.service.{store,replication,
+          lease}`` — direct file access bypasses integrity blocks,
+          atomic promotion, quorum replication, and lease fencing; go
+          through the :class:`~repro.service.store.ArtifactStore` API.
 ========  ============================================================
 
 Rules DD007 — DD012 are *dataflow-aware passes* — float determinism
@@ -87,7 +92,7 @@ class Violation:
     """One finding: a rule broken at a specific source location.
 
     Attributes:
-        rule: Rule code (``DD001`` … ``DD012``).
+        rule: Rule code (``DD001`` … ``DD013``).
         path: Repo-relative POSIX path of the offending file.
         line: 1-based source line.
         col: 0-based column offset.
@@ -229,6 +234,17 @@ RULES: dict[str, Rule] = {
             "through the sanctioned Package/backend/strategy APIs "
             "(compile-time counterpart of the DDSan runtime audit)",
         ),
+        Rule(
+            "DD013",
+            "no direct open()/os.replace()/os.rename() on artifact-"
+            "store paths outside repro.service.{store,replication,"
+            "lease}",
+            "direct file access bypasses integrity blocks, atomic "
+            "staging promotion, quorum replication, and lease fencing; "
+            "a file written next to the store API is invisible to "
+            "replicas and the scrubber — use ArtifactStore methods "
+            "(park_jobs, append_ownership, save_checkpoint, ...)",
+        ),
     )
 }
 
@@ -258,6 +274,28 @@ _BACKEND_INTERNALS = frozenset(
 
 #: Module allowed to compare floats exactly (it defines the tolerance).
 _CTABLE = "repro.dd.ctable"
+
+#: Modules that implement the artifact store and may touch its files
+#: directly (DD013): the store itself, the replication layer over it,
+#: and the lease primitives.
+_STORE_PRIVILEGED = (
+    "repro.service.store",
+    "repro.service.replication",
+    "repro.service.lease",
+)
+
+#: ArtifactStore methods that return paths *inside* the store; passing
+#: one to open()/os.replace() is direct store-file access (DD013).
+_STORE_PATH_METHODS = frozenset(
+    {
+        "result_dir",
+        "checkpoint_dir",
+        "lease_path",
+        "parked_jobs_path",
+        "ownership_log_path",
+        "quarantine_root",
+    }
+)
 
 #: Packages whose public API must be fully annotated (DD004).
 _ANNOTATED_PACKAGES = ("repro.dd", "repro.core")
@@ -350,6 +388,34 @@ def _call_target_name(node: ast.Call) -> str | None:
     return None
 
 
+def _names_store(node: ast.expr) -> bool:
+    """True when the expression is an identifier that *is* a store
+    (``store``, ``self.store``, ``self._store``, ``replica``, ...)."""
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    else:
+        return False
+    lowered = identifier.lower()
+    return "store" in lowered or "replica" in lowered
+
+
+def _is_store_path_expr(node: ast.expr) -> bool:
+    """True when any subexpression names a path inside an artifact
+    store: ``<store>.root`` or a call to a store path method
+    (``result_dir``, ``lease_path``, ...)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            if sub.attr == "root" and _names_store(sub.value):
+                return True
+            if sub.attr in _STORE_PATH_METHODS and isinstance(
+                sub.value, (ast.Name, ast.Attribute)
+            ):
+                return True
+    return False
+
+
 class _Checker(ast.NodeVisitor):
     """Single-pass visitor collecting violations for one module."""
 
@@ -369,6 +435,10 @@ class _Checker(ast.NodeVisitor):
         self._wants_annotations = any(
             module == pkg or module.startswith(pkg + ".")
             for pkg in _ANNOTATED_PACKAGES
+        )
+        self._store_privileged = any(
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in _STORE_PRIVILEGED
         )
         self._depth = 0  # function-nesting depth, for DD004 scoping
 
@@ -421,6 +491,32 @@ class _Checker(ast.NodeVisitor):
                 "time.time() is not monotonic; use time.perf_counter() "
                 "for durations (repro.obs timers expect it)",
             )
+        # DD013: direct file access on artifact-store paths
+        if not self._store_privileged:
+            is_open = isinstance(func, ast.Name) and func.id == "open"
+            is_os_move = (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("replace", "rename")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            )
+            if is_open or is_os_move:
+                arguments = list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]
+                if any(_is_store_path_expr(arg) for arg in arguments):
+                    verb = (
+                        "open()" if is_open else f"os.{func.attr}()"
+                    )
+                    self._report(
+                        "DD013",
+                        node,
+                        f"{verb} on an artifact-store path bypasses "
+                        "integrity blocks, atomic promotion, quorum "
+                        "replication, and lease fencing; use the "
+                        "ArtifactStore API (park_jobs, save_checkpoint, "
+                        "append_ownership, ...)",
+                    )
         self.generic_visit(node)
 
     # -- DD002: exact float/complex comparison ----------------------------

@@ -67,6 +67,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 import numpy as np
 
@@ -98,11 +99,12 @@ from .obs import (
 )
 from .postprocessing import postprocess_counts, shift_counts
 from .service import (
-    ArtifactStore,
     JobEngine,
     JobSpec,
+    ReplicatedStore,
     build_builtin_circuit,
     load_job_specs,
+    open_store,
 )
 
 #: Default artifact-store location for engine-backed subcommands.
@@ -667,7 +669,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    store = ArtifactStore(args.store)
+    store = open_store(args.store)
     if args.jobs_command == "ls":
         rows = list(store.iter_results())
         checkpointed = set(store.iter_checkpoints())
@@ -762,15 +764,23 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             if args.older_than_days is not None
             else None
         )
+        staging = (
+            args.staging_older_than_hours * 3600.0
+            if args.staging_older_than_hours is not None
+            and args.staging_older_than_hours > 0
+            else None  # 0 or negative disables staging reaping
+        )
         removed = store.gc(
             older_than_seconds=older,
             remove_results=args.results,
             remove_quarantine=args.quarantine,
+            staging_older_than_seconds=staging,
         )
         print(
             f"removed {removed['checkpoints']} stale checkpoint(s), "
             f"{removed['results']} result(s), "
-            f"{removed['quarantined']} quarantined item(s)"
+            f"{removed['quarantined']} quarantined item(s), "
+            f"{removed['staging']} abandoned staging dir(s)"
         )
         return 0
     print(f"error: unknown jobs command {args.jobs_command!r}",
@@ -877,7 +887,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    store = ArtifactStore(args.store)
+    store = open_store(args.store)
     # The router takes the endpoint the CLI was given; shard sockets
     # live in their own short-path directory.
     shard_args: list[str] = []
@@ -895,6 +905,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         shard_args=shard_args,
         quotas=quotas,
         rate_limits=rate_limits,
+        scrub_interval=args.scrub_interval or None,
     )
     if args.port:
         cluster.router.socket_path = None
@@ -942,7 +953,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: bad --ladder: {error}", file=sys.stderr)
         return 2
-    store = ArtifactStore(args.store)
+    store = open_store(args.store)
     if args.port:
         socket_path = None
     else:
@@ -1116,6 +1127,95 @@ def _cmd_drain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_store_section(status: dict) -> None:
+    """Render a store-health document (``cluster status`` / ``store
+    status`` share this format)."""
+    print("store:")
+    if not status.get("replicated"):
+        print("  plain (unreplicated) store")
+        return
+    mode = (
+        "read-only (write quorum lost)"
+        if status.get("read_only")
+        else "read-write"
+    )
+    print(
+        f"  replication_factor={status.get('replication_factor', '?')} "
+        f"write_quorum={status.get('write_quorum', '?')} "
+        f"mode={mode} read_repairs={status.get('repairs', 0)}"
+    )
+    for replica in status.get("replicas", []):
+        print(
+            f"  replica-{replica.get('index', '?')}: "
+            f"{replica.get('state', '?')}"
+        )
+    last = status.get("last_scrub")
+    if last is not None:
+        age = max(0.0, time.time() - float(last))  # ddlint: ignore[DD005]
+        print(f"  last_scrub: {age:.0f}s ago")
+    else:
+        print("  last_scrub: never")
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "init":
+        try:
+            store = ReplicatedStore.create(
+                args.store,
+                replicas=args.replicas,
+                write_quorum=args.write_quorum,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"initialised replicated store at {store.root} "
+            f"(replicas={store.replica_count}, "
+            f"write_quorum={store.write_quorum})"
+        )
+        return 0
+    store = open_store(args.store)
+    if not isinstance(store, ReplicatedStore):
+        if args.store_command == "status":
+            _print_store_section({"replicated": False})
+            return 0
+        print(
+            f"error: {store.root} is not a replicated store "
+            "(initialise one with 'store init --replicas N')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_command == "status":
+        _print_store_section(store.status())
+        return 0
+    if args.store_command in ("scrub", "repair"):
+        repair = args.store_command == "repair" or args.repair
+        report = store.scrub(repair=repair)
+        print(
+            f"checked {report['results_checked']} result(s), "
+            f"{report['checkpoints_checked']} checkpoint(s) in "
+            f"{report['duration_seconds']:.2f}s"
+        )
+        print(
+            f"repaired={report['repaired']} "
+            f"quarantined={report['quarantined']} lost={report['lost']}"
+        )
+        for problem in report["problems"][:20]:
+            print(f"  {problem}")
+        if report["lost"]:
+            # No healthy copy anywhere — recompute (the spec hash is
+            # the identity, so resubmitting regenerates the artifact).
+            return 1
+        if not repair and report["problems"]:
+            return 1  # problems found and left in place (detect-only)
+        return 0
+    print(
+        f"error: unknown store command {args.store_command!r}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from .serve import ServeError
 
@@ -1136,6 +1236,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"draining: {metrics.get('draining', False)}")
+    _print_store_section(metrics.get("store") or {})
     print("shards:")
     for shard_id in sorted(metrics.get("shards", {})):
         shard = metrics["shards"][shard_id]
@@ -1144,7 +1245,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"queue={shard['queue_depth']}/{shard['queue_capacity']} "
             f"running={shard['running']} "
             f"ladder_tier={shard['ladder_tier']} "
-            f"breaker_open={shard['breaker_open']}"
+            f"breaker_open={shard['breaker_open']} "
+            f"leases={shard.get('leases_held', 0)}"
         )
     tenants = metrics.get("tenants", {})
     if tenants:
@@ -1778,8 +1880,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also purge quarantined (corrupt) artifacts",
     )
+    jobs_gc.add_argument(
+        "--staging-older-than-hours",
+        type=float,
+        default=1.0,
+        metavar="H",
+        help="reap staging dirs abandoned by crashed writers once "
+        "older than this (default: %(default)s; in-flight puts are "
+        "younger and survive)",
+    )
     _store_option(jobs_gc)
     jobs_gc.set_defaults(handler=_cmd_jobs)
+
+    store_parser = sub.add_parser(
+        "store",
+        help="replicated artifact store: init, scrub, repair, status "
+        "(docs/SERVICE.md § Replication & durability)",
+    )
+    store_sub = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_init = store_sub.add_parser(
+        "init", help="turn a store root into an N-replica replicated store"
+    )
+    store_init.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replica count N (default: %(default)s)",
+    )
+    store_init.add_argument(
+        "--write-quorum",
+        type=int,
+        default=None,
+        metavar="W",
+        help="acks required per write (default: majority, N//2+1)",
+    )
+    _store_option(store_init)
+    store_init.set_defaults(handler=_cmd_store)
+    store_scrub = store_sub.add_parser(
+        "scrub",
+        help="verify every artifact copy on every replica (detect-only "
+        "unless --repair; exit 1 when problems remain)",
+    )
+    store_scrub.add_argument(
+        "--repair",
+        action="store_true",
+        help="also quarantine corrupt copies and re-replicate healthy "
+        "bytes (same as 'store repair')",
+    )
+    _store_option(store_scrub)
+    store_scrub.set_defaults(handler=_cmd_store)
+    store_repair = store_sub.add_parser(
+        "repair",
+        help="scrub with repairs: quarantine corrupt copies and restore "
+        "the replication factor from healthy ones",
+    )
+    _store_option(store_repair)
+    store_repair.set_defaults(handler=_cmd_store)
+    store_status = store_sub.add_parser(
+        "status",
+        help="replication factor, per-replica health, read-only mode, "
+        "last scrub",
+    )
+    _store_option(store_status)
+    store_status.set_defaults(handler=_cmd_store)
 
     faults = sub.add_parser(
         "faults", help="fault-injection plans: list sites, validate plans"
@@ -1907,6 +2072,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster router: token-bucket admission rate per tenant "
         "in jobs/second (repeatable; '*' = default; burst defaults "
         "to 2x rate)",
+    )
+    serve.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="cluster router: background anti-entropy scrub period for "
+        "a replicated store (0 disables; see 'store scrub')",
     )
     _backend_option(serve)
     serve.set_defaults(handler=_cmd_serve)

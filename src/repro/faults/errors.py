@@ -65,6 +65,65 @@ class PartialWriteFault(ConnectionResetError):
     """
 
 
+class QuorumLost(TransientFault):
+    """A replicated-store write could not reach its write quorum.
+
+    Transient by design: replicas come back (restart, scrub repair) and
+    the write may then succeed.  While quorum is unreachable the
+    :class:`~repro.service.replication.ReplicatedStore` degrades to
+    read-only mode and admission control sheds new work instead of
+    accepting jobs whose artifacts could not be durably persisted.
+
+    Attributes:
+        acked: Number of replicas that acknowledged the write.
+        needed: The write quorum the store is configured for.
+    """
+
+    def __init__(self, message: str, acked: int = 0, needed: int = 0):
+        super().__init__(message)
+        self.acked = acked
+        self.needed = needed
+
+
+class StaleLeaseError(PermanentFault):
+    """A fenced write carried an epoch older than the current lease.
+
+    Raised by the *store layer* (not the router) when a recovered
+    ex-owner tries to persist a checkpoint for a job whose ownership
+    lease has since been re-acquired at a higher epoch.  Permanent for
+    the writer: the job now belongs to someone else, so retrying the
+    same write can never succeed.
+
+    Attributes:
+        job_hash: The job whose lease fenced the write.
+        fence_epoch: Epoch the rejected writer presented.
+        lease_epoch: Current (higher) epoch recorded in the lease.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_hash: str = "",
+        fence_epoch: int = 0,
+        lease_epoch: int = 0,
+    ):
+        super().__init__(message)
+        self.job_hash = job_hash
+        self.fence_epoch = fence_epoch
+        self.lease_epoch = lease_epoch
+
+
+class StaleReplicaFault(RuntimeError):
+    """An injected lying-fsync: the replica acks a write it then drops.
+
+    Raised *to the replication layer only* (never surfaced to callers):
+    the quorum loop counts the ack but the replica's copy is missing or
+    stale, modelling firmware that acknowledges before the bytes are
+    durable.  Anti-entropy scrubbing must detect and repair the
+    divergence.
+    """
+
+
 class MemoryBudgetExceeded(PermanentFault):
     """Memory pressure persists but the fidelity floor forbids degrading.
 

@@ -22,13 +22,19 @@ rule with ``max_hits: 1`` then fires exactly once per chaos run).
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
 import time
 from dataclasses import dataclass
 
 from ..obs import get_recorder
-from .errors import PartialWriteFault, PermanentFault, TransientFault
+from .errors import (
+    PartialWriteFault,
+    PermanentFault,
+    StaleReplicaFault,
+    TransientFault,
+)
 from .plan import FILE_KINDS, FaultPlan, FaultRule
 
 ENV_PLAN = "REPRO_FAULTS"
@@ -111,6 +117,11 @@ class FaultInjector:
                 continue
             if rule.at_op is not None and context.get("op_index") != rule.at_op:
                 continue
+            if any(
+                context.get(key) != value
+                for key, value in rule.match.items()
+            ):
+                continue
             visit = self._next_visit(rule_index)
             if visit <= rule.after_hits:
                 continue
@@ -164,6 +175,19 @@ class FaultInjector:
             )
         if rule.kind == "partial_write":
             raise PartialWriteFault(f"injected partial write at {where}")
+        if rule.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full fault at {where}"
+            )
+        if rule.kind == "replica_down":
+            raise OSError(
+                errno.EHOSTUNREACH,
+                f"injected unreachable replica at {where}",
+            )
+        if rule.kind == "stale_replica":
+            raise StaleReplicaFault(
+                f"injected lying fsync (acked, dropped) at {where}"
+            )
         if rule.kind == "slow":
             delay = rule.args.get("delay_seconds", 0.05)
             time.sleep(max(0.0, float(delay)))  # type: ignore[arg-type]

@@ -54,6 +54,15 @@ SITES: dict[str, str] = {
         "the connection is made — network fault kinds (conn_refused, "
         "partial_write, slow) target this site"
     ),
+    "store.replica": (
+        "ReplicatedStore, once per replica per operation — before "
+        "delegated reads, after delegated writes (so file kinds see "
+        "the written bytes).  Context carries replica=<index>, "
+        "op=<store method>, and path when one file is involved; pair "
+        "with 'match' to target one replica.  Replica fault kinds "
+        "(bitrot, enospc, replica_down, stale_replica) target this "
+        "site"
+    ),
 }
 
 #: Known fault kinds: name -> effect when the rule fires.
@@ -76,10 +85,28 @@ KINDS: dict[str, str] = {
         "sleep args.delay_seconds (default 0.05) then proceed — "
         "latency, not failure"
     ),
+    "bitrot": (
+        "flip one byte of the file named by the path context "
+        "(args.offset) — at-rest corruption a scrub/read-repair "
+        "must catch"
+    ),
+    "enospc": (
+        "raise OSError(ENOSPC) — the replica's disk is full; the "
+        "quorum loop counts a failed ack"
+    ),
+    "replica_down": (
+        "raise OSError(EHOSTUNREACH) — the replica is unreachable; "
+        "reads fall through to the next replica, writes lose an ack"
+    ),
+    "stale_replica": (
+        "raise repro.faults.errors.StaleReplicaFault — a lying fsync: "
+        "the replication layer counts the ack but the replica's copy "
+        "is dropped; only anti-entropy repair heals the divergence"
+    ),
 }
 
 #: Kinds that mutate a file and therefore need ``path`` context.
-FILE_KINDS = frozenset({"truncate", "corrupt"})
+FILE_KINDS = frozenset({"truncate", "corrupt", "bitrot"})
 
 
 @dataclass(frozen=True)
@@ -94,8 +121,13 @@ class FaultRule:
         after_hits: Skip this many matching visits before arming.
         max_hits: Fire at most this many times (None = unbounded).
         probability: Chance of firing per armed visit, in ``(0, 1]``.
+        match: Context filter: the rule only *matches* visits whose
+            site context equals every listed key/value (e.g.
+            ``{"replica": 1, "op": "save_checkpoint"}`` scopes a
+            ``store.replica`` rule to one replica's checkpoint
+            writes).  Non-matching visits are not counted.
         args: Kind-specific arguments (``truncate``: ``keep_bytes``;
-            ``corrupt``: ``offset``).
+            ``corrupt``/``bitrot``: ``offset``).
     """
 
     site: str
@@ -104,6 +136,7 @@ class FaultRule:
     after_hits: int = 0
     max_hits: int | None = 1
     probability: float = 1.0
+    match: dict[str, object] = field(default_factory=dict)
     args: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -123,6 +156,8 @@ class FaultRule:
             raise ValueError("max_hits must be positive (or null)")
         if not 0.0 < self.probability <= 1.0:
             raise ValueError("probability must be in (0, 1]")
+        if not isinstance(self.match, dict):
+            raise ValueError("match must be an object of context keys")
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
@@ -133,6 +168,7 @@ class FaultRule:
             "after_hits": self.after_hits,
             "max_hits": self.max_hits,
             "probability": self.probability,
+            "match": dict(self.match),
             "args": dict(self.args),
         }
 
@@ -141,7 +177,7 @@ class FaultRule:
         """Rebuild a rule; raises ValueError on unknown keys/values."""
         known = {
             "site", "kind", "at_op", "after_hits", "max_hits",
-            "probability", "args",
+            "probability", "match", "args",
         }
         unknown = set(data) - known
         if unknown:
@@ -153,6 +189,8 @@ class FaultRule:
         payload = dict(data)
         if payload.get("args") is None:
             payload["args"] = {}
+        if payload.get("match") is None:
+            payload["match"] = {}
         return cls(**payload)
 
 

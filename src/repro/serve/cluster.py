@@ -24,6 +24,8 @@ import sys
 import tempfile
 import time
 
+from ..service.lease import DEFAULT_LEASE_TTL
+from ..service.replication import open_store
 from ..service.store import ArtifactStore
 from .client import ServeClient
 from .membership import Membership
@@ -44,7 +46,8 @@ class ServeCluster:
         shard_args: Extra CLI arguments appended to every shard's
             ``repro-sim serve`` command line (e.g. ``--fault-plan``).
         quotas / rate_limits / fail_threshold / steal_threshold /
-            steal_batch / tick_interval: Router knobs (see
+            steal_batch / lease_ttl / scrub_interval / tick_interval:
+            Router knobs (see
             :class:`~repro.serve.router.ClusterRouter`).
         startup_timeout: Seconds to wait for every shard to answer its
             first ping.
@@ -66,6 +69,8 @@ class ServeCluster:
         fail_threshold: int = 3,
         steal_threshold: int = 4,
         steal_batch: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        scrub_interval: float | None = None,
         tick_interval: float = 0.1,
         startup_timeout: float = 30.0,
         shard_grace: float = 60.0,
@@ -74,7 +79,7 @@ class ServeCluster:
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
         self.store = (
-            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+            store if isinstance(store, ArtifactStore) else open_store(store)
         )
         self.shards = shards
         self.workers = workers
@@ -101,6 +106,8 @@ class ServeCluster:
             rate_limits=rate_limits,
             steal_threshold=steal_threshold,
             steal_batch=steal_batch,
+            lease_ttl=lease_ttl,
+            scrub_interval=scrub_interval,
             socket_path=os.path.join(self.socket_dir, "router.sock"),
             tick_interval=tick_interval,
             log=self._log_stream,

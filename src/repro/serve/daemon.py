@@ -26,11 +26,16 @@ artifacts and checkpoints):
   still-queued jobs to ``<store>/serve/drained-queue.json`` (reloaded
   and re-admitted on the next start), and exit once nothing is
   running.  No accepted job is ever silently lost.
+
+Store degradation is part of admission: when the store is replicated
+(:class:`repro.service.replication.ReplicatedStore`) and has dropped
+to read-only after a lost write quorum, submissions shed with
+``store_degraded`` rather than accepting work whose artifacts could
+not be durably persisted.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import socketserver
 import sys
@@ -42,6 +47,7 @@ from ..faults.errors import PERMANENT
 from ..obs import get_recorder
 from ..service.engine import JobResult
 from ..service.jobs import JobSpec
+from ..service.replication import open_store
 from ..service.store import ArtifactStore
 from .breaker import CircuitBreaker
 from .degrade import FidelityLadder
@@ -92,6 +98,10 @@ class JobRecord:
     result: JobResult | None = None
     error: str = ""
     events: list[str] = field(default_factory=list)
+    #: Ownership-lease fence token (``{"owner", "epoch"}``) stamped by
+    #: the cluster router; handed to the worker so the store rejects
+    #: checkpoint writes from a shard whose lease was reassigned.
+    fence: dict | None = None
 
     @property
     def final(self) -> bool:
@@ -231,7 +241,7 @@ class SimDaemon:
         log=None,
     ) -> None:
         self.store = (
-            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+            store if isinstance(store, ArtifactStore) else open_store(store)
         )
         self.queue = AdmissionQueue(capacity=queue_capacity)
         self.ladder = ladder if ladder is not None else FidelityLadder()
@@ -345,19 +355,18 @@ class SimDaemon:
     # Drained-queue persistence
     # ------------------------------------------------------------------
 
-    def _drained_queue_path(self) -> str:
+    def _drained_queue_name(self) -> str:
         name = (
-            f"drained-queue-{self.shard_id}.json"
+            f"drained-queue-{self.shard_id}"
             if self.shard_id
-            else DRAINED_QUEUE_FILE
+            else DRAINED_QUEUE_FILE.removesuffix(".json")
         )
-        return os.path.join(self.store.root, "serve", name)
+        return name
 
     def _persist_drained_queue(self, records: list[JobRecord]) -> None:
         if not records:
             return
-        path = self._drained_queue_path()
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+        name = self._drained_queue_name()
         payload = [
             {
                 "spec": record.spec.to_dict(),
@@ -368,25 +377,25 @@ class SimDaemon:
             }
             for record in records
         ]
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        try:
+            self.store.park_jobs(name, payload)
+        except OSError as error:
+            self._log(f"failed to persist drained queue: {error}")
+            return
         self._log(
-            f"persisted {len(records)} queued job(s) to {path} for the "
-            "next start"
+            f"persisted {len(records)} queued job(s) to "
+            f"{self.store.parked_jobs_path(name)} for the next start"
         )
 
     def _restore_drained_queue(self) -> None:
-        path = self._drained_queue_path()
-        if not os.path.exists(path):
-            return
+        name = self._drained_queue_name()
         try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-            entries = payload if isinstance(payload, list) else []
-        except (OSError, json.JSONDecodeError) as error:
+            entries = self.store.take_parked_jobs(name)
+        except OSError as error:
             self._log(f"ignoring unreadable drained queue: {error}")
             return
-        os.unlink(path)
+        if not entries:
+            return
         restored = 0
         leftover = []
         with self._lock:
@@ -417,8 +426,10 @@ class SimDaemon:
                     del self._jobs[record.job_id]
                     leftover.append(entry)
         if leftover:
-            with open(path, "w", encoding="utf-8") as handle:
-                json.dump(leftover, handle, indent=2)
+            try:
+                self.store.park_jobs(name, leftover)
+            except OSError as error:
+                self._log(f"failed to re-park overflow jobs: {error}")
         if restored:
             self._log(
                 f"re-admitted {restored} job(s) from the previous drain"
@@ -486,6 +497,17 @@ class SimDaemon:
                 spec_doc = message.get("spec")
                 if not isinstance(spec_doc, dict):
                     return error_response("submit requires a spec object")
+                if getattr(self.store, "read_only", False):
+                    # A replicated store that lost its write quorum is
+                    # read-only: accepting the job would let it run and
+                    # then fail to persist its artifact.  Shed instead;
+                    # a scrub (or recovered replica) lifts the mode.
+                    if obs.enabled:
+                        obs.count("serve.rejected_store_degraded")
+                    return error_response(
+                        "store_degraded",
+                        retry_after=self._retry_after_estimate(),
+                    )
                 try:
                     spec = JobSpec.from_dict(spec_doc)
                 except (TypeError, ValueError) as error:
@@ -532,6 +554,8 @@ class SimDaemon:
                 record.hard_timeout = (
                     float(hard) if hard is not None else None
                 )
+                fence = message.get("fence")
+                record.fence = fence if isinstance(fence, dict) else None
                 # Cannot fail: fullness was checked under this lock.
                 self.queue.offer(
                     QueueItem(job_id=record.job_id, priority=priority)
@@ -583,6 +607,13 @@ class SimDaemon:
 
     def _handle_metrics(self) -> dict:
         obs = get_recorder()
+        # Store health involves file reads (scrub status, read-only
+        # marker) — gather it before taking the state lock (DD009).
+        store_status = (
+            self.store.status()
+            if hasattr(self.store, "status")
+            else {"replicated": False}
+        )
         with self._lock:
             statuses: dict[str, int] = {}
             tiers: dict[str, int] = {}
@@ -606,6 +637,7 @@ class SimDaemon:
                 self.queue.utilization
             )
             return ok_response(
+                store=store_status,
                 shard=self.shard_id,
                 queue_depth=self.queue.depth,
                 queue_capacity=self.queue.capacity,
@@ -764,7 +796,10 @@ class SimDaemon:
                 else None
             )
             if not self.supervisor.submit(
-                record.job_id, record.spec, soft_deadline
+                record.job_id,
+                record.spec,
+                soft_deadline,
+                fence=record.fence,
             ):
                 # Raced with a worker death; try again next tick.
                 self.queue.offer(item)

@@ -50,6 +50,9 @@ class ShardInfo:
     running: int = 0
     breaker_open: int = 0
     ladder_tier: int = 0
+    #: Ownership leases this shard currently holds (router-granted;
+    #: see repro.service.lease).  Synced by the router's metrics pass.
+    leases_held: int = 0
     stats: dict = field(default_factory=dict)
 
     @property
@@ -115,6 +118,7 @@ class Membership:
                 "running": info.running,
                 "breaker_open": info.breaker_open,
                 "ladder_tier": info.ladder_tier,
+                "leases_held": info.leases_held,
             }
             for info in self._shards.values()
         }

@@ -24,10 +24,21 @@ front door it adds the cluster concerns:
   time.  Failover reassigns ownership before re-submitting; work
   stealing finalizes the job as ``stolen`` on the hot shard inside the
   ``steal`` op itself before the router re-admits it on the cool one.
-  A ``down`` shard that comes back keeps running its orphaned copies,
-  but the router ignores their reports — results land in the shared
-  content-addressed store either way, so the duplicate costs compute,
-  not correctness.
+  Ownership is backed by store leases (:mod:`repro.service.lease`):
+  every placement force-acquires an epoch-numbered lease for the
+  target shard and hands the fence token down with the submission, so
+  a ``down`` ex-owner that comes back and keeps running its orphaned
+  copy cannot overwrite the new owner's checkpoints — the store
+  rejects its stale-epoch writes
+  (:class:`~repro.faults.errors.StaleLeaseError`).  Results still land
+  in the shared content-addressed store either way, so the duplicate
+  costs compute, not correctness.
+* **Store health** — when the store is replicated
+  (:class:`~repro.service.replication.ReplicatedStore`), admission
+  sheds with ``store_degraded`` while the store is read-only after a
+  lost write quorum, ``metrics`` carries a ``store:`` section with
+  per-replica health, and the router can trigger periodic anti-entropy
+  scrubs (``scrub_interval``).
 * **Tenancy** — per-tenant max-in-flight quotas and token-bucket rate
   limits are enforced at admission, before any shard sees the request
   (rejections: ``error="quota"`` / ``error="rate_limited"``, both with
@@ -47,16 +58,18 @@ the lock and *performed* after release.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import threading
 import time
 from dataclasses import dataclass, field
 
+from ..faults.errors import QuorumLost
 from ..faults.injector import inject
 from ..obs import get_recorder
 from ..service.jobs import JobSpec
+from ..service.lease import DEFAULT_LEASE_TTL, LeaseManager
+from ..service.replication import open_store
 from ..service.store import ArtifactStore
 from .client import ServeClient, ServeError
 from .daemon import DEFAULT_TENANT, build_line_server
@@ -156,6 +169,11 @@ class ClusterRouter:
         steal_threshold: Queue-depth gap between the hottest and
             coolest shard that triggers work stealing.
         steal_batch: Maximum jobs moved per stealing pass.
+        lease_ttl: Ownership-lease lifetime in seconds; the router
+            renews held leases at one third of this period.
+        scrub_interval: Seconds between background anti-entropy scrubs
+            of a replicated store (None disables; ignored for a plain
+            store).
         rpc_timeout: Socket timeout for router→shard RPCs.
         socket_path / host / port: The router's own listener endpoint.
         tick_interval: Supervision-loop period in seconds.
@@ -171,6 +189,8 @@ class ClusterRouter:
         max_readmissions: int = 5,
         steal_threshold: int = 4,
         steal_batch: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        scrub_interval: float | None = None,
         rpc_timeout: float = 30.0,
         socket_path: str | None = None,
         host: str = "127.0.0.1",
@@ -179,9 +199,11 @@ class ClusterRouter:
         log=None,
     ) -> None:
         self.store = (
-            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+            store if isinstance(store, ArtifactStore) else open_store(store)
         )
         self.membership = membership
+        self.leases = LeaseManager(self.store, ttl_seconds=lease_ttl)
+        self.scrub_interval = scrub_interval
         self.quotas = dict(quotas or {})
         self.rate_limits = dict(rate_limits or {})
         if max_readmissions < 1:
@@ -209,6 +231,9 @@ class ClusterRouter:
         self._server = None
         self._server_thread: threading.Thread | None = None
         self._started = False
+        self._last_lease_renewal = 0.0
+        self._last_scrub: float | None = None
+        self._scrub_thread: threading.Thread | None = None
         self.address: tuple[str, int] | str | None = None
         self.clock = time.monotonic
 
@@ -297,14 +322,13 @@ class ClusterRouter:
     # for jobs that had no live owner when the cluster went down)
     # ------------------------------------------------------------------
 
-    def _orphan_path(self) -> str:
-        return os.path.join(self.store.root, "serve", ROUTER_DRAINED_FILE)
+    def _orphan_name(self) -> str:
+        return ROUTER_DRAINED_FILE.removesuffix(".json")
 
     def _persist_orphans(self, jobs: list[ClusterJob]) -> None:
         if not jobs:
             return
-        path = self._orphan_path()
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+        name = self._orphan_name()
         payload = [
             {
                 "spec": job.spec_doc,
@@ -315,25 +339,24 @@ class ClusterRouter:
             }
             for job in jobs
         ]
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        try:
+            self.store.park_jobs(name, payload)
+        except (OSError, QuorumLost) as error:
+            self._log(f"failed to park unowned jobs: {error}")
+            return
         self._log(
-            f"parked {len(jobs)} unowned job(s) to {path} for the next "
-            "start"
+            f"parked {len(jobs)} unowned job(s) to "
+            f"{self.store.parked_jobs_path(name)} for the next start"
         )
 
     def _restore_orphans(self) -> None:
-        path = self._orphan_path()
-        if not os.path.exists(path):
-            return
         try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-            entries = payload if isinstance(payload, list) else []
-        except (OSError, json.JSONDecodeError) as error:
+            entries = self.store.take_parked_jobs(self._orphan_name())
+        except OSError as error:
             self._log(f"ignoring unreadable parked-job file: {error}")
             return
-        os.unlink(path)
+        if not entries:
+            return
         restored = 0
         with self._lock:
             for entry in entries:
@@ -495,18 +518,45 @@ class ClusterRouter:
                 )
         return None
 
-    def _submit_message(self, job: ClusterJob) -> dict:
+    def _submit_message(
+        self, job: ClusterJob, fence: dict | None = None
+    ) -> dict:
         message: dict = {
             "op": "submit",
             "spec": job.spec_doc,
             "priority": job.priority,
             "tenant": job.tenant,
         }
+        if fence is not None:
+            message["fence"] = fence
         if job.soft_timeout is not None:
             message["soft_timeout"] = job.soft_timeout
         if job.hard_timeout is not None:
             message["hard_timeout"] = job.hard_timeout
         return message
+
+    def _grant_lease(self, job: ClusterJob, shard_id: str) -> dict | None:
+        """Force-acquire the job's ownership lease for ``shard_id``.
+
+        Called with no lock held (lease writes are store I/O).  A
+        repeat grant to the *same* shard renews the lease at the same
+        epoch; granting to a different shard bumps the epoch, which is
+        what fences out the previous owner's in-flight checkpoint
+        writes.  Returns the fence token, or None when the store
+        cannot persist the lease right now (the placement proceeds
+        unfenced rather than losing the job).
+        """
+        try:
+            lease = self.leases.acquire(
+                job.job_hash, owner=shard_id, force=True
+            )
+        except (OSError, QuorumLost) as error:
+            self._log(
+                f"lease grant for {job.cluster_id} on {shard_id} "
+                f"failed: {error}"
+            )
+            return None
+        return lease.fence
 
     def _handle_submit(self, message: dict) -> dict:
         obs = get_recorder()
@@ -532,6 +582,14 @@ class ClusterRouter:
         job_hash = spec.content_hash()
         tenant = str(message.get("tenant") or DEFAULT_TENANT)
         priority = int(message.get("priority", 0))
+        if getattr(self.store, "read_only", False):
+            # Replicated store lost its write quorum: every shard
+            # shares it, so placement is pointless — shed here with a
+            # distinguishable error (checked before the lock; the
+            # read-only probe is a marker-file stat).
+            if obs.enabled:
+                obs.count("cluster.rejected_store_degraded")
+            return error_response("store_degraded", retry_after=1.0)
         with self._lock:
             if self.draining:
                 return error_response("draining")
@@ -591,10 +649,13 @@ class ClusterRouter:
         (shed, connection failures) move on to the next preference.
         """
         for shard_id in targets:
+            fence = self._grant_lease(job, shard_id)
             try:
-                response = self._rpc(shard_id, self._submit_message(job))
+                response = self._rpc(
+                    shard_id, self._submit_message(job, fence)
+                )
             except ServeError as error:
-                if error.error in ("shed", "draining"):
+                if error.error in ("shed", "draining", "store_degraded"):
                     continue
                 # breaker_open (or a malformed-spec disagreement):
                 # trying other shards would just trip their breakers
@@ -722,6 +783,13 @@ class ClusterRouter:
 
     def _handle_metrics(self) -> dict:
         obs = get_recorder()
+        # Store health reads files (scrub status, read-only marker) —
+        # collect it before taking the state lock (DD009).
+        store_status = (
+            self.store.status()
+            if hasattr(self.store, "status")
+            else {"replicated": False}
+        )
         with self._lock:
             shard_ids = [info.shard_id for info in self.membership]
         reports: dict[str, dict | None] = {}
@@ -751,6 +819,7 @@ class ClusterRouter:
                     "running": info.running,
                     "breaker_open": info.breaker_open,
                     "ladder_tier": info.ladder_tier,
+                    "leases_held": info.leases_held,
                 }
                 if report is not None:
                     entry["utilization"] = report.get("utilization")
@@ -784,6 +853,7 @@ class ClusterRouter:
             return ok_response(
                 cluster=True,
                 draining=self.draining,
+                store=store_status,
                 shards=shards,
                 jobs_by_status=statuses,
                 tenants=tenants,
@@ -888,10 +958,79 @@ class ClusterRouter:
                 if owner.state == "down" and not cluster_draining:
                     job.status = "readmitting"
                     readmit.append(job)
+            self._sync_leases_held()
         for job in readmit:
             self._readmit(job)
         self._maybe_steal()
+        self._renew_leases()
+        self._maybe_scrub()
         self._advance_drain()
+
+    def _sync_leases_held(self) -> None:
+        """Refresh per-shard lease counts (called under the lock)."""
+        held: dict[str, int] = {}
+        for job in self._jobs.values():
+            if job.final or job.status in _UNOWNED or not job.shard_id:
+                continue
+            held[job.shard_id] = held.get(job.shard_id, 0) + 1
+        for info in self.membership:
+            info.leases_held = held.get(info.shard_id, 0)
+
+    def _renew_leases(self) -> None:
+        """Renew every held lease at a third of the TTL (no lock held
+        on entry; lease writes are store I/O)."""
+        now = self.clock()
+        if now - self._last_lease_renewal < self.leases.ttl_seconds / 3.0:
+            return
+        self._last_lease_renewal = now
+        with self._lock:
+            owned = [
+                (job.job_hash, job.shard_id)
+                for job in self._jobs.values()
+                if not job.final
+                and job.status not in _UNOWNED
+                and job.shard_id
+            ]
+        for job_hash, shard_id in owned:
+            try:
+                # Same owner → same epoch, fresh TTL (pure renewal).
+                self.leases.acquire(job_hash, owner=shard_id, force=True)
+            except (OSError, QuorumLost) as error:
+                self._log(f"lease renewal failed for {shard_id}: {error}")
+                return
+
+    def _maybe_scrub(self) -> None:
+        """Kick a background anti-entropy scrub when due (no lock)."""
+        if self.scrub_interval is None:
+            return
+        if not hasattr(self.store, "scrub"):
+            return
+        now = self.clock()
+        if (
+            self._last_scrub is not None
+            and now - self._last_scrub < self.scrub_interval
+        ):
+            return
+        if self._scrub_thread is not None and self._scrub_thread.is_alive():
+            return
+        self._last_scrub = now
+
+        def run() -> None:
+            try:
+                report = self.store.scrub(repair=True)
+            except OSError as error:  # pragma: no cover - disk trouble
+                self._log(f"background scrub failed: {error}")
+                return
+            if report.get("repaired") or report.get("lost"):
+                self._log(
+                    "scrub: "
+                    f"repaired={report.get('repaired', 0)} "
+                    f"quarantined={report.get('quarantined', 0)} "
+                    f"lost={report.get('lost', 0)}"
+                )
+
+        self._scrub_thread = threading.Thread(target=run, daemon=True)
+        self._scrub_thread.start()
 
     def _sync_shard_jobs(self, shard_id: str, jobs: list) -> None:
         """Mirror shard-reported statuses (called under the lock)."""

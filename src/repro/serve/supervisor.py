@@ -36,7 +36,7 @@ from ..core.simulator import CancellationToken
 from ..dd.package import reset_default_package
 from ..service.engine import JobResult, execute_job
 from ..service.jobs import JobSpec
-from ..service.store import ArtifactStore
+from ..service.replication import open_store
 
 #: Seconds between worker heartbeat stamps.
 HEARTBEAT_INTERVAL = 0.2
@@ -74,7 +74,7 @@ def _worker_main(
                 continue
             if task is None:
                 return
-            job_id, spec_dict, soft_deadline = task
+            job_id, spec_dict, soft_deadline, fence = task
             # A stale cancel aimed at a previous assignment must not
             # abort this one; the parent only sets the event while this
             # worker's current job should stop.
@@ -87,9 +87,12 @@ def _worker_main(
                 )
                 result = execute_job(
                     spec,
-                    ArtifactStore(store_root),
+                    # open_store, not ArtifactStore: a replicated root
+                    # must reopen as a ReplicatedStore in the worker.
+                    open_store(store_root),
                     use_cache=use_cache,
                     cancel=cancel,
+                    fence=fence,
                 )
             except BaseException as error:  # noqa: BLE001 - reported
                 result_queue.put(
@@ -254,15 +257,23 @@ class WorkerSupervisor:
         }
 
     def submit(
-        self, job_id: str, spec: JobSpec, soft_deadline: float | None
+        self,
+        job_id: str,
+        spec: JobSpec,
+        soft_deadline: float | None,
+        fence: dict | None = None,
     ) -> bool:
-        """Assign a job to an idle worker; False when none is free."""
+        """Assign a job to an idle worker; False when none is free.
+
+        ``fence`` is the ownership-lease token the worker attaches to
+        every checkpoint write (see :func:`execute_job`).
+        """
         for handle in self._handles.values():
             if handle.busy or not handle.alive():
                 continue
             handle.job_id = job_id
             handle.task_queue.put(
-                (job_id, spec.to_dict(), soft_deadline)
+                (job_id, spec.to_dict(), soft_deadline, fence)
             )
             return True
         return False

@@ -17,6 +17,13 @@ treats the *result* of that computation as a durable, reusable artifact:
 * :mod:`repro.service.engine` — :class:`JobEngine`, a cache-first
   multiprocessing executor with per-job cooperative timeouts, bounded
   retry with backoff, and checkpoint/resume.
+* :mod:`repro.service.replication` — :class:`ReplicatedStore`, the
+  same store API over N replica roots with write-quorum puts,
+  read-any-verify-repair gets, and an anti-entropy scrubber;
+  :func:`open_store` picks the right class from a bare root path.
+* :mod:`repro.service.lease` — store-backed ownership leases
+  (epoch-numbered, TTL-renewed) whose fence tokens the store layer
+  checks on checkpoint writes.
 
 Failure handling (see ``docs/SERVICE.md`` § Failure model & recovery):
 artifacts and checkpoints embed checksums verified on load; corrupt
@@ -36,6 +43,8 @@ from .jobs import (
     build_strategy,
     load_job_specs,
 )
+from .lease import Lease, LeaseHeld, LeaseManager
+from .replication import ReplicatedStore, open_store
 from .store import ArtifactStore
 
 __all__ = [
@@ -46,8 +55,13 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "JobSpecError",
+    "Lease",
+    "LeaseHeld",
+    "LeaseManager",
+    "ReplicatedStore",
     "build_builtin_circuit",
     "build_strategy",
     "execute_job",
     "load_job_specs",
+    "open_store",
 ]

@@ -191,6 +191,9 @@ class CheckpointWriter:
         prior_max_nodes: Peak diagram size observed by earlier attempts,
             folded into the recorded maximum so the stat stays
             cumulative across interruptions.
+        fence: Ownership-lease token (``{"owner", "epoch"}``) carried
+            by every checkpoint write; the store rejects stale-epoch
+            writers (:class:`~repro.faults.errors.StaleLeaseError`).
     """
 
     def __init__(
@@ -199,11 +202,13 @@ class CheckpointWriter:
         job_hash: str,
         prior_elapsed: float = 0.0,
         prior_max_nodes: int = 0,
+        fence: dict | None = None,
     ):
         self.store = store
         self.job_hash = job_hash
         self.prior_elapsed = prior_elapsed
         self.prior_max_nodes = prior_max_nodes
+        self.fence = fence
         self.writes = 0
 
     def __call__(
@@ -218,5 +223,7 @@ class CheckpointWriter:
             max_nodes=max(self.prior_max_nodes, stats.max_nodes),
             elapsed_seconds=self.prior_elapsed + stats.runtime_seconds,
         )
-        self.store.save_checkpoint(self.job_hash, checkpoint.to_dict())
+        self.store.save_checkpoint(
+            self.job_hash, checkpoint.to_dict(), fence=self.fence
+        )
         self.writes += 1

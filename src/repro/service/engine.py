@@ -45,6 +45,8 @@ from ..faults.errors import (
     TRANSIENT,
     ArtifactIntegrityError,
     CheckpointIntegrityError,
+    QuorumLost,
+    StaleLeaseError,
     classify_exception,
 )
 from ..faults.injector import inject
@@ -56,6 +58,7 @@ from .checkpoint import (
     rounds_to_dicts,
 )
 from .jobs import JobSpec
+from .replication import open_store
 from .store import ArtifactStore
 
 RESULT_FORMAT = "repro-job-result"
@@ -270,6 +273,7 @@ def execute_job(
     store: ArtifactStore,
     use_cache: bool = True,
     cancel: CancellationToken | None = None,
+    fence: dict | None = None,
 ) -> JobResult:
     """Execute one job in the current process (the worker entry point).
 
@@ -284,6 +288,12 @@ def execute_job(
     a fired token yields ``status="deadline"`` or ``status="drained"``
     with a checkpoint persisted exactly as for a timeout, so the next
     attempt resumes with the Lemma-1 fidelity budget already spent.
+
+    ``fence`` is the ownership-lease token (``{"owner", "epoch"}``) the
+    serve tier hands its workers: every checkpoint write carries it, so
+    the store layer rejects a fenced-out ex-owner's writes with
+    :class:`~repro.faults.errors.StaleLeaseError` — classified
+    permanent, because the job now belongs to another shard.
 
     Recovery behaviors:
 
@@ -377,7 +387,8 @@ def execute_job(
         writer = None
         if spec.checkpoint_interval:
             writer = CheckpointWriter(
-                store, job_hash, prior_elapsed, prior_max_nodes
+                store, job_hash, prior_elapsed, prior_max_nodes,
+                fence=fence,
             )
 
         if obs.enabled:
@@ -412,7 +423,9 @@ def execute_job(
                 job_hash, timeout, prior_elapsed, prior_max_nodes
             )
             if rescue is not None:
-                store.save_checkpoint(job_hash, rescue.to_dict())
+                store.save_checkpoint(
+                    job_hash, rescue.to_dict(), fence=fence
+                )
             partial = _stats_doc(
                 timeout.stats,
                 prior_elapsed + timeout.stats.runtime_seconds,
@@ -455,12 +468,19 @@ def execute_job(
                 stats, start_op_index, resumed=start_op_index > 0
             ),
         )
-        store.clear_checkpoint(job_hash)
-    except OSError as error:
+        try:
+            store.clear_checkpoint(job_hash, fence=fence)
+        except StaleLeaseError:
+            # Fenced out between the (unfenced, content-addressed,
+            # idempotent) result put and the checkpoint clear: the new
+            # owner resumes, hits the cache, and clears its own
+            # checkpoint.  The result we just wrote is still correct.
+            pass
+    except (OSError, QuorumLost) as error:
         # The simulation finished but its artifacts could not be
-        # persisted (store I/O failure — classified transient).  The
-        # checkpoint survives, so a retry resumes instead of redoing
-        # the whole run.
+        # persisted (store I/O failure or a lost write quorum — both
+        # classified transient).  The checkpoint survives, so a retry
+        # resumes instead of redoing the whole run.
         return _error_result(spec, job_hash, error, obs)
     if obs.enabled:
         obs.count("jobs.completed")
@@ -492,7 +512,9 @@ def _pool_worker(payload) -> JobResult:
     spec_dict, store_root, use_cache = payload
     return execute_job(
         JobSpec.from_dict(spec_dict),
-        ArtifactStore(store_root),
+        # open_store, not ArtifactStore: a replicated root reopened as
+        # a plain store would write artifacts beside the replicas.
+        open_store(store_root),
         use_cache=use_cache,
     )
 
@@ -547,7 +569,7 @@ class JobEngine:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.store = (
-            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+            store if isinstance(store, ArtifactStore) else open_store(store)
         )
         self.workers = workers
         self.max_retries = max_retries

@@ -56,7 +56,11 @@ from hashlib import sha256
 from ..dd.package import Package
 from ..dd.serialize import state_from_dict
 from ..dd.vector import StateDD
-from ..faults.errors import ArtifactIntegrityError, CheckpointIntegrityError
+from ..faults.errors import (
+    ArtifactIntegrityError,
+    CheckpointIntegrityError,
+    StaleLeaseError,
+)
 from ..faults.injector import inject
 from ..obs import get_recorder
 
@@ -411,8 +415,20 @@ class ArtifactStore:
     # Checkpoints
     # ------------------------------------------------------------------
 
-    def save_checkpoint(self, job_hash: str, document: dict) -> str:
-        """Atomically persist the latest checkpoint of a job."""
+    def save_checkpoint(
+        self, job_hash: str, document: dict, fence: dict | None = None
+    ) -> str:
+        """Atomically persist the latest checkpoint of a job.
+
+        Args:
+            fence: Optional ``{"owner": str, "epoch": int}`` token from
+                the writer's ownership lease.  When the job's current
+                lease records a higher epoch the write is rejected with
+                :class:`~repro.faults.errors.StaleLeaseError` — a
+                recovered ex-owner cannot clobber the new owner's
+                checkpoint, no matter what the router believes.
+        """
+        self._check_fence(job_hash, fence)
         directory = self.checkpoint_dir(job_hash)
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, CHECKPOINT_FILE)
@@ -448,8 +464,16 @@ class ArtifactStore:
                 path=path,
             ) from error
 
-    def clear_checkpoint(self, job_hash: str) -> None:
-        """Delete a job's checkpoint directory (idempotent)."""
+    def clear_checkpoint(
+        self, job_hash: str, fence: dict | None = None
+    ) -> None:
+        """Delete a job's checkpoint directory (idempotent).
+
+        Accepts the same ``fence`` token as :meth:`save_checkpoint`: a
+        fenced-out ex-owner must not delete the checkpoint the new
+        owner is resuming from.
+        """
+        self._check_fence(job_hash, fence)
         shutil.rmtree(self.checkpoint_dir(job_hash), ignore_errors=True)
 
     def iter_checkpoints(self) -> Iterator[str]:
@@ -521,6 +545,130 @@ class ArtifactStore:
                         continue
                 events.append(row)
         return events
+
+    # ------------------------------------------------------------------
+    # Ownership leases
+    # ------------------------------------------------------------------
+
+    def lease_path(self, job_hash: str) -> str:
+        """The lease document of one job."""
+        return os.path.join(
+            self.root, "serve", "leases", f"{job_hash}.json"
+        )
+
+    def read_lease(self, job_hash: str) -> dict | None:
+        """Read a job's ownership lease document, or None.
+
+        A torn or unparsable lease file reads as "no lease" — lease
+        writes are atomic, so damage means bitrot, and failing open
+        here only weakens fencing back to router-level exclusion (the
+        scrubber repairs the replica copy on the next pass).
+        """
+        path = self.lease_path(job_hash)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def write_lease(self, job_hash: str, document: dict) -> str:
+        """Atomically persist a job's ownership lease document."""
+        path = self.lease_path(job_hash)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(path, json.dumps(document, sort_keys=True))
+        return path
+
+    def iter_leases(self) -> Iterator[tuple[str, dict]]:
+        """Yield ``(job_hash, lease_doc)`` for every recorded lease."""
+        directory = os.path.join(self.root, "serve", "leases")
+        if not os.path.isdir(directory):
+            return
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            job_hash = name[: -len(".json")]
+            document = self.read_lease(job_hash)
+            if document is not None:
+                yield job_hash, document
+
+    def _check_fence(self, job_hash: str, fence: dict | None) -> None:
+        """Reject a fenced write whose lease epoch is stale.
+
+        The comparison happens at the store layer so the guarantee
+        survives router failover bugs: whichever process holds the
+        highest-epoch lease wins, and everyone else's checkpoint
+        writes raise :class:`StaleLeaseError`.
+        """
+        if fence is None:
+            return
+        lease = self.read_lease(job_hash)
+        if lease is None:
+            return  # unleased job (or lease gc'd): nothing to fence
+        lease_epoch = int(lease.get("epoch", 0))
+        fence_epoch = int(fence.get("epoch", 0))
+        if lease_epoch > fence_epoch or (
+            lease_epoch == fence_epoch
+            and str(lease.get("owner", "")) != str(fence.get("owner", ""))
+        ):
+            raise StaleLeaseError(
+                f"checkpoint write for {job_hash[:12]} fenced: lease "
+                f"epoch {lease_epoch} (owner "
+                f"{lease.get('owner')!r}) supersedes writer epoch "
+                f"{fence_epoch} (owner {fence.get('owner')!r})",
+                job_hash=job_hash,
+                fence_epoch=fence_epoch,
+                lease_epoch=lease_epoch,
+            )
+
+    # ------------------------------------------------------------------
+    # Parked job queues (drained/orphaned serve-tier state)
+    # ------------------------------------------------------------------
+
+    def parked_jobs_path(self, name: str) -> str:
+        """The parked-jobs document ``name`` (a serve-tier queue dump)."""
+        return os.path.join(self.root, "serve", f"{name}.json")
+
+    def park_jobs(self, name: str, payload: list[dict]) -> str:
+        """Atomically persist a serve-tier queue dump under ``name``.
+
+        The daemon and router park undispatched jobs here on drain and
+        restore them on restart.  Routing the write through the store
+        (instead of an ad-hoc ``open()`` on ``<root>/serve/``) keeps
+        the dump subject to the store's replication policy — a parked
+        queue that only exists on a lost replica is a lost job.
+        """
+        path = self.parked_jobs_path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(
+            path, json.dumps(payload, indent=2, sort_keys=True)
+        )
+        return path
+
+    def take_parked_jobs(self, name: str) -> list[dict]:
+        """Read and remove the parked-jobs document ``name``.
+
+        Returns an empty list when there is nothing parked.  Unparsable
+        dumps read as empty (the jobs are already lost; crashing the
+        restoring daemon would not bring them back).
+        """
+        path = self.parked_jobs_path(name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return []
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            payload = []
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        if not isinstance(payload, list):
+            return []
+        return [row for row in payload if isinstance(row, dict)]
 
     # ------------------------------------------------------------------
     # Quarantine
@@ -653,21 +801,33 @@ class ArtifactStore:
         older_than_seconds: float | None = None,
         remove_results: bool = False,
         remove_quarantine: bool = False,
+        staging_older_than_seconds: float | None = 3600.0,
     ) -> dict:
         """Collect garbage; returns counts of removed artifacts.
 
         Always removes checkpoints shadowed by a stored result (the job
         finished; the snapshot can never be resumed to a different
-        answer).  With ``remove_results`` also deletes result objects —
-        all of them, or only those stored more than
-        ``older_than_seconds`` ago.  With ``remove_quarantine`` the
-        quarantine area is purged too.
+        answer), and reaps staging directories / atomic-write temp
+        files older than ``staging_older_than_seconds`` (a put that
+        crashed between staging and promote leaks its staging dir
+        forever otherwise; the age threshold keeps a concurrent
+        in-flight put safe — pass None to skip staging entirely).
+        With ``remove_results`` also deletes result objects — all of
+        them, or only those stored more than ``older_than_seconds``
+        ago.  With ``remove_quarantine`` the quarantine area is purged
+        too.
         """
-        removed = {"checkpoints": 0, "results": 0, "quarantined": 0}
+        removed = {
+            "checkpoints": 0, "results": 0, "quarantined": 0, "staging": 0,
+        }
         for job_hash in list(self.iter_checkpoints()):
             if self.has_result(job_hash):
                 self.clear_checkpoint(job_hash)
                 removed["checkpoints"] += 1
+        if staging_older_than_seconds is not None:
+            removed["staging"] = self._reap_staging(
+                staging_older_than_seconds
+            )
         if remove_results:
             now = time.time()  # ddlint: ignore[DD005] - compared to stored_at
             for job_hash, document in list(self.iter_results()):
@@ -688,3 +848,55 @@ class ArtifactStore:
                 )
                 removed["quarantined"] += 1
         return removed
+
+    def _reap_staging(self, older_than_seconds: float) -> int:
+        """Remove crash-leaked staging dirs and temp files by age.
+
+        Scans the object shards and checkpoint dirs for dot-entries
+        (``.staging-*`` dirs, their ``.replaced`` backups, ``.tmp-*``
+        atomic-write leftovers) whose mtime is older than the
+        threshold.  The age gate is what makes this safe against a
+        *live* writer: an in-flight put's staging dir was created
+        moments ago, so it never crosses a sane threshold.
+        """
+        reaped = 0
+        now = time.time()  # ddlint: ignore[DD005] - compared to mtimes
+        candidates: list[str] = []
+        objects = os.path.join(self.root, "objects")
+        if os.path.isdir(objects):
+            for shard in os.listdir(objects):
+                shard_dir = os.path.join(objects, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                candidates.extend(
+                    os.path.join(shard_dir, name)
+                    for name in os.listdir(shard_dir)
+                    if name.startswith(".")
+                )
+        checkpoints = os.path.join(self.root, "checkpoints")
+        if os.path.isdir(checkpoints):
+            for job_hash in os.listdir(checkpoints):
+                entry = os.path.join(checkpoints, job_hash)
+                if not os.path.isdir(entry):
+                    continue
+                candidates.extend(
+                    os.path.join(entry, name)
+                    for name in os.listdir(entry)
+                    if name.startswith(".tmp-")
+                )
+        for path in candidates:
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue  # vanished (a concurrent gc or promote)
+            if age <= older_than_seconds:
+                continue
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+            reaped += 1
+        return reaped

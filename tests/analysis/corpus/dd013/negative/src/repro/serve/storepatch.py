@@ -1,0 +1,22 @@
+"""Seeded DD013 near-miss: the same call shapes, but on non-store
+paths — plus store access through the sanctioned ArtifactStore API —
+must stay silent."""
+
+import os
+
+
+def write_shard_log(log_dir: str, shard_id: str, line: str) -> None:
+    path = os.path.join(log_dir, f"{shard_id}.log")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+
+
+def park_drained_queue(store: object, payload: list) -> None:
+    store.park_jobs("drained-queue", payload)
+
+
+def rotate_config(config_root: str) -> None:
+    os.replace(
+        os.path.join(config_root, "config.json.tmp"),
+        os.path.join(config_root, "config.json"),
+    )

@@ -1,0 +1,23 @@
+"""Seeded DD013 positive: raw ``open()`` / ``os.replace()`` on
+artifact-store paths outside the privileged store modules."""
+
+import json
+import os
+
+
+def patch_result(store: object, job_hash: str, doc: dict) -> None:
+    target = os.path.join(store.result_dir(job_hash), "result.json")
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+
+
+def read_degradation_marker(store: object) -> str:
+    with open(os.path.join(store.root, "read-only.json")) as handle:
+        return handle.read()
+
+
+def swap_checkpoint(store: object, job_hash: str, staged: str) -> None:
+    os.replace(
+        staged,
+        os.path.join(store.checkpoint_dir(job_hash), "latest.json"),
+    )

@@ -19,7 +19,7 @@ def codes(source: str, path: str = "src/repro/core/example.py") -> list[str]:
 
 class TestRuleCatalog:
     def test_all_rules_documented(self):
-        assert set(RULES) == {f"DD{index:03d}" for index in range(1, 13)}
+        assert set(RULES) == {f"DD{index:03d}" for index in range(1, 14)}
         for rule in RULES.values():
             assert rule.summary
             assert rule.rationale
@@ -193,6 +193,64 @@ class TestDD006BackendInternals:
             "sizes = package.unique_table_sizes()\n"
             "stats = package.cache_stats()\n"
             "problems = package.integrity_problems()\n"
+        ) == []
+
+
+class TestDD013StoreFileAccess:
+    def test_flags_open_on_store_root(self):
+        assert "DD013" in codes(
+            'handle = open(os.path.join(store.root, "read-only.json"))\n'
+        )
+
+    def test_flags_open_on_store_path_method(self):
+        assert "DD013" in codes(
+            'handle = open(store.lease_path(job_hash), "w")\n'
+        )
+
+    def test_flags_os_replace_on_checkpoint_dir(self):
+        assert "DD013" in codes(
+            "os.replace(staged, os.path.join("
+            'store.checkpoint_dir(job_hash), "latest.json"))\n'
+        )
+
+    def test_flags_replica_root_access(self):
+        assert "DD013" in codes(
+            'handle = open(os.path.join(replica.root, "objects", name))\n'
+        )
+
+    def test_allows_store_module(self):
+        assert codes(
+            'handle = open(store.lease_path(job_hash), "w")\n',
+            "src/repro/service/store.py",
+        ) == []
+
+    def test_allows_replication_module(self):
+        assert codes(
+            "os.replace(staged, os.path.join("
+            'store.checkpoint_dir(job_hash), "latest.json"))\n',
+            "src/repro/service/replication.py",
+        ) == []
+
+    def test_allows_lease_module(self):
+        assert codes(
+            'handle = open(store.lease_path(job_hash), "w")\n',
+            "src/repro/service/lease.py",
+        ) == []
+
+    def test_allows_non_store_paths(self):
+        assert codes(
+            'handle = open(os.path.join(log_dir, "s0.log"), "a")\n'
+        ) == []
+
+    def test_allows_store_api_calls(self):
+        assert codes(
+            'store.park_jobs("drained-queue", payload)\n'
+        ) == []
+
+    def test_suppression(self):
+        assert codes(
+            'handle = open(os.path.join(store.root, "marker"))'
+            "  # ddlint: ignore[DD013]\n"
         ) == []
 
 

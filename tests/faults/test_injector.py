@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import errno
 import json
 
 import pytest
 
 from repro.faults import injector as injector_module
-from repro.faults.errors import PermanentFault, TransientFault
+from repro.faults.errors import (
+    PermanentFault,
+    StaleReplicaFault,
+    TransientFault,
+)
 from repro.faults.injector import (
     FaultInjector,
     arm,
@@ -132,6 +137,67 @@ class TestFileDamage:
         )
         # The rule consumed its visit without damaging anything.
         assert len(injector.fired) == 1
+
+
+class TestReplicaFaults:
+    def test_match_filters_by_context(self):
+        injector = FaultInjector(
+            _plan(
+                FaultRule(
+                    site="store.replica",
+                    kind="replica_down",
+                    match={"replica": 1},
+                )
+            )
+        )
+        injector.fire("store.replica", replica=0, op="load_result")
+        assert injector.fired == []
+        with pytest.raises(OSError) as info:
+            injector.fire("store.replica", replica=1, op="load_result")
+        assert info.value.errno == errno.EHOSTUNREACH
+
+    def test_match_can_target_one_operation(self):
+        injector = FaultInjector(
+            _plan(
+                FaultRule(
+                    site="store.replica",
+                    kind="enospc",
+                    match={"replica": 0, "op": "put_result"},
+                )
+            )
+        )
+        injector.fire("store.replica", replica=0, op="load_result")
+        assert injector.fired == []
+        with pytest.raises(OSError) as info:
+            injector.fire("store.replica", replica=0, op="put_result")
+        assert info.value.errno == errno.ENOSPC
+
+    def test_stale_replica_raises_the_internal_fault(self):
+        injector = FaultInjector(
+            _plan(FaultRule(site="store.replica", kind="stale_replica"))
+        )
+        with pytest.raises(StaleReplicaFault, match="lying fsync"):
+            injector.fire("store.replica", replica=2, op="put_result")
+
+    def test_bitrot_flips_one_byte_of_the_replica_file(self, tmp_path):
+        target = tmp_path / "result.json"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        injector = FaultInjector(
+            _plan(
+                FaultRule(
+                    site="store.replica",
+                    kind="bitrot",
+                    args={"offset": 7},
+                )
+            )
+        )
+        injector.fire(
+            "store.replica", replica=0, op="put_result", path=str(target)
+        )
+        damaged = target.read_bytes()
+        assert len(damaged) == len(original)
+        assert damaged[7] == original[7] ^ 0xFF
 
 
 class TestCrossProcessCounters:

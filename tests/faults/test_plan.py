@@ -50,6 +50,29 @@ class TestFaultRule:
             for kind in KINDS:
                 FaultRule(site=site, kind=kind)
 
+    def test_replica_site_and_kinds_are_registered(self):
+        assert "store.replica" in SITES
+        for kind in ("bitrot", "enospc", "replica_down", "stale_replica"):
+            assert kind in KINDS
+
+    def test_match_round_trips(self):
+        rule = FaultRule(
+            site="store.replica",
+            kind="bitrot",
+            match={"replica": 1, "op": "put_result"},
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_match_must_be_an_object(self):
+        with pytest.raises(ValueError, match="match"):
+            FaultRule(site="store.replica", kind="bitrot", match=[1])
+
+    def test_missing_match_reads_as_empty(self):
+        rule = FaultRule.from_dict(
+            {"site": "store.replica", "kind": "replica_down"}
+        )
+        assert rule.match == {}
+
 
 class TestFaultPlan:
     def test_round_trip(self):

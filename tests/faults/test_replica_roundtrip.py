@@ -1,0 +1,144 @@
+"""Property test: single-replica damage never changes resumed fidelity.
+
+The replicated store's checkpoint read is read-ALL-pick-newest; this
+suite drives the property the design exists for — whatever single
+replica loses its checkpoint copy to bitrot or truncation,
+``load_checkpoint`` returns a document bit-equal to the undamaged
+store's, and resuming from it spends exactly the fidelity budget of
+the uninterrupted (damage-free) reference resume.  Bit-equal, not
+approximately: the Lemma-1 ledger replays the same rounds in the same
+order, so replication must contribute zero float drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.fidelity import composed_fidelity  # noqa: E402
+from repro.service.engine import execute_job  # noqa: E402
+from repro.service.jobs import JobSpec  # noqa: E402
+from repro.service.replication import ReplicatedStore  # noqa: E402
+from repro.service.store import CHECKPOINT_FILE  # noqa: E402
+
+SPEC = JobSpec(
+    circuit="builtin:shor_21_2",
+    strategy="fidelity",
+    strategy_args=(
+        ("final_fidelity", 0.5),
+        ("round_fidelity", 0.9),
+    ),
+    max_seconds=0.15,
+    checkpoint_interval=20,
+)
+
+
+def _finish_uninterrupted(store):
+    """Resume from the stored checkpoint and run to completion in one
+    go (no further timeouts): the resumed trajectory is then purely a
+    function of the checkpoint document, so fidelity is bit-stable."""
+    return execute_job(SPEC.with_overrides(max_seconds=None), store)
+
+
+def _resume(template_root: str):
+    """Drive a throwaway copy of the template store to completion."""
+    scratch = tempfile.mkdtemp(prefix="replica-rt-")
+    root = os.path.join(scratch, "store")
+    shutil.copytree(template_root, root)
+    return scratch, root
+
+
+@pytest.fixture(scope="module")
+def template(tmp_path_factory):
+    """One expensive setup: a timed-out replicated store (holding a
+    live checkpoint on every replica) plus the damage-free reference
+    resume.  Each hypothesis example works on a throwaway copy."""
+    base = tmp_path_factory.mktemp("replica-roundtrip")
+    store = ReplicatedStore.create(
+        str(base / "template"), replicas=3, write_quorum=2
+    )
+    first = execute_job(SPEC, store)
+    assert first.status == "timeout", "spec must time out to checkpoint"
+    for replica in store.replicas:
+        assert replica.load_checkpoint(first.job_hash) is not None
+    document = store.load_checkpoint(first.job_hash)
+    # The undamaged resume: what every damaged resume must reproduce.
+    scratch, root = _resume(store.root)
+    reference = _finish_uninterrupted(ReplicatedStore(root))
+    shutil.rmtree(scratch, ignore_errors=True)
+    assert reference.status == "completed"
+    return store.root, first.job_hash, document, reference.stats
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    replica=st.integers(min_value=0, max_value=2),
+    damage=st.sampled_from(["bitrot", "truncate"]),
+    offset=st.integers(min_value=0, max_value=4096),
+)
+def test_single_replica_checkpoint_damage_round_trip(
+    template, replica, damage, offset
+):
+    template_root, job_hash, reference_doc, reference_stats = template
+    scratch, root = _resume(template_root)
+    try:
+        victim = os.path.join(
+            root,
+            f"replica-{replica}",
+            "checkpoints",
+            job_hash,
+            CHECKPOINT_FILE,
+        )
+        size = os.path.getsize(victim)
+        assert size > 0
+        if damage == "bitrot":
+            position = offset % size
+            with open(victim, "r+b") as handle:
+                handle.seek(position)
+                byte = handle.read(1)
+                handle.seek(position)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+        else:
+            with open(victim, "r+b") as handle:
+                handle.truncate(offset % size)
+
+        store = ReplicatedStore(root)
+        # load_checkpoint ignores the damaged copy and returns a
+        # document bit-equal to the undamaged store's ...
+        document = store.load_checkpoint(job_hash)
+        assert json.dumps(document, sort_keys=True) == json.dumps(
+            reference_doc, sort_keys=True
+        )
+        # ... whose recorded fidelity ledger composes identically ...
+        assert composed_fidelity(
+            [row["achieved_fidelity"] for row in document["rounds"]]
+        ) == composed_fidelity(
+            [row["achieved_fidelity"] for row in reference_doc["rounds"]]
+        )
+        # ... and the resumed run spends exactly the reference budget.
+        result = _finish_uninterrupted(store)
+        assert result.status == "completed"
+        assert (
+            result.stats["fidelity_estimate"]
+            == reference_stats["fidelity_estimate"]
+        )
+        assert result.stats["num_rounds"] == reference_stats["num_rounds"]
+        stored = store.load_result(job_hash)
+        assert (
+            stored["stats"]["fidelity_estimate"]
+            == result.stats["fidelity_estimate"]
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

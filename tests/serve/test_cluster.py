@@ -599,7 +599,7 @@ class TestOrphanPersistence:
 
     def test_restore_tolerates_garbage_files(self, fake_cluster):
         router, _ = fake_cluster(["s0"])
-        path = router._orphan_path()
+        path = router.store.parked_jobs_path(router._orphan_name())
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("{not json")

@@ -1,0 +1,355 @@
+"""Tests for the replicated artifact store: quorum, repair, scrub."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.faults import injector as injector_module
+from repro.faults.errors import QuorumLost
+from repro.faults.injector import arm
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.service.replication import ReplicatedStore, open_store
+from repro.service.store import ArtifactStore
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    injector_module.disarm()
+    yield
+    injector_module.disarm()
+
+
+@pytest.fixture
+def store(tmp_path) -> ReplicatedStore:
+    return ReplicatedStore.create(
+        str(tmp_path / "store"), replicas=3, write_quorum=2
+    )
+
+
+def _flip_byte(path: str, offset: int = 16) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _replica_down(replica: int) -> FaultRule:
+    return FaultRule(
+        site="store.replica", kind="replica_down", match={"replica": replica}
+    )
+
+
+class TestCreateAndOpen:
+    def test_create_lays_out_replicas_and_manifest(self, store):
+        assert store.replica_count == 3
+        assert store.write_quorum == 2
+        for index in range(3):
+            assert os.path.isdir(
+                os.path.join(store.root, f"replica-{index}")
+            )
+        with open(os.path.join(store.root, "replication.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["replicas"] == 3
+
+    def test_open_store_dispatches_on_manifest(self, store, tmp_path):
+        reopened = open_store(store.root)
+        assert isinstance(reopened, ReplicatedStore)
+        plain = open_store(str(tmp_path / "plain"))
+        assert isinstance(plain, ArtifactStore)
+        assert not isinstance(plain, ReplicatedStore)
+
+    def test_create_rejects_invalid_quorum(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReplicatedStore.create(
+                str(tmp_path / "s"), replicas=3, write_quorum=4
+            )
+
+    def test_create_twice_fails(self, store):
+        with pytest.raises(ValueError):
+            ReplicatedStore.create(store.root)
+
+    def test_create_adopts_existing_plain_store(self, tmp_path):
+        root = str(tmp_path / "migrate")
+        plain = ArtifactStore(root)
+        plain.put_result(HASH_A, {"stats": {"fidelity": 0.5}})
+        replicated = ReplicatedStore.create(root, replicas=3)
+        # The adopted data is immediately re-replicated to full factor.
+        for replica in replicated.replicas:
+            assert replica.has_result(HASH_A)
+        assert replicated.load_result(HASH_A)["stats"]["fidelity"] == 0.5
+
+    def test_plain_root_is_not_a_replicated_store(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReplicatedStore(str(tmp_path / "nothing"))
+
+
+class TestQuorumWrites:
+    def test_put_replicates_to_every_replica(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        assert all(
+            replica.has_result(HASH_A) for replica in store.replicas
+        )
+        # Byte-identical artifacts on every replica (shared stored_at).
+        docs = [
+            replica.load_result(HASH_A) for replica in store.replicas
+        ]
+        assert docs[0] == docs[1] == docs[2]
+
+    def test_one_replica_down_still_commits(self, store):
+        arm(FaultPlan(rules=(_replica_down(1),)))
+        store.put_result(HASH_A, {"stats": {}})
+        assert store.replicas[0].has_result(HASH_A)
+        assert store.replicas[2].has_result(HASH_A)
+        assert not store.read_only
+
+    def test_quorum_loss_raises_and_degrades_to_read_only(self, store):
+        arm(FaultPlan(rules=(_replica_down(1), _replica_down(2))))
+        with pytest.raises(QuorumLost) as info:
+            store.put_result(HASH_A, {"stats": {}})
+        assert info.value.acked == 1
+        assert store.read_only
+        # The marker is a file: a fresh handle on the same root agrees.
+        assert ReplicatedStore(store.root).read_only
+
+    def test_successful_quorum_write_clears_read_only(self, store):
+        arm(FaultPlan(rules=(_replica_down(1), _replica_down(2))))
+        with pytest.raises(QuorumLost):
+            store.put_result(HASH_A, {"stats": {}})
+        injector_module.disarm()
+        store.put_result(HASH_B, {"stats": {}})
+        assert not store.read_only
+
+    def test_stale_replica_ack_is_counted_but_bytes_are_gone(self, store):
+        arm(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="store.replica",
+                        kind="stale_replica",
+                        match={"replica": 0, "op": "put_result"},
+                    ),
+                )
+            )
+        )
+        store.put_result(HASH_A, {"stats": {}})  # no QuorumLost: 3 acks
+        assert not store.replicas[0].has_result(HASH_A)
+        assert store.replicas[1].has_result(HASH_A)
+        injector_module.disarm()
+        report = store.scrub(repair=True)
+        assert report["repaired"] >= 1
+        assert store.replicas[0].has_result(HASH_A)
+
+
+class TestReadRepair:
+    def test_read_falls_through_and_repairs_bitrot(self, store):
+        store.put_result(HASH_A, {"stats": {"fidelity": 0.9}})
+        victim = os.path.join(
+            store.replicas[0].result_dir(HASH_A), "result.json"
+        )
+        _flip_byte(victim)
+        document = store.load_result(HASH_A)
+        assert document["stats"]["fidelity"] == 0.9
+        # Read-repair restored the damaged replica from a healthy one.
+        assert store.replicas[0].load_result(HASH_A) == document
+        assert store.repairs >= 1
+        # The corrupt bytes were kept for forensics.
+        assert list(store.replicas[0].iter_quarantined())
+
+    def test_read_survives_a_down_replica(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        arm(FaultPlan(rules=(_replica_down(0),)))
+        assert store.load_result(HASH_A)["stats"] == {}
+
+    def test_all_copies_corrupt_raises_integrity_error(self, store):
+        from repro.faults.errors import ArtifactIntegrityError
+
+        store.put_result(HASH_A, {"stats": {}})
+        for replica in store.replicas:
+            _flip_byte(
+                os.path.join(replica.result_dir(HASH_A), "result.json")
+            )
+        with pytest.raises(ArtifactIntegrityError):
+            store.load_result(HASH_A)
+
+    def test_missing_result_raises_key_error(self, store):
+        with pytest.raises(KeyError):
+            store.load_result(HASH_A)
+
+
+class TestCheckpoints:
+    def test_newest_checkpoint_wins_and_laggards_catch_up(self, store):
+        # Replica 1 missed the last quorum write and holds op 3; the
+        # others hold op 7.  Read-any would happily return op 3 and
+        # corrupt the fidelity ledger on resume.
+        store.replicas[0].save_checkpoint(HASH_A, {"next_op_index": 7})
+        store.replicas[1].save_checkpoint(HASH_A, {"next_op_index": 3})
+        store.replicas[2].save_checkpoint(HASH_A, {"next_op_index": 7})
+        document = store.load_checkpoint(HASH_A)
+        assert document == {"next_op_index": 7}
+        assert store.replicas[1].load_checkpoint(HASH_A) == document
+
+    def test_corrupt_copy_is_quarantined_and_replaced(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 5})
+        path = os.path.join(
+            store.replicas[2].checkpoint_dir(HASH_A), "latest.json"
+        )
+        _flip_byte(path)
+        assert store.load_checkpoint(HASH_A) == {"next_op_index": 5}
+        assert store.replicas[2].load_checkpoint(HASH_A) == {
+            "next_op_index": 5
+        }
+
+    def test_missing_everywhere_is_none(self, store):
+        assert store.load_checkpoint(HASH_A) is None
+
+    def test_clear_checkpoint_clears_all_replicas(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 5})
+        store.clear_checkpoint(HASH_A)
+        for replica in store.replicas:
+            assert replica.load_checkpoint(HASH_A) is None
+
+
+class TestParkedJobs:
+    def test_park_and_take_round_trip(self, store):
+        payload = [{"job_hash": HASH_A, "priority": "batch"}]
+        store.park_jobs("drained-queue", payload)
+        for replica in store.replicas:
+            assert os.path.exists(
+                replica.parked_jobs_path("drained-queue")
+            )
+        assert store.take_parked_jobs("drained-queue") == payload
+        assert store.take_parked_jobs("drained-queue") == []
+
+    def test_take_prefers_the_longest_surviving_dump(self, store):
+        long = [{"job_hash": HASH_A}, {"job_hash": HASH_B}]
+        store.park_jobs("drained-queue", long)
+        # One replica's copy is truncated to a shorter (stale) dump.
+        with open(
+            store.replicas[0].parked_jobs_path("drained-queue"), "w"
+        ) as handle:
+            json.dump([{"job_hash": HASH_A}], handle)
+        assert store.take_parked_jobs("drained-queue") == long
+
+
+class TestScrub:
+    def test_scrub_repairs_bitrot_and_restores_rf(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        _flip_byte(
+            os.path.join(
+                store.replicas[1].result_dir(HASH_A), "result.json"
+            )
+        )
+        report = store.scrub(repair=True)
+        assert report["results_checked"] == 1
+        assert report["repaired"] >= 1
+        assert report["quarantined"] >= 1
+        assert report["lost"] == 0
+        assert all(
+            replica.load_result(HASH_A) for replica in store.replicas
+        )
+
+    def test_detect_only_reports_without_touching(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        victim = os.path.join(
+            store.replicas[1].result_dir(HASH_A), "result.json"
+        )
+        _flip_byte(victim)
+        before = open(victim, "rb").read()
+        report = store.scrub(repair=False)
+        assert report["problems"]
+        assert report["repaired"] == 0
+        assert open(victim, "rb").read() == before
+
+    def test_scrub_counts_lost_artifacts(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        for replica in store.replicas:
+            _flip_byte(
+                os.path.join(replica.result_dir(HASH_A), "result.json")
+            )
+        report = store.scrub(repair=True)
+        assert report["lost"] == 1
+
+    def test_scrub_clears_read_only_when_clean(self, store):
+        arm(FaultPlan(rules=(_replica_down(1), _replica_down(2))))
+        with pytest.raises(QuorumLost):
+            store.put_result(HASH_A, {"stats": {}})
+        assert store.read_only
+        injector_module.disarm()
+        store.scrub(repair=True)
+        assert not store.read_only
+
+    def test_scrub_persists_status_for_operators(self, store):
+        store.put_result(HASH_A, {"stats": {}})
+        store.scrub(repair=True)
+        status = store.status()
+        assert status["replicated"] is True
+        assert status["replication_factor"] == 3
+        assert status["last_scrub"] is not None
+        persisted = store.last_scrub()
+        assert persisted["report"]["results_checked"] == 1
+
+    def test_scrub_spreads_lease_epochs(self, store):
+        store.replicas[0].write_lease(
+            HASH_A, {"owner": "s0", "epoch": 1, "expires_at": 0.0}
+        )
+        store.replicas[1].write_lease(
+            HASH_A, {"owner": "s1", "epoch": 4, "expires_at": 0.0}
+        )
+        store.scrub(repair=True)
+        for replica in store.replicas:
+            assert replica.read_lease(HASH_A)["epoch"] == 4
+
+    def test_injected_faults_do_not_fire_during_scrub(self, store):
+        # The scrubber is the repair tool, not the system under test:
+        # a rule that breaks replica reads must not break the scrub.
+        store.put_result(HASH_A, {"stats": {}})
+        arm(FaultPlan(rules=(_replica_down(0),)))
+        report = store.scrub(repair=True)
+        assert report["lost"] == 0
+
+
+class TestLeaseReads:
+    def test_read_lease_returns_max_epoch(self, store):
+        store.replicas[0].write_lease(
+            HASH_A, {"owner": "old", "epoch": 2, "expires_at": 0.0}
+        )
+        store.replicas[2].write_lease(
+            HASH_A, {"owner": "new", "epoch": 5, "expires_at": 0.0}
+        )
+        document = store.read_lease(HASH_A)
+        assert document["epoch"] == 5
+        assert document["owner"] == "new"
+        # Laggards were read-repaired to the winning epoch.
+        assert store.replicas[0].read_lease(HASH_A)["epoch"] == 5
+
+    def test_write_lease_is_a_quorum_write(self, store):
+        store.write_lease(
+            HASH_A, {"owner": "s0", "epoch": 1, "expires_at": 99.0}
+        )
+        for replica in store.replicas:
+            assert replica.read_lease(HASH_A)["epoch"] == 1
+
+
+class TestStatus:
+    def test_status_reports_per_replica_health(self, store):
+        status = store.status()
+        assert status["write_quorum"] == 2
+        assert [entry["state"] for entry in status["replicas"]] == [
+            "ok",
+            "ok",
+            "ok",
+        ]
+
+    def test_lost_replica_directory_shows_as_lost(self, store, tmp_path):
+        import shutil
+
+        shutil.rmtree(store.replicas[2].root)
+        status = store.status()
+        assert status["replicas"][2]["state"] == "lost"

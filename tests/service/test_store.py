@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import math
 import os
+import threading
+import time
+from unittest import mock
 
 import numpy as np
 import pytest
@@ -119,6 +122,7 @@ class TestGc:
             "checkpoints": 1,
             "results": 0,
             "quarantined": 0,
+            "staging": 0,
         }
         # The live (resumable) checkpoint survives.
         assert list(store.iter_checkpoints()) == [HASH_B]
@@ -139,6 +143,88 @@ class TestGc:
         assert removed["results"] == 1
         assert not store.has_result(HASH_A)
         assert store.has_result(HASH_B)
+
+
+class TestGcStaging:
+    """Crash-leaked staging dirs are reaped by age; live puts are safe."""
+
+    def _leak_staging(self, store, age_seconds: float) -> str:
+        shard = os.path.dirname(store.result_dir(HASH_A))
+        os.makedirs(shard, exist_ok=True)
+        staging = os.path.join(shard, f".staging-{HASH_A[:8]}-leak")
+        os.makedirs(staging)
+        with open(os.path.join(staging, "result.json"), "w") as handle:
+            handle.write("{}")
+        stamp = time.time() - age_seconds
+        os.utime(staging, (stamp, stamp))
+        return staging
+
+    def test_old_staging_dir_is_reaped(self, store):
+        staging = self._leak_staging(store, age_seconds=7200.0)
+        removed = store.gc(staging_older_than_seconds=3600.0)
+        assert removed["staging"] == 1
+        assert not os.path.exists(staging)
+
+    def test_fresh_staging_dir_survives(self, store):
+        staging = self._leak_staging(store, age_seconds=0.0)
+        removed = store.gc(staging_older_than_seconds=3600.0)
+        assert removed["staging"] == 0
+        assert os.path.exists(staging)
+
+    def test_none_threshold_skips_staging(self, store):
+        staging = self._leak_staging(store, age_seconds=7200.0)
+        removed = store.gc(staging_older_than_seconds=None)
+        assert removed["staging"] == 0
+        assert os.path.exists(staging)
+
+    def test_old_checkpoint_tmp_file_is_reaped(self, store):
+        store.save_checkpoint(HASH_A, {"next_op_index": 1})
+        leak = os.path.join(
+            store.checkpoint_dir(HASH_A), ".tmp-abandoned"
+        )
+        with open(leak, "w") as handle:
+            handle.write("{")
+        os.utime(leak, (0, 0))
+        removed = store.gc(staging_older_than_seconds=3600.0)
+        assert removed["staging"] == 1
+        assert not os.path.exists(leak)
+        assert store.load_checkpoint(HASH_A) == {"next_op_index": 1}
+
+    def test_concurrent_in_flight_put_is_not_reaped(self, store):
+        # A put paused between staging and promote (the crash window
+        # gc exists for) must not have its staging dir reaped by a
+        # concurrent gc: the age gate keeps a moments-old dir safe.
+        staged = threading.Event()
+        release = threading.Event()
+        original_promote = ArtifactStore._promote
+
+        def paused_promote(staging_dir, final_dir):
+            staged.set()
+            assert release.wait(timeout=30.0)
+            return original_promote(staging_dir, final_dir)
+
+        outcome: dict = {}
+
+        def put():
+            try:
+                store.put_result(HASH_A, {"stats": {"fidelity": 1.0}})
+            except BaseException as error:  # pragma: no cover
+                outcome["error"] = error
+
+        with mock.patch.object(
+            ArtifactStore, "_promote", staticmethod(paused_promote)
+        ):
+            writer = threading.Thread(target=put)
+            writer.start()
+            try:
+                assert staged.wait(timeout=30.0)
+                removed = store.gc(staging_older_than_seconds=3600.0)
+                assert removed["staging"] == 0
+            finally:
+                release.set()
+                writer.join(timeout=30.0)
+        assert "error" not in outcome
+        assert store.load_result(HASH_A)["stats"]["fidelity"] == 1.0
 
 
 class TestQuarantineReport:
